@@ -1,0 +1,105 @@
+// Ablation: address-level siblings (prior work) vs prefix-level siblings
+// (this paper).
+//
+// Classic sibling detection (Berger et al., Beverly/Berger, Scheitle et
+// al.) pairs individual IPv4/IPv6 *addresses*. The paper's contribution is
+// lifting the relation to prefixes. This ablation quantifies what the
+// lift buys: coverage of the address space, robustness to address churn,
+// and the number of objects an operator must manage.
+#include "bench_common.h"
+
+#include <unordered_set>
+
+#include "core/groundtruth.h"
+
+int main() {
+  using namespace spbench;
+  header("Ablation", "address-level siblings vs prefix-level siblings");
+
+  const auto& u = universe();
+  const int last = last_month();
+  const auto snapshot = u.snapshot_at(last);
+
+  // Address-level siblings: every (v4 address, v6 address) pair serving
+  // one dual-stack domain — the prior-work notion.
+  std::unordered_set<sp::IPAddress> v4_sibling_addresses;
+  std::unordered_set<sp::IPAddress> v6_sibling_addresses;
+  std::size_t address_pairs = 0;
+  for (const auto& entry : snapshot.entries()) {
+    if (!entry.dual_stack()) continue;
+    for (const auto& v4 : entry.v4) v4_sibling_addresses.insert(sp::IPAddress(v4));
+    for (const auto& v6 : entry.v6) v6_sibling_addresses.insert(sp::IPAddress(v6));
+    address_pairs += entry.v4.size() * entry.v6.size();
+  }
+
+  const auto& prefix_pairs = default_pairs_at(last);
+
+  sp::analysis::TextTable table({"granularity", "objects", "v4 endpoints", "v6 endpoints"});
+  table.add_row({"address-level pairs", std::to_string(address_pairs),
+                 std::to_string(v4_sibling_addresses.size()),
+                 std::to_string(v6_sibling_addresses.size())});
+  table.add_row({"prefix-level pairs", std::to_string(prefix_pairs.size()),
+                 std::to_string(sp::core::unique_prefix_count(prefix_pairs, sp::Family::v4)),
+                 std::to_string(sp::core::unique_prefix_count(prefix_pairs, sp::Family::v6))});
+  std::printf("%s\n", table.render().c_str());
+
+  // Probe coverage: how many dual-stack vantage points does each notion
+  // cover? Address-level siblings only cover hosts that appear in the DNS
+  // data themselves; prefix-level siblings generalize to the whole block.
+  const auto probes = u.probes();
+  std::size_t address_covered = 0;
+  for (const auto& probe : probes) {
+    if (v4_sibling_addresses.contains(probe.v4) && v6_sibling_addresses.contains(probe.v6)) {
+      ++address_covered;
+    }
+  }
+  const auto report = sp::core::evaluate_probes(probes, prefix_pairs);
+  std::printf("probe coverage (both families): address-level %s, prefix-level %s\n",
+              pct(static_cast<double>(address_covered) / probes.size()).c_str(),
+              pct(report.fully_covered_share()).c_str());
+
+  // Churn robustness: of the address-level pairs observed a year ago, how
+  // many still hold at the end date? Prefix pairs survive address moves
+  // inside the prefix.
+  const auto old_snapshot = u.snapshot_at(last - 12);
+  std::unordered_set<std::string> old_address_pairs;
+  for (const auto& entry : old_snapshot.entries()) {
+    if (!entry.dual_stack()) continue;
+    for (const auto& v4 : entry.v4) {
+      for (const auto& v6 : entry.v6) {
+        old_address_pairs.insert(v4.to_string() + "|" + v6.to_string());
+      }
+    }
+  }
+  std::size_t surviving_addresses = 0;
+  std::size_t current_address_pairs = 0;
+  for (const auto& entry : snapshot.entries()) {
+    if (!entry.dual_stack()) continue;
+    for (const auto& v4 : entry.v4) {
+      for (const auto& v6 : entry.v6) {
+        ++current_address_pairs;
+        if (old_address_pairs.contains(v4.to_string() + "|" + v6.to_string())) {
+          ++surviving_addresses;
+        }
+      }
+    }
+  }
+  std::unordered_set<std::string> old_prefix_keys;
+  for (const auto& pair : default_pairs_at(last - 12)) {
+    old_prefix_keys.insert(pair.v4.to_string() + "|" + pair.v6.to_string());
+  }
+  std::size_t surviving_prefixes = 0;
+  for (const auto& pair : prefix_pairs) {
+    if (old_prefix_keys.contains(pair.v4.to_string() + "|" + pair.v6.to_string())) {
+      ++surviving_prefixes;
+    }
+  }
+  std::printf("one-year persistence: address pairs %s, prefix pairs %s\n",
+              pct(static_cast<double>(surviving_addresses) / current_address_pairs).c_str(),
+              pct(static_cast<double>(surviving_prefixes) / prefix_pairs.size()).c_str());
+
+  std::printf("\nreading: prefix-level siblings cover far more of the address space with\n"
+              "orders of magnitude fewer objects and survive address churn — the paper's\n"
+              "motivation for moving sibling detection from addresses to prefixes.\n");
+  return 0;
+}

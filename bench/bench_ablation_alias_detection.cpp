@@ -1,0 +1,133 @@
+// Ablation: sibling detection from alias-resolution data (paper §6's
+// "alias datasets" input).
+//
+// Infrastructure view: dual-stack routers expose one IPv4 and one IPv6
+// interface inside their organization's prefixes and share one IP-ID
+// counter. The bench probes the routers, resolves aliases with the
+// MIDAR-style monotonic-bounds test, feeds the recovered alias groups into
+// the generic SetCorpus detector, and checks the resulting pairs against
+// the organization truth.
+#include "bench_common.h"
+
+#include "alias/ipid.h"
+#include <cmath>
+
+#include "synth/determinism.h"
+
+int main() {
+  using namespace spbench;
+  header("Ablation", "sibling detection from IP-ID alias resolution");
+
+  const auto& u = universe();
+
+  // Deploy dual-stack routers: up to two per hosting org with prefixes in
+  // both families. Velocities are stratified per router (routers differ
+  // wildly in traffic volume, which is what makes MIDAR work).
+  struct Router {
+    sp::IPAddress v4;
+    sp::IPAddress v6;
+    double base;
+    double rate;
+  };
+  std::vector<Router> routers;
+  for (const auto& org : u.orgs()) {
+    if (org.eyeball || org.monitoring || org.v4_prefixes.empty() || org.v6_prefixes.empty()) {
+      continue;
+    }
+    if (routers.size() >= 100) break;
+    Router router;
+    router.v4 = sp::IPAddress(
+        sp::synth::v4_host_address(org.v4_prefixes.front(), 15, sp::synth::mix(org.id, 1)));
+    router.v6 = sp::IPAddress(
+        sp::synth::v6_host_address(org.v6_prefixes.front(), 15, sp::synth::mix(org.id, 2)));
+    router.base = static_cast<double>(sp::synth::pick(65536, org.id, 3));
+    // Geometric velocity stratification (what MIDAR's estimation stage
+    // buys on real routers): every router's counter rate is separated from
+    // every other's by more than the matcher's velocity tolerance.
+    router.rate = 100.0 * std::pow(1.045, static_cast<double>(routers.size())) *
+                  (1.0 + static_cast<double>(sp::synth::pick(10, org.id, 4)) * 0.001);
+    routers.push_back(router);
+  }
+
+  // Probe each interface 24 times over a minute, phases offset per family.
+  sp::alias::ProbeData probes;
+  for (std::size_t r = 0; r < routers.size(); ++r) {
+    const auto sample = [&](const sp::IPAddress& address, double phase, std::uint64_t salt) {
+      std::vector<sp::alias::IpIdSample> samples;
+      for (int i = 0; i < 24; ++i) {
+        const double t = phase + i * 2.5;
+        const double jitter =
+            (static_cast<double>(sp::synth::pick(9, r, salt, i)) - 4.0) * 0.5;
+        const double value = routers[r].base + routers[r].rate * t + jitter;
+        samples.push_back({t, static_cast<std::uint16_t>(
+                                  static_cast<std::uint64_t>(value) % 65536)});
+      }
+      probes[address] = std::move(samples);
+    };
+    sample(routers[r].v4, 0.0, 11);
+    sample(routers[r].v6, 1.1, 12);
+  }
+
+  sp::alias::MbtConfig mbt;
+  mbt.velocity_tolerance = 0.02;
+  const auto groups = sp::alias::resolve_aliases(probes, mbt);
+  std::size_t dual_stack_groups = 0;
+  std::size_t correct_groups = 0;
+  sp::core::SetCorpus corpus;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    bool has_v4 = false;
+    bool has_v6 = false;
+    for (const auto& address : groups[g]) {
+      if (address.is_v4()) has_v4 = true;
+      if (address.is_v6()) has_v6 = true;
+      const auto route = u.rib().lookup(address);
+      if (route) corpus.add(route->prefix, static_cast<sp::core::DomainId>(g));
+    }
+    if (has_v4 && has_v6) {
+      ++dual_stack_groups;
+      // A group is correct when it is exactly one router's interface pair.
+      for (const auto& router : routers) {
+        if (groups[g].size() == 2 && groups[g][0] == router.v4 && groups[g][1] == router.v6) {
+          ++correct_groups;
+          break;
+        }
+      }
+    }
+  }
+  corpus.finalize();
+  const auto pairs = sp::core::detect_sibling_prefixes(corpus);
+
+  std::size_t same_org = 0;
+  for (const auto& pair : pairs) {
+    const auto v4_route = u.rib().lookup(pair.v4);
+    const auto v6_route = u.rib().lookup(pair.v6);
+    if (v4_route && v6_route &&
+        u.as_orgs().same_org(v4_route->origin_as, v6_route->origin_as)) {
+      ++same_org;
+    }
+  }
+
+  sp::analysis::TextTable table({"stage", "count"});
+  table.add_row({"dual-stack routers deployed", std::to_string(routers.size())});
+  table.add_row({"alias groups resolved", std::to_string(groups.size())});
+  table.add_row({"dual-stack alias groups", std::to_string(dual_stack_groups)});
+  table.add_row({"exactly-correct groups", std::to_string(correct_groups)});
+  table.add_row({"sibling pairs from alias input", std::to_string(pairs.size())});
+  table.add_row({"of which same organization", std::to_string(same_org)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("alias-resolution accuracy: %s of dual-stack routers recovered exactly\n",
+              pct(routers.empty() ? 0.0
+                                  : static_cast<double>(correct_groups) /
+                                        static_cast<double>(routers.size()))
+                  .c_str());
+  std::printf("pair precision vs org truth: %s\n",
+              pct(pairs.empty() ? 0.0
+                                : static_cast<double>(same_org) /
+                                      static_cast<double>(pairs.size()))
+                  .c_str());
+  std::printf("\nreading: alias datasets plug into the same detector (section 3.7); the\n"
+              "infrastructure view finds org-level siblings even where no domains are\n"
+              "hosted — complementary coverage to the DNS input.\n");
+  return 0;
+}

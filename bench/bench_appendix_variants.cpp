@@ -1,0 +1,138 @@
+// Appendix figures: the paper repeats its main analyses for all three
+// prefix notions — default BGP-announced, SP-Tuner /24-/48, and SP-Tuner
+// /28-/96 — plus two business-type counting variants.
+//
+//   Figs 23-25: HG/CDN Jaccard distributions per notion
+//   Figs 29-32: same/different-organization split and median Jaccard
+//   Figs 33-34: domains-per-pair distribution (default, /24-/48)
+//   Figs 35-36: CIDR size distribution of tuned pairs
+//   Figs 20-21: business types counted by unique AS pair / unfiltered
+#include "bench_common.h"
+
+#include <map>
+#include <set>
+
+namespace {
+
+struct Notion {
+  const char* name;
+  const std::vector<sp::core::SiblingPair>* pairs;
+};
+
+}  // namespace
+
+int main() {
+  using namespace spbench;
+  header("Appendix figures 20-36", "main analyses across prefix notions");
+
+  const auto& u = universe();
+  const int last = last_month();
+  const Notion notions[] = {
+      {"default", &default_pairs_at(last)},
+      {"sp-tuner /24-/48", &tuned_pairs_at(last, 24, 48)},
+      {"sp-tuner /28-/96", &tuned_pairs_at(last, 28, 96)},
+  };
+
+  // --- Figures 23-25 + 29-34: one summary row per notion ---
+  sp::analysis::TextTable summary({"notion", "pairs", "same-org", "median J same",
+                                   "median J diff", "HG/CDN pairs", "HG top-bin",
+                                   "single-domain pairs"});
+  for (const auto& notion : notions) {
+    std::size_t same = 0;
+    std::size_t diff = 0;
+    std::vector<double> same_j;
+    std::vector<double> diff_j;
+    std::size_t hg_pairs = 0;
+    std::size_t hg_top_bin = 0;
+    std::size_t single_domain = 0;
+    for (const auto& pair : *notion.pairs) {
+      const auto v4_route = u.rib().lookup(pair.v4);
+      const auto v6_route = u.rib().lookup(pair.v6);
+      if (!v4_route || !v6_route) continue;
+      const bool same_org = u.as_orgs().same_org(v4_route->origin_as, v6_route->origin_as);
+      (same_org ? same : diff) += 1;
+      (same_org ? same_j : diff_j).push_back(pair.similarity);
+      const std::string* org = u.as_orgs().org_name(v4_route->origin_as);
+      if (same_org && org != nullptr && u.catalog().is_cdn_or_hg(*org)) {
+        ++hg_pairs;
+        if (pair.similarity >= 0.9) ++hg_top_bin;
+      }
+      if (pair.v4_domain_count == 1 && pair.v6_domain_count == 1) ++single_domain;
+    }
+    summary.add_row(
+        {notion.name, std::to_string(notion.pairs->size()),
+         pct(static_cast<double>(same) / (same + diff)),
+         num(sp::analysis::median(same_j), 2), num(sp::analysis::median(diff_j), 2),
+         std::to_string(hg_pairs),
+         pct(hg_pairs == 0 ? 0.0 : static_cast<double>(hg_top_bin) / hg_pairs),
+         pct(static_cast<double>(single_domain) / notion.pairs->size())});
+  }
+  std::printf("%s", summary.render().c_str());
+  std::printf("paper:    same-org share and median Jaccard ~stable across notions;\n"
+              "          HG/CDN mass concentrated at 0.9-1.0 for all three;\n"
+              "          single-domain share rises with tuning (Figs 33/34)\n\n");
+
+  // --- Figures 35/36: tuned CIDR concentration ---
+  for (const auto& [v4_threshold, v6_threshold] : {std::pair{24u, 48u}, std::pair{28u, 96u}}) {
+    const auto& pairs = tuned_pairs_at(last, v4_threshold, v6_threshold);
+    std::size_t at_threshold = 0;
+    for (const auto& pair : pairs) {
+      if (pair.v4.length() == v4_threshold && pair.v6.length() == v6_threshold) {
+        ++at_threshold;
+      }
+    }
+    std::printf("Fig %s: pairs exactly at /%u-/%u: %s\n",
+                v4_threshold == 24 ? "35" : "36", v4_threshold, v6_threshold,
+                pct(static_cast<double>(at_threshold) / pairs.size()).c_str());
+  }
+
+  // --- Figures 20/21: business-type counting variants ---
+  const int jan24 = u.month_index(sp::Date{2024, 1, 11});
+  const auto& pairs = default_pairs_at(jan24);
+  std::map<std::pair<int, int>, std::size_t> by_as_pair_cell;
+  std::map<std::pair<int, int>, std::size_t> unfiltered_cell;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen_as_pairs;
+  for (const auto& pair : pairs) {
+    const auto v4_route = u.rib().lookup(pair.v4);
+    const auto v6_route = u.rib().lookup(pair.v6);
+    if (!v4_route || !v6_route) continue;
+    const auto v4_type = u.asdb().single_category(v4_route->origin_as);
+    const auto v6_type = u.asdb().single_category(v6_route->origin_as);
+    if (!v4_type || !v6_type) continue;
+    const auto cell = std::pair{static_cast<int>(*v4_type), static_cast<int>(*v6_type)};
+    ++unfiltered_cell[cell];  // Fig 21: everything, same-ASN pairs included
+    if (v4_route->origin_as != v6_route->origin_as &&
+        seen_as_pairs.insert({v4_route->origin_as, v6_route->origin_as}).second) {
+      ++by_as_pair_cell[cell];  // Fig 20: unique origin-AS pairs
+    }
+  }
+  const auto it_cell = std::pair{static_cast<int>(sp::asinfo::BusinessType::ComputerIT),
+                                 static_cast<int>(sp::asinfo::BusinessType::ComputerIT)};
+  const auto top_of = [](const std::map<std::pair<int, int>, std::size_t>& cells) {
+    std::pair<std::pair<int, int>, std::size_t> best{{0, 0}, 0};
+    for (const auto& entry : cells) {
+      if (entry.second > best.second) best = entry;
+    }
+    return best;
+  };
+  const auto top20 = top_of(by_as_pair_cell);
+  const auto top21 = top_of(unfiltered_cell);
+  std::printf("\nFig 20 (unique AS pairs): IT×IT = %zu, largest cell is IT×IT: %s\n",
+              by_as_pair_cell[it_cell], top20.first == it_cell ? "yes" : "NO");
+  std::printf("Fig 21 (unfiltered): IT×IT = %zu, largest cell is IT×IT: %s;"
+              " diagonal (same-AS) mass dominates: %s\n",
+              unfiltered_cell[it_cell], top21.first == it_cell ? "yes" : "NO",
+              [&] {
+                std::size_t diagonal = 0;
+                std::size_t total = 0;
+                for (const auto& [cell, count] : unfiltered_cell) {
+                  total += count;
+                  if (cell.first == cell.second) diagonal += count;
+                }
+                return pct(total == 0 ? 0.0 : static_cast<double>(diagonal) / total);
+              }()
+                  .c_str());
+  std::printf("paper:    both variants keep IT×IT as the dominant cell, with the\n"
+              "          unfiltered version adding a strong same-business diagonal\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench binary regenerates one figure or table of the paper from the
+// synthetic universe and prints the measured series next to the paper's
+// reported values. The universe, corpora and pair lists are cached across
+// calls within one binary.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "core/detect.h"
+#include "core/sptuner.h"
+#include "synth/universe.h"
+
+namespace spbench {
+
+inline const sp::synth::SyntheticInternet& universe() {
+  static const sp::synth::SyntheticInternet instance{sp::synth::SynthConfig{}};
+  return instance;
+}
+
+inline int last_month() { return universe().month_count() - 1; }
+
+/// Corpus of one snapshot month, cached.
+inline const sp::core::DualStackCorpus& corpus_at(int month) {
+  static std::map<int, std::unique_ptr<sp::core::DualStackCorpus>> cache;
+  auto& slot = cache[month];
+  if (!slot) {
+    slot = std::make_unique<sp::core::DualStackCorpus>(sp::core::DualStackCorpus::build(
+        universe().snapshot_at(month), universe().rib()));
+  }
+  return *slot;
+}
+
+/// Default (BGP-announced) sibling pairs of one month, cached.
+inline const std::vector<sp::core::SiblingPair>& default_pairs_at(int month) {
+  static std::map<int, std::vector<sp::core::SiblingPair>> cache;
+  auto& slot = cache[month];
+  if (slot.empty()) slot = sp::core::detect_sibling_prefixes(corpus_at(month));
+  return slot;
+}
+
+/// SP-Tuner-MS output for one month and threshold pair, cached.
+inline const std::vector<sp::core::SiblingPair>& tuned_pairs_at(int month, unsigned v4,
+                                                                unsigned v6) {
+  static std::map<std::tuple<int, unsigned, unsigned>, std::vector<sp::core::SiblingPair>>
+      cache;
+  auto& slot = cache[{month, v4, v6}];
+  if (slot.empty()) {
+    const sp::core::SpTunerMs tuner(corpus_at(month),
+                                    {.v4_threshold = v4, .v6_threshold = v6});
+    slot = tuner.tune_all(default_pairs_at(month)).pairs;
+  }
+  return slot;
+}
+
+inline void header(const char* id, const char* title) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("scale: synthetic universe, seed %llu, %zu orgs, %zu domains\n",
+              static_cast<unsigned long long>(universe().config().seed),
+              universe().orgs().size(), universe().domains().size());
+  std::printf("================================================================\n");
+}
+
+inline std::string pct(double fraction, int digits = 1) {
+  return sp::analysis::format_percent(fraction, digits);
+}
+
+inline std::string num(double value, int digits = 3) {
+  return sp::analysis::format_fixed(value, digits);
+}
+
+/// Share of pairs with similarity exactly 1 ("perfect matches").
+inline double perfect_share(const std::vector<sp::core::SiblingPair>& pairs) {
+  if (pairs.empty()) return 0.0;
+  std::size_t perfect = 0;
+  for (const auto& pair : pairs) {
+    if (pair.similarity >= 1.0 - 1e-12) ++perfect;
+  }
+  return static_cast<double>(perfect) / static_cast<double>(pairs.size());
+}
+
+}  // namespace spbench

@@ -1,0 +1,44 @@
+// Figure 2: comparison of Jaccard, Dice, and overlap-coefficient CDFs for
+// sibling prefix pairs.
+//
+// Paper shape: with the overlap coefficient >90% of pairs sit at exactly
+// 1.0 (subset relations saturate it); Jaccard and Dice track each other
+// with ~50% of pairs at 1.0, Dice slightly more lenient below 1.
+#include "bench_common.h"
+
+int main() {
+  using namespace spbench;
+  header("Figure 2", "similarity metric comparison (CDF)");
+
+  const auto& corpus = corpus_at(last_month());
+  struct Series {
+    const char* name;
+    sp::core::Metric metric;
+    sp::analysis::Cdf cdf;
+    double at_one = 0.0;
+  };
+  std::vector<Series> series = {{"jaccard", sp::core::Metric::Jaccard, {}, 0},
+                                {"dice", sp::core::Metric::Dice, {}, 0},
+                                {"overlap", sp::core::Metric::Overlap, {}, 0}};
+  for (auto& s : series) {
+    const auto pairs = sp::core::detect_sibling_prefixes(corpus, {s.metric});
+    s.cdf = sp::analysis::Cdf(sp::core::similarity_values(pairs));
+    s.at_one = s.cdf.fraction_at_least(1.0);
+  }
+
+  sp::analysis::TextTable table({"similarity<=", "jaccard", "dice", "overlap"});
+  for (int i = 1; i <= 10; ++i) {
+    const double x = i / 10.0 - 1e-9;  // strictly-below semantics at the grid point
+    table.add_row({num(i / 10.0, 1), pct(series[0].cdf.fraction_at_most(x)),
+                   pct(series[1].cdf.fraction_at_most(x)),
+                   pct(series[2].cdf.fraction_at_most(x))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("paper:    overlap has >90%% of pairs at exactly 1.0; jaccard/dice ~50%%\n");
+  std::printf("measured: at 1.0 — jaccard %s, dice %s, overlap %s\n",
+              pct(series[0].at_one).c_str(), pct(series[1].at_one).c_str(),
+              pct(series[2].at_one).c_str());
+  std::printf("ordering holds: jaccard <= dice <= overlap for every pair (validated in tests)\n");
+  return 0;
+}

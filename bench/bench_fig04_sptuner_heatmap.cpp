@@ -1,0 +1,68 @@
+// Figure 4 (and appendix Figure 19): SP-Tuner-MS sensitivity — mean and
+// standard deviation of Jaccard values across IPv4 × IPv6 length
+// thresholds.
+//
+// Paper shape: mean Jaccard rises monotonically with deeper thresholds on
+// either axis, from 0.647 (std 0.410) at /16-/32 to 0.878 (std 0.287) at
+// /28-/96.
+#include "bench_common.h"
+
+int main() {
+  using namespace spbench;
+  header("Figure 4 / Figure 19", "SP-Tuner threshold sensitivity (mean / std Jaccard)");
+
+  const unsigned v4_thresholds[] = {16, 20, 22, 24, 26, 28};
+  const unsigned v6_thresholds[] = {32, 48, 64, 80, 96};
+
+  std::vector<std::string> col_labels;
+  for (const unsigned v4 : v4_thresholds) col_labels.push_back("/" + std::to_string(v4));
+  std::vector<std::string> row_labels;
+  for (const unsigned v6 : v6_thresholds) row_labels.push_back("/" + std::to_string(v6));
+  sp::analysis::Heatmap mean_map(row_labels, col_labels);
+  sp::analysis::Heatmap std_map(row_labels, col_labels);
+
+  double corner_low_mean = 0;
+  double corner_low_std = 0;
+  double corner_high_mean = 0;
+  double corner_high_std = 0;
+  for (std::size_t r = 0; r < std::size(v6_thresholds); ++r) {
+    for (std::size_t c = 0; c < std::size(v4_thresholds); ++c) {
+      const auto& pairs = tuned_pairs_at(last_month(), v4_thresholds[c], v6_thresholds[r]);
+      const auto summary = sp::analysis::summarize(sp::core::similarity_values(pairs));
+      mean_map.at(r, c) = summary.mean;
+      std_map.at(r, c) = summary.stddev;
+      if (r == 0 && c == 0) {
+        corner_low_mean = summary.mean;
+        corner_low_std = summary.stddev;
+      }
+      if (r + 1 == std::size(v6_thresholds) && c + 1 == std::size(v4_thresholds)) {
+        corner_high_mean = summary.mean;
+        corner_high_std = summary.stddev;
+      }
+    }
+  }
+
+  std::printf("mean Jaccard (rows: IPv6 threshold, cols: IPv4 threshold)\n%s\n",
+              mean_map.render(3).c_str());
+  std::printf("std deviation\n%s\n", std_map.render(3).c_str());
+  std::printf("paper:    /16-/32 corner 0.647 (std 0.410); /28-/96 corner 0.878 (std 0.287)\n");
+  std::printf("measured: /16-/32 corner %s (std %s); /28-/96 corner %s (std %s)\n",
+              num(corner_low_mean).c_str(), num(corner_low_std).c_str(),
+              num(corner_high_mean).c_str(), num(corner_high_std).c_str());
+
+  // Monotonicity along both axes (the paper's row/column observation).
+  bool monotone = true;
+  for (std::size_t r = 0; r < mean_map.rows(); ++r) {
+    for (std::size_t c = 1; c < mean_map.cols(); ++c) {
+      if (mean_map.at(r, c) + 1e-9 < mean_map.at(r, c - 1)) monotone = false;
+    }
+  }
+  for (std::size_t c = 0; c < mean_map.cols(); ++c) {
+    for (std::size_t r = 1; r < mean_map.rows(); ++r) {
+      if (mean_map.at(r, c) + 1e-9 < mean_map.at(r - 1, c)) monotone = false;
+    }
+  }
+  std::printf("mean Jaccard monotone non-decreasing along both axes: %s\n",
+              monotone ? "yes" : "NO");
+  return 0;
+}

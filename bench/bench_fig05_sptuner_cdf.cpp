@@ -1,0 +1,37 @@
+// Figure 5: CDF of Jaccard similarity for sibling prefixes — default
+// BGP-announced sizes vs SP-Tuner at the routable (/24,/48) and optimal
+// (/28,/96) thresholds.
+//
+// Paper shape: perfect matches 52% (default) → 67% (routable) → >82%
+// (/28-/96).
+#include "bench_common.h"
+
+int main() {
+  using namespace spbench;
+  header("Figure 5", "SP-Tuner CDF: default vs /24-/48 vs /28-/96");
+
+  const auto& default_pairs = default_pairs_at(last_month());
+  const auto& routable = tuned_pairs_at(last_month(), 24, 48);
+  const auto& optimal = tuned_pairs_at(last_month(), 28, 96);
+
+  const sp::analysis::Cdf default_cdf(sp::core::similarity_values(default_pairs));
+  const sp::analysis::Cdf routable_cdf(sp::core::similarity_values(routable));
+  const sp::analysis::Cdf optimal_cdf(sp::core::similarity_values(optimal));
+
+  sp::analysis::TextTable table({"jaccard<=", "default", "sp-tuner/24-/48", "sp-tuner/28-/96"});
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i / 10.0 - 1e-9;
+    table.add_row({num(i / 10.0, 1), pct(default_cdf.fraction_at_most(x)),
+                   pct(routable_cdf.fraction_at_most(x)),
+                   pct(optimal_cdf.fraction_at_most(x))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("pair counts: default %zu, /24-/48 %zu, /28-/96 %zu\n", default_pairs.size(),
+              routable.size(), optimal.size());
+  std::printf("paper:    perfect matches 52%% -> 67%% -> 82%%\n");
+  std::printf("measured: perfect matches %s -> %s -> %s\n",
+              pct(perfect_share(default_pairs)).c_str(), pct(perfect_share(routable)).c_str(),
+              pct(perfect_share(optimal)).c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 6: joint heatmap of sibling-pair Jaccard values from DNS
+// (x-axis) and from open-port scans (y-axis), over the /28-/96 SP-Tuner
+// pairs.
+//
+// Paper shape: 70.9% of sibling prefixes respond to scans; the top-right
+// cell (both Jaccard >= 0.9) holds the largest mass at ~36%.
+#include "bench_common.h"
+
+#include "core/portscan_compare.h"
+
+int main() {
+  using namespace spbench;
+  header("Figure 6", "DNS Jaccard vs port-scan Jaccard");
+
+  const auto& pairs = tuned_pairs_at(last_month(), 28, 96);
+  const auto scan_data = universe().port_scan();
+  const auto comparison = sp::core::compare_with_portscan(pairs, scan_data);
+
+  std::vector<std::string> labels;
+  for (int i = 0; i < sp::core::kJaccardBins; ++i) {
+    labels.push_back(num(i / 10.0, 1) + "-" + num((i + 1) / 10.0, 1));
+  }
+  sp::analysis::Heatmap joint(labels, labels);  // rows: scan bins, cols: dns bins
+  for (int dns = 0; dns < sp::core::kJaccardBins; ++dns) {
+    for (int scan_bin = 0; scan_bin < sp::core::kJaccardBins; ++scan_bin) {
+      joint.at(static_cast<std::size_t>(scan_bin), static_cast<std::size_t>(dns)) =
+          static_cast<double>(comparison.joint[static_cast<std::size_t>(dns)]
+                                              [static_cast<std::size_t>(scan_bin)]);
+    }
+  }
+  joint.normalize_to_percent();
+  std::printf("%% of responsive pairs (rows: port-scan Jaccard, cols: DNS Jaccard)\n%s\n",
+              joint.render(1).c_str());
+
+  const double top_right = joint.at(9, 9);
+  std::printf("paper:    70.9%% of pairs responsive; top-right cell (both >=0.9) ~36%%\n");
+  std::printf("measured: %s responsive (%zu of %zu); top-right cell %s\n",
+              pct(comparison.responsive_share()).c_str(), comparison.responsive_pairs,
+              comparison.pair_count, pct(top_right / 100.0).c_str());
+
+  // Quantify the correlation the paper describes qualitatively.
+  std::vector<double> dns_values;
+  std::vector<double> scan_values;
+  for (const auto& pair : pairs) {
+    const sp::scan::PortMask ports4 = scan_data.ports_in(pair.v4);
+    const sp::scan::PortMask ports6 = scan_data.ports_in(pair.v6);
+    if ((ports4 | ports6) == 0) continue;
+    dns_values.push_back(pair.similarity);
+    scan_values.push_back(sp::scan::port_jaccard(ports4, ports6));
+  }
+  std::printf("rank correlation (Spearman) between DNS and port Jaccard: %.2f\n",
+              sp::analysis::spearman(dns_values, scan_values));
+
+  // Correlation direction: high-DNS pairs should be likelier to be
+  // high-scan than low-DNS pairs.
+  double high_dns_high_scan = 0;
+  double high_dns_total = 0;
+  double low_dns_high_scan = 0;
+  double low_dns_total = 0;
+  for (int scan_bin = 0; scan_bin < 10; ++scan_bin) {
+    high_dns_total += joint.at(static_cast<std::size_t>(scan_bin), 9);
+    low_dns_total += joint.at(static_cast<std::size_t>(scan_bin), 0);
+    if (scan_bin == 9) {
+      high_dns_high_scan += joint.at(9, 9);
+      low_dns_high_scan += joint.at(9, 0);
+    }
+  }
+  std::printf("P(scan>=0.9 | dns>=0.9) = %s vs P(scan>=0.9 | dns<0.1) = %s\n",
+              pct(high_dns_total == 0 ? 0 : high_dns_high_scan / high_dns_total).c_str(),
+              pct(low_dns_total == 0 ? 0 : low_dns_high_scan / low_dns_total).c_str());
+  return 0;
+}

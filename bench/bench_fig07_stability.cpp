@@ -1,0 +1,59 @@
+// Figure 7: dual-stack domain dynamics over thirteen monthly snapshots —
+// visibility frequency (left), prefix stability (center) and address
+// stability (right).
+//
+// Paper shape: ~40% of DS domains visible in all 13 snapshots, ~20%
+// exactly once; >91% of consistent domains keep their prefixes over the
+// year (v4 changes ~9%, v6 ~6%); 83% keep both address sets.
+#include "bench_common.h"
+
+#include "core/longitudinal.h"
+
+int main() {
+  using namespace spbench;
+  header("Figure 7", "DS-domain visibility, prefix and address stability");
+
+  const auto& u = universe();
+  sp::core::LongitudinalTracker tracker;
+  const int first = u.month_count() - 13;
+  for (int month = first; month < u.month_count(); ++month) {
+    tracker.add_snapshot(u.snapshot_at(month), u.rib());
+  }
+
+  const auto cdf = tracker.visibility_cdf();
+  const auto histogram = tracker.visibility_histogram();
+  sp::analysis::TextTable visibility({"visible in <= k snapshots", "share"});
+  for (std::size_t k = 0; k < cdf.size(); ++k) {
+    visibility.add_row({std::to_string(k + 1), pct(cdf[k])});
+  }
+  std::printf("%s\n", visibility.render().c_str());
+  const double always =
+      static_cast<double>(histogram.back()) / tracker.tracked_domain_count();
+  const double once =
+      static_cast<double>(histogram.front()) / tracker.tracked_domain_count();
+  std::printf("paper:    ~40%% visible in all 13, ~20%% exactly once\n");
+  std::printf("measured: %s in all 13, %s exactly once (%zu DS domains tracked)\n\n",
+              pct(always).c_str(), pct(once).c_str(), tracker.tracked_domain_count());
+
+  const auto stability = tracker.stability();
+  sp::analysis::TextTable table({"months back", "v4 prefix same", "v6 prefix same",
+                                 "v4 addr same", "v6 addr same", "both addr same"});
+  for (std::size_t back = 0; back < stability.v4_prefix_stable.size(); ++back) {
+    table.add_row({std::to_string(back), pct(stability.v4_prefix_stable[back]),
+                   pct(stability.v6_prefix_stable[back]),
+                   pct(stability.v4_address_stable[back]),
+                   pct(stability.v6_address_stable[back]),
+                   pct(stability.address_stable[back])});
+  }
+  std::printf("%s\n", table.render().c_str());
+  const std::size_t year = stability.v4_prefix_stable.size() - 1;
+  std::printf("paper:    over one year: v4 prefix stable ~91%% (max change 9%%), v6 ~94%%;"
+              " addresses stable 83%%\n");
+  std::printf("measured: v4 prefix stable %s, v6 prefix stable %s, both addresses stable %s\n",
+              pct(stability.v4_prefix_stable[year]).c_str(),
+              pct(stability.v6_prefix_stable[year]).c_str(),
+              pct(stability.address_stable[year]).c_str());
+  std::printf("consistent DS domains: %zu of %zu\n", tracker.consistent_domain_count(),
+              tracker.tracked_domain_count());
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 9: number of sibling prefixes at different points in time.
+//
+// Paper shape: the pair count roughly doubles over four years, from ~36k
+// at day -48 months to >76k at the reference date (Sep 2024).
+#include "bench_common.h"
+
+int main() {
+  using namespace spbench;
+  header("Figure 9", "sibling prefix pairs over time");
+
+  const auto& u = universe();
+  sp::analysis::TextTable table({"months back", "date", "pairs", "v4 prefixes", "v6 prefixes"});
+  std::size_t oldest = 0;
+  std::size_t newest = 0;
+  for (int back = 48; back >= 0; back -= 6) {
+    const int month = u.month_count() - 1 - back;
+    const auto& pairs = default_pairs_at(month);
+    table.add_row({std::to_string(-back), u.date_of_month(month).to_string(),
+                   std::to_string(pairs.size()),
+                   std::to_string(sp::core::unique_prefix_count(pairs, sp::Family::v4)),
+                   std::to_string(sp::core::unique_prefix_count(pairs, sp::Family::v6))});
+    if (back == 48) oldest = pairs.size();
+    if (back == 0) newest = pairs.size();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper:    pairs roughly double over four years (36k -> 76k)\n");
+  std::printf("measured: %zu -> %zu (%.2fx)\n", oldest, newest,
+              static_cast<double>(newest) / static_cast<double>(oldest));
+  return 0;
+}

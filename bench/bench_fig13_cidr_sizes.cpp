@@ -1,0 +1,70 @@
+// Figure 13 (and appendix Figures 35/36): distribution of CIDR sizes in
+// sibling prefix pairs.
+//
+// Paper shape (default case): /24 dominates IPv4 and /48 IPv6; the
+// /24-/48 combination is the single largest group at 23.41%; the
+// /17-/24 × /32-/48 region holds >88% of pairs; hyper-specific prefixes
+// (>/24, >/48) are rare. After SP-Tuner at /28-/96, 86.95% of pairs land
+// exactly on /28-/96.
+#include "bench_common.h"
+
+namespace {
+
+int v4_bin(unsigned length) {
+  if (length <= 16) return 0;
+  if (length <= 20) return 1;
+  if (length <= 23) return 2;
+  if (length == 24) return 3;
+  return 4;
+}
+const char* kV4Labels[] = {"<=16", "17-20", "21-23", "24", ">24"};
+
+int v6_bin(unsigned length) {
+  if (length <= 32) return 0;
+  if (length <= 40) return 1;
+  if (length <= 47) return 2;
+  if (length == 48) return 3;
+  return 4;
+}
+const char* kV6Labels[] = {"<=32", "33-40", "41-47", "48", ">48"};
+
+}  // namespace
+
+int main() {
+  using namespace spbench;
+  header("Figure 13", "CIDR size distribution of sibling pairs (default case)");
+
+  const auto& pairs = default_pairs_at(last_month());
+  sp::analysis::Heatmap map(std::vector<std::string>(std::begin(kV6Labels), std::end(kV6Labels)),
+                            std::vector<std::string>(std::begin(kV4Labels), std::end(kV4Labels)));
+  for (const auto& pair : pairs) {
+    map.at(static_cast<std::size_t>(v6_bin(pair.v6.length())),
+           static_cast<std::size_t>(v4_bin(pair.v4.length()))) += 1.0;
+  }
+  map.normalize_to_percent();
+  std::printf("%% of pairs (rows: IPv6 length, cols: IPv4 length)\n%s\n", map.render(1).c_str());
+
+  std::size_t exact_24_48 = 0;
+  std::size_t region = 0;
+  for (const auto& pair : pairs) {
+    if (pair.v4.length() == 24 && pair.v6.length() == 48) ++exact_24_48;
+    if (pair.v4.length() >= 17 && pair.v4.length() <= 24 && pair.v6.length() >= 32 &&
+        pair.v6.length() <= 48) {
+      ++region;
+    }
+  }
+  std::printf("paper:    /24-/48 combination 23.41%%; /17-/24 x /32-/48 region >88%%\n");
+  std::printf("measured: /24-/48 combination %s; region %s\n",
+              pct(static_cast<double>(exact_24_48) / pairs.size()).c_str(),
+              pct(static_cast<double>(region) / pairs.size()).c_str());
+
+  const auto& tuned = tuned_pairs_at(last_month(), 28, 96);
+  std::size_t at_28_96 = 0;
+  for (const auto& pair : tuned) {
+    if (pair.v4.length() == 28 && pair.v6.length() == 96) ++at_28_96;
+  }
+  std::printf("paper:    after SP-Tuner 86.95%% of pairs land exactly on /28-/96\n");
+  std::printf("measured: %s of tuned pairs at /28-/96\n",
+              pct(static_cast<double>(at_28_96) / tuned.size()).c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 16 (and appendix Figures 20/21): business types of sibling-pair
+// origin ASes (ASdb categories), for pairs whose two sides have different
+// origin ASNs and whose ASes map to a single category.
+//
+// Paper shape: IT×IT is by far the largest cell (>10k pairs); Education is
+// the second notable same-type cell; nearly every pair has at least one IT
+// side (the IT row/column carries almost all mass).
+#include "bench_common.h"
+
+int main() {
+  using namespace spbench;
+  header("Figure 16", "business types of origin AS pairs");
+
+  const auto& u = universe();
+  // The paper uses the January 2024 snapshot for this analysis.
+  const int month = u.month_index(sp::Date{2024, 1, 11});
+  const auto& pairs = default_pairs_at(month);
+
+  std::size_t different_asn_pairs = 0;
+  std::size_t single_type_pairs = 0;
+  std::map<std::pair<int, int>, std::size_t> cells;
+  std::size_t with_it_side = 0;
+  for (const auto& pair : pairs) {
+    const auto v4_route = u.rib().lookup(pair.v4);
+    const auto v6_route = u.rib().lookup(pair.v6);
+    if (!v4_route || !v6_route) continue;
+    if (v4_route->origin_as == v6_route->origin_as) continue;  // same-ASN excluded
+    ++different_asn_pairs;
+    const auto v4_type = u.asdb().single_category(v4_route->origin_as);
+    const auto v6_type = u.asdb().single_category(v6_route->origin_as);
+    if (!v4_type || !v6_type) continue;
+    ++single_type_pairs;
+    ++cells[{static_cast<int>(*v4_type), static_cast<int>(*v6_type)}];
+    if (*v4_type == sp::asinfo::BusinessType::ComputerIT ||
+        *v6_type == sp::asinfo::BusinessType::ComputerIT) {
+      ++with_it_side;
+    }
+  }
+
+  // Report the ten heaviest cells.
+  std::vector<std::pair<std::size_t, std::pair<int, int>>> ranked;
+  for (const auto& [cell, count] : cells) ranked.push_back({count, cell});
+  std::sort(ranked.rbegin(), ranked.rend());
+  sp::analysis::TextTable table({"v4 AS business type", "v6 AS business type", "pairs"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, ranked.size()); ++i) {
+    table.add_row(
+        {std::string(sp::asinfo::business_type_name(
+             static_cast<sp::asinfo::BusinessType>(ranked[i].second.first))),
+         std::string(sp::asinfo::business_type_name(
+             static_cast<sp::asinfo::BusinessType>(ranked[i].second.second))),
+         std::to_string(ranked[i].first)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto it_it = cells.find({static_cast<int>(sp::asinfo::BusinessType::ComputerIT),
+                                 static_cast<int>(sp::asinfo::BusinessType::ComputerIT)});
+  std::printf("pairs with different origin ASNs: %zu; single-type share %s (paper: ~80%%)\n",
+              different_asn_pairs,
+              pct(static_cast<double>(single_type_pairs) / different_asn_pairs).c_str());
+  std::printf("paper:    IT×IT the largest cell; at least one IT side for most pairs\n");
+  std::printf("measured: IT×IT = %zu pairs (largest: %s); at least one IT side %s\n",
+              it_it == cells.end() ? 0 : it_it->second,
+              ranked.empty() ? "n/a"
+                             : (ranked[0].second.first ==
+                                        static_cast<int>(sp::asinfo::BusinessType::ComputerIT) &&
+                                        ranked[0].second.second ==
+                                            static_cast<int>(sp::asinfo::BusinessType::ComputerIT)
+                                    ? "yes"
+                                    : "NO"),
+              pct(static_cast<double>(with_it_side) / single_type_pairs).c_str());
+  return 0;
+}

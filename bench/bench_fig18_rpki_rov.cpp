@@ -1,0 +1,70 @@
+// Figure 18: route-origin-validation (ROV) status of sibling pairs in the
+// RPKI over time (BGP-announced prefix sizes).
+//
+// Paper shape: the share of pairs where at least one side is valid grows
+// from ~50% (2020) to ~65% (2024); the both-not-found share shrinks from
+// ~40% to ~20%; conflicting (valid,invalid) stays at 2-8%; ~10% keep an
+// invalid side.
+#include "bench_common.h"
+
+#include "rpki/rov.h"
+
+int main() {
+  using namespace spbench;
+  header("Figure 18", "pair ROV status over time");
+
+  const auto& u = universe();
+  sp::analysis::TextTable table({"date", "valid,valid", "valid,notfound", "valid,invalid",
+                                 "invalid,notfound", "invalid,invalid", "notfound,notfound"});
+
+  double first_any_valid = 0.0;
+  double last_any_valid = 0.0;
+  double first_both_notfound = 0.0;
+  double last_both_notfound = 0.0;
+  for (int back = 48; back >= 0; back -= 4) {
+    const int month = u.month_count() - 1 - back;
+    const auto& pairs = default_pairs_at(month);
+
+    sp::rpki::Validator validator;
+    for (const auto& roa : u.roas_at(month)) (void)validator.add_roa(roa);
+
+    std::array<std::size_t, sp::rpki::kPairRovStatusCount> counts{};
+    std::size_t classified = 0;
+    for (const auto& pair : pairs) {
+      const auto v4_route = u.rib().lookup(pair.v4);
+      const auto v6_route = u.rib().lookup(pair.v6);
+      if (!v4_route || !v6_route) continue;
+      const auto status = sp::rpki::classify_pair(
+          validator.validate(v4_route->prefix, v4_route->origin_as),
+          validator.validate(v6_route->prefix, v6_route->origin_as));
+      ++counts[static_cast<std::size_t>(status)];
+      ++classified;
+    }
+    const auto share = [&](sp::rpki::PairRovStatus status) {
+      return static_cast<double>(counts[static_cast<std::size_t>(status)]) /
+             static_cast<double>(classified);
+    };
+    using S = sp::rpki::PairRovStatus;
+    table.add_row({u.date_of_month(month).to_string(), pct(share(S::BothValid)),
+                   pct(share(S::ValidNotFound)), pct(share(S::ValidInvalid)),
+                   pct(share(S::InvalidNotFound)), pct(share(S::BothInvalid)),
+                   pct(share(S::BothNotFound))});
+    const double any_valid =
+        share(S::BothValid) + share(S::ValidNotFound) + share(S::ValidInvalid);
+    if (back == 48) {
+      first_any_valid = any_valid;
+      first_both_notfound = share(S::BothNotFound);
+    }
+    if (back == 0) {
+      last_any_valid = any_valid;
+      last_both_notfound = share(S::BothNotFound);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("paper:    at-least-one-valid 50%% -> 65%%; both-not-found 40%% -> 20%%\n");
+  std::printf("measured: at-least-one-valid %s -> %s; both-not-found %s -> %s\n",
+              pct(first_any_valid).c_str(), pct(last_any_valid).c_str(),
+              pct(first_both_notfound).c_str(), pct(last_both_notfound).c_str());
+  return 0;
+}

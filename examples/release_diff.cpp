@@ -1,0 +1,96 @@
+// The monthly publication workflow: generate this month's sibling list,
+// diff it against last month's release, and print the changelog a
+// subscriber would consume (the paper publishes such a list at
+// sibling-prefixes.github.io).
+//
+// Run: ./build/examples/release_diff
+#include <cstdio>
+#include <string>
+
+#include "core/detect.h"
+#include "core/sibling_diff.h"
+#include "core/sibling_list_io.h"
+#include "core/sptuner.h"
+#include "synth/universe.h"
+
+using namespace sp;
+
+namespace {
+
+std::vector<core::SiblingPair> release_for_month(const synth::SyntheticInternet& universe,
+                                                 int month) {
+  const auto corpus =
+      core::DualStackCorpus::build(universe.snapshot_at(month), universe.rib());
+  const auto pairs = core::detect_sibling_prefixes(corpus);
+  const core::SpTunerMs tuner(corpus, {.v4_threshold = 24, .v6_threshold = 48});
+  return tuner.tune_all(pairs).pairs;
+}
+
+}  // namespace
+
+int main() {
+  synth::SynthConfig config;
+  config.organization_count = 500;
+  config.months = 14;
+  const synth::SyntheticInternet universe(config);
+  const int this_month = universe.month_count() - 1;
+  const int last_month = this_month - 1;
+
+  // Last month's release, round-tripped through the published CSV format.
+  const std::string previous_path = "siblings_previous.csv";
+  const auto previous = release_for_month(universe, last_month);
+  if (!core::write_sibling_list(previous_path, previous)) {
+    std::fprintf(stderr, "cannot write %s\n", previous_path.c_str());
+    return 1;
+  }
+  const auto published = core::read_sibling_list(previous_path);
+  if (!published) {
+    std::fprintf(stderr, "cannot reload %s\n", previous_path.c_str());
+    return 1;
+  }
+
+  const auto current = release_for_month(universe, this_month);
+  const auto diff = core::diff_sibling_lists(*published, current);
+
+  std::printf("release %s -> %s\n",
+              universe.date_of_month(last_month).to_string().c_str(),
+              universe.date_of_month(this_month).to_string().c_str());
+  std::printf("  previous release: %zu pairs\n", published->size());
+  std::printf("  current release:  %zu pairs\n", current.size());
+  std::printf("  added %zu, removed %zu, similarity changed %zu, unchanged %zu\n\n",
+              diff.added.size(), diff.removed.size(), diff.changed.size(),
+              diff.unchanged.size());
+
+  std::printf("changelog preview:\n");
+  std::size_t shown = 0;
+  for (const auto& pair : diff.added) {
+    if (++shown > 5) break;
+    std::printf("  + %-20s <-> %-26s (jaccard %.2f)\n", pair.v4.to_string().c_str(),
+                pair.v6.to_string().c_str(), pair.similarity);
+  }
+  shown = 0;
+  for (const auto& pair : diff.removed) {
+    if (++shown > 5) break;
+    std::printf("  - %-20s <-> %-26s\n", pair.v4.to_string().c_str(),
+                pair.v6.to_string().c_str());
+  }
+  shown = 0;
+  for (const auto& change : diff.changed) {
+    if (++shown > 5) break;
+    std::printf("  ~ %-20s <-> %-26s jaccard %.2f -> %.2f\n",
+                change.before.v4.to_string().c_str(),
+                change.before.v6.to_string().c_str(), change.before.similarity,
+                change.after.similarity);
+  }
+
+  const std::string current_path = "siblings_current.csv";
+  if (core::write_sibling_list(current_path, current)) {
+    std::printf("\npublished %s (%zu pairs)\n", current_path.c_str(), current.size());
+  }
+  std::printf("subscribers apply the %zu added and %zu removed pairs to their ACLs;\n"
+              "unchanged pairs (%zu, %.1f%%) need no action.\n",
+              diff.added.size(), diff.removed.size(), diff.unchanged.size(),
+              100.0 * static_cast<double>(diff.unchanged.size()) /
+                  static_cast<double>(current.size()));
+  return 0;
+}

@@ -1,0 +1,139 @@
+// sp_pipeline — the whole system as one command-line tool.
+//
+// Consumes the two files a real deployment would feed it:
+//   * an MRT TABLE_DUMP_V2 RIB dump (Routeviews format), and
+//   * a resolution-snapshot CSV (see io/snapshot_csv.h),
+// runs detection + SP-Tuner and writes the sibling-prefix list CSV.
+//
+// Usage:
+//   sp_pipeline <rib.mrt> <snapshot.csv> <out.csv> [v4_threshold v6_threshold]
+//   sp_pipeline --demo                # generate inputs, then run on them
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/detect.h"
+#include "core/sibling_list_io.h"
+#include "core/sptuner.h"
+#include "dns/zonefile.h"
+#include "io/snapshot_csv.h"
+#include "mrt/file.h"
+#include "synth/universe.h"
+
+#include <unordered_set>
+
+using namespace sp;
+
+namespace {
+
+int run(const std::string& mrt_path, const std::string& snapshot_path,
+        const std::string& out_path, unsigned v4_threshold, unsigned v6_threshold) {
+  std::string error;
+  const auto records = mrt::read_file(mrt_path, &error);
+  if (!records) {
+    std::fprintf(stderr, "error: cannot read %s: %s\n", mrt_path.c_str(), error.c_str());
+    return 1;
+  }
+  const auto rib = bgp::Rib::from_mrt(*records);
+  std::printf("RIB: %zu prefixes from %zu MRT records\n", rib.prefix_count(),
+              records->size());
+
+  // Input flexibility: a ".zone" master file is resolved into a snapshot
+  // (every owner name queried through the zone's CNAME chains); anything
+  // else is read as a snapshot CSV.
+  std::optional<dns::ResolutionSnapshot> snapshot;
+  if (snapshot_path.ends_with(".zone")) {
+    dns::ZoneDatabase zones;
+    const auto parsed = dns::parse_zone_file(snapshot_path, zones);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", snapshot_path.c_str(),
+                   parsed.error->line, parsed.error->message.c_str());
+      return 1;
+    }
+    std::unordered_set<dns::DomainName> owners;
+    zones.visit_records([&owners](const dns::ResourceRecord& record) {
+      if (record.type == dns::RecordType::A || record.type == dns::RecordType::AAAA ||
+          record.type == dns::RecordType::CNAME) {
+        owners.insert(record.name);
+      }
+    });
+    const std::vector<dns::DomainName> queries(owners.begin(), owners.end());
+    snapshot = dns::ResolutionSnapshot::resolve_all(zones, queries, Date{2024, 9, 11});
+    std::printf("zone %s: %zu records -> %zu resolvable names\n", snapshot_path.c_str(),
+                parsed.records_added, snapshot->domain_count());
+  } else {
+    snapshot = io::read_snapshot_csv(snapshot_path);
+  }
+  if (!snapshot) {
+    std::fprintf(stderr, "error: cannot parse snapshot %s\n", snapshot_path.c_str());
+    return 1;
+  }
+  std::printf("snapshot %s: %zu domains, %zu dual-stack\n",
+              snapshot->date().to_string().c_str(), snapshot->domain_count(),
+              snapshot->dual_stack_count());
+
+  const auto corpus = core::DualStackCorpus::build(*snapshot, rib);
+  std::printf("corpus: %zu DS identities on %zu v4 / %zu v6 prefixes"
+              " (%zu reserved addresses discarded, %zu unmapped)\n",
+              corpus.ds_domain_count(), corpus.stats().v4_prefixes,
+              corpus.stats().v6_prefixes, corpus.stats().discarded_reserved,
+              corpus.stats().unmapped_addresses);
+
+  auto pairs = core::detect_sibling_prefixes(corpus);
+  std::printf("detected %zu sibling pairs (BGP-announced sizes)\n", pairs.size());
+
+  if (v4_threshold != 0) {
+    const core::SpTunerMs tuner(corpus,
+                                {.v4_threshold = v4_threshold, .v6_threshold = v6_threshold});
+    auto result = tuner.tune_all(pairs);
+    std::printf("SP-Tuner(/%u,/%u): %zu pairs, %zu inputs refined\n", v4_threshold,
+                v6_threshold, result.pairs.size(), result.changed_count);
+    pairs = std::move(result.pairs);
+  }
+
+  if (!core::write_sibling_list(out_path, pairs)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu pairs to %s\n", pairs.size(), out_path.c_str());
+  return 0;
+}
+
+int demo() {
+  std::printf("--demo: generating synthetic inputs\n");
+  synth::SynthConfig config;
+  config.organization_count = 500;
+  config.months = 2;
+  const synth::SyntheticInternet universe(config);
+  if (!mrt::write_file("demo_rib.mrt", universe.mrt_dump())) return 1;
+  if (!io::write_snapshot_csv("demo_snapshot.csv",
+                              universe.snapshot_at(universe.month_count() - 1))) {
+    return 1;
+  }
+  std::printf("wrote demo_rib.mrt and demo_snapshot.csv\n\n");
+  return run("demo_rib.mrt", "demo_snapshot.csv", "demo_siblings.csv", 28, 96);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--demo") return demo();
+  if (argc != 4 && argc != 6) {
+    std::fprintf(stderr,
+                 "usage: %s <rib.mrt> <snapshot.csv|zonefile.zone> <out.csv> [v4_thresh v6_thresh]\n"
+                 "       %s --demo\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  unsigned v4_threshold = 0;
+  unsigned v6_threshold = 0;
+  if (argc == 6) {
+    v4_threshold = static_cast<unsigned>(std::strtoul(argv[4], nullptr, 10));
+    v6_threshold = static_cast<unsigned>(std::strtoul(argv[5], nullptr, 10));
+    if (v4_threshold == 0 || v4_threshold > 32 || v6_threshold == 0 || v6_threshold > 128) {
+      std::fprintf(stderr, "error: thresholds must be 1-32 (v4) and 1-128 (v6)\n");
+      return 2;
+    }
+  }
+  return run(argv[1], argv[2], argv[3], v4_threshold, v6_threshold);
+}

@@ -1,0 +1,155 @@
+#include "alias/ipid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sp::alias {
+
+namespace {
+
+constexpr double kWrap = 65536.0;
+
+/// Wrap-corrects a time-sorted sample sequence into an unbounded counter
+/// track: whenever the raw ID steps backwards, one wrap is added.
+std::vector<double> unwrap(std::span<const IpIdSample> samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  double offset = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0 && samples[i].ip_id < samples[i - 1].ip_id) offset += kWrap;
+    out.push_back(offset + samples[i].ip_id);
+  }
+  return out;
+}
+
+/// Least-squares slope of (time, value) pairs.
+double slope(std::span<const IpIdSample> samples, std::span<const double> values) {
+  const double n = static_cast<double>(samples.size());
+  double mean_t = 0.0;
+  double mean_v = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    mean_t += samples[i].time_s;
+    mean_v += values[i];
+  }
+  mean_t /= n;
+  mean_v /= n;
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double dt = samples[i].time_s - mean_t;
+    num += dt * (values[i] - mean_v);
+    den += dt * dt;
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+}  // namespace
+
+double estimated_velocity(std::span<const IpIdSample> samples) {
+  if (samples.size() < 2) return 0.0;
+  const auto values = unwrap(samples);
+  return slope(samples, values);
+}
+
+bool monotonic_compatible(std::span<const IpIdSample> a, std::span<const IpIdSample> b,
+                          const MbtConfig& config) {
+  if (a.size() < 2 || b.size() < 2) return false;
+
+  const double velocity_a = estimated_velocity(a);
+  const double velocity_b = estimated_velocity(b);
+  if (velocity_a <= 0.0 || velocity_b <= 0.0) return false;
+  if (velocity_a > config.max_velocity || velocity_b > config.max_velocity) return false;
+  const double ratio = std::abs(velocity_a - velocity_b) / std::max(velocity_a, velocity_b);
+  if (ratio > config.velocity_tolerance) return false;
+
+  // Merge by time and check the shared-counter hypothesis: wrap-correct
+  // the merged stream against the expected velocity and require it to be
+  // (near-)monotone.
+  std::vector<IpIdSample> merged(a.begin(), a.end());
+  merged.insert(merged.end(), b.begin(), b.end());
+  std::sort(merged.begin(), merged.end(),
+            [](const IpIdSample& x, const IpIdSample& y) { return x.time_s < y.time_s; });
+
+  const double velocity = (velocity_a + velocity_b) / 2.0;
+  double offset = 0.0;
+  double previous = merged.front().ip_id;
+  double previous_time = merged.front().time_s;
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const double dt = merged[i].time_s - previous_time;
+    double value = offset + merged[i].ip_id;
+    // Allow as many wraps as the expected velocity implies for this gap.
+    const double expected = previous + velocity * dt;
+    while (value + kWrap / 2.0 < expected) {
+      offset += kWrap;
+      value += kWrap;
+    }
+    if (value + config.slack_ids < previous) return false;  // went backwards
+    if (value > expected + kWrap / 2.0 + config.slack_ids) return false;  // jumped ahead
+    previous = value;
+    previous_time = merged[i].time_s;
+  }
+  return true;
+}
+
+std::vector<std::vector<IPAddress>> resolve_aliases(const ProbeData& probes,
+                                                    const MbtConfig& config) {
+  // Deterministic address order.
+  std::vector<IPAddress> addresses;
+  addresses.reserve(probes.size());
+  for (const auto& [address, samples] : probes) addresses.push_back(address);
+  std::sort(addresses.begin(), addresses.end());
+
+  // Pre-sort each address's samples and cache velocities.
+  std::unordered_map<IPAddress, std::vector<IpIdSample>> sorted;
+  std::unordered_map<IPAddress, double> velocity;
+  for (const auto& address : addresses) {
+    auto samples = probes.at(address);
+    std::sort(samples.begin(), samples.end(),
+              [](const IpIdSample& x, const IpIdSample& y) { return x.time_s < y.time_s; });
+    velocity[address] = estimated_velocity(samples);
+    sorted[address] = std::move(samples);
+  }
+
+  // Union-find over compatible pairs.
+  std::vector<std::size_t> parent(addresses.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    for (std::size_t j = i + 1; j < addresses.size(); ++j) {
+      if (find(i) == find(j)) continue;
+      // Velocity pre-filter avoids the expensive merge for obvious
+      // non-aliases (the MIDAR "estimation stage").
+      const double vi = velocity[addresses[i]];
+      const double vj = velocity[addresses[j]];
+      if (vi <= 0.0 || vj <= 0.0) continue;
+      if (std::abs(vi - vj) / std::max(vi, vj) > config.velocity_tolerance) continue;
+      if (monotonic_compatible(sorted[addresses[i]], sorted[addresses[j]], config)) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+
+  std::unordered_map<std::size_t, std::vector<IPAddress>> groups;
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    groups[find(i)].push_back(addresses[i]);
+  }
+  std::vector<std::vector<IPAddress>> out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) {
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& x, const auto& y) { return x.front() < y.front(); });
+  return out;
+}
+
+}  // namespace sp::alias

@@ -1,0 +1,62 @@
+// IP-ID-based alias resolution (the MIDAR technique of Keys et al.,
+// ToN 2012), as the paper's section 6 alternative input: "alias datasets"
+// map prefixes to shared-device identifiers, and the sibling methodology
+// applies unchanged.
+//
+// Model: many routers maintain one global IP-ID counter shared by all
+// interfaces. Sampling the counter through two addresses and merging the
+// samples by time must yield a monotonically increasing sequence (modulo
+// 16-bit wraparound) if — and, at sufficient sample density, only if —
+// the addresses sit on one device. resolve_aliases() applies a velocity
+// pre-filter and the monotonic-bounds test pairwise, then unions
+// compatible addresses into alias sets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/ip.h"
+
+namespace sp::alias {
+
+/// One probe response: the time it was received and the IP-ID it carried.
+struct IpIdSample {
+  double time_s = 0.0;
+  std::uint16_t ip_id = 0;
+};
+
+/// Counter velocity in IDs/second, estimated by a least-squares fit over
+/// the wrap-corrected sample sequence. Requires samples sorted by time;
+/// returns 0 for fewer than two samples.
+[[nodiscard]] double estimated_velocity(std::span<const IpIdSample> samples);
+
+struct MbtConfig {
+  /// Maximum plausible counter velocity (IDs/second). Sequences faster
+  /// than this wrap between samples and cannot be tested reliably.
+  double max_velocity = 10000.0;
+  /// Velocity pre-filter: candidate pairs must agree within this ratio.
+  double velocity_tolerance = 0.25;
+  /// Slack for the monotonic-bounds test, in IDs, absorbing in-flight
+  /// reordering and counter jitter.
+  double slack_ids = 64.0;
+};
+
+/// The monotonic-bounds test: true when the time-merged, wrap-corrected
+/// sample streams of the two addresses are consistent with one shared
+/// counter. Both inputs must be sorted by time.
+[[nodiscard]] bool monotonic_compatible(std::span<const IpIdSample> a,
+                                        std::span<const IpIdSample> b,
+                                        const MbtConfig& config = {});
+
+/// Probe observations per address.
+using ProbeData = std::unordered_map<IPAddress, std::vector<IpIdSample>>;
+
+/// Groups addresses into alias sets (size >= 1; singletons are addresses
+/// with no compatible partner). Output sets are sorted internally and
+/// ordered by their first address.
+[[nodiscard]] std::vector<std::vector<IPAddress>> resolve_aliases(
+    const ProbeData& probes, const MbtConfig& config = {});
+
+}  // namespace sp::alias

@@ -1,0 +1,122 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sp::analysis {
+
+Summary summarize(std::span<const double> samples) {
+  Summary summary;
+  summary.count = samples.size();
+  if (samples.empty()) return summary;
+
+  double sum = 0.0;
+  summary.min = samples.front();
+  summary.max = samples.front();
+  for (const double x : samples) {
+    sum += x;
+    summary.min = std::min(summary.min, x);
+    summary.max = std::max(summary.max, x);
+  }
+  summary.mean = sum / static_cast<double>(samples.size());
+
+  double sq = 0.0;
+  for (const double x : samples) {
+    const double d = x - summary.mean;
+    sq += d * d;
+  }
+  summary.stddev = std::sqrt(sq / static_cast<double>(samples.size()));
+  return summary;
+}
+
+double median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
+                   samples.end());
+  const double upper = samples[mid];
+  if (samples.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lower + upper) / 2.0;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double n = static_cast<double>(x.size());
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double covariance = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    covariance += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x == 0.0 || var_y == 0.0) return 0.0;
+  return covariance / std::sqrt(var_x * var_y);
+}
+
+namespace {
+
+// Fractional ranks with ties averaged.
+std::vector<double> ranks_of(std::span<const double> values) {
+  std::vector<std::size_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&values](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(values.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && values[order[j + 1]] == values[order[i]]) ++j;
+    const double average_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = average_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const auto rx = ranks_of(x);
+  const auto ry = ranks_of(y);
+  return pearson(rx, ry);
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fraction_at_most(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Cdf::fraction_at_least(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(sorted_.end() - it) / static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto index = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted_.size())));
+  return sorted_[index == 0 ? 0 : std::min(index - 1, sorted_.size() - 1)];
+}
+
+}  // namespace sp::analysis

@@ -1,0 +1,55 @@
+// Summary statistics and empirical CDFs used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sp::analysis {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Mean / population-stddev / extrema of a sample set.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Median (averaged middle pair for even sizes); 0 for an empty input.
+[[nodiscard]] double median(std::vector<double> samples);
+
+/// Pearson correlation coefficient of paired samples. Returns 0 when the
+/// inputs are empty, differently sized, or either side has zero variance.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson over fractional ranks, ties
+/// averaged). Same degenerate-input behaviour as pearson().
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+/// An empirical CDF over a fixed sample set.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  [[nodiscard]] double fraction_at_most(double x) const noexcept;
+
+  /// P(X >= x).
+  [[nodiscard]] double fraction_at_least(double x) const noexcept;
+
+  /// Smallest sample s with P(X <= s) >= q, clamped to the sample range.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace sp::analysis

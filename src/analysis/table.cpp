@@ -1,0 +1,106 @@
+#include "analysis/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sp::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  };
+  emit_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule;
+  out.push_back('\n');
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+Heatmap::Heatmap(std::vector<std::string> row_labels, std::vector<std::string> col_labels)
+    : row_labels_(std::move(row_labels)),
+      col_labels_(std::move(col_labels)),
+      cells_(row_labels_.size() * col_labels_.size(), 0.0) {}
+
+double& Heatmap::at(std::size_t row, std::size_t col) {
+  if (row >= rows() || col >= cols()) throw std::out_of_range("Heatmap::at");
+  return cells_[row * cols() + col];
+}
+
+double Heatmap::at(std::size_t row, std::size_t col) const {
+  if (row >= rows() || col >= cols()) throw std::out_of_range("Heatmap::at");
+  return cells_[row * cols() + col];
+}
+
+double Heatmap::total() const noexcept {
+  double sum = 0.0;
+  for (const double v : cells_) sum += v;
+  return sum;
+}
+
+void Heatmap::normalize_to_percent() {
+  const double sum = total();
+  if (sum == 0.0) return;
+  for (double& v : cells_) v = v / sum * 100.0;
+}
+
+void Heatmap::normalize_rows_to_percent() {
+  for (std::size_t r = 0; r < rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols(); ++c) sum += at(r, c);
+    if (sum == 0.0) continue;
+    for (std::size_t c = 0; c < cols(); ++c) at(r, c) = at(r, c) / sum * 100.0;
+  }
+}
+
+std::string Heatmap::render(int digits) const {
+  TextTable table([this] {
+    std::vector<std::string> headers{""};
+    headers.insert(headers.end(), col_labels_.begin(), col_labels_.end());
+    return headers;
+  }());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    std::vector<std::string> row{row_labels_[r]};
+    for (std::size_t c = 0; c < cols(); ++c) row.push_back(format_fixed(at(r, c), digits));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string format_fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+std::string format_percent(double fraction, int digits) {
+  return format_fixed(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace sp::analysis

@@ -1,0 +1,64 @@
+// Plain-text tables and labeled heatmap grids for experiment output.
+//
+// The benches regenerate the paper's figures as text: CDF series become
+// tables, heatmap figures become labeled grids with one value per cell.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sp::analysis {
+
+/// Fixed-width text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with aligned columns, a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A labeled 2-D grid of doubles (row-major).
+class Heatmap {
+ public:
+  Heatmap(std::vector<std::string> row_labels, std::vector<std::string> col_labels);
+
+  [[nodiscard]] double& at(std::size_t row, std::size_t col);
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return row_labels_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return col_labels_.size(); }
+
+  [[nodiscard]] double total() const noexcept;
+
+  /// Scales all cells so they sum to 100.
+  void normalize_to_percent();
+
+  /// Scales each row so it sums to 100 (rows with zero sum stay zero).
+  void normalize_rows_to_percent();
+
+  /// Renders as a grid; `digits` controls cell precision.
+  [[nodiscard]] std::string render(int digits = 1) const;
+
+ private:
+  std::vector<std::string> row_labels_;
+  std::vector<std::string> col_labels_;
+  std::vector<double> cells_;
+};
+
+/// Formats a double with fixed precision ("0.52" for format_fixed(0.52, 2)).
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+/// Formats a fraction as a percentage string ("51.8%").
+[[nodiscard]] std::string format_percent(double fraction, int digits = 1);
+
+}  // namespace sp::analysis

@@ -1,0 +1,49 @@
+#include "asinfo/as_org.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sp::asinfo {
+
+void AsOrgDatabase::set_org(std::uint32_t asn, std::string org_name) {
+  const auto existing = org_by_as_.find(asn);
+  if (existing != org_by_as_.end()) {
+    if (existing->second == org_name) return;
+    auto& old_members = ases_by_org_[existing->second];
+    old_members.erase(std::remove(old_members.begin(), old_members.end(), asn),
+                      old_members.end());
+    if (old_members.empty()) ases_by_org_.erase(existing->second);
+  }
+  ases_by_org_[org_name].push_back(asn);
+  org_by_as_[asn] = std::move(org_name);
+}
+
+void AsOrgDatabase::visit(
+    const std::function<void(std::uint32_t, const std::string&)>& fn) const {
+  std::vector<std::uint32_t> asns;
+  asns.reserve(org_by_as_.size());
+  for (const auto& [asn, org] : org_by_as_) asns.push_back(asn);
+  std::sort(asns.begin(), asns.end());
+  for (const std::uint32_t asn : asns) fn(asn, org_by_as_.at(asn));
+}
+
+const std::string* AsOrgDatabase::org_name(std::uint32_t asn) const noexcept {
+  const auto it = org_by_as_.find(asn);
+  return it == org_by_as_.end() ? nullptr : &it->second;
+}
+
+bool AsOrgDatabase::same_org(std::uint32_t a, std::uint32_t b) const noexcept {
+  if (a == b) return true;
+  const std::string* org_a = org_name(a);
+  const std::string* org_b = org_name(b);
+  return org_a != nullptr && org_b != nullptr && *org_a == *org_b;
+}
+
+std::vector<std::uint32_t> AsOrgDatabase::sibling_ases(std::uint32_t asn) const {
+  const std::string* org = org_name(asn);
+  if (org == nullptr) return {};
+  const auto it = ases_by_org_.find(*org);
+  return it == ases_by_org_.end() ? std::vector<std::uint32_t>{} : it->second;
+}
+
+}  // namespace sp::asinfo

@@ -1,0 +1,45 @@
+// AS-to-organization mapping (the CAIDA AS2Org / Chen et al. role).
+//
+// Organizations may own several ASes ("sibling ASes"), including distinct
+// ASes for their IPv4 and IPv6 deployments — the property the paper's
+// same-organization analysis (section 4.5) relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sp::asinfo {
+
+class AsOrgDatabase {
+ public:
+  /// Registers (or overwrites) the organization name of an AS.
+  void set_org(std::uint32_t asn, std::string org_name);
+
+  /// Organization name of an AS, or nullptr when unknown.
+  [[nodiscard]] const std::string* org_name(std::uint32_t asn) const noexcept;
+
+  /// True when both ASes are known and registered to the same organization
+  /// name (AS equality alone also counts as the same organization).
+  [[nodiscard]] bool same_org(std::uint32_t a, std::uint32_t b) const noexcept;
+
+  /// All ASes registered to the same organization as `asn` (including
+  /// `asn` itself); empty when the AS is unknown.
+  [[nodiscard]] std::vector<std::uint32_t> sibling_ases(std::uint32_t asn) const;
+
+  [[nodiscard]] std::size_t as_count() const noexcept { return org_by_as_.size(); }
+  [[nodiscard]] std::size_t org_count() const noexcept { return ases_by_org_.size(); }
+
+  /// Visits every (asn, org name) mapping in ascending ASN order.
+  void visit(const std::function<void(std::uint32_t, const std::string&)>& fn) const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::string> org_by_as_;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> ases_by_org_;
+};
+
+}  // namespace sp::asinfo

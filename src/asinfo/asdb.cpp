@@ -1,0 +1,60 @@
+#include "asinfo/asdb.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sp::asinfo {
+
+namespace {
+const std::vector<BusinessType> kNoCategories;
+}  // namespace
+
+std::string_view business_type_name(BusinessType type) noexcept {
+  switch (type) {
+    case BusinessType::ComputerIT: return "Computer and IT";
+    case BusinessType::Media: return "Media, Publishing, and Broadcasting";
+    case BusinessType::Finance: return "Finance and Insurance";
+    case BusinessType::Education: return "Education and Research";
+    case BusinessType::ServiceBusiness: return "Service";
+    case BusinessType::Nonprofit: return "Community Groups and Nonprofits";
+    case BusinessType::ConstructionRealEstate: return "Construction and Real Estate";
+    case BusinessType::Entertainment: return "Museums, Libraries, and Entertainment";
+    case BusinessType::Utilities: return "Utilities";
+    case BusinessType::HealthCare: return "Health Care Services";
+    case BusinessType::Travel: return "Travel and Accommodation";
+    case BusinessType::Freight: return "Freight, Shipment, and Postal Services";
+    case BusinessType::Government: return "Government and Public Administration";
+    case BusinessType::Retail: return "Retail, Wholesale, and E-commerce";
+    case BusinessType::Manufacturing: return "Manufacturing";
+    case BusinessType::Agriculture: return "Agriculture, Mining, and Refineries";
+    case BusinessType::Other: return "Other";
+  }
+  return "?";
+}
+
+void AsdbDatabase::add_category(std::uint32_t asn, BusinessType type) {
+  auto& list = categories_[asn];
+  if (std::find(list.begin(), list.end(), type) == list.end()) list.push_back(type);
+}
+
+void AsdbDatabase::visit(
+    const std::function<void(std::uint32_t, const std::vector<BusinessType>&)>& fn) const {
+  std::vector<std::uint32_t> asns;
+  asns.reserve(categories_.size());
+  for (const auto& [asn, list] : categories_) asns.push_back(asn);
+  std::sort(asns.begin(), asns.end());
+  for (const std::uint32_t asn : asns) fn(asn, categories_.at(asn));
+}
+
+const std::vector<BusinessType>& AsdbDatabase::categories(std::uint32_t asn) const noexcept {
+  const auto it = categories_.find(asn);
+  return it == categories_.end() ? kNoCategories : it->second;
+}
+
+std::optional<BusinessType> AsdbDatabase::single_category(std::uint32_t asn) const noexcept {
+  const auto& list = categories(asn);
+  if (list.size() != 1) return std::nullopt;
+  return list.front();
+}
+
+}  // namespace sp::asinfo

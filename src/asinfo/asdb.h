@@ -1,0 +1,64 @@
+// ASdb business-type classification (Ziv et al., IMC 2021).
+//
+// ASdb tags every AS with one or more of 17 business categories; the
+// paper's section 4.6 heatmaps use the ~80% of ASes carrying exactly one
+// category.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sp::asinfo {
+
+/// The 17 ASdb top-level categories.
+enum class BusinessType : std::uint8_t {
+  ComputerIT = 0,
+  Media,
+  Finance,
+  Education,
+  ServiceBusiness,
+  Nonprofit,
+  ConstructionRealEstate,
+  Entertainment,
+  Utilities,
+  HealthCare,
+  Travel,
+  Freight,
+  Government,
+  Retail,
+  Manufacturing,
+  Agriculture,
+  Other,
+};
+
+inline constexpr int kBusinessTypeCount = 17;
+
+[[nodiscard]] std::string_view business_type_name(BusinessType type) noexcept;
+
+class AsdbDatabase {
+ public:
+  /// Tags an AS with a category (duplicates are ignored).
+  void add_category(std::uint32_t asn, BusinessType type);
+
+  /// All categories of an AS (empty when unknown).
+  [[nodiscard]] const std::vector<BusinessType>& categories(std::uint32_t asn) const noexcept;
+
+  /// The category when the AS maps to exactly one; nullopt otherwise.
+  /// The paper's business-type analysis keeps only these ASes.
+  [[nodiscard]] std::optional<BusinessType> single_category(std::uint32_t asn) const noexcept;
+
+  [[nodiscard]] std::size_t as_count() const noexcept { return categories_.size(); }
+
+  /// Visits every (asn, categories) entry in ascending ASN order.
+  void visit(const std::function<void(std::uint32_t, const std::vector<BusinessType>&)>& fn)
+      const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::vector<BusinessType>> categories_;
+};
+
+}  // namespace sp::asinfo

@@ -1,0 +1,94 @@
+#include "asinfo/asinfo_csv.h"
+
+#include <charconv>
+
+#include "io/csv.h"
+
+namespace sp::asinfo {
+
+namespace {
+
+const io::CsvRow kAs2OrgHeader = {"asn", "org_name"};
+const io::CsvRow kAsdbHeaderPrefix = {"asn"};  // followed by category columns
+
+std::optional<std::uint32_t> parse_asn(std::string_view text) {
+  if (text.starts_with("AS") || text.starts_with("as")) text.remove_prefix(2);
+  std::uint32_t asn = 0;
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), asn);
+  if (result.ec != std::errc{} || result.ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return asn;
+}
+
+}  // namespace
+
+std::optional<BusinessType> business_type_from_string(std::string_view name) {
+  for (int i = 0; i < kBusinessTypeCount; ++i) {
+    const auto type = static_cast<BusinessType>(i);
+    if (business_type_name(type) == name) return type;
+  }
+  return std::nullopt;
+}
+
+bool write_as2org_csv(const std::string& path, const AsOrgDatabase& db) {
+  std::vector<io::CsvRow> rows;
+  rows.reserve(db.as_count() + 1);
+  rows.push_back(kAs2OrgHeader);
+  db.visit([&rows](std::uint32_t asn, const std::string& org) {
+    rows.push_back({"AS" + std::to_string(asn), org});
+  });
+  return io::write_csv_file(path, rows);
+}
+
+std::optional<AsOrgDatabase> read_as2org_csv(const std::string& path) {
+  const auto rows = io::read_csv_file(path);
+  if (!rows || rows->empty() || rows->front() != kAs2OrgHeader) return std::nullopt;
+  AsOrgDatabase db;
+  for (std::size_t i = 1; i < rows->size(); ++i) {
+    const io::CsvRow& row = (*rows)[i];
+    if (row.size() != 2 || row[1].empty()) return std::nullopt;
+    const auto asn = parse_asn(row[0]);
+    if (!asn) return std::nullopt;
+    db.set_org(*asn, row[1]);
+  }
+  return db;
+}
+
+bool write_asdb_csv(const std::string& path, const AsdbDatabase& db) {
+  std::vector<io::CsvRow> rows;
+  rows.reserve(db.as_count() + 1);
+  rows.push_back(kAsdbHeaderPrefix);
+  rows.front().push_back("categories...");
+  db.visit([&rows](std::uint32_t asn, const std::vector<BusinessType>& categories) {
+    io::CsvRow row = {"AS" + std::to_string(asn)};
+    for (const BusinessType type : categories) {
+      row.push_back(std::string(business_type_name(type)));
+    }
+    rows.push_back(std::move(row));
+  });
+  return io::write_csv_file(path, rows);
+}
+
+std::optional<AsdbDatabase> read_asdb_csv(const std::string& path) {
+  const auto rows = io::read_csv_file(path);
+  if (!rows || rows->empty() || rows->front().empty() || rows->front()[0] != "asn") {
+    return std::nullopt;
+  }
+  AsdbDatabase db;
+  for (std::size_t i = 1; i < rows->size(); ++i) {
+    const io::CsvRow& row = (*rows)[i];
+    if (row.size() < 2) return std::nullopt;
+    const auto asn = parse_asn(row[0]);
+    if (!asn) return std::nullopt;
+    for (std::size_t column = 1; column < row.size(); ++column) {
+      if (row[column].empty()) continue;  // tolerate ragged exports
+      const auto type = business_type_from_string(row[column]);
+      if (!type) return std::nullopt;
+      db.add_category(*asn, *type);
+    }
+  }
+  return db;
+}
+
+}  // namespace sp::asinfo

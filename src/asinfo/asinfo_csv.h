@@ -1,0 +1,27 @@
+// CSV interchange for the AS metadata databases, so real datasets (CAIDA
+// AS2Org / Chen et al. sibling ASes, Stanford ASdb) can be loaded after
+// a one-line conversion from their native formats.
+//
+// as2org layout:   asn,org_name            (e.g. "AS15169,Google LLC")
+// asdb layout:     asn,category[,category...]   (ASdb top-level names)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "asinfo/as_org.h"
+#include "asinfo/asdb.h"
+
+namespace sp::asinfo {
+
+/// The ASdb category for its canonical name; nullopt for unknown names.
+[[nodiscard]] std::optional<BusinessType> business_type_from_string(std::string_view name);
+
+[[nodiscard]] bool write_as2org_csv(const std::string& path, const AsOrgDatabase& db);
+[[nodiscard]] std::optional<AsOrgDatabase> read_as2org_csv(const std::string& path);
+
+[[nodiscard]] bool write_asdb_csv(const std::string& path, const AsdbDatabase& db);
+[[nodiscard]] std::optional<AsdbDatabase> read_asdb_csv(const std::string& path);
+
+}  // namespace sp::asinfo

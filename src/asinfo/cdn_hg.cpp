@@ -1,0 +1,94 @@
+#include "asinfo/cdn_hg.h"
+
+#include <algorithm>
+
+namespace sp::asinfo {
+
+void CdnHgCatalog::add(std::string org_name, OrgProfile profile) {
+  profiles_[std::move(org_name)] = profile;
+}
+
+const OrgProfile* CdnHgCatalog::profile(const std::string& org_name) const noexcept {
+  const auto it = profiles_.find(org_name);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+bool CdnHgCatalog::is_hypergiant(const std::string& org_name) const noexcept {
+  const OrgProfile* p = profile(org_name);
+  return p != nullptr && p->hypergiant;
+}
+
+bool CdnHgCatalog::is_cdn(const std::string& org_name) const noexcept {
+  const OrgProfile* p = profile(org_name);
+  return p != nullptr && p->cdn;
+}
+
+bool CdnHgCatalog::is_cdn_or_hg(const std::string& org_name) const noexcept {
+  const OrgProfile* p = profile(org_name);
+  return p != nullptr && (p->cdn || p->hypergiant);
+}
+
+std::vector<std::string> CdnHgCatalog::org_names() const {
+  std::vector<std::string> names;
+  names.reserve(profiles_.size());
+  for (const auto& [name, profile] : profiles_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+CdnHgCatalog CdnHgCatalog::paper_catalog() {
+  CdnHgCatalog catalog;
+  // Pair weights follow the paper's Figure 17 sibling pair counts.
+  // address_agility reflects CDNs that decouple names from addresses.
+  catalog.add("Amazon", {.hypergiant = true, .cdn = true, .pair_weight = 4564,
+                         .address_agility = 0.05});
+  catalog.add("Microsoft", {.hypergiant = true, .cdn = false, .pair_weight = 1125,
+                            .address_agility = 0.05});
+  catalog.add("Akamai", {.hypergiant = true, .cdn = true, .pair_weight = 1056,
+                         .address_agility = 0.45});
+  catalog.add("Google", {.hypergiant = true, .cdn = false, .pair_weight = 1046,
+                         .address_agility = 0.08});
+  catalog.add("Alibaba", {.hypergiant = true, .cdn = true, .pair_weight = 403,
+                          .address_agility = 0.10});
+  catalog.add("Cloudflare", {.hypergiant = true, .cdn = true, .pair_weight = 364,
+                             .address_agility = 0.55});
+  catalog.add("Facebook", {.hypergiant = true, .cdn = false, .pair_weight = 349,
+                           .address_agility = 0.02});
+  catalog.add("GoDaddy", {.hypergiant = false, .cdn = true, .pair_weight = 236,
+                          .address_agility = 0.05});
+  catalog.add("Apple", {.hypergiant = true, .cdn = false, .pair_weight = 200,
+                        .address_agility = 0.08});
+  catalog.add("Incapsula", {.hypergiant = false, .cdn = true, .pair_weight = 172,
+                            .address_agility = 0.20});
+  catalog.add("Leaseweb", {.hypergiant = false, .cdn = true, .pair_weight = 148,
+                           .address_agility = 0.10});
+  catalog.add("CDN77", {.hypergiant = false, .cdn = true, .pair_weight = 105,
+                        .address_agility = 0.15});
+  catalog.add("Edgecast", {.hypergiant = false, .cdn = true, .pair_weight = 75,
+                           .address_agility = 0.15});
+  catalog.add("Fastly", {.hypergiant = false, .cdn = true, .pair_weight = 70,
+                         .address_agility = 0.25});
+  catalog.add("Rackspace", {.hypergiant = false, .cdn = true, .pair_weight = 56,
+                            .address_agility = 0.10});
+  catalog.add("KPN", {.hypergiant = false, .cdn = true, .pair_weight = 47,
+                      .address_agility = 0.05});
+  catalog.add("Yahoo", {.hypergiant = true, .cdn = false, .pair_weight = 24,
+                        .address_agility = 0.05});
+  catalog.add("Telenor", {.hypergiant = false, .cdn = true, .pair_weight = 16,
+                          .address_agility = 0.05});
+  catalog.add("Netflix", {.hypergiant = true, .cdn = false, .pair_weight = 14,
+                          .address_agility = 0.05});
+  catalog.add("NTT", {.hypergiant = false, .cdn = true, .pair_weight = 11,
+                      .address_agility = 0.05});
+  catalog.add("Telstra", {.hypergiant = false, .cdn = true, .pair_weight = 6,
+                          .address_agility = 0.05});
+  catalog.add("Lumen", {.hypergiant = true, .cdn = false, .pair_weight = 3,
+                        .address_agility = 0.05});
+  catalog.add("Telin", {.hypergiant = false, .cdn = true, .pair_weight = 2,
+                        .address_agility = 0.05});
+  catalog.add("Twitter", {.hypergiant = true, .cdn = false, .pair_weight = 2,
+                          .address_agility = 0.05});
+  return catalog;
+}
+
+}  // namespace sp::asinfo

@@ -1,0 +1,69 @@
+#include "bgp/rib.h"
+
+namespace sp::bgp {
+
+void Rib::add_route(const Prefix& prefix, std::uint32_t origin_as, std::uint32_t weight) {
+  trie_[prefix].add(origin_as, weight);
+}
+
+Rib Rib::from_mrt(std::span<const mrt::MrtRecord> records) {
+  Rib rib;
+  for (const auto& record : records) {
+    const auto* rib_record = std::get_if<mrt::RibRecord>(&record.body);
+    if (rib_record == nullptr) continue;  // PEER_INDEX_TABLE
+    for (const auto& entry : rib_record->entries) {
+      if (const auto origin = entry.attributes.origin_as()) {
+        rib.add_route(rib_record->prefix, *origin);
+      }
+    }
+  }
+  return rib;
+}
+
+std::optional<std::uint32_t> Rib::origin_as(const Prefix& prefix) const {
+  const RouteVotes* votes = trie_.find(prefix);
+  if (votes == nullptr) return std::nullopt;
+  return votes->best();
+}
+
+std::optional<Rib::Lookup> Rib::lookup(const IPAddress& address) const {
+  const auto hit = trie_.longest_match(address);
+  if (!hit) return std::nullopt;
+  return Lookup{hit->first, hit->second->best()};
+}
+
+std::optional<Rib::Lookup> Rib::lookup(const Prefix& prefix) const {
+  const auto hit = trie_.longest_match(prefix);
+  if (!hit) return std::nullopt;
+  return Lookup{hit->first, hit->second->best()};
+}
+
+bool Rib::withdraw(const Prefix& prefix) { return trie_.erase(prefix); }
+
+void Rib::apply_updates(std::span<const mrt::MrtRecord> records) {
+  for (const auto& record : records) {
+    const auto* update = std::get_if<mrt::Bgp4mpUpdate>(&record.body);
+    if (update == nullptr) continue;
+    for (const Prefix& prefix : update->withdrawn) {
+      (void)withdraw(prefix);
+    }
+    const auto origin = update->attributes.origin_as();
+    if (!origin) continue;
+    for (const Prefix& prefix : update->announced) {
+      // An announcement replaces the previous state of the prefix.
+      RouteVotes votes;
+      votes.add(*origin);
+      trie_.insert(prefix, std::move(votes));
+    }
+  }
+}
+
+std::size_t Rib::moas_count() const {
+  std::size_t count = 0;
+  trie_.visit_all([&count](const Prefix&, const RouteVotes& votes) {
+    if (votes.is_moas()) ++count;
+  });
+  return count;
+}
+
+}  // namespace sp::bgp

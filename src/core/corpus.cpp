@@ -1,0 +1,109 @@
+#include "core/corpus.h"
+
+#include <algorithm>
+
+namespace sp::core {
+
+namespace {
+
+const std::vector<Prefix> kNoPrefixes;
+
+void sort_unique(std::vector<Prefix>& prefixes) {
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
+}
+
+}  // namespace
+
+DualStackCorpus DualStackCorpus::build(const dns::ResolutionSnapshot& snapshot,
+                                       const bgp::Rib& rib) {
+  DualStackCorpus corpus;
+  corpus.stats_.snapshot_domains = snapshot.domain_count();
+  std::unordered_map<Prefix, Prefix> host_owner;  // host prefix → announced prefix
+
+  for (const dns::DomainResolution& entry : snapshot.entries()) {
+    if (!entry.dual_stack()) continue;
+    // Identity is the response name: several queried names CNAME-ing to the
+    // same target collapse into one service.
+    const DomainId id = corpus.interner_.intern(entry.response_name);
+    if (corpus.v4_prefixes_by_domain_.size() < corpus.interner_.size()) {
+      corpus.v4_prefixes_by_domain_.resize(corpus.interner_.size());
+      corpus.v6_prefixes_by_domain_.resize(corpus.interner_.size());
+    }
+
+    const auto map_address = [&](const IPAddress& address, Family family) {
+      if (is_reserved(address)) {
+        ++corpus.stats_.discarded_reserved;
+        return;
+      }
+      const auto route = rib.lookup(address);
+      if (!route) {
+        ++corpus.stats_.unmapped_addresses;
+        return;
+      }
+      auto& prefix_domains =
+          family == Family::v4 ? corpus.v4_prefix_domains_ : corpus.v6_prefix_domains_;
+      insert_id(prefix_domains[route->prefix], id);
+      auto& by_domain = family == Family::v4 ? corpus.v4_prefixes_by_domain_
+                                             : corpus.v6_prefixes_by_domain_;
+      by_domain[id].push_back(route->prefix);
+      auto& hosts = family == Family::v4 ? corpus.v4_hosts_ : corpus.v6_hosts_;
+      insert_id(hosts[Prefix::host(address)], id);
+      host_owner[Prefix::host(address)] = route->prefix;
+    };
+
+    for (const IPv4Address& address : entry.v4) map_address(IPAddress(address), Family::v4);
+    for (const IPv6Address& address : entry.v6) map_address(IPAddress(address), Family::v6);
+  }
+
+  for (auto& prefixes : corpus.v4_prefixes_by_domain_) sort_unique(prefixes);
+  for (auto& prefixes : corpus.v6_prefixes_by_domain_) sort_unique(prefixes);
+
+  for (const auto& [host, announced] : host_owner) {
+    const auto& hosts = host.family() == Family::v4 ? corpus.v4_hosts_ : corpus.v6_hosts_;
+    const DomainSet* domains = hosts.find(host);
+    corpus.prefix_hosts_[announced].push_back(HostDomains{host, *domains});
+  }
+  for (auto& [announced, hosts] : corpus.prefix_hosts_) {
+    std::sort(hosts.begin(), hosts.end(),
+              [](const HostDomains& a, const HostDomains& b) { return a.host < b.host; });
+  }
+
+  corpus.stats_.dual_stack_domains = corpus.interner_.size();
+  corpus.stats_.v4_prefixes = corpus.v4_prefix_domains_.size();
+  corpus.stats_.v6_prefixes = corpus.v6_prefix_domains_.size();
+  return corpus;
+}
+
+const DomainSet* DualStackCorpus::domains_of(const Prefix& prefix) const noexcept {
+  const auto& map = prefix_domains(prefix.family());
+  const auto it = map.find(prefix);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+const std::vector<Prefix>& DualStackCorpus::prefixes_of(DomainId id,
+                                                        Family family) const noexcept {
+  const auto& by_domain =
+      family == Family::v4 ? v4_prefixes_by_domain_ : v6_prefixes_by_domain_;
+  if (id >= by_domain.size()) return kNoPrefixes;
+  return by_domain[id];
+}
+
+const std::vector<DualStackCorpus::HostDomains>& DualStackCorpus::hosts_of(
+    const Prefix& announced) const noexcept {
+  static const std::vector<HostDomains> kNoHosts;
+  const auto it = prefix_hosts_.find(announced);
+  return it == prefix_hosts_.end() ? kNoHosts : it->second;
+}
+
+DomainSet DualStackCorpus::domains_within(const Prefix& prefix) const {
+  DomainSet out;
+  host_trie(prefix.family())
+      .visit_covered(prefix, [&out](const Prefix&, const DomainSet& domains) {
+        out.insert(out.end(), domains.begin(), domains.end());
+      });
+  normalize(out);
+  return out;
+}
+
+}  // namespace sp::core

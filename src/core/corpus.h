@@ -1,0 +1,87 @@
+// The dual-stack corpus: steps 1-2 of the paper's methodology.
+//
+// Built from one DNS resolution snapshot plus a BGP RIB, the corpus
+// identifies dual-stack domains (step 1), maps every address to its
+// announced prefix (step 2), and exposes the prefix→domain-set and
+// domain→prefix-set indexes that detection (step 3-4) and SP-Tuner need.
+// Domains are identified by their *response* name (post-CNAME), and
+// reserved/private addresses are discarded, both per the paper.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "core/domain_set.h"
+#include "dns/snapshot.h"
+#include "trie/prefix_trie.h"
+
+namespace sp::core {
+
+class DualStackCorpus {
+ public:
+  /// Build statistics (the paper's data-cleaning footnotes).
+  struct Stats {
+    std::size_t snapshot_domains = 0;       // entries in the snapshot
+    std::size_t dual_stack_domains = 0;     // distinct DS response names
+    std::size_t discarded_reserved = 0;     // addresses dropped as reserved
+    std::size_t unmapped_addresses = 0;     // addresses with no covering prefix
+    std::size_t v4_prefixes = 0;
+    std::size_t v6_prefixes = 0;
+  };
+
+  [[nodiscard]] static DualStackCorpus build(const dns::ResolutionSnapshot& snapshot,
+                                             const bgp::Rib& rib);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const DomainInterner& interner() const noexcept { return interner_; }
+  [[nodiscard]] std::size_t ds_domain_count() const noexcept { return interner_.size(); }
+
+  /// All announced prefixes of one family that host at least one DS domain,
+  /// with their domain sets.
+  [[nodiscard]] const std::unordered_map<Prefix, DomainSet>& prefix_domains(
+      Family family) const noexcept {
+    return family == Family::v4 ? v4_prefix_domains_ : v6_prefix_domains_;
+  }
+
+  /// Domain set of one prefix; nullptr when the prefix hosts no DS domain.
+  [[nodiscard]] const DomainSet* domains_of(const Prefix& prefix) const noexcept;
+
+  /// Announced prefixes of `family` hosting domain `id` (sorted).
+  [[nodiscard]] const std::vector<Prefix>& prefixes_of(DomainId id,
+                                                       Family family) const noexcept;
+
+  /// Host-granularity index: /32 (or /128) host prefix → domains on that
+  /// address. SP-Tuner traverses these to evaluate sub-prefix candidates.
+  [[nodiscard]] const PrefixTrie<DomainSet>& host_trie(Family family) const noexcept {
+    return family == Family::v4 ? v4_hosts_ : v6_hosts_;
+  }
+
+  /// Union of the domain sets of all addresses inside `prefix`.
+  [[nodiscard]] DomainSet domains_within(const Prefix& prefix) const;
+
+  /// One populated host address inside an announced prefix.
+  struct HostDomains {
+    Prefix host;  // /32 or /128
+    DomainSet domains;
+  };
+
+  /// The populated hosts mapped to announced prefix `announced` (its
+  /// longest-match region, so hosts of nested more-specific announcements
+  /// are excluded). Empty for unknown prefixes.
+  [[nodiscard]] const std::vector<HostDomains>& hosts_of(const Prefix& announced) const noexcept;
+
+ private:
+  Stats stats_;
+  DomainInterner interner_;
+  std::unordered_map<Prefix, DomainSet> v4_prefix_domains_;
+  std::unordered_map<Prefix, DomainSet> v6_prefix_domains_;
+  std::vector<std::vector<Prefix>> v4_prefixes_by_domain_;
+  std::vector<std::vector<Prefix>> v6_prefixes_by_domain_;
+  PrefixTrie<DomainSet> v4_hosts_;
+  PrefixTrie<DomainSet> v6_hosts_;
+  std::unordered_map<Prefix, std::vector<HostDomains>> prefix_hosts_;
+};
+
+}  // namespace sp::core

@@ -1,0 +1,69 @@
+#include "core/detect.h"
+
+namespace sp::core {
+
+namespace {
+const std::vector<Prefix> kNoPrefixes;
+}  // namespace
+
+void SetCorpus::add(const Prefix& prefix, DomainId element) {
+  auto& sets = prefix.family() == Family::v4 ? v4_sets_ : v6_sets_;
+  sets[prefix].push_back(element);
+  auto& by_element =
+      prefix.family() == Family::v4 ? v4_prefixes_by_element_ : v6_prefixes_by_element_;
+  if (by_element.size() <= element) by_element.resize(element + 1);
+  by_element[element].push_back(prefix);
+}
+
+void SetCorpus::finalize() {
+  for (auto* sets : {&v4_sets_, &v6_sets_}) {
+    for (auto& [prefix, set] : *sets) normalize(set);
+  }
+  for (auto* by_element : {&v4_prefixes_by_element_, &v6_prefixes_by_element_}) {
+    for (auto& prefixes : *by_element) {
+      std::sort(prefixes.begin(), prefixes.end());
+      prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
+    }
+  }
+}
+
+const std::vector<Prefix>& SetCorpus::prefixes_of(DomainId element,
+                                                  Family family) const noexcept {
+  const auto& by_element =
+      family == Family::v4 ? v4_prefixes_by_element_ : v6_prefixes_by_element_;
+  if (element >= by_element.size()) return kNoPrefixes;
+  return by_element[element];
+}
+
+const DomainSet* SetCorpus::domains_of(const Prefix& prefix) const noexcept {
+  const auto& sets = prefix.family() == Family::v4 ? v4_sets_ : v6_sets_;
+  const auto it = sets.find(prefix);
+  return it == sets.end() ? nullptr : &it->second;
+}
+
+std::vector<SiblingPair> detect_sibling_prefixes(const DualStackCorpus& corpus,
+                                                 const DetectOptions& options) {
+  return detail::detect_over(corpus, options);
+}
+
+std::vector<SiblingPair> detect_sibling_prefixes(const SetCorpus& corpus,
+                                                 const DetectOptions& options) {
+  return detail::detect_over(corpus, options);
+}
+
+std::size_t unique_prefix_count(std::span<const SiblingPair> pairs, Family family) {
+  std::unordered_set<Prefix> seen;
+  for (const SiblingPair& pair : pairs) {
+    seen.insert(family == Family::v4 ? pair.v4 : pair.v6);
+  }
+  return seen.size();
+}
+
+std::vector<double> similarity_values(std::span<const SiblingPair> pairs) {
+  std::vector<double> values;
+  values.reserve(pairs.size());
+  for (const SiblingPair& pair : pairs) values.push_back(pair.similarity);
+  return values;
+}
+
+}  // namespace sp::core

@@ -1,0 +1,59 @@
+#include "core/groundtruth.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "trie/prefix_trie.h"
+
+namespace sp::core {
+
+GroundTruthReport evaluate_probes(std::span<const DualStackProbe> probes,
+                                  std::span<const SiblingPair> pairs) {
+  // Index pairs by prefix per family; values are pair indexes (sorted).
+  PrefixTrie<std::vector<std::uint32_t>> v4_index;
+  PrefixTrie<std::vector<std::uint32_t>> v6_index;
+  for (std::uint32_t i = 0; i < pairs.size(); ++i) {
+    v4_index[pairs[i].v4].push_back(i);
+    v6_index[pairs[i].v6].push_back(i);
+  }
+
+  // Pair ids whose prefix covers the address (any match along the path,
+  // since pair prefixes may nest).
+  const auto pair_ids_covering = [](const PrefixTrie<std::vector<std::uint32_t>>& index,
+                                    const IPAddress& address) {
+    std::vector<std::uint32_t> ids;
+    index.visit_ancestors(Prefix::host(address),
+                          [&ids](const Prefix&, const std::vector<std::uint32_t>& v) {
+                            ids.insert(ids.end(), v.begin(), v.end());
+                          });
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+
+  GroundTruthReport report;
+  report.total = probes.size();
+  for (const DualStackProbe& probe : probes) {
+    const auto v4_ids = pair_ids_covering(v4_index, probe.v4);
+    const auto v6_ids = pair_ids_covering(v6_index, probe.v6);
+    const bool v4_covered = !v4_ids.empty();
+    const bool v6_covered = !v6_ids.empty();
+    if (v4_covered && v6_covered) {
+      ++report.fully_covered;
+      std::vector<std::uint32_t> both;
+      std::set_intersection(v4_ids.begin(), v4_ids.end(), v6_ids.begin(), v6_ids.end(),
+                            std::back_inserter(both));
+      if (both.empty()) {
+        ++report.not_best_match;
+      } else {
+        ++report.best_match;
+      }
+    } else if (v4_covered || v6_covered) {
+      ++report.partially_covered;
+    } else {
+      ++report.uncovered;
+    }
+  }
+  return report;
+}
+
+}  // namespace sp::core

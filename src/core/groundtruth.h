@@ -1,0 +1,43 @@
+// Ground-truth evaluation against dual-stack vantage points (paper
+// section 3.5: RIPE Atlas probes and dual-stack VPSes).
+//
+// A probe is "fully covered" when both its IPv4 and IPv6 address fall
+// inside prefixes that appear in the sibling pair list, "partially
+// covered" when only one does. Among fully covered probes, a probe is a
+// "best match" when one single pair covers both of its addresses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/detect.h"
+
+namespace sp::core {
+
+struct DualStackProbe {
+  IPAddress v4;
+  IPAddress v6;
+};
+
+struct GroundTruthReport {
+  std::size_t total = 0;
+  std::size_t fully_covered = 0;
+  std::size_t partially_covered = 0;
+  std::size_t uncovered = 0;
+  std::size_t best_match = 0;      // fully covered, one pair covers both
+  std::size_t not_best_match = 0;  // fully covered, no single pair covers both
+
+  [[nodiscard]] double fully_covered_share() const noexcept {
+    return total == 0 ? 0.0 : static_cast<double>(fully_covered) / static_cast<double>(total);
+  }
+  [[nodiscard]] double best_match_share() const noexcept {
+    return fully_covered == 0
+               ? 0.0
+               : static_cast<double>(best_match) / static_cast<double>(fully_covered);
+  }
+};
+
+[[nodiscard]] GroundTruthReport evaluate_probes(std::span<const DualStackProbe> probes,
+                                                std::span<const SiblingPair> pairs);
+
+}  // namespace sp::core

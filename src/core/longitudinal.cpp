@@ -1,0 +1,144 @@
+#include "core/longitudinal.h"
+
+#include <algorithm>
+
+namespace sp::core {
+
+namespace {
+
+template <typename T>
+void sort_unique(std::vector<T>& values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+}
+
+}  // namespace
+
+void LongitudinalTracker::add_snapshot(const dns::ResolutionSnapshot& snapshot,
+                                       const bgp::Rib& rib) {
+  const std::size_t index = dates_.size();
+  dates_.push_back(snapshot.date());
+
+  for (const dns::DomainResolution& entry : snapshot.entries()) {
+    if (!entry.dual_stack()) continue;
+    Observation observation;
+    for (const IPv4Address& address : entry.v4) {
+      if (is_reserved(address)) continue;
+      observation.v4_addresses.push_back(address);
+      if (const auto route = rib.lookup(IPAddress(address))) {
+        observation.v4_prefixes.push_back(route->prefix);
+      }
+    }
+    for (const IPv6Address& address : entry.v6) {
+      if (is_reserved(address)) continue;
+      observation.v6_addresses.push_back(address);
+      if (const auto route = rib.lookup(IPAddress(address))) {
+        observation.v6_prefixes.push_back(route->prefix);
+      }
+    }
+    sort_unique(observation.v4_prefixes);
+    sort_unique(observation.v6_prefixes);
+    sort_unique(observation.v4_addresses);
+    sort_unique(observation.v6_addresses);
+    domains_[entry.response_name.text()].by_snapshot[index] = std::move(observation);
+  }
+}
+
+std::vector<std::size_t> LongitudinalTracker::visibility_histogram() const {
+  std::vector<std::size_t> histogram(dates_.size(), 0);
+  for (const auto& [name, track] : domains_) {
+    const std::size_t visible = track.by_snapshot.size();
+    if (visible >= 1 && visible <= histogram.size()) ++histogram[visible - 1];
+  }
+  return histogram;
+}
+
+std::vector<double> LongitudinalTracker::visibility_cdf() const {
+  const auto histogram = visibility_histogram();
+  std::vector<double> cdf(histogram.size(), 0.0);
+  const double total = static_cast<double>(domains_.size());
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    cumulative += histogram[i];
+    cdf[i] = total == 0.0 ? 0.0 : static_cast<double>(cumulative) / total;
+  }
+  return cdf;
+}
+
+std::size_t LongitudinalTracker::consistent_domain_count() const {
+  std::size_t count = 0;
+  for (const auto& [name, track] : domains_) {
+    if (track.by_snapshot.size() == dates_.size()) ++count;
+  }
+  return count;
+}
+
+LongitudinalTracker::StabilitySeries LongitudinalTracker::stability() const {
+  StabilitySeries series;
+  if (dates_.empty()) return series;
+  const std::size_t newest = dates_.size() - 1;
+
+  std::vector<std::size_t> v4_prefix_same(dates_.size(), 0);
+  std::vector<std::size_t> v6_prefix_same(dates_.size(), 0);
+  std::vector<std::size_t> v4_address_same(dates_.size(), 0);
+  std::vector<std::size_t> v6_address_same(dates_.size(), 0);
+  std::vector<std::size_t> address_same(dates_.size(), 0);
+  std::size_t consistent = 0;
+
+  for (const auto& [name, track] : domains_) {
+    if (track.by_snapshot.size() != dates_.size()) continue;  // consistent only
+    ++consistent;
+    const Observation& reference = track.by_snapshot.at(newest);
+    for (std::size_t back = 0; back < dates_.size(); ++back) {
+      const Observation& then = track.by_snapshot.at(newest - back);
+      const bool v4p = then.v4_prefixes == reference.v4_prefixes;
+      const bool v6p = then.v6_prefixes == reference.v6_prefixes;
+      const bool v4a = then.v4_addresses == reference.v4_addresses;
+      const bool v6a = then.v6_addresses == reference.v6_addresses;
+      if (v4p) ++v4_prefix_same[back];
+      if (v6p) ++v6_prefix_same[back];
+      if (v4a) ++v4_address_same[back];
+      if (v6a) ++v6_address_same[back];
+      if (v4a && v6a) ++address_same[back];
+    }
+  }
+
+  const auto to_fraction = [consistent](const std::vector<std::size_t>& counts) {
+    std::vector<double> out(counts.size(), 0.0);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      out[i] = consistent == 0 ? 0.0
+                               : static_cast<double>(counts[i]) / static_cast<double>(consistent);
+    }
+    return out;
+  };
+  series.v4_prefix_stable = to_fraction(v4_prefix_same);
+  series.v6_prefix_stable = to_fraction(v6_prefix_same);
+  series.v4_address_stable = to_fraction(v4_address_same);
+  series.v6_address_stable = to_fraction(v6_address_same);
+  series.address_stable = to_fraction(address_same);
+  return series;
+}
+
+PairChangeReport classify_pair_changes(std::span<const SiblingPair> old_pairs,
+                                       std::span<const SiblingPair> new_pairs) {
+  constexpr double kEpsilon = 1e-9;
+  PairChangeReport report;
+  std::map<std::pair<Prefix, Prefix>, double> old_by_key;
+  for (const SiblingPair& pair : old_pairs) {
+    old_by_key.emplace(std::make_pair(pair.v4, pair.v6), pair.similarity);
+  }
+  for (const SiblingPair& pair : new_pairs) {
+    const auto it = old_by_key.find(std::make_pair(pair.v4, pair.v6));
+    if (it == old_by_key.end()) {
+      report.fresh.push_back(pair.similarity);
+    } else if (std::abs(it->second - pair.similarity) <= kEpsilon) {
+      report.unchanged.push_back(pair.similarity);
+    } else {
+      report.changed_old.push_back(it->second);
+      report.changed_new.push_back(pair.similarity);
+    }
+  }
+  return report;
+}
+
+}  // namespace sp::core

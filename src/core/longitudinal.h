@@ -1,0 +1,87 @@
+// Longitudinal analyses (paper sections 4.1 and 4.3).
+//
+// LongitudinalTracker ingests a series of monthly snapshots and answers
+// the Figure 7 questions: how often is each DS domain visible, and how
+// stable are its prefixes and addresses relative to the newest snapshot.
+// classify_pair_changes implements the Figure 10 split of sibling pairs
+// into unchanged / changed / new between two points in time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "core/detect.h"
+#include "dns/snapshot.h"
+
+namespace sp::core {
+
+class LongitudinalTracker {
+ public:
+  /// Ingests one snapshot (call in chronological order). Only dual-stack
+  /// entries are tracked; addresses are mapped to prefixes through `rib`.
+  void add_snapshot(const dns::ResolutionSnapshot& snapshot, const bgp::Rib& rib);
+
+  [[nodiscard]] std::size_t snapshot_count() const noexcept { return dates_.size(); }
+  [[nodiscard]] std::size_t tracked_domain_count() const noexcept { return domains_.size(); }
+
+  /// histogram[k] = number of DS domains visible in exactly k+1 snapshots
+  /// (Figure 7 left, as a histogram; turn into a CDF with the helper).
+  [[nodiscard]] std::vector<std::size_t> visibility_histogram() const;
+
+  /// Fraction of domains visible in at most `count` snapshots, for each
+  /// count 1..N (the CDF the paper plots).
+  [[nodiscard]] std::vector<double> visibility_cdf() const;
+
+  /// Domains visible in every ingested snapshot ("consistent DS domains").
+  [[nodiscard]] std::size_t consistent_domain_count() const;
+
+  struct StabilitySeries {
+    /// Index k = comparison of snapshot N-1-k against the newest snapshot
+    /// N-1 (so index 0 is trivially 1.0); values are fractions of
+    /// consistent DS domains whose prefix/address set is identical.
+    std::vector<double> v4_prefix_stable;
+    std::vector<double> v6_prefix_stable;
+    std::vector<double> v4_address_stable;
+    std::vector<double> v6_address_stable;
+    /// Fraction with both families' addresses unchanged.
+    std::vector<double> address_stable;
+  };
+
+  /// Figure 7 center/right over the consistent domains.
+  [[nodiscard]] StabilitySeries stability() const;
+
+ private:
+  struct Observation {
+    std::vector<Prefix> v4_prefixes;
+    std::vector<Prefix> v6_prefixes;
+    std::vector<IPv4Address> v4_addresses;
+    std::vector<IPv6Address> v6_addresses;
+  };
+  struct Track {
+    // Parallel to dates_; entries may be missing (domain not visible).
+    std::map<std::size_t, Observation> by_snapshot;
+  };
+
+  std::vector<Date> dates_;
+  std::map<std::string, Track> domains_;  // keyed by response-name text
+};
+
+/// Figure 10: sibling pairs split by what happened between an old and a
+/// new pair list. A pair present in both lists is "unchanged" when its
+/// Jaccard value is (numerically) identical and "changed" otherwise; pairs
+/// only in the new list are "new".
+struct PairChangeReport {
+  std::vector<double> unchanged;    // Jaccard values (old == new)
+  std::vector<double> changed_old;  // old Jaccard of changed pairs
+  std::vector<double> changed_new;  // new Jaccard of changed pairs
+  std::vector<double> fresh;        // Jaccard of pairs only in the new list
+};
+
+[[nodiscard]] PairChangeReport classify_pair_changes(std::span<const SiblingPair> old_pairs,
+                                                     std::span<const SiblingPair> new_pairs);
+
+}  // namespace sp::core

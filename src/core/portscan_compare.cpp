@@ -1,0 +1,30 @@
+#include "core/portscan_compare.h"
+
+#include <algorithm>
+
+namespace sp::core {
+
+int jaccard_bin(double value) noexcept {
+  const int bin = static_cast<int>(value * kJaccardBins);
+  return std::clamp(bin, 0, kJaccardBins - 1);
+}
+
+PortScanComparison compare_with_portscan(std::span<const SiblingPair> pairs,
+                                         const scan::PortScanDataset& scan) {
+  PortScanComparison comparison;
+  comparison.pair_count = pairs.size();
+  comparison.joint.assign(kJaccardBins, std::vector<std::size_t>(kJaccardBins, 0));
+
+  for (const SiblingPair& pair : pairs) {
+    const scan::PortMask ports4 = scan.ports_in(pair.v4);
+    const scan::PortMask ports6 = scan.ports_in(pair.v6);
+    if ((ports4 | ports6) == 0) continue;
+    ++comparison.responsive_pairs;
+    const double scan_jaccard = scan::port_jaccard(ports4, ports6);
+    ++comparison.joint[static_cast<std::size_t>(jaccard_bin(pair.similarity))]
+                      [static_cast<std::size_t>(jaccard_bin(scan_jaccard))];
+  }
+  return comparison;
+}
+
+}  // namespace sp::core

@@ -1,0 +1,42 @@
+// Comparison of DNS-based and port-scan-based sibling similarity
+// (paper section 3.6, Figure 6).
+//
+// For every sibling pair the responsive-port sets of both prefixes are
+// collected from a scan dataset; the Jaccard value over ports is compared
+// with the Jaccard value over domains in a binned joint distribution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/detect.h"
+#include "scan/portscan.h"
+
+namespace sp::core {
+
+struct PortScanComparison {
+  std::size_t pair_count = 0;
+  /// Pairs with at least one responsive address on either side.
+  std::size_t responsive_pairs = 0;
+
+  /// joint[dns_bin][scan_bin] = number of responsive pairs whose DNS
+  /// Jaccard falls in bin dns_bin and port Jaccard in scan_bin. Ten bins:
+  /// [0,0.1) ... [0.9,1.0] (1.0 maps to the last bin).
+  std::vector<std::vector<std::size_t>> joint;
+
+  [[nodiscard]] double responsive_share() const noexcept {
+    return pair_count == 0
+               ? 0.0
+               : static_cast<double>(responsive_pairs) / static_cast<double>(pair_count);
+  }
+};
+
+inline constexpr int kJaccardBins = 10;
+
+/// Bin index for a similarity value in [0,1].
+[[nodiscard]] int jaccard_bin(double value) noexcept;
+
+[[nodiscard]] PortScanComparison compare_with_portscan(std::span<const SiblingPair> pairs,
+                                                       const scan::PortScanDataset& scan);
+
+}  // namespace sp::core

@@ -1,0 +1,37 @@
+#include "core/probes_io.h"
+
+#include "io/csv.h"
+
+namespace sp::core {
+
+namespace {
+const io::CsvRow kHeader = {"v4_address", "v6_address"};
+}  // namespace
+
+bool write_probes_csv(const std::string& path, std::span<const DualStackProbe> probes) {
+  std::vector<io::CsvRow> rows;
+  rows.reserve(probes.size() + 1);
+  rows.push_back(kHeader);
+  for (const DualStackProbe& probe : probes) {
+    rows.push_back({probe.v4.to_string(), probe.v6.to_string()});
+  }
+  return io::write_csv_file(path, rows);
+}
+
+std::optional<std::vector<DualStackProbe>> read_probes_csv(const std::string& path) {
+  const auto rows = io::read_csv_file(path);
+  if (!rows || rows->empty() || rows->front() != kHeader) return std::nullopt;
+  std::vector<DualStackProbe> probes;
+  probes.reserve(rows->size() - 1);
+  for (std::size_t i = 1; i < rows->size(); ++i) {
+    const io::CsvRow& row = (*rows)[i];
+    if (row.size() != 2) return std::nullopt;
+    const auto v4 = IPAddress::from_string(row[0]);
+    const auto v6 = IPAddress::from_string(row[1]);
+    if (!v4 || !v4->is_v4() || !v6 || !v6->is_v6()) return std::nullopt;
+    probes.push_back({*v4, *v6});
+  }
+  return probes;
+}
+
+}  // namespace sp::core

@@ -1,0 +1,26 @@
+// CSV interchange for dual-stack vantage points (the RIPE Atlas probe
+// export used in the paper's ground-truth evaluation, section 3.5).
+//
+// Layout:
+//   v4_address,v6_address
+//   20.1.2.3,2620:100::3
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/groundtruth.h"
+
+namespace sp::core {
+
+[[nodiscard]] bool write_probes_csv(const std::string& path,
+                                    std::span<const DualStackProbe> probes);
+
+/// Returns nullopt on I/O failure, a bad header, a family mismatch (the
+/// first column must be IPv4, the second IPv6), or any unparsable address.
+[[nodiscard]] std::optional<std::vector<DualStackProbe>> read_probes_csv(
+    const std::string& path);
+
+}  // namespace sp::core

@@ -1,0 +1,52 @@
+#include "core/sibling_diff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sp::core {
+
+namespace {
+
+constexpr double kEpsilon = 1e-9;
+
+bool same_values(const SiblingPair& a, const SiblingPair& b) {
+  return std::abs(a.similarity - b.similarity) <= kEpsilon &&
+         a.shared_domains == b.shared_domains && a.v4_domain_count == b.v4_domain_count &&
+         a.v6_domain_count == b.v6_domain_count;
+}
+
+}  // namespace
+
+SiblingListDiff diff_sibling_lists(std::span<const SiblingPair> old_list,
+                                   std::span<const SiblingPair> new_list) {
+  std::vector<SiblingPair> old_sorted(old_list.begin(), old_list.end());
+  std::vector<SiblingPair> new_sorted(new_list.begin(), new_list.end());
+  std::sort(old_sorted.begin(), old_sorted.end());
+  std::sort(new_sorted.begin(), new_sorted.end());
+
+  SiblingListDiff diff;
+  auto old_it = old_sorted.begin();
+  auto new_it = new_sorted.begin();
+  while (old_it != old_sorted.end() || new_it != new_sorted.end()) {
+    if (old_it == old_sorted.end()) {
+      diff.added.push_back(*new_it++);
+    } else if (new_it == new_sorted.end()) {
+      diff.removed.push_back(*old_it++);
+    } else if (*old_it < *new_it) {
+      diff.removed.push_back(*old_it++);
+    } else if (*new_it < *old_it) {
+      diff.added.push_back(*new_it++);
+    } else {
+      if (same_values(*old_it, *new_it)) {
+        diff.unchanged.push_back(*new_it);
+      } else {
+        diff.changed.push_back({*old_it, *new_it});
+      }
+      ++old_it;
+      ++new_it;
+    }
+  }
+  return diff;
+}
+
+}  // namespace sp::core

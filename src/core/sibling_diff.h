@@ -1,0 +1,36 @@
+// Diffing two sibling prefix lists.
+//
+// The paper publishes the pair list periodically; consumers (operators
+// syncing ACLs, researchers tracking deployments) need to know what
+// changed between releases. A pair is matched by its (v4, v6) prefix key;
+// matched pairs whose similarity or domain counts differ are "changed".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/detect.h"
+
+namespace sp::core {
+
+struct SiblingListDiff {
+  std::vector<SiblingPair> added;    // only in the new list
+  std::vector<SiblingPair> removed;  // only in the old list
+  struct Changed {
+    SiblingPair before;
+    SiblingPair after;
+  };
+  std::vector<Changed> changed;      // same key, different values
+  std::vector<SiblingPair> unchanged;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return added.empty() && removed.empty() && changed.empty();
+  }
+};
+
+/// Computes the release diff. Inputs need not be sorted; outputs are
+/// sorted by (v4, v6).
+[[nodiscard]] SiblingListDiff diff_sibling_lists(std::span<const SiblingPair> old_list,
+                                                 std::span<const SiblingPair> new_list);
+
+}  // namespace sp::core

@@ -1,0 +1,74 @@
+#include "core/sibling_list_io.h"
+
+#include <charconv>
+
+#include "io/csv.h"
+
+namespace sp::core {
+
+namespace {
+
+const io::CsvRow kHeader = {"v4_prefix", "v6_prefix",  "similarity",
+                            "shared_domains", "v4_domains", "v6_domains"};
+
+template <typename T>
+bool parse_number(const std::string& text, T& out) {
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc{} && result.ptr == text.data() + text.size();
+}
+
+bool parse_double(const std::string& text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool write_sibling_list(const std::string& path, std::span<const SiblingPair> pairs) {
+  std::vector<io::CsvRow> rows;
+  rows.reserve(pairs.size() + 1);
+  rows.push_back(kHeader);
+  for (const SiblingPair& pair : pairs) {
+    char similarity[32];
+    std::snprintf(similarity, sizeof similarity, "%.9f", pair.similarity);
+    rows.push_back({pair.v4.to_string(), pair.v6.to_string(), similarity,
+                    std::to_string(pair.shared_domains), std::to_string(pair.v4_domain_count),
+                    std::to_string(pair.v6_domain_count)});
+  }
+  return io::write_csv_file(path, rows);
+}
+
+std::optional<std::vector<SiblingPair>> read_sibling_list(const std::string& path) {
+  const auto rows = io::read_csv_file(path);
+  if (!rows || rows->empty() || rows->front() != kHeader) return std::nullopt;
+
+  std::vector<SiblingPair> pairs;
+  pairs.reserve(rows->size() - 1);
+  for (std::size_t i = 1; i < rows->size(); ++i) {
+    const io::CsvRow& row = (*rows)[i];
+    if (row.size() != kHeader.size()) return std::nullopt;
+    SiblingPair pair;
+    const auto v4 = Prefix::from_string(row[0]);
+    const auto v6 = Prefix::from_string(row[1]);
+    if (!v4 || v4->family() != Family::v4 || !v6 || v6->family() != Family::v6) {
+      return std::nullopt;
+    }
+    pair.v4 = *v4;
+    pair.v6 = *v6;
+    if (!parse_double(row[2], pair.similarity) ||
+        !parse_number(row[3], pair.shared_domains) ||
+        !parse_number(row[4], pair.v4_domain_count) ||
+        !parse_number(row[5], pair.v6_domain_count)) {
+      return std::nullopt;
+    }
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+}  // namespace sp::core

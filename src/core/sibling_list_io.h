@@ -1,0 +1,26 @@
+// Serialization of sibling prefix lists — the artifact the paper publishes
+// at sibling-prefixes.github.io for operators and researchers.
+//
+// Format: CSV with header
+//   v4_prefix,v6_prefix,similarity,shared_domains,v4_domains,v6_domains
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detect.h"
+
+namespace sp::core {
+
+/// Writes the pair list; returns false on I/O error.
+[[nodiscard]] bool write_sibling_list(const std::string& path,
+                                      std::span<const SiblingPair> pairs);
+
+/// Reads a pair list previously written by write_sibling_list. Returns
+/// nullopt on I/O error, a malformed header, or any unparsable row.
+[[nodiscard]] std::optional<std::vector<SiblingPair>> read_sibling_list(
+    const std::string& path);
+
+}  // namespace sp::core

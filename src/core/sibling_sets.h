@@ -1,0 +1,33 @@
+// Sibling prefix *set* pairs — the paper's section 6 future-work item.
+//
+// IPv4 address-space fragmentation can split one logical deployment over
+// several small v4 prefixes whose counterpart is a single v6 prefix (or a
+// different set of v6 fragments), capping pairwise Jaccard values. A
+// sibling set pair groups connected pairs (pairs sharing a prefix on
+// either side) and evaluates similarity over the *union* of the fragments'
+// domain sets, recovering the similarity the fragmentation hid.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/corpus.h"
+#include "core/detect.h"
+
+namespace sp::core {
+
+struct SiblingSetPair {
+  std::vector<Prefix> v4_prefixes;  // sorted
+  std::vector<Prefix> v6_prefixes;  // sorted
+  double similarity = 0.0;          // Jaccard over unioned domain sets
+  std::size_t domain_count = 0;     // |union of both sides' domains|
+  std::size_t member_pairs = 0;     // pairs merged into this set pair
+};
+
+/// Groups `pairs` into connected components (shared v4 or v6 prefix) and
+/// scores each component by the Jaccard value of its unioned domain sets.
+/// Output is sorted by descending member count, then by first v4 prefix.
+[[nodiscard]] std::vector<SiblingSetPair> build_sibling_sets(const DualStackCorpus& corpus,
+                                                             std::span<const SiblingPair> pairs);
+
+}  // namespace sp::core

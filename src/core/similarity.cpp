@@ -1,0 +1,42 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+
+namespace sp::core {
+
+std::string_view metric_name(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::Jaccard: return "jaccard";
+    case Metric::Dice: return "dice";
+    case Metric::Overlap: return "overlap";
+  }
+  return "?";
+}
+
+double similarity_from_sizes(Metric metric, std::size_t intersection, std::size_t size_a,
+                             std::size_t size_b) noexcept {
+  switch (metric) {
+    case Metric::Jaccard: {
+      const std::size_t union_size = size_a + size_b - intersection;
+      return union_size == 0 ? 0.0
+                             : static_cast<double>(intersection) / static_cast<double>(union_size);
+    }
+    case Metric::Dice: {
+      const std::size_t denom = size_a + size_b;
+      return denom == 0 ? 0.0
+                        : 2.0 * static_cast<double>(intersection) / static_cast<double>(denom);
+    }
+    case Metric::Overlap: {
+      const std::size_t denom = std::min(size_a, size_b);
+      return denom == 0 ? 0.0
+                        : static_cast<double>(intersection) / static_cast<double>(denom);
+    }
+  }
+  return 0.0;
+}
+
+double similarity(Metric metric, const DomainSet& a, const DomainSet& b) noexcept {
+  return similarity_from_sizes(metric, intersection_size(a, b), a.size(), b.size());
+}
+
+}  // namespace sp::core

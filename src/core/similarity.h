@@ -1,0 +1,37 @@
+// Set-similarity metrics (paper section 3.2).
+//
+// Jaccard is the paper's metric of choice; Dice and the overlap
+// coefficient are implemented for the comparison in Figure 2 (the overlap
+// coefficient saturates at 1 whenever one set is a subset of the other,
+// which makes it unsuitable for sibling detection).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/domain_set.h"
+
+namespace sp::core {
+
+enum class Metric : std::uint8_t { Jaccard, Dice, Overlap };
+
+[[nodiscard]] std::string_view metric_name(Metric metric) noexcept;
+
+/// Metric value from precomputed sizes. All metrics return 0 when both
+/// sets are empty.
+[[nodiscard]] double similarity_from_sizes(Metric metric, std::size_t intersection,
+                                           std::size_t size_a, std::size_t size_b) noexcept;
+
+[[nodiscard]] double similarity(Metric metric, const DomainSet& a, const DomainSet& b) noexcept;
+
+[[nodiscard]] inline double jaccard(const DomainSet& a, const DomainSet& b) noexcept {
+  return similarity(Metric::Jaccard, a, b);
+}
+[[nodiscard]] inline double dice(const DomainSet& a, const DomainSet& b) noexcept {
+  return similarity(Metric::Dice, a, b);
+}
+[[nodiscard]] inline double overlap(const DomainSet& a, const DomainSet& b) noexcept {
+  return similarity(Metric::Overlap, a, b);
+}
+
+}  // namespace sp::core

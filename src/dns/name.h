@@ -1,0 +1,78 @@
+// Domain name value type.
+//
+// Names are stored in canonical form: lowercase, no trailing dot, labels
+// validated against RFC 1035 length limits (63 octets per label, 253 total
+// presentation length). Comparison and hashing are case-insensitive by
+// construction.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ip.h"
+
+namespace sp::dns {
+
+class DomainName {
+ public:
+  /// The empty (root) name.
+  DomainName() = default;
+
+  /// Parses presentation format ("www.Example.ORG." or "www.example.org").
+  /// Returns nullopt when any label is empty, too long, contains characters
+  /// outside [a-z0-9_-], starts/ends with '-', or the name exceeds 253
+  /// octets.
+  [[nodiscard]] static std::optional<DomainName> from_string(std::string_view text);
+
+  /// Parses or throws std::invalid_argument; for literals in tests/examples.
+  [[nodiscard]] static DomainName must_parse(std::string_view text);
+
+  [[nodiscard]] bool is_root() const noexcept { return text_.empty(); }
+
+  /// Canonical lowercase presentation form without trailing dot;
+  /// the root name renders as ".".
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  [[nodiscard]] std::string to_string() const { return is_root() ? "." : text_; }
+
+  /// Labels from leftmost to rightmost ("www", "example", "org").
+  [[nodiscard]] std::vector<std::string_view> labels() const;
+
+  [[nodiscard]] std::size_t label_count() const noexcept;
+
+  /// The name with the leftmost label removed ("example.org"); root for a
+  /// single-label name.
+  [[nodiscard]] DomainName parent() const;
+
+  /// True when this name equals `ancestor` or is underneath it.
+  /// Every name is under the root.
+  [[nodiscard]] bool is_subdomain_of(const DomainName& ancestor) const noexcept;
+
+  /// The rightmost label ("org"), or empty for the root.
+  [[nodiscard]] std::string_view tld() const noexcept;
+
+  friend auto operator<=>(const DomainName&, const DomainName&) = default;
+
+ private:
+  explicit DomainName(std::string canonical) : text_(std::move(canonical)) {}
+
+  std::string text_;
+};
+
+/// Reverse-DNS name of an address: dotted-quad octets under in-addr.arpa
+/// for IPv4 (RFC 1035 section 3.5), reversed nibbles under ip6.arpa for
+/// IPv6 (RFC 3596 section 2.5).
+[[nodiscard]] DomainName reverse_name(const IPAddress& address);
+
+}  // namespace sp::dns
+
+template <>
+struct std::hash<sp::dns::DomainName> {
+  std::size_t operator()(const sp::dns::DomainName& name) const noexcept {
+    return std::hash<std::string>{}(name.text());
+  }
+};

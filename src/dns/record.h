@@ -1,0 +1,129 @@
+// DNS resource record model: the record types the sibling-prefix pipeline
+// needs (A, AAAA, CNAME) plus NS/MX/TXT for realistic zones and wire-codec
+// coverage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "dns/name.h"
+#include "netbase/ip.h"
+
+namespace sp::dns {
+
+enum class RecordType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  TXT = 16,
+  AAAA = 28,
+  OPT = 41,  // EDNS(0) pseudo-RR, RFC 6891
+};
+
+[[nodiscard]] std::string_view record_type_name(RecordType type) noexcept;
+
+/// DNS CLASS; only IN is modeled.
+inline constexpr std::uint16_t kClassIn = 1;
+
+/// SOA RDATA (RFC 1035 section 3.3.13); returned in the authority
+/// section of negative answers (RFC 2308).
+struct SoaData {
+  DomainName mname;   // primary name server
+  DomainName rname;   // responsible mailbox, encoded as a name
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 7200;
+  std::uint32_t retry = 900;
+  std::uint32_t expire = 1209600;
+  std::uint32_t minimum = 300;
+  friend auto operator<=>(const SoaData&, const SoaData&) = default;
+};
+
+struct MxData {
+  std::uint16_t preference = 0;
+  DomainName exchange;
+  friend auto operator<=>(const MxData&, const MxData&) = default;
+};
+
+struct TxtData {
+  std::string text;
+  friend auto operator<=>(const TxtData&, const TxtData&) = default;
+};
+
+/// One EDNS option (RFC 6891 section 6.1.2).
+struct EdnsOption {
+  std::uint16_t code = 0;
+  std::vector<std::uint8_t> data;
+  friend auto operator<=>(const EdnsOption&, const EdnsOption&) = default;
+};
+
+/// EDNS(0) OPT pseudo-record payload. On the wire the requestor's UDP
+/// payload size rides in the CLASS field and the extended rcode/version/DO
+/// flag in the TTL field; the codec maps them here.
+struct OptData {
+  std::uint16_t udp_payload_size = 1232;
+  std::uint8_t extended_rcode = 0;
+  std::uint8_t version = 0;
+  bool dnssec_ok = false;
+  std::vector<EdnsOption> options;
+  friend auto operator<=>(const OptData&, const OptData&) = default;
+};
+
+/// The typed RDATA payload of a record.
+using RData = std::variant<IPv4Address,  // A
+                           IPv6Address,  // AAAA
+                           DomainName,   // CNAME / NS target
+                           MxData,       // MX
+                           TxtData,      // TXT
+                           SoaData,      // SOA
+                           OptData>;     // OPT (EDNS)
+
+struct ResourceRecord {
+  DomainName name;
+  RecordType type = RecordType::A;
+  std::uint32_t ttl = 300;
+  RData data;
+
+  [[nodiscard]] static ResourceRecord a(DomainName name, IPv4Address address,
+                                        std::uint32_t ttl = 300) {
+    return {std::move(name), RecordType::A, ttl, address};
+  }
+  [[nodiscard]] static ResourceRecord aaaa(DomainName name, IPv6Address address,
+                                           std::uint32_t ttl = 300) {
+    return {std::move(name), RecordType::AAAA, ttl, address};
+  }
+  [[nodiscard]] static ResourceRecord cname(DomainName name, DomainName target,
+                                            std::uint32_t ttl = 300) {
+    return {std::move(name), RecordType::CNAME, ttl, std::move(target)};
+  }
+  [[nodiscard]] static ResourceRecord ns(DomainName name, DomainName server,
+                                         std::uint32_t ttl = 86400) {
+    return {std::move(name), RecordType::NS, ttl, std::move(server)};
+  }
+  [[nodiscard]] static ResourceRecord mx(DomainName name, std::uint16_t preference,
+                                         DomainName exchange, std::uint32_t ttl = 3600) {
+    return {std::move(name), RecordType::MX, ttl, MxData{preference, std::move(exchange)}};
+  }
+  [[nodiscard]] static ResourceRecord txt(DomainName name, std::string text,
+                                          std::uint32_t ttl = 3600) {
+    return {std::move(name), RecordType::TXT, ttl, TxtData{std::move(text)}};
+  }
+  [[nodiscard]] static ResourceRecord soa(DomainName zone, SoaData data,
+                                          std::uint32_t ttl = 3600) {
+    return {std::move(zone), RecordType::SOA, ttl, std::move(data)};
+  }
+  [[nodiscard]] static ResourceRecord ptr(DomainName reverse_name, DomainName target,
+                                          std::uint32_t ttl = 3600) {
+    return {std::move(reverse_name), RecordType::PTR, ttl, std::move(target)};
+  }
+  [[nodiscard]] static ResourceRecord opt(OptData data) {
+    return {DomainName(), RecordType::OPT, 0, std::move(data)};
+  }
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
+};
+
+}  // namespace sp::dns

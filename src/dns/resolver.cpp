@@ -1,0 +1,139 @@
+#include "dns/resolver.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sp::dns {
+
+namespace {
+
+void sort_unique_v4(std::vector<IPv4Address>& addresses) {
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()), addresses.end());
+}
+
+void sort_unique_v6(std::vector<IPv6Address>& addresses) {
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()), addresses.end());
+}
+
+}  // namespace
+
+std::optional<DomainName> IterativeResolver::query_chain(const DomainName& name,
+                                                         RecordType type,
+                                                         ResolutionResult& result,
+                                                         Trace* trace) const {
+  DomainName current_server = root_server_;
+  std::optional<DomainName> cname_target;
+
+  for (int hop = 0; hop <= config_.max_referrals; ++hop) {
+    if (hop == config_.max_referrals) {
+      if (trace != nullptr) trace->referral_limit_hit = true;
+      return std::nullopt;
+    }
+    const auto server_it = servers_.find(current_server);
+    if (server_it == servers_.end()) {
+      if (trace != nullptr) trace->lame_delegation = true;
+      return std::nullopt;
+    }
+    if (trace != nullptr) trace->servers_consulted.push_back(current_server);
+
+    // Full wire round trip on every hop.
+    Message query;
+    query.header.id = static_cast<std::uint16_t>(hop + 1);
+    query.questions.push_back({name, type});
+    const auto query_wire = encode_message(query);
+    const auto parsed_query = decode_message(query_wire);
+    if (!parsed_query) return std::nullopt;  // codec bug guard
+    const Message response = server_it->second->serve(*parsed_query);
+    const auto response_wire = encode_message(response);
+    const auto parsed = decode_message(response_wire);
+    if (!parsed) return std::nullopt;
+    if (trace != nullptr) trace->wire_bytes += query_wire.size() + response_wire.size();
+
+    // Terminal answers.
+    bool answered = false;
+    for (const auto& record : parsed->answers) {
+      if (record.type == RecordType::A && type == RecordType::A) {
+        result.v4.push_back(std::get<IPv4Address>(record.data));
+        answered = true;
+      } else if (record.type == RecordType::AAAA && type == RecordType::AAAA) {
+        result.v6.push_back(std::get<IPv6Address>(record.data));
+        answered = true;
+      } else if (record.type == RecordType::CNAME) {
+        cname_target = std::get<DomainName>(record.data);
+        answered = true;
+      }
+    }
+    if (answered || parsed->header.rcode != 0) return cname_target;
+
+    // Referral: follow the first NS whose server we can reach.
+    const ResourceRecord* delegation = nullptr;
+    for (const auto& record : parsed->authorities) {
+      if (record.type != RecordType::NS) continue;
+      const DomainName& server = std::get<DomainName>(record.data);
+      if (servers_.contains(server)) {
+        delegation = &record;
+        break;
+      }
+      if (delegation == nullptr) delegation = &record;  // remember a lame one
+    }
+    if (delegation == nullptr) return cname_target;  // empty NOERROR
+    const DomainName next = std::get<DomainName>(delegation->data);
+    if (next == current_server) {
+      // Self-referral: a broken delegation; stop rather than loop.
+      if (trace != nullptr) trace->lame_delegation = true;
+      return cname_target;
+    }
+    current_server = next;
+  }
+  return cname_target;
+}
+
+ResolutionResult IterativeResolver::resolve(const DomainName& name, Trace* trace) const {
+  ResolutionResult result;
+  result.queried = name;
+  result.response_name = name;
+
+  for (const RecordType type : {RecordType::A, RecordType::AAAA}) {
+    DomainName current = name;
+    std::unordered_set<DomainName> visited{current};
+    for (int restart = 0;; ++restart) {
+      if (restart >= config_.max_cname_restarts) {
+        result.chain_too_long = true;
+        if (trace != nullptr) trace->cname_limit_hit = true;
+        break;
+      }
+      const auto cname = query_chain(current, type, result, trace);
+      if (!cname) break;
+      if (!visited.insert(*cname).second) {
+        result.cname_loop = true;
+        break;
+      }
+      // Track the chain only once (the A pass); both passes walk the same
+      // chain because CNAMEs are type-independent.
+      if (type == RecordType::A) result.cname_chain.push_back(*cname);
+      current = *cname;
+    }
+    if (type == RecordType::A) result.response_name = current;
+  }
+  sort_unique_v4(result.v4);
+  sort_unique_v6(result.v6);
+  return result;
+}
+
+ResolutionSnapshot IterativeResolver::resolve_all(std::span<const DomainName> queries,
+                                                  Date date) const {
+  ResolutionSnapshot snapshot(date);
+  for (const DomainName& query : queries) {
+    auto result = resolve(query);
+    if (result.v4.empty() && result.v6.empty()) continue;
+    snapshot.add(DomainResolution{.queried = std::move(result.queried),
+                                  .response_name = std::move(result.response_name),
+                                  .v4 = std::move(result.v4),
+                                  .v6 = std::move(result.v6)});
+  }
+  return snapshot;
+}
+
+}  // namespace sp::dns

@@ -1,0 +1,73 @@
+// Iterative resolver over authoritative servers (the recursive-resolver
+// role behind large-scale resolution campaigns such as OpenINTEL's).
+//
+// Each authoritative server is a ZoneDatabase reachable under a host name;
+// resolution starts at a root server and follows NS referrals downward,
+// re-encoding every query/response through the RFC 1035 wire codec so the
+// full message path is exercised on every hop. CNAME answers restart the
+// query at the root with the target name (bounded), and both A and AAAA
+// are resolved to produce the dual-stack view the sibling pipeline needs.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/snapshot.h"
+#include "dns/zone.h"
+
+namespace sp::dns {
+
+class IterativeResolver {
+ public:
+  struct Config {
+    int max_referrals = 16;  // per query, guards against referral loops
+    int max_cname_restarts = 8;
+  };
+
+  /// `root_server` must be registered before resolve() is called.
+  explicit IterativeResolver(DomainName root_server)
+      : IterativeResolver(std::move(root_server), Config{16, 8}) {}
+  IterativeResolver(DomainName root_server, Config config)
+      : root_server_(std::move(root_server)), config_(config) {}
+
+  /// Registers an authoritative server; the ZoneDatabase must outlive the
+  /// resolver.
+  void register_server(const DomainName& server, const ZoneDatabase* zones) {
+    servers_[server] = zones;
+  }
+
+  struct Trace {
+    std::vector<DomainName> servers_consulted;
+    std::size_t wire_bytes = 0;  // total encoded query+response bytes
+    bool referral_limit_hit = false;
+    bool cname_limit_hit = false;
+    bool lame_delegation = false;  // referred to an unregistered server
+  };
+
+  /// Resolves A and AAAA for `name`, following referrals and CNAMEs.
+  /// Returns the same shape as ZoneDatabase::resolve plus a trace.
+  [[nodiscard]] ResolutionResult resolve(const DomainName& name,
+                                         Trace* trace = nullptr) const;
+
+  /// Resolves a whole domain list into a snapshot (the resolution-campaign
+  /// entry point).
+  [[nodiscard]] ResolutionSnapshot resolve_all(std::span<const DomainName> queries,
+                                               Date date) const;
+
+ private:
+  /// One query (name, type) through the referral chain; appends addresses
+  /// and returns the final CNAME target if the answer was a CNAME chain.
+  [[nodiscard]] std::optional<DomainName> query_chain(const DomainName& name,
+                                                      RecordType type,
+                                                      ResolutionResult& result,
+                                                      Trace* trace) const;
+
+  DomainName root_server_;
+  Config config_;
+  std::unordered_map<DomainName, const ZoneDatabase*> servers_;
+};
+
+}  // namespace sp::dns

@@ -1,0 +1,37 @@
+#include "dns/snapshot.h"
+
+#include <algorithm>
+
+namespace sp::dns {
+
+ResolutionSnapshot ResolutionSnapshot::resolve_all(const ZoneDatabase& zones,
+                                                   std::span<const DomainName> queries,
+                                                   Date date) {
+  ResolutionSnapshot snapshot(date);
+  for (const auto& query : queries) {
+    auto result = zones.resolve(query);
+    if (result.v4.empty() && result.v6.empty()) continue;
+    snapshot.add(DomainResolution{.queried = std::move(result.queried),
+                                  .response_name = std::move(result.response_name),
+                                  .v4 = std::move(result.v4),
+                                  .v6 = std::move(result.v6)});
+  }
+  return snapshot;
+}
+
+std::size_t ResolutionSnapshot::dual_stack_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const DomainResolution& e) { return e.dual_stack(); }));
+}
+
+std::vector<const DomainResolution*> ResolutionSnapshot::dual_stack_entries() const {
+  std::vector<const DomainResolution*> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    if (entry.dual_stack()) out.push_back(&entry);
+  }
+  return out;
+}
+
+}  // namespace sp::dns

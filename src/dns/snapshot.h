@@ -1,0 +1,58 @@
+// Resolution snapshots: the OpenINTEL-shaped input of the pipeline.
+//
+// A ResolutionSnapshot is one dated pass of DNS resolutions over a domain
+// list: for every queried domain, the final (post-CNAME) response name and
+// its IPv4/IPv6 address sets. Sibling-prefix detection consumes the
+// dual-stack subset of a snapshot.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dns/zone.h"
+#include "netbase/date.h"
+
+namespace sp::dns {
+
+/// One domain's resolution outcome within a snapshot.
+struct DomainResolution {
+  DomainName queried;
+  DomainName response_name;  // identity used downstream (paper section 3)
+  std::vector<IPv4Address> v4;
+  std::vector<IPv6Address> v6;
+
+  [[nodiscard]] bool has_v4() const noexcept { return !v4.empty(); }
+  [[nodiscard]] bool has_v6() const noexcept { return !v6.empty(); }
+  [[nodiscard]] bool dual_stack() const noexcept { return has_v4() && has_v6(); }
+};
+
+class ResolutionSnapshot {
+ public:
+  ResolutionSnapshot() = default;
+  explicit ResolutionSnapshot(Date date) : date_(date) {}
+
+  /// Resolves every domain in `queries` against `zones` and keeps the ones
+  /// that produced at least one address.
+  [[nodiscard]] static ResolutionSnapshot resolve_all(const ZoneDatabase& zones,
+                                                      std::span<const DomainName> queries,
+                                                      Date date);
+
+  void add(DomainResolution resolution) { entries_.push_back(std::move(resolution)); }
+
+  [[nodiscard]] Date date() const noexcept { return date_; }
+  [[nodiscard]] const std::vector<DomainResolution>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t domain_count() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t dual_stack_count() const noexcept;
+
+  /// The dual-stack subset (entries with both families), by reference.
+  [[nodiscard]] std::vector<const DomainResolution*> dual_stack_entries() const;
+
+ private:
+  Date date_;
+  std::vector<DomainResolution> entries_;
+};
+
+}  // namespace sp::dns

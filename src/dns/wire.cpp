@@ -1,0 +1,444 @@
+#include "dns/wire.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sp::dns {
+
+namespace {
+
+constexpr std::size_t kMaxDecodedNameLength = 255;
+constexpr int kMaxCompressionJumps = 32;
+constexpr std::uint16_t kCompressionPointerLimit = 0x3FFF;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+class Encoder {
+ public:
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+
+  void put_u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+
+  void put_u32(std::uint32_t v) {
+    put_u16(static_cast<std::uint16_t>(v >> 16));
+    put_u16(static_cast<std::uint16_t>(v & 0xffff));
+  }
+
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Emits a (possibly compressed) domain name. Each emitted suffix is
+  /// remembered so later occurrences become 2-byte pointers.
+  void put_name(const DomainName& name) {
+    std::string suffix = name.text();
+    while (!suffix.empty()) {
+      const auto known = suffix_offsets_.find(suffix);
+      if (known != suffix_offsets_.end()) {
+        put_u16(static_cast<std::uint16_t>(0xC000u | known->second));
+        return;
+      }
+      if (out_.size() <= kCompressionPointerLimit) {
+        suffix_offsets_.emplace(suffix, static_cast<std::uint16_t>(out_.size()));
+      }
+      const std::size_t dot = suffix.find('.');
+      const std::string_view label =
+          std::string_view(suffix).substr(0, dot == std::string::npos ? suffix.size() : dot);
+      put_u8(static_cast<std::uint8_t>(label.size()));
+      for (const char c : label) out_.push_back(static_cast<std::uint8_t>(c));
+      suffix = dot == std::string::npos ? std::string() : suffix.substr(dot + 1);
+    }
+    put_u8(0);  // root label
+  }
+
+  /// Overwrites a previously written 16-bit slot (for RDLENGTH back-patch).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<std::uint8_t>(v & 0xff);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::map<std::string, std::uint16_t> suffix_offsets_;
+};
+
+void encode_record(Encoder& enc, const ResourceRecord& record) {
+  if (record.type == RecordType::OPT) {
+    // RFC 6891: owner is the root, CLASS carries the UDP payload size and
+    // TTL the extended rcode / version / DO flag.
+    const auto& opt = std::get<OptData>(record.data);
+    enc.put_u8(0);  // root name
+    enc.put_u16(static_cast<std::uint16_t>(RecordType::OPT));
+    enc.put_u16(opt.udp_payload_size);
+    enc.put_u32((std::uint32_t{opt.extended_rcode} << 24) |
+                (std::uint32_t{opt.version} << 16) | (opt.dnssec_ok ? 0x8000u : 0u));
+    std::size_t rdlength = 0;
+    for (const auto& option : opt.options) rdlength += 4 + option.data.size();
+    enc.put_u16(static_cast<std::uint16_t>(rdlength));
+    for (const auto& option : opt.options) {
+      enc.put_u16(option.code);
+      enc.put_u16(static_cast<std::uint16_t>(option.data.size()));
+      enc.put_bytes(option.data);
+    }
+    return;
+  }
+  enc.put_name(record.name);
+  enc.put_u16(static_cast<std::uint16_t>(record.type));
+  enc.put_u16(kClassIn);
+  enc.put_u32(record.ttl);
+  const std::size_t rdlength_offset = enc.size();
+  enc.put_u16(0);  // patched below
+  const std::size_t rdata_start = enc.size();
+
+  switch (record.type) {
+    case RecordType::A: {
+      const auto octets = std::get<IPv4Address>(record.data).octets();
+      enc.put_bytes(octets);
+      break;
+    }
+    case RecordType::AAAA: {
+      const auto& bytes = std::get<IPv6Address>(record.data).bytes();
+      enc.put_bytes(bytes);
+      break;
+    }
+    case RecordType::CNAME:
+    case RecordType::NS:
+    case RecordType::PTR:
+      enc.put_name(std::get<DomainName>(record.data));
+      break;
+    case RecordType::MX: {
+      const auto& mx = std::get<MxData>(record.data);
+      enc.put_u16(mx.preference);
+      enc.put_name(mx.exchange);
+      break;
+    }
+    case RecordType::SOA: {
+      const auto& soa = std::get<SoaData>(record.data);
+      enc.put_name(soa.mname);
+      enc.put_name(soa.rname);
+      enc.put_u32(soa.serial);
+      enc.put_u32(soa.refresh);
+      enc.put_u32(soa.retry);
+      enc.put_u32(soa.expire);
+      enc.put_u32(soa.minimum);
+      break;
+    }
+    case RecordType::TXT: {
+      // One or more <character-string>s, each up to 255 octets.
+      const std::string& text = std::get<TxtData>(record.data).text;
+      std::size_t pos = 0;
+      do {
+        const std::size_t chunk = std::min<std::size_t>(255, text.size() - pos);
+        enc.put_u8(static_cast<std::uint8_t>(chunk));
+        for (std::size_t i = 0; i < chunk; ++i) {
+          enc.put_u8(static_cast<std::uint8_t>(text[pos + i]));
+        }
+        pos += chunk;
+      } while (pos < text.size());
+      break;
+    }
+    case RecordType::OPT:
+      break;  // handled above (never reaches the generic path)
+  }
+  enc.patch_u16(rdlength_offset, static_cast<std::uint16_t>(enc.size() - rdata_start));
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> wire) : wire_(wire) {}
+
+  [[nodiscard]] bool fail(std::string reason) {
+    if (error_.empty()) error_ = std::move(reason);
+    return false;
+  }
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == wire_.size(); }
+
+  bool read_u8(std::uint8_t& out) {
+    if (pos_ + 1 > wire_.size()) return fail("truncated u8");
+    out = wire_[pos_++];
+    return true;
+  }
+
+  bool read_u16(std::uint16_t& out) {
+    if (pos_ + 2 > wire_.size()) return fail("truncated u16");
+    out = static_cast<std::uint16_t>((wire_[pos_] << 8) | wire_[pos_ + 1]);
+    pos_ += 2;
+    return true;
+  }
+
+  bool read_u32(std::uint32_t& out) {
+    std::uint16_t hi = 0;
+    std::uint16_t lo = 0;
+    if (!read_u16(hi) || !read_u16(lo)) return false;
+    out = (std::uint32_t{hi} << 16) | lo;
+    return true;
+  }
+
+  bool read_bytes(std::size_t count, std::span<const std::uint8_t>& out) {
+    if (pos_ + count > wire_.size()) return fail("truncated rdata");
+    out = wire_.subspan(pos_, count);
+    pos_ += count;
+    return true;
+  }
+
+  /// Reads a possibly compressed name starting at the current position.
+  bool read_name(DomainName& out) {
+    std::string text;
+    std::size_t cursor = pos_;
+    bool jumped = false;
+    int jumps = 0;
+    while (true) {
+      if (cursor >= wire_.size()) return fail("truncated name");
+      const std::uint8_t len = wire_[cursor];
+      if ((len & 0xC0) == 0xC0) {
+        if (cursor + 2 > wire_.size()) return fail("truncated compression pointer");
+        const std::uint16_t target =
+            static_cast<std::uint16_t>(((len & 0x3F) << 8) | wire_[cursor + 1]);
+        if (target >= cursor) return fail("forward compression pointer");
+        if (++jumps > kMaxCompressionJumps) return fail("compression pointer loop");
+        if (!jumped) {
+          pos_ = cursor + 2;
+          jumped = true;
+        }
+        cursor = target;
+        continue;
+      }
+      if ((len & 0xC0) != 0) return fail("reserved label type");
+      if (len == 0) {
+        if (!jumped) pos_ = cursor + 1;
+        break;
+      }
+      if (cursor + 1 + len > wire_.size()) return fail("truncated label");
+      if (!text.empty()) text.push_back('.');
+      for (std::size_t i = 0; i < len; ++i) {
+        text.push_back(static_cast<char>(wire_[cursor + 1 + i]));
+      }
+      if (text.size() > kMaxDecodedNameLength) return fail("name too long");
+      cursor += 1 + len;
+    }
+    auto name = DomainName::from_string(text);
+    if (!name) return fail("invalid name: " + text);
+    out = *std::move(name);
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> wire_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool decode_record(Decoder& dec, ResourceRecord& record) {
+  if (!dec.read_name(record.name)) return false;
+  std::uint16_t type_raw = 0;
+  std::uint16_t klass = 0;
+  std::uint16_t rdlength = 0;
+  if (!dec.read_u16(type_raw) || !dec.read_u16(klass) || !dec.read_u32(record.ttl) ||
+      !dec.read_u16(rdlength)) {
+    return false;
+  }
+  if (static_cast<RecordType>(type_raw) == RecordType::OPT) {
+    // CLASS is the UDP payload size, TTL the flags word.
+    OptData opt;
+    opt.udp_payload_size = klass;
+    opt.extended_rcode = static_cast<std::uint8_t>(record.ttl >> 24);
+    opt.version = static_cast<std::uint8_t>(record.ttl >> 16);
+    opt.dnssec_ok = (record.ttl & 0x8000u) != 0;
+    const std::size_t options_end = dec.position() + rdlength;
+    while (dec.position() < options_end) {
+      EdnsOption option;
+      std::uint16_t length = 0;
+      if (!dec.read_u16(option.code) || !dec.read_u16(length)) return false;
+      std::span<const std::uint8_t> payload;
+      if (!dec.read_bytes(length, payload)) return false;
+      option.data.assign(payload.begin(), payload.end());
+      opt.options.push_back(std::move(option));
+    }
+    if (dec.position() != options_end) return dec.fail("rdlength mismatch in OPT rdata");
+    record.type = RecordType::OPT;
+    record.ttl = 0;  // flags were consumed into OptData
+    record.data = std::move(opt);
+    return true;
+  }
+  if (klass != kClassIn) return dec.fail("unsupported CLASS");
+  const std::size_t rdata_end = dec.position() + rdlength;
+
+  switch (static_cast<RecordType>(type_raw)) {
+    case RecordType::A: {
+      std::span<const std::uint8_t> bytes;
+      if (rdlength != 4 || !dec.read_bytes(4, bytes)) return dec.fail("bad A rdata");
+      record.type = RecordType::A;
+      record.data = IPv4Address::from_octets(bytes[0], bytes[1], bytes[2], bytes[3]);
+      return true;
+    }
+    case RecordType::AAAA: {
+      std::span<const std::uint8_t> bytes;
+      if (rdlength != 16 || !dec.read_bytes(16, bytes)) return dec.fail("bad AAAA rdata");
+      IPv6Address::Bytes address{};
+      std::copy(bytes.begin(), bytes.end(), address.begin());
+      record.type = RecordType::AAAA;
+      record.data = IPv6Address(address);
+      return true;
+    }
+    case RecordType::CNAME:
+    case RecordType::NS:
+    case RecordType::PTR: {
+      DomainName target;
+      if (!dec.read_name(target)) return false;
+      if (dec.position() != rdata_end) return dec.fail("rdlength mismatch in name rdata");
+      record.type = static_cast<RecordType>(type_raw);
+      record.data = std::move(target);
+      return true;
+    }
+    case RecordType::MX: {
+      MxData mx;
+      if (!dec.read_u16(mx.preference) || !dec.read_name(mx.exchange)) return false;
+      if (dec.position() != rdata_end) return dec.fail("rdlength mismatch in MX rdata");
+      record.type = RecordType::MX;
+      record.data = std::move(mx);
+      return true;
+    }
+    case RecordType::SOA: {
+      SoaData soa;
+      if (!dec.read_name(soa.mname) || !dec.read_name(soa.rname) ||
+          !dec.read_u32(soa.serial) || !dec.read_u32(soa.refresh) ||
+          !dec.read_u32(soa.retry) || !dec.read_u32(soa.expire) ||
+          !dec.read_u32(soa.minimum)) {
+        return false;
+      }
+      if (dec.position() != rdata_end) return dec.fail("rdlength mismatch in SOA rdata");
+      record.type = RecordType::SOA;
+      record.data = std::move(soa);
+      return true;
+    }
+    case RecordType::OPT:
+      return dec.fail("OPT handled before the typed switch");  // unreachable
+    case RecordType::TXT: {
+      TxtData txt;
+      while (dec.position() < rdata_end) {
+        std::uint8_t chunk_len = 0;
+        if (!dec.read_u8(chunk_len)) return false;
+        std::span<const std::uint8_t> chunk;
+        if (!dec.read_bytes(chunk_len, chunk)) return false;
+        txt.text.append(chunk.begin(), chunk.end());
+      }
+      if (dec.position() != rdata_end) return dec.fail("rdlength mismatch in TXT rdata");
+      record.type = RecordType::TXT;
+      record.data = std::move(txt);
+      return true;
+    }
+  }
+  return dec.fail("unknown record type " + std::to_string(type_raw));
+}
+
+}  // namespace
+
+std::string_view record_type_name(RecordType type) noexcept {
+  switch (type) {
+    case RecordType::A: return "A";
+    case RecordType::NS: return "NS";
+    case RecordType::CNAME: return "CNAME";
+    case RecordType::SOA: return "SOA";
+    case RecordType::PTR: return "PTR";
+    case RecordType::OPT: return "OPT";
+    case RecordType::MX: return "MX";
+    case RecordType::TXT: return "TXT";
+    case RecordType::AAAA: return "AAAA";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_message(const Message& message) {
+  Encoder enc;
+  enc.put_u16(message.header.id);
+  const std::uint16_t flags = static_cast<std::uint16_t>(
+      (message.header.qr ? 0x8000u : 0u) | ((message.header.opcode & 0xFu) << 11) |
+      (message.header.aa ? 0x0400u : 0u) | (message.header.tc ? 0x0200u : 0u) |
+      (message.header.rd ? 0x0100u : 0u) | (message.header.ra ? 0x0080u : 0u) |
+      (message.header.rcode & 0xFu));
+  enc.put_u16(flags);
+  enc.put_u16(static_cast<std::uint16_t>(message.questions.size()));
+  enc.put_u16(static_cast<std::uint16_t>(message.answers.size()));
+  enc.put_u16(static_cast<std::uint16_t>(message.authorities.size()));
+  enc.put_u16(static_cast<std::uint16_t>(message.additionals.size()));
+
+  for (const auto& question : message.questions) {
+    enc.put_name(question.name);
+    enc.put_u16(static_cast<std::uint16_t>(question.type));
+    enc.put_u16(kClassIn);
+  }
+  for (const auto* section : {&message.answers, &message.authorities, &message.additionals}) {
+    for (const auto& record : *section) encode_record(enc, record);
+  }
+  return std::move(enc).take();
+}
+
+std::optional<Message> decode_message(std::span<const std::uint8_t> wire, std::string* error) {
+  Decoder dec(wire);
+  Message message;
+  const auto report = [&](const char* fallback) -> std::optional<Message> {
+    if (error != nullptr) *error = dec.error().empty() ? fallback : dec.error();
+    return std::nullopt;
+  };
+
+  std::uint16_t flags = 0;
+  std::uint16_t qdcount = 0;
+  std::uint16_t ancount = 0;
+  std::uint16_t nscount = 0;
+  std::uint16_t arcount = 0;
+  if (!dec.read_u16(message.header.id) || !dec.read_u16(flags) || !dec.read_u16(qdcount) ||
+      !dec.read_u16(ancount) || !dec.read_u16(nscount) || !dec.read_u16(arcount)) {
+    return report("truncated header");
+  }
+  message.header.qr = (flags & 0x8000u) != 0;
+  message.header.opcode = static_cast<std::uint8_t>((flags >> 11) & 0xFu);
+  message.header.aa = (flags & 0x0400u) != 0;
+  message.header.tc = (flags & 0x0200u) != 0;
+  message.header.rd = (flags & 0x0100u) != 0;
+  message.header.ra = (flags & 0x0080u) != 0;
+  message.header.rcode = static_cast<std::uint8_t>(flags & 0xFu);
+
+  for (int i = 0; i < qdcount; ++i) {
+    Question question;
+    std::uint16_t type_raw = 0;
+    std::uint16_t klass = 0;
+    if (!dec.read_name(question.name) || !dec.read_u16(type_raw) || !dec.read_u16(klass)) {
+      return report("truncated question");
+    }
+    if (klass != kClassIn) return report("unsupported question CLASS");
+    question.type = static_cast<RecordType>(type_raw);
+    message.questions.push_back(std::move(question));
+  }
+
+  const auto read_section = [&](int count, std::vector<ResourceRecord>& section) {
+    for (int i = 0; i < count; ++i) {
+      ResourceRecord record;
+      if (!decode_record(dec, record)) return false;
+      section.push_back(std::move(record));
+    }
+    return true;
+  };
+  if (!read_section(ancount, message.answers) || !read_section(nscount, message.authorities) ||
+      !read_section(arcount, message.additionals)) {
+    return report("truncated records");
+  }
+  if (!dec.at_end()) return report("trailing bytes after message");
+  return message;
+}
+
+}  // namespace sp::dns

@@ -1,0 +1,58 @@
+// RFC 1035 DNS message wire-format codec with name compression.
+//
+// The encoder compresses names by pointing at previously emitted suffixes
+// (RFC 1035 section 4.1.4); the decoder follows compression pointers with
+// strict backward-only and jump-count guards, so malformed or malicious
+// messages cannot loop it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/record.h"
+
+namespace sp::dns {
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;           // response flag
+  std::uint8_t opcode = 0;   // QUERY
+  bool aa = false;           // authoritative answer
+  bool tc = false;           // truncation
+  bool rd = true;            // recursion desired
+  bool ra = false;           // recursion available
+  std::uint8_t rcode = 0;    // NOERROR
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+struct Question {
+  DomainName name;
+  RecordType type = RecordType::A;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Serializes a message; names in questions and RDATA are compressed.
+[[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& message);
+
+/// Parses a wire-format message. Returns nullopt on any structural error
+/// (truncation, bad pointers, unknown record type, trailing bytes) and, when
+/// `error` is non-null, stores a human-readable reason.
+[[nodiscard]] std::optional<Message> decode_message(std::span<const std::uint8_t> wire,
+                                                    std::string* error = nullptr);
+
+}  // namespace sp::dns

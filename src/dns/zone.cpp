@@ -1,0 +1,165 @@
+#include "dns/zone.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sp::dns {
+
+namespace {
+
+const std::vector<ResourceRecord> kNoRecords;
+
+void sort_unique_v4(std::vector<IPv4Address>& addresses) {
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()), addresses.end());
+}
+
+void sort_unique_v6(std::vector<IPv6Address>& addresses) {
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()), addresses.end());
+}
+
+}  // namespace
+
+void ZoneDatabase::add(ResourceRecord record) {
+  by_name_[record.name].push_back(std::move(record));
+  ++record_count_;
+}
+
+const std::vector<ResourceRecord>& ZoneDatabase::records(const DomainName& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoRecords : it->second;
+}
+
+std::vector<ResourceRecord> ZoneDatabase::records(const DomainName& name,
+                                                  RecordType type) const {
+  std::vector<ResourceRecord> out;
+  for (const auto& record : records(name)) {
+    if (record.type == type) out.push_back(record);
+  }
+  return out;
+}
+
+void ZoneDatabase::visit_records(
+    const std::function<void(const ResourceRecord&)>& visit) const {
+  std::vector<const DomainName*> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, records] : by_name_) names.push_back(&name);
+  std::sort(names.begin(), names.end(),
+            [](const DomainName* a, const DomainName* b) { return *a < *b; });
+  for (const DomainName* name : names) {
+    for (const auto& record : by_name_.at(*name)) visit(record);
+  }
+}
+
+ResolutionResult ZoneDatabase::resolve(const DomainName& query) const {
+  ResolutionResult result;
+  result.queried = query;
+  result.response_name = query;
+
+  std::unordered_set<DomainName> visited{query};
+  DomainName current = query;
+  for (std::size_t depth = 0;; ++depth) {
+    if (depth >= kMaxCnameDepth) {
+      result.chain_too_long = true;
+      break;
+    }
+    // A CNAME is exclusive with other data at the same name (RFC 1034
+    // section 3.6.2), so chase it before collecting addresses.
+    const auto cnames = records(current, RecordType::CNAME);
+    if (cnames.empty()) {
+      for (const auto& record : records(current)) {
+        if (record.type == RecordType::A) {
+          result.v4.push_back(std::get<IPv4Address>(record.data));
+        } else if (record.type == RecordType::AAAA) {
+          result.v6.push_back(std::get<IPv6Address>(record.data));
+        }
+      }
+      break;
+    }
+    const DomainName& target = std::get<DomainName>(cnames.front().data);
+    if (!visited.insert(target).second) {
+      result.cname_loop = true;
+      break;
+    }
+    result.cname_chain.push_back(target);
+    current = target;
+  }
+  result.response_name = current;
+  sort_unique_v4(result.v4);
+  sort_unique_v6(result.v6);
+  return result;
+}
+
+Message ZoneDatabase::serve(const Message& query) const {
+  Message response;
+  response.header = query.header;
+  response.header.qr = true;
+  response.header.aa = true;
+  response.header.ra = false;
+  response.questions = query.questions;
+
+  bool any_name_known = query.questions.empty();
+  for (const auto& question : query.questions) {
+    if (by_name_.contains(question.name)) any_name_known = true;
+
+    // Emit the CNAME chain from the queried name.
+    const auto resolution = resolve(question.name);
+    DomainName owner = question.name;
+    for (const auto& target : resolution.cname_chain) {
+      response.answers.push_back(ResourceRecord::cname(owner, target));
+      owner = target;
+    }
+    if (question.type == RecordType::A) {
+      for (const auto& address : resolution.v4) {
+        response.answers.push_back(ResourceRecord::a(owner, address));
+      }
+    } else if (question.type == RecordType::AAAA) {
+      for (const auto& address : resolution.v6) {
+        response.answers.push_back(ResourceRecord::aaaa(owner, address));
+      }
+    } else {
+      for (const auto& record : records(resolution.response_name, question.type)) {
+        response.answers.push_back(record);
+      }
+    }
+  }
+  if (!any_name_known) {
+    bool referred = false;
+    // Walk up from each queried name: the closest enclosing SOA means we
+    // are authoritative and the name does not exist (NXDOMAIN with the SOA
+    // in the authority section, RFC 2308); closer NS records mean the
+    // question belongs to a delegated child zone — answer with a referral
+    // (NOERROR, NS in authority, glue addresses in additionals).
+    for (const auto& question : query.questions) {
+      DomainName zone = question.name;
+      while (true) {
+        const auto soas = records(zone, RecordType::SOA);
+        if (!soas.empty()) {
+          response.authorities.push_back(soas.front());
+          break;
+        }
+        const auto delegations = records(zone, RecordType::NS);
+        if (!delegations.empty()) {
+          referred = true;
+          for (const auto& ns : delegations) {
+            response.authorities.push_back(ns);
+            const DomainName& server = std::get<DomainName>(ns.data);
+            for (const auto& glue : records(server)) {
+              if (glue.type == RecordType::A || glue.type == RecordType::AAAA) {
+                response.additionals.push_back(glue);
+              }
+            }
+          }
+          break;
+        }
+        if (zone.is_root()) break;
+        zone = zone.parent();
+      }
+    }
+    if (!referred) response.header.rcode = 3;  // NXDOMAIN
+  }
+  return response;
+}
+
+}  // namespace sp::dns

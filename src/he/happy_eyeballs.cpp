@@ -1,0 +1,90 @@
+#include "he/happy_eyeballs.h"
+
+#include <algorithm>
+
+namespace sp::he {
+
+std::vector<Endpoint> interleave(const std::vector<Endpoint>& v6,
+                                 const std::vector<Endpoint>& v4, bool prefer_ipv6) {
+  const std::vector<Endpoint>& first = prefer_ipv6 ? v6 : v4;
+  const std::vector<Endpoint>& second = prefer_ipv6 ? v4 : v6;
+  std::vector<Endpoint> out;
+  out.reserve(first.size() + second.size());
+  for (std::size_t i = 0; i < std::max(first.size(), second.size()); ++i) {
+    if (i < first.size()) out.push_back(first[i]);
+    if (i < second.size()) out.push_back(second[i]);
+  }
+  return out;
+}
+
+Outcome race_ordered(const std::vector<Endpoint>& candidates, const HeConfig& config) {
+  Outcome outcome;
+  double next_start = 0.0;
+  double best_success = config.overall_timeout_ms;
+  std::optional<IPAddress> best_address;
+
+  for (const Endpoint& endpoint : candidates) {
+    const double start = next_start;
+    if (start >= best_success || start >= config.overall_timeout_ms) break;
+
+    Attempt attempt;
+    attempt.address = endpoint.address;
+    attempt.start_ms = start;
+
+    if (endpoint.reachable) {
+      const double done = start + endpoint.rtt_ms;
+      attempt.success = done <= config.overall_timeout_ms;
+      if (attempt.success) {
+        attempt.end_ms = done;
+        if (done < best_success) {
+          best_success = done;
+          best_address = endpoint.address;
+        }
+      }
+      // A pending (eventually successful) attempt does not accelerate the
+      // next start: the next candidate starts one attempt delay later.
+      next_start = start + config.connection_attempt_delay_ms;
+    } else if (endpoint.failure_mode == FailureMode::Refused) {
+      // Visible failure: the next attempt starts immediately on failure
+      // detection (RFC 8305 section 5), or at the attempt delay, whichever
+      // comes first.
+      const double failed = start + endpoint.rtt_ms;
+      attempt.end_ms = failed;
+      next_start = std::min(failed, start + config.connection_attempt_delay_ms);
+    } else {
+      // Silent drop: nothing to observe; only the attempt delay moves us on.
+      next_start = start + config.connection_attempt_delay_ms;
+    }
+    outcome.attempts.push_back(attempt);
+  }
+
+  if (best_address) {
+    outcome.winner = best_address;
+    outcome.connect_time_ms = best_success;
+    // Drop attempts that would have started after the winner connected.
+    std::erase_if(outcome.attempts, [&](const Attempt& attempt) {
+      return attempt.start_ms >= best_success && attempt.address != *best_address;
+    });
+  }
+  return outcome;
+}
+
+Outcome race(const std::vector<Endpoint>& v6, const std::vector<Endpoint>& v4,
+             const HeConfig& config) {
+  // RFC 8305 section 3: when the preferred family produced no addresses,
+  // the stack waited the resolution delay before proceeding with the other
+  // family; shift all starts by that amount.
+  const bool preferred_empty = config.prefer_ipv6 ? v6.empty() : v4.empty();
+  const auto candidates = interleave(v6, v4, config.prefer_ipv6);
+  Outcome outcome = race_ordered(candidates, config);
+  if (preferred_empty && !candidates.empty()) {
+    for (Attempt& attempt : outcome.attempts) {
+      attempt.start_ms += config.resolution_delay_ms;
+      if (attempt.end_ms) *attempt.end_ms += config.resolution_delay_ms;
+    }
+    if (outcome.winner) outcome.connect_time_ms += config.resolution_delay_ms;
+  }
+  return outcome;
+}
+
+}  // namespace sp::he

@@ -1,0 +1,84 @@
+// Happy Eyeballs v2 (RFC 8305) connection racing, as a deterministic
+// simulator.
+//
+// The paper motivates sibling prefixes with dual-stack operational
+// consistency: clients race IPv6 against IPv4, so a policy applied to only
+// one family does not block a service — Happy Eyeballs silently shifts
+// the traffic to the other family. This module makes that effect
+// computable: given candidate endpoints with per-family reachability and
+// RTTs, it plays out the RFC 8305 algorithm (address interleaving,
+// resolution delay, connection attempt delay, failure acceleration) and
+// reports which endpoint wins.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netbase/ip.h"
+
+namespace sp::he {
+
+/// How a blocked/unreachable endpoint fails.
+enum class FailureMode : std::uint8_t {
+  Silent,   // packets dropped: the attempt never completes
+  Refused,  // active rejection: failure visible after one RTT
+};
+
+/// One candidate connection endpoint.
+struct Endpoint {
+  IPAddress address;
+  double rtt_ms = 50.0;       // connection establishment time when reachable
+  bool reachable = true;
+  FailureMode failure_mode = FailureMode::Silent;
+};
+
+struct HeConfig {
+  /// RFC 8305 section 3: how long to wait for AAAA answers before starting
+  /// with IPv4-only candidates.
+  double resolution_delay_ms = 50.0;
+  /// RFC 8305 section 5: delay between successive connection attempts.
+  double connection_attempt_delay_ms = 250.0;
+  /// Give up when nothing connected by this time.
+  double overall_timeout_ms = 10000.0;
+  /// RFC 8305 section 4: first address family to try.
+  bool prefer_ipv6 = true;
+};
+
+struct Attempt {
+  IPAddress address;
+  double start_ms = 0.0;
+  /// Completion (success) or failure-detection time; unset for attempts
+  /// that never conclude within the timeout.
+  std::optional<double> end_ms;
+  bool success = false;
+};
+
+struct Outcome {
+  /// The endpoint that won the race, if any connected before the timeout.
+  std::optional<IPAddress> winner;
+  double connect_time_ms = 0.0;  // meaningful only when winner is set
+  /// Attempts actually started, in start order (later candidates are
+  /// cancelled once a winner is known).
+  std::vector<Attempt> attempts;
+
+  [[nodiscard]] bool connected() const noexcept { return winner.has_value(); }
+  [[nodiscard]] bool used_ipv6() const noexcept { return winner && winner->is_v6(); }
+};
+
+/// Builds the RFC 8305 section-4 candidate order: families interleaved,
+/// starting with the preferred one.
+[[nodiscard]] std::vector<Endpoint> interleave(const std::vector<Endpoint>& v6,
+                                               const std::vector<Endpoint>& v4,
+                                               bool prefer_ipv6);
+
+/// Runs the race over already-ordered candidates.
+[[nodiscard]] Outcome race_ordered(const std::vector<Endpoint>& candidates,
+                                   const HeConfig& config = {});
+
+/// Convenience: interleaves per RFC 8305 and races. When the preferred
+/// family has no candidates, the other family starts after the resolution
+/// delay (the "wait for AAAA" behaviour).
+[[nodiscard]] Outcome race(const std::vector<Endpoint>& v6, const std::vector<Endpoint>& v4,
+                           const HeConfig& config = {});
+
+}  // namespace sp::he

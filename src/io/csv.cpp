@@ -1,0 +1,112 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <iterator>
+
+namespace sp::io {
+
+namespace {
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\r\n") != std::string_view::npos;
+}
+
+}  // namespace
+
+std::string format_csv_row(const CsvRow& row) {
+  // A row holding exactly one empty field would otherwise render as an
+  // empty line, which the parser treats as "no row"; quote it explicitly.
+  if (row.size() == 1 && row[0].empty()) return "\"\"";
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    if (needs_quoting(row[i])) {
+      out.push_back('"');
+      for (const char c : row[i]) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    } else {
+      out += row[i];
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<CsvRow>> parse_csv(std::string_view text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    if (!row.empty() || field_started || !field.empty()) {
+      end_field();
+      rows.push_back(std::move(row));
+      row.clear();
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // next field exists even if empty
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) return std::nullopt;
+  end_row();
+  return rows;
+}
+
+bool write_csv_file(const std::string& path, const std::vector<CsvRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  for (const auto& row : rows) out << format_csv_row(row) << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<CsvRow>> read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  return parse_csv(text);
+}
+
+}  // namespace sp::io

@@ -1,0 +1,28 @@
+// Minimal RFC 4180-style CSV reading and writing (quoting, embedded
+// commas/quotes/newlines). Used for the published sibling-prefix list
+// artifact and for exporting experiment series.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sp::io {
+
+using CsvRow = std::vector<std::string>;
+
+/// Escapes and joins one row (no trailing newline).
+[[nodiscard]] std::string format_csv_row(const CsvRow& row);
+
+/// Parses one CSV document; handles quoted fields with embedded commas,
+/// quotes ("" escape) and newlines. Returns nullopt on unbalanced quotes.
+[[nodiscard]] std::optional<std::vector<CsvRow>> parse_csv(std::string_view text);
+
+/// Writes rows to a file; returns false on I/O error.
+[[nodiscard]] bool write_csv_file(const std::string& path, const std::vector<CsvRow>& rows);
+
+/// Reads and parses a CSV file.
+[[nodiscard]] std::optional<std::vector<CsvRow>> read_csv_file(const std::string& path);
+
+}  // namespace sp::io

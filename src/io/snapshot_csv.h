@@ -1,0 +1,30 @@
+// CSV serialization of DNS resolution snapshots — the interchange format
+// a user of the library would export from their own resolver runs (the
+// OpenINTEL role) to feed the pipeline.
+//
+// Layout:
+//   #date,2024-09-11
+//   queried,response,v4_addrs,v6_addrs
+//   www.shop.example,edge7.cdn.example,20.1.1.10|20.1.1.11,2620:100::10
+//
+// Address lists are '|'-separated and may be empty on one side.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dns/snapshot.h"
+
+namespace sp::io {
+
+/// Writes a snapshot; returns false on I/O failure.
+[[nodiscard]] bool write_snapshot_csv(const std::string& path,
+                                      const dns::ResolutionSnapshot& snapshot);
+
+/// Reads a snapshot previously written by write_snapshot_csv (or authored
+/// by hand in the same layout). Returns nullopt on I/O failure, a missing
+/// or malformed date/header row, or any unparsable entry.
+[[nodiscard]] std::optional<dns::ResolutionSnapshot> read_snapshot_csv(
+    const std::string& path);
+
+}  // namespace sp::io

@@ -1,0 +1,810 @@
+#include "mrt/codec.h"
+
+#include <algorithm>
+
+namespace sp::mrt {
+
+namespace {
+
+// BGP path attribute type codes (RFC 4271 / RFC 4760).
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+constexpr std::uint8_t kAttrMed = 4;
+constexpr std::uint8_t kAttrLocalPref = 5;
+constexpr std::uint8_t kAttrCommunity = 8;
+constexpr std::uint8_t kAttrMpReachNlri = 14;
+constexpr std::uint8_t kAttrMpUnreachNlri = 15;
+
+// Attribute flag bits.
+constexpr std::uint8_t kFlagOptional = 0x80;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagExtendedLength = 0x10;
+
+// Peer-type bits in the PEER_INDEX_TABLE (RFC 6396 section 4.3.1).
+constexpr std::uint8_t kPeerTypeV6Address = 0x01;
+constexpr std::uint8_t kPeerTypeAs4 = 0x02;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v >> 24);
+    out_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+    out_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 3] = static_cast<std::uint8_t>(v);
+  }
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+// Number of octets needed for a prefix of the given bit length.
+std::size_t prefix_octets(unsigned bits) { return (bits + 7) / 8; }
+
+// BGP message framing (RFC 4271 section 4.1).
+constexpr std::uint8_t kBgpUpdate = 2;
+constexpr std::size_t kBgpMarkerSize = 16;
+constexpr std::uint16_t kAfiIpv4 = 1;
+constexpr std::uint16_t kAfiIpv6 = 2;
+constexpr std::uint8_t kSafiUnicast = 1;
+
+void encode_attribute_header(ByteWriter& w, std::uint8_t flags, std::uint8_t type,
+                             std::size_t length) {
+  const bool extended = length > 0xff;
+  w.u8(static_cast<std::uint8_t>(flags | (extended ? kFlagExtendedLength : 0)));
+  w.u8(type);
+  if (extended) {
+    w.u16(static_cast<std::uint16_t>(length));
+  } else {
+    w.u8(static_cast<std::uint8_t>(length));
+  }
+}
+
+// Writes one NLRI prefix (length octet + minimal prefix octets).
+void encode_wire_prefix(ByteWriter& w, const Prefix& prefix) {
+  w.u8(static_cast<std::uint8_t>(prefix.length()));
+  const auto& storage = prefix.address().storage();
+  w.bytes(std::span(storage.data(), prefix_octets(prefix.length())));
+}
+
+/// When `update` is non-null the attributes are encoded for a BGP4MP
+/// UPDATE: IPv6 routes are carried in full-form MP_REACH_NLRI /
+/// MP_UNREACH_NLRI instead of the RFC 6396 truncated MP_REACH.
+void encode_attributes(ByteWriter& w, const PathAttributes& attributes,
+                       const Bgp4mpUpdate* update = nullptr) {
+  // ORIGIN — well-known mandatory.
+  encode_attribute_header(w, kFlagTransitive, kAttrOrigin, 1);
+  w.u8(static_cast<std::uint8_t>(attributes.origin));
+
+  // AS_PATH — well-known mandatory; 4-byte ASNs per RFC 6396.
+  {
+    std::size_t length = 0;
+    for (const auto& segment : attributes.as_path) length += 2 + 4 * segment.asns.size();
+    encode_attribute_header(w, kFlagTransitive, kAttrAsPath, length);
+    for (const auto& segment : attributes.as_path) {
+      w.u8(static_cast<std::uint8_t>(segment.type));
+      w.u8(static_cast<std::uint8_t>(segment.asns.size()));
+      for (const std::uint32_t asn : segment.asns) w.u32(asn);
+    }
+  }
+
+  if (attributes.next_hop_v4) {
+    encode_attribute_header(w, kFlagTransitive, kAttrNextHop, 4);
+    const auto octets = attributes.next_hop_v4->octets();
+    w.bytes(octets);
+  }
+  if (attributes.med) {
+    encode_attribute_header(w, kFlagOptional, kAttrMed, 4);
+    w.u32(*attributes.med);
+  }
+  if (attributes.local_pref) {
+    encode_attribute_header(w, kFlagTransitive, kAttrLocalPref, 4);
+    w.u32(*attributes.local_pref);
+  }
+  if (!attributes.communities.empty()) {
+    encode_attribute_header(w, static_cast<std::uint8_t>(kFlagOptional | kFlagTransitive),
+                            kAttrCommunity, 4 * attributes.communities.size());
+    for (const std::uint32_t community : attributes.communities) w.u32(community);
+  }
+  if (update == nullptr) {
+    if (attributes.next_hop_v6) {
+      // RFC 6396 section 4.3.4: MP_REACH_NLRI in TABLE_DUMP_V2 is truncated
+      // to next-hop length + next hop.
+      encode_attribute_header(w, kFlagOptional, kAttrMpReachNlri, 1 + 16);
+      w.u8(16);
+      w.bytes(attributes.next_hop_v6->bytes());
+    }
+  } else {
+    // Full-form MP attributes (RFC 4760) for the v6 routes of the update.
+    std::vector<const Prefix*> announced_v6;
+    for (const Prefix& prefix : update->announced) {
+      if (prefix.family() == Family::v6) announced_v6.push_back(&prefix);
+    }
+    if (!announced_v6.empty()) {
+      std::size_t length = 2 + 1 + 1 + 16 + 1;  // afi safi nhlen nexthop reserved
+      for (const Prefix* prefix : announced_v6) {
+        length += 1 + prefix_octets(prefix->length());
+      }
+      encode_attribute_header(w, kFlagOptional, kAttrMpReachNlri, length);
+      w.u16(kAfiIpv6);
+      w.u8(kSafiUnicast);
+      w.u8(16);
+      const IPv6Address next_hop =
+          attributes.next_hop_v6 ? *attributes.next_hop_v6 : IPv6Address{};
+      w.bytes(next_hop.bytes());
+      w.u8(0);  // reserved
+      for (const Prefix* prefix : announced_v6) encode_wire_prefix(w, *prefix);
+    }
+    std::vector<const Prefix*> withdrawn_v6;
+    for (const Prefix& prefix : update->withdrawn) {
+      if (prefix.family() == Family::v6) withdrawn_v6.push_back(&prefix);
+    }
+    if (!withdrawn_v6.empty()) {
+      std::size_t length = 2 + 1;
+      for (const Prefix* prefix : withdrawn_v6) {
+        length += 1 + prefix_octets(prefix->length());
+      }
+      encode_attribute_header(w, kFlagOptional, kAttrMpUnreachNlri, length);
+      w.u16(kAfiIpv6);
+      w.u8(kSafiUnicast);
+      for (const Prefix* prefix : withdrawn_v6) encode_wire_prefix(w, *prefix);
+    }
+  }
+  for (const auto& raw : attributes.unknown) {
+    encode_attribute_header(w, raw.flags, raw.type, raw.payload.size());
+    w.bytes(raw.payload);
+  }
+}
+
+void encode_body(ByteWriter& w, const PeerIndexTable& table) {
+  w.bytes(table.collector_bgp_id);
+  w.u16(static_cast<std::uint16_t>(table.view_name.size()));
+  for (const char c : table.view_name) w.u8(static_cast<std::uint8_t>(c));
+  w.u16(static_cast<std::uint16_t>(table.peers.size()));
+  for (const auto& peer : table.peers) {
+    const bool v6 = peer.address.is_v6();
+    w.u8(static_cast<std::uint8_t>(kPeerTypeAs4 | (v6 ? kPeerTypeV6Address : 0)));
+    w.bytes(peer.bgp_id);
+    if (v6) {
+      w.bytes(peer.address.v6().bytes());
+    } else {
+      const auto octets = peer.address.v4().octets();
+      w.bytes(octets);
+    }
+    w.u32(peer.asn);
+  }
+}
+
+void encode_body(ByteWriter& w, const RibRecord& rib) {
+  w.u32(rib.sequence);
+  w.u8(static_cast<std::uint8_t>(rib.prefix.length()));
+  const auto& storage = rib.prefix.address().storage();
+  w.bytes(std::span(storage.data(), prefix_octets(rib.prefix.length())));
+  w.u16(static_cast<std::uint16_t>(rib.entries.size()));
+  for (const auto& entry : rib.entries) {
+    w.u16(entry.peer_index);
+    w.u32(entry.originated_time);
+    const std::size_t attr_len_offset = w.size();
+    w.u16(0);  // patched below
+    const std::size_t attr_start = w.size();
+    encode_attributes(w, entry.attributes);
+    w.patch_u16(attr_len_offset, static_cast<std::uint16_t>(w.size() - attr_start));
+  }
+}
+
+void encode_peer_header(ByteWriter& w, std::uint32_t peer_asn, std::uint32_t local_asn,
+                        const IPAddress& peer, const IPAddress& local) {
+  w.u32(peer_asn);
+  w.u32(local_asn);
+  w.u16(0);  // interface index
+  w.u16(peer.is_v4() ? kAfiIpv4 : kAfiIpv6);
+  const auto put_address = [&w](const IPAddress& address) {
+    if (address.is_v4()) {
+      const auto octets = address.v4().octets();
+      w.bytes(octets);
+    } else {
+      w.bytes(address.v6().bytes());
+    }
+  };
+  put_address(peer);
+  put_address(local);
+}
+
+void encode_body(ByteWriter& w, const Bgp4mpUpdate& update) {
+  encode_peer_header(w, update.peer_asn, update.local_asn, update.peer_address,
+                     update.local_address);
+  // BGP message: marker, length (patched), type, UPDATE payload.
+  for (std::size_t i = 0; i < kBgpMarkerSize; ++i) w.u8(0xFF);
+  const std::size_t length_offset = w.size();
+  w.u16(0);
+  w.u8(kBgpUpdate);
+
+  // Withdrawn v4 routes.
+  const std::size_t withdrawn_len_offset = w.size();
+  w.u16(0);
+  const std::size_t withdrawn_start = w.size();
+  for (const Prefix& prefix : update.withdrawn) {
+    if (prefix.family() == Family::v4) encode_wire_prefix(w, prefix);
+  }
+  w.patch_u16(withdrawn_len_offset, static_cast<std::uint16_t>(w.size() - withdrawn_start));
+
+  // Path attributes (v6 routes ride inside MP attributes).
+  const std::size_t attr_len_offset = w.size();
+  w.u16(0);
+  const std::size_t attr_start = w.size();
+  encode_attributes(w, update.attributes, &update);
+  w.patch_u16(attr_len_offset, static_cast<std::uint16_t>(w.size() - attr_start));
+
+  // Announced v4 NLRI to the end of the message.
+  for (const Prefix& prefix : update.announced) {
+    if (prefix.family() == Family::v4) encode_wire_prefix(w, prefix);
+  }
+  w.patch_u16(length_offset,
+              static_cast<std::uint16_t>(w.size() - length_offset + kBgpMarkerSize - 0));
+}
+
+void encode_body(ByteWriter& w, const Bgp4mpStateChange& change) {
+  encode_peer_header(w, change.peer_asn, change.local_asn, change.peer_address,
+                     change.local_address);
+  w.u16(change.old_state);
+  w.u16(change.new_state);
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool fail(std::string reason) {
+    if (error_.empty()) error_ = std::move(reason);
+    return false;
+  }
+
+  bool u8(std::uint8_t& out) {
+    if (pos_ + 1 > data_.size()) return fail("truncated u8");
+    out = data_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& out) {
+    if (pos_ + 2 > data_.size()) return fail("truncated u16");
+    out = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    std::uint16_t hi = 0;
+    std::uint16_t lo = 0;
+    if (!u16(hi) || !u16(lo)) return false;
+    out = (std::uint32_t{hi} << 16) | lo;
+    return true;
+  }
+  bool bytes(std::size_t count, std::span<const std::uint8_t>& out) {
+    if (pos_ + count > data_.size()) return fail("truncated bytes");
+    out = data_.subspan(pos_, count);
+    pos_ += count;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+void update_raw(std::uint8_t flags, std::uint8_t type, std::span<const std::uint8_t> payload,
+                PathAttributes& out) {
+  RawAttribute raw;
+  raw.flags = flags;
+  raw.type = type;
+  raw.payload.assign(payload.begin(), payload.end());
+  out.unknown.push_back(std::move(raw));
+}
+
+// Reads one NLRI prefix (length octet + minimal octets).
+bool read_wire_prefix(ByteReader& r, Family family, Prefix& out) {
+  std::uint8_t length = 0;
+  if (!r.u8(length)) return false;
+  if (length > address_bits(family)) return r.fail("NLRI prefix length out of range");
+  std::span<const std::uint8_t> bytes;
+  if (!r.bytes(prefix_octets(length), bytes)) return false;
+  std::array<std::uint8_t, 16> storage{};
+  std::copy(bytes.begin(), bytes.end(), storage.begin());
+  const IPAddress address =
+      family == Family::v4
+          ? IPAddress(IPv4Address::from_octets(storage[0], storage[1], storage[2], storage[3]))
+          : IPAddress(IPv6Address(storage));
+  out = Prefix::of(address, length);
+  return true;
+}
+
+/// When `update` is non-null, MP_REACH_NLRI / MP_UNREACH_NLRI are parsed in
+/// their full RFC 4760 form and the carried v6 routes are appended to the
+/// update; otherwise the RFC 6396 truncated MP_REACH form is expected.
+bool decode_attributes(ByteReader& r, std::size_t attr_len, PathAttributes& out,
+                       Bgp4mpUpdate* update = nullptr) {
+  const std::size_t end = r.position() + attr_len;
+  while (r.position() < end) {
+    std::uint8_t flags = 0;
+    std::uint8_t type = 0;
+    if (!r.u8(flags) || !r.u8(type)) return false;
+    std::size_t length = 0;
+    if ((flags & kFlagExtendedLength) != 0) {
+      std::uint16_t len16 = 0;
+      if (!r.u16(len16)) return false;
+      length = len16;
+    } else {
+      std::uint8_t len8 = 0;
+      if (!r.u8(len8)) return false;
+      length = len8;
+    }
+    if (r.position() + length > end) return r.fail("attribute overruns attribute block");
+
+    std::span<const std::uint8_t> payload;
+    if (!r.bytes(length, payload)) return false;
+    ByteReader body(payload);
+
+    switch (type) {
+      case kAttrOrigin: {
+        std::uint8_t value = 0;
+        if (length != 1 || !body.u8(value) || value > 2) return r.fail("bad ORIGIN");
+        out.origin = static_cast<Origin>(value);
+        break;
+      }
+      case kAttrAsPath: {
+        while (body.remaining() > 0) {
+          std::uint8_t seg_type = 0;
+          std::uint8_t count = 0;
+          if (!body.u8(seg_type) || !body.u8(count)) return r.fail("bad AS_PATH segment");
+          if (seg_type != 1 && seg_type != 2) return r.fail("bad AS_PATH segment type");
+          AsPathSegment segment;
+          segment.type = static_cast<AsPathSegment::Type>(seg_type);
+          segment.asns.reserve(count);
+          for (int i = 0; i < count; ++i) {
+            std::uint32_t asn = 0;
+            if (!body.u32(asn)) return r.fail("truncated AS_PATH");
+            segment.asns.push_back(asn);
+          }
+          out.as_path.push_back(std::move(segment));
+        }
+        break;
+      }
+      case kAttrNextHop: {
+        if (length != 4) return r.fail("bad NEXT_HOP length");
+        out.next_hop_v4 = IPv4Address::from_octets(payload[0], payload[1], payload[2], payload[3]);
+        break;
+      }
+      case kAttrMed: {
+        std::uint32_t value = 0;
+        if (length != 4 || !body.u32(value)) return r.fail("bad MED");
+        out.med = value;
+        break;
+      }
+      case kAttrLocalPref: {
+        std::uint32_t value = 0;
+        if (length != 4 || !body.u32(value)) return r.fail("bad LOCAL_PREF");
+        out.local_pref = value;
+        break;
+      }
+      case kAttrCommunity: {
+        if (length % 4 != 0) return r.fail("bad COMMUNITY length");
+        while (body.remaining() > 0) {
+          std::uint32_t community = 0;
+          if (!body.u32(community)) return false;
+          out.communities.push_back(community);
+        }
+        break;
+      }
+      case kAttrMpUnreachNlri: {
+        if (update == nullptr) {
+          // Not expected in TABLE_DUMP_V2 RIB entries; preserve raw.
+          update_raw(flags, type, payload, out);
+          break;
+        }
+        std::uint16_t afi = 0;
+        std::uint8_t safi = 0;
+        if (!body.u16(afi) || !body.u8(safi)) return r.fail("bad MP_UNREACH header");
+        if (afi != kAfiIpv6 || safi != kSafiUnicast) return r.fail("unsupported MP_UNREACH AFI");
+        while (body.remaining() > 0) {
+          Prefix prefix;
+          if (!read_wire_prefix(body, Family::v6, prefix)) {
+            return r.fail("bad MP_UNREACH NLRI");
+          }
+          update->withdrawn.push_back(prefix);
+        }
+        break;
+      }
+      case kAttrMpReachNlri: {
+        if (update != nullptr) {
+          // Full RFC 4760 form.
+          std::uint16_t afi = 0;
+          std::uint8_t safi = 0;
+          std::uint8_t nh_len = 0;
+          if (!body.u16(afi) || !body.u8(safi) || !body.u8(nh_len)) {
+            return r.fail("bad MP_REACH header");
+          }
+          if (afi != kAfiIpv6 || safi != kSafiUnicast) return r.fail("unsupported MP_REACH AFI");
+          if (nh_len != 16 && nh_len != 32) return r.fail("bad MP_REACH next-hop length");
+          std::span<const std::uint8_t> nh;
+          if (!body.bytes(nh_len, nh)) return false;
+          IPv6Address::Bytes bytes{};
+          std::copy(nh.begin(), nh.begin() + 16, bytes.begin());
+          out.next_hop_v6 = IPv6Address(bytes);
+          std::uint8_t reserved = 0;
+          if (!body.u8(reserved)) return false;
+          while (body.remaining() > 0) {
+            Prefix prefix;
+            if (!read_wire_prefix(body, Family::v6, prefix)) {
+              return r.fail("bad MP_REACH NLRI");
+            }
+            update->announced.push_back(prefix);
+          }
+          break;
+        }
+        // Truncated RFC 6396 form: next-hop length + next hop.
+        std::uint8_t nh_len = 0;
+        if (!body.u8(nh_len)) return r.fail("bad MP_REACH");
+        if (nh_len == 16 && body.remaining() == 16) {
+          std::span<const std::uint8_t> nh;
+          if (!body.bytes(16, nh)) return false;
+          IPv6Address::Bytes bytes{};
+          std::copy(nh.begin(), nh.end(), bytes.begin());
+          out.next_hop_v6 = IPv6Address(bytes);
+        } else if (nh_len == 32 && body.remaining() == 32) {
+          // Global + link-local next hop; keep the global one.
+          std::span<const std::uint8_t> nh;
+          if (!body.bytes(32, nh)) return false;
+          IPv6Address::Bytes bytes{};
+          std::copy(nh.begin(), nh.begin() + 16, bytes.begin());
+          out.next_hop_v6 = IPv6Address(bytes);
+        } else {
+          return r.fail("bad MP_REACH next-hop length");
+        }
+        break;
+      }
+      default:
+        update_raw(flags, type, payload, out);
+        break;
+    }
+  }
+  return r.position() == end || r.fail("attribute block length mismatch");
+}
+
+bool decode_peer_index_table(ByteReader& r, PeerIndexTable& out) {
+  std::span<const std::uint8_t> collector;
+  if (!r.bytes(4, collector)) return false;
+  std::copy(collector.begin(), collector.end(), out.collector_bgp_id.begin());
+
+  std::uint16_t name_len = 0;
+  if (!r.u16(name_len)) return false;
+  std::span<const std::uint8_t> name;
+  if (!r.bytes(name_len, name)) return false;
+  out.view_name.assign(name.begin(), name.end());
+
+  std::uint16_t peer_count = 0;
+  if (!r.u16(peer_count)) return false;
+  out.peers.reserve(peer_count);
+  for (int i = 0; i < peer_count; ++i) {
+    std::uint8_t peer_type = 0;
+    if (!r.u8(peer_type)) return false;
+    PeerEntry peer;
+    std::span<const std::uint8_t> bgp_id;
+    if (!r.bytes(4, bgp_id)) return false;
+    std::copy(bgp_id.begin(), bgp_id.end(), peer.bgp_id.begin());
+
+    if ((peer_type & kPeerTypeV6Address) != 0) {
+      std::span<const std::uint8_t> address;
+      if (!r.bytes(16, address)) return false;
+      IPv6Address::Bytes bytes{};
+      std::copy(address.begin(), address.end(), bytes.begin());
+      peer.address = IPAddress(IPv6Address(bytes));
+    } else {
+      std::span<const std::uint8_t> address;
+      if (!r.bytes(4, address)) return false;
+      peer.address =
+          IPAddress(IPv4Address::from_octets(address[0], address[1], address[2], address[3]));
+    }
+    if ((peer_type & kPeerTypeAs4) != 0) {
+      if (!r.u32(peer.asn)) return false;
+    } else {
+      std::uint16_t as16 = 0;
+      if (!r.u16(as16)) return false;
+      peer.asn = as16;
+    }
+    out.peers.push_back(std::move(peer));
+  }
+  return true;
+}
+
+bool decode_rib_record(ByteReader& r, Family family, RibRecord& out) {
+  if (!r.u32(out.sequence)) return false;
+  std::uint8_t prefix_len = 0;
+  if (!r.u8(prefix_len)) return false;
+  if (prefix_len > address_bits(family)) return r.fail("prefix length out of range");
+  std::span<const std::uint8_t> prefix_bytes;
+  if (!r.bytes(prefix_octets(prefix_len), prefix_bytes)) return false;
+
+  std::array<std::uint8_t, 16> storage{};
+  std::copy(prefix_bytes.begin(), prefix_bytes.end(), storage.begin());
+  const IPAddress address =
+      family == Family::v4
+          ? IPAddress(IPv4Address::from_octets(storage[0], storage[1], storage[2], storage[3]))
+          : IPAddress(IPv6Address(storage));
+  out.prefix = Prefix::of(address, prefix_len);
+
+  std::uint16_t entry_count = 0;
+  if (!r.u16(entry_count)) return false;
+  out.entries.reserve(entry_count);
+  for (int i = 0; i < entry_count; ++i) {
+    RibEntry entry;
+    std::uint16_t attr_len = 0;
+    if (!r.u16(entry.peer_index) || !r.u32(entry.originated_time) || !r.u16(attr_len)) {
+      return false;
+    }
+    if (!decode_attributes(r, attr_len, entry.attributes)) return false;
+    out.entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+// Reads the BGP4MP peer header; `as4` selects 4-byte vs 2-byte AS fields.
+bool decode_peer_header(ByteReader& r, bool as4, std::uint32_t& peer_asn,
+                        std::uint32_t& local_asn, IPAddress& peer, IPAddress& local) {
+  if (as4) {
+    if (!r.u32(peer_asn) || !r.u32(local_asn)) return false;
+  } else {
+    std::uint16_t peer16 = 0;
+    std::uint16_t local16 = 0;
+    if (!r.u16(peer16) || !r.u16(local16)) return false;
+    peer_asn = peer16;
+    local_asn = local16;
+  }
+  std::uint16_t ifindex = 0;
+  std::uint16_t afi = 0;
+  if (!r.u16(ifindex) || !r.u16(afi)) return false;
+  const auto read_address = [&](IPAddress& out) {
+    if (afi == kAfiIpv4) {
+      std::span<const std::uint8_t> bytes;
+      if (!r.bytes(4, bytes)) return false;
+      out = IPAddress(IPv4Address::from_octets(bytes[0], bytes[1], bytes[2], bytes[3]));
+      return true;
+    }
+    if (afi == kAfiIpv6) {
+      std::span<const std::uint8_t> bytes;
+      if (!r.bytes(16, bytes)) return false;
+      IPv6Address::Bytes address{};
+      std::copy(bytes.begin(), bytes.end(), address.begin());
+      out = IPAddress(IPv6Address(address));
+      return true;
+    }
+    return r.fail("unsupported BGP4MP address family");
+  };
+  return read_address(peer) && read_address(local);
+}
+
+bool decode_bgp4mp_update(ByteReader& r, bool as4, Bgp4mpUpdate& out) {
+  if (!decode_peer_header(r, as4, out.peer_asn, out.local_asn, out.peer_address,
+                          out.local_address)) {
+    return false;
+  }
+  // BGP message header.
+  std::span<const std::uint8_t> marker;
+  if (!r.bytes(kBgpMarkerSize, marker)) return false;
+  for (const std::uint8_t byte : marker) {
+    if (byte != 0xFF) return r.fail("bad BGP marker");
+  }
+  std::uint16_t message_length = 0;
+  std::uint8_t message_type = 0;
+  if (!r.u16(message_length) || !r.u8(message_type)) return false;
+  if (message_type != kBgpUpdate) return r.fail("not a BGP UPDATE");
+  if (message_length < kBgpMarkerSize + 3) return r.fail("bad BGP message length");
+  const std::size_t body_bytes = message_length - kBgpMarkerSize - 3;
+  if (body_bytes > r.remaining()) return r.fail("truncated BGP message");
+  const std::size_t message_end = r.position() + body_bytes;
+
+  // Withdrawn v4 routes.
+  std::uint16_t withdrawn_length = 0;
+  if (!r.u16(withdrawn_length)) return false;
+  const std::size_t withdrawn_end = r.position() + withdrawn_length;
+  if (withdrawn_end > message_end) return r.fail("withdrawn block overruns message");
+  while (r.position() < withdrawn_end) {
+    Prefix prefix;
+    if (!read_wire_prefix(r, Family::v4, prefix)) return false;
+    out.withdrawn.push_back(prefix);
+  }
+  if (r.position() != withdrawn_end) return r.fail("withdrawn length mismatch");
+
+  // Path attributes (v6 routes are appended by the MP attribute parsers).
+  std::uint16_t attr_length = 0;
+  if (!r.u16(attr_length)) return false;
+  if (r.position() + attr_length > message_end) {
+    return r.fail("attribute block overruns message");
+  }
+  if (!decode_attributes(r, attr_length, out.attributes, &out)) return false;
+
+  // v4 NLRI runs to the end of the BGP message.
+  while (r.position() < message_end) {
+    Prefix prefix;
+    if (!read_wire_prefix(r, Family::v4, prefix)) return false;
+    out.announced.push_back(prefix);
+  }
+  if (r.position() != message_end) return r.fail("BGP message length mismatch");
+  // Wire order interleaves families (v6 in MP attributes, v4 in NLRI);
+  // normalize so decoded updates have a canonical route order.
+  std::sort(out.announced.begin(), out.announced.end());
+  std::sort(out.withdrawn.begin(), out.withdrawn.end());
+  return true;
+}
+
+bool decode_bgp4mp_state_change(ByteReader& r, bool as4, Bgp4mpStateChange& out) {
+  if (!decode_peer_header(r, as4, out.peer_asn, out.local_asn, out.peer_address,
+                          out.local_address)) {
+    return false;
+  }
+  return r.u16(out.old_state) && r.u16(out.new_state);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_record(const MrtRecord& record) {
+  ByteWriter w;
+  w.u32(record.timestamp);
+  MrtType type = MrtType::TableDumpV2;
+  std::uint16_t subtype = static_cast<std::uint16_t>(TableDumpV2Subtype::PeerIndexTable);
+  if (const auto* rib = std::get_if<RibRecord>(&record.body)) {
+    subtype = static_cast<std::uint16_t>(rib->prefix.family() == Family::v4
+                                             ? TableDumpV2Subtype::RibIpv4Unicast
+                                             : TableDumpV2Subtype::RibIpv6Unicast);
+  } else if (std::holds_alternative<Bgp4mpUpdate>(record.body)) {
+    type = MrtType::Bgp4mp;
+    subtype = static_cast<std::uint16_t>(Bgp4mpSubtype::MessageAs4);
+  } else if (std::holds_alternative<Bgp4mpStateChange>(record.body)) {
+    type = MrtType::Bgp4mp;
+    subtype = static_cast<std::uint16_t>(Bgp4mpSubtype::StateChangeAs4);
+  }
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u16(subtype);
+  const std::size_t length_offset = w.size();
+  w.u32(0);  // patched below
+  const std::size_t body_start = w.size();
+  std::visit([&w](const auto& body) { encode_body(w, body); }, record.body);
+  w.patch_u32(length_offset, static_cast<std::uint32_t>(w.size() - body_start));
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_dump(std::span<const MrtRecord> records) {
+  std::vector<std::uint8_t> out;
+  for (const auto& record : records) {
+    const auto encoded = encode_record(record);
+    out.insert(out.end(), encoded.begin(), encoded.end());
+  }
+  return out;
+}
+
+std::optional<MrtRecord> Cursor::next() {
+  if (!error_.empty() || at_end()) return std::nullopt;
+
+  ByteReader header(data_.subspan(pos_));
+  MrtRecord record;
+  std::uint16_t type_raw = 0;
+  std::uint16_t subtype_raw = 0;
+  std::uint32_t length = 0;
+  if (!header.u32(record.timestamp) || !header.u16(type_raw) || !header.u16(subtype_raw) ||
+      !header.u32(length)) {
+    error_ = "truncated MRT header";
+    return std::nullopt;
+  }
+  if (pos_ + 12 + length > data_.size()) {
+    error_ = "MRT record length overruns input";
+    return std::nullopt;
+  }
+  ByteReader body(data_.subspan(pos_ + 12, length));
+
+  if (type_raw == static_cast<std::uint16_t>(MrtType::Bgp4mp)) {
+    bool bgp4mp_ok = false;
+    switch (static_cast<Bgp4mpSubtype>(subtype_raw)) {
+      case Bgp4mpSubtype::Message:
+      case Bgp4mpSubtype::MessageAs4: {
+        Bgp4mpUpdate update;
+        bgp4mp_ok = decode_bgp4mp_update(
+            body, subtype_raw == static_cast<std::uint16_t>(Bgp4mpSubtype::MessageAs4),
+            update);
+        record.body = std::move(update);
+        break;
+      }
+      case Bgp4mpSubtype::StateChange:
+      case Bgp4mpSubtype::StateChangeAs4: {
+        Bgp4mpStateChange change;
+        bgp4mp_ok = decode_bgp4mp_state_change(
+            body,
+            subtype_raw == static_cast<std::uint16_t>(Bgp4mpSubtype::StateChangeAs4), change);
+        record.body = std::move(change);
+        break;
+      }
+      default:
+        error_ = "unsupported BGP4MP subtype " + std::to_string(subtype_raw);
+        return std::nullopt;
+    }
+    if (!bgp4mp_ok) {
+      error_ = body.error().empty() ? "malformed BGP4MP body" : body.error();
+      return std::nullopt;
+    }
+    if (body.remaining() != 0) {
+      error_ = "trailing bytes in BGP4MP record";
+      return std::nullopt;
+    }
+    pos_ += 12 + length;
+    return record;
+  }
+  if (type_raw != static_cast<std::uint16_t>(MrtType::TableDumpV2)) {
+    error_ = "unsupported MRT type " + std::to_string(type_raw);
+    return std::nullopt;
+  }
+  bool ok = false;
+  switch (static_cast<TableDumpV2Subtype>(subtype_raw)) {
+    case TableDumpV2Subtype::PeerIndexTable: {
+      PeerIndexTable table;
+      ok = decode_peer_index_table(body, table);
+      record.body = std::move(table);
+      break;
+    }
+    case TableDumpV2Subtype::RibIpv4Unicast:
+    case TableDumpV2Subtype::RibIpv6Unicast: {
+      RibRecord rib;
+      const Family family =
+          subtype_raw == static_cast<std::uint16_t>(TableDumpV2Subtype::RibIpv4Unicast)
+              ? Family::v4
+              : Family::v6;
+      ok = decode_rib_record(body, family, rib);
+      record.body = std::move(rib);
+      break;
+    }
+    default:
+      error_ = "unsupported TABLE_DUMP_V2 subtype " + std::to_string(subtype_raw);
+      return std::nullopt;
+  }
+  if (!ok) {
+    error_ = body.error().empty() ? "malformed MRT body" : body.error();
+    return std::nullopt;
+  }
+  if (body.remaining() != 0) {
+    error_ = "trailing bytes in MRT record body";
+    return std::nullopt;
+  }
+  pos_ += 12 + length;
+  return record;
+}
+
+std::optional<std::vector<MrtRecord>> decode_dump(std::span<const std::uint8_t> data,
+                                                  std::string* error) {
+  Cursor cursor(data);
+  std::vector<MrtRecord> records;
+  while (auto record = cursor.next()) records.push_back(std::move(*record));
+  if (!cursor.error().empty()) {
+    if (error != nullptr) *error = cursor.error();
+    return std::nullopt;
+  }
+  return records;
+}
+
+}  // namespace sp::mrt

@@ -1,0 +1,47 @@
+// MRT wire codec: serializes and parses RFC 6396 TABLE_DUMP_V2 records,
+// including the embedded RFC 4271 BGP path attributes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mrt/types.h"
+
+namespace sp::mrt {
+
+/// Serializes one record, including its MRT common header.
+[[nodiscard]] std::vector<std::uint8_t> encode_record(const MrtRecord& record);
+
+/// Serializes a whole dump (records back to back), PEER_INDEX_TABLE first
+/// by convention of the caller.
+[[nodiscard]] std::vector<std::uint8_t> encode_dump(std::span<const MrtRecord> records);
+
+/// Incremental parser over an in-memory dump. Bounds-checked throughout;
+/// any structural error stops the cursor and surfaces a reason.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Parses the next record. Returns nullopt at clean end-of-input or on
+  /// error; check `error()` to distinguish.
+  [[nodiscard]] std::optional<MrtRecord> next();
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Parses a whole dump; returns nullopt (with `error`) on the first
+/// malformed record.
+[[nodiscard]] std::optional<std::vector<MrtRecord>> decode_dump(
+    std::span<const std::uint8_t> data, std::string* error = nullptr);
+
+}  // namespace sp::mrt

@@ -1,0 +1,28 @@
+#include "mrt/file.h"
+
+#include <fstream>
+#include <iterator>
+
+namespace sp::mrt {
+
+bool write_file(const std::string& path, std::span<const MrtRecord> records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const auto bytes = encode_dump(records);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<MrtRecord>> read_file(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  const std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                        std::istreambuf_iterator<char>());
+  return decode_dump(bytes, error);
+}
+
+}  // namespace sp::mrt

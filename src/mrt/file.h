@@ -1,0 +1,20 @@
+// Whole-file MRT dump I/O.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mrt/codec.h"
+
+namespace sp::mrt {
+
+/// Writes `records` as one MRT dump file. Returns false on I/O failure.
+[[nodiscard]] bool write_file(const std::string& path, std::span<const MrtRecord> records);
+
+/// Reads and parses an MRT dump file. Returns nullopt on I/O or parse
+/// failure (reason in `error` when non-null).
+[[nodiscard]] std::optional<std::vector<MrtRecord>> read_file(const std::string& path,
+                                                              std::string* error = nullptr);
+
+}  // namespace sp::mrt

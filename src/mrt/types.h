@@ -1,0 +1,164 @@
+// MRT (RFC 6396) record model for TABLE_DUMP_V2 RIB dumps — the format the
+// Routeviews collectors publish and the pipeline's source of IP→prefix→AS
+// mappings.
+//
+// Only the TABLE_DUMP_V2 type is modeled (PEER_INDEX_TABLE,
+// RIB_IPV4_UNICAST, RIB_IPV6_UNICAST): that is what a RIB snapshot consumer
+// needs. AS numbers are always 4 bytes, as TABLE_DUMP_V2 mandates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "netbase/prefix.h"
+
+namespace sp::mrt {
+
+/// MRT top-level types (subset).
+enum class MrtType : std::uint16_t {
+  TableDumpV2 = 13,
+  Bgp4mp = 16,
+};
+
+/// TABLE_DUMP_V2 subtypes (subset).
+enum class TableDumpV2Subtype : std::uint16_t {
+  PeerIndexTable = 1,
+  RibIpv4Unicast = 2,
+  RibIpv6Unicast = 4,
+};
+
+/// BGP4MP subtypes (subset; only the 4-byte-AS variants are produced).
+enum class Bgp4mpSubtype : std::uint16_t {
+  StateChange = 0,
+  Message = 1,
+  MessageAs4 = 4,
+  StateChangeAs4 = 5,
+};
+
+/// One peer in the PEER_INDEX_TABLE.
+struct PeerEntry {
+  std::array<std::uint8_t, 4> bgp_id{};
+  IPAddress address;  // family drives the address-size bit in peer type
+  std::uint32_t asn = 0;
+
+  friend bool operator==(const PeerEntry&, const PeerEntry&) = default;
+};
+
+struct PeerIndexTable {
+  std::array<std::uint8_t, 4> collector_bgp_id{};
+  std::string view_name;
+  std::vector<PeerEntry> peers;
+
+  friend bool operator==(const PeerIndexTable&, const PeerIndexTable&) = default;
+};
+
+/// BGP ORIGIN attribute values (RFC 4271).
+enum class Origin : std::uint8_t { Igp = 0, Egp = 1, Incomplete = 2 };
+
+struct AsPathSegment {
+  enum class Type : std::uint8_t { Set = 1, Sequence = 2 };
+  Type type = Type::Sequence;
+  std::vector<std::uint32_t> asns;
+
+  friend bool operator==(const AsPathSegment&, const AsPathSegment&) = default;
+};
+
+/// An attribute the codec does not interpret; kept raw so records round-trip.
+struct RawAttribute {
+  std::uint8_t flags = 0;
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const RawAttribute&, const RawAttribute&) = default;
+};
+
+/// Decoded BGP path attributes of one RIB entry.
+struct PathAttributes {
+  Origin origin = Origin::Igp;
+  std::vector<AsPathSegment> as_path;
+  std::optional<IPv4Address> next_hop_v4;  // NEXT_HOP (type 3)
+  /// IPv6 next hop, carried in the RFC 6396 truncated MP_REACH_NLRI.
+  std::optional<IPv6Address> next_hop_v6;
+  std::optional<std::uint32_t> med;         // MULTI_EXIT_DISC (type 4)
+  std::optional<std::uint32_t> local_pref;  // LOCAL_PREF (type 5)
+  std::vector<std::uint32_t> communities;   // COMMUNITY (type 8)
+  std::vector<RawAttribute> unknown;        // anything else, preserved verbatim
+
+  /// The origin AS: the last ASN of the AS_PATH (rightmost element of the
+  /// final segment), nullopt for an empty path.
+  [[nodiscard]] std::optional<std::uint32_t> origin_as() const noexcept {
+    if (as_path.empty() || as_path.back().asns.empty()) return std::nullopt;
+    return as_path.back().asns.back();
+  }
+
+  /// Convenience builder for the common "straight AS_SEQUENCE" case.
+  [[nodiscard]] static PathAttributes sequence(std::vector<std::uint32_t> path) {
+    PathAttributes attributes;
+    attributes.as_path.push_back({AsPathSegment::Type::Sequence, std::move(path)});
+    return attributes;
+  }
+
+  friend bool operator==(const PathAttributes&, const PathAttributes&) = default;
+};
+
+/// One peer's view of one prefix inside a RIB record.
+struct RibEntry {
+  std::uint16_t peer_index = 0;
+  std::uint32_t originated_time = 0;
+  PathAttributes attributes;
+
+  friend bool operator==(const RibEntry&, const RibEntry&) = default;
+};
+
+/// One RIB_IPV4_UNICAST / RIB_IPV6_UNICAST record (subtype follows the
+/// prefix family).
+struct RibRecord {
+  std::uint32_t sequence = 0;
+  Prefix prefix;
+  std::vector<RibEntry> entries;
+
+  friend bool operator==(const RibRecord&, const RibRecord&) = default;
+};
+
+/// A BGP UPDATE carried in a BGP4MP_MESSAGE_AS4 record (RFC 6396 section
+/// 4.4.3). IPv4 routes travel in the classic withdrawn/NLRI fields; IPv6
+/// routes in full-form MP_REACH_NLRI / MP_UNREACH_NLRI attributes
+/// (RFC 4760) — both are folded into the prefix vectors here.
+struct Bgp4mpUpdate {
+  std::uint32_t peer_asn = 0;
+  std::uint32_t local_asn = 0;
+  IPAddress peer_address;   // family must match local_address
+  IPAddress local_address;
+  std::vector<Prefix> announced;   // with `attributes` as the path
+  std::vector<Prefix> withdrawn;
+  PathAttributes attributes;
+
+  friend bool operator==(const Bgp4mpUpdate&, const Bgp4mpUpdate&) = default;
+};
+
+/// A BGP4MP_STATE_CHANGE_AS4 record (FSM transition of one peering).
+struct Bgp4mpStateChange {
+  std::uint32_t peer_asn = 0;
+  std::uint32_t local_asn = 0;
+  IPAddress peer_address;
+  IPAddress local_address;
+  std::uint16_t old_state = 0;  // RFC 4271 FSM states, 1=Idle .. 6=Established
+  std::uint16_t new_state = 0;
+
+  friend bool operator==(const Bgp4mpStateChange&, const Bgp4mpStateChange&) = default;
+};
+
+using MrtBody = std::variant<PeerIndexTable, RibRecord, Bgp4mpUpdate, Bgp4mpStateChange>;
+
+struct MrtRecord {
+  std::uint32_t timestamp = 0;
+  MrtBody body;
+
+  friend bool operator==(const MrtRecord&, const MrtRecord&) = default;
+};
+
+}  // namespace sp::mrt

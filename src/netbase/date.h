@@ -1,0 +1,57 @@
+// Calendar date for measurement snapshots.
+//
+// The pipeline is organized around monthly snapshots (the paper samples
+// every second Wednesday of the month); this small value type provides the
+// arithmetic those series need without pulling in <chrono> calendars.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace sp {
+
+struct Date {
+  std::int32_t year = 2024;
+  std::int32_t month = 9;  // 1..12
+  std::int32_t day = 11;   // 1..31
+
+  friend constexpr auto operator<=>(const Date&, const Date&) = default;
+
+  /// "2024-09-11".
+  [[nodiscard]] std::string to_string() const;
+
+  /// This date shifted by `count` months (day clamped to 28 to stay valid).
+  [[nodiscard]] Date plus_months(std::int32_t count) const;
+
+  /// Whole months from `earlier` to this date (sign-sensitive).
+  [[nodiscard]] std::int32_t months_since(const Date& earlier) const noexcept {
+    return (year - earlier.year) * 12 + (month - earlier.month);
+  }
+};
+
+inline std::string Date::to_string() const {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%04d-%02d-%02d", year, month, day);
+  return buffer;
+}
+
+inline Date Date::plus_months(std::int32_t count) const {
+  const std::int32_t base = year * 12 + (month - 1) + count;
+  Date out;
+  out.year = base / 12;
+  out.month = base % 12 + 1;
+  out.day = day > 28 ? 28 : day;
+  return out;
+}
+
+}  // namespace sp
+
+template <>
+struct std::hash<sp::Date> {
+  std::size_t operator()(const sp::Date& d) const noexcept {
+    return std::hash<std::int64_t>{}((std::int64_t{d.year} << 16) ^ (d.month << 8) ^ d.day);
+  }
+};

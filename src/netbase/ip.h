@@ -1,0 +1,204 @@
+// IP address value types for the sibling-prefix library.
+//
+// Provides IPv4Address, IPv6Address and the family-erased IPAddress.
+// Parsing follows RFC 4291 section 2.2 for IPv6 text representations and
+// strict dotted-quad for IPv4; formatting of IPv6 follows RFC 5952
+// (lowercase, longest zero-run compressed, leftmost run on ties).
+//
+// All types are small regular value types: trivially copyable, totally
+// ordered and hashable, so they can be used directly as keys in ordered
+// and unordered containers.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sp {
+
+/// Address family of an address or prefix.
+enum class Family : std::uint8_t { v4 = 4, v6 = 6 };
+
+/// Number of bits in an address of the given family (32 or 128).
+[[nodiscard]] constexpr unsigned address_bits(Family family) noexcept {
+  return family == Family::v4 ? 32u : 128u;
+}
+
+/// Short human-readable family name ("IPv4" / "IPv6").
+[[nodiscard]] std::string_view family_name(Family family) noexcept;
+
+/// An IPv4 address stored as a host-order 32-bit integer.
+class IPv4Address {
+ public:
+  constexpr IPv4Address() noexcept = default;
+  explicit constexpr IPv4Address(std::uint32_t host_order_value) noexcept
+      : value_(host_order_value) {}
+
+  /// Builds an address from its four dotted-quad octets.
+  [[nodiscard]] static constexpr IPv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                                         std::uint8_t c,
+                                                         std::uint8_t d) noexcept {
+    return IPv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses strict dotted-quad text ("192.0.2.1"). Octets must be decimal,
+  /// in range, and must not have leading zeros. Returns nullopt on error.
+  [[nodiscard]] static std::optional<IPv4Address> from_string(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  [[nodiscard]] constexpr std::array<std::uint8_t, 4> octets() const noexcept {
+    return {static_cast<std::uint8_t>(value_ >> 24), static_cast<std::uint8_t>(value_ >> 16),
+            static_cast<std::uint8_t>(value_ >> 8), static_cast<std::uint8_t>(value_)};
+  }
+
+  /// Bit `i` counted from the most significant bit; `i` must be < 32.
+  [[nodiscard]] constexpr bool bit(unsigned i) const noexcept {
+    return ((value_ >> (31u - i)) & 1u) != 0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IPv4Address&, const IPv4Address&) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv6 address stored as 16 network-order bytes.
+class IPv6Address {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr IPv6Address() noexcept : bytes_{} {}
+  explicit constexpr IPv6Address(const Bytes& bytes) noexcept : bytes_(bytes) {}
+
+  /// Builds an address from its eight 16-bit groups (host order).
+  [[nodiscard]] static IPv6Address from_groups(const std::array<std::uint16_t, 8>& groups);
+
+  /// Parses RFC 4291 text ("2001:db8::1", "::", "::ffff:192.0.2.1").
+  /// Zone identifiers ("%eth0") are rejected. Returns nullopt on error.
+  [[nodiscard]] static std::optional<IPv6Address> from_string(std::string_view text);
+
+  [[nodiscard]] constexpr const Bytes& bytes() const noexcept { return bytes_; }
+
+  /// 16-bit group `i` (0..7) in host order.
+  [[nodiscard]] constexpr std::uint16_t group(unsigned i) const noexcept {
+    return static_cast<std::uint16_t>((std::uint16_t{bytes_[2 * i]} << 8) | bytes_[2 * i + 1]);
+  }
+
+  /// Bit `i` counted from the most significant bit; `i` must be < 128.
+  [[nodiscard]] constexpr bool bit(unsigned i) const noexcept {
+    return ((bytes_[i / 8] >> (7u - i % 8u)) & 1u) != 0;
+  }
+
+  /// Canonical RFC 5952 text representation.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IPv6Address&, const IPv6Address&) noexcept = default;
+
+ private:
+  Bytes bytes_;
+};
+
+/// A family-erased IP address. IPv4 addresses occupy the first four bytes
+/// of the internal storage; remaining bytes are zero, so comparison and
+/// hashing are uniform across families (family participates in ordering).
+class IPAddress {
+ public:
+  constexpr IPAddress() noexcept : IPAddress(IPv4Address{}) {}
+
+  constexpr IPAddress(IPv4Address v4) noexcept : family_(Family::v4), bytes_{} {
+    const auto octets = v4.octets();
+    bytes_[0] = octets[0];
+    bytes_[1] = octets[1];
+    bytes_[2] = octets[2];
+    bytes_[3] = octets[3];
+  }
+
+  constexpr IPAddress(IPv6Address v6) noexcept : family_(Family::v6), bytes_(v6.bytes()) {}
+
+  /// Parses either family, auto-detected by the presence of ':'.
+  [[nodiscard]] static std::optional<IPAddress> from_string(std::string_view text);
+
+  /// Parses or throws std::invalid_argument; for literals in tests/examples.
+  [[nodiscard]] static IPAddress must_parse(std::string_view text);
+
+  [[nodiscard]] constexpr Family family() const noexcept { return family_; }
+  [[nodiscard]] constexpr bool is_v4() const noexcept { return family_ == Family::v4; }
+  [[nodiscard]] constexpr bool is_v6() const noexcept { return family_ == Family::v6; }
+
+  /// The IPv4 view; only valid when is_v4().
+  [[nodiscard]] constexpr IPv4Address v4() const noexcept {
+    return IPv4Address::from_octets(bytes_[0], bytes_[1], bytes_[2], bytes_[3]);
+  }
+
+  /// The IPv6 view; only valid when is_v6().
+  [[nodiscard]] constexpr IPv6Address v6() const noexcept { return IPv6Address(bytes_); }
+
+  /// Raw 16-byte storage (v4 in the leading 4 bytes, rest zero).
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 16>& storage() const noexcept {
+    return bytes_;
+  }
+
+  /// Bit `i` counted from the most significant bit of the address
+  /// (i < 32 for IPv4, i < 128 for IPv6).
+  [[nodiscard]] constexpr bool bit(unsigned i) const noexcept {
+    return ((bytes_[i / 8] >> (7u - i % 8u)) & 1u) != 0;
+  }
+
+  [[nodiscard]] constexpr unsigned max_prefix_length() const noexcept {
+    return address_bits(family_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IPAddress&, const IPAddress&) noexcept = default;
+
+ private:
+  Family family_;
+  std::array<std::uint8_t, 16> bytes_;
+};
+
+/// True for addresses that cannot appear in the global routing table:
+/// private (RFC 1918), loopback, link-local, CGN (RFC 6598), multicast,
+/// class E, and the special-purpose test networks for IPv4; anything
+/// outside the global-unicast 2000::/3 block for IPv6. The pipeline
+/// discards DNS answers pointing at such addresses (paper section 2.2).
+[[nodiscard]] bool is_reserved(const IPv4Address& address) noexcept;
+[[nodiscard]] bool is_reserved(const IPv6Address& address) noexcept;
+[[nodiscard]] bool is_reserved(const IPAddress& address) noexcept;
+
+/// FNV-1a over an arbitrary byte range; shared by the hash specializations.
+[[nodiscard]] std::size_t hash_bytes(const std::uint8_t* data, std::size_t size,
+                                     std::size_t seed) noexcept;
+
+}  // namespace sp
+
+template <>
+struct std::hash<sp::IPv4Address> {
+  std::size_t operator()(const sp::IPv4Address& a) const noexcept {
+    const auto o = a.octets();
+    return sp::hash_bytes(o.data(), o.size(), 0x4u);
+  }
+};
+
+template <>
+struct std::hash<sp::IPv6Address> {
+  std::size_t operator()(const sp::IPv6Address& a) const noexcept {
+    return sp::hash_bytes(a.bytes().data(), a.bytes().size(), 0x6u);
+  }
+};
+
+template <>
+struct std::hash<sp::IPAddress> {
+  std::size_t operator()(const sp::IPAddress& a) const noexcept {
+    return sp::hash_bytes(a.storage().data(), a.storage().size(),
+                          static_cast<std::size_t>(a.family()));
+  }
+};

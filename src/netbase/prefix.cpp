@@ -1,0 +1,124 @@
+#include "netbase/prefix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sp {
+
+namespace {
+
+// Clears all bits at positions >= length in a 16-byte address image.
+std::array<std::uint8_t, 16> mask_host_bits(const std::array<std::uint8_t, 16>& bytes,
+                                            unsigned length) {
+  std::array<std::uint8_t, 16> out = bytes;
+  const unsigned full_bytes = length / 8;
+  const unsigned partial_bits = length % 8;
+  std::size_t i = full_bytes;
+  if (partial_bits != 0 && i < out.size()) {
+    const std::uint8_t mask = static_cast<std::uint8_t>(0xff00u >> partial_bits);
+    out[i] &= mask;
+    ++i;
+  }
+  for (; i < out.size(); ++i) out[i] = 0;
+  return out;
+}
+
+IPAddress address_from_storage(Family family, const std::array<std::uint8_t, 16>& bytes) {
+  if (family == Family::v4) {
+    return IPAddress(IPv4Address::from_octets(bytes[0], bytes[1], bytes[2], bytes[3]));
+  }
+  return IPAddress(IPv6Address(bytes));
+}
+
+// True when the first `bits` bits of the two byte arrays match.
+bool leading_bits_equal(const std::array<std::uint8_t, 16>& a,
+                        const std::array<std::uint8_t, 16>& b, unsigned bits) {
+  const unsigned full_bytes = bits / 8;
+  for (unsigned i = 0; i < full_bytes; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  const unsigned partial_bits = bits % 8;
+  if (partial_bits == 0) return true;
+  const std::uint8_t mask = static_cast<std::uint8_t>(0xff00u >> partial_bits);
+  return (a[full_bytes] & mask) == (b[full_bytes] & mask);
+}
+
+}  // namespace
+
+Prefix Prefix::of(const IPAddress& address, unsigned length) {
+  const unsigned clamped = std::min(length, address.max_prefix_length());
+  const auto masked = mask_host_bits(address.storage(), clamped);
+  return Prefix(address_from_storage(address.family(), masked), clamped);
+}
+
+std::optional<Prefix> Prefix::from_string(std::string_view text) {
+  const auto slash = text.rfind('/');
+  if (slash == std::string_view::npos || slash == 0 || slash + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const auto address = IPAddress::from_string(text.substr(0, slash));
+  if (!address) return std::nullopt;
+
+  const std::string_view length_text = text.substr(slash + 1);
+  if (length_text.size() > 3) return std::nullopt;
+  unsigned length = 0;
+  for (const char c : length_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    length = length * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (length_text.size() > 1 && length_text[0] == '0') return std::nullopt;
+  if (length > address->max_prefix_length()) return std::nullopt;
+  return of(*address, length);
+}
+
+Prefix Prefix::must_parse(std::string_view text) {
+  const auto parsed = from_string(text);
+  if (!parsed) throw std::invalid_argument("invalid prefix: " + std::string(text));
+  return *parsed;
+}
+
+bool Prefix::contains(const IPAddress& address) const noexcept {
+  if (address.family() != family()) return false;
+  return leading_bits_equal(address_.storage(), address.storage(), length_);
+}
+
+bool Prefix::contains(const Prefix& other) const noexcept {
+  if (other.family() != family() || other.length_ < length_) return false;
+  return leading_bits_equal(address_.storage(), other.address_.storage(), length_);
+}
+
+std::optional<Prefix> Prefix::supernet() const {
+  if (length_ == 0) return std::nullopt;
+  return of(address_, length_ - 1);
+}
+
+Prefix Prefix::child(unsigned bit) const {
+  if (length_ >= max_length()) {
+    throw std::logic_error("Prefix::child on a full-length prefix " + to_string());
+  }
+  auto bytes = address_.storage();
+  if (bit != 0) {
+    bytes[length_ / 8] |= static_cast<std::uint8_t>(0x80u >> (length_ % 8u));
+  }
+  return Prefix(address_from_storage(family(), bytes), length_ + 1);
+}
+
+std::optional<Prefix> Prefix::common_covering(const Prefix& a, const Prefix& b) {
+  if (a.family() != b.family()) return std::nullopt;
+  const unsigned limit = std::min(a.length(), b.length());
+  unsigned common = 0;
+  while (common < limit && a.address_.bit(common) == b.address_.bit(common)) ++common;
+  return of(a.address_, common);
+}
+
+std::uint64_t Prefix::address_count_saturated() const noexcept {
+  const unsigned host_bits = max_length() - length_;
+  if (host_bits >= 64) return ~std::uint64_t{0};
+  return std::uint64_t{1} << host_bits;
+}
+
+std::string Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace sp

@@ -1,0 +1,92 @@
+// CIDR prefix type and prefix algebra.
+//
+// A Prefix is an (address, length) pair in canonical form: all bits past
+// the prefix length are zero. Prefixes of both families share one type so
+// that generic code (tries, similarity pipelines) can treat them uniformly;
+// the family always participates in comparisons, so IPv4 and IPv6 prefixes
+// never compare equal or contain one another.
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/ip.h"
+
+namespace sp {
+
+class Prefix {
+ public:
+  /// Default: IPv4 0.0.0.0/0.
+  constexpr Prefix() noexcept : address_(), length_(0) {}
+
+  /// Builds the canonical prefix covering `address` with the given length
+  /// (host bits are cleared). `length` is clamped to the family maximum.
+  [[nodiscard]] static Prefix of(const IPAddress& address, unsigned length);
+
+  /// Parses "192.0.2.0/24" or "2001:db8::/32". The address part need not be
+  /// canonical; host bits are cleared. Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Prefix> from_string(std::string_view text);
+
+  /// Parses or throws std::invalid_argument; for literals in tests/examples.
+  [[nodiscard]] static Prefix must_parse(std::string_view text);
+
+  /// The full address (/32 or /128) prefix of a single IP.
+  [[nodiscard]] static Prefix host(const IPAddress& address) {
+    return of(address, address.max_prefix_length());
+  }
+
+  [[nodiscard]] constexpr Family family() const noexcept { return address_.family(); }
+  [[nodiscard]] constexpr unsigned length() const noexcept { return length_; }
+  [[nodiscard]] constexpr const IPAddress& address() const noexcept { return address_; }
+  [[nodiscard]] constexpr unsigned max_length() const noexcept {
+    return address_.max_prefix_length();
+  }
+
+  /// True when `address` falls inside this prefix (same family required).
+  [[nodiscard]] bool contains(const IPAddress& address) const noexcept;
+
+  /// True when `other` is equal to or more specific than this prefix.
+  [[nodiscard]] bool contains(const Prefix& other) const noexcept;
+
+  /// The covering prefix one bit shorter, or nullopt at /0.
+  [[nodiscard]] std::optional<Prefix> supernet() const;
+
+  /// The more-specific child one bit longer (0 = left/low half, 1 = right).
+  /// Precondition: length() < max_length().
+  [[nodiscard]] Prefix child(unsigned bit) const;
+
+  /// Bit `i` of the network address, i < length().
+  [[nodiscard]] constexpr bool bit_at(unsigned i) const noexcept { return address_.bit(i); }
+
+  /// The longest prefix covering both `a` and `b`; nullopt if the families
+  /// differ.
+  [[nodiscard]] static std::optional<Prefix> common_covering(const Prefix& a, const Prefix& b);
+
+  /// Number of addresses covered, saturating at uint64 max (IPv6 prefixes
+  /// shorter than /64 saturate).
+  [[nodiscard]] std::uint64_t address_count_saturated() const noexcept;
+
+  /// "192.0.2.0/24" / "2001:db8::/32".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept = default;
+
+ private:
+  constexpr Prefix(const IPAddress& canonical_address, unsigned length) noexcept
+      : address_(canonical_address), length_(length) {}
+
+  IPAddress address_;
+  unsigned length_;
+};
+
+}  // namespace sp
+
+template <>
+struct std::hash<sp::Prefix> {
+  std::size_t operator()(const sp::Prefix& p) const noexcept {
+    return sp::hash_bytes(p.address().storage().data(), p.address().storage().size(),
+                          (static_cast<std::size_t>(p.family()) << 8) ^ p.length());
+  }
+};

@@ -1,0 +1,107 @@
+#include "netbase/prefix_set.h"
+
+namespace sp {
+
+namespace {
+
+/// The buddy of `prefix`: the other half of its parent. Requires
+/// length > 0.
+Prefix buddy_of(const Prefix& prefix) {
+  const Prefix parent = *prefix.supernet();
+  const Prefix low = parent.child(0);
+  return prefix == low ? parent.child(1) : low;
+}
+
+}  // namespace
+
+std::set<Prefix>::const_iterator PrefixSet::covering_member(
+    const Prefix& key) const noexcept {
+  // Members are disjoint, so the only candidate is the last member whose
+  // (address, length) sorts at or before `key`.
+  auto it = members_.upper_bound(key);
+  if (it != members_.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->contains(key)) return prev;
+  }
+  // A member with the same address but greater length sorts after `key`;
+  // it can only cover `key` when it *is* key-with-longer-length, which
+  // cannot cover a shorter key. Nothing else qualifies.
+  return members_.end();
+}
+
+void PrefixSet::add(const Prefix& prefix) {
+  if (covering_member(prefix) != members_.end()) return;  // already covered
+
+  // Drop all members the new prefix covers: they form a contiguous run in
+  // the ordering starting at lower_bound(prefix).
+  auto it = members_.lower_bound(prefix);
+  while (it != members_.end() && prefix.contains(*it)) it = members_.erase(it);
+
+  // Insert, then merge buddy chains upward.
+  Prefix current = prefix;
+  while (true) {
+    if (current.length() == 0) {
+      members_.insert(current);
+      break;
+    }
+    const Prefix buddy = buddy_of(current);
+    const auto buddy_it = members_.find(buddy);
+    if (buddy_it == members_.end()) {
+      members_.insert(current);
+      break;
+    }
+    members_.erase(buddy_it);
+    current = *current.supernet();
+  }
+}
+
+bool PrefixSet::subtract(const Prefix& prefix) {
+  bool changed = false;
+
+  // Case 1: members covered by `prefix` — a contiguous run.
+  auto it = members_.lower_bound(prefix);
+  while (it != members_.end() && prefix.contains(*it)) {
+    it = members_.erase(it);
+    changed = true;
+  }
+
+  // Case 2: one member strictly covering `prefix` — split it into the
+  // fragments along the path from the member down to `prefix`.
+  const auto cover = covering_member(prefix);
+  if (cover != members_.end()) {
+    Prefix current = prefix;
+    std::vector<Prefix> fragments;
+    while (current != *cover) {
+      fragments.push_back(buddy_of(current));
+      current = *current.supernet();
+    }
+    members_.erase(cover);
+    // Fragments are disjoint and none is a buddy of another (they sit at
+    // distinct depths along one path), so plain insertion keeps the
+    // invariants.
+    members_.insert(fragments.begin(), fragments.end());
+    changed = true;
+  }
+  return changed;
+}
+
+bool PrefixSet::contains(const IPAddress& address) const noexcept {
+  return covering_member(Prefix::host(address)) != members_.end();
+}
+
+bool PrefixSet::covers(const Prefix& prefix) const noexcept {
+  if (members_.contains(prefix)) return true;
+  return covering_member(prefix) != members_.end();
+}
+
+std::uint64_t PrefixSet::address_count_saturated() const noexcept {
+  std::uint64_t total = 0;
+  for (const Prefix& member : members_) {
+    const std::uint64_t count = member.address_count_saturated();
+    if (total + count < total) return ~std::uint64_t{0};  // overflow
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace sp

@@ -1,0 +1,64 @@
+// A set of CIDR prefixes with canonical aggregation.
+//
+// Invariants after every mutation: members are pairwise disjoint, and the
+// representation is minimal — no member is covered by another, and no two
+// buddy prefixes (the two halves of a common parent) are both present
+// (they are merged into the parent, recursively). This is the object an
+// operator materializes an ACL or route filter from; subtract() punches
+// holes by decomposing members into their uncovered fragments.
+//
+// Both families can live in one set; they never merge or overlap.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "netbase/prefix.h"
+
+namespace sp {
+
+class PrefixSet {
+ public:
+  PrefixSet() = default;
+  explicit PrefixSet(std::span<const Prefix> prefixes) {
+    for (const Prefix& prefix : prefixes) add(prefix);
+  }
+
+  /// Inserts `prefix`, swallowing covered members and merging buddies.
+  void add(const Prefix& prefix);
+
+  /// Removes the address range of `prefix` from the set, splitting any
+  /// member that partially overlaps. Returns true when anything changed.
+  bool subtract(const Prefix& prefix);
+
+  /// True when `address` falls inside some member.
+  [[nodiscard]] bool contains(const IPAddress& address) const noexcept;
+
+  /// True when the entire range of `prefix` is covered (single member —
+  /// by the invariants a covered range always lies within one member).
+  [[nodiscard]] bool covers(const Prefix& prefix) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  /// Members in canonical (address, length) order.
+  [[nodiscard]] std::vector<Prefix> members() const {
+    return std::vector<Prefix>(members_.begin(), members_.end());
+  }
+
+  /// Total addresses covered, saturating at uint64 max.
+  [[nodiscard]] std::uint64_t address_count_saturated() const noexcept;
+
+  friend bool operator==(const PrefixSet&, const PrefixSet&) = default;
+
+ private:
+  /// The member covering `key`'s range start, if any.
+  [[nodiscard]] std::set<Prefix>::const_iterator covering_member(
+      const Prefix& key) const noexcept;
+
+  std::set<Prefix> members_;
+};
+
+}  // namespace sp

@@ -1,0 +1,62 @@
+#include "rpki/roa_csv.h"
+
+#include <charconv>
+
+#include "io/csv.h"
+
+namespace sp::rpki {
+
+namespace {
+const io::CsvRow kHeader = {"asn", "prefix", "max_length"};
+}  // namespace
+
+bool write_roa_csv(const std::string& path, std::span<const Roa> roas) {
+  std::vector<io::CsvRow> rows;
+  rows.reserve(roas.size() + 1);
+  rows.push_back(kHeader);
+  for (const Roa& roa : roas) {
+    rows.push_back({"AS" + std::to_string(roa.asn), roa.prefix.to_string(),
+                    std::to_string(roa.max_length)});
+  }
+  return io::write_csv_file(path, rows);
+}
+
+std::optional<std::vector<Roa>> read_roa_csv(const std::string& path) {
+  const auto rows = io::read_csv_file(path);
+  if (!rows || rows->empty() || rows->front() != kHeader) return std::nullopt;
+
+  std::vector<Roa> roas;
+  roas.reserve(rows->size() - 1);
+  for (std::size_t i = 1; i < rows->size(); ++i) {
+    const io::CsvRow& row = (*rows)[i];
+    if (row.size() != kHeader.size()) return std::nullopt;
+
+    Roa roa;
+    std::string_view asn_text = row[0];
+    if (asn_text.starts_with("AS") || asn_text.starts_with("as")) {
+      asn_text.remove_prefix(2);
+    }
+    const auto asn_result =
+        std::from_chars(asn_text.data(), asn_text.data() + asn_text.size(), roa.asn);
+    if (asn_result.ec != std::errc{} || asn_result.ptr != asn_text.data() + asn_text.size()) {
+      return std::nullopt;
+    }
+
+    const auto prefix = Prefix::from_string(row[1]);
+    if (!prefix) return std::nullopt;
+    roa.prefix = *prefix;
+
+    unsigned max_length = 0;
+    const auto len_result =
+        std::from_chars(row[2].data(), row[2].data() + row[2].size(), max_length);
+    if (len_result.ec != std::errc{} || len_result.ptr != row[2].data() + row[2].size() ||
+        max_length < roa.prefix.length() || max_length > roa.prefix.max_length()) {
+      return std::nullopt;
+    }
+    roa.max_length = static_cast<std::uint8_t>(max_length);
+    roas.push_back(roa);
+  }
+  return roas;
+}
+
+}  // namespace sp::rpki

@@ -1,0 +1,27 @@
+// CSV serialization of ROA sets, following the layout of the RIR-published
+// "export.csv" files (URI,ASN,IP Prefix,Max Length,Not Before,Not After —
+// we keep the columns the validator needs).
+//
+// Layout:
+//   asn,prefix,max_length
+//   AS65001,20.1.0.0/16,20
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rpki/rov.h"
+
+namespace sp::rpki {
+
+/// Writes the ROA set; returns false on I/O failure.
+[[nodiscard]] bool write_roa_csv(const std::string& path, std::span<const Roa> roas);
+
+/// Reads a ROA CSV. Returns nullopt on I/O failure, a bad header, or any
+/// unparsable/inconsistent row (max_length outside [prefix length, family
+/// maximum]).
+[[nodiscard]] std::optional<std::vector<Roa>> read_roa_csv(const std::string& path);
+
+}  // namespace sp::rpki

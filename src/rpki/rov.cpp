@@ -1,0 +1,66 @@
+#include "rpki/rov.h"
+
+namespace sp::rpki {
+
+std::string_view rov_status_name(RovStatus status) noexcept {
+  switch (status) {
+    case RovStatus::Valid: return "valid";
+    case RovStatus::Invalid: return "invalid";
+    case RovStatus::NotFound: return "not-found";
+  }
+  return "?";
+}
+
+std::string_view pair_rov_status_name(PairRovStatus status) noexcept {
+  switch (status) {
+    case PairRovStatus::BothValid: return "valid,valid";
+    case PairRovStatus::ValidNotFound: return "valid,not-found";
+    case PairRovStatus::ValidInvalid: return "valid,invalid";
+    case PairRovStatus::InvalidNotFound: return "invalid,not-found";
+    case PairRovStatus::BothInvalid: return "invalid,invalid";
+    case PairRovStatus::BothNotFound: return "not-found,not-found";
+  }
+  return "?";
+}
+
+PairRovStatus classify_pair(RovStatus a, RovStatus b) noexcept {
+  const auto has = [&](RovStatus s) { return a == s || b == s; };
+  if (a == RovStatus::Valid && b == RovStatus::Valid) return PairRovStatus::BothValid;
+  if (has(RovStatus::Valid) && has(RovStatus::Invalid)) return PairRovStatus::ValidInvalid;
+  if (has(RovStatus::Valid)) return PairRovStatus::ValidNotFound;
+  if (a == RovStatus::Invalid && b == RovStatus::Invalid) return PairRovStatus::BothInvalid;
+  if (has(RovStatus::Invalid)) return PairRovStatus::InvalidNotFound;
+  return PairRovStatus::BothNotFound;
+}
+
+bool Validator::add_roa(const Roa& roa) {
+  if (roa.max_length < roa.prefix.length() || roa.max_length > roa.prefix.max_length()) {
+    return false;
+  }
+  trie_[roa.prefix].push_back(roa);
+  ++roa_count_;
+  return true;
+}
+
+RovStatus Validator::validate(const Prefix& announced, std::uint32_t origin_as) const {
+  bool covered = false;
+  bool valid = false;
+  trie_.visit_ancestors(announced, [&](const Prefix&, const std::vector<Roa>& roas) {
+    for (const Roa& roa : roas) {
+      covered = true;
+      if (roa.asn == origin_as && announced.length() <= roa.max_length) valid = true;
+    }
+  });
+  if (valid) return RovStatus::Valid;
+  return covered ? RovStatus::Invalid : RovStatus::NotFound;
+}
+
+std::vector<Roa> Validator::covering_roas(const Prefix& announced) const {
+  std::vector<Roa> out;
+  trie_.visit_ancestors(announced, [&out](const Prefix&, const std::vector<Roa>& roas) {
+    out.insert(out.end(), roas.begin(), roas.end());
+  });
+  return out;
+}
+
+}  // namespace sp::rpki

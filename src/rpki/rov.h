@@ -1,0 +1,71 @@
+// RPKI route-origin validation (RFC 6811).
+//
+// ROAs authorize an AS to originate a prefix up to a maximum length. The
+// validator classifies a (prefix, origin AS) announcement as Valid, Invalid
+// or NotFound, and the pair classifier maps the two per-family statuses of
+// a sibling prefix pair onto the six categories of the paper's Figure 18.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "trie/prefix_trie.h"
+
+namespace sp::rpki {
+
+/// A Route Origin Authorization object.
+struct Roa {
+  Prefix prefix;
+  std::uint8_t max_length = 0;  // >= prefix.length(), <= family maximum
+  std::uint32_t asn = 0;
+
+  friend bool operator==(const Roa&, const Roa&) = default;
+};
+
+/// RFC 6811 validation outcome for one announcement.
+enum class RovStatus : std::uint8_t { Valid, Invalid, NotFound };
+
+[[nodiscard]] std::string_view rov_status_name(RovStatus status) noexcept;
+
+/// Joint ROV status of a sibling prefix pair (order-insensitive), matching
+/// the categories of the paper's Figure 18.
+enum class PairRovStatus : std::uint8_t {
+  BothValid,
+  ValidNotFound,
+  ValidInvalid,    // conflicting
+  InvalidNotFound,
+  BothInvalid,
+  BothNotFound,
+};
+
+inline constexpr int kPairRovStatusCount = 6;
+
+[[nodiscard]] std::string_view pair_rov_status_name(PairRovStatus status) noexcept;
+
+/// Combines the two per-prefix statuses of a pair.
+[[nodiscard]] PairRovStatus classify_pair(RovStatus a, RovStatus b) noexcept;
+
+class Validator {
+ public:
+  /// Registers a ROA. Returns false (and ignores the ROA) when max_length
+  /// is inconsistent with the prefix.
+  bool add_roa(const Roa& roa);
+
+  [[nodiscard]] std::size_t roa_count() const noexcept { return roa_count_; }
+
+  /// RFC 6811: Valid when any covering ROA matches the origin AS with a
+  /// sufficient max_length; Invalid when covering ROAs exist but none
+  /// match; NotFound when no ROA covers the prefix.
+  [[nodiscard]] RovStatus validate(const Prefix& announced, std::uint32_t origin_as) const;
+
+  /// All ROAs covering `announced`, least specific first.
+  [[nodiscard]] std::vector<Roa> covering_roas(const Prefix& announced) const;
+
+ private:
+  PrefixTrie<std::vector<Roa>> trie_;
+  std::size_t roa_count_ = 0;
+};
+
+}  // namespace sp::rpki

@@ -1,0 +1,44 @@
+#include "scan/portscan.h"
+
+#include <bit>
+
+namespace sp::scan {
+
+std::optional<unsigned> port_index(std::uint16_t port) noexcept {
+  for (unsigned i = 0; i < kWellKnownPorts.size(); ++i) {
+    if (kWellKnownPorts[i] == port) return i;
+  }
+  return std::nullopt;
+}
+
+PortMask port_bit(std::uint16_t port) noexcept {
+  const auto index = port_index(port);
+  return index ? static_cast<PortMask>(1u << *index) : 0;
+}
+
+int open_port_count(PortMask mask) noexcept { return std::popcount(mask); }
+
+double port_jaccard(PortMask a, PortMask b) noexcept {
+  const int union_count = std::popcount(static_cast<PortMask>(a | b));
+  if (union_count == 0) return 0.0;
+  return static_cast<double>(std::popcount(static_cast<PortMask>(a & b))) / union_count;
+}
+
+void PortScanDataset::add_open(const IPAddress& address, std::uint16_t port) {
+  const PortMask bit = port_bit(port);
+  if (bit == 0) return;
+  hosts_[Prefix::host(address)] |= bit;
+}
+
+PortMask PortScanDataset::ports_of(const IPAddress& address) const {
+  const PortMask* mask = hosts_.find(Prefix::host(address));
+  return mask == nullptr ? 0 : *mask;
+}
+
+PortMask PortScanDataset::ports_in(const Prefix& prefix) const {
+  PortMask mask = 0;
+  hosts_.visit_covered(prefix, [&mask](const Prefix&, const PortMask& m) { mask |= m; });
+  return mask;
+}
+
+}  // namespace sp::scan

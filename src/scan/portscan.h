@@ -1,0 +1,60 @@
+// Port-scan result model (the ZMap/ZMapv6 role).
+//
+// The paper scans the 14 well-known ports listed below on every address of
+// every sibling prefix and compares per-prefix responsive-port sets with
+// the DNS-based domain sets. Port sets are stored as 14-bit masks indexed
+// by position in kWellKnownPorts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trie/prefix_trie.h"
+
+namespace sp::scan {
+
+/// The 14 ports of the paper's section 3.6, ascending.
+inline constexpr std::array<std::uint16_t, 14> kWellKnownPorts = {
+    20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 161, 194, 443, 7547};
+
+using PortMask = std::uint16_t;
+
+/// Index of `port` in kWellKnownPorts, nullopt when not scanned.
+[[nodiscard]] std::optional<unsigned> port_index(std::uint16_t port) noexcept;
+
+/// Mask bit for one port; 0 when the port is not in the scanned set.
+[[nodiscard]] PortMask port_bit(std::uint16_t port) noexcept;
+
+[[nodiscard]] int open_port_count(PortMask mask) noexcept;
+
+/// Jaccard similarity of two port masks; 0 when both are empty.
+[[nodiscard]] double port_jaccard(PortMask a, PortMask b) noexcept;
+
+/// Scan results: responsive ports per address, queryable per prefix.
+class PortScanDataset {
+ public:
+  /// Marks `port` (must be one of kWellKnownPorts) open on `address`.
+  void add_open(const IPAddress& address, std::uint16_t port);
+
+  /// Responsive-port mask of a single address (0 when unresponsive).
+  [[nodiscard]] PortMask ports_of(const IPAddress& address) const;
+
+  /// Union of responsive ports over all addresses inside `prefix`.
+  [[nodiscard]] PortMask ports_in(const Prefix& prefix) const;
+
+  /// True when at least one address inside `prefix` responded.
+  [[nodiscard]] bool responsive(const Prefix& prefix) const {
+    return ports_in(prefix) != 0;
+  }
+
+  [[nodiscard]] std::size_t responsive_address_count() const noexcept {
+    return hosts_.size();
+  }
+
+ private:
+  PrefixTrie<PortMask> hosts_;  // keyed by /32 and /128 host prefixes
+};
+
+}  // namespace sp::scan

@@ -1,0 +1,39 @@
+// Deterministic hashing utilities for the synthetic model.
+//
+// Every random decision is a pure function of (seed, entity, purpose), so
+// any snapshot or dataset can be regenerated independently and in any
+// order — the generator never carries mutable RNG state across queries.
+#pragma once
+
+#include <cstdint>
+
+namespace sp::synth {
+
+/// SplitMix64 finalizer — fast, well-distributed 64-bit mixing.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Combines up to four values into one well-mixed word.
+[[nodiscard]] constexpr std::uint64_t mix(std::uint64_t a, std::uint64_t b = 0,
+                                          std::uint64_t c = 0, std::uint64_t d = 0) noexcept {
+  return mix64(mix64(mix64(mix64(a) ^ b) ^ c) ^ d);
+}
+
+/// Uniform double in [0, 1).
+[[nodiscard]] constexpr double unit(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0,
+                                    std::uint64_t d = 0) noexcept {
+  return static_cast<double>(mix(a, b, c, d) >> 11) * 0x1.0p-53;
+}
+
+/// Uniform integer in [0, bound).
+[[nodiscard]] constexpr std::uint64_t pick(std::uint64_t bound, std::uint64_t a,
+                                           std::uint64_t b = 0, std::uint64_t c = 0,
+                                           std::uint64_t d = 0) noexcept {
+  return bound == 0 ? 0 : mix(a, b, c, d) % bound;
+}
+
+}  // namespace sp::synth

@@ -1,0 +1,180 @@
+// The synthetic Internet: organizations, ASes, prefixes, domains, monthly
+// DNS snapshots, MRT RIB dumps, RPKI ROAs, vantage-point probes and port
+// scans — every dataset of the paper's section 2, generated at a
+// configurable scale from one seed.
+//
+// Structure that matters for the experiments:
+//  * Organizations own v4/v6 prefix sets; one org may register separate
+//    v4/v6 ASNs (sibling ASes). ~52% of orgs are single-prefix, which
+//    yields the paper's share of perfect-match default pairs.
+//  * Within a multi-prefix org, a domain's IPv4 address is drawn from the
+//    sub-block of its v4 prefix indexed by the domain's v6 prefix (and
+//    vice versa): operators allocate services to subnets. This is the
+//    structure SP-Tuner-MS exploits to lift Jaccard values by splitting.
+//  * Address-agile CDNs (Cloudflare/Akamai profiles) re-home domains
+//    between snapshots, depressing their pair similarity (Figure 17).
+//  * A monitoring organization hosts one domain in dedicated prefixes of
+//    many other orgs (the Site24x7 effect behind Figures 14/15).
+//  * Routing is modeled as stable across the window; domain-level prefix
+//    and address changes (Figure 7) are hosting moves, not BGP events.
+//
+// All data is a pure function of (config.seed, entity ids), so any month
+// can be materialized independently.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asinfo/as_org.h"
+#include "asinfo/asdb.h"
+#include "asinfo/cdn_hg.h"
+#include "bgp/rib.h"
+#include "core/groundtruth.h"
+#include "dns/snapshot.h"
+#include "mrt/types.h"
+#include "rpki/rov.h"
+#include "scan/portscan.h"
+#include "synth/config.h"
+
+namespace sp::synth {
+
+struct OrgSpec {
+  std::uint32_t id = 0;
+  std::string name;
+  std::uint32_t v4_asn = 0;
+  std::uint32_t v6_asn = 0;  // may differ from v4_asn (sibling AS)
+  std::vector<Prefix> v4_prefixes;
+  std::vector<Prefix> v6_prefixes;
+  bool eyeball = false;     // hosts no domains
+  bool structured = true;   // allocates services to per-counterpart sub-blocks
+  /// Aligned multi-prefix orgs deploy one v6 prefix per v4 prefix and
+  /// host each service in the matching pair — their default pairs are
+  /// perfect without tuning (the dominant same-org pattern, Figure 15).
+  bool aligned = false;
+  bool hg_cdn = false;      // from the Figure 17 catalog
+  bool monitoring = false;  // the Site24x7-like org
+  double address_agility = 0.0;
+  bool scan_silent = false;  // drops all scan probes
+  bool rpki_adopter = false;
+  int rpki_v4_month = 0;  // first month with v4 ROAs
+  int rpki_v6_month = 0;
+};
+
+/// Visibility pattern of a domain across snapshots (Figure 7 left).
+enum class Visibility : std::uint8_t { Always, Once, Intermittent };
+
+struct DomainSpec {
+  std::uint32_t id = 0;
+  dns::DomainName queried;
+  dns::DomainName response;  // CNAME target identity when != queried
+  std::uint32_t v4_org = 0;
+  std::uint32_t v6_org = 0;  // != v4_org for multi-CDN domains
+  int v4_prefix = 0;         // index into v4 org's prefix list
+  int v6_prefix = 0;         // index into v6 org's prefix list
+  int alt_v4_prefix = 0;     // prefix used before v4_change_month
+  int alt_v6_prefix = 0;
+  int birth_month = 0;
+  int death_month = 0;  // exclusive; == months means alive at the end
+  int ds_month = 0;     // first month with AAAA records; >= months → v4-only
+  Visibility visibility = Visibility::Always;
+  int once_month = 0;
+  int v4_change_month = -1;     // hosting moved prefixes at this month
+  int v6_change_month = -1;
+  int early_v4_change_month = -1;  // long-horizon move (pair turnover)
+  int early_v4_prefix = 0;         // prefix used before the early move
+  int address_change_month = -1;  // address salt changed at this month
+  bool agile = false;             // CDN address agility
+  bool second_v4_address = false;
+};
+
+class SyntheticInternet {
+ public:
+  explicit SyntheticInternet(const SynthConfig& config = {});
+
+  [[nodiscard]] const SynthConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int month_count() const noexcept { return config_.months; }
+  [[nodiscard]] Date date_of_month(int month) const {
+    return config_.end_date.plus_months(month - (config_.months - 1));
+  }
+  /// Month index of a calendar date (clamped to the window).
+  [[nodiscard]] int month_index(const Date& date) const;
+
+  [[nodiscard]] const std::vector<OrgSpec>& orgs() const noexcept { return orgs_; }
+  [[nodiscard]] const std::vector<DomainSpec>& domains() const noexcept { return domains_; }
+  [[nodiscard]] const OrgSpec* org_by_asn(std::uint32_t asn) const noexcept;
+
+  [[nodiscard]] const asinfo::AsOrgDatabase& as_orgs() const noexcept { return as_orgs_; }
+  [[nodiscard]] const asinfo::AsdbDatabase& asdb() const noexcept { return asdb_; }
+  [[nodiscard]] const asinfo::CdnHgCatalog& catalog() const noexcept { return catalog_; }
+
+  /// The full TABLE_DUMP_V2 dump at the end date (PEER_INDEX_TABLE first).
+  [[nodiscard]] std::vector<mrt::MrtRecord> mrt_dump() const {
+    return mrt_dump_at(config_.months - 1);
+  }
+
+  /// The TABLE_DUMP_V2 dump as of `month`: monitoring-site prefixes not
+  /// yet deployed are absent (routing grows with the probe mesh).
+  [[nodiscard]] std::vector<mrt::MrtRecord> mrt_dump_at(int month) const;
+
+  /// BGP4MP UPDATE records taking effect at `month`: announcements of the
+  /// monitoring-site prefixes deployed that month. Applying the updates of
+  /// months 1..m onto the month-0 RIB reproduces the month-m RIB.
+  [[nodiscard]] std::vector<mrt::MrtRecord> bgp4mp_updates_at(int month) const;
+
+  /// The RIB, built by serializing the topology to MRT bytes and parsing
+  /// them back — the exact Routeviews consumption path.
+  [[nodiscard]] const bgp::Rib& rib() const noexcept { return rib_; }
+
+  /// DNS resolutions of month `month` (0-based; months-1 == end_date).
+  [[nodiscard]] dns::ResolutionSnapshot snapshot_at(int month) const;
+
+  /// ROAs valid during month `month`.
+  [[nodiscard]] std::vector<rpki::Roa> roas_at(int month) const;
+
+  /// Dual-stack vantage points (the RIPE Atlas / VPS role).
+  [[nodiscard]] std::vector<core::DualStackProbe> probes() const;
+
+  /// Port-scan results against the end-date deployment.
+  [[nodiscard]] scan::PortScanDataset port_scan() const;
+
+ private:
+  struct DomainPlacement {
+    Prefix v4_prefix;
+    Prefix v6_prefix;
+    std::vector<IPv4Address> v4;
+    std::vector<IPv6Address> v6;  // empty before ds_month
+  };
+
+  void build_orgs();
+  void build_domains();
+  void build_monitoring_sites();
+  [[nodiscard]] bool visible_at(const DomainSpec& domain, int month) const;
+  [[nodiscard]] DomainPlacement place(const DomainSpec& domain, int month) const;
+
+  SynthConfig config_;
+  std::vector<OrgSpec> orgs_;
+  std::vector<DomainSpec> domains_;
+  /// Dedicated monitoring prefixes, deployed gradually over the window.
+  struct MonitoringSite {
+    std::uint32_t org_id = 0;
+    int prefix_index = 0;
+    int birth_month = 0;
+  };
+  std::vector<MonitoringSite> monitoring_v4_sites_;
+  std::vector<MonitoringSite> monitoring_v6_sites_;
+  std::optional<std::uint32_t> monitoring_org_;
+  asinfo::AsOrgDatabase as_orgs_;
+  asinfo::AsdbDatabase asdb_;
+  asinfo::CdnHgCatalog catalog_;
+  bgp::Rib rib_;
+  std::unordered_map<std::uint32_t, std::uint32_t> org_by_asn_;
+};
+
+/// Deterministic host-address builders (exposed for tests).
+[[nodiscard]] IPv4Address v4_host_address(const Prefix& prefix, unsigned group,
+                                          std::uint64_t salt);
+[[nodiscard]] IPv6Address v6_host_address(const Prefix& prefix, unsigned group,
+                                          std::uint64_t salt);
+
+}  // namespace sp::synth

@@ -1,0 +1,125 @@
+// DIR-24-8 flat-table longest-prefix match for IPv4 (Gupta et al. style).
+//
+// A design alternative to the Patricia trie for the hottest pipeline
+// operation (address → announced prefix): one 2^24-entry level-1 table
+// indexed by the top 24 address bits, with overflow chunks of 256 entries
+// for prefixes longer than /24. Lookups are one or two array reads —
+// O(1) versus the trie's O(W) pointer chase — at the cost of ~32 MiB of
+// table memory and a rebuild-oriented (insert-only) interface.
+//
+// bench_ablation_lpm quantifies the trade-off; the library default stays
+// the trie because sibling workloads are build-heavy and both families
+// share one structure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/prefix.h"
+
+namespace sp {
+
+template <typename T>
+class FlatLpm4 {
+ public:
+  FlatLpm4() : level1_(1u << 24, kEmpty) {}
+
+  /// Inserts a v4 prefix. Longer prefixes overwrite shorter ones on the
+  /// covered slots (insert from short to long for correct LPM semantics —
+  /// insert() handles any order by tracking each slot's current length).
+  void insert(const Prefix& prefix, T value) {
+    values_.push_back(std::move(value));
+    const auto value_index = static_cast<std::uint32_t>(values_.size() - 1);
+    const std::uint32_t address = prefix.address().v4().value();
+    const unsigned length = prefix.length();
+    ++size_;
+
+    if (length <= 24) {
+      const std::uint32_t first = address >> 8;
+      const std::uint32_t count = 1u << (24 - length);
+      for (std::uint32_t slot = first; slot < first + count; ++slot) {
+        overwrite_level1(slot, length, value_index);
+      }
+      return;
+    }
+
+    // Longer than /24: route the level-1 slot to an overflow chunk.
+    const std::uint32_t slot = address >> 8;
+    std::uint32_t chunk_index;
+    if (level1_[slot] != kEmpty && (level1_[slot] & kChunkBit) != 0) {
+      chunk_index = level1_[slot] & kIndexMask;
+    } else {
+      chunk_index = static_cast<std::uint32_t>(chunks_.size());
+      chunks_.push_back(Chunk{});
+      Chunk& chunk = chunks_.back();
+      // Seed the chunk with the slot's current shorter-prefix entry.
+      chunk.fallback = level1_[slot];
+      chunk.fallback_length = level1_length_[slot];
+      level1_[slot] = kChunkBit | chunk_index;
+      level1_length_[slot] = 25;  // chunk markers win over any ≤/24 insert
+    }
+    Chunk& chunk = chunks_[chunk_index];
+    const std::uint32_t first = address & 0xFF;
+    const std::uint32_t count = 1u << (32 - length);
+    for (std::uint32_t offset = first; offset < first + count; ++offset) {
+      if (length >= chunk.lengths[offset]) {
+        chunk.entries[offset] = value_index;
+        chunk.lengths[offset] = static_cast<std::uint8_t>(length);
+      }
+    }
+  }
+
+  /// Longest-prefix match; nullptr when nothing covers the address.
+  [[nodiscard]] const T* lookup(IPv4Address address) const noexcept {
+    const std::uint32_t slot = address.value() >> 8;
+    const std::uint32_t entry = level1_[slot];
+    if (entry == kEmpty) return nullptr;
+    if ((entry & kChunkBit) == 0) return &values_[entry];
+    const Chunk& chunk = chunks_[entry & kIndexMask];
+    const std::uint32_t offset = address.value() & 0xFF;
+    if (chunk.lengths[offset] != 0) return &values_[chunk.entries[offset]];
+    if (chunk.fallback != kEmpty && (chunk.fallback & kChunkBit) == 0) {
+      return &values_[chunk.fallback];
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kChunkBit = 0x80000000u;
+  static constexpr std::uint32_t kIndexMask = 0x7FFFFFFFu;
+
+  struct Chunk {
+    std::array<std::uint32_t, 256> entries{};
+    std::array<std::uint8_t, 256> lengths{};  // 0 = empty
+    std::uint32_t fallback = kEmpty;          // the slot's ≤/24 entry
+    std::uint8_t fallback_length = 0;
+  };
+
+  void overwrite_level1(std::uint32_t slot, unsigned length, std::uint32_t value_index) {
+    if ((level1_[slot] & kChunkBit) != 0 && level1_[slot] != kEmpty) {
+      // Slot routed to a chunk: update the chunk's fallback instead.
+      Chunk& chunk = chunks_[level1_[slot] & kIndexMask];
+      if (length >= chunk.fallback_length) {
+        chunk.fallback = value_index;
+        chunk.fallback_length = static_cast<std::uint8_t>(length);
+      }
+      return;
+    }
+    if (level1_[slot] == kEmpty || length >= level1_length_[slot]) {
+      level1_[slot] = value_index;
+      level1_length_[slot] = static_cast<std::uint8_t>(length);
+    }
+  }
+
+  std::vector<std::uint32_t> level1_;
+  std::vector<std::uint8_t> level1_length_ = std::vector<std::uint8_t>(1u << 24, 0);
+  std::vector<Chunk> chunks_;
+  std::vector<T> values_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sp

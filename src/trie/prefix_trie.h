@@ -1,0 +1,269 @@
+// A path-compressed binary (Patricia) trie keyed by sp::Prefix.
+//
+// This is the library's replacement for the PyTricia structure the paper
+// uses: it stores values under CIDR prefixes of either family (one internal
+// root per family) and supports exact lookup, longest-prefix match, subtree
+// enumeration and erasure. Join nodes created by path compression carry no
+// value and are pruned on erase.
+//
+// Complexity: all single-key operations are O(W) with W the address width
+// (32/128); subtree walks are linear in the number of visited nodes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "netbase/prefix.h"
+
+namespace sp {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie()
+      : root_v4_(std::make_unique<Node>(Prefix::of(IPAddress(IPv4Address{}), 0))),
+        root_v6_(std::make_unique<Node>(Prefix::of(IPAddress(IPv6Address{}), 0))) {}
+
+  PrefixTrie(PrefixTrie&&) noexcept = default;
+  PrefixTrie& operator=(PrefixTrie&&) noexcept = default;
+  PrefixTrie(const PrefixTrie&) = delete;
+  PrefixTrie& operator=(const PrefixTrie&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Inserts or overwrites the value stored at `key`. Returns a reference
+  /// to the stored value.
+  T& insert(const Prefix& key, T value) {
+    Node* node = locate_or_create(key);
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+    return *node->value;
+  }
+
+  /// Returns the value at `key` if present, creating a default one if not.
+  T& operator[](const Prefix& key) {
+    Node* node = locate_or_create(key);
+    if (!node->value) {
+      node->value.emplace();
+      ++size_;
+    }
+    return *node->value;
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const T* find(const Prefix& key) const noexcept {
+    const Node* node = locate(key);
+    return (node && node->value) ? &*node->value : nullptr;
+  }
+
+  [[nodiscard]] T* find(const Prefix& key) noexcept {
+    return const_cast<T*>(std::as_const(*this).find(key));
+  }
+
+  [[nodiscard]] bool contains(const Prefix& key) const noexcept { return find(key) != nullptr; }
+
+  /// Longest-prefix match: the most specific stored prefix covering `key`
+  /// (the key itself qualifies). Returns nullopt when nothing covers it.
+  [[nodiscard]] std::optional<std::pair<Prefix, const T*>> longest_match(
+      const Prefix& key) const noexcept {
+    const Node* node = root_for(key.family());
+    std::optional<std::pair<Prefix, const T*>> best;
+    while (node != nullptr && node->prefix.contains(key)) {
+      if (node->value) best.emplace(node->prefix, &*node->value);
+      if (node->prefix.length() >= key.length()) break;
+      node = node->children[key.address().bit(node->prefix.length()) ? 1 : 0].get();
+    }
+    return best;
+  }
+
+  /// Longest-prefix match for a single address.
+  [[nodiscard]] std::optional<std::pair<Prefix, const T*>> longest_match(
+      const IPAddress& address) const noexcept {
+    return longest_match(Prefix::host(address));
+  }
+
+  /// Most specific stored *proper* ancestor of `key` (never `key` itself).
+  [[nodiscard]] std::optional<std::pair<Prefix, const T*>> parent(
+      const Prefix& key) const noexcept {
+    const Node* node = root_for(key.family());
+    std::optional<std::pair<Prefix, const T*>> best;
+    while (node != nullptr && node->prefix.contains(key) && node->prefix.length() < key.length()) {
+      if (node->value) best.emplace(node->prefix, &*node->value);
+      node = node->children[key.address().bit(node->prefix.length()) ? 1 : 0].get();
+    }
+    return best;
+  }
+
+  /// Visits every stored (prefix, value) pair whose prefix covers `key`
+  /// (the exact key included), from least to most specific.
+  void visit_ancestors(const Prefix& key,
+                       const std::function<void(const Prefix&, const T&)>& visit) const {
+    const Node* node = root_for(key.family());
+    while (node != nullptr && node->prefix.contains(key)) {
+      if (node->value) visit(node->prefix, *node->value);
+      if (node->prefix.length() >= key.length()) break;
+      node = node->children[key.address().bit(node->prefix.length()) ? 1 : 0].get();
+    }
+  }
+
+  /// Visits every stored (prefix, value) pair covered by `cover`,
+  /// including `cover` itself, in prefix order.
+  void visit_covered(const Prefix& cover,
+                     const std::function<void(const Prefix&, const T&)>& visit) const {
+    const Node* node = root_for(cover.family());
+    // Descend to the subtree region covering `cover`.
+    while (node != nullptr && node->prefix.length() < cover.length()) {
+      if (!node->prefix.contains(cover)) return;
+      node = node->children[cover.address().bit(node->prefix.length()) ? 1 : 0].get();
+    }
+    if (node == nullptr || !cover.contains(node->prefix)) return;
+    visit_subtree(node, visit);
+  }
+
+  /// Visits every stored pair of both families in prefix order.
+  void visit_all(const std::function<void(const Prefix&, const T&)>& visit) const {
+    visit_subtree(root_v4_.get(), visit);
+    visit_subtree(root_v6_.get(), visit);
+  }
+
+  /// All stored prefixes covered by `cover` (including an exact match).
+  [[nodiscard]] std::vector<Prefix> covered_keys(const Prefix& cover) const {
+    std::vector<Prefix> keys;
+    visit_covered(cover, [&keys](const Prefix& p, const T&) { keys.push_back(p); });
+    return keys;
+  }
+
+  /// All stored prefixes in prefix order.
+  [[nodiscard]] std::vector<Prefix> keys() const {
+    std::vector<Prefix> out;
+    out.reserve(size_);
+    visit_all([&out](const Prefix& p, const T&) { out.push_back(p); });
+    return out;
+  }
+
+  /// Removes the value stored at `key`. Returns true when a value was
+  /// removed. Valueless join chains left behind are pruned.
+  bool erase(const Prefix& key) {
+    Node* node = root_for(key.family());
+    std::vector<Node*> path;  // ancestors of the located node
+    while (node != nullptr && node->prefix.length() < key.length() &&
+           node->prefix.contains(key)) {
+      path.push_back(node);
+      node = node->children[key.address().bit(node->prefix.length()) ? 1 : 0].get();
+    }
+    if (node == nullptr || node->prefix != key || !node->value) return false;
+    node->value.reset();
+    --size_;
+    prune(node, path);
+    return true;
+  }
+
+ private:
+  struct Node {
+    explicit Node(const Prefix& p) : prefix(p) {}
+    Prefix prefix;
+    std::optional<T> value;
+    std::array<std::unique_ptr<Node>, 2> children{};
+
+    [[nodiscard]] int child_count() const noexcept {
+      return (children[0] ? 1 : 0) + (children[1] ? 1 : 0);
+    }
+  };
+
+  [[nodiscard]] Node* root_for(Family family) noexcept {
+    return family == Family::v4 ? root_v4_.get() : root_v6_.get();
+  }
+  [[nodiscard]] const Node* root_for(Family family) const noexcept {
+    return family == Family::v4 ? root_v4_.get() : root_v6_.get();
+  }
+
+  [[nodiscard]] const Node* locate(const Prefix& key) const noexcept {
+    const Node* node = root_for(key.family());
+    while (node != nullptr) {
+      if (!node->prefix.contains(key)) return nullptr;
+      if (node->prefix.length() == key.length()) {
+        return node->prefix == key ? node : nullptr;
+      }
+      node = node->children[key.address().bit(node->prefix.length()) ? 1 : 0].get();
+    }
+    return nullptr;
+  }
+
+  Node* locate_or_create(const Prefix& key) {
+    Node* node = root_for(key.family());
+    while (true) {
+      if (node->prefix == key) return node;
+      // Invariant: node->prefix strictly contains key.
+      auto& slot = node->children[key.address().bit(node->prefix.length()) ? 1 : 0];
+      if (!slot) {
+        slot = std::make_unique<Node>(key);
+        return slot.get();
+      }
+      if (slot->prefix.contains(key)) {
+        node = slot.get();
+        continue;
+      }
+      if (key.contains(slot->prefix)) {
+        // The new key sits between node and the existing child.
+        auto inserted = std::make_unique<Node>(key);
+        auto& child_slot =
+            inserted->children[slot->prefix.address().bit(key.length()) ? 1 : 0];
+        child_slot = std::move(slot);
+        slot = std::move(inserted);
+        return slot.get();
+      }
+      // Diverging paths: split with a valueless join node.
+      const auto join_prefix = Prefix::common_covering(key, slot->prefix);
+      if (!join_prefix) throw std::logic_error("PrefixTrie: family mismatch in subtree");
+      auto join = std::make_unique<Node>(*join_prefix);
+      join->children[slot->prefix.address().bit(join_prefix->length()) ? 1 : 0] =
+          std::move(slot);
+      auto inserted = std::make_unique<Node>(key);
+      Node* result = inserted.get();
+      join->children[key.address().bit(join_prefix->length()) ? 1 : 0] = std::move(inserted);
+      slot = std::move(join);
+      return result;
+    }
+  }
+
+  static void visit_subtree(const Node* node,
+                            const std::function<void(const Prefix&, const T&)>& visit) {
+    if (node == nullptr) return;
+    if (node->value) visit(node->prefix, *node->value);
+    visit_subtree(node->children[0].get(), visit);
+    visit_subtree(node->children[1].get(), visit);
+  }
+
+  // Removes now-useless nodes after `node` lost its value. A node is
+  // useless when it is valueless with zero children (drop it) or one child
+  // (splice the child up), except the per-family roots which always stay.
+  void prune(Node* node, std::vector<Node*>& ancestors) {
+    while (!ancestors.empty() && !node->value && node->prefix.length() > 0) {
+      Node* parent = ancestors.back();
+      auto& slot = parent->children[node->prefix.address().bit(parent->prefix.length()) ? 1 : 0];
+      if (node->child_count() == 0) {
+        slot.reset();
+      } else if (node->child_count() == 1) {
+        auto& only = node->children[node->children[0] ? 0 : 1];
+        slot = std::move(only);
+      } else {
+        return;
+      }
+      node = parent;
+      ancestors.pop_back();
+    }
+  }
+
+  std::unique_ptr<Node> root_v4_;
+  std::unique_ptr<Node> root_v6_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sp

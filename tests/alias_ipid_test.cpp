@@ -1,0 +1,173 @@
+// Tests for IP-ID-based alias resolution: velocity estimation, the
+// monotonic-bounds test, wraparound handling, and end-to-end grouping of
+// synthetic routers.
+#include "alias/ipid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace sp::alias {
+namespace {
+
+/// Samples a shared counter (base + rate·t) mod 2^16 at the given times,
+/// with per-sample jitter.
+std::vector<IpIdSample> sample_counter(double base, double rate,
+                                       const std::vector<double>& times, double jitter,
+                                       std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> noise(-jitter, jitter);
+  std::vector<IpIdSample> samples;
+  samples.reserve(times.size());
+  for (const double t : times) {
+    const double value = base + rate * t + (jitter > 0 ? noise(rng) : 0.0);
+    samples.push_back({t, static_cast<std::uint16_t>(
+                              static_cast<std::uint64_t>(std::llround(value)) % 65536)});
+  }
+  return samples;
+}
+
+std::vector<double> probe_times(int count, double start, double step) {
+  std::vector<double> times;
+  for (int i = 0; i < count; ++i) times.push_back(start + i * step);
+  return times;
+}
+
+TEST(IpIdVelocity, RecoversCounterRate) {
+  const auto samples = sample_counter(100, 250.0, probe_times(20, 0.0, 0.5), 0.0, 1);
+  EXPECT_NEAR(estimated_velocity(samples), 250.0, 1.0);
+  EXPECT_DOUBLE_EQ(estimated_velocity({}), 0.0);
+  EXPECT_DOUBLE_EQ(estimated_velocity(std::vector<IpIdSample>{{0.0, 5}}), 0.0);
+}
+
+TEST(IpIdVelocity, HandlesWraparound) {
+  // Rate 5000 IDs/s crosses the 16-bit wrap several times in 60 seconds.
+  const auto samples = sample_counter(60000, 5000.0, probe_times(120, 0.0, 0.5), 0.0, 2);
+  EXPECT_NEAR(estimated_velocity(samples), 5000.0, 50.0);
+}
+
+TEST(MonotonicBounds, AcceptsSharedCounter) {
+  // Two interfaces of one router: same counter, interleaved probe times.
+  const auto a = sample_counter(500, 300.0, probe_times(20, 0.0, 1.0), 4.0, 3);
+  const auto b = sample_counter(500, 300.0, probe_times(20, 0.5, 1.0), 4.0, 4);
+  EXPECT_TRUE(monotonic_compatible(a, b));
+}
+
+TEST(MonotonicBounds, RejectsIndependentCounters) {
+  // Same velocity but different phase: merged stream zig-zags.
+  const auto a = sample_counter(500, 300.0, probe_times(20, 0.0, 1.0), 0.0, 5);
+  const auto b = sample_counter(30000, 300.0, probe_times(20, 0.5, 1.0), 0.0, 6);
+  EXPECT_FALSE(monotonic_compatible(a, b));
+}
+
+TEST(MonotonicBounds, RejectsVelocityMismatch) {
+  const auto a = sample_counter(500, 300.0, probe_times(20, 0.0, 1.0), 0.0, 7);
+  const auto b = sample_counter(500, 900.0, probe_times(20, 0.5, 1.0), 0.0, 8);
+  EXPECT_FALSE(monotonic_compatible(a, b));
+}
+
+TEST(MonotonicBounds, AcceptsSharedCounterAcrossWrap) {
+  const auto a = sample_counter(65000, 400.0, probe_times(30, 0.0, 1.0), 2.0, 9);
+  const auto b = sample_counter(65000, 400.0, probe_times(30, 0.5, 1.0), 2.0, 10);
+  EXPECT_TRUE(monotonic_compatible(a, b));
+}
+
+TEST(MonotonicBounds, RejectsTooFewSamples) {
+  const auto a = sample_counter(0, 300.0, probe_times(1, 0.0, 1.0), 0.0, 11);
+  const auto b = sample_counter(0, 300.0, probe_times(20, 0.0, 1.0), 0.0, 12);
+  EXPECT_FALSE(monotonic_compatible(a, b));
+}
+
+TEST(ResolveAliases, GroupsRoutersCorrectly) {
+  // Three routers; router 0 and 1 are dual-stack with two interfaces each,
+  // router 2 has one v4 interface. Distinct bases and rates.
+  struct Router {
+    double base;
+    double rate;
+    std::vector<const char*> interfaces;
+  };
+  const Router routers[] = {
+      {1000, 250.0, {"20.1.0.1", "2620:100::1"}},
+      {42000, 800.0, {"20.2.0.1", "2620:200::1"}},
+      {9000, 420.0, {"20.3.0.1"}},
+  };
+
+  ProbeData probes;
+  std::uint32_t seed = 100;
+  for (const auto& router : routers) {
+    double phase = 0.0;
+    for (const char* interface_address : router.interfaces) {
+      probes[IPAddress::must_parse(interface_address)] =
+          sample_counter(router.base, router.rate, probe_times(25, phase, 1.0), 3.0, seed++);
+      phase += 0.4;
+    }
+  }
+
+  const auto groups = resolve_aliases(probes);
+  ASSERT_EQ(groups.size(), 3u);
+  // Groups are ordered by first address: 20.1.. group, 20.2.. group, 20.3...
+  ASSERT_EQ(groups[0].size(), 2u);
+  EXPECT_EQ(groups[0][0], IPAddress::must_parse("20.1.0.1"));
+  EXPECT_EQ(groups[0][1], IPAddress::must_parse("2620:100::1"));
+  ASSERT_EQ(groups[1].size(), 2u);
+  EXPECT_EQ(groups[1][1], IPAddress::must_parse("2620:200::1"));
+  EXPECT_EQ(groups[2], std::vector<IPAddress>{IPAddress::must_parse("20.3.0.1")});
+}
+
+TEST(ResolveAliases, SimilarVelocityDifferentPhaseStaysSeparate) {
+  ProbeData probes;
+  probes[IPAddress::must_parse("20.1.0.1")] =
+      sample_counter(100, 500.0, probe_times(30, 0.0, 1.0), 0.0, 200);
+  probes[IPAddress::must_parse("20.1.0.2")] =
+      sample_counter(40000, 500.0, probe_times(30, 0.5, 1.0), 0.0, 201);
+  const auto groups = resolve_aliases(probes);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+// Property: random router populations are recovered exactly.
+class AliasResolutionProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AliasResolutionProperty, RecoversRandomRouterPopulations) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> jitter_dist(0.95, 1.05);
+  std::uniform_real_distribution<double> base_dist(0.0, 65535.0);
+  std::uniform_int_distribution<int> interface_count(1, 4);
+
+  ProbeData probes;
+  std::vector<std::vector<IPAddress>> truth;
+  std::uint32_t next_host = 1;
+  std::uint32_t seed = 1000;
+  for (int router = 0; router < 8; ++router) {
+    // Geometric velocity stratification keeps every router pair outside
+    // the relative velocity tolerance, so the test is decisive at this
+    // sample density (MIDAR stratifies targets the same way).
+    const double rate = 150.0 * std::pow(1.5, router) * jitter_dist(rng);
+    const double base = base_dist(rng);
+    std::vector<IPAddress> members;
+    const int interfaces = interface_count(rng);
+    double phase = 0.0;
+    for (int i = 0; i < interfaces; ++i) {
+      const IPAddress address(IPv4Address(0x14000000u + next_host++));
+      probes[address] =
+          sample_counter(base, rate, probe_times(30, phase, 1.0), 2.0, seed++);
+      members.push_back(address);
+      phase += 0.3;
+    }
+    std::sort(members.begin(), members.end());
+    truth.push_back(std::move(members));
+  }
+  std::sort(truth.begin(), truth.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+
+  const auto groups = resolve_aliases(probes);
+  ASSERT_EQ(groups.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(groups[i], truth[i]) << "router " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AliasResolutionProperty, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace sp::alias

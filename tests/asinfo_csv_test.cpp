@@ -1,0 +1,79 @@
+// Tests for the AS2Org / ASdb CSV interchange formats.
+#include "asinfo/asinfo_csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "io/csv.h"
+
+namespace sp::asinfo {
+namespace {
+
+TEST(AsInfoCsv, BusinessTypeNamesRoundTrip) {
+  for (int i = 0; i < kBusinessTypeCount; ++i) {
+    const auto type = static_cast<BusinessType>(i);
+    const auto back = business_type_from_string(business_type_name(type));
+    ASSERT_TRUE(back.has_value()) << business_type_name(type);
+    EXPECT_EQ(*back, type);
+  }
+  EXPECT_FALSE(business_type_from_string("Underwater Basket Weaving").has_value());
+}
+
+TEST(AsInfoCsv, As2OrgRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/sp_as2org_test.csv";
+  AsOrgDatabase db;
+  db.set_org(15169, "Google LLC");
+  db.set_org(36040, "Google LLC");  // sibling AS
+  db.set_org(3356, "Lumen");
+  ASSERT_TRUE(write_as2org_csv(path, db));
+
+  const auto loaded = read_as2org_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->as_count(), 3u);
+  EXPECT_EQ(loaded->org_count(), 2u);
+  EXPECT_TRUE(loaded->same_org(15169, 36040));
+  ASSERT_NE(loaded->org_name(3356), nullptr);
+  EXPECT_EQ(*loaded->org_name(3356), "Lumen");
+  std::remove(path.c_str());
+}
+
+TEST(AsInfoCsv, As2OrgRejectsMalformed) {
+  const std::string path = ::testing::TempDir() + "/sp_as2org_bad.csv";
+  ASSERT_TRUE(io::write_csv_file(path, {{"asn", "org_name"}, {"ASx", "Org"}}));
+  EXPECT_FALSE(read_as2org_csv(path).has_value());
+  ASSERT_TRUE(io::write_csv_file(path, {{"asn", "org_name"}, {"AS1", ""}}));
+  EXPECT_FALSE(read_as2org_csv(path).has_value());
+  ASSERT_TRUE(io::write_csv_file(path, {{"wrong"}, {"AS1", "Org"}}));
+  EXPECT_FALSE(read_as2org_csv(path).has_value());
+  EXPECT_FALSE(read_as2org_csv("/nonexistent/as2org.csv").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(AsInfoCsv, AsdbRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/sp_asdb_test.csv";
+  AsdbDatabase db;
+  db.add_category(15169, BusinessType::ComputerIT);
+  db.add_category(40, BusinessType::Education);
+  db.add_category(40, BusinessType::Government);
+  ASSERT_TRUE(write_asdb_csv(path, db));
+
+  const auto loaded = read_asdb_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->as_count(), 2u);
+  EXPECT_EQ(loaded->single_category(15169), BusinessType::ComputerIT);
+  EXPECT_EQ(loaded->categories(40).size(), 2u);
+  EXPECT_FALSE(loaded->single_category(40).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(AsInfoCsv, AsdbRejectsUnknownCategory) {
+  const std::string path = ::testing::TempDir() + "/sp_asdb_bad.csv";
+  ASSERT_TRUE(io::write_csv_file(
+      path, {{"asn", "categories..."}, {"AS1", "Not A Real Category"}}));
+  EXPECT_FALSE(read_asdb_csv(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sp::asinfo

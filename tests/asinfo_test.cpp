@@ -1,0 +1,96 @@
+// Tests for the AS-to-organization database, ASdb business types, and the
+// hypergiant/CDN catalog.
+#include <gtest/gtest.h>
+
+#include "asinfo/as_org.h"
+#include "asinfo/asdb.h"
+#include "asinfo/cdn_hg.h"
+
+namespace sp::asinfo {
+namespace {
+
+TEST(AsOrgDatabase, MapsAndGroupsAses) {
+  AsOrgDatabase db;
+  db.set_org(65001, "Acme Networks");
+  db.set_org(65002, "Acme Networks");  // sibling AS (v6 deployment)
+  db.set_org(65010, "Globex");
+
+  ASSERT_NE(db.org_name(65001), nullptr);
+  EXPECT_EQ(*db.org_name(65001), "Acme Networks");
+  EXPECT_EQ(db.org_name(64999), nullptr);
+  EXPECT_EQ(db.as_count(), 3u);
+  EXPECT_EQ(db.org_count(), 2u);
+
+  EXPECT_TRUE(db.same_org(65001, 65002));
+  EXPECT_TRUE(db.same_org(65001, 65001));
+  EXPECT_FALSE(db.same_org(65001, 65010));
+  // Unknown ASes are never "same org" unless identical.
+  EXPECT_FALSE(db.same_org(65001, 64999));
+  EXPECT_TRUE(db.same_org(64999, 64999));
+
+  const auto siblings = db.sibling_ases(65001);
+  EXPECT_EQ(siblings.size(), 2u);
+  EXPECT_TRUE(db.sibling_ases(64999).empty());
+}
+
+TEST(AsOrgDatabase, ReassignmentMovesAs) {
+  AsOrgDatabase db;
+  db.set_org(65001, "Old Org");
+  db.set_org(65001, "New Org");
+  EXPECT_EQ(*db.org_name(65001), "New Org");
+  EXPECT_EQ(db.org_count(), 1u);  // Old Org garbage-collected
+  EXPECT_EQ(db.sibling_ases(65001).size(), 1u);
+}
+
+TEST(AsdbDatabase, SingleCategoryFilter) {
+  AsdbDatabase db;
+  db.add_category(65001, BusinessType::ComputerIT);
+  db.add_category(65001, BusinessType::ComputerIT);  // duplicate ignored
+  db.add_category(65002, BusinessType::Education);
+  db.add_category(65002, BusinessType::Government);
+
+  EXPECT_EQ(db.categories(65001).size(), 1u);
+  EXPECT_EQ(db.categories(65002).size(), 2u);
+  EXPECT_TRUE(db.categories(64999).empty());
+
+  EXPECT_EQ(db.single_category(65001), BusinessType::ComputerIT);
+  EXPECT_FALSE(db.single_category(65002).has_value());  // multi-category
+  EXPECT_FALSE(db.single_category(64999).has_value());  // unknown
+}
+
+TEST(AsdbDatabase, AllSeventeenCategoriesHaveNames) {
+  for (int i = 0; i < kBusinessTypeCount; ++i) {
+    EXPECT_NE(business_type_name(static_cast<BusinessType>(i)), "?");
+  }
+  EXPECT_EQ(business_type_name(BusinessType::ComputerIT), "Computer and IT");
+  EXPECT_EQ(business_type_name(BusinessType::Education), "Education and Research");
+}
+
+TEST(CdnHgCatalog, ClassifiesOrganizations) {
+  const auto catalog = CdnHgCatalog::paper_catalog();
+  EXPECT_EQ(catalog.size(), 24u);  // the paper's 24 HG/CDN organizations
+
+  EXPECT_TRUE(catalog.is_hypergiant("Amazon"));
+  EXPECT_TRUE(catalog.is_cdn("Amazon"));
+  EXPECT_TRUE(catalog.is_hypergiant("Microsoft"));
+  EXPECT_FALSE(catalog.is_cdn("Microsoft"));
+  EXPECT_TRUE(catalog.is_cdn("Fastly"));
+  EXPECT_FALSE(catalog.is_hypergiant("Fastly"));
+  EXPECT_FALSE(catalog.is_cdn_or_hg("Random Hosting LLC"));
+  EXPECT_EQ(catalog.profile("Nope"), nullptr);
+
+  // Amazon carries the largest pair weight (Fig 17's 4564 pairs).
+  const OrgProfile* amazon = catalog.profile("Amazon");
+  ASSERT_NE(amazon, nullptr);
+  for (const auto& name : catalog.org_names()) {
+    EXPECT_LE(catalog.profile(name)->pair_weight, amazon->pair_weight) << name;
+  }
+
+  // Address-agile CDNs (the paper's Cloudflare/Akamai observation).
+  EXPECT_GT(catalog.profile("Cloudflare")->address_agility, 0.4);
+  EXPECT_GT(catalog.profile("Akamai")->address_agility, 0.4);
+  EXPECT_LT(catalog.profile("Facebook")->address_agility, 0.1);
+}
+
+}  // namespace
+}  // namespace sp::asinfo

@@ -1,0 +1,92 @@
+// Tests for the BGP RIB: origin voting, longest-prefix lookups, and
+// construction from MRT records.
+#include "bgp/rib.h"
+
+#include <gtest/gtest.h>
+
+namespace sp::bgp {
+namespace {
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+TEST(RouteVotes, MajorityWinsSmallestAsnOnTie) {
+  RouteVotes votes;
+  votes.add(65001);
+  votes.add(65002);
+  votes.add(65002);
+  EXPECT_EQ(votes.best(), 65002u);
+  EXPECT_TRUE(votes.is_moas());
+
+  RouteVotes tie;
+  tie.add(65009);
+  tie.add(65003);
+  EXPECT_EQ(tie.best(), 65003u);
+}
+
+TEST(Rib, ExactOriginLookup) {
+  Rib rib;
+  rib.add_route(p("203.0.113.0/24"), 65010);
+  EXPECT_EQ(rib.origin_as(p("203.0.113.0/24")), 65010u);
+  EXPECT_FALSE(rib.origin_as(p("203.0.113.0/25")).has_value());
+  EXPECT_EQ(rib.prefix_count(), 1u);
+}
+
+TEST(Rib, LongestMatchForAddresses) {
+  Rib rib;
+  rib.add_route(p("10.0.0.0/8"), 1);
+  rib.add_route(p("10.1.0.0/16"), 2);
+  rib.add_route(p("2001:db8::/32"), 3);
+
+  const auto specific = rib.lookup(IPAddress::must_parse("10.1.2.3"));
+  ASSERT_TRUE(specific.has_value());
+  EXPECT_EQ(specific->prefix, p("10.1.0.0/16"));
+  EXPECT_EQ(specific->origin_as, 2u);
+
+  const auto covering = rib.lookup(IPAddress::must_parse("10.200.0.1"));
+  ASSERT_TRUE(covering.has_value());
+  EXPECT_EQ(covering->prefix, p("10.0.0.0/8"));
+
+  const auto v6 = rib.lookup(IPAddress::must_parse("2001:db8::1"));
+  ASSERT_TRUE(v6.has_value());
+  EXPECT_EQ(v6->origin_as, 3u);
+
+  EXPECT_FALSE(rib.lookup(IPAddress::must_parse("192.0.2.1")).has_value());
+}
+
+TEST(Rib, LongestMatchForPrefixes) {
+  Rib rib;
+  rib.add_route(p("10.0.0.0/8"), 1);
+  const auto hit = rib.lookup(p("10.5.0.0/16"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->prefix, p("10.0.0.0/8"));
+}
+
+TEST(Rib, FromMrtUsesMajorityAcrossPeers) {
+  mrt::RibRecord record;
+  record.prefix = p("198.51.100.0/24");
+  record.entries.push_back({0, 0, mrt::PathAttributes::sequence({65001, 100})});
+  record.entries.push_back({1, 0, mrt::PathAttributes::sequence({65002, 200, 100})});
+  record.entries.push_back({2, 0, mrt::PathAttributes::sequence({65003, 999})});
+
+  mrt::RibRecord v6_record;
+  v6_record.prefix = p("2001:db8::/32");
+  v6_record.entries.push_back({0, 0, mrt::PathAttributes::sequence({65001, 500})});
+
+  // Empty AS_PATH entries contribute no votes.
+  mrt::RibRecord empty_path;
+  empty_path.prefix = p("192.0.2.0/24");
+  empty_path.entries.push_back({0, 0, {}});
+
+  const std::vector<mrt::MrtRecord> records = {
+      {0, mrt::PeerIndexTable{}}, {0, record}, {0, v6_record}, {0, empty_path}};
+  const Rib rib = Rib::from_mrt(records);
+
+  EXPECT_EQ(rib.origin_as(p("198.51.100.0/24")), 100u);  // 2 votes vs 1
+  EXPECT_EQ(rib.origin_as(p("2001:db8::/32")), 500u);
+  EXPECT_FALSE(rib.origin_as(p("192.0.2.0/24")).has_value());
+  EXPECT_EQ(rib.prefix_count(), 2u);
+  EXPECT_EQ(rib.moas_count(), 1u);
+}
+
+}  // namespace
+}  // namespace sp::bgp

@@ -1,0 +1,139 @@
+// Tests for the longitudinal tracker (Figure 7) and pair-change
+// classification (Figure 10).
+#include "core/longitudinal.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace sp::core {
+namespace {
+
+using testsupport::ScenarioBuilder;
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+bgp::Rib simple_rib() {
+  bgp::Rib rib;
+  rib.add_route(p("20.1.0.0/16"), 1);
+  rib.add_route(p("20.2.0.0/16"), 2);
+  rib.add_route(p("2620:100::/32"), 3);
+  return rib;
+}
+
+dns::ResolutionSnapshot snapshot_with(
+    Date date,
+    std::initializer_list<std::tuple<const char*, const char*, const char*>> domains) {
+  dns::ResolutionSnapshot snapshot(date);
+  for (const auto& [name, v4, v6] : domains) {
+    dns::DomainResolution entry;
+    entry.queried = dns::DomainName::must_parse(name);
+    entry.response_name = entry.queried;
+    entry.v4.push_back(*IPv4Address::from_string(v4));
+    entry.v6.push_back(*IPv6Address::from_string(v6));
+    snapshot.add(std::move(entry));
+  }
+  return snapshot;
+}
+
+TEST(LongitudinalTracker, VisibilityHistogramAndCdf) {
+  const auto rib = simple_rib();
+  LongitudinalTracker tracker;
+  // stable.example appears in all 3 snapshots, flaky.example in 1,
+  // mid.example in 2.
+  tracker.add_snapshot(snapshot_with(Date{2024, 7, 10},
+                                     {{"stable.example", "20.1.0.1", "2620:100::1"},
+                                      {"flaky.example", "20.2.0.1", "2620:100::2"}}),
+                       rib);
+  tracker.add_snapshot(snapshot_with(Date{2024, 8, 14},
+                                     {{"stable.example", "20.1.0.1", "2620:100::1"},
+                                      {"mid.example", "20.2.0.2", "2620:100::3"}}),
+                       rib);
+  tracker.add_snapshot(snapshot_with(Date{2024, 9, 11},
+                                     {{"stable.example", "20.1.0.1", "2620:100::1"},
+                                      {"mid.example", "20.2.0.2", "2620:100::3"}}),
+                       rib);
+
+  EXPECT_EQ(tracker.snapshot_count(), 3u);
+  EXPECT_EQ(tracker.tracked_domain_count(), 3u);
+  EXPECT_EQ(tracker.visibility_histogram(), (std::vector<std::size_t>{1, 1, 1}));
+  const auto cdf = tracker.visibility_cdf();
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+  EXPECT_EQ(tracker.consistent_domain_count(), 1u);
+}
+
+TEST(LongitudinalTracker, StabilityDetectsPrefixAndAddressChanges) {
+  const auto rib = simple_rib();
+  LongitudinalTracker tracker;
+  // Two consistent domains. "mover.example" changes its v4 prefix between
+  // snapshot 0 and 1 (20.2 → 20.1) and its address; "fixed.example" never
+  // changes.
+  tracker.add_snapshot(snapshot_with(Date{2024, 7, 10},
+                                     {{"fixed.example", "20.1.0.1", "2620:100::1"},
+                                      {"mover.example", "20.2.0.9", "2620:100::9"}}),
+                       rib);
+  tracker.add_snapshot(snapshot_with(Date{2024, 8, 14},
+                                     {{"fixed.example", "20.1.0.1", "2620:100::1"},
+                                      {"mover.example", "20.1.0.9", "2620:100::9"}}),
+                       rib);
+  tracker.add_snapshot(snapshot_with(Date{2024, 9, 11},
+                                     {{"fixed.example", "20.1.0.1", "2620:100::1"},
+                                      {"mover.example", "20.1.0.9", "2620:100::9"}}),
+                       rib);
+
+  const auto series = tracker.stability();
+  ASSERT_EQ(series.v4_prefix_stable.size(), 3u);
+  // Index 0: newest vs itself.
+  EXPECT_DOUBLE_EQ(series.v4_prefix_stable[0], 1.0);
+  // Index 1 (one snapshot back): both unchanged.
+  EXPECT_DOUBLE_EQ(series.v4_prefix_stable[1], 1.0);
+  // Index 2 (two back): mover had a different v4 prefix and address.
+  EXPECT_DOUBLE_EQ(series.v4_prefix_stable[2], 0.5);
+  EXPECT_DOUBLE_EQ(series.v6_prefix_stable[2], 1.0);
+  EXPECT_DOUBLE_EQ(series.v4_address_stable[2], 0.5);
+  EXPECT_DOUBLE_EQ(series.v6_address_stable[2], 1.0);
+  EXPECT_DOUBLE_EQ(series.address_stable[2], 0.5);
+}
+
+TEST(LongitudinalTracker, EmptyTrackerIsWellBehaved) {
+  LongitudinalTracker tracker;
+  EXPECT_TRUE(tracker.visibility_histogram().empty());
+  EXPECT_TRUE(tracker.visibility_cdf().empty());
+  EXPECT_EQ(tracker.consistent_domain_count(), 0u);
+  EXPECT_TRUE(tracker.stability().v4_prefix_stable.empty());
+}
+
+TEST(PairChanges, ClassifiesUnchangedChangedAndNew) {
+  const auto make = [](const char* v4, const char* v6, double similarity) {
+    SiblingPair pair;
+    pair.v4 = Prefix::must_parse(v4);
+    pair.v6 = Prefix::must_parse(v6);
+    pair.similarity = similarity;
+    return pair;
+  };
+  const std::vector<SiblingPair> old_pairs = {
+      make("20.1.0.0/16", "2620:100::/48", 1.0),
+      make("20.2.0.0/16", "2620:200::/48", 0.8),
+      make("20.3.0.0/16", "2620:300::/48", 0.6),  // disappears
+  };
+  const std::vector<SiblingPair> new_pairs = {
+      make("20.1.0.0/16", "2620:100::/48", 1.0),  // unchanged
+      make("20.2.0.0/16", "2620:200::/48", 0.4),  // changed (0.8 → 0.4)
+      make("20.9.0.0/16", "2620:900::/48", 1.0),  // new
+  };
+
+  const auto report = classify_pair_changes(old_pairs, new_pairs);
+  ASSERT_EQ(report.unchanged.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.unchanged[0], 1.0);
+  ASSERT_EQ(report.changed_old.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.changed_old[0], 0.8);
+  EXPECT_DOUBLE_EQ(report.changed_new[0], 0.4);
+  ASSERT_EQ(report.fresh.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.fresh[0], 1.0);
+}
+
+}  // namespace
+}  // namespace sp::core

@@ -1,0 +1,97 @@
+// Tests for the generic SetCorpus detection input (paper section 3.7) and
+// its equivalence with the DNS corpus on identical data.
+#include <gtest/gtest.h>
+
+#include "core/detect.h"
+#include "test_fixtures.h"
+
+namespace sp::core {
+namespace {
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+TEST(SetCorpus, DetectsFromArbitraryElements) {
+  SetCorpus corpus;
+  // Elements 1..3 shared by one v4/v6 prefix pair, element 9 elsewhere.
+  corpus.add(p("20.1.0.0/16"), 1);
+  corpus.add(p("20.1.0.0/16"), 2);
+  corpus.add(p("20.1.0.0/16"), 3);
+  corpus.add(p("2620:100::/48"), 1);
+  corpus.add(p("2620:100::/48"), 2);
+  corpus.add(p("2620:100::/48"), 3);
+  corpus.add(p("20.2.0.0/16"), 9);
+  corpus.add(p("2620:200::/48"), 9);
+  corpus.finalize();
+
+  const auto pairs = detect_sibling_prefixes(corpus);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].v4, p("20.1.0.0/16"));
+  EXPECT_EQ(pairs[0].v6, p("2620:100::/48"));
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+  EXPECT_EQ(pairs[0].shared_domains, 3u);
+  EXPECT_DOUBLE_EQ(pairs[1].similarity, 1.0);
+}
+
+TEST(SetCorpus, DuplicateAddsCollapse) {
+  SetCorpus corpus;
+  corpus.add(p("20.1.0.0/16"), 5);
+  corpus.add(p("20.1.0.0/16"), 5);
+  corpus.add(p("2620:100::/48"), 5);
+  corpus.finalize();
+  const DomainSet* set = corpus.domains_of(p("20.1.0.0/16"));
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->size(), 1u);
+  EXPECT_EQ(corpus.prefixes_of(5, Family::v4).size(), 1u);
+}
+
+TEST(SetCorpus, UnknownLookupsAreEmpty) {
+  SetCorpus corpus;
+  corpus.add(p("20.1.0.0/16"), 1);
+  corpus.finalize();
+  EXPECT_EQ(corpus.domains_of(p("20.9.0.0/16")), nullptr);
+  EXPECT_TRUE(corpus.prefixes_of(99, Family::v4).empty());
+  EXPECT_TRUE(corpus.prefixes_of(1, Family::v6).empty());
+  EXPECT_TRUE(detect_sibling_prefixes(corpus).empty());  // no v6 side at all
+}
+
+TEST(SetCorpus, BestMatchSemanticsMatchDnsCorpus) {
+  // Build the same data through both corpus types; pair lists must agree.
+  testsupport::ScenarioBuilder builder;
+  builder.announce("20.1.1.0/24", 1).announce("2620:100::/48", 2).announce("2620:200::/48", 3);
+  builder.announce("20.9.9.0/24", 4);
+  builder.host("d1.example.org", {"20.1.1.1"}, {"2620:100::1"});
+  builder.host("d2.example.org", {"20.1.1.2"}, {"2620:100::2"});
+  builder.host("d3.example.org", {"20.1.1.3"}, {"2620:200::3"});
+  builder.host("d4.example.org", {"20.9.9.4"}, {"2620:200::4"});
+  const auto dns_corpus = builder.corpus();
+  const auto dns_pairs = detect_sibling_prefixes(dns_corpus);
+
+  SetCorpus generic;
+  for (const Family family : {Family::v4, Family::v6}) {
+    for (const auto& [prefix, domains] : dns_corpus.prefix_domains(family)) {
+      for (const DomainId id : domains) generic.add(prefix, id);
+    }
+  }
+  generic.finalize();
+  const auto generic_pairs = detect_sibling_prefixes(generic);
+  EXPECT_EQ(generic_pairs, dns_pairs);
+}
+
+TEST(SetCorpus, MetricsApply) {
+  SetCorpus corpus;
+  // v4 set {1,2}, v6 set {1,2,3,4}: jaccard 1/2, overlap 1.
+  corpus.add(p("20.1.0.0/16"), 1);
+  corpus.add(p("20.1.0.0/16"), 2);
+  for (DomainId id : {1u, 2u, 3u, 4u}) corpus.add(p("2620:100::/48"), id);
+  corpus.finalize();
+
+  const auto jaccard_pairs = detect_sibling_prefixes(corpus, {Metric::Jaccard});
+  const auto overlap_pairs = detect_sibling_prefixes(corpus, {Metric::Overlap});
+  ASSERT_EQ(jaccard_pairs.size(), 1u);
+  ASSERT_EQ(overlap_pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jaccard_pairs[0].similarity, 0.5);
+  EXPECT_DOUBLE_EQ(overlap_pairs[0].similarity, 1.0);
+}
+
+}  // namespace
+}  // namespace sp::core

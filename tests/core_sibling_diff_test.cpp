@@ -1,0 +1,87 @@
+// Tests for the sibling list release diff.
+#include "core/sibling_diff.h"
+
+#include <gtest/gtest.h>
+
+namespace sp::core {
+namespace {
+
+SiblingPair make(const char* v4, const char* v6, double similarity = 1.0,
+                 std::uint32_t shared = 1) {
+  SiblingPair pair;
+  pair.v4 = Prefix::must_parse(v4);
+  pair.v6 = Prefix::must_parse(v6);
+  pair.similarity = similarity;
+  pair.shared_domains = shared;
+  pair.v4_domain_count = shared;
+  pair.v6_domain_count = shared;
+  return pair;
+}
+
+TEST(SiblingDiff, ClassifiesAddsRemovesChanges) {
+  const std::vector<SiblingPair> old_list = {
+      make("20.1.0.0/16", "2620:100::/48", 1.0),
+      make("20.2.0.0/16", "2620:200::/48", 0.8),
+      make("20.3.0.0/16", "2620:300::/48", 0.6),
+  };
+  const std::vector<SiblingPair> new_list = {
+      make("20.1.0.0/16", "2620:100::/48", 1.0),   // unchanged
+      make("20.2.0.0/16", "2620:200::/48", 0.5),   // changed similarity
+      make("20.9.0.0/16", "2620:900::/48", 1.0),   // added
+  };
+
+  const auto diff = diff_sibling_lists(old_list, new_list);
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0].v4, Prefix::must_parse("20.9.0.0/16"));
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0].v4, Prefix::must_parse("20.3.0.0/16"));
+  ASSERT_EQ(diff.changed.size(), 1u);
+  EXPECT_DOUBLE_EQ(diff.changed[0].before.similarity, 0.8);
+  EXPECT_DOUBLE_EQ(diff.changed[0].after.similarity, 0.5);
+  ASSERT_EQ(diff.unchanged.size(), 1u);
+  EXPECT_FALSE(diff.empty());
+}
+
+TEST(SiblingDiff, DomainCountChangeIsAChange) {
+  const auto before = make("20.1.0.0/16", "2620:100::/48", 1.0, 3);
+  auto after = before;
+  after.shared_domains = 4;
+  after.v4_domain_count = 4;
+  after.v6_domain_count = 4;
+  const auto diff = diff_sibling_lists(std::vector{before}, std::vector{after});
+  EXPECT_EQ(diff.changed.size(), 1u);
+  EXPECT_TRUE(diff.unchanged.empty());
+}
+
+TEST(SiblingDiff, IdenticalListsAreEmptyDiff) {
+  const std::vector<SiblingPair> list = {make("20.1.0.0/16", "2620:100::/48")};
+  const auto diff = diff_sibling_lists(list, list);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.unchanged.size(), 1u);
+}
+
+TEST(SiblingDiff, UnsortedInputsAreHandled) {
+  const std::vector<SiblingPair> old_list = {
+      make("20.5.0.0/16", "2620:500::/48"),
+      make("20.1.0.0/16", "2620:100::/48"),
+  };
+  const std::vector<SiblingPair> new_list = {
+      make("20.1.0.0/16", "2620:100::/48"),
+      make("20.3.0.0/16", "2620:300::/48"),
+      make("20.5.0.0/16", "2620:500::/48"),
+  };
+  const auto diff = diff_sibling_lists(old_list, new_list);
+  EXPECT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.removed.size(), 0u);
+  EXPECT_EQ(diff.unchanged.size(), 2u);
+}
+
+TEST(SiblingDiff, EmptyInputs) {
+  const std::vector<SiblingPair> list = {make("20.1.0.0/16", "2620:100::/48")};
+  EXPECT_EQ(diff_sibling_lists({}, list).added.size(), 1u);
+  EXPECT_EQ(diff_sibling_lists(list, {}).removed.size(), 1u);
+  EXPECT_TRUE(diff_sibling_lists({}, {}).empty());
+}
+
+}  // namespace
+}  // namespace sp::core

@@ -1,0 +1,141 @@
+// Tests for domain sets, the interner, and the three similarity metrics,
+// including the metric identities the paper's section 3.2 relies on.
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sp::core {
+namespace {
+
+TEST(DomainSet, NormalizeSortsAndDedupes) {
+  DomainSet set = {5, 1, 3, 1, 5};
+  normalize(set);
+  EXPECT_EQ(set, (DomainSet{1, 3, 5}));
+}
+
+TEST(DomainSet, InsertKeepsOrderAndUniqueness) {
+  DomainSet set;
+  insert_id(set, 7);
+  insert_id(set, 3);
+  insert_id(set, 7);
+  insert_id(set, 9);
+  EXPECT_EQ(set, (DomainSet{3, 7, 9}));
+  EXPECT_TRUE(contains_id(set, 7));
+  EXPECT_FALSE(contains_id(set, 8));
+}
+
+TEST(DomainSet, SetAlgebra) {
+  const DomainSet a = {1, 2, 3, 5};
+  const DomainSet b = {2, 3, 4};
+  EXPECT_EQ(intersection_size(a, b), 2u);
+  EXPECT_EQ(set_intersection(a, b), (DomainSet{2, 3}));
+  EXPECT_EQ(set_union(a, b), (DomainSet{1, 2, 3, 4, 5}));
+  EXPECT_EQ(set_difference(a, b), (DomainSet{1, 5}));
+  EXPECT_EQ(intersection_size(a, {}), 0u);
+}
+
+TEST(DomainInterner, AssignsDenseStableIds) {
+  DomainInterner interner;
+  const auto a = dns::DomainName::must_parse("a.example.org");
+  const auto b = dns::DomainName::must_parse("b.example.org");
+  EXPECT_EQ(interner.intern(a), 0u);
+  EXPECT_EQ(interner.intern(b), 1u);
+  EXPECT_EQ(interner.intern(a), 0u);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.name(1), b);
+  EXPECT_EQ(interner.find(a), std::optional<DomainId>{0});
+  EXPECT_FALSE(interner.find(dns::DomainName::must_parse("c.example.org")).has_value());
+}
+
+TEST(Similarity, HandComputedValues) {
+  const DomainSet a = {1, 2, 3, 4};
+  const DomainSet b = {3, 4, 5, 6, 7, 8};
+  // intersection 2, union 8, sizes 4 and 6.
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(dice(a, b), 2.0 * 2.0 / 10.0);
+  EXPECT_DOUBLE_EQ(overlap(a, b), 2.0 / 4.0);
+}
+
+TEST(Similarity, IdenticalSetsScoreOne) {
+  const DomainSet a = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(dice(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(overlap(a, a), 1.0);
+}
+
+TEST(Similarity, DisjointSetsScoreZero) {
+  const DomainSet a = {1, 2};
+  const DomainSet b = {3, 4};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(dice(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(overlap(a, b), 0.0);
+}
+
+TEST(Similarity, EmptySetsScoreZero) {
+  EXPECT_DOUBLE_EQ(jaccard({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(dice({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(overlap({}, {}), 0.0);
+}
+
+TEST(Similarity, OverlapSaturatesOnSubsets) {
+  // The paper's reason for rejecting the overlap coefficient: a subset
+  // relation forces the value to 1 regardless of the size difference.
+  const DomainSet small = {4, 5};
+  const DomainSet large = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(overlap(small, large), 1.0);
+  EXPECT_LT(jaccard(small, large), 1.0);
+  EXPECT_LT(dice(small, large), 1.0);
+}
+
+TEST(Similarity, MetricNames) {
+  EXPECT_EQ(metric_name(Metric::Jaccard), "jaccard");
+  EXPECT_EQ(metric_name(Metric::Dice), "dice");
+  EXPECT_EQ(metric_name(Metric::Overlap), "overlap");
+}
+
+// Property sweep: bounds, symmetry, and the pairwise order relations
+// Jaccard <= Dice <= Overlap on random sets.
+class SimilarityProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SimilarityProperty, InvariantsOnRandomSets) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> size_dist(0, 40);
+  std::uniform_int_distribution<DomainId> id_dist(0, 60);
+
+  const auto random_set = [&] {
+    DomainSet set;
+    for (int i = size_dist(rng); i > 0; --i) set.push_back(id_dist(rng));
+    normalize(set);
+    return set;
+  };
+
+  for (int i = 0; i < 2000; ++i) {
+    const DomainSet a = random_set();
+    const DomainSet b = random_set();
+    for (const Metric metric : {Metric::Jaccard, Metric::Dice, Metric::Overlap}) {
+      const double ab = similarity(metric, a, b);
+      const double ba = similarity(metric, b, a);
+      ASSERT_GE(ab, 0.0);
+      ASSERT_LE(ab, 1.0);
+      ASSERT_DOUBLE_EQ(ab, ba);  // symmetry
+    }
+    const double j = jaccard(a, b);
+    const double d = dice(a, b);
+    const double o = overlap(a, b);
+    ASSERT_LE(j, d + 1e-12);  // Jaccard never exceeds Dice
+    ASSERT_LE(d, o + 1e-12);  // Dice never exceeds overlap
+    // Jaccard/Dice bijection: d = 2j / (1 + j).
+    ASSERT_NEAR(d, 2.0 * j / (1.0 + j), 1e-9);
+    // Value 1 iff sets are equal and non-empty (for Jaccard and Dice).
+    if (!a.empty() || !b.empty()) {
+      ASSERT_EQ(j == 1.0, a == b && !a.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityProperty, ::testing::Values(31u, 32u, 33u, 34u));
+
+}  // namespace
+}  // namespace sp::core

@@ -1,0 +1,320 @@
+// Tests for SP-Tuner-MS (Algorithm 1) and SP-Tuner-LS (Algorithm 2):
+// hand-built refinement scenarios plus property sweeps for the tuning
+// invariants (similarity never decreases, shared domains never lost,
+// thresholds respected, outputs stay inside their inputs).
+#include "core/sptuner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "test_fixtures.h"
+
+namespace sp::core {
+namespace {
+
+using testsupport::ScenarioBuilder;
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+// An org announcing one v4 /24 whose two /25 halves host two distinct
+// service groups, matching two separate v6 /48s. Detection on announced
+// prefixes yields imperfect pairs; splitting the /24 yields two perfect
+// ones.
+ScenarioBuilder split_scenario() {
+  ScenarioBuilder builder;
+  builder.announce("20.1.1.0/24", 1).announce("2620:100::/48", 2).announce("2620:200::/48", 3);
+  // Group X in 20.1.1.0/25 ↔ 2620:100::/48.
+  builder.host("x1.example.org", {"20.1.1.1"}, {"2620:100::1"});
+  builder.host("x2.example.org", {"20.1.1.2"}, {"2620:100::2"});
+  // Group Y in 20.1.1.128/25 ↔ 2620:200::/48.
+  builder.host("y1.example.org", {"20.1.1.129"}, {"2620:200::1"});
+  builder.host("y2.example.org", {"20.1.1.130"}, {"2620:200::2"});
+  return builder;
+}
+
+TEST(SpTunerMs, SplitsMixedPrefixIntoPerfectPairs) {
+  const auto corpus = split_scenario().corpus();
+  const auto pairs = detect_sibling_prefixes(corpus);
+  // Announced-prefix detection: (v4 /24, each /48) with jaccard 2/4.
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 0.5);
+
+  const SpTunerMs tuner(corpus, {.v4_threshold = 28, .v6_threshold = 96});
+  const auto result = tuner.tune_all(pairs);
+
+  // Every output pair must be perfect now.
+  ASSERT_FALSE(result.pairs.empty());
+  for (const auto& pair : result.pairs) {
+    EXPECT_DOUBLE_EQ(pair.similarity, 1.0) << pair.v4.to_string() << " " << pair.v6.to_string();
+  }
+  EXPECT_EQ(result.changed_count, 2u);
+
+  // The X group lives under 20.1.1.0/25, the Y group under 20.1.1.128/25.
+  bool saw_x = false;
+  bool saw_y = false;
+  for (const auto& pair : result.pairs) {
+    if (p("20.1.1.0/25").contains(pair.v4) && p("2620:100::/48").contains(pair.v6)) {
+      saw_x = true;
+    }
+    if (p("20.1.1.128/25").contains(pair.v4) && p("2620:200::/48").contains(pair.v6)) {
+      saw_y = true;
+    }
+  }
+  EXPECT_TRUE(saw_x);
+  EXPECT_TRUE(saw_y);
+}
+
+TEST(SpTunerMs, BranchTrackingLosesNoSharedDomain) {
+  const auto corpus = split_scenario().corpus();
+  const auto pairs = detect_sibling_prefixes(corpus);
+  const SpTunerMs tuner(corpus, {});
+
+  // Per-pair invariant: every domain *shared* within a pair survives its
+  // tuning; across the whole pair list, all four domains stay covered.
+  const auto collect_shared = [&corpus](const std::vector<SiblingPair>& tuned) {
+    DomainSet covered;
+    for (const auto& pair : tuned) {
+      const DomainSet shared = set_intersection(corpus.domains_within(pair.v4),
+                                                corpus.domains_within(pair.v6));
+      covered.insert(covered.end(), shared.begin(), shared.end());
+    }
+    normalize(covered);
+    return covered;
+  };
+
+  // Pair 0 shares exactly the X group (2 domains).
+  EXPECT_EQ(collect_shared(tuner.tune_pair(pairs[0])).size(), 2u);
+
+  DomainSet all_covered;
+  for (const auto& pair : pairs) {
+    const DomainSet covered = collect_shared(tuner.tune_pair(pair));
+    all_covered.insert(all_covered.end(), covered.begin(), covered.end());
+  }
+  normalize(all_covered);
+  EXPECT_EQ(all_covered.size(), 4u);
+}
+
+TEST(SpTunerMs, DescendsToThresholdOnPlateau) {
+  // A single-domain pair stays at jaccard 1 all the way down, so tuning
+  // must shrink it exactly to the thresholds (the paper's 86.95% of pairs
+  // landing on /28-/96).
+  ScenarioBuilder builder;
+  builder.announce("20.1.1.0/24", 1).announce("2620:100::/48", 2);
+  builder.host("solo.example.org", {"20.1.1.77"}, {"2620:100::77"});
+  const auto corpus = builder.corpus();
+  const auto pairs = detect_sibling_prefixes(corpus);
+  ASSERT_EQ(pairs.size(), 1u);
+
+  const SpTunerMs tuner(corpus, {.v4_threshold = 28, .v6_threshold = 96});
+  const auto tuned = tuner.tune_pair(pairs[0]);
+  ASSERT_EQ(tuned.size(), 1u);
+  EXPECT_EQ(tuned[0].v4.length(), 28u);
+  EXPECT_EQ(tuned[0].v6.length(), 96u);
+  EXPECT_DOUBLE_EQ(tuned[0].similarity, 1.0);
+  EXPECT_TRUE(pairs[0].v4.contains(tuned[0].v4));
+  EXPECT_TRUE(pairs[0].v6.contains(tuned[0].v6));
+  EXPECT_TRUE(tuned[0].v4.contains(IPAddress::must_parse("20.1.1.77")));
+  EXPECT_TRUE(tuned[0].v6.contains(IPAddress::must_parse("2620:100::77")));
+}
+
+TEST(SpTunerMs, RoutableThresholdStopsAt24And48) {
+  ScenarioBuilder builder;
+  builder.announce("20.1.0.0/16", 1).announce("2620:100::/32", 2);
+  builder.host("solo.example.org", {"20.1.1.77"}, {"2620:100::77"});
+  const auto corpus = builder.corpus();
+  const auto pairs = detect_sibling_prefixes(corpus);
+
+  const SpTunerMs tuner(corpus, {.v4_threshold = 24, .v6_threshold = 48});
+  const auto tuned = tuner.tune_pair(pairs[0]);
+  ASSERT_EQ(tuned.size(), 1u);
+  EXPECT_EQ(tuned[0].v4.length(), 24u);
+  EXPECT_EQ(tuned[0].v6.length(), 48u);
+}
+
+TEST(SpTunerMs, InputMoreSpecificThanThresholdIsKept) {
+  ScenarioBuilder builder;
+  builder.announce("20.1.1.0/30", 1).announce("2620:100::/112", 2);
+  builder.host("tiny.example.org", {"20.1.1.1"}, {"2620:100::1"});
+  const auto corpus = builder.corpus();
+  const auto pairs = detect_sibling_prefixes(corpus);
+
+  const SpTunerMs tuner(corpus, {.v4_threshold = 28, .v6_threshold = 96});
+  const auto tuned = tuner.tune_pair(pairs[0]);
+  ASSERT_EQ(tuned.size(), 1u);
+  // Already deeper than the thresholds: nothing to do.
+  EXPECT_EQ(tuned[0].v4, p("20.1.1.0/30"));
+  EXPECT_EQ(tuned[0].v6, p("2620:100::/112"));
+}
+
+TEST(SpTunerMs, TuneAllCountsChangedPairs) {
+  ScenarioBuilder builder;
+  builder.announce("20.1.1.0/28", 1).announce("2620:100::/96", 2);
+  builder.host("fixed.example.org", {"20.1.1.1"}, {"2620:100::1"});
+  const auto corpus = builder.corpus();
+  const auto pairs = detect_sibling_prefixes(corpus);
+  const SpTunerMs tuner(corpus, {.v4_threshold = 28, .v6_threshold = 96});
+  const auto result = tuner.tune_all(pairs);
+  EXPECT_EQ(result.input_count, 1u);
+  EXPECT_EQ(result.changed_count, 0u);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0], pairs[0]);
+}
+
+// ---------------------------------------------------------------------------
+// SP-Tuner-LS
+// ---------------------------------------------------------------------------
+
+TEST(SpTunerLs, MergesFragmentedAnnouncementsWhenBeneficial) {
+  // The org announces its /24 as two /25s; domains of one service group
+  // span both halves, so each /25 pair has jaccard 1/2 against the v6 /48
+  // that hosts both domains. The covering /24 (same origin AS) scores 1.
+  ScenarioBuilder builder;
+  builder.announce("20.1.1.0/25", 1).announce("20.1.1.128/25", 1);
+  builder.announce("20.1.1.0/24", 1);  // covering announcement, same origin
+  builder.announce("2620:100::/48", 2);
+  builder.host("a.example.org", {"20.1.1.1"}, {"2620:100::1"});
+  builder.host("b.example.org", {"20.1.1.129"}, {"2620:100::2"});
+  const auto corpus = builder.corpus();
+  const auto pairs = detect_sibling_prefixes(corpus);
+
+  const SiblingPair* half_pair = nullptr;
+  for (const auto& pair : pairs) {
+    if (pair.v4 == p("20.1.1.0/25")) half_pair = &pair;
+  }
+  ASSERT_NE(half_pair, nullptr);
+  EXPECT_DOUBLE_EQ(half_pair->similarity, 0.5);
+
+  const SpTunerLs tuner(corpus, builder.rib(), {.v4_levels_up = 1, .v6_levels_up = 4});
+  const auto tuned = tuner.tune_pair(*half_pair);
+  EXPECT_EQ(tuned.v4, p("20.1.1.0/24"));
+  EXPECT_EQ(tuned.v6, p("2620:100::/48"));
+  EXPECT_DOUBLE_EQ(tuned.similarity, 1.0);
+}
+
+TEST(SpTunerLs, StopsAtOriginAsChange) {
+  // Same layout, but the covering /24 is originated by a different AS:
+  // Algorithm 2's IsASnumChange check forbids the merge.
+  ScenarioBuilder builder;
+  builder.announce("20.1.1.0/25", 1).announce("20.1.1.128/25", 1);
+  builder.announce("20.1.1.0/24", 99);  // different origin
+  builder.announce("2620:100::/48", 2);
+  builder.host("a.example.org", {"20.1.1.1"}, {"2620:100::1"});
+  builder.host("b.example.org", {"20.1.1.129"}, {"2620:100::2"});
+  const auto corpus = builder.corpus();
+  const auto pairs = detect_sibling_prefixes(corpus);
+
+  const SiblingPair* half_pair = nullptr;
+  for (const auto& pair : pairs) {
+    if (pair.v4 == p("20.1.1.0/25")) half_pair = &pair;
+  }
+  ASSERT_NE(half_pair, nullptr);
+
+  const SpTunerLs tuner(corpus, builder.rib(), {});
+  const auto tuned = tuner.tune_pair(*half_pair);
+  EXPECT_EQ(tuned.v4, half_pair->v4);  // unchanged
+  EXPECT_EQ(tuned.v6, half_pair->v6);
+}
+
+TEST(SpTunerLs, NoImprovementReturnsInput) {
+  // The paper's Figure 22 finding: going less specific usually pulls in
+  // unrelated domains and does not help.
+  ScenarioBuilder builder;
+  builder.announce("20.1.1.0/24", 1).announce("20.1.0.0/16", 1);
+  builder.announce("2620:100::/48", 2);
+  builder.host("a.example.org", {"20.1.1.1"}, {"2620:100::1"});
+  builder.host("unrelated.example.org", {"20.1.2.1"}, {});  // v4-only noise... not DS
+  const auto corpus = builder.corpus();
+  const auto pairs = detect_sibling_prefixes(corpus);
+  ASSERT_EQ(pairs.size(), 1u);
+
+  const SpTunerLs tuner(corpus, builder.rib(), {});
+  const auto result = tuner.tune_all(pairs);
+  EXPECT_EQ(result.changed_count, 0u);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0].v4, pairs[0].v4);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: tuning invariants on randomized corpora.
+// ---------------------------------------------------------------------------
+
+class SpTunerProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SpTunerProperty, InvariantsOnRandomCorpora) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> org_count_dist(2, 6);
+  std::uniform_int_distribution<int> domain_count_dist(1, 8);
+  std::uniform_int_distribution<int> offset_dist(1, 200);
+  std::uniform_int_distribution<int> group_dist(0, 3);
+
+  for (int round = 0; round < 20; ++round) {
+    ScenarioBuilder builder;
+    const int orgs = org_count_dist(rng);
+    for (int org = 0; org < orgs; ++org) {
+      const std::string v4_base = "20." + std::to_string(org + 1) + ".0.0/16";
+      const std::string v6_base = "2620:" + std::to_string(org + 1) + "00::/32";
+      builder.announce(v4_base, 1000 + static_cast<std::uint32_t>(org));
+      builder.announce(v6_base, 2000 + static_cast<std::uint32_t>(org));
+      const int domains = domain_count_dist(rng);
+      for (int d = 0; d < domains; ++d) {
+        // Cluster addresses into /24 (v4) and /48 (v6) chunks by group, so
+        // refinement has structure to find.
+        const int group = group_dist(rng);
+        const std::string v4 = "20." + std::to_string(org + 1) + "." +
+                               std::to_string(group) + "." + std::to_string(offset_dist(rng));
+        const std::string v6 = "2620:" + std::to_string(org + 1) + "00:" +
+                               std::to_string(group) + "::" + std::to_string(offset_dist(rng));
+        const std::string name = "d" + std::to_string(org) + "-" + std::to_string(d) +
+                                 ".example.org";
+        builder.host(name, {v4.c_str()}, {v6.c_str()});
+      }
+    }
+
+    const auto corpus = builder.corpus();
+    const auto pairs = detect_sibling_prefixes(corpus);
+    const SpTunerConfig config{.v4_threshold = 28, .v6_threshold = 96};
+    const SpTunerMs tuner(corpus, config);
+
+    for (const auto& pair : pairs) {
+      const auto tuned = tuner.tune_pair(pair);
+      ASSERT_FALSE(tuned.empty());
+
+      double best = 0.0;
+      DomainSet shared_covered;
+      for (const auto& out : tuned) {
+        // Outputs stay inside the input pair.
+        ASSERT_TRUE(pair.v4.contains(out.v4))
+            << pair.v4.to_string() << " !contains " << out.v4.to_string();
+        ASSERT_TRUE(pair.v6.contains(out.v6));
+        // Thresholds respected (unless the input was already deeper).
+        ASSERT_LE(out.v4.length(), std::max(config.v4_threshold, pair.v4.length()));
+        ASSERT_LE(out.v6.length(), std::max(config.v6_threshold, pair.v6.length()));
+        // Similarity recomputation is consistent.
+        const DomainSet d4 = corpus.domains_within(out.v4);
+        const DomainSet d6 = corpus.domains_within(out.v6);
+        ASSERT_NEAR(out.similarity, jaccard(d4, d6), 1e-9);
+        best = std::max(best, out.similarity);
+        const DomainSet shared = set_intersection(d4, d6);
+        shared_covered.insert(shared_covered.end(), shared.begin(), shared.end());
+      }
+      // Tuning never made the best pair worse.
+      ASSERT_GE(best + 1e-9, pair.similarity);
+
+      // Every shared domain of the input pair survives in some output.
+      normalize(shared_covered);
+      const DomainSet input_shared =
+          set_intersection(corpus.domains_within(pair.v4), corpus.domains_within(pair.v6));
+      for (const DomainId id : input_shared) {
+        ASSERT_TRUE(contains_id(shared_covered, id))
+            << "lost domain " << corpus.interner().name(id).text();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpTunerProperty, ::testing::Values(41u, 42u, 43u, 44u, 45u));
+
+}  // namespace
+}  // namespace sp::core

@@ -1,0 +1,91 @@
+// Tests for EDNS(0) OPT pseudo-records (RFC 6891): wire layout, flag and
+// payload-size mapping, options, and round trips.
+#include <gtest/gtest.h>
+
+#include "dns/wire.h"
+
+namespace sp::dns {
+namespace {
+
+Message query_with_opt(OptData opt) {
+  Message message;
+  message.header.id = 0x0ED5;
+  message.questions.push_back(
+      {DomainName::must_parse("www.example.org"), RecordType::A});
+  message.additionals.push_back(ResourceRecord::opt(std::move(opt)));
+  return message;
+}
+
+TEST(DnsEdns, WireLayoutGolden) {
+  OptData opt;
+  opt.udp_payload_size = 4096;
+  opt.extended_rcode = 0;
+  opt.version = 0;
+  opt.dnssec_ok = true;
+  const auto wire = encode_message(query_with_opt(opt));
+  // The OPT record follows the 12-byte header + 21-byte question:
+  // root(1) type(2)=41 class(2)=4096 ttl(4)=0x00008000 rdlength(2)=0.
+  const std::size_t at = 12 + 21;
+  EXPECT_EQ(wire[at], 0);        // root owner
+  EXPECT_EQ(wire[at + 2], 41);   // type OPT
+  EXPECT_EQ(wire[at + 3], 0x10); // class hi = 4096 >> 8
+  EXPECT_EQ(wire[at + 4], 0x00);
+  EXPECT_EQ(wire[at + 7], 0x80); // DO bit in TTL
+  EXPECT_EQ(wire.size(), at + 11);
+}
+
+TEST(DnsEdns, RoundTripsWithOptions) {
+  OptData opt;
+  opt.udp_payload_size = 1232;
+  opt.extended_rcode = 1;
+  opt.version = 0;
+  opt.dnssec_ok = false;
+  opt.options.push_back({10, {1, 2, 3, 4, 5, 6, 7, 8}});  // COOKIE-style blob
+  opt.options.push_back({12, {}});                        // padding, empty
+  const auto message = query_with_opt(opt);
+
+  std::string error;
+  const auto decoded = decode_message(encode_message(message), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(*decoded, message);
+  const auto& got = std::get<OptData>(decoded->additionals[0].data);
+  EXPECT_EQ(got.udp_payload_size, 1232);
+  EXPECT_EQ(got.extended_rcode, 1);
+  ASSERT_EQ(got.options.size(), 2u);
+  EXPECT_EQ(got.options[0].code, 10);
+  EXPECT_EQ(got.options[0].data.size(), 8u);
+}
+
+TEST(DnsEdns, CoexistsWithRegularRecords) {
+  Message message = query_with_opt(OptData{});
+  message.header.qr = true;
+  message.answers.push_back(ResourceRecord::a(DomainName::must_parse("www.example.org"),
+                                              IPv4Address::from_octets(5, 6, 7, 8)));
+  message.additionals.push_back(
+      ResourceRecord::txt(DomainName::must_parse("meta.example.org"), "x"));
+  const auto decoded = decode_message(encode_message(message));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
+}
+
+TEST(DnsEdns, TruncatedOptionIsRejected) {
+  OptData opt;
+  opt.options.push_back({10, {1, 2, 3, 4}});
+  auto wire = encode_message(query_with_opt(opt));
+  // Inflate the option length beyond the record.
+  wire[wire.size() - 5] = 0xFF;
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(DnsEdns, DnssecOkFlagRoundTrips) {
+  for (const bool dnssec_ok : {false, true}) {
+    OptData opt;
+    opt.dnssec_ok = dnssec_ok;
+    const auto decoded = decode_message(encode_message(query_with_opt(opt)));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(std::get<OptData>(decoded->additionals[0].data).dnssec_ok, dnssec_ok);
+  }
+}
+
+}  // namespace
+}  // namespace sp::dns

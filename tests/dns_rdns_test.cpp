@@ -1,0 +1,99 @@
+// Tests for reverse-DNS names, PTR records, and an rDNS-based detection
+// input (the paper's section 6 alternative-input suggestion).
+#include <gtest/gtest.h>
+
+#include "core/detect.h"
+#include "dns/zone.h"
+
+namespace sp::dns {
+namespace {
+
+TEST(ReverseName, IPv4Golden) {
+  EXPECT_EQ(reverse_name(IPAddress::must_parse("20.1.2.3")).text(),
+            "3.2.1.20.in-addr.arpa");
+  EXPECT_EQ(reverse_name(IPAddress::must_parse("255.0.255.0")).text(),
+            "0.255.0.255.in-addr.arpa");
+}
+
+TEST(ReverseName, IPv6Golden) {
+  // RFC 3596's worked example style: 2001:db8::567:89ab.
+  EXPECT_EQ(reverse_name(IPAddress::must_parse("2001:db8::567:89ab")).text(),
+            "b.a.9.8.7.6.5.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.8.b.d.0.1.0.0.2.ip6.arpa");
+}
+
+TEST(ReverseName, RoundTripsThroughZoneLookup) {
+  ZoneDatabase zones;
+  const IPAddress address = IPAddress::must_parse("20.1.2.3");
+  zones.add(ResourceRecord::ptr(reverse_name(address),
+                                DomainName::must_parse("host1.org-0001.example")));
+
+  const auto records = zones.records(reverse_name(address), RecordType::PTR);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(std::get<DomainName>(records[0].data).text(), "host1.org-0001.example");
+}
+
+TEST(ReverseName, PtrWireRoundTrip) {
+  Message message;
+  message.header.qr = true;
+  message.questions.push_back(
+      {reverse_name(IPAddress::must_parse("20.1.2.3")), RecordType::PTR});
+  message.answers.push_back(ResourceRecord::ptr(
+      reverse_name(IPAddress::must_parse("20.1.2.3")),
+      DomainName::must_parse("host1.org-0001.example")));
+  std::string error;
+  const auto decoded = decode_message(encode_message(message), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(*decoded, message);
+}
+
+TEST(ReverseName, ServeAnswersPtrQueries) {
+  ZoneDatabase zones;
+  const IPAddress address = IPAddress::must_parse("2620:100::10");
+  zones.add(ResourceRecord::ptr(reverse_name(address),
+                                DomainName::must_parse("edge7.cdn.example")));
+  Message query;
+  query.questions.push_back({reverse_name(address), RecordType::PTR});
+  const auto response = zones.serve(query);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers[0].type, RecordType::PTR);
+}
+
+// rDNS as a detection input: dual-stack hosts share one PTR hostname; the
+// interned hostname ids feed a SetCorpus exactly like domains would.
+TEST(ReverseName, RdnsSetCorpusDetection) {
+  // Two orgs; each host has matching v4/v6 PTR names.
+  struct Host {
+    const char* v4;
+    const char* v6;
+    const char* hostname;
+  };
+  const Host hosts[] = {
+      {"20.1.0.1", "2620:100::1", "web1.alpha.example"},
+      {"20.1.0.2", "2620:100::2", "web2.alpha.example"},
+      {"20.2.0.1", "2620:200::1", "mail.beta.example"},
+  };
+  const auto prefix_of = [](const char* address) {
+    const IPAddress ip = IPAddress::must_parse(address);
+    return Prefix::of(ip, ip.is_v4() ? 24u : 48u);
+  };
+
+  core::DomainInterner interner;
+  core::SetCorpus corpus;
+  for (const auto& host : hosts) {
+    const core::DomainId id = interner.intern(DomainName::must_parse(host.hostname));
+    corpus.add(prefix_of(host.v4), id);
+    corpus.add(prefix_of(host.v6), id);
+  }
+  corpus.finalize();
+
+  const auto pairs = core::detect_sibling_prefixes(corpus);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].v4, Prefix::must_parse("20.1.0.0/24"));
+  EXPECT_EQ(pairs[0].v6, Prefix::must_parse("2620:100::/48"));
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+  EXPECT_EQ(pairs[0].shared_domains, 2u);
+  EXPECT_DOUBLE_EQ(pairs[1].similarity, 1.0);
+}
+
+}  // namespace
+}  // namespace sp::dns

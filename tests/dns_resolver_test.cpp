@@ -1,0 +1,160 @@
+// Tests for the iterative resolver: referral chains, glue, CNAME restarts,
+// lame delegations, loop guards, and snapshot production.
+#include "dns/resolver.h"
+
+#include <gtest/gtest.h>
+
+namespace sp::dns {
+namespace {
+
+DomainName n(const char* text) { return DomainName::must_parse(text); }
+IPv4Address a4(const char* text) { return *IPv4Address::from_string(text); }
+IPv6Address a6(const char* text) { return *IPv6Address::from_string(text); }
+
+/// A three-level hierarchy: root → org TLD server → example.org server.
+struct Hierarchy {
+  ZoneDatabase root;
+  ZoneDatabase org_tld;
+  ZoneDatabase example_org;
+  IterativeResolver resolver{n("a.root-servers.example")};
+
+  Hierarchy() {
+    // Root knows the org delegation + glue.
+    root.add(ResourceRecord::ns(n("org"), n("ns.org-registry.example")));
+    root.add(ResourceRecord::a(n("ns.org-registry.example"), a4("20.0.0.53")));
+
+    // The org TLD server delegates example.org.
+    org_tld.add(ResourceRecord::ns(n("example.org"), n("ns1.example.org")));
+    org_tld.add(ResourceRecord::a(n("ns1.example.org"), a4("20.1.0.53")));
+
+    // The example.org server is authoritative.
+    example_org.add(ResourceRecord::soa(
+        n("example.org"), SoaData{.mname = n("ns1.example.org"),
+                                  .rname = n("hostmaster.example.org"),
+                                  .serial = 1}));
+    example_org.add(ResourceRecord::a(n("www.example.org"), a4("20.1.1.10")));
+    example_org.add(ResourceRecord::aaaa(n("www.example.org"), a6("2620:100::10")));
+    example_org.add(ResourceRecord::cname(n("blog.example.org"), n("www.example.org")));
+    example_org.add(ResourceRecord::a(n("v4only.example.org"), a4("20.1.1.77")));
+
+    resolver.register_server(n("a.root-servers.example"), &root);
+    resolver.register_server(n("ns.org-registry.example"), &org_tld);
+    resolver.register_server(n("ns1.example.org"), &example_org);
+  }
+};
+
+TEST(IterativeResolver, FollowsReferralChainToAnswer) {
+  Hierarchy h;
+  IterativeResolver::Trace trace;
+  const auto result = h.resolver.resolve(n("www.example.org"), &trace);
+  ASSERT_EQ(result.v4.size(), 1u);
+  EXPECT_EQ(result.v4[0], a4("20.1.1.10"));
+  ASSERT_EQ(result.v6.size(), 1u);
+  EXPECT_TRUE(result.dual_stack());
+  EXPECT_EQ(result.response_name, n("www.example.org"));
+
+  // Both the A and the AAAA pass walk root → org → example.org.
+  ASSERT_GE(trace.servers_consulted.size(), 6u);
+  EXPECT_EQ(trace.servers_consulted[0], n("a.root-servers.example"));
+  EXPECT_EQ(trace.servers_consulted[1], n("ns.org-registry.example"));
+  EXPECT_EQ(trace.servers_consulted[2], n("ns1.example.org"));
+  EXPECT_GT(trace.wire_bytes, 0u);
+  EXPECT_FALSE(trace.lame_delegation);
+  EXPECT_FALSE(trace.referral_limit_hit);
+}
+
+TEST(IterativeResolver, CnameRestartsAtRoot) {
+  Hierarchy h;
+  const auto result = h.resolver.resolve(n("blog.example.org"));
+  EXPECT_EQ(result.queried, n("blog.example.org"));
+  EXPECT_EQ(result.response_name, n("www.example.org"));
+  ASSERT_EQ(result.cname_chain.size(), 1u);
+  ASSERT_EQ(result.v4.size(), 1u);
+  EXPECT_TRUE(result.dual_stack());
+}
+
+TEST(IterativeResolver, SingleStackAnswer) {
+  Hierarchy h;
+  const auto result = h.resolver.resolve(n("v4only.example.org"));
+  EXPECT_TRUE(result.has_v4());
+  EXPECT_FALSE(result.has_v6());
+}
+
+TEST(IterativeResolver, NxdomainGivesNoAddresses) {
+  Hierarchy h;
+  const auto result = h.resolver.resolve(n("missing.example.org"));
+  EXPECT_FALSE(result.has_v4());
+  EXPECT_FALSE(result.has_v6());
+}
+
+TEST(IterativeResolver, LameDelegationIsReported) {
+  Hierarchy h;
+  // Delegate a zone to a server that is not registered anywhere.
+  h.root.add(ResourceRecord::ns(n("net"), n("ns.unreachable.example")));
+  IterativeResolver::Trace trace;
+  const auto result = h.resolver.resolve(n("www.things.net"), &trace);
+  EXPECT_FALSE(result.has_v4());
+  EXPECT_TRUE(trace.lame_delegation);
+}
+
+TEST(IterativeResolver, SelfReferralDoesNotLoop) {
+  ZoneDatabase broken;
+  broken.add(ResourceRecord::ns(n("loop.example"), n("ns.root.example")));
+  IterativeResolver resolver(n("ns.root.example"));
+  resolver.register_server(n("ns.root.example"), &broken);
+  IterativeResolver::Trace trace;
+  const auto result = resolver.resolve(n("www.loop.example"), &trace);
+  EXPECT_FALSE(result.has_v4());
+  EXPECT_TRUE(trace.lame_delegation);
+}
+
+TEST(IterativeResolver, ReferralPingPongHitsLimit) {
+  // Two servers that endlessly refer to each other.
+  ZoneDatabase a;
+  ZoneDatabase b;
+  a.add(ResourceRecord::ns(n("pp.example"), n("ns-b.example")));
+  b.add(ResourceRecord::ns(n("pp.example"), n("ns-a.example")));
+  IterativeResolver resolver(n("ns-a.example"));
+  resolver.register_server(n("ns-a.example"), &a);
+  resolver.register_server(n("ns-b.example"), &b);
+  IterativeResolver::Trace trace;
+  const auto result = resolver.resolve(n("www.pp.example"), &trace);
+  EXPECT_FALSE(result.has_v4());
+  EXPECT_TRUE(trace.referral_limit_hit);
+}
+
+TEST(IterativeResolver, CnameLoopIsDetected) {
+  Hierarchy h;
+  h.example_org.add(ResourceRecord::cname(n("l1.example.org"), n("l2.example.org")));
+  h.example_org.add(ResourceRecord::cname(n("l2.example.org"), n("l1.example.org")));
+  const auto result = h.resolver.resolve(n("l1.example.org"));
+  EXPECT_TRUE(result.cname_loop);
+  EXPECT_FALSE(result.has_v4());
+}
+
+TEST(IterativeResolver, ResolveAllBuildsSnapshot) {
+  Hierarchy h;
+  const std::vector<DomainName> queries = {n("www.example.org"), n("blog.example.org"),
+                                           n("v4only.example.org"),
+                                           n("missing.example.org")};
+  const auto snapshot = h.resolver.resolve_all(queries, Date{2024, 9, 11});
+  EXPECT_EQ(snapshot.domain_count(), 3u);
+  EXPECT_EQ(snapshot.dual_stack_count(), 2u);
+  // The CNAME'd domain resolved to the canonical identity.
+  EXPECT_EQ(snapshot.entries()[1].response_name, n("www.example.org"));
+}
+
+TEST(ZoneDatabase, ServeEmitsReferralWithGlue) {
+  Hierarchy h;
+  Message query;
+  query.questions.push_back({n("www.example.org"), RecordType::A});
+  const auto response = h.root.serve(query);
+  EXPECT_EQ(response.header.rcode, 0);  // referral, not NXDOMAIN
+  ASSERT_EQ(response.authorities.size(), 1u);
+  EXPECT_EQ(response.authorities[0].type, RecordType::NS);
+  ASSERT_EQ(response.additionals.size(), 1u);  // glue A record
+  EXPECT_EQ(response.additionals[0].type, RecordType::A);
+}
+
+}  // namespace
+}  // namespace sp::dns

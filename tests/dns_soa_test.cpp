@@ -1,0 +1,88 @@
+// Tests for SOA records: wire round-trip and RFC 2308 negative answers.
+#include <gtest/gtest.h>
+
+#include "dns/zone.h"
+
+namespace sp::dns {
+namespace {
+
+DomainName n(const char* text) { return DomainName::must_parse(text); }
+
+SoaData example_soa() {
+  return SoaData{.mname = n("ns1.example.org"),
+                 .rname = n("hostmaster.example.org"),
+                 .serial = 2024091101,
+                 .refresh = 7200,
+                 .retry = 900,
+                 .expire = 1209600,
+                 .minimum = 300};
+}
+
+TEST(DnsSoa, WireRoundTrip) {
+  Message message;
+  message.header.qr = true;
+  message.authorities.push_back(ResourceRecord::soa(n("example.org"), example_soa()));
+  std::string error;
+  const auto decoded = decode_message(encode_message(message), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(*decoded, message);
+  const auto& soa = std::get<SoaData>(decoded->authorities[0].data);
+  EXPECT_EQ(soa.serial, 2024091101u);
+  EXPECT_EQ(soa.mname, n("ns1.example.org"));
+}
+
+TEST(DnsSoa, NamesInsideSoaAreCompressed) {
+  // The SOA's mname/rname share the zone suffix with the owner name; with
+  // compression the encoding must be well below the uncompressed size.
+  Message message;
+  message.authorities.push_back(ResourceRecord::soa(n("example.org"), example_soa()));
+  const auto wire = encode_message(message);
+  // Uncompressed: 13 (owner) + 17 + 24 names; compressed replaces the
+  // repeated "example.org" suffixes with 2-byte pointers.
+  EXPECT_LT(wire.size(), 12u + 13u + 10u + 20u + (4u + 2u) + (11u + 2u) + 20u + 10u);
+  const auto decoded = decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
+}
+
+TEST(DnsSoa, NxdomainCarriesClosestEnclosingSoa) {
+  ZoneDatabase zones;
+  zones.add(ResourceRecord::soa(n("example.org"), example_soa()));
+  zones.add(ResourceRecord::a(n("www.example.org"), *IPv4Address::from_string("20.1.1.1")));
+
+  Message query;
+  query.questions.push_back({n("missing.deep.example.org"), RecordType::A});
+  const auto response = zones.serve(query);
+  EXPECT_EQ(response.header.rcode, 3);
+  ASSERT_EQ(response.authorities.size(), 1u);
+  EXPECT_EQ(response.authorities[0].type, RecordType::SOA);
+  EXPECT_EQ(response.authorities[0].name, n("example.org"));
+  // And the negative response survives the wire.
+  const auto decoded = decode_message(encode_message(response));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, response);
+}
+
+TEST(DnsSoa, NxdomainWithoutZoneSoaHasEmptyAuthority) {
+  ZoneDatabase zones;
+  zones.add(ResourceRecord::a(n("www.example.org"), *IPv4Address::from_string("20.1.1.1")));
+  Message query;
+  query.questions.push_back({n("missing.other.net"), RecordType::A});
+  const auto response = zones.serve(query);
+  EXPECT_EQ(response.header.rcode, 3);
+  EXPECT_TRUE(response.authorities.empty());
+}
+
+TEST(DnsSoa, ExplicitSoaQuery) {
+  ZoneDatabase zones;
+  zones.add(ResourceRecord::soa(n("example.org"), example_soa()));
+  Message query;
+  query.questions.push_back({n("example.org"), RecordType::SOA});
+  const auto response = zones.serve(query);
+  EXPECT_EQ(response.header.rcode, 0);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers[0].type, RecordType::SOA);
+}
+
+}  // namespace
+}  // namespace sp::dns

@@ -1,0 +1,233 @@
+// Tests for the RFC 1035 wire codec: golden encodings, round-trips,
+// compression behaviour, and malformed-input rejection.
+#include "dns/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sp::dns {
+namespace {
+
+Message simple_query(std::uint16_t id, const char* name, RecordType type) {
+  Message message;
+  message.header.id = id;
+  message.questions.push_back({DomainName::must_parse(name), type});
+  return message;
+}
+
+TEST(DnsWire, EncodesQueryHeaderGolden) {
+  const auto wire = encode_message(simple_query(0x1234, "example.org", RecordType::A));
+  ASSERT_GE(wire.size(), 12u);
+  // id
+  EXPECT_EQ(wire[0], 0x12);
+  EXPECT_EQ(wire[1], 0x34);
+  // flags: RD only
+  EXPECT_EQ(wire[2], 0x01);
+  EXPECT_EQ(wire[3], 0x00);
+  // qdcount = 1, others 0
+  EXPECT_EQ(wire[5], 1);
+  EXPECT_EQ(wire[7], 0);
+  // question name: 7 "example" 3 "org" 0
+  EXPECT_EQ(wire[12], 7);
+  EXPECT_EQ(std::string(wire.begin() + 13, wire.begin() + 20), "example");
+  EXPECT_EQ(wire[20], 3);
+  EXPECT_EQ(wire[24], 0);
+  // qtype A (1), qclass IN (1)
+  EXPECT_EQ(wire[26], 1);
+  EXPECT_EQ(wire[28], 1);
+  EXPECT_EQ(wire.size(), 29u);
+}
+
+TEST(DnsWire, RoundTripsQuery) {
+  const auto message = simple_query(7, "www.example.org", RecordType::AAAA);
+  const auto decoded = decode_message(encode_message(message));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
+}
+
+TEST(DnsWire, RoundTripsAllRecordTypes) {
+  Message message = simple_query(42, "svc.example.org", RecordType::A);
+  message.header.qr = true;
+  message.header.aa = true;
+  message.answers.push_back(ResourceRecord::cname(DomainName::must_parse("svc.example.org"),
+                                                  DomainName::must_parse("cdn.host.net")));
+  message.answers.push_back(
+      ResourceRecord::a(DomainName::must_parse("cdn.host.net"),
+                        *IPv4Address::from_string("192.0.2.55"), 60));
+  message.answers.push_back(
+      ResourceRecord::aaaa(DomainName::must_parse("cdn.host.net"),
+                           *IPv6Address::from_string("2001:db8::55"), 60));
+  message.authorities.push_back(ResourceRecord::ns(DomainName::must_parse("example.org"),
+                                                   DomainName::must_parse("ns1.example.org")));
+  message.additionals.push_back(
+      ResourceRecord::mx(DomainName::must_parse("example.org"), 10,
+                         DomainName::must_parse("mail.example.org")));
+  message.additionals.push_back(
+      ResourceRecord::txt(DomainName::must_parse("example.org"), "v=spf1 -all"));
+
+  std::string error;
+  const auto decoded = decode_message(encode_message(message), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(*decoded, message);
+}
+
+TEST(DnsWire, CompressionShrinksRepeatedNames) {
+  Message with_repeats = simple_query(1, "a.example.org", RecordType::A);
+  for (int i = 0; i < 10; ++i) {
+    with_repeats.answers.push_back(ResourceRecord::a(
+        DomainName::must_parse("a.example.org"), IPv4Address::from_octets(192, 0, 2, 1)));
+  }
+  const auto wire = encode_message(with_repeats);
+  // Each repeated owner name should cost 2 pointer bytes, not 15.
+  // 12 header + 19 question + 10 * (2 + 2 + 2 + 4 + 2 + 4) = 191.
+  EXPECT_EQ(wire.size(), 12u + 19u + 10u * 16u);
+  const auto decoded = decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, with_repeats);
+}
+
+TEST(DnsWire, CompressionPointersInsideRdataRoundTrip) {
+  Message message = simple_query(2, "x.example.org", RecordType::CNAME);
+  message.answers.push_back(ResourceRecord::cname(DomainName::must_parse("x.example.org"),
+                                                  DomainName::must_parse("y.example.org")));
+  const auto wire = encode_message(message);
+  const auto decoded = decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
+}
+
+TEST(DnsWire, LongTxtSplitsIntoCharacterStrings) {
+  const std::string long_text(700, 'x');
+  Message message;
+  message.answers.push_back(
+      ResourceRecord::txt(DomainName::must_parse("t.example.org"), long_text));
+  const auto decoded = decode_message(encode_message(message));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<TxtData>(decoded->answers[0].data).text, long_text);
+}
+
+TEST(DnsWire, DecodeRejectsTruncation) {
+  const auto wire = encode_message(simple_query(9, "example.org", RecordType::A));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    std::string error;
+    const auto decoded =
+        decode_message(std::span(wire.data(), cut), &error);
+    EXPECT_FALSE(decoded.has_value()) << "cut=" << cut;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(DnsWire, DecodeRejectsTrailingBytes) {
+  auto wire = encode_message(simple_query(9, "example.org", RecordType::A));
+  wire.push_back(0);
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(DnsWire, DecodeRejectsPointerLoops) {
+  // Header claiming one question, then a name that points at itself.
+  std::vector<std::uint8_t> wire(12, 0);
+  wire[5] = 1;  // qdcount
+  wire.push_back(0xC0);
+  wire.push_back(12);  // pointer to itself
+  wire.push_back(0);
+  wire.push_back(1);
+  wire.push_back(0);
+  wire.push_back(1);
+  std::string error;
+  EXPECT_FALSE(decode_message(wire, &error).has_value());
+  EXPECT_NE(error.find("pointer"), std::string::npos);
+}
+
+TEST(DnsWire, DecodeRejectsForwardPointer) {
+  std::vector<std::uint8_t> wire(12, 0);
+  wire[5] = 1;
+  wire.push_back(0xC0);
+  wire.push_back(40);  // points past itself
+  wire.push_back(0);
+  wire.push_back(1);
+  wire.push_back(0);
+  wire.push_back(1);
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(DnsWire, DecodeRejectsBadRdataLengths) {
+  Message message;
+  message.answers.push_back(ResourceRecord::a(DomainName::must_parse("a.example.org"),
+                                              IPv4Address::from_octets(1, 2, 3, 4)));
+  auto wire = encode_message(message);
+  // Corrupt the A record's RDLENGTH (last 6 bytes are rdlength + rdata).
+  wire[wire.size() - 5] = 3;
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(DnsWire, HeaderFlagsRoundTrip) {
+  Message message;
+  message.header = {.id = 0xBEEF,
+                    .qr = true,
+                    .opcode = 2,
+                    .aa = true,
+                    .tc = true,
+                    .rd = false,
+                    .ra = true,
+                    .rcode = 5};
+  const auto decoded = decode_message(encode_message(message));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header, message.header);
+}
+
+// Property: random messages round-trip bit-exactly.
+class WireRoundTripProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WireRoundTripProperty, RandomMessagesRoundTrip) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> small(0, 4);
+  std::uniform_int_distribution<std::uint32_t> word;
+  const char* hosts[] = {"a", "b", "www", "cdn", "api", "mail"};
+  const char* zones[] = {"example.org", "example.net", "test.example.org", "x.io"};
+
+  const auto random_name = [&] {
+    return DomainName::must_parse(std::string(hosts[word(rng) % 6]) + "." +
+                                  zones[word(rng) % 4]);
+  };
+  const auto random_record = [&]() -> ResourceRecord {
+    switch (word(rng) % 6) {
+      case 0: return ResourceRecord::a(random_name(), IPv4Address(word(rng)));
+      case 1: {
+        IPv6Address::Bytes bytes{};
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(word(rng));
+        return ResourceRecord::aaaa(random_name(), IPv6Address(bytes));
+      }
+      case 2: return ResourceRecord::cname(random_name(), random_name());
+      case 3: return ResourceRecord::ns(random_name(), random_name());
+      case 4:
+        return ResourceRecord::mx(random_name(), static_cast<std::uint16_t>(word(rng)),
+                                  random_name());
+      default:
+        return ResourceRecord::txt(random_name(), std::string(word(rng) % 300, 't'));
+    }
+  };
+
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    Message message;
+    message.header.id = static_cast<std::uint16_t>(word(rng));
+    message.header.qr = (word(rng) & 1) != 0;
+    for (int i = small(rng); i > 0; --i) {
+      message.questions.push_back(
+          {random_name(), (word(rng) & 1) != 0 ? RecordType::A : RecordType::AAAA});
+    }
+    for (int i = small(rng); i > 0; --i) message.answers.push_back(random_record());
+    for (int i = small(rng); i > 0; --i) message.authorities.push_back(random_record());
+    for (int i = small(rng); i > 0; --i) message.additionals.push_back(random_record());
+
+    std::string error;
+    const auto decoded = decode_message(encode_message(message), &error);
+    ASSERT_TRUE(decoded.has_value()) << error;
+    ASSERT_EQ(*decoded, message);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTripProperty, ::testing::Values(3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace sp::dns

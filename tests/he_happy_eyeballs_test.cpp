@@ -1,0 +1,129 @@
+// Tests for the RFC 8305 Happy Eyeballs simulator: candidate interleaving,
+// preference behaviour, connection-attempt delays, failure acceleration,
+// resolution delay, and timeouts.
+#include "he/happy_eyeballs.h"
+
+#include <gtest/gtest.h>
+
+namespace sp::he {
+namespace {
+
+Endpoint v6(const char* address, double rtt, bool reachable = true,
+            FailureMode mode = FailureMode::Silent) {
+  return {IPAddress::must_parse(address), rtt, reachable, mode};
+}
+Endpoint v4(const char* address, double rtt, bool reachable = true,
+            FailureMode mode = FailureMode::Silent) {
+  return {IPAddress::must_parse(address), rtt, reachable, mode};
+}
+
+TEST(HappyEyeballs, InterleavesFamiliesStartingWithPreferred) {
+  const auto order = interleave({v6("2620:100::1", 10), v6("2620:100::2", 10)},
+                                {v4("20.1.0.1", 10)}, /*prefer_ipv6=*/true);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_TRUE(order[0].address.is_v6());
+  EXPECT_TRUE(order[1].address.is_v4());
+  EXPECT_TRUE(order[2].address.is_v6());
+
+  const auto v4_first = interleave({v6("2620:100::1", 10)}, {v4("20.1.0.1", 10)},
+                                   /*prefer_ipv6=*/false);
+  EXPECT_TRUE(v4_first[0].address.is_v4());
+}
+
+TEST(HappyEyeballs, HealthyIpv6WinsDespiteHigherRtt) {
+  // v6 RTT 80ms vs v4 RTT 10ms: v6 still wins because v4 only starts at
+  // the 250ms connection attempt delay.
+  const auto outcome = race({v6("2620:100::1", 80)}, {v4("20.1.0.1", 10)});
+  ASSERT_TRUE(outcome.connected());
+  EXPECT_TRUE(outcome.used_ipv6());
+  EXPECT_DOUBLE_EQ(outcome.connect_time_ms, 80.0);
+  EXPECT_EQ(outcome.attempts.size(), 1u);  // v4 attempt never started
+}
+
+TEST(HappyEyeballs, SlowIpv6LosesToRacedIpv4) {
+  // v6 needs 400ms; v4 starts at 250ms and finishes at 260ms.
+  const auto outcome = race({v6("2620:100::1", 400)}, {v4("20.1.0.1", 10)});
+  ASSERT_TRUE(outcome.connected());
+  EXPECT_FALSE(outcome.used_ipv6());
+  EXPECT_DOUBLE_EQ(outcome.connect_time_ms, 260.0);
+  EXPECT_EQ(outcome.attempts.size(), 2u);
+}
+
+TEST(HappyEyeballs, SilentIpv6BlackholeShiftsToIpv4) {
+  // The paper's policy-inconsistency scenario: v6 silently dropped.
+  const auto outcome =
+      race({v6("2620:100::1", 20, false)}, {v4("20.1.0.1", 30)});
+  ASSERT_TRUE(outcome.connected());
+  EXPECT_FALSE(outcome.used_ipv6());
+  EXPECT_DOUBLE_EQ(outcome.connect_time_ms, 280.0);  // 250 CAD + 30 RTT
+}
+
+TEST(HappyEyeballs, RefusedFailureAcceleratesNextAttempt) {
+  // Active refusal after one 20ms RTT lets v4 start immediately.
+  const auto outcome = race({v6("2620:100::1", 20, false, FailureMode::Refused)},
+                            {v4("20.1.0.1", 30)});
+  ASSERT_TRUE(outcome.connected());
+  EXPECT_FALSE(outcome.used_ipv6());
+  EXPECT_DOUBLE_EQ(outcome.connect_time_ms, 50.0);  // 20 failure + 30 RTT
+}
+
+TEST(HappyEyeballs, NoIpv6CandidatesWaitsResolutionDelay) {
+  const auto outcome = race({}, {v4("20.1.0.1", 30)});
+  ASSERT_TRUE(outcome.connected());
+  EXPECT_DOUBLE_EQ(outcome.connect_time_ms, 80.0);  // 50 resolution delay + 30
+}
+
+TEST(HappyEyeballs, BothFamiliesBlockedSilentlyTimesOut) {
+  const auto outcome =
+      race({v6("2620:100::1", 20, false)}, {v4("20.1.0.1", 20, false)});
+  EXPECT_FALSE(outcome.connected());
+  EXPECT_EQ(outcome.attempts.size(), 2u);
+  for (const auto& attempt : outcome.attempts) {
+    EXPECT_FALSE(attempt.success);
+  }
+}
+
+TEST(HappyEyeballs, BothFamiliesRefusedFailsFastAndVisibly) {
+  const auto outcome = race({v6("2620:100::1", 15, false, FailureMode::Refused)},
+                            {v4("20.1.0.1", 15, false, FailureMode::Refused)});
+  EXPECT_FALSE(outcome.connected());
+  ASSERT_EQ(outcome.attempts.size(), 2u);
+  // Both failures observed within ~2 RTTs — the user sees an error
+  // immediately instead of waiting out a black hole.
+  ASSERT_TRUE(outcome.attempts[1].end_ms.has_value());
+  EXPECT_LE(*outcome.attempts[1].end_ms, 30.0);
+}
+
+TEST(HappyEyeballs, MultipleCandidatesPerFamily) {
+  // First v6 silently dead, second v6 healthy: it starts at one CAD after
+  // the v4 attempt (interleaved order v6,v4,v6).
+  const auto outcome = race({v6("2620:100::1", 20, false), v6("2620:100::2", 10)},
+                            {v4("20.1.0.1", 600)});
+  ASSERT_TRUE(outcome.connected());
+  EXPECT_TRUE(outcome.used_ipv6());
+  EXPECT_DOUBLE_EQ(outcome.connect_time_ms, 510.0);  // starts at 2*250, +10
+}
+
+TEST(HappyEyeballs, PreferIpv4Configuration) {
+  HeConfig config;
+  config.prefer_ipv6 = false;
+  const auto outcome = race({v6("2620:100::1", 10)}, {v4("20.1.0.1", 10)}, config);
+  ASSERT_TRUE(outcome.connected());
+  EXPECT_FALSE(outcome.used_ipv6());
+}
+
+TEST(HappyEyeballs, OverallTimeoutBoundsSlowSuccess) {
+  HeConfig config;
+  config.overall_timeout_ms = 100.0;
+  const auto outcome = race({v6("2620:100::1", 150)}, {}, config);
+  EXPECT_FALSE(outcome.connected());
+}
+
+TEST(HappyEyeballs, EmptyCandidatesDoNotConnect) {
+  const auto outcome = race({}, {});
+  EXPECT_FALSE(outcome.connected());
+  EXPECT_TRUE(outcome.attempts.empty());
+}
+
+}  // namespace
+}  // namespace sp::he

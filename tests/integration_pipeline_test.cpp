@@ -1,0 +1,121 @@
+// End-to-end integration tests: the complete pipeline — synthetic universe
+// → MRT bytes → RIB → snapshot CSV → corpus → detection → SP-Tuner →
+// published list — through the same file formats a real deployment uses.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/detect.h"
+#include "core/sibling_diff.h"
+#include "core/sibling_list_io.h"
+#include "core/sptuner.h"
+#include "io/snapshot_csv.h"
+#include "mrt/file.h"
+#include "synth/universe.h"
+
+namespace sp {
+namespace {
+
+synth::SynthConfig tiny_config() {
+  synth::SynthConfig config;
+  config.organization_count = 120;
+  config.months = 3;
+  config.monitoring_v4_prefixes = 8;
+  config.monitoring_v6_prefixes = 4;
+  config.probe_count = 50;
+  return config;
+}
+
+TEST(IntegrationPipeline, FullFileBasedRoundTrip) {
+  const synth::SyntheticInternet universe(tiny_config());
+  const std::string dir = ::testing::TempDir();
+  const std::string mrt_path = dir + "/pipeline_rib.mrt";
+  const std::string snapshot_path = dir + "/pipeline_snapshot.csv";
+  const std::string list_path = dir + "/pipeline_siblings.csv";
+
+  // 1. Export the universe through the real file formats.
+  ASSERT_TRUE(mrt::write_file(mrt_path, universe.mrt_dump()));
+  const auto snapshot = universe.snapshot_at(universe.month_count() - 1);
+  ASSERT_TRUE(io::write_snapshot_csv(snapshot_path, snapshot));
+
+  // 2. Consume them like an external user would.
+  std::string error;
+  const auto records = mrt::read_file(mrt_path, &error);
+  ASSERT_TRUE(records.has_value()) << error;
+  const auto rib = bgp::Rib::from_mrt(*records);
+  const auto loaded_snapshot = io::read_snapshot_csv(snapshot_path);
+  ASSERT_TRUE(loaded_snapshot.has_value());
+  ASSERT_EQ(loaded_snapshot->domain_count(), snapshot.domain_count());
+
+  // 3. The pipeline on loaded data must equal the pipeline on in-memory
+  //    data — the file formats are lossless for everything that matters.
+  const auto corpus_memory = core::DualStackCorpus::build(snapshot, universe.rib());
+  const auto corpus_files = core::DualStackCorpus::build(*loaded_snapshot, rib);
+  const auto pairs_memory = core::detect_sibling_prefixes(corpus_memory);
+  const auto pairs_files = core::detect_sibling_prefixes(corpus_files);
+  ASSERT_EQ(pairs_files, pairs_memory);
+
+  // 4. Tune, publish, reload, diff — the release workflow.
+  const core::SpTunerMs tuner(corpus_files, {.v4_threshold = 28, .v6_threshold = 96});
+  const auto tuned = tuner.tune_all(pairs_files);
+  ASSERT_TRUE(core::write_sibling_list(list_path, tuned.pairs));
+  const auto reloaded = core::read_sibling_list(list_path);
+  ASSERT_TRUE(reloaded.has_value());
+  ASSERT_EQ(reloaded->size(), tuned.pairs.size());
+  for (std::size_t i = 0; i < reloaded->size(); ++i) {
+    EXPECT_EQ((*reloaded)[i].v4, tuned.pairs[i].v4);
+    EXPECT_EQ((*reloaded)[i].v6, tuned.pairs[i].v6);
+    EXPECT_NEAR((*reloaded)[i].similarity, tuned.pairs[i].similarity, 1e-8);
+  }
+  const auto diff = core::diff_sibling_lists(*reloaded, tuned.pairs);
+  EXPECT_TRUE(diff.empty());
+
+  std::remove(mrt_path.c_str());
+  std::remove(snapshot_path.c_str());
+  std::remove(list_path.c_str());
+}
+
+// Tiny helper: mean of a vector (kept local to the test).
+double analysis_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+TEST(IntegrationPipeline, TuningImprovesOrPreservesEveryMonth) {
+  const synth::SyntheticInternet universe(tiny_config());
+  for (int month = 0; month < universe.month_count(); ++month) {
+    const auto corpus =
+        core::DualStackCorpus::build(universe.snapshot_at(month), universe.rib());
+    const auto pairs = core::detect_sibling_prefixes(corpus);
+    if (pairs.empty()) continue;
+    const core::SpTunerMs tuner(corpus, {});
+    const auto tuned = tuner.tune_all(pairs);
+    const auto before = analysis_mean(core::similarity_values(pairs));
+    const auto after = analysis_mean(core::similarity_values(tuned.pairs));
+    EXPECT_GE(after + 1e-9, before) << "month " << month;
+  }
+}
+
+TEST(IntegrationPipeline, ReleaseDiffBetweenMonths) {
+  const synth::SyntheticInternet universe(tiny_config());
+  const auto corpus_old =
+      core::DualStackCorpus::build(universe.snapshot_at(0), universe.rib());
+  const auto corpus_new = core::DualStackCorpus::build(
+      universe.snapshot_at(universe.month_count() - 1), universe.rib());
+  const auto old_pairs = core::detect_sibling_prefixes(corpus_old);
+  const auto new_pairs = core::detect_sibling_prefixes(corpus_new);
+
+  const auto diff = core::diff_sibling_lists(old_pairs, new_pairs);
+  EXPECT_EQ(diff.added.size() + diff.changed.size() + diff.unchanged.size(),
+            new_pairs.size());
+  EXPECT_EQ(diff.removed.size() + diff.changed.size() + diff.unchanged.size(),
+            old_pairs.size());
+  // Monthly churn exists but is not total.
+  EXPECT_FALSE(diff.added.empty());
+  EXPECT_FALSE(diff.unchanged.empty());
+}
+
+}  // namespace
+}  // namespace sp

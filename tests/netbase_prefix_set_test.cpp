@@ -1,0 +1,176 @@
+// Unit and property tests for PrefixSet: aggregation invariants, hole
+// punching, and an exhaustive comparison against an address-level oracle.
+#include "netbase/prefix_set.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sp {
+namespace {
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+TEST(PrefixSet, AddAndContains) {
+  PrefixSet set;
+  set.add(p("20.1.0.0/16"));
+  set.add(p("2620:100::/48"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(IPAddress::must_parse("20.1.200.9")));
+  EXPECT_FALSE(set.contains(IPAddress::must_parse("20.2.0.1")));
+  EXPECT_TRUE(set.contains(IPAddress::must_parse("2620:100::1")));
+  EXPECT_FALSE(set.contains(IPAddress::must_parse("2620:200::1")));
+}
+
+TEST(PrefixSet, CoveredAddIsNoOp) {
+  PrefixSet set;
+  set.add(p("20.0.0.0/8"));
+  set.add(p("20.1.0.0/16"));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.members(), std::vector<Prefix>{p("20.0.0.0/8")});
+}
+
+TEST(PrefixSet, CoveringAddSwallowsMembers) {
+  PrefixSet set;
+  set.add(p("20.1.0.0/16"));
+  set.add(p("20.2.0.0/16"));
+  set.add(p("20.200.7.0/24"));
+  set.add(p("20.0.0.0/8"));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.members(), std::vector<Prefix>{p("20.0.0.0/8")});
+}
+
+TEST(PrefixSet, BuddiesMergeRecursively) {
+  PrefixSet set;
+  // Four /26 quarters of a /24 added in shuffled order collapse into it.
+  set.add(p("20.1.1.64/26"));
+  set.add(p("20.1.1.192/26"));
+  set.add(p("20.1.1.0/26"));
+  EXPECT_EQ(set.size(), 2u);  // /25 (merged halves) + /26
+  set.add(p("20.1.1.128/26"));
+  EXPECT_EQ(set.members(), std::vector<Prefix>{p("20.1.1.0/24")});
+}
+
+TEST(PrefixSet, FamiliesNeverMerge) {
+  PrefixSet set;
+  set.add(p("0.0.0.0/1"));
+  set.add(p("128.0.0.0/1"));
+  set.add(p("::/1"));
+  set.add(p("8000::/1"));
+  const auto members = set.members();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], p("0.0.0.0/0"));
+  EXPECT_EQ(members[1], p("::/0"));
+}
+
+TEST(PrefixSet, SubtractRemovesCoveredMembers) {
+  PrefixSet set;
+  set.add(p("20.1.0.0/16"));
+  set.add(p("20.2.0.0/16"));
+  EXPECT_TRUE(set.subtract(p("20.0.0.0/8")));
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.subtract(p("20.0.0.0/8")));  // nothing left to remove
+}
+
+TEST(PrefixSet, SubtractPunchesHole) {
+  PrefixSet set;
+  set.add(p("20.1.1.0/24"));
+  EXPECT_TRUE(set.subtract(p("20.1.1.64/26")));
+  // Remaining: /26 at .0, /25 at .128.
+  EXPECT_EQ(set.members(),
+            (std::vector<Prefix>{p("20.1.1.0/26"), p("20.1.1.128/25")}));
+  EXPECT_TRUE(set.contains(IPAddress::must_parse("20.1.1.1")));
+  EXPECT_FALSE(set.contains(IPAddress::must_parse("20.1.1.70")));
+  EXPECT_TRUE(set.contains(IPAddress::must_parse("20.1.1.200")));
+  EXPECT_EQ(set.address_count_saturated(), 192u);
+}
+
+TEST(PrefixSet, SubtractThenAddRestores) {
+  PrefixSet set;
+  set.add(p("20.1.1.0/24"));
+  ASSERT_TRUE(set.subtract(p("20.1.1.37/32")));
+  EXPECT_EQ(set.address_count_saturated(), 255u);
+  set.add(p("20.1.1.37/32"));
+  EXPECT_EQ(set.members(), std::vector<Prefix>{p("20.1.1.0/24")});
+}
+
+TEST(PrefixSet, Covers) {
+  PrefixSet set;
+  set.add(p("20.1.0.0/16"));
+  EXPECT_TRUE(set.covers(p("20.1.0.0/16")));
+  EXPECT_TRUE(set.covers(p("20.1.7.0/24")));
+  EXPECT_FALSE(set.covers(p("20.0.0.0/8")));
+  EXPECT_FALSE(set.covers(p("21.0.0.0/16")));
+}
+
+TEST(PrefixSet, AddressCountSaturatesOnV6) {
+  PrefixSet set;
+  set.add(p("2620:100::/48"));
+  set.add(p("2620:200::/48"));
+  EXPECT_EQ(set.address_count_saturated(), ~std::uint64_t{0});
+}
+
+TEST(PrefixSet, ConstructFromSpan) {
+  const std::vector<Prefix> input = {p("20.1.1.0/25"), p("20.1.1.128/25")};
+  const PrefixSet set(input);
+  EXPECT_EQ(set.members(), std::vector<Prefix>{p("20.1.1.0/24")});
+}
+
+// Property: PrefixSet agrees with an address-level oracle under random
+// add/subtract sequences, and always maintains its invariants.
+class PrefixSetProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PrefixSetProperty, MatchesAddressOracle) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::uint32_t> word;
+  std::uniform_int_distribution<int> length(20, 30);
+  std::uniform_int_distribution<int> op(0, 2);
+
+  // Work inside one /16 with a dense byte-level oracle.
+  constexpr std::uint32_t kBase = 0x14010000u;  // 20.1.0.0
+  std::vector<bool> oracle(1 << 16, false);
+  PrefixSet set;
+
+  for (int step = 0; step < 400; ++step) {
+    const unsigned len = static_cast<unsigned>(length(rng));
+    const std::uint32_t offset = word(rng) & 0xFFFFu;
+    const Prefix prefix = Prefix::of(IPAddress(IPv4Address(kBase | offset)), len);
+    const std::uint32_t start = prefix.address().v4().value() - kBase;
+    const std::uint32_t count = 1u << (32 - len);
+
+    if (op(rng) != 0) {
+      set.add(prefix);
+      for (std::uint32_t i = 0; i < count; ++i) oracle[start + i] = true;
+    } else {
+      set.subtract(prefix);
+      for (std::uint32_t i = 0; i < count; ++i) oracle[start + i] = false;
+    }
+
+    // Invariants: members disjoint, canonical (no buddy pairs).
+    const auto members = set.members();
+    for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+      ASSERT_FALSE(members[i].contains(members[i + 1]))
+          << members[i].to_string() << " covers " << members[i + 1].to_string();
+    }
+    for (const auto& member : members) {
+      if (member.length() == 0 || member.family() != Family::v4) continue;
+      const Prefix parent = *member.supernet();
+      const Prefix other =
+          member == parent.child(0) ? parent.child(1) : parent.child(0);
+      ASSERT_EQ(std::count(members.begin(), members.end(), other), 0)
+          << "unmerged buddies " << member.to_string();
+    }
+
+    // Sampled agreement with the oracle.
+    for (int sample = 0; sample < 64; ++sample) {
+      const std::uint32_t probe = word(rng) & 0xFFFFu;
+      ASSERT_EQ(set.contains(IPAddress(IPv4Address(kBase | probe))), oracle[probe])
+          << IPv4Address(kBase | probe).to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixSetProperty, ::testing::Values(81u, 82u, 83u, 84u));
+
+}  // namespace
+}  // namespace sp

@@ -1,0 +1,178 @@
+// Unit and property tests for the Prefix CIDR type.
+#include "netbase/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sp {
+namespace {
+
+TEST(Prefix, ParsesAndCanonicalizesV4) {
+  const auto p = Prefix::from_string("192.0.2.77/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "192.0.2.0/24");
+  EXPECT_EQ(p->length(), 24u);
+  EXPECT_EQ(p->family(), Family::v4);
+}
+
+TEST(Prefix, ParsesAndCanonicalizesV6) {
+  const auto p = Prefix::from_string("2001:db8:abcd::42/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "2001:db8::/32");
+  EXPECT_EQ(p->max_length(), 128u);
+}
+
+TEST(Prefix, ParsesEdgeLengths) {
+  EXPECT_EQ(Prefix::must_parse("0.0.0.0/0").length(), 0u);
+  EXPECT_EQ(Prefix::must_parse("10.1.2.3/32").to_string(), "10.1.2.3/32");
+  EXPECT_EQ(Prefix::must_parse("::/0").length(), 0u);
+  EXPECT_EQ(Prefix::must_parse("2001:db8::1/128").to_string(), "2001:db8::1/128");
+}
+
+TEST(Prefix, RejectsMalformedInput) {
+  for (const char* bad : {"", "10.0.0.0", "/24", "10.0.0.0/", "10.0.0.0/33", "10.0.0.0/-1",
+                          "10.0.0.0/024", "2001:db8::/129", "10.0.0.0/2 4", "x/24",
+                          "10.0.0.0/24/8"}) {
+    EXPECT_FALSE(Prefix::from_string(bad).has_value()) << bad;
+  }
+}
+
+TEST(Prefix, ContainsAddress) {
+  const auto p = Prefix::must_parse("192.0.2.0/24");
+  EXPECT_TRUE(p.contains(IPAddress::must_parse("192.0.2.0")));
+  EXPECT_TRUE(p.contains(IPAddress::must_parse("192.0.2.255")));
+  EXPECT_FALSE(p.contains(IPAddress::must_parse("192.0.3.0")));
+  EXPECT_FALSE(p.contains(IPAddress::must_parse("2001:db8::1")));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const auto p = Prefix::must_parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(Prefix::must_parse("10.1.0.0/16")));
+  EXPECT_TRUE(p.contains(p));
+  EXPECT_FALSE(p.contains(Prefix::must_parse("0.0.0.0/0")));
+  EXPECT_FALSE(p.contains(Prefix::must_parse("11.0.0.0/8")));
+  EXPECT_FALSE(Prefix::must_parse("10.1.0.0/16").contains(p));
+}
+
+TEST(Prefix, DefaultRouteContainsEverythingSameFamily) {
+  const auto v4_default = Prefix::must_parse("0.0.0.0/0");
+  EXPECT_TRUE(v4_default.contains(Prefix::must_parse("255.255.255.255/32")));
+  EXPECT_FALSE(v4_default.contains(Prefix::must_parse("::/0")));
+}
+
+TEST(Prefix, SupernetWalksToRoot) {
+  auto p = Prefix::must_parse("192.0.2.128/25");
+  const char* expected[] = {"192.0.2.0/24", "192.0.2.0/23", "192.0.0.0/22"};
+  for (const char* e : expected) {
+    const auto up = p.supernet();
+    ASSERT_TRUE(up.has_value());
+    EXPECT_EQ(up->to_string(), e);
+    p = *up;
+  }
+  EXPECT_FALSE(Prefix::must_parse("0.0.0.0/0").supernet().has_value());
+}
+
+TEST(Prefix, ChildrenPartitionTheParent) {
+  const auto p = Prefix::must_parse("192.0.2.0/24");
+  const auto left = p.child(0);
+  const auto right = p.child(1);
+  EXPECT_EQ(left.to_string(), "192.0.2.0/25");
+  EXPECT_EQ(right.to_string(), "192.0.2.128/25");
+  EXPECT_TRUE(p.contains(left));
+  EXPECT_TRUE(p.contains(right));
+  EXPECT_FALSE(left.contains(right));
+  EXPECT_FALSE(right.contains(left));
+}
+
+TEST(Prefix, ChildOfFullLengthThrows) {
+  EXPECT_THROW((void)Prefix::must_parse("1.2.3.4/32").child(0), std::logic_error);
+}
+
+TEST(Prefix, CommonCovering) {
+  const auto a = Prefix::must_parse("192.0.2.0/25");
+  const auto b = Prefix::must_parse("192.0.2.128/25");
+  const auto common = Prefix::common_covering(a, b);
+  ASSERT_TRUE(common.has_value());
+  EXPECT_EQ(common->to_string(), "192.0.2.0/24");
+
+  EXPECT_FALSE(
+      Prefix::common_covering(a, Prefix::must_parse("2001:db8::/32")).has_value());
+}
+
+TEST(Prefix, CommonCoveringOfNestedIsTheOuter) {
+  const auto outer = Prefix::must_parse("10.0.0.0/8");
+  const auto inner = Prefix::must_parse("10.9.8.0/24");
+  EXPECT_EQ(Prefix::common_covering(outer, inner), outer);
+}
+
+TEST(Prefix, AddressCountSaturates) {
+  EXPECT_EQ(Prefix::must_parse("10.0.0.0/24").address_count_saturated(), 256u);
+  EXPECT_EQ(Prefix::must_parse("10.0.0.1/32").address_count_saturated(), 1u);
+  EXPECT_EQ(Prefix::must_parse("2001:db8::/32").address_count_saturated(),
+            ~std::uint64_t{0});
+  EXPECT_EQ(Prefix::must_parse("2001:db8::/96").address_count_saturated(),
+            std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, OrderingIsTotalAndFamilyAware) {
+  const auto a = Prefix::must_parse("10.0.0.0/8");
+  const auto b = Prefix::must_parse("10.0.0.0/9");
+  const auto c = Prefix::must_parse("2001:db8::/32");
+  EXPECT_LT(a, b);  // same address, shorter length first
+  EXPECT_NE(a, c);
+  EXPECT_TRUE((a < c) != (c < a));
+}
+
+// Property sweep: canonical form, supernet/child inverses, containment.
+class PrefixAlgebraProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PrefixAlgebraProperty, InvariantsHoldOnRandomPrefixes) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::uint32_t> word;
+  std::uniform_int_distribution<int> family_dist(0, 1);
+  for (int i = 0; i < 3000; ++i) {
+    IPAddress address;
+    unsigned max_len;
+    if (family_dist(rng) == 0) {
+      address = IPAddress(IPv4Address(word(rng)));
+      max_len = 32;
+    } else {
+      IPv6Address::Bytes bytes;
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(word(rng));
+      address = IPAddress(IPv6Address(bytes));
+      max_len = 128;
+    }
+    const unsigned len = word(rng) % (max_len + 1);
+    const auto p = Prefix::of(address, len);
+
+    // Canonical: re-deriving from its own address is a fixed point.
+    EXPECT_EQ(Prefix::of(p.address(), p.length()), p);
+    // The original address is inside the prefix.
+    EXPECT_TRUE(p.contains(address));
+    // Round-trip through text.
+    EXPECT_EQ(Prefix::from_string(p.to_string()), p);
+
+    if (len > 0) {
+      const auto up = p.supernet();
+      ASSERT_TRUE(up.has_value());
+      EXPECT_TRUE(up->contains(p));
+      EXPECT_EQ(up->length(), len - 1);
+      // p is one of up's two children.
+      EXPECT_TRUE(up->child(0) == p || up->child(1) == p);
+    }
+    if (len < max_len) {
+      EXPECT_TRUE(p.contains(p.child(0)));
+      EXPECT_TRUE(p.contains(p.child(1)));
+      EXPECT_NE(p.child(0), p.child(1));
+      EXPECT_EQ(p.child(0).supernet(), p);
+      EXPECT_EQ(p.child(1).supernet(), p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixAlgebraProperty,
+                         ::testing::Values(100u, 200u, 300u, 400u, 500u));
+
+}  // namespace
+}  // namespace sp

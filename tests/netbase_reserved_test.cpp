@@ -1,0 +1,52 @@
+// Tests for the reserved/special-purpose address classification the
+// pipeline uses to discard non-routable DNS answers (paper section 2.2).
+#include <gtest/gtest.h>
+
+#include "netbase/ip.h"
+
+namespace sp {
+namespace {
+
+TEST(ReservedV4, PrivateAndSpecialRangesAreReserved) {
+  for (const char* address :
+       {"0.1.2.3", "10.0.0.1", "10.255.255.255", "100.64.0.1", "100.127.255.255",
+        "127.0.0.1", "169.254.10.20", "172.16.0.1", "172.31.255.254", "192.0.2.55",
+        "192.168.1.1", "198.18.0.1", "198.19.255.255", "198.51.100.1", "203.0.113.9",
+        "224.0.0.1", "239.255.255.255", "240.0.0.1", "255.255.255.255"}) {
+    EXPECT_TRUE(is_reserved(*IPv4Address::from_string(address))) << address;
+  }
+}
+
+TEST(ReservedV4, GlobalRangesAreNotReserved) {
+  for (const char* address :
+       {"1.1.1.1", "8.8.8.8", "5.0.0.1", "100.63.255.255", "100.128.0.0", "126.255.255.255",
+        "128.0.0.1", "169.253.0.1", "172.15.255.255", "172.32.0.0", "192.0.3.1",
+        "192.167.255.255", "192.169.0.0", "198.17.255.255", "198.20.0.0", "198.51.99.1",
+        "203.0.112.1", "223.255.255.255"}) {
+    EXPECT_FALSE(is_reserved(*IPv4Address::from_string(address))) << address;
+  }
+}
+
+TEST(ReservedV6, NonGlobalUnicastIsReserved) {
+  for (const char* address : {"::", "::1", "fe80::1", "fc00::1", "fd12::1", "ff02::1",
+                              "::ffff:1.2.3.4", "2001:db8::1", "2001:db8:ffff::42"}) {
+    EXPECT_TRUE(is_reserved(*IPv6Address::from_string(address))) << address;
+  }
+}
+
+TEST(ReservedV6, GlobalUnicastIsNotReserved) {
+  for (const char* address : {"2001:4860:4860::8888", "2600::1", "2620:100::1",
+                              "2a00:1450::1", "3fff:ffff::1", "2001:db9::1"}) {
+    EXPECT_FALSE(is_reserved(*IPv6Address::from_string(address))) << address;
+  }
+}
+
+TEST(Reserved, FamilyErasedDispatch) {
+  EXPECT_TRUE(is_reserved(IPAddress::must_parse("10.1.2.3")));
+  EXPECT_FALSE(is_reserved(IPAddress::must_parse("5.1.2.3")));
+  EXPECT_TRUE(is_reserved(IPAddress::must_parse("fe80::1")));
+  EXPECT_FALSE(is_reserved(IPAddress::must_parse("2620:100::1")));
+}
+
+}  // namespace
+}  // namespace sp

@@ -1,0 +1,76 @@
+// Tests for the ROA CSV interchange format and its integration with the
+// validator.
+#include "rpki/roa_csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "io/csv.h"
+
+namespace sp::rpki {
+namespace {
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+TEST(RoaCsv, RoundTrips) {
+  const std::string path = ::testing::TempDir() + "/sp_roa_test.csv";
+  const std::vector<Roa> roas = {
+      {p("20.1.0.0/16"), 20, 65001},
+      {p("2620:100::/32"), 48, 65101},
+      {p("20.9.0.0/24"), 24, 65009},
+  };
+  ASSERT_TRUE(write_roa_csv(path, roas));
+  const auto loaded = read_roa_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, roas);
+  std::remove(path.c_str());
+}
+
+TEST(RoaCsv, AcceptsBareAsnNumbers) {
+  const std::string path = ::testing::TempDir() + "/sp_roa_bare.csv";
+  ASSERT_TRUE(io::write_csv_file(
+      path, {{"asn", "prefix", "max_length"}, {"65001", "20.1.0.0/16", "16"}}));
+  const auto loaded = read_roa_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].asn, 65001u);
+  std::remove(path.c_str());
+}
+
+TEST(RoaCsv, RejectsMalformedRows) {
+  const std::string path = ::testing::TempDir() + "/sp_roa_bad.csv";
+  const io::CsvRow header = {"asn", "prefix", "max_length"};
+  // Bad ASN.
+  ASSERT_TRUE(io::write_csv_file(path, {header, {"ASx", "20.1.0.0/16", "16"}}));
+  EXPECT_FALSE(read_roa_csv(path).has_value());
+  // Bad prefix.
+  ASSERT_TRUE(io::write_csv_file(path, {header, {"AS1", "20.1.0.0", "16"}}));
+  EXPECT_FALSE(read_roa_csv(path).has_value());
+  // max_length below prefix length.
+  ASSERT_TRUE(io::write_csv_file(path, {header, {"AS1", "20.1.0.0/16", "8"}}));
+  EXPECT_FALSE(read_roa_csv(path).has_value());
+  // max_length above family maximum.
+  ASSERT_TRUE(io::write_csv_file(path, {header, {"AS1", "20.1.0.0/16", "33"}}));
+  EXPECT_FALSE(read_roa_csv(path).has_value());
+  // Wrong header.
+  ASSERT_TRUE(io::write_csv_file(path, {{"nope"}, {"AS1", "20.1.0.0/16", "16"}}));
+  EXPECT_FALSE(read_roa_csv(path).has_value());
+  EXPECT_FALSE(read_roa_csv("/nonexistent/roa.csv").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(RoaCsv, LoadedRoasFeedTheValidator) {
+  const std::string path = ::testing::TempDir() + "/sp_roa_validate.csv";
+  ASSERT_TRUE(write_roa_csv(path, std::vector<Roa>{{p("20.1.0.0/16"), 24, 65001}}));
+  const auto loaded = read_roa_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  Validator validator;
+  for (const auto& roa : *loaded) ASSERT_TRUE(validator.add_roa(roa));
+  EXPECT_EQ(validator.validate(p("20.1.7.0/24"), 65001), RovStatus::Valid);
+  EXPECT_EQ(validator.validate(p("20.1.7.0/24"), 65002), RovStatus::Invalid);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sp::rpki

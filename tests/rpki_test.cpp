@@ -1,0 +1,99 @@
+// Tests for RFC 6811 route-origin validation and the sibling-pair ROV
+// status classification of Figure 18.
+#include "rpki/rov.h"
+
+#include <gtest/gtest.h>
+
+namespace sp::rpki {
+namespace {
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+TEST(Validator, RejectsInconsistentRoas) {
+  Validator validator;
+  EXPECT_FALSE(validator.add_roa({p("20.1.0.0/16"), 15, 65001}));   // max < len
+  EXPECT_FALSE(validator.add_roa({p("20.1.0.0/16"), 33, 65001}));   // max > 32
+  EXPECT_TRUE(validator.add_roa({p("20.1.0.0/16"), 16, 65001}));
+  EXPECT_EQ(validator.roa_count(), 1u);
+}
+
+TEST(Validator, ExactMatchValidates) {
+  Validator validator;
+  ASSERT_TRUE(validator.add_roa({p("20.1.0.0/16"), 16, 65001}));
+  EXPECT_EQ(validator.validate(p("20.1.0.0/16"), 65001), RovStatus::Valid);
+  EXPECT_EQ(validator.validate(p("20.1.0.0/16"), 65002), RovStatus::Invalid);
+  EXPECT_EQ(validator.validate(p("20.2.0.0/16"), 65001), RovStatus::NotFound);
+}
+
+TEST(Validator, MaxLengthControlsMoreSpecifics) {
+  Validator validator;
+  ASSERT_TRUE(validator.add_roa({p("20.1.0.0/16"), 20, 65001}));
+  // Within maxLength: valid.
+  EXPECT_EQ(validator.validate(p("20.1.16.0/20"), 65001), RovStatus::Valid);
+  // Too specific: covered but not authorized → invalid (RFC 6811).
+  EXPECT_EQ(validator.validate(p("20.1.16.0/24"), 65001), RovStatus::Invalid);
+  // Less specific than the ROA prefix: not covered.
+  EXPECT_EQ(validator.validate(p("20.0.0.0/8"), 65001), RovStatus::NotFound);
+}
+
+TEST(Validator, AnyMatchingRoaWins) {
+  Validator validator;
+  ASSERT_TRUE(validator.add_roa({p("20.1.0.0/16"), 24, 65001}));
+  ASSERT_TRUE(validator.add_roa({p("20.1.0.0/16"), 24, 65002}));  // second authorized AS
+  EXPECT_EQ(validator.validate(p("20.1.5.0/24"), 65002), RovStatus::Valid);
+  EXPECT_EQ(validator.validate(p("20.1.5.0/24"), 65003), RovStatus::Invalid);
+}
+
+TEST(Validator, CoveringRoaAtAnyAncestorLevel) {
+  Validator validator;
+  ASSERT_TRUE(validator.add_roa({p("20.0.0.0/8"), 24, 65001}));
+  ASSERT_TRUE(validator.add_roa({p("20.1.0.0/16"), 16, 65002}));
+  // Both ROAs cover 20.1.0.0/16; the /16 one matches 65002, the /8 one
+  // authorizes 65001 → either origin validates.
+  EXPECT_EQ(validator.validate(p("20.1.0.0/16"), 65002), RovStatus::Valid);
+  EXPECT_EQ(validator.validate(p("20.1.0.0/16"), 65001), RovStatus::Valid);
+  EXPECT_EQ(validator.validate(p("20.1.0.0/16"), 65003), RovStatus::Invalid);
+  EXPECT_EQ(validator.covering_roas(p("20.1.0.0/16")).size(), 2u);
+}
+
+TEST(Validator, V6Roas) {
+  Validator validator;
+  ASSERT_TRUE(validator.add_roa({p("2620:100::/32"), 48, 65101}));
+  EXPECT_EQ(validator.validate(p("2620:100::/48"), 65101), RovStatus::Valid);
+  EXPECT_EQ(validator.validate(p("2620:100::/56"), 65101), RovStatus::Invalid);
+  EXPECT_EQ(validator.validate(p("2620:200::/48"), 65101), RovStatus::NotFound);
+}
+
+TEST(PairClassification, AllSixCategories) {
+  using S = RovStatus;
+  using P = PairRovStatus;
+  EXPECT_EQ(classify_pair(S::Valid, S::Valid), P::BothValid);
+  EXPECT_EQ(classify_pair(S::Valid, S::NotFound), P::ValidNotFound);
+  EXPECT_EQ(classify_pair(S::NotFound, S::Valid), P::ValidNotFound);
+  EXPECT_EQ(classify_pair(S::Valid, S::Invalid), P::ValidInvalid);
+  EXPECT_EQ(classify_pair(S::Invalid, S::Valid), P::ValidInvalid);
+  EXPECT_EQ(classify_pair(S::Invalid, S::Invalid), P::BothInvalid);
+  EXPECT_EQ(classify_pair(S::Invalid, S::NotFound), P::InvalidNotFound);
+  EXPECT_EQ(classify_pair(S::NotFound, S::Invalid), P::InvalidNotFound);
+  EXPECT_EQ(classify_pair(S::NotFound, S::NotFound), P::BothNotFound);
+}
+
+TEST(PairClassification, IsSymmetric) {
+  const RovStatus all[] = {RovStatus::Valid, RovStatus::Invalid, RovStatus::NotFound};
+  for (const auto a : all) {
+    for (const auto b : all) {
+      EXPECT_EQ(classify_pair(a, b), classify_pair(b, a));
+    }
+  }
+}
+
+TEST(PairClassification, Names) {
+  EXPECT_EQ(pair_rov_status_name(PairRovStatus::BothValid), "valid,valid");
+  EXPECT_EQ(pair_rov_status_name(PairRovStatus::BothNotFound), "not-found,not-found");
+  EXPECT_EQ(rov_status_name(RovStatus::Valid), "valid");
+  EXPECT_EQ(rov_status_name(RovStatus::Invalid), "invalid");
+  EXPECT_EQ(rov_status_name(RovStatus::NotFound), "not-found");
+}
+
+}  // namespace
+}  // namespace sp::rpki

@@ -1,0 +1,186 @@
+// Tests for the port-scan dataset, the stats/CDF helpers, text tables,
+// heatmaps, and the CSV codec.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "io/csv.h"
+#include "scan/portscan.h"
+
+namespace sp {
+namespace {
+
+TEST(PortScan, PortIndexAndBits) {
+  EXPECT_EQ(scan::port_index(20), 0u);
+  EXPECT_EQ(scan::port_index(7547), 13u);
+  EXPECT_FALSE(scan::port_index(8080).has_value());
+  EXPECT_EQ(scan::port_bit(80), 1u << 6);
+  EXPECT_EQ(scan::port_bit(8080), 0u);
+}
+
+TEST(PortScan, MaskJaccard) {
+  const scan::PortMask web = scan::port_bit(80) | scan::port_bit(443);
+  const scan::PortMask web_ssh = web | scan::port_bit(22);
+  EXPECT_DOUBLE_EQ(scan::port_jaccard(web, web), 1.0);
+  EXPECT_DOUBLE_EQ(scan::port_jaccard(web, web_ssh), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(scan::port_jaccard(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scan::port_jaccard(web, 0), 0.0);
+  EXPECT_EQ(scan::open_port_count(web_ssh), 3);
+}
+
+TEST(PortScan, DatasetAggregatesPerPrefix) {
+  scan::PortScanDataset dataset;
+  dataset.add_open(IPAddress::must_parse("20.1.0.1"), 80);
+  dataset.add_open(IPAddress::must_parse("20.1.0.2"), 443);
+  dataset.add_open(IPAddress::must_parse("20.2.0.1"), 22);
+  dataset.add_open(IPAddress::must_parse("2620:100::1"), 53);
+  dataset.add_open(IPAddress::must_parse("20.1.0.1"), 8080);  // not scanned → ignored
+
+  EXPECT_EQ(dataset.responsive_address_count(), 4u);
+  EXPECT_EQ(dataset.ports_of(IPAddress::must_parse("20.1.0.1")), scan::port_bit(80));
+  EXPECT_EQ(dataset.ports_of(IPAddress::must_parse("20.9.9.9")), 0u);
+
+  const auto prefix_mask = dataset.ports_in(Prefix::must_parse("20.1.0.0/16"));
+  EXPECT_EQ(prefix_mask, scan::port_bit(80) | scan::port_bit(443));
+  EXPECT_TRUE(dataset.responsive(Prefix::must_parse("2620:100::/48")));
+  EXPECT_FALSE(dataset.responsive(Prefix::must_parse("20.3.0.0/16")));
+}
+
+TEST(Stats, SummaryAndMedian) {
+  const std::vector<double> samples = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto summary = analysis::summarize(samples);
+  EXPECT_EQ(summary.count, 8u);
+  EXPECT_DOUBLE_EQ(summary.mean, 5.0);
+  EXPECT_DOUBLE_EQ(summary.stddev, 2.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(summary.min, 2.0);
+  EXPECT_DOUBLE_EQ(summary.max, 9.0);
+
+  EXPECT_DOUBLE_EQ(analysis::median({1.0, 3.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(analysis::median({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(analysis::median({}), 0.0);
+  EXPECT_EQ(analysis::summarize({}).count, 0u);
+}
+
+TEST(Stats, CdfQueries) {
+  const analysis::Cdf cdf({0.2, 0.4, 0.6, 0.8, 1.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0.5), 0.4);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 1.0);
+  EXPECT_TRUE(analysis::Cdf{}.empty());
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y_up = {2, 4, 6, 8, 10};
+  const std::vector<double> y_down = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(analysis::pearson(x, y_up), 1.0, 1e-12);
+  EXPECT_NEAR(analysis::pearson(x, y_down), -1.0, 1e-12);
+  const std::vector<double> constant = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(analysis::pearson(x, constant), 0.0);  // zero variance
+  EXPECT_DOUBLE_EQ(analysis::pearson(x, std::vector<double>{1, 2}), 0.0);  // size mismatch
+  EXPECT_DOUBLE_EQ(analysis::pearson({}, {}), 0.0);
+}
+
+TEST(Stats, SpearmanUsesRanksNotValues) {
+  // A monotone nonlinear relation: Spearman 1, Pearson < 1.
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(analysis::spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(analysis::pearson(x, y), 1.0);
+}
+
+TEST(Stats, SpearmanAveragesTies) {
+  const std::vector<double> x = {1, 2, 2, 4};
+  const std::vector<double> y = {10, 20, 20, 40};
+  EXPECT_NEAR(analysis::spearman(x, y), 1.0, 1e-12);
+  // Anti-correlated with ties.
+  const std::vector<double> y_rev = {40, 20, 20, 10};
+  EXPECT_NEAR(analysis::spearman(x, y_rev), -1.0, 1e-12);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  analysis::TextTable table({"metric", "value"});
+  table.add_row({"pairs", "76000"});
+  table.add_row({"perfect", "52%"});
+  const std::string out = table.render();
+  // Column width follows the widest cell ("perfect", 7 chars).
+  EXPECT_NE(out.find("metric   value"), std::string::npos);
+  EXPECT_NE(out.find("pairs    76000"), std::string::npos);
+  EXPECT_NE(out.find("-------  -----"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Heatmap, AccumulatesAndNormalizes) {
+  analysis::Heatmap map({"r0", "r1"}, {"c0", "c1"});
+  map.at(0, 0) = 30.0;
+  map.at(1, 1) = 10.0;
+  EXPECT_DOUBLE_EQ(map.total(), 40.0);
+  map.normalize_to_percent();
+  EXPECT_DOUBLE_EQ(map.at(0, 0), 75.0);
+  EXPECT_DOUBLE_EQ(map.at(1, 1), 25.0);
+  EXPECT_THROW((void)map.at(2, 0), std::out_of_range);
+
+  analysis::Heatmap rows({"a", "b"}, {"x", "y"});
+  rows.at(0, 0) = 1.0;
+  rows.at(0, 1) = 3.0;
+  rows.normalize_rows_to_percent();
+  EXPECT_DOUBLE_EQ(rows.at(0, 0), 25.0);
+  EXPECT_DOUBLE_EQ(rows.at(0, 1), 75.0);
+  EXPECT_DOUBLE_EQ(rows.at(1, 0), 0.0);  // zero row untouched
+
+  const std::string rendered = rows.render(1);
+  EXPECT_NE(rendered.find("25.0"), std::string::npos);
+}
+
+TEST(Formatting, FixedAndPercent) {
+  EXPECT_EQ(analysis::format_fixed(0.5251, 2), "0.53");
+  EXPECT_EQ(analysis::format_percent(0.518, 1), "51.8%");
+  EXPECT_EQ(analysis::format_percent(1.0, 0), "100%");
+}
+
+TEST(Csv, FormatsAndQuotes) {
+  EXPECT_EQ(io::format_csv_row({"a", "b"}), "a,b");
+  EXPECT_EQ(io::format_csv_row({"a,b", "c\"d", "e\nf"}), "\"a,b\",\"c\"\"d\",\"e\nf\"");
+  EXPECT_EQ(io::format_csv_row({}), "");
+}
+
+TEST(Csv, ParsesQuotedFields) {
+  const auto rows = io::parse_csv("a,b\n\"x,y\",\"q\"\"uote\"\n");
+  ASSERT_TRUE(rows.has_value());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (io::CsvRow{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (io::CsvRow{"x,y", "q\"uote"}));
+}
+
+TEST(Csv, HandlesCrlfAndEmptyFields) {
+  const auto rows = io::parse_csv("a,,c\r\n,,\r\n");
+  ASSERT_TRUE(rows.has_value());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (io::CsvRow{"a", "", "c"}));
+  EXPECT_EQ((*rows)[1], (io::CsvRow{"", "", ""}));
+}
+
+TEST(Csv, RejectsUnbalancedQuotes) {
+  EXPECT_FALSE(io::parse_csv("\"unterminated").has_value());
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sp_csv_test.csv";
+  const std::vector<io::CsvRow> rows = {{"h1", "h2"}, {"multi\nline", "x,y"}};
+  ASSERT_TRUE(io::write_csv_file(path, rows));
+  const auto loaded = io::read_csv_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, rows);
+  EXPECT_FALSE(io::read_csv_file("/nonexistent/file.csv").has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sp

@@ -1,0 +1,168 @@
+// Regression tests pinning the synthetic universe's statistical structure
+// to its configuration knobs — the calibration net behind the experiment
+// shapes. Tolerances are loose enough for different seeds.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/detect.h"
+#include "core/sptuner.h"
+#include "synth/universe.h"
+#include "trie/prefix_trie.h"
+
+namespace sp::synth {
+namespace {
+
+const SyntheticInternet& default_universe() {
+  static const SyntheticInternet universe{SynthConfig{}};
+  return universe;
+}
+
+TEST(SynthDistributions, EyeballShareMatchesConfig) {
+  const auto& u = default_universe();
+  std::size_t regular = 0;
+  std::size_t eyeballs = 0;
+  for (const auto& org : u.orgs()) {
+    if (org.hg_cdn || org.monitoring) continue;
+    ++regular;
+    if (org.eyeball) ++eyeballs;
+  }
+  const double share = static_cast<double>(eyeballs) / static_cast<double>(regular);
+  EXPECT_NEAR(share, u.config().eyeball_share, 0.03);
+}
+
+TEST(SynthDistributions, SinglePrefixShareMatchesConfig) {
+  const auto& u = default_universe();
+  std::size_t hosting = 0;
+  std::size_t single = 0;
+  for (const auto& org : u.orgs()) {
+    if (org.hg_cdn || org.monitoring || org.eyeball) continue;
+    ++hosting;
+    // Monitoring sites may have been appended; use v6 side (only v4 sites
+    // outnumber v6 ones) conservatively via the aligned/eyeball-free count
+    // of v6 prefixes being 1 AND not aligned-multi.
+    if (org.v6_prefixes.size() == 1 && org.v4_prefixes.size() <= 2) ++single;
+  }
+  // Appended monitoring prefixes blur the exact count; the single-prefix
+  // population must still be in the configured ballpark.
+  const double share = static_cast<double>(single) / static_cast<double>(hosting);
+  EXPECT_NEAR(share, default_universe().config().single_prefix_org_share, 0.12);
+}
+
+TEST(SynthDistributions, V4LengthDistributionShape) {
+  const auto& u = default_universe();
+  std::map<unsigned, std::size_t> lengths;
+  std::size_t total = 0;
+  for (const auto& org : u.orgs()) {
+    if (org.monitoring) continue;
+    for (const auto& prefix : org.v4_prefixes) {
+      ++lengths[prefix.length()];
+      ++total;
+    }
+  }
+  // /24 dominates; the /17-/24 region carries most mass (paper Fig 13).
+  const double share_24 = static_cast<double>(lengths[24]) / total;
+  EXPECT_GT(share_24, 0.30);
+  std::size_t region = 0;
+  for (unsigned length = 17; length <= 24; ++length) region += lengths[length];
+  EXPECT_GT(static_cast<double>(region) / total, 0.75);
+}
+
+TEST(SynthDistributions, V6LengthDistributionShape) {
+  const auto& u = default_universe();
+  std::map<unsigned, std::size_t> lengths;
+  std::size_t total = 0;
+  for (const auto& org : u.orgs()) {
+    if (org.monitoring) continue;
+    for (const auto& prefix : org.v6_prefixes) {
+      ++lengths[prefix.length()];
+      ++total;
+    }
+  }
+  const double share_48 = static_cast<double>(lengths[48]) / total;
+  EXPECT_GT(share_48, 0.30);  // /48 most prominent (paper)
+  for (const auto& [length, count] : lengths) {
+    EXPECT_GE(length, 28u);
+    EXPECT_LE(length, 64u);
+  }
+}
+
+TEST(SynthDistributions, DualStackShareRampsAcrossWindow) {
+  const auto& u = default_universe();
+  const auto first = u.snapshot_at(0);
+  const auto last = u.snapshot_at(u.month_count() - 1);
+  const double share_first =
+      static_cast<double>(first.dual_stack_count()) / first.domain_count();
+  const double share_last =
+      static_cast<double>(last.dual_stack_count()) / last.domain_count();
+  EXPECT_NEAR(share_first, u.config().ds_share_start, 0.05);
+  EXPECT_NEAR(share_last, u.config().ds_share_end, 0.05);
+}
+
+TEST(SynthDistributions, VisibilityPatternSplit) {
+  const auto& u = default_universe();
+  std::size_t always = 0;
+  std::size_t once = 0;
+  std::size_t total = 0;
+  for (const auto& domain : u.domains()) {
+    ++total;
+    if (domain.visibility == Visibility::Always) ++always;
+    if (domain.visibility == Visibility::Once) ++once;
+  }
+  EXPECT_NEAR(static_cast<double>(always) / total, u.config().always_visible_share, 0.03);
+  EXPECT_NEAR(static_cast<double>(once) / total, u.config().once_visible_share, 0.03);
+}
+
+TEST(SynthDistributions, AlignedOrgsProducePerfectDefaultPairs) {
+  const auto& u = default_universe();
+  const auto corpus =
+      core::DualStackCorpus::build(u.snapshot_at(u.month_count() - 1), u.rib());
+  const auto pairs = core::detect_sibling_prefixes(corpus);
+
+  // Index: v4 prefix → org. Aligned single-org prefixes should pair
+  // perfectly when no multi-org domain intruded.
+  PrefixTrie<const OrgSpec*> owner;
+  for (const auto& org : u.orgs()) {
+    for (const auto& prefix : org.v4_prefixes) owner.insert(prefix, &org);
+  }
+  std::size_t aligned_pairs = 0;
+  std::size_t aligned_perfect = 0;
+  for (const auto& pair : pairs) {
+    const auto* org = owner.find(pair.v4);
+    if (org == nullptr || !(*org)->aligned || (*org)->hg_cdn) continue;
+    ++aligned_pairs;
+    if (pair.similarity >= 1.0 - 1e-12) ++aligned_perfect;
+  }
+  ASSERT_GT(aligned_pairs, 100u);
+  EXPECT_GT(static_cast<double>(aligned_perfect) / aligned_pairs, 0.60);
+}
+
+TEST(SynthDistributions, HeadlineShapeHoldsAcrossSeeds) {
+  for (const std::uint64_t seed : {7ull, 20260705ull}) {
+    SynthConfig config;
+    config.seed = seed;
+    config.organization_count = 800;  // smaller for speed
+    config.months = 13;
+    config.monitoring_v4_prefixes = 20;
+    config.monitoring_v6_prefixes = 8;
+    const SyntheticInternet u(config);
+    const auto corpus =
+        core::DualStackCorpus::build(u.snapshot_at(u.month_count() - 1), u.rib());
+    const auto pairs = core::detect_sibling_prefixes(corpus);
+    ASSERT_GT(pairs.size(), 200u) << "seed " << seed;
+    const core::SpTunerMs tuner(corpus, {.v4_threshold = 28, .v6_threshold = 96});
+    const auto tuned = tuner.tune_all(pairs);
+    const auto perfect = [](const std::vector<core::SiblingPair>& v) {
+      std::size_t count = 0;
+      for (const auto& pair : v) {
+        if (pair.similarity >= 1.0 - 1e-12) ++count;
+      }
+      return static_cast<double>(count) / static_cast<double>(v.size());
+    };
+    EXPECT_GT(perfect(tuned.pairs), perfect(pairs) + 0.08) << "seed " << seed;
+    EXPECT_GT(perfect(tuned.pairs), 0.65) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sp::synth

@@ -1,0 +1,62 @@
+// Shared scenario builders for core-pipeline tests: a tiny Internet with a
+// BGP RIB and one DNS snapshot, populated declaratively.
+#pragma once
+
+#include <initializer_list>
+#include <string_view>
+
+#include "bgp/rib.h"
+#include "core/corpus.h"
+#include "dns/snapshot.h"
+
+namespace sp::testsupport {
+
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() : snapshot_(Date{2024, 9, 11}) {}
+
+  /// Announces a prefix in the RIB with the given origin AS.
+  ScenarioBuilder& announce(std::string_view prefix, std::uint32_t origin_as) {
+    rib_.add_route(Prefix::must_parse(prefix), origin_as);
+    return *this;
+  }
+
+  /// Adds one resolved domain with the given address sets (response name ==
+  /// queried name).
+  ScenarioBuilder& host(std::string_view domain, std::initializer_list<const char*> v4,
+                        std::initializer_list<const char*> v6) {
+    dns::DomainResolution entry;
+    entry.queried = dns::DomainName::must_parse(domain);
+    entry.response_name = entry.queried;
+    for (const char* address : v4) entry.v4.push_back(*IPv4Address::from_string(address));
+    for (const char* address : v6) entry.v6.push_back(*IPv6Address::from_string(address));
+    snapshot_.add(std::move(entry));
+    return *this;
+  }
+
+  /// Same, but with a distinct response name (CNAME-style identity).
+  ScenarioBuilder& host_as(std::string_view queried, std::string_view response,
+                           std::initializer_list<const char*> v4,
+                           std::initializer_list<const char*> v6) {
+    dns::DomainResolution entry;
+    entry.queried = dns::DomainName::must_parse(queried);
+    entry.response_name = dns::DomainName::must_parse(response);
+    for (const char* address : v4) entry.v4.push_back(*IPv4Address::from_string(address));
+    for (const char* address : v6) entry.v6.push_back(*IPv6Address::from_string(address));
+    snapshot_.add(std::move(entry));
+    return *this;
+  }
+
+  [[nodiscard]] const bgp::Rib& rib() const noexcept { return rib_; }
+  [[nodiscard]] const dns::ResolutionSnapshot& snapshot() const noexcept { return snapshot_; }
+
+  [[nodiscard]] core::DualStackCorpus corpus() const {
+    return core::DualStackCorpus::build(snapshot_, rib_);
+  }
+
+ private:
+  bgp::Rib rib_;
+  dns::ResolutionSnapshot snapshot_;
+};
+
+}  // namespace sp::testsupport

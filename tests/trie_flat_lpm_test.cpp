@@ -1,0 +1,106 @@
+// Tests for the DIR-24-8 flat LPM table, including an oracle comparison
+// against the Patricia trie.
+#include "trie/flat_lpm.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "trie/prefix_trie.h"
+
+namespace sp {
+namespace {
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+TEST(FlatLpm4, BasicLongestMatch) {
+  FlatLpm4<int> lpm;
+  lpm.insert(p("20.0.0.0/8"), 8);
+  lpm.insert(p("20.1.0.0/16"), 16);
+  lpm.insert(p("20.1.2.0/24"), 24);
+
+  ASSERT_NE(lpm.lookup(*IPv4Address::from_string("20.1.2.3")), nullptr);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.3")), 24);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.9.9")), 16);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.200.0.1")), 8);
+  EXPECT_EQ(lpm.lookup(*IPv4Address::from_string("21.0.0.1")), nullptr);
+  EXPECT_EQ(lpm.size(), 3u);
+}
+
+TEST(FlatLpm4, LongerThan24UsesChunks) {
+  FlatLpm4<int> lpm;
+  lpm.insert(p("20.1.2.0/24"), 24);
+  lpm.insert(p("20.1.2.128/25"), 25);
+  lpm.insert(p("20.1.2.192/30"), 30);
+  lpm.insert(p("20.1.2.200/32"), 32);
+
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.1")), 24);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.130")), 25);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.193")), 30);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.200")), 32);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.201")), 25);  // .201 is outside the /30
+}
+
+TEST(FlatLpm4, ChunkFallbackCoversUnpopulatedOffsets) {
+  FlatLpm4<int> lpm;
+  lpm.insert(p("20.1.2.0/24"), 24);
+  lpm.insert(p("20.1.2.64/26"), 26);
+  // Offsets outside the /26 fall back to the /24.
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.65")), 26);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.180")), 24);
+}
+
+TEST(FlatLpm4, ShortInsertAfterChunkCreation) {
+  FlatLpm4<int> lpm;
+  lpm.insert(p("20.1.2.128/25"), 25);  // creates a chunk with empty fallback
+  EXPECT_EQ(lpm.lookup(*IPv4Address::from_string("20.1.2.1")), nullptr);
+  lpm.insert(p("20.1.2.0/24"), 24);  // lands in the chunk's fallback
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.1")), 24);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.129")), 25);
+}
+
+TEST(FlatLpm4, DefaultRouteCoversEverything) {
+  FlatLpm4<int> lpm;
+  lpm.insert(p("0.0.0.0/0"), 0);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("1.2.3.4")), 0);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("255.255.255.255")), 0);
+}
+
+// Property: agrees with the Patricia trie on random tables, any insert
+// order.
+class FlatLpmProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FlatLpmProperty, MatchesPatriciaTrie) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::uint32_t> word;
+  std::uniform_int_distribution<int> length(8, 32);
+
+  FlatLpm4<std::uint32_t> flat;
+  PrefixTrie<std::uint32_t> trie;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    // Cluster into 20.0.0.0/10 so nesting and chunk churn happen.
+    const std::uint32_t address = 0x14000000u | (word(rng) & 0x003FFFFFu);
+    const Prefix prefix =
+        Prefix::of(IPAddress(IPv4Address(address)), static_cast<unsigned>(length(rng)));
+    flat.insert(prefix, i);
+    trie.insert(prefix, i);
+  }
+
+  for (int probe = 0; probe < 20000; ++probe) {
+    const IPv4Address address(0x14000000u | (word(rng) & 0x003FFFFFu));
+    const auto trie_hit = trie.longest_match(IPAddress(address));
+    const std::uint32_t* flat_hit = flat.lookup(address);
+    ASSERT_EQ(flat_hit != nullptr, trie_hit.has_value()) << address.to_string();
+    if (flat_hit != nullptr) {
+      // Both must point at a value stored under the same covering prefix
+      // length (the exact value may differ when duplicates of equal length
+      // overwrite in different orders — compare the prefix instead).
+      ASSERT_EQ(*trie_hit->second, *flat_hit) << address.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatLpmProperty, ::testing::Values(91u, 92u));
+
+}  // namespace
+}  // namespace sp

@@ -1,0 +1,288 @@
+// Unit and property tests for the Patricia prefix trie, including an
+// exhaustive comparison against a naive oracle implementation.
+#include "trie/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+
+namespace sp {
+namespace {
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+TEST(PrefixTrie, InsertAndExactFind) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  trie.insert(p("10.1.0.0/16"), 2);
+  trie.insert(p("2001:db8::/32"), 3);
+
+  EXPECT_EQ(trie.size(), 3u);
+  ASSERT_NE(trie.find(p("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(p("10.0.0.0/8")), 1);
+  EXPECT_EQ(*trie.find(p("10.1.0.0/16")), 2);
+  EXPECT_EQ(*trie.find(p("2001:db8::/32")), 3);
+  EXPECT_EQ(trie.find(p("10.0.0.0/9")), nullptr);
+  EXPECT_EQ(trie.find(p("10.2.0.0/16")), nullptr);
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<std::string> trie;
+  trie.insert(p("10.0.0.0/8"), "old");
+  trie.insert(p("10.0.0.0/8"), "new");
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.find(p("10.0.0.0/8")), "new");
+}
+
+TEST(PrefixTrie, IndexOperatorCreatesDefault) {
+  PrefixTrie<int> trie;
+  trie[p("192.0.2.0/24")] += 5;
+  trie[p("192.0.2.0/24")] += 7;
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.find(p("192.0.2.0/24")), 12);
+}
+
+TEST(PrefixTrie, LongestMatchPicksMostSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 8);
+  trie.insert(p("10.1.0.0/16"), 16);
+  trie.insert(p("10.1.2.0/24"), 24);
+
+  const auto hit = trie.longest_match(IPAddress::must_parse("10.1.2.3"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, p("10.1.2.0/24"));
+  EXPECT_EQ(*hit->second, 24);
+
+  const auto mid = trie.longest_match(IPAddress::must_parse("10.1.9.9"));
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(mid->first, p("10.1.0.0/16"));
+
+  const auto top = trie.longest_match(IPAddress::must_parse("10.200.0.1"));
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(top->first, p("10.0.0.0/8"));
+
+  EXPECT_FALSE(trie.longest_match(IPAddress::must_parse("11.0.0.1")).has_value());
+  EXPECT_FALSE(trie.longest_match(IPAddress::must_parse("2001:db8::1")).has_value());
+}
+
+TEST(PrefixTrie, LongestMatchOnPrefixKey) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 8);
+  trie.insert(p("10.1.0.0/16"), 16);
+
+  // A /12 inside 10/8 but above 10.1/16 matches the /8.
+  const auto hit = trie.longest_match(p("10.0.0.0/12"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, p("10.0.0.0/8"));
+
+  // The stored key itself is a valid longest match.
+  const auto self = trie.longest_match(p("10.1.0.0/16"));
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->first, p("10.1.0.0/16"));
+}
+
+TEST(PrefixTrie, ParentSkipsSelf) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 8);
+  trie.insert(p("10.1.0.0/16"), 16);
+
+  const auto parent = trie.parent(p("10.1.0.0/16"));
+  ASSERT_TRUE(parent.has_value());
+  EXPECT_EQ(parent->first, p("10.0.0.0/8"));
+  EXPECT_FALSE(trie.parent(p("10.0.0.0/8")).has_value());
+}
+
+TEST(PrefixTrie, VisitCoveredEnumeratesSubtree) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  trie.insert(p("10.1.0.0/16"), 2);
+  trie.insert(p("10.1.2.0/24"), 3);
+  trie.insert(p("10.200.0.0/16"), 4);
+  trie.insert(p("11.0.0.0/8"), 5);
+
+  const auto covered = trie.covered_keys(p("10.1.0.0/16"));
+  EXPECT_EQ(covered, (std::vector<Prefix>{p("10.1.0.0/16"), p("10.1.2.0/24")}));
+
+  const auto all_ten = trie.covered_keys(p("10.0.0.0/8"));
+  EXPECT_EQ(all_ten.size(), 4u);
+
+  EXPECT_TRUE(trie.covered_keys(p("12.0.0.0/8")).empty());
+}
+
+TEST(PrefixTrie, FamiliesAreIsolated) {
+  PrefixTrie<int> trie;
+  trie.insert(p("0.0.0.0/0"), 4);
+  trie.insert(p("::/0"), 6);
+  EXPECT_EQ(*trie.find(p("0.0.0.0/0")), 4);
+  EXPECT_EQ(*trie.find(p("::/0")), 6);
+  const auto v6_hit = trie.longest_match(IPAddress::must_parse("2001:db8::1"));
+  ASSERT_TRUE(v6_hit.has_value());
+  EXPECT_EQ(*v6_hit->second, 6);
+}
+
+TEST(PrefixTrie, EraseRemovesAndPrunes) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  trie.insert(p("10.1.2.0/24"), 2);
+  trie.insert(p("10.1.3.0/24"), 3);
+
+  EXPECT_TRUE(trie.erase(p("10.1.2.0/24")));
+  EXPECT_FALSE(trie.erase(p("10.1.2.0/24")));
+  EXPECT_EQ(trie.size(), 2u);
+  EXPECT_EQ(trie.find(p("10.1.2.0/24")), nullptr);
+  EXPECT_NE(trie.find(p("10.1.3.0/24")), nullptr);
+
+  // Erasing a prefix with children keeps the children reachable.
+  EXPECT_TRUE(trie.erase(p("10.0.0.0/8")));
+  EXPECT_NE(trie.find(p("10.1.3.0/24")), nullptr);
+  const auto hit = trie.longest_match(IPAddress::must_parse("10.1.3.77"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, p("10.1.3.0/24"));
+}
+
+TEST(PrefixTrie, EraseMissingReturnsFalse) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  EXPECT_FALSE(trie.erase(p("10.0.0.0/9")));
+  EXPECT_FALSE(trie.erase(p("11.0.0.0/8")));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, SplitNodeScenario) {
+  // Insert two diverging prefixes whose common covering prefix is valueless,
+  // then verify the join node does not appear in lookups.
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/10"), 1);
+  trie.insert(p("10.64.0.0/10"), 2);
+  EXPECT_EQ(trie.size(), 2u);
+  EXPECT_EQ(trie.find(p("10.0.0.0/8")), nullptr);  // join node, no value
+  EXPECT_FALSE(trie.longest_match(IPAddress::must_parse("10.128.0.1")).has_value());
+  const auto left = trie.longest_match(IPAddress::must_parse("10.1.0.1"));
+  ASSERT_TRUE(left.has_value());
+  EXPECT_EQ(*left->second, 1);
+}
+
+TEST(PrefixTrie, VisitAncestorsWalksPathLeastSpecificFirst) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 8);
+  trie.insert(p("10.1.0.0/16"), 16);
+  trie.insert(p("10.1.2.0/24"), 24);
+  trie.insert(p("10.200.0.0/16"), 99);  // off-path
+
+  std::vector<Prefix> visited;
+  trie.visit_ancestors(p("10.1.2.0/24"),
+                       [&visited](const Prefix& prefix, const int&) {
+                         visited.push_back(prefix);
+                       });
+  EXPECT_EQ(visited, (std::vector<Prefix>{p("10.0.0.0/8"), p("10.1.0.0/16"),
+                                          p("10.1.2.0/24")}));
+
+  visited.clear();
+  trie.visit_ancestors(p("10.1.2.128/25"),
+                       [&visited](const Prefix& prefix, const int&) {
+                         visited.push_back(prefix);
+                       });
+  EXPECT_EQ(visited.size(), 3u);  // the /24 covers the /25 key
+
+  visited.clear();
+  trie.visit_ancestors(p("11.0.0.0/8"), [&visited](const Prefix& prefix, const int&) {
+    visited.push_back(prefix);
+  });
+  EXPECT_TRUE(visited.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests against a naive oracle: a std::map scanned linearly.
+// ---------------------------------------------------------------------------
+
+class TrieOracleProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TrieOracleProperty, MatchesNaiveOracle) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::uint32_t> word;
+  std::uniform_int_distribution<int> len4(0, 32);
+  std::uniform_int_distribution<int> len6(0, 128);
+  std::uniform_int_distribution<int> family_dist(0, 1);
+  std::uniform_int_distribution<int> op_dist(0, 9);
+
+  PrefixTrie<int> trie;
+  std::map<Prefix, int> oracle;
+
+  const auto random_prefix = [&]() {
+    if (family_dist(rng) == 0) {
+      // Cluster v4 prefixes in 10/8 so nesting actually happens.
+      const std::uint32_t base = 0x0A000000u | (word(rng) & 0x00FFFFFFu);
+      return Prefix::of(IPAddress(IPv4Address(base)), static_cast<unsigned>(len4(rng)));
+    }
+    IPv6Address::Bytes bytes{};
+    bytes[0] = 0x20;
+    bytes[1] = 0x01;
+    for (std::size_t i = 2; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(word(rng));
+    return Prefix::of(IPAddress(IPv6Address(bytes)), static_cast<unsigned>(len6(rng)));
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto key = random_prefix();
+    const int op = op_dist(rng);
+    if (op < 6) {
+      const int value = static_cast<int>(word(rng));
+      trie.insert(key, value);
+      oracle[key] = value;
+    } else if (op < 8) {
+      const bool trie_erased = trie.erase(key);
+      const bool oracle_erased = oracle.erase(key) > 0;
+      ASSERT_EQ(trie_erased, oracle_erased) << key.to_string();
+    } else {
+      // Exact lookup.
+      const int* found = trie.find(key);
+      const auto it = oracle.find(key);
+      ASSERT_EQ(found != nullptr, it != oracle.end()) << key.to_string();
+      if (found != nullptr) {
+        ASSERT_EQ(*found, it->second);
+      }
+
+      // Longest match against linear scan.
+      std::optional<Prefix> best;
+      for (const auto& [stored, value] : oracle) {
+        if (stored.contains(key) && (!best || stored.length() > best->length())) {
+          best = stored;
+        }
+      }
+      const auto hit = trie.longest_match(key);
+      ASSERT_EQ(hit.has_value(), best.has_value()) << key.to_string();
+      if (hit) {
+        ASSERT_EQ(hit->first, *best) << key.to_string();
+      }
+    }
+    ASSERT_EQ(trie.size(), oracle.size());
+  }
+
+  // Full enumeration agrees with the oracle key set.
+  const auto keys = trie.keys();
+  ASSERT_EQ(keys.size(), oracle.size());
+  for (const auto& key : keys) {
+    EXPECT_TRUE(oracle.contains(key)) << key.to_string();
+  }
+
+  // covered_keys agrees with a filtered oracle scan for random covers.
+  for (int i = 0; i < 50; ++i) {
+    const auto cover = random_prefix();
+    std::vector<Prefix> expected;
+    for (const auto& [stored, value] : oracle) {
+      if (cover.contains(stored)) expected.push_back(stored);
+    }
+    std::sort(expected.begin(), expected.end());
+    auto got = trie.covered_keys(cover);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << cover.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieOracleProperty,
+                         ::testing::Values(7u, 17u, 27u, 37u, 47u, 57u));
+
+}  // namespace
+}  // namespace sp

@@ -1,0 +1,51 @@
+// Compile-and-smoke test for the umbrella header: one include must expose
+// the whole public API, and the subsystems must interoperate.
+#include "sp.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+  using namespace sp;
+
+  // netbase + trie.
+  PrefixSet acl;
+  acl.add(Prefix::must_parse("20.1.0.0/16"));
+  EXPECT_TRUE(acl.contains(IPAddress::must_parse("20.1.2.3")));
+
+  // dns: zone text → resolution.
+  dns::ZoneDatabase zones;
+  ASSERT_TRUE(dns::parse_zone_text("www.example.org. IN A 20.1.2.3\n"
+                                   "www.example.org. IN AAAA 2620:100::3\n",
+                                   zones)
+                  .ok());
+  const auto resolution = zones.resolve(dns::DomainName::must_parse("www.example.org"));
+  EXPECT_TRUE(resolution.dual_stack());
+
+  // bgp + core: one-pair pipeline.
+  bgp::Rib rib;
+  rib.add_route(Prefix::must_parse("20.1.0.0/16"), 65001);
+  rib.add_route(Prefix::must_parse("2620:100::/48"), 65101);
+  dns::ResolutionSnapshot snapshot(Date{2024, 9, 11});
+  snapshot.add({.queried = resolution.queried,
+                .response_name = resolution.response_name,
+                .v4 = resolution.v4,
+                .v6 = resolution.v6});
+  const auto corpus = core::DualStackCorpus::build(snapshot, rib);
+  const auto pairs = core::detect_sibling_prefixes(corpus);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+
+  // rpki.
+  rpki::Validator validator;
+  ASSERT_TRUE(validator.add_roa({Prefix::must_parse("20.1.0.0/16"), 16, 65001}));
+  EXPECT_EQ(validator.validate(pairs[0].v4, 65001), rpki::RovStatus::Valid);
+
+  // he.
+  const auto outcome = he::race({{IPAddress::must_parse("2620:100::3"), 20.0}},
+                                {{IPAddress::must_parse("20.1.2.3"), 20.0}});
+  EXPECT_TRUE(outcome.used_ipv6());
+}
+
+}  // namespace
