@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_domain_counts.dir/bench_fig08_domain_counts.cpp.o"
+  "CMakeFiles/bench_fig08_domain_counts.dir/bench_fig08_domain_counts.cpp.o.d"
+  "bench_fig08_domain_counts"
+  "bench_fig08_domain_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_domain_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_15_organizations.dir/bench_fig14_15_organizations.cpp.o"
+  "CMakeFiles/bench_fig14_15_organizations.dir/bench_fig14_15_organizations.cpp.o.d"
+  "bench_fig14_15_organizations"
+  "bench_fig14_15_organizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_organizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_hypergiants.dir/bench_fig17_hypergiants.cpp.o"
+  "CMakeFiles/bench_fig17_hypergiants.dir/bench_fig17_hypergiants.cpp.o.d"
+  "bench_fig17_hypergiants"
+  "bench_fig17_hypergiants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_hypergiants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_rpki_rov.dir/bench_fig18_rpki_rov.cpp.o"
+  "CMakeFiles/bench_fig18_rpki_rov.dir/bench_fig18_rpki_rov.cpp.o.d"
+  "bench_fig18_rpki_rov"
+  "bench_fig18_rpki_rov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_rpki_rov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

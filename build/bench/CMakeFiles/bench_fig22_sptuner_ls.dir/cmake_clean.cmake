@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_sptuner_ls.dir/bench_fig22_sptuner_ls.cpp.o"
+  "CMakeFiles/bench_fig22_sptuner_ls.dir/bench_fig22_sptuner_ls.cpp.o.d"
+  "bench_fig22_sptuner_ls"
+  "bench_fig22_sptuner_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_sptuner_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_groundtruth.dir/bench_tab_groundtruth.cpp.o"
+  "CMakeFiles/bench_tab_groundtruth.dir/bench_tab_groundtruth.cpp.o.d"
+  "bench_tab_groundtruth"
+  "bench_tab_groundtruth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

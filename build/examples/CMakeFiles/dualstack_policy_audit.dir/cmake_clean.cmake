@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dualstack_policy_audit.dir/dualstack_policy_audit.cpp.o"
+  "CMakeFiles/dualstack_policy_audit.dir/dualstack_policy_audit.cpp.o.d"
+  "dualstack_policy_audit"
+  "dualstack_policy_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dualstack_policy_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_transfer.dir/geo_transfer.cpp.o"
+  "CMakeFiles/geo_transfer.dir/geo_transfer.cpp.o.d"
+  "geo_transfer"
+  "geo_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

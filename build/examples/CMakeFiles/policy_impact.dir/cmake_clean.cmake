@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_impact.dir/policy_impact.cpp.o"
+  "CMakeFiles/policy_impact.dir/policy_impact.cpp.o.d"
+  "policy_impact"
+  "policy_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_diff.dir/release_diff.cpp.o"
+  "CMakeFiles/release_diff.dir/release_diff.cpp.o.d"
+  "release_diff"
+  "release_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

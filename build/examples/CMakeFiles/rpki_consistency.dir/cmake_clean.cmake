@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpki_consistency.dir/rpki_consistency.cpp.o"
+  "CMakeFiles/rpki_consistency.dir/rpki_consistency.cpp.o.d"
+  "rpki_consistency"
+  "rpki_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpki_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_pipeline.dir/sp_pipeline.cpp.o"
+  "CMakeFiles/sp_pipeline.dir/sp_pipeline.cpp.o.d"
+  "sp_pipeline"
+  "sp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

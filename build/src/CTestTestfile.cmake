@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netbase")
+subdirs("trie")
+subdirs("dns")
+subdirs("mrt")
+subdirs("bgp")
+subdirs("rpki")
+subdirs("asinfo")
+subdirs("scan")
+subdirs("he")
+subdirs("alias")
+subdirs("analysis")
+subdirs("io")
+subdirs("core")
+subdirs("synth")

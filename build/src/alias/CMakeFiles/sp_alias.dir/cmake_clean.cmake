@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_alias.dir/ipid.cpp.o"
+  "CMakeFiles/sp_alias.dir/ipid.cpp.o.d"
+  "libsp_alias.a"
+  "libsp_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asinfo/as_org.cpp" "src/asinfo/CMakeFiles/sp_asinfo.dir/as_org.cpp.o" "gcc" "src/asinfo/CMakeFiles/sp_asinfo.dir/as_org.cpp.o.d"
+  "/root/repo/src/asinfo/asdb.cpp" "src/asinfo/CMakeFiles/sp_asinfo.dir/asdb.cpp.o" "gcc" "src/asinfo/CMakeFiles/sp_asinfo.dir/asdb.cpp.o.d"
+  "/root/repo/src/asinfo/asinfo_csv.cpp" "src/asinfo/CMakeFiles/sp_asinfo.dir/asinfo_csv.cpp.o" "gcc" "src/asinfo/CMakeFiles/sp_asinfo.dir/asinfo_csv.cpp.o.d"
+  "/root/repo/src/asinfo/cdn_hg.cpp" "src/asinfo/CMakeFiles/sp_asinfo.dir/cdn_hg.cpp.o" "gcc" "src/asinfo/CMakeFiles/sp_asinfo.dir/cdn_hg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/sp_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sp_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

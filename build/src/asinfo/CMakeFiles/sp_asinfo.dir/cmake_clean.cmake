@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_asinfo.dir/as_org.cpp.o"
+  "CMakeFiles/sp_asinfo.dir/as_org.cpp.o.d"
+  "CMakeFiles/sp_asinfo.dir/asdb.cpp.o"
+  "CMakeFiles/sp_asinfo.dir/asdb.cpp.o.d"
+  "CMakeFiles/sp_asinfo.dir/asinfo_csv.cpp.o"
+  "CMakeFiles/sp_asinfo.dir/asinfo_csv.cpp.o.d"
+  "CMakeFiles/sp_asinfo.dir/cdn_hg.cpp.o"
+  "CMakeFiles/sp_asinfo.dir/cdn_hg.cpp.o.d"
+  "libsp_asinfo.a"
+  "libsp_asinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_asinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_bgp.dir/rib.cpp.o"
+  "CMakeFiles/sp_bgp.dir/rib.cpp.o.d"
+  "libsp_bgp.a"
+  "libsp_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

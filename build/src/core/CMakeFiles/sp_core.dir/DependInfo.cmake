@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/corpus.cpp" "src/core/CMakeFiles/sp_core.dir/corpus.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/corpus.cpp.o.d"
+  "/root/repo/src/core/detect.cpp" "src/core/CMakeFiles/sp_core.dir/detect.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/detect.cpp.o.d"
+  "/root/repo/src/core/domain_set.cpp" "src/core/CMakeFiles/sp_core.dir/domain_set.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/domain_set.cpp.o.d"
+  "/root/repo/src/core/groundtruth.cpp" "src/core/CMakeFiles/sp_core.dir/groundtruth.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/groundtruth.cpp.o.d"
+  "/root/repo/src/core/longitudinal.cpp" "src/core/CMakeFiles/sp_core.dir/longitudinal.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/longitudinal.cpp.o.d"
+  "/root/repo/src/core/portscan_compare.cpp" "src/core/CMakeFiles/sp_core.dir/portscan_compare.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/portscan_compare.cpp.o.d"
+  "/root/repo/src/core/probes_io.cpp" "src/core/CMakeFiles/sp_core.dir/probes_io.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/probes_io.cpp.o.d"
+  "/root/repo/src/core/sibling_diff.cpp" "src/core/CMakeFiles/sp_core.dir/sibling_diff.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/sibling_diff.cpp.o.d"
+  "/root/repo/src/core/sibling_list_io.cpp" "src/core/CMakeFiles/sp_core.dir/sibling_list_io.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/sibling_list_io.cpp.o.d"
+  "/root/repo/src/core/sibling_sets.cpp" "src/core/CMakeFiles/sp_core.dir/sibling_sets.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/sibling_sets.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/sp_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/similarity.cpp.o.d"
+  "/root/repo/src/core/sptuner.cpp" "src/core/CMakeFiles/sp_core.dir/sptuner.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/sptuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/sp_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/sp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/sp_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/sp_mrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_core.dir/corpus.cpp.o"
+  "CMakeFiles/sp_core.dir/corpus.cpp.o.d"
+  "CMakeFiles/sp_core.dir/detect.cpp.o"
+  "CMakeFiles/sp_core.dir/detect.cpp.o.d"
+  "CMakeFiles/sp_core.dir/domain_set.cpp.o"
+  "CMakeFiles/sp_core.dir/domain_set.cpp.o.d"
+  "CMakeFiles/sp_core.dir/groundtruth.cpp.o"
+  "CMakeFiles/sp_core.dir/groundtruth.cpp.o.d"
+  "CMakeFiles/sp_core.dir/longitudinal.cpp.o"
+  "CMakeFiles/sp_core.dir/longitudinal.cpp.o.d"
+  "CMakeFiles/sp_core.dir/portscan_compare.cpp.o"
+  "CMakeFiles/sp_core.dir/portscan_compare.cpp.o.d"
+  "CMakeFiles/sp_core.dir/probes_io.cpp.o"
+  "CMakeFiles/sp_core.dir/probes_io.cpp.o.d"
+  "CMakeFiles/sp_core.dir/sibling_diff.cpp.o"
+  "CMakeFiles/sp_core.dir/sibling_diff.cpp.o.d"
+  "CMakeFiles/sp_core.dir/sibling_list_io.cpp.o"
+  "CMakeFiles/sp_core.dir/sibling_list_io.cpp.o.d"
+  "CMakeFiles/sp_core.dir/sibling_sets.cpp.o"
+  "CMakeFiles/sp_core.dir/sibling_sets.cpp.o.d"
+  "CMakeFiles/sp_core.dir/similarity.cpp.o"
+  "CMakeFiles/sp_core.dir/similarity.cpp.o.d"
+  "CMakeFiles/sp_core.dir/sptuner.cpp.o"
+  "CMakeFiles/sp_core.dir/sptuner.cpp.o.d"
+  "libsp_core.a"
+  "libsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

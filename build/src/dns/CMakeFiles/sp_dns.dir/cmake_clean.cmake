@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_dns.dir/name.cpp.o"
+  "CMakeFiles/sp_dns.dir/name.cpp.o.d"
+  "CMakeFiles/sp_dns.dir/resolver.cpp.o"
+  "CMakeFiles/sp_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/sp_dns.dir/snapshot.cpp.o"
+  "CMakeFiles/sp_dns.dir/snapshot.cpp.o.d"
+  "CMakeFiles/sp_dns.dir/wire.cpp.o"
+  "CMakeFiles/sp_dns.dir/wire.cpp.o.d"
+  "CMakeFiles/sp_dns.dir/zone.cpp.o"
+  "CMakeFiles/sp_dns.dir/zone.cpp.o.d"
+  "CMakeFiles/sp_dns.dir/zonefile.cpp.o"
+  "CMakeFiles/sp_dns.dir/zonefile.cpp.o.d"
+  "libsp_dns.a"
+  "libsp_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_he.dir/happy_eyeballs.cpp.o"
+  "CMakeFiles/sp_he.dir/happy_eyeballs.cpp.o.d"
+  "libsp_he.a"
+  "libsp_he.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_he.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

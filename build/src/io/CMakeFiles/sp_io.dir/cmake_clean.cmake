@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_io.dir/csv.cpp.o"
+  "CMakeFiles/sp_io.dir/csv.cpp.o.d"
+  "CMakeFiles/sp_io.dir/snapshot_csv.cpp.o"
+  "CMakeFiles/sp_io.dir/snapshot_csv.cpp.o.d"
+  "libsp_io.a"
+  "libsp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrt/codec.cpp" "src/mrt/CMakeFiles/sp_mrt.dir/codec.cpp.o" "gcc" "src/mrt/CMakeFiles/sp_mrt.dir/codec.cpp.o.d"
+  "/root/repo/src/mrt/file.cpp" "src/mrt/CMakeFiles/sp_mrt.dir/file.cpp.o" "gcc" "src/mrt/CMakeFiles/sp_mrt.dir/file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/sp_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_mrt.dir/codec.cpp.o"
+  "CMakeFiles/sp_mrt.dir/codec.cpp.o.d"
+  "CMakeFiles/sp_mrt.dir/file.cpp.o"
+  "CMakeFiles/sp_mrt.dir/file.cpp.o.d"
+  "libsp_mrt.a"
+  "libsp_mrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbase/ip.cpp" "src/netbase/CMakeFiles/sp_netbase.dir/ip.cpp.o" "gcc" "src/netbase/CMakeFiles/sp_netbase.dir/ip.cpp.o.d"
+  "/root/repo/src/netbase/prefix.cpp" "src/netbase/CMakeFiles/sp_netbase.dir/prefix.cpp.o" "gcc" "src/netbase/CMakeFiles/sp_netbase.dir/prefix.cpp.o.d"
+  "/root/repo/src/netbase/prefix_set.cpp" "src/netbase/CMakeFiles/sp_netbase.dir/prefix_set.cpp.o" "gcc" "src/netbase/CMakeFiles/sp_netbase.dir/prefix_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

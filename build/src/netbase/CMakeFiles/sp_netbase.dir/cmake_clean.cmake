@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_netbase.dir/ip.cpp.o"
+  "CMakeFiles/sp_netbase.dir/ip.cpp.o.d"
+  "CMakeFiles/sp_netbase.dir/prefix.cpp.o"
+  "CMakeFiles/sp_netbase.dir/prefix.cpp.o.d"
+  "CMakeFiles/sp_netbase.dir/prefix_set.cpp.o"
+  "CMakeFiles/sp_netbase.dir/prefix_set.cpp.o.d"
+  "libsp_netbase.a"
+  "libsp_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_rpki.dir/roa_csv.cpp.o"
+  "CMakeFiles/sp_rpki.dir/roa_csv.cpp.o.d"
+  "CMakeFiles/sp_rpki.dir/rov.cpp.o"
+  "CMakeFiles/sp_rpki.dir/rov.cpp.o.d"
+  "libsp_rpki.a"
+  "libsp_rpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_scan.dir/portscan.cpp.o"
+  "CMakeFiles/sp_scan.dir/portscan.cpp.o.d"
+  "libsp_scan.a"
+  "libsp_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_synth.dir/universe.cpp.o"
+  "CMakeFiles/sp_synth.dir/universe.cpp.o.d"
+  "libsp_synth.a"
+  "libsp_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asinfo_test.dir/asinfo_test.cpp.o"
+  "CMakeFiles/asinfo_test.dir/asinfo_test.cpp.o.d"
+  "asinfo_test"
+  "asinfo_test.pdb"
+  "asinfo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asinfo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

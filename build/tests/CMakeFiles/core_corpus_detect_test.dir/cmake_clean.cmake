@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_corpus_detect_test.dir/core_corpus_detect_test.cpp.o"
+  "CMakeFiles/core_corpus_detect_test.dir/core_corpus_detect_test.cpp.o.d"
+  "core_corpus_detect_test"
+  "core_corpus_detect_test.pdb"
+  "core_corpus_detect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_corpus_detect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_groundtruth_scan_test.dir/core_groundtruth_scan_test.cpp.o"
+  "CMakeFiles/core_groundtruth_scan_test.dir/core_groundtruth_scan_test.cpp.o.d"
+  "core_groundtruth_scan_test"
+  "core_groundtruth_scan_test.pdb"
+  "core_groundtruth_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_groundtruth_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_setcorpus_test.dir/core_setcorpus_test.cpp.o"
+  "CMakeFiles/core_setcorpus_test.dir/core_setcorpus_test.cpp.o.d"
+  "core_setcorpus_test"
+  "core_setcorpus_test.pdb"
+  "core_setcorpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_setcorpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_sibling_diff_test.cpp" "tests/CMakeFiles/core_sibling_diff_test.dir/core_sibling_diff_test.cpp.o" "gcc" "tests/CMakeFiles/core_sibling_diff_test.dir/core_sibling_diff_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alias/CMakeFiles/sp_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/sp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/he/CMakeFiles/sp_he.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/sp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/sp_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/sp_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/asinfo/CMakeFiles/sp_asinfo.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/sp_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sp_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

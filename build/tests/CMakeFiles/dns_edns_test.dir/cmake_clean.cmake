@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_edns_test.dir/dns_edns_test.cpp.o"
+  "CMakeFiles/dns_edns_test.dir/dns_edns_test.cpp.o.d"
+  "dns_edns_test"
+  "dns_edns_test.pdb"
+  "dns_edns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_edns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_rdns_test.dir/dns_rdns_test.cpp.o"
+  "CMakeFiles/dns_rdns_test.dir/dns_rdns_test.cpp.o.d"
+  "dns_rdns_test"
+  "dns_rdns_test.pdb"
+  "dns_rdns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_rdns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_resolver_test.dir/dns_resolver_test.cpp.o"
+  "CMakeFiles/dns_resolver_test.dir/dns_resolver_test.cpp.o.d"
+  "dns_resolver_test"
+  "dns_resolver_test.pdb"
+  "dns_resolver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_resolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_soa_test.dir/dns_soa_test.cpp.o"
+  "CMakeFiles/dns_soa_test.dir/dns_soa_test.cpp.o.d"
+  "dns_soa_test"
+  "dns_soa_test.pdb"
+  "dns_soa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_soa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

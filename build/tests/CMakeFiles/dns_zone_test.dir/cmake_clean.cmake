@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_zone_test.dir/dns_zone_test.cpp.o"
+  "CMakeFiles/dns_zone_test.dir/dns_zone_test.cpp.o.d"
+  "dns_zone_test"
+  "dns_zone_test.pdb"
+  "dns_zone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_zone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

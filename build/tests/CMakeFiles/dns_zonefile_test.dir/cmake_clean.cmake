@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_zonefile_test.dir/dns_zonefile_test.cpp.o"
+  "CMakeFiles/dns_zonefile_test.dir/dns_zonefile_test.cpp.o.d"
+  "dns_zonefile_test"
+  "dns_zonefile_test.pdb"
+  "dns_zonefile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_zonefile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/he_happy_eyeballs_test.dir/he_happy_eyeballs_test.cpp.o"
+  "CMakeFiles/he_happy_eyeballs_test.dir/he_happy_eyeballs_test.cpp.o.d"
+  "he_happy_eyeballs_test"
+  "he_happy_eyeballs_test.pdb"
+  "he_happy_eyeballs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/he_happy_eyeballs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_snapshot_csv_test.dir/io_snapshot_csv_test.cpp.o"
+  "CMakeFiles/io_snapshot_csv_test.dir/io_snapshot_csv_test.cpp.o.d"
+  "io_snapshot_csv_test"
+  "io_snapshot_csv_test.pdb"
+  "io_snapshot_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_snapshot_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

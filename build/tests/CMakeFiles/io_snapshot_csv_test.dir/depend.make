@@ -1,0 +1,2 @@
+# Empty dependencies file for io_snapshot_csv_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrt_bgp4mp_test.dir/mrt_bgp4mp_test.cpp.o"
+  "CMakeFiles/mrt_bgp4mp_test.dir/mrt_bgp4mp_test.cpp.o.d"
+  "mrt_bgp4mp_test"
+  "mrt_bgp4mp_test.pdb"
+  "mrt_bgp4mp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrt_bgp4mp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrt_codec_test.dir/mrt_codec_test.cpp.o"
+  "CMakeFiles/mrt_codec_test.dir/mrt_codec_test.cpp.o.d"
+  "mrt_codec_test"
+  "mrt_codec_test.pdb"
+  "mrt_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrt_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase_ip_test.dir/netbase_ip_test.cpp.o"
+  "CMakeFiles/netbase_ip_test.dir/netbase_ip_test.cpp.o.d"
+  "netbase_ip_test"
+  "netbase_ip_test.pdb"
+  "netbase_ip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase_ip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase_prefix_set_test.dir/netbase_prefix_set_test.cpp.o"
+  "CMakeFiles/netbase_prefix_set_test.dir/netbase_prefix_set_test.cpp.o.d"
+  "netbase_prefix_set_test"
+  "netbase_prefix_set_test.pdb"
+  "netbase_prefix_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase_prefix_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase_reserved_test.dir/netbase_reserved_test.cpp.o"
+  "CMakeFiles/netbase_reserved_test.dir/netbase_reserved_test.cpp.o.d"
+  "netbase_reserved_test"
+  "netbase_reserved_test.pdb"
+  "netbase_reserved_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase_reserved_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

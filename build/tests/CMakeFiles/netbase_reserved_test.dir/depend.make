@@ -1,0 +1,2 @@
+# Empty dependencies file for netbase_reserved_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpki_roa_csv_test.dir/rpki_roa_csv_test.cpp.o"
+  "CMakeFiles/rpki_roa_csv_test.dir/rpki_roa_csv_test.cpp.o.d"
+  "rpki_roa_csv_test"
+  "rpki_roa_csv_test.pdb"
+  "rpki_roa_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpki_roa_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

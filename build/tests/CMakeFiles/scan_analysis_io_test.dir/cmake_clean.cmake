@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_analysis_io_test.dir/scan_analysis_io_test.cpp.o"
+  "CMakeFiles/scan_analysis_io_test.dir/scan_analysis_io_test.cpp.o.d"
+  "scan_analysis_io_test"
+  "scan_analysis_io_test.pdb"
+  "scan_analysis_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_analysis_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

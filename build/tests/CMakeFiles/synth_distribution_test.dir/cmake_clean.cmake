@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_distribution_test.dir/synth_distribution_test.cpp.o"
+  "CMakeFiles/synth_distribution_test.dir/synth_distribution_test.cpp.o.d"
+  "synth_distribution_test"
+  "synth_distribution_test.pdb"
+  "synth_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

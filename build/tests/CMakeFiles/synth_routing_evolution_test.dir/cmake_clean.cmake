@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_routing_evolution_test.dir/synth_routing_evolution_test.cpp.o"
+  "CMakeFiles/synth_routing_evolution_test.dir/synth_routing_evolution_test.cpp.o.d"
+  "synth_routing_evolution_test"
+  "synth_routing_evolution_test.pdb"
+  "synth_routing_evolution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_routing_evolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trie_flat_lpm_test.dir/trie_flat_lpm_test.cpp.o"
+  "CMakeFiles/trie_flat_lpm_test.dir/trie_flat_lpm_test.cpp.o.d"
+  "trie_flat_lpm_test"
+  "trie_flat_lpm_test.pdb"
+  "trie_flat_lpm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trie_flat_lpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
