@@ -6,6 +6,7 @@
 #include <random>
 
 #include "bench_common.h"
+#include "core/detect_parallel.h"
 #include "dns/wire.h"
 #include "mrt/codec.h"
 #include "he/happy_eyeballs.h"
@@ -108,13 +109,30 @@ void BM_CorpusBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusBuild);
 
-void BM_DetectSiblings(benchmark::State& state) {
+void BM_DetectSiblingsSerial(benchmark::State& state) {
   const auto& corpus = spbench::corpus_at(spbench::last_month());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::detect_sibling_prefixes(corpus));
+    benchmark::DoNotOptimize(core::detect_sibling_prefixes_serial(corpus));
   }
 }
-BENCHMARK(BM_DetectSiblings);
+BENCHMARK(BM_DetectSiblingsSerial);
+
+// The sharded engine at 1/2/4/8 workers; byte-identical output to the
+// serial baseline above, so time-per-iteration is directly comparable.
+void BM_DetectSiblings(benchmark::State& state) {
+  const auto& corpus = spbench::corpus_at(spbench::last_month());
+  core::ParallelDetector detector(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(corpus));
+  }
+  const core::DetectStats& stats = detector.stats();
+  state.counters["prefixes"] = static_cast<double>(stats.prefixes_scanned);
+  state.counters["candidates"] = static_cast<double>(stats.candidates_evaluated);
+  state.counters["emitted"] = static_cast<double>(stats.pairs_emitted);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(stats.prefixes_scanned));
+}
+BENCHMARK(BM_DetectSiblings)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_SpTunerTuneAll(benchmark::State& state) {
   const auto& corpus = spbench::corpus_at(spbench::last_month());

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then a ThreadSanitizer
+# pass over the threaded engines (parallel detection, SP-Tuner).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+# Stage 1: the canonical tier-1 build and test run (see ROADMAP.md).
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+# Stage 2: race the threaded code paths under ThreadSanitizer. Only the
+# thread-bearing test binaries are built — the figure benches and examples
+# don't need instrumentation.
+cmake -B build-tsan -S . -DSP_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target core_detect_parallel_test core_sptuner_parallel_test
+(cd build-tsan && ctest --output-on-failure -j "$JOBS" -R 'DetectParallel|Parallel')

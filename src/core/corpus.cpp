@@ -72,6 +72,7 @@ DualStackCorpus DualStackCorpus::build(const dns::ResolutionSnapshot& snapshot,
   corpus.stats_.dual_stack_domains = corpus.interner_.size();
   corpus.stats_.v4_prefixes = corpus.v4_prefix_domains_.size();
   corpus.stats_.v6_prefixes = corpus.v6_prefix_domains_.size();
+  corpus.index_ = DetectIndex::build(corpus.v4_prefix_domains_, corpus.v6_prefix_domains_);
   return corpus;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bgp/rib.h"
+#include "core/detect_index.h"
 #include "core/domain_set.h"
 #include "dns/snapshot.h"
 #include "trie/prefix_trie.h"
@@ -52,6 +53,10 @@ class DualStackCorpus {
   [[nodiscard]] const std::vector<Prefix>& prefixes_of(DomainId id,
                                                        Family family) const noexcept;
 
+  /// Flat CSR candidate-generation index, built once by build(); shared
+  /// read-only by all detection workers.
+  [[nodiscard]] const DetectIndex& detect_index() const noexcept { return index_; }
+
   /// Host-granularity index: /32 (or /128) host prefix → domains on that
   /// address. SP-Tuner traverses these to evaluate sub-prefix candidates.
   [[nodiscard]] const PrefixTrie<DomainSet>& host_trie(Family family) const noexcept {
@@ -82,6 +87,7 @@ class DualStackCorpus {
   PrefixTrie<DomainSet> v4_hosts_;
   PrefixTrie<DomainSet> v6_hosts_;
   std::unordered_map<Prefix, std::vector<HostDomains>> prefix_hosts_;
+  DetectIndex index_;
 };
 
 }  // namespace sp::core

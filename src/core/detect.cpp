@@ -1,5 +1,9 @@
 #include "core/detect.h"
 
+#include <stdexcept>
+
+#include "core/detect_parallel.h"
+
 namespace sp::core {
 
 namespace {
@@ -7,6 +11,9 @@ const std::vector<Prefix> kNoPrefixes;
 }  // namespace
 
 void SetCorpus::add(const Prefix& prefix, DomainId element) {
+  if (finalized_) {
+    throw std::logic_error("SetCorpus::add called after finalize()");
+  }
   auto& sets = prefix.family() == Family::v4 ? v4_sets_ : v6_sets_;
   sets[prefix].push_back(element);
   auto& by_element =
@@ -16,6 +23,7 @@ void SetCorpus::add(const Prefix& prefix, DomainId element) {
 }
 
 void SetCorpus::finalize() {
+  if (finalized_) return;
   for (auto* sets : {&v4_sets_, &v6_sets_}) {
     for (auto& [prefix, set] : *sets) normalize(set);
   }
@@ -25,6 +33,15 @@ void SetCorpus::finalize() {
       prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
     }
   }
+  index_ = DetectIndex::build(v4_sets_, v6_sets_);
+  finalized_ = true;
+}
+
+const DetectIndex& SetCorpus::detect_index() const {
+  if (!finalized_) {
+    throw std::logic_error("SetCorpus::detect_index requires finalize()");
+  }
+  return index_;
 }
 
 const std::vector<Prefix>& SetCorpus::prefixes_of(DomainId element,
@@ -41,13 +58,34 @@ const DomainSet* SetCorpus::domains_of(const Prefix& prefix) const noexcept {
   return it == sets.end() ? nullptr : &it->second;
 }
 
+namespace {
+
+std::vector<SiblingPair> detect_indexed(const DetectIndex& index, const DetectOptions& options) {
+  ParallelDetector detector(options.threads);
+  auto pairs = detector.detect(index, options);
+  if (options.stats != nullptr) *options.stats = detector.stats();
+  return pairs;
+}
+
+}  // namespace
+
 std::vector<SiblingPair> detect_sibling_prefixes(const DualStackCorpus& corpus,
                                                  const DetectOptions& options) {
-  return detail::detect_over(corpus, options);
+  return detect_indexed(corpus.detect_index(), options);
 }
 
 std::vector<SiblingPair> detect_sibling_prefixes(const SetCorpus& corpus,
                                                  const DetectOptions& options) {
+  return detect_indexed(corpus.detect_index(), options);
+}
+
+std::vector<SiblingPair> detect_sibling_prefixes_serial(const DualStackCorpus& corpus,
+                                                        const DetectOptions& options) {
+  return detail::detect_over(corpus, options);
+}
+
+std::vector<SiblingPair> detect_sibling_prefixes_serial(const SetCorpus& corpus,
+                                                        const DetectOptions& options) {
   return detail::detect_over(corpus, options);
 }
 

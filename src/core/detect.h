@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/corpus.h"
+#include "core/detect_index.h"
 #include "core/similarity.h"
 
 namespace sp::core {
@@ -43,8 +44,26 @@ struct SiblingPair {
   }
 };
 
+/// Run counters of one detection pass, for the bench suite and capacity
+/// planning. The counting fields are deterministic (identical for every
+/// thread count); the wall times are not.
+struct DetectStats {
+  std::uint64_t prefixes_scanned = 0;      // source prefixes examined, both directions
+  std::uint64_t candidates_evaluated = 0;  // similarity evaluations
+  std::uint64_t pairs_emitted = 0;         // best/tie pairs before cross-direction dedup
+  double v4_direction_ms = 0.0;            // wall time, v4→v6 direction
+  double v6_direction_ms = 0.0;            // wall time, v6→v4 direction
+  double merge_ms = 0.0;                   // final sort + dedup
+  unsigned threads_used = 0;
+};
+
 struct DetectOptions {
   Metric metric = Metric::Jaccard;
+  /// Worker threads for the sharded detection engine; 0 picks the hardware
+  /// concurrency. Output is byte-identical for every thread count.
+  unsigned threads = 0;
+  /// When non-null, receives the run's counters.
+  DetectStats* stats = nullptr;
 };
 
 /// The corpus interface detection runs on.
@@ -61,11 +80,20 @@ concept SiblingCorpus = requires(const C& corpus, const Prefix& prefix, DomainId
 /// alias ids. Call finalize() once after the last add().
 class SetCorpus {
  public:
+  /// Records one (prefix, element) observation. Throws std::logic_error
+  /// once finalize() has run — the flat detection index would silently go
+  /// stale otherwise.
   void add(const Prefix& prefix, DomainId element);
 
-  /// Sorts sets and builds the inverted index; add() must not be called
+  /// Sorts sets and builds the inverted indexes (per-element prefix lists
+  /// plus the flat DetectIndex). Idempotent; add() must not be called
   /// afterwards.
   void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// The flat detection index; throws std::logic_error before finalize().
+  [[nodiscard]] const DetectIndex& detect_index() const;
 
   [[nodiscard]] const std::unordered_map<Prefix, DomainSet>& prefix_domains(
       Family family) const noexcept {
@@ -80,6 +108,8 @@ class SetCorpus {
   std::unordered_map<Prefix, DomainSet> v6_sets_;
   std::vector<std::vector<Prefix>> v4_prefixes_by_element_;
   std::vector<std::vector<Prefix>> v6_prefixes_by_element_;
+  DetectIndex index_;
+  bool finalized_ = false;
 };
 
 namespace detail {
@@ -143,13 +173,24 @@ template <SiblingCorpus Corpus>
 }  // namespace detail
 
 /// Detects sibling prefix pairs over the DNS corpus. Output is sorted by
-/// (v4, v6) and duplicate-free.
+/// (v4, v6) and duplicate-free. Runs the sharded ParallelDetector engine
+/// (detect_parallel.h) on `options.threads` workers; the result is
+/// byte-identical to the serial reference for every thread count.
 [[nodiscard]] std::vector<SiblingPair> detect_sibling_prefixes(const DualStackCorpus& corpus,
                                                                const DetectOptions& options = {});
 
 /// Detection over a generic prefix→set corpus (finalize() must have run).
 [[nodiscard]] std::vector<SiblingPair> detect_sibling_prefixes(const SetCorpus& corpus,
                                                                const DetectOptions& options = {});
+
+/// The single-threaded reference implementation (detail::detect_over):
+/// hash-map candidate counting, two similarity passes. Kept as the oracle
+/// for the serial-vs-parallel equivalence harness and as the bench
+/// baseline; `options.threads` and `options.stats` are ignored.
+[[nodiscard]] std::vector<SiblingPair> detect_sibling_prefixes_serial(
+    const DualStackCorpus& corpus, const DetectOptions& options = {});
+[[nodiscard]] std::vector<SiblingPair> detect_sibling_prefixes_serial(
+    const SetCorpus& corpus, const DetectOptions& options = {});
 
 /// Distinct v4 / v6 prefixes appearing in a pair list.
 [[nodiscard]] std::size_t unique_prefix_count(std::span<const SiblingPair> pairs,

@@ -1,0 +1,74 @@
+#include "core/detect_index.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace sp::core {
+
+namespace {
+
+DetectIndex::Side build_side(const std::unordered_map<Prefix, DomainSet>& sets) {
+  DetectIndex::Side side;
+
+  // Dense ids are assigned in ascending prefix order so the index layout —
+  // and therefore every downstream iteration — is independent of hash-map
+  // iteration order.
+  std::vector<std::pair<Prefix, const DomainSet*>> entries;
+  entries.reserve(sets.size());
+  for (const auto& [prefix, set] : sets) entries.emplace_back(prefix, &set);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::size_t total_elements = 0;
+  DomainId max_element = 0;
+  bool any_element = false;
+  for (const auto& [prefix, set] : entries) {
+    total_elements += set->size();
+    if (!set->empty()) {
+      any_element = true;
+      max_element = std::max(max_element, set->back());  // sets are sorted
+    }
+  }
+
+  side.prefixes.reserve(entries.size());
+  side.set_offsets.reserve(entries.size() + 1);
+  side.set_offsets.push_back(0);
+  side.set_elements.reserve(total_elements);
+  for (const auto& [prefix, set] : entries) {
+    side.prefixes.push_back(prefix);
+    side.set_elements.insert(side.set_elements.end(), set->begin(), set->end());
+    side.set_offsets.push_back(static_cast<std::uint32_t>(side.set_elements.size()));
+  }
+
+  // Counting sort into the posting CSR: pass 1 counts per element, pass 2
+  // scatters dense ids in ascending order (so posting lists come out
+  // sorted without a per-list sort).
+  const std::size_t element_count = any_element ? static_cast<std::size_t>(max_element) + 1 : 0;
+  side.posting_offsets.assign(element_count + 1, 0);
+  for (const DomainId element : side.set_elements) ++side.posting_offsets[element + 1];
+  std::partial_sum(side.posting_offsets.begin(), side.posting_offsets.end(),
+                   side.posting_offsets.begin());
+
+  side.postings.resize(total_elements);
+  std::vector<std::uint32_t> cursor(side.posting_offsets.begin(),
+                                    side.posting_offsets.end() - 1);
+  for (std::uint32_t dense = 0; dense < side.prefixes.size(); ++dense) {
+    for (const DomainId element : side.elements_of(dense)) {
+      side.postings[cursor[element]++] = dense;
+    }
+  }
+  return side;
+}
+
+}  // namespace
+
+DetectIndex DetectIndex::build(const std::unordered_map<Prefix, DomainSet>& v4_sets,
+                               const std::unordered_map<Prefix, DomainSet>& v6_sets) {
+  DetectIndex index;
+  index.v4 = build_side(v4_sets);
+  index.v6 = build_side(v6_sets);
+  return index;
+}
+
+}  // namespace sp::core

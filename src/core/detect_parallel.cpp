@@ -1,0 +1,218 @@
+#include "core/detect_parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace sp::core {
+
+namespace {
+
+/// Source prefixes claimed per atomic fetch; large enough to amortize the
+/// counter, small enough to balance skewed prefix sizes.
+constexpr std::size_t kChunk = 32;
+
+/// Per-worker reusable state: candidate counts indexed by the target
+/// side's dense prefix id, a touched list so resets cost O(candidates),
+/// and the surviving tie list of the current source prefix.
+struct Scratch {
+  explicit Scratch(std::size_t target_prefixes) : counts(target_prefixes, 0) {}
+
+  struct Tie {
+    std::uint32_t dense = 0;
+    std::uint32_t shared = 0;
+    double value = 0.0;
+  };
+
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint32_t> touched;
+  std::vector<Tie> ties;
+};
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Emits the best-match pairs of one source prefix. Semantically identical
+/// to one iteration of detail::detect_direction: a candidate is emitted
+/// iff its value + kTieEpsilon >= the maximum value over all candidates,
+/// and the similarity doubles are produced by the same
+/// similarity_from_sizes calls, so emission is byte-identical.
+void scan_source(const DetectIndex::Side& from_side, const DetectIndex::Side& to_side,
+                 Family from, Metric metric, std::uint32_t source, Scratch& scratch,
+                 std::vector<SiblingPair>& out, DetectStats& stats) {
+  ++stats.prefixes_scanned;
+  const auto elements = from_side.elements_of(source);
+  for (const DomainId element : elements) {
+    for (const std::uint32_t candidate : to_side.postings_of(element)) {
+      if (scratch.counts[candidate]++ == 0) scratch.touched.push_back(candidate);
+    }
+  }
+  if (scratch.touched.empty()) return;
+
+  // Single pass: the running best only grows, so any tie pruned against an
+  // intermediate best would also be pruned against the final one; the
+  // emission filter below re-checks survivors against the final best.
+  double best = 0.0;
+  scratch.ties.clear();
+  stats.candidates_evaluated += scratch.touched.size();
+  for (const std::uint32_t candidate : scratch.touched) {
+    const std::uint32_t shared = scratch.counts[candidate];
+    scratch.counts[candidate] = 0;
+    const double value =
+        similarity_from_sizes(metric, shared, elements.size(), to_side.set_size(candidate));
+    if (value + detail::kTieEpsilon < best) continue;
+    if (value > best) {
+      best = value;
+      std::erase_if(scratch.ties, [best](const Scratch::Tie& tie) {
+        return tie.value + detail::kTieEpsilon < best;
+      });
+    }
+    scratch.ties.push_back({candidate, shared, value});
+  }
+  scratch.touched.clear();
+  if (best <= 0.0) return;
+
+  const bool from_v4 = from == Family::v4;
+  const Prefix& source_prefix = from_side.prefixes[source];
+  const auto source_size = static_cast<std::uint32_t>(elements.size());
+  for (const Scratch::Tie& tie : scratch.ties) {
+    if (tie.value + detail::kTieEpsilon < best) continue;
+    const Prefix& candidate_prefix = to_side.prefixes[tie.dense];
+    const std::uint32_t candidate_size = to_side.set_size(tie.dense);
+    SiblingPair pair;
+    pair.v4 = from_v4 ? source_prefix : candidate_prefix;
+    pair.v6 = from_v4 ? candidate_prefix : source_prefix;
+    pair.similarity = tie.value;
+    pair.shared_domains = tie.shared;
+    pair.v4_domain_count = from_v4 ? source_size : candidate_size;
+    pair.v6_domain_count = from_v4 ? candidate_size : source_size;
+    out.push_back(pair);
+    ++stats.pairs_emitted;
+  }
+}
+
+}  // namespace
+
+ParallelDetector::ParallelDetector(unsigned thread_count) {
+  if (thread_count == 0) thread_count = std::max(1u, std::thread::hardware_concurrency());
+  thread_count_ = std::min(thread_count, 64u);
+  // Worker 0 is the calling thread; only 1..thread_count-1 are pool threads.
+  workers_.reserve(thread_count_ - 1);
+  for (unsigned id = 1; id < thread_count_; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ParallelDetector::~ParallelDetector() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ParallelDetector::worker_loop(unsigned worker_id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(worker_id);
+    {
+      std::lock_guard lock(mutex_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelDetector::run_job(const std::function<void(unsigned)>& job) {
+  if (workers_.empty()) {
+    job(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &job;
+    ++generation_;
+    running_ = static_cast<unsigned>(workers_.size());
+  }
+  work_cv_.notify_all();
+  job(0);
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+}
+
+void ParallelDetector::detect_direction(const DetectIndex& index, Family from, Metric metric,
+                                        std::vector<SiblingPair>& out) {
+  const DetectIndex::Side& from_side = index.side(from);
+  const DetectIndex::Side& to_side =
+      index.side(from == Family::v4 ? Family::v6 : Family::v4);
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::size_t source_count = from_side.prefix_count();
+  std::vector<std::vector<SiblingPair>> buffers(thread_count_);
+  std::vector<DetectStats> locals(thread_count_);
+  std::atomic<std::size_t> next{0};
+
+  const std::function<void(unsigned)> job = [&](unsigned worker) {
+    Scratch scratch(to_side.prefix_count());
+    std::vector<SiblingPair>& buffer = buffers[worker];
+    DetectStats& local = locals[worker];
+    for (;;) {
+      const std::size_t begin = next.fetch_add(kChunk, std::memory_order_relaxed);
+      if (begin >= source_count) return;
+      const std::size_t end = std::min(source_count, begin + kChunk);
+      for (std::size_t source = begin; source < end; ++source) {
+        scan_source(from_side, to_side, from, metric, static_cast<std::uint32_t>(source),
+                    scratch, buffer, local);
+      }
+    }
+  };
+  run_job(job);
+
+  for (unsigned worker = 0; worker < thread_count_; ++worker) {
+    out.insert(out.end(), buffers[worker].begin(), buffers[worker].end());
+    stats_.prefixes_scanned += locals[worker].prefixes_scanned;
+    stats_.candidates_evaluated += locals[worker].candidates_evaluated;
+    stats_.pairs_emitted += locals[worker].pairs_emitted;
+  }
+  (from == Family::v4 ? stats_.v4_direction_ms : stats_.v6_direction_ms) = elapsed_ms(start);
+}
+
+std::vector<SiblingPair> ParallelDetector::detect(const DetectIndex& index,
+                                                  const DetectOptions& options) {
+  stats_ = DetectStats{};
+  stats_.threads_used = thread_count_;
+
+  std::vector<SiblingPair> pairs;
+  detect_direction(index, Family::v4, options.metric, pairs);
+  detect_direction(index, Family::v6, options.metric, pairs);
+
+  // Merge exactly as detail::detect_over: one global sort + dedup, which
+  // also erases any dependence on worker scheduling.
+  const auto merge_start = std::chrono::steady_clock::now();
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  stats_.merge_ms = elapsed_ms(merge_start);
+  return pairs;
+}
+
+std::vector<SiblingPair> ParallelDetector::detect(const DualStackCorpus& corpus,
+                                                  const DetectOptions& options) {
+  return detect(corpus.detect_index(), options);
+}
+
+std::vector<SiblingPair> ParallelDetector::detect(const SetCorpus& corpus,
+                                                  const DetectOptions& options) {
+  return detect(corpus.detect_index(), options);
+}
+
+}  // namespace sp::core

@@ -1,0 +1,87 @@
+// Sharded sibling detection engine (paper steps 3-4, production hot path).
+//
+// The serial reference (detail::detect_over in detect.h) walks every
+// source prefix, counts candidate counterparts in a fresh unordered_map,
+// and evaluates the similarity metric twice per candidate. This engine
+// keeps the exact output contract — the pair list is byte-identical to
+// the serial path for any corpus, metric, and thread count — but changes
+// the mechanics:
+//
+//   * Candidate counting indexes a reusable counts[dense_id] scratch array
+//     through the corpus's flat DetectIndex (detect_index.h) instead of
+//     hashing prefixes, with a touched-list reset so scratch stays O(hits).
+//   * The two similarity passes fold into one pass that tracks the running
+//     best value plus the surviving tie list (pruned as the best grows);
+//     the epsilon tie rule is evaluated against the same final best value
+//     as the serial code, so emission is identical.
+//   * Source prefixes of each direction are sharded in chunks over a
+//     reusable worker pool (mirroring SpTunerMs::tune_all_parallel's
+//     atomic-counter dispatch); per-worker output buffers are concatenated
+//     and then sorted + deduplicated exactly as detail::detect_over does,
+//     which makes the merge independent of scheduling.
+//
+// The pool threads persist across detect() calls, so a longitudinal run
+// over 49 snapshots pays thread start-up once.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/detect.h"
+#include "core/detect_index.h"
+
+namespace sp::core {
+
+class ParallelDetector {
+ public:
+  /// `thread_count` 0 picks the hardware concurrency (capped at 64, like
+  /// SpTunerMs). One worker runs inline on the calling thread, so
+  /// thread_count == 1 spawns no threads at all.
+  explicit ParallelDetector(unsigned thread_count = 0);
+  ~ParallelDetector();
+
+  ParallelDetector(const ParallelDetector&) = delete;
+  ParallelDetector& operator=(const ParallelDetector&) = delete;
+
+  /// Detection over a corpus's flat index. Output is sorted by (v4, v6)
+  /// and duplicate-free, byte-identical to detect_sibling_prefixes_serial.
+  [[nodiscard]] std::vector<SiblingPair> detect(const DetectIndex& index,
+                                                const DetectOptions& options = {});
+  [[nodiscard]] std::vector<SiblingPair> detect(const DualStackCorpus& corpus,
+                                                const DetectOptions& options = {});
+  /// SetCorpus detection requires finalize() (throws std::logic_error
+  /// otherwise).
+  [[nodiscard]] std::vector<SiblingPair> detect(const SetCorpus& corpus,
+                                                const DetectOptions& options = {});
+
+  /// Counters of the most recent detect() call.
+  [[nodiscard]] const DetectStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] unsigned thread_count() const noexcept { return thread_count_; }
+
+ private:
+  void worker_loop(unsigned worker_id);
+  /// Runs `job(worker_id)` on every worker (ids 0..thread_count-1, id 0 on
+  /// the calling thread) and returns when all have finished.
+  void run_job(const std::function<void(unsigned)>& job);
+
+  void detect_direction(const DetectIndex& index, Family from, Metric metric,
+                        std::vector<SiblingPair>& out);
+
+  unsigned thread_count_;
+  DetectStats stats_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sp::core

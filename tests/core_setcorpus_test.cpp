@@ -2,6 +2,8 @@
 // its equivalence with the DNS corpus on identical data.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/detect.h"
 #include "test_fixtures.h"
 
@@ -75,6 +77,82 @@ TEST(SetCorpus, BestMatchSemanticsMatchDnsCorpus) {
   generic.finalize();
   const auto generic_pairs = detect_sibling_prefixes(generic);
   EXPECT_EQ(generic_pairs, dns_pairs);
+}
+
+TEST(SetCorpus, AddAfterFinalizeThrows) {
+  SetCorpus corpus;
+  corpus.add(p("20.1.0.0/16"), 1);
+  EXPECT_FALSE(corpus.finalized());
+  corpus.finalize();
+  EXPECT_TRUE(corpus.finalized());
+  EXPECT_THROW(corpus.add(p("20.2.0.0/16"), 2), std::logic_error);
+  // The rejected add must not have corrupted anything.
+  EXPECT_EQ(corpus.domains_of(p("20.2.0.0/16")), nullptr);
+  EXPECT_EQ(corpus.detect_index().v4.prefix_count(), 1u);
+}
+
+TEST(SetCorpus, DetectIndexRequiresFinalize) {
+  SetCorpus corpus;
+  corpus.add(p("20.1.0.0/16"), 1);
+  EXPECT_THROW((void)corpus.detect_index(), std::logic_error);
+  EXPECT_THROW((void)detect_sibling_prefixes(corpus), std::logic_error);
+}
+
+TEST(SetCorpus, FinalizeIsIdempotent) {
+  SetCorpus corpus;
+  corpus.add(p("20.1.0.0/16"), 1);
+  corpus.add(p("2620:100::/48"), 1);
+  corpus.finalize();
+  corpus.finalize();
+  const auto pairs = detect_sibling_prefixes(corpus);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+}
+
+TEST(SetCorpus, DuplicateObservationsDoNotInflateSimilarity) {
+  // The same (prefix, element) observation repeated many times must count
+  // once everywhere: set sizes, shared counts, and the detection index.
+  SetCorpus corpus;
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    corpus.add(p("20.1.0.0/16"), 1);
+    corpus.add(p("20.1.0.0/16"), 2);
+    corpus.add(p("2620:100::/48"), 1);
+  }
+  corpus.add(p("2620:100::/48"), 2);
+  corpus.finalize();
+
+  const auto pairs = detect_sibling_prefixes(corpus);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+  EXPECT_EQ(pairs[0].shared_domains, 2u);
+  EXPECT_EQ(pairs[0].v4_domain_count, 2u);
+  EXPECT_EQ(pairs[0].v6_domain_count, 2u);
+}
+
+TEST(SetCorpus, ElementsPresentInOnlyOneFamily) {
+  // Family-exclusive elements (v4-only ports, v6-only rDNS names) must not
+  // generate candidates; only the shared element links the pair. The
+  // v6-only id is far above every v4 element id, exercising the posting
+  // bounds guard of the flat index.
+  SetCorpus corpus;
+  corpus.add(p("20.1.0.0/16"), 1);   // v4-only
+  corpus.add(p("20.1.0.0/16"), 2);   // shared
+  corpus.add(p("2620:100::/48"), 2);
+  corpus.add(p("2620:100::/48"), 900);  // v6-only, beyond the v4 id range
+  corpus.finalize();
+
+  const auto pairs = detect_sibling_prefixes(corpus);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].shared_domains, 1u);
+  // Jaccard: 1 shared of (2 + 2 - 1) = 1/3.
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0 / 3.0);
+
+  // Entirely disjoint element spaces yield no pairs at all.
+  SetCorpus disjoint;
+  disjoint.add(p("20.1.0.0/16"), 1);
+  disjoint.add(p("2620:100::/48"), 2);
+  disjoint.finalize();
+  EXPECT_TRUE(detect_sibling_prefixes(disjoint).empty());
 }
 
 TEST(SetCorpus, MetricsApply) {
