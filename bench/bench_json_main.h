@@ -1,0 +1,41 @@
+// Custom main for the google-benchmark binaries: accepts a friendlier
+// `--json <path>` (or `--json=<path>`) flag and translates it into
+// google-benchmark's --benchmark_out / --benchmark_out_format pair, so CI
+// and scripts can request machine-readable output uniformly.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spbench {
+
+inline int benchmark_json_main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      storage.push_back("--benchmark_out=" + std::string(argv[++i]));
+      storage.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      storage.push_back("--benchmark_out=" + std::string(arg.substr(7)));
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.emplace_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (auto& s : storage) args.push_back(s.data());
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace spbench

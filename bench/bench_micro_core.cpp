@@ -6,6 +6,7 @@
 #include <random>
 
 #include "bench_common.h"
+#include "bench_json_main.h"
 #include "core/detect_parallel.h"
 #include "dns/wire.h"
 #include "mrt/codec.h"
@@ -213,4 +214,4 @@ BENCHMARK(BM_HappyEyeballsRace);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return spbench::benchmark_json_main(argc, argv); }

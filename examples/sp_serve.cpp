@@ -1,0 +1,134 @@
+// The sibling lookup service CLI: load a .sibdb snapshot and answer
+// line-oriented queries from stdin — the operator-facing front of the
+// sp::serve subsystem.
+//
+//   sp_serve <db.sibdb>                    serve queries from stdin
+//   sp_serve --convert <in.csv> <out.sibdb>  CSV release -> binary snapshot
+//
+// Query protocol (one per line):
+//   <address>            LPM lookup, either family ("20.1.2.3", "2620:100::1")
+//   <prefix>             LPM lookup for a whole prefix ("20.1.0.0/16")
+//   RELOAD <path>        hot-swap to a new snapshot; queries keep serving
+//   STATS                print service counters
+//
+// Run: ./build/examples/sp_serve siblings.sibdb < queries.txt
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "serve/service.h"
+
+using namespace sp;
+
+namespace {
+
+void print_answer(const std::string& query, const serve::SiblingAnswer& answer,
+                  std::uint64_t generation) {
+  std::printf("HIT %s matched=%s sibling=%s similarity=%.9f shared=%u v4_domains=%u "
+              "v6_domains=%u gen=%llu\n",
+              query.c_str(), answer.matched.to_string().c_str(),
+              answer.sibling.to_string().c_str(), answer.similarity, answer.shared_domains,
+              answer.v4_domain_count, answer.v6_domain_count,
+              static_cast<unsigned long long>(generation));
+}
+
+void print_stats(const serve::ServiceStats& stats) {
+  std::printf("STATS gen=%llu queries=%llu hits=%llu misses=%llu batches=%llu "
+              "batch_queries=%llu reloads=%llu query_ms=%.3f batch_ms=%.3f\n",
+              static_cast<unsigned long long>(stats.generation),
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.batch_queries),
+              static_cast<unsigned long long>(stats.reloads), stats.query_ms_total,
+              stats.batch_ms_total);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sp_serve <db.sibdb>\n"
+               "       sp_serve --convert <in.csv> <out.sibdb>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--convert") {
+    if (argc != 4) return usage();
+    std::string error;
+    if (!serve::convert_sibling_list(argv[2], argv[3], &error)) {
+      std::fprintf(stderr, "convert failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::string load_error;
+    const auto db = serve::SiblingDB::load(argv[3], &load_error);
+    if (!db) {
+      std::fprintf(stderr, "wrote %s but it does not load back: %s\n", argv[3],
+                   load_error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %zu pairs, %zu bytes\n", argv[3], db->size(), db->mapped_bytes());
+    return 0;
+  }
+  if (argc != 2) return usage();
+
+  serve::SiblingService service;
+  std::string error;
+  if (!service.load(argv[1], &error)) {
+    std::fprintf(stderr, "cannot load %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  {
+    const auto snapshot = service.snapshot();
+    std::fprintf(stderr, "serving %s: %zu pairs (%zu v4 / %zu v6 prefixes)\n", argv[1],
+                 snapshot->db.size(), snapshot->engine.v4_prefix_count(),
+                 snapshot->engine.v6_prefix_count());
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "STATS") {
+      print_stats(service.stats());
+      continue;
+    }
+    if (line.rfind("RELOAD ", 0) == 0) {
+      const std::string path = line.substr(7);
+      if (service.load(path, &error)) {
+        std::printf("RELOADED %s gen=%llu\n", path.c_str(),
+                    static_cast<unsigned long long>(service.stats().generation));
+      } else {
+        std::printf("ERR reload %s: %s\n", path.c_str(), error.c_str());
+      }
+      continue;
+    }
+    const std::uint64_t generation = service.stats().generation;
+    if (line.find('/') != std::string::npos) {
+      const auto prefix = Prefix::from_string(line);
+      if (!prefix) {
+        std::printf("ERR bad prefix: %s\n", line.c_str());
+        continue;
+      }
+      if (const auto answer = service.query(*prefix)) {
+        print_answer(line, *answer, generation);
+      } else {
+        std::printf("MISS %s\n", line.c_str());
+      }
+      continue;
+    }
+    const auto address = IPAddress::from_string(line);
+    if (!address) {
+      std::printf("ERR bad address: %s\n", line.c_str());
+      continue;
+    }
+    if (const auto answer = service.query(*address)) {
+      print_answer(line, *answer, generation);
+    } else {
+      std::printf("MISS %s\n", line.c_str());
+    }
+  }
+  print_stats(service.stats());
+  return 0;
+}

@@ -13,7 +13,9 @@ cmake --build build -j "$JOBS"
 
 # Stage 2: race the threaded code paths under ThreadSanitizer. Only the
 # thread-bearing test binaries are built — the figure benches and examples
-# don't need instrumentation.
+# don't need instrumentation. The serve suite covers the RCU hot-reload
+# race and the pooled batch lookups.
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target core_detect_parallel_test core_sptuner_parallel_test
-(cd build-tsan && ctest --output-on-failure -j "$JOBS" -R 'DetectParallel|Parallel')
+cmake --build build-tsan -j "$JOBS" --target core_detect_parallel_test \
+  core_sptuner_parallel_test serve_lookup_test serve_service_test
+(cd build-tsan && ctest --output-on-failure -j "$JOBS" -R 'DetectParallel|Parallel|Serve')

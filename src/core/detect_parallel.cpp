@@ -95,60 +95,7 @@ void scan_source(const DetectIndex::Side& from_side, const DetectIndex::Side& to
 
 }  // namespace
 
-ParallelDetector::ParallelDetector(unsigned thread_count) {
-  if (thread_count == 0) thread_count = std::max(1u, std::thread::hardware_concurrency());
-  thread_count_ = std::min(thread_count, 64u);
-  // Worker 0 is the calling thread; only 1..thread_count-1 are pool threads.
-  workers_.reserve(thread_count_ - 1);
-  for (unsigned id = 1; id < thread_count_; ++id) {
-    workers_.emplace_back([this, id] { worker_loop(id); });
-  }
-}
-
-ParallelDetector::~ParallelDetector() {
-  {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-}
-
-void ParallelDetector::worker_loop(unsigned worker_id) {
-  std::uint64_t seen = 0;
-  for (;;) {
-    const std::function<void(unsigned)>* job = nullptr;
-    {
-      std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
-      if (stopping_) return;
-      seen = generation_;
-      job = job_;
-    }
-    (*job)(worker_id);
-    {
-      std::lock_guard lock(mutex_);
-      if (--running_ == 0) done_cv_.notify_all();
-    }
-  }
-}
-
-void ParallelDetector::run_job(const std::function<void(unsigned)>& job) {
-  if (workers_.empty()) {
-    job(0);
-    return;
-  }
-  {
-    std::lock_guard lock(mutex_);
-    job_ = &job;
-    ++generation_;
-    running_ = static_cast<unsigned>(workers_.size());
-  }
-  work_cv_.notify_all();
-  job(0);
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [&] { return running_ == 0; });
-}
+ParallelDetector::ParallelDetector(unsigned thread_count) : pool_(thread_count) {}
 
 void ParallelDetector::detect_direction(const DetectIndex& index, Family from, Metric metric,
                                         std::vector<SiblingPair>& out) {
@@ -158,8 +105,9 @@ void ParallelDetector::detect_direction(const DetectIndex& index, Family from, M
   const auto start = std::chrono::steady_clock::now();
 
   const std::size_t source_count = from_side.prefix_count();
-  std::vector<std::vector<SiblingPair>> buffers(thread_count_);
-  std::vector<DetectStats> locals(thread_count_);
+  const unsigned thread_count = pool_.thread_count();
+  std::vector<std::vector<SiblingPair>> buffers(thread_count);
+  std::vector<DetectStats> locals(thread_count);
   std::atomic<std::size_t> next{0};
 
   const std::function<void(unsigned)> job = [&](unsigned worker) {
@@ -176,9 +124,9 @@ void ParallelDetector::detect_direction(const DetectIndex& index, Family from, M
       }
     }
   };
-  run_job(job);
+  pool_.run(job);
 
-  for (unsigned worker = 0; worker < thread_count_; ++worker) {
+  for (unsigned worker = 0; worker < thread_count; ++worker) {
     out.insert(out.end(), buffers[worker].begin(), buffers[worker].end());
     stats_.prefixes_scanned += locals[worker].prefixes_scanned;
     stats_.candidates_evaluated += locals[worker].candidates_evaluated;
@@ -190,7 +138,7 @@ void ParallelDetector::detect_direction(const DetectIndex& index, Family from, M
 std::vector<SiblingPair> ParallelDetector::detect(const DetectIndex& index,
                                                   const DetectOptions& options) {
   stats_ = DetectStats{};
-  stats_.threads_used = thread_count_;
+  stats_.threads_used = pool_.thread_count();
 
   std::vector<SiblingPair> pairs;
   detect_direction(index, Family::v4, options.metric, pairs);

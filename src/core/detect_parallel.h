@@ -15,8 +15,9 @@
 //     the epsilon tie rule is evaluated against the same final best value
 //     as the serial code, so emission is identical.
 //   * Source prefixes of each direction are sharded in chunks over a
-//     reusable worker pool (mirroring SpTunerMs::tune_all_parallel's
-//     atomic-counter dispatch); per-worker output buffers are concatenated
+//     reusable WorkerPool (worker_pool.h, shared with the serving path;
+//     atomic-counter dispatch mirroring SpTunerMs::tune_all_parallel);
+//     per-worker output buffers are concatenated
 //     and then sorted + deduplicated exactly as detail::detect_over does,
 //     which makes the merge independent of scheduling.
 //
@@ -24,14 +25,11 @@
 // over 49 snapshots pays thread start-up once.
 #pragma once
 
-#include <condition_variable>
-#include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "core/detect.h"
 #include "core/detect_index.h"
+#include "core/worker_pool.h"
 
 namespace sp::core {
 
@@ -41,7 +39,6 @@ class ParallelDetector {
   /// SpTunerMs). One worker runs inline on the calling thread, so
   /// thread_count == 1 spawns no threads at all.
   explicit ParallelDetector(unsigned thread_count = 0);
-  ~ParallelDetector();
 
   ParallelDetector(const ParallelDetector&) = delete;
   ParallelDetector& operator=(const ParallelDetector&) = delete;
@@ -60,28 +57,14 @@ class ParallelDetector {
   /// Counters of the most recent detect() call.
   [[nodiscard]] const DetectStats& stats() const noexcept { return stats_; }
 
-  [[nodiscard]] unsigned thread_count() const noexcept { return thread_count_; }
+  [[nodiscard]] unsigned thread_count() const noexcept { return pool_.thread_count(); }
 
  private:
-  void worker_loop(unsigned worker_id);
-  /// Runs `job(worker_id)` on every worker (ids 0..thread_count-1, id 0 on
-  /// the calling thread) and returns when all have finished.
-  void run_job(const std::function<void(unsigned)>& job);
-
   void detect_direction(const DetectIndex& index, Family from, Metric metric,
                         std::vector<SiblingPair>& out);
 
-  unsigned thread_count_;
+  WorkerPool pool_;
   DetectStats stats_;
-
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(unsigned)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  unsigned running_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
 };
 
 }  // namespace sp::core

@@ -1,6 +1,7 @@
 #include "core/sibling_list_io.h"
 
 #include <charconv>
+#include <fstream>
 
 #include "io/csv.h"
 
@@ -43,31 +44,59 @@ bool write_sibling_list(const std::string& path, std::span<const SiblingPair> pa
   return io::write_csv_file(path, rows);
 }
 
-std::optional<std::vector<SiblingPair>> read_sibling_list(const std::string& path) {
-  const auto rows = io::read_csv_file(path);
-  if (!rows || rows->empty() || rows->front() != kHeader) return std::nullopt;
+namespace {
+
+/// Parses one data row; on failure returns the reason.
+const char* parse_row(const io::CsvRow& row, SiblingPair& pair) {
+  if (row.size() != kHeader.size()) return "wrong column count";
+  const auto v4 = Prefix::from_string(row[0]);
+  if (!v4 || v4->family() != Family::v4) return "bad v4_prefix";
+  const auto v6 = Prefix::from_string(row[1]);
+  if (!v6 || v6->family() != Family::v6) return "bad v6_prefix";
+  pair.v4 = *v4;
+  pair.v6 = *v6;
+  if (!parse_double(row[2], pair.similarity)) return "bad similarity";
+  if (!parse_number(row[3], pair.shared_domains)) return "bad shared_domains";
+  if (!parse_number(row[4], pair.v4_domain_count)) return "bad v4_domains";
+  if (!parse_number(row[5], pair.v6_domain_count)) return "bad v6_domains";
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<std::vector<SiblingPair>> read_sibling_list(const std::string& path,
+                                                          SiblingListError* error) {
+  const auto fail = [error](std::size_t line, std::string message) {
+    if (error != nullptr) *error = {line, std::move(message)};
+    return std::nullopt;
+  };
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(0, "cannot open file");
 
   std::vector<SiblingPair> pairs;
-  pairs.reserve(rows->size() - 1);
-  for (std::size_t i = 1; i < rows->size(); ++i) {
-    const io::CsvRow& row = (*rows)[i];
-    if (row.size() != kHeader.size()) return std::nullopt;
-    SiblingPair pair;
-    const auto v4 = Prefix::from_string(row[0]);
-    const auto v6 = Prefix::from_string(row[1]);
-    if (!v4 || v4->family() != Family::v4 || !v6 || v6->family() != Family::v6) {
-      return std::nullopt;
+  bool saw_header = false;
+  SiblingListError row_error;
+  const auto status = io::read_csv_stream(in, [&](io::CsvRow&& row, std::size_t line) {
+    if (!saw_header) {
+      if (row != kHeader) {
+        row_error = {line, "malformed header"};
+        return false;
+      }
+      saw_header = true;
+      return true;
     }
-    pair.v4 = *v4;
-    pair.v6 = *v6;
-    if (!parse_double(row[2], pair.similarity) ||
-        !parse_number(row[3], pair.shared_domains) ||
-        !parse_number(row[4], pair.v4_domain_count) ||
-        !parse_number(row[5], pair.v6_domain_count)) {
-      return std::nullopt;
+    SiblingPair pair;
+    if (const char* reason = parse_row(row, pair)) {
+      row_error = {line, reason};
+      return false;
     }
     pairs.push_back(pair);
-  }
+    return true;
+  });
+  if (!row_error.message.empty()) return fail(row_error.line, std::move(row_error.message));
+  if (!status.ok) return fail(status.error_line, "unbalanced quote");
+  if (!saw_header) return fail(0, "empty file");
   return pairs;
 }
 

@@ -5,6 +5,7 @@
 //   v4_prefix,v6_prefix,similarity,shared_domains,v4_domains,v6_domains
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <span>
 #include <string>
@@ -18,9 +19,19 @@ namespace sp::core {
 [[nodiscard]] bool write_sibling_list(const std::string& path,
                                       std::span<const SiblingPair> pairs);
 
-/// Reads a pair list previously written by write_sibling_list. Returns
-/// nullopt on I/O error, a malformed header, or any unparsable row.
+/// Why read_sibling_list failed. `line` is the 1-based CSV line of the
+/// offending row (0 for file-level failures such as an unopenable file).
+struct SiblingListError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Reads a pair list previously written by write_sibling_list, streaming
+/// rows instead of materializing the file (published lists reach millions
+/// of rows). Returns nullopt on I/O error, a malformed header, or any
+/// unparsable row; when `error` is non-null it receives the offending
+/// line and a reason.
 [[nodiscard]] std::optional<std::vector<SiblingPair>> read_sibling_list(
-    const std::string& path);
+    const std::string& path, SiblingListError* error = nullptr);
 
 }  // namespace sp::core

@@ -1,0 +1,55 @@
+// Reusable fork-join worker pool (extracted from ParallelDetector so the
+// serving path can share it).
+//
+// The pool runs one job at a time across `thread_count` workers: run()
+// invokes `job(worker_id)` once per worker (ids 0..thread_count-1) and
+// returns when every invocation has finished. Worker 0 executes on the
+// calling thread, so thread_count == 1 spawns no threads at all; pool
+// threads persist across run() calls, so repeated dispatch (49 snapshot
+// detections, every query_many batch) pays thread start-up once.
+//
+// run() is not reentrant and not thread-safe: callers that share a pool
+// across threads must serialize dispatch (SiblingService does so with a
+// mutex around its batch path).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sp::core {
+
+class WorkerPool {
+ public:
+  /// `thread_count` 0 picks the hardware concurrency (capped at 64, like
+  /// SpTunerMs).
+  explicit WorkerPool(unsigned thread_count = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs `job(worker_id)` on every worker (ids 0..thread_count-1, id 0 on
+  /// the calling thread) and returns when all have finished.
+  void run(const std::function<void(unsigned)>& job);
+
+  [[nodiscard]] unsigned thread_count() const noexcept { return thread_count_; }
+
+ private:
+  void worker_loop(unsigned worker_id);
+
+  unsigned thread_count_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sp::core

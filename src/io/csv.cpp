@@ -109,4 +109,81 @@ std::optional<std::vector<CsvRow>> read_csv_file(const std::string& path) {
   return parse_csv(text);
 }
 
+CsvStreamStatus read_csv_stream(std::istream& in,
+                                const std::function<bool(CsvRow&&, std::size_t)>& on_row) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool quote_pending = false;  // saw '"' inside quotes; '""' escapes, else closes
+  bool field_started = false;
+  bool stopped = false;
+  std::size_t line = 1;       // physical line of the cursor
+  std::size_t row_line = 1;   // physical line the current row started on
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    if (!row.empty() || field_started || !field.empty()) {
+      end_field();
+      if (!on_row(std::move(row), row_line)) stopped = true;
+      row.clear();
+    }
+  };
+
+  char buffer[1 << 16];
+  while (!stopped && in) {
+    in.read(buffer, sizeof buffer);
+    const auto got = static_cast<std::size_t>(in.gcount());
+    for (std::size_t i = 0; i < got && !stopped; ++i) {
+      const char c = buffer[i];
+      if (quote_pending) {
+        quote_pending = false;
+        if (c == '"') {
+          field.push_back('"');
+          continue;
+        }
+        in_quotes = false;  // the quote closed the field; reprocess c below
+      }
+      if (in_quotes) {
+        if (c == '"') {
+          quote_pending = true;
+        } else {
+          if (c == '\n') ++line;
+          field.push_back(c);
+        }
+        continue;
+      }
+      switch (c) {
+        case '"':
+          in_quotes = true;
+          field_started = true;
+          break;
+        case ',':
+          end_field();
+          field_started = true;  // next field exists even if empty
+          break;
+        case '\r':
+          break;  // tolerate CRLF
+        case '\n':
+          end_row();
+          ++line;
+          row_line = line;
+          break;
+        default:
+          field.push_back(c);
+          field_started = true;
+          break;
+      }
+    }
+  }
+  if (stopped) return {};
+  if (quote_pending) in_quotes = false;  // closing quote was the last byte
+  if (in_quotes) return {.ok = false, .error_line = row_line};
+  end_row();
+  return {};
+}
+
 }  // namespace sp::io

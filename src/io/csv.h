@@ -3,6 +3,8 @@
 // artifact and for exporting experiment series.
 #pragma once
 
+#include <functional>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -24,5 +26,20 @@ using CsvRow = std::vector<std::string>;
 
 /// Reads and parses a CSV file.
 [[nodiscard]] std::optional<std::vector<CsvRow>> read_csv_file(const std::string& path);
+
+/// Outcome of a streaming parse.
+struct CsvStreamStatus {
+  bool ok = true;              // false: unbalanced quote at end of input
+  std::size_t error_line = 0;  // 1-based row start line when !ok
+};
+
+/// Streams `in` row by row without materializing the document — the
+/// constant-memory path for large artifacts (published sibling lists).
+/// `on_row(row, line)` is called per completed row with the 1-based
+/// physical line the row starts on (quoted fields may span lines);
+/// returning false stops early (status stays ok). Same dialect as
+/// parse_csv: quoted fields, "" escapes, CRLF tolerated.
+[[nodiscard]] CsvStreamStatus read_csv_stream(
+    std::istream& in, const std::function<bool(CsvRow&&, std::size_t)>& on_row);
 
 }  // namespace sp::io

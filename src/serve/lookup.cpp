@@ -1,0 +1,94 @@
+#include "serve/lookup.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+namespace sp::serve {
+
+namespace {
+
+/// Addresses claimed per atomic fetch in query_many; batches are cheap per
+/// item, so chunks are larger than detection's.
+constexpr std::size_t kBatchChunk = 256;
+
+}  // namespace
+
+LookupEngine::LookupEngine(const SiblingDB& db) : db_(&db) {
+  // Pick one representative record per distinct stored prefix: the
+  // highest-similarity record, first-in-file on ties. The maps are
+  // transient; the engine keeps only the flat table and the trie.
+  std::unordered_map<Prefix, std::uint32_t> best_v4;
+  std::unordered_map<Prefix, std::uint32_t> best_v6;
+  best_v4.reserve(db.size());
+  best_v6.reserve(db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto record = static_cast<std::uint32_t>(i);
+    const auto consider = [&](std::unordered_map<Prefix, std::uint32_t>& best,
+                              const Prefix& prefix) {
+      const auto [it, inserted] = best.try_emplace(prefix, record);
+      if (!inserted && db.similarity(record) > db.similarity(it->second)) {
+        it->second = record;
+      }
+    };
+    consider(best_v4, db.v4_prefix(i));
+    consider(best_v6, db.v6_prefix(i));
+  }
+  v4_count_ = best_v4.size();
+  v6_count_ = best_v6.size();
+  for (const auto& [prefix, record] : best_v4) {
+    v4_lpm_.insert(prefix, record);
+    trie_.insert(prefix, record);
+  }
+  for (const auto& [prefix, record] : best_v6) trie_.insert(prefix, record);
+}
+
+SiblingAnswer LookupEngine::answer_from(std::uint32_t record, Family query_family) const {
+  SiblingAnswer answer;
+  const bool from_v4 = query_family == Family::v4;
+  answer.matched = from_v4 ? db_->v4_prefix(record) : db_->v6_prefix(record);
+  answer.sibling = from_v4 ? db_->v6_prefix(record) : db_->v4_prefix(record);
+  answer.similarity = db_->similarity(record);
+  answer.shared_domains = db_->shared_domains(record);
+  answer.v4_domain_count = db_->v4_domain_count(record);
+  answer.v6_domain_count = db_->v6_domain_count(record);
+  return answer;
+}
+
+std::optional<SiblingAnswer> LookupEngine::query(const IPAddress& address) const {
+  if (address.is_v4()) {
+    const std::uint32_t* record = v4_lpm_.lookup(address.v4());
+    if (record == nullptr) return std::nullopt;
+    return answer_from(*record, Family::v4);
+  }
+  const auto hit = trie_.longest_match(address);
+  if (!hit) return std::nullopt;
+  return answer_from(*hit->second, Family::v6);
+}
+
+std::optional<SiblingAnswer> LookupEngine::query(const Prefix& prefix) const {
+  const auto hit = trie_.longest_match(prefix);
+  if (!hit) return std::nullopt;
+  return answer_from(*hit->second, prefix.family());
+}
+
+std::vector<std::optional<SiblingAnswer>> LookupEngine::query_many(
+    std::span<const IPAddress> addresses, core::WorkerPool* pool) const {
+  std::vector<std::optional<SiblingAnswer>> answers(addresses.size());
+  if (pool == nullptr || pool->thread_count() <= 1 || addresses.size() <= kBatchChunk) {
+    for (std::size_t i = 0; i < addresses.size(); ++i) answers[i] = query(addresses[i]);
+    return answers;
+  }
+  std::atomic<std::size_t> next{0};
+  pool->run([&](unsigned) {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(kBatchChunk, std::memory_order_relaxed);
+      if (begin >= addresses.size()) return;
+      const std::size_t end = std::min(addresses.size(), begin + kBatchChunk);
+      for (std::size_t i = begin; i < end; ++i) answers[i] = query(addresses[i]);
+    }
+  });
+  return answers;
+}
+
+}  // namespace sp::serve

@@ -1,0 +1,96 @@
+#include "serve/service.h"
+
+namespace sp::serve {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
+}
+
+}  // namespace
+
+SiblingService::SiblingService(unsigned threads) : pool_(threads) {}
+
+bool SiblingService::load(const std::string& path, std::string* error) {
+  auto db = SiblingDB::load(path, error);
+  if (!db) return false;
+  // Build the replacement off to the side; readers keep serving the old
+  // snapshot until the single pointer swap below.
+  const std::uint64_t generation = next_generation_.fetch_add(1, std::memory_order_relaxed);
+  auto snapshot = std::make_shared<const Snapshot>(std::move(*db), path, generation);
+  {
+    std::lock_guard lock(current_mutex_);
+    current_ = std::move(snapshot);
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::shared_ptr<const Snapshot> SiblingService::snapshot() const {
+  std::lock_guard lock(current_mutex_);
+  return current_;
+}
+
+void SiblingService::count_query(bool hit, std::chrono::steady_clock::time_point start) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  query_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
+}
+
+std::optional<SiblingAnswer> SiblingService::query(const IPAddress& address) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto snap = snapshot();
+  std::optional<SiblingAnswer> answer;
+  if (snap) answer = snap->engine.query(address);
+  count_query(answer.has_value(), start);
+  return answer;
+}
+
+std::optional<SiblingAnswer> SiblingService::query(const Prefix& prefix) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto snap = snapshot();
+  std::optional<SiblingAnswer> answer;
+  if (snap) answer = snap->engine.query(prefix);
+  count_query(answer.has_value(), start);
+  return answer;
+}
+
+BatchResult SiblingService::query_many(std::span<const IPAddress> addresses) {
+  const auto start = std::chrono::steady_clock::now();
+  BatchResult result;
+  result.snapshot = snapshot();  // pin: the whole batch answers from here
+  if (result.snapshot) {
+    std::lock_guard lock(pool_mutex_);
+    result.answers = result.snapshot->engine.query_many(addresses, &pool_);
+  } else {
+    result.answers.assign(addresses.size(), std::nullopt);
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_queries_.fetch_add(addresses.size(), std::memory_order_relaxed);
+  std::uint64_t hit_count = 0;
+  for (const auto& answer : result.answers) hit_count += answer.has_value() ? 1 : 0;
+  batch_hits_.fetch_add(hit_count, std::memory_order_relaxed);
+  batch_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
+  return result;
+}
+
+ServiceStats SiblingService::stats() const {
+  ServiceStats out;
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.batch_queries = batch_queries_.load(std::memory_order_relaxed);
+  out.batch_hits = batch_hits_.load(std::memory_order_relaxed);
+  out.reloads = reloads_.load(std::memory_order_relaxed);
+  out.query_ms_total = static_cast<double>(query_ns_.load(std::memory_order_relaxed)) / 1e6;
+  out.batch_ms_total = static_cast<double>(batch_ns_.load(std::memory_order_relaxed)) / 1e6;
+  const auto snap = snapshot();
+  out.generation = snap ? snap->generation : 0;
+  return out;
+}
+
+}  // namespace sp::serve

@@ -1,0 +1,122 @@
+// SiblingService — concurrent lookup service over hot-swappable snapshots.
+//
+// A production consumer keeps answering queries while a newer published
+// list is rolled out. The service holds the current snapshot behind an
+// atomically swappable std::shared_ptr<const Snapshot> with RCU
+// semantics:
+//
+//   * readers grab the shared_ptr under a briefly-held pointer lock
+//     (copy only — never blocking on a reload's mmap or index build),
+//     pin the snapshot for the duration of one query or one whole
+//     batch, and drop the reference when done;
+//   * load() builds the new snapshot entirely off to the side (mmap +
+//     index build), then swaps the pointer in one assignment under the
+//     same lock; the old snapshot is freed by whichever side drops the
+//     last reference, so in-flight queries drain on the data they
+//     started with and no answer is ever torn across two snapshots.
+//
+// The slot is a mutex-guarded shared_ptr rather than
+// std::atomic<std::shared_ptr>: the critical section is a pointer copy,
+// and the mutex is visible to ThreadSanitizer, which verifies the
+// hot-reload race test (libstdc++'s lock-free _Sp_atomic spinlock is
+// not modeled by TSan and reports false races).
+//
+// Every batch is answered from exactly one snapshot (BatchResult pins
+// it), which is what the hot-reload race test asserts under TSan.
+//
+// Counters (queries, hits, misses, batches, reloads, latency sums) are
+// relaxed atomics: cheap on the hot path, exact totals when quiesced.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/worker_pool.h"
+#include "serve/lookup.h"
+#include "serve/sibdb.h"
+
+namespace sp::serve {
+
+/// An immutable loaded database + its lookup indexes. The engine holds a
+/// pointer into `db`, so the two live and die together.
+struct Snapshot {
+  Snapshot(SiblingDB loaded, std::string source_path, std::uint64_t gen)
+      : db(std::move(loaded)), engine(db), path(std::move(source_path)), generation(gen) {}
+
+  SiblingDB db;
+  LookupEngine engine;
+  std::string path;
+  std::uint64_t generation;  // monotonically increasing per successful load
+};
+
+/// Point-in-time service counters.
+struct ServiceStats {
+  std::uint64_t queries = 0;  // single queries (batch members not included)
+  std::uint64_t hits = 0;     // covered single queries
+  std::uint64_t misses = 0;   // uncovered single queries (or no snapshot)
+  std::uint64_t batches = 0;
+  std::uint64_t batch_queries = 0;  // addresses across all batches
+  std::uint64_t batch_hits = 0;
+  std::uint64_t reloads = 0;  // successful load() calls
+  double query_ms_total = 0.0;
+  double batch_ms_total = 0.0;
+  std::uint64_t generation = 0;  // 0 = nothing loaded yet
+};
+
+/// A batch answered from exactly one pinned snapshot.
+struct BatchResult {
+  std::shared_ptr<const Snapshot> snapshot;  // nullptr when nothing is loaded
+  std::vector<std::optional<SiblingAnswer>> answers;
+};
+
+class SiblingService {
+ public:
+  /// `threads` sizes the batch worker pool (0 = hardware concurrency).
+  explicit SiblingService(unsigned threads = 0);
+
+  SiblingService(const SiblingService&) = delete;
+  SiblingService& operator=(const SiblingService&) = delete;
+
+  /// Loads `path` and atomically swaps it in. On failure the current
+  /// snapshot stays live and `error` (when non-null) gets the reason.
+  [[nodiscard]] bool load(const std::string& path, std::string* error = nullptr);
+
+  /// The currently served snapshot (nullptr before the first load).
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Single-address lookup against the current snapshot.
+  [[nodiscard]] std::optional<SiblingAnswer> query(const IPAddress& address);
+
+  /// Prefix lookup (longest-prefix match) against the current snapshot.
+  [[nodiscard]] std::optional<SiblingAnswer> query(const Prefix& prefix);
+
+  /// Batched lookup pinned to one snapshot for the whole batch; sharded
+  /// over the service's worker pool. Thread-safe: concurrent batches are
+  /// serialized on the pool, concurrent load() needs no coordination.
+  [[nodiscard]] BatchResult query_many(std::span<const IPAddress> addresses);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  void count_query(bool hit, std::chrono::steady_clock::time_point start);
+
+  core::WorkerPool pool_;
+  std::mutex pool_mutex_;  // WorkerPool::run is not reentrant
+  std::atomic<std::uint64_t> next_generation_{1};
+  mutable std::mutex current_mutex_;  // guards the pointer copy/swap only
+  std::shared_ptr<const Snapshot> current_;
+
+  std::atomic<std::uint64_t> queries_{0}, hits_{0}, misses_{0};
+  std::atomic<std::uint64_t> batches_{0}, batch_queries_{0}, batch_hits_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> query_ns_{0}, batch_ns_{0};
+};
+
+}  // namespace sp::serve

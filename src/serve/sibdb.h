@@ -1,0 +1,115 @@
+// SiblingDB — the .sibdb binary snapshot format for published sibling
+// prefix lists.
+//
+// The paper publishes its lists as CSV artifacts; every consumer then
+// re-parses text and re-builds a longest-prefix-match structure per
+// process. A .sibdb file is the same data laid out for serving: a
+// versioned, checksummed, single-file columnar snapshot that is written
+// once from a pair list and loaded with one mmap — zero per-record
+// parsing on the read path, so a service restart or hot reload costs a
+// page-table setup, not a parse.
+//
+// File layout (little-endian, all offsets from the start of the file;
+// every section is 8-byte aligned; see DESIGN.md §3.2 for the byte-level
+// table):
+//
+//   header (128 bytes)
+//   v4_addr      pair_count × u32   IPv4 network address, host byte order
+//   v4_len       pair_count × u8    prefix length, 0..32
+//   v6_addr      pair_count × 16B   IPv6 network address, network order
+//   v6_len       pair_count × u8    prefix length, 0..128
+//   similarity   pair_count × f64   bit-exact detection output
+//   shared       pair_count × u32   shared domain count
+//   v4_count     pair_count × u32   v4-side domain count
+//   v6_count     pair_count × u32   v6-side domain count
+//   pool         NUL-terminated strings (pool[0] is the source label)
+//
+// The loader validates magic/version/endianness, the declared file size,
+// every section's bounds and alignment, prefix canonicality (length in
+// range, host bits zero), and an FNV-1a64 checksum over the whole file
+// (checksum field zeroed), so truncated or corrupted files are rejected
+// gracefully instead of crashing the reader.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/detect.h"
+#include "netbase/prefix.h"
+
+namespace sp::serve {
+
+/// Current format version; bumped on any layout change.
+inline constexpr std::uint32_t kSibDbVersion = 1;
+
+/// Writes `pairs` as a .sibdb snapshot. `source_label` is a free-form
+/// provenance string stored in the pool (e.g. the CSV the snapshot was
+/// converted from). Returns false on I/O error.
+[[nodiscard]] bool write_sibdb(const std::string& path, std::span<const core::SiblingPair> pairs,
+                               std::string_view source_label = {});
+
+/// Converts a published CSV list (core::read_sibling_list format) into a
+/// .sibdb snapshot. On failure returns false and, when `error` is
+/// non-null, stores a human-readable reason (including the offending CSV
+/// line for parse failures).
+[[nodiscard]] bool convert_sibling_list(const std::string& csv_path,
+                                        const std::string& sibdb_path,
+                                        std::string* error = nullptr);
+
+/// A loaded, memory-mapped snapshot. Move-only; the mapping lives until
+/// destruction. All accessors are zero-copy reads into the mapping.
+class SiblingDB {
+ public:
+  /// Maps and validates `path`. Returns nullopt on any validation or I/O
+  /// failure; when `error` is non-null it receives the reason.
+  [[nodiscard]] static std::optional<SiblingDB> load(const std::string& path,
+                                                     std::string* error = nullptr);
+
+  SiblingDB(SiblingDB&& other) noexcept;
+  SiblingDB& operator=(SiblingDB&& other) noexcept;
+  SiblingDB(const SiblingDB&) = delete;
+  SiblingDB& operator=(const SiblingDB&) = delete;
+  ~SiblingDB();
+
+  [[nodiscard]] std::size_t size() const noexcept { return pair_count_; }
+  [[nodiscard]] bool empty() const noexcept { return pair_count_ == 0; }
+
+  [[nodiscard]] Prefix v4_prefix(std::size_t i) const noexcept;
+  [[nodiscard]] Prefix v6_prefix(std::size_t i) const noexcept;
+  [[nodiscard]] double similarity(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint32_t shared_domains(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint32_t v4_domain_count(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint32_t v6_domain_count(std::size_t i) const noexcept;
+
+  /// Materializes record `i` as the in-memory pair type.
+  [[nodiscard]] core::SiblingPair pair(std::size_t i) const noexcept;
+
+  /// Provenance string recorded at write time (may be empty).
+  [[nodiscard]] std::string_view source_label() const noexcept { return source_label_; }
+
+  /// Total bytes mapped.
+  [[nodiscard]] std::size_t mapped_bytes() const noexcept { return mapped_bytes_; }
+
+ private:
+  SiblingDB() = default;
+  void reset() noexcept;
+
+  const std::uint8_t* data_ = nullptr;  // mmap base; nullptr when moved-from
+  std::size_t mapped_bytes_ = 0;
+  std::size_t pair_count_ = 0;
+  const std::uint32_t* v4_addr_ = nullptr;
+  const std::uint8_t* v4_len_ = nullptr;
+  const std::uint8_t* v6_addr_ = nullptr;  // 16 bytes per record
+  const std::uint8_t* v6_len_ = nullptr;
+  const double* similarity_ = nullptr;
+  const std::uint32_t* shared_ = nullptr;
+  const std::uint32_t* v4_count_ = nullptr;
+  const std::uint32_t* v6_count_ = nullptr;
+  std::string_view source_label_;
+};
+
+}  // namespace sp::serve

@@ -51,6 +51,11 @@
 #include "core/similarity.h"
 #include "core/sptuner.h"
 
+// Serving the published lists.
+#include "serve/lookup.h"
+#include "serve/service.h"
+#include "serve/sibdb.h"
+
 // Synthetic data, analysis and I/O.
 #include "analysis/stats.h"
 #include "analysis/table.h"

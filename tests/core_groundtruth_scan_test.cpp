@@ -185,6 +185,52 @@ TEST(SiblingListIo, RejectsMalformedFiles) {
   std::remove(path.c_str());
 }
 
+TEST(SiblingListIo, ReportsOffendingLineOnParseFailure) {
+  const std::string path = ::testing::TempDir() + "/sp_list_lineno.csv";
+  ASSERT_TRUE(sp::io::write_csv_file(
+      path, {{"v4_prefix", "v6_prefix", "similarity", "shared_domains", "v4_domains",
+              "v6_domains"},
+             {"20.1.0.0/16", "2620:100::/48", "1.0", "1", "1", "1"},
+             {"20.2.0.0/16", "2620:200::/48", "1.0", "1", "1", "1"},
+             {"20.3.0.0/16", "2620:300::/48", "broken", "1", "1", "1"}}));
+  SiblingListError error;
+  EXPECT_FALSE(read_sibling_list(path, &error).has_value());
+  EXPECT_EQ(error.line, 4u);
+  EXPECT_EQ(error.message, "bad similarity");
+
+  // A malformed header reports line 1; a missing file reports line 0.
+  ASSERT_TRUE(sp::io::write_csv_file(path, {{"nope"}, {"20.1.0.0/16"}}));
+  EXPECT_FALSE(read_sibling_list(path, &error).has_value());
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_EQ(error.message, "malformed header");
+  EXPECT_FALSE(read_sibling_list("/nonexistent/list.csv", &error).has_value());
+  EXPECT_EQ(error.line, 0u);
+  std::remove(path.c_str());
+}
+
+// The streaming reader handles lists bigger than its 64 KiB read chunks,
+// including rows that straddle a chunk boundary.
+TEST(SiblingListIo, StreamsListsLargerThanOneChunk) {
+  const std::string path = ::testing::TempDir() + "/sp_list_large.csv";
+  std::vector<SiblingPair> pairs;
+  pairs.reserve(4000);
+  for (int i = 0; i < 4000; ++i) {
+    pairs.push_back(make_pair(("20." + std::to_string(i / 250) + "." +
+                               std::to_string(i % 250) + ".0/24")
+                                  .c_str(),
+                              ("2620:" + std::to_string(i % 9000) + "::/48").c_str(),
+                              (i % 100) / 100.0, static_cast<std::uint32_t>(i)));
+  }
+  ASSERT_TRUE(write_sibling_list(path, pairs));
+  const auto loaded = read_sibling_list(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), pairs.size());
+  EXPECT_EQ((*loaded)[0].v4, pairs[0].v4);
+  EXPECT_EQ((*loaded)[3999].v4, pairs[3999].v4);
+  EXPECT_EQ((*loaded)[3999].shared_domains, 3999u);
+  std::remove(path.c_str());
+}
+
 TEST(ProbesIo, RoundTrips) {
   const std::string path = ::testing::TempDir() + "/sp_probes_test.csv";
   const std::vector<DualStackProbe> probes = {probe("20.1.5.5", "2620:100::5"),

@@ -1,0 +1,177 @@
+// Tests for SiblingService: counters, reload semantics, and the RCU
+// hot-reload race — one thread batching queries while another swaps
+// snapshots. Run under TSan by scripts/tier1.sh stage 2.
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sp::serve {
+namespace {
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+core::SiblingPair make_pair(const char* v4, const char* v6, double similarity) {
+  core::SiblingPair pair;
+  pair.v4 = p(v4);
+  pair.v6 = p(v6);
+  pair.similarity = similarity;
+  pair.shared_domains = 1;
+  pair.v4_domain_count = 1;
+  pair.v6_domain_count = 1;
+  return pair;
+}
+
+// A snapshot whose every record carries `similarity`, so any answer
+// reveals which snapshot produced it.
+std::string write_tagged_db(const std::string& name, double similarity) {
+  std::vector<core::SiblingPair> pairs = {
+      make_pair("20.1.0.0/16", "2620:100::/32", similarity),
+      make_pair("20.1.2.0/24", "2620:100:1::/48", similarity),
+      make_pair("198.51.100.0/24", "2001:db8:51::/48", similarity),
+  };
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(write_sibdb(path, pairs));
+  return path;
+}
+
+TEST(ServeService, EmptyServiceMissesEverything) {
+  SiblingService service(1);
+  EXPECT_EQ(service.snapshot(), nullptr);
+  EXPECT_FALSE(service.query(IPAddress(*IPv4Address::from_string("20.1.2.3"))).has_value());
+  const auto batch =
+      service.query_many(std::vector<IPAddress>{IPAddress(*IPv4Address::from_string("20.1.2.3"))});
+  EXPECT_EQ(batch.snapshot, nullptr);
+  ASSERT_EQ(batch.answers.size(), 1u);
+  EXPECT_FALSE(batch.answers[0].has_value());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.generation, 0u);
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ServeService, LoadFailureKeepsCurrentSnapshot) {
+  SiblingService service(1);
+  const std::string path = write_tagged_db("sp_service_keep.sibdb", 0.5);
+  ASSERT_TRUE(service.load(path));
+  const auto before = service.snapshot();
+  ASSERT_NE(before, nullptr);
+
+  std::string error;
+  EXPECT_FALSE(service.load(::testing::TempDir() + "/sp_service_missing.sibdb", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(service.snapshot(), before);  // old snapshot still serving
+  EXPECT_EQ(service.stats().reloads, 1u);
+}
+
+TEST(ServeService, CountersTrackQueriesAndBatches) {
+  SiblingService service(1);
+  ASSERT_TRUE(service.load(write_tagged_db("sp_service_counters.sibdb", 0.5)));
+
+  EXPECT_TRUE(service.query(IPAddress(*IPv4Address::from_string("20.1.2.3"))).has_value());
+  EXPECT_FALSE(service.query(IPAddress(*IPv4Address::from_string("21.0.0.1"))).has_value());
+  EXPECT_TRUE(service.query(p("20.1.0.0/16")).has_value());
+
+  std::vector<IPAddress> batch = {
+      IPAddress(*IPv4Address::from_string("20.1.2.3")),
+      IPAddress(*IPv4Address::from_string("21.0.0.1")),
+      *IPAddress::from_string("2620:100:1::5"),
+  };
+  const auto result = service.query_many(batch);
+  ASSERT_NE(result.snapshot, nullptr);
+  ASSERT_EQ(result.answers.size(), 3u);
+  EXPECT_TRUE(result.answers[0].has_value());
+  EXPECT_FALSE(result.answers[1].has_value());
+  EXPECT_TRUE(result.answers[2].has_value());
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.generation, 1u);
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batch_queries, 3u);
+  EXPECT_EQ(stats.batch_hits, 2u);
+}
+
+TEST(ServeService, ReloadBumpsGeneration) {
+  SiblingService service(1);
+  const std::string a = write_tagged_db("sp_service_gen_a.sibdb", 0.25);
+  const std::string b = write_tagged_db("sp_service_gen_b.sibdb", 0.75);
+  ASSERT_TRUE(service.load(a));
+  EXPECT_EQ(service.snapshot()->generation, 1u);
+  const auto hit_a = service.query(IPAddress(*IPv4Address::from_string("20.1.2.3")));
+  ASSERT_TRUE(hit_a.has_value());
+  EXPECT_EQ(hit_a->similarity, 0.25);
+
+  ASSERT_TRUE(service.load(b));
+  EXPECT_EQ(service.snapshot()->generation, 2u);
+  EXPECT_EQ(service.snapshot()->path, b);
+  const auto hit_b = service.query(IPAddress(*IPv4Address::from_string("20.1.2.3")));
+  ASSERT_TRUE(hit_b.has_value());
+  EXPECT_EQ(hit_b->similarity, 0.75);
+  EXPECT_EQ(service.stats().reloads, 2u);
+}
+
+// The hot-reload race the RCU design exists for: a reader thread issuing
+// query_many in a tight loop while a writer thread swaps snapshots
+// repeatedly. TSan must see no race, and every batch must be internally
+// consistent — all answers from exactly the snapshot the batch pinned,
+// never torn across two generations.
+TEST(ServeService, HotReloadUnderLoadNeverTearsABatch) {
+  SiblingService service(2);
+  const std::string a = write_tagged_db("sp_service_race_a.sibdb", 0.25);
+  const std::string b = write_tagged_db("sp_service_race_b.sibdb", 0.75);
+  ASSERT_TRUE(service.load(a));
+
+  // All probes hit, so every answer carries the snapshot tag.
+  std::vector<IPAddress> probes;
+  for (int i = 0; i < 32; ++i) {
+    probes.emplace_back(*IPv4Address::from_string("20.1.2." + std::to_string(i)));
+    probes.emplace_back(*IPAddress::from_string("2620:100:1::" + std::to_string(i + 1)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> batches_checked{0};
+  std::atomic<bool> torn{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed) ||
+           batches_checked.load(std::memory_order_relaxed) == 0) {
+      const auto result = service.query_many(probes);
+      if (result.snapshot == nullptr) continue;
+      // The tag every answer must carry, per the pinned snapshot.
+      const double expected = result.snapshot->db.similarity(0);
+      for (std::size_t i = 0; i < result.answers.size(); ++i) {
+        if (!result.answers[i].has_value() || result.answers[i]->similarity != expected) {
+          torn.store(true);
+          return;
+        }
+      }
+      batches_checked.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::thread writer([&] {
+    for (int swap = 0; swap < 60; ++swap) {
+      ASSERT_TRUE(service.load(swap % 2 == 0 ? b : a));
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_GT(batches_checked.load(), 0u);
+  EXPECT_EQ(service.stats().reloads, 61u);
+  EXPECT_EQ(service.snapshot()->generation, 61u);
+}
+
+}  // namespace
+}  // namespace sp::serve

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <random>
 
 #include "trie/prefix_trie.h"
@@ -64,6 +65,74 @@ TEST(FlatLpm4, DefaultRouteCoversEverything) {
   lpm.insert(p("0.0.0.0/0"), 0);
   EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("1.2.3.4")), 0);
   EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("255.255.255.255")), 0);
+}
+
+TEST(FlatLpm4, DefaultRouteLosesToAnyMoreSpecific) {
+  FlatLpm4<int> lpm;
+  lpm.insert(p("0.0.0.0/0"), 0);
+  lpm.insert(p("20.0.0.0/8"), 8);
+  lpm.insert(p("20.1.2.200/32"), 32);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("99.9.9.9")), 0);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.9.9.9")), 8);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.200")), 32);
+}
+
+TEST(FlatLpm4, HostRoutesMatchExactlyOneAddress) {
+  FlatLpm4<int> lpm;
+  lpm.insert(p("20.1.2.200/32"), 1);
+  lpm.insert(p("0.0.0.0/32"), 2);
+  lpm.insert(p("255.255.255.255/32"), 3);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.200")), 1);
+  EXPECT_EQ(lpm.lookup(*IPv4Address::from_string("20.1.2.199")), nullptr);
+  EXPECT_EQ(lpm.lookup(*IPv4Address::from_string("20.1.2.201")), nullptr);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("0.0.0.0")), 2);
+  EXPECT_EQ(lpm.lookup(*IPv4Address::from_string("0.0.0.1")), nullptr);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("255.255.255.255")), 3);
+  EXPECT_EQ(lpm.lookup(*IPv4Address::from_string("255.255.255.254")), nullptr);
+  EXPECT_EQ(lpm.size(), 3u);
+}
+
+// Overlapping inserts must give identical answers in either insert order,
+// both across the /24 boundary (direct table vs chunk) and within it.
+TEST(FlatLpm4, OverlappingInsertsOrderIndependent) {
+  const auto expect_answers = [](const FlatLpm4<int>& lpm) {
+    EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.9.9.9")), 8);
+    EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.9.9")), 16);
+    EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.9")), 24);
+    EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.130")), 25);
+    EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.2.200")), 32);
+  };
+  const Prefix prefixes[] = {p("20.0.0.0/8"), p("20.1.0.0/16"), p("20.1.2.0/24"),
+                             p("20.1.2.128/25"), p("20.1.2.200/32")};
+
+  FlatLpm4<int> short_to_long;
+  for (const auto& prefix : prefixes) {
+    short_to_long.insert(prefix, static_cast<int>(prefix.length()));
+  }
+  expect_answers(short_to_long);
+
+  FlatLpm4<int> long_to_short;
+  for (auto it = std::rbegin(prefixes); it != std::rend(prefixes); ++it) {
+    long_to_short.insert(*it, static_cast<int>(it->length()));
+  }
+  expect_answers(long_to_short);
+}
+
+TEST(FlatLpm4, UncoveredAddressMissesEvenNextToCoverage) {
+  FlatLpm4<int> lpm;
+  lpm.insert(p("20.1.2.0/24"), 24);
+  lpm.insert(p("20.1.4.128/25"), 25);
+  // Adjacent /24s on both sides are uncovered.
+  EXPECT_EQ(lpm.lookup(*IPv4Address::from_string("20.1.1.255")), nullptr);
+  EXPECT_EQ(lpm.lookup(*IPv4Address::from_string("20.1.3.0")), nullptr);
+  // The uncovered half of the chunked /24.
+  EXPECT_EQ(lpm.lookup(*IPv4Address::from_string("20.1.4.0")), nullptr);
+  EXPECT_EQ(lpm.lookup(*IPv4Address::from_string("20.1.4.127")), nullptr);
+  EXPECT_EQ(*lpm.lookup(*IPv4Address::from_string("20.1.4.128")), 25);
+  // An empty table misses everything.
+  FlatLpm4<int> empty;
+  EXPECT_EQ(empty.lookup(*IPv4Address::from_string("20.1.2.1")), nullptr);
+  EXPECT_EQ(empty.size(), 0u);
 }
 
 // Property: agrees with the Patricia trie on random tables, any insert
