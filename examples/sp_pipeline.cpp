@@ -1,11 +1,22 @@
 // sp_pipeline — the whole system as one command-line tool.
 //
-// Consumes the two files a real deployment would feed it:
-//   * an MRT TABLE_DUMP_V2 RIB dump (Routeviews format), and
-//   * a resolution-snapshot CSV (see io/snapshot_csv.h),
-// runs detection + SP-Tuner and writes the sibling-prefix list CSV.
+// Campaign mode runs the paper's longitudinal workflow as a checkpointed
+// stage DAG (src/pipeline): one RIB + snapshot + corpus + detection +
+// SP-Tuner + published list + .sibdb per month, consecutive-release
+// diffs, and a final longitudinal series. A killed run resumes from its
+// manifest, re-running only incomplete stages; the dated .sibdb outputs
+// are directly RELOAD-able by sp_serve.
 //
-// Usage:
+//   sp_pipeline run <out_dir> [--months N] [--orgs N] [--seed S]
+//                   [--threads T] [--v4 N] [--v6 N]
+//   sp_pipeline resume <out_dir> [--threads T]   # config from manifest.json
+//   sp_pipeline status <out_dir>                 # per-stage manifest table
+//
+// One-shot mode consumes the two files a real deployment would feed it —
+// an MRT TABLE_DUMP_V2 RIB dump (Routeviews format) and a
+// resolution-snapshot CSV (see io/snapshot_csv.h) — and runs detection +
+// SP-Tuner to a sibling-prefix list CSV:
+//
 //   sp_pipeline <rib.mrt> <snapshot.csv> <out.csv> [v4_threshold v6_threshold]
 //   sp_pipeline --demo                # generate inputs, then run on them
 #include <cstdio>
@@ -18,6 +29,7 @@
 #include "dns/zonefile.h"
 #include "io/snapshot_csv.h"
 #include "mrt/file.h"
+#include "pipeline/campaign.h"
 #include "synth/universe.h"
 
 #include <unordered_set>
@@ -114,15 +126,116 @@ int demo() {
   return run("demo_rib.mrt", "demo_snapshot.csv", "demo_siblings.csv", 28, 96);
 }
 
+// --- Campaign mode -------------------------------------------------------
+
+void print_stage(const pipeline::StageResult& result) {
+  if (result.status == pipeline::StageStatus::Failed ||
+      result.status == pipeline::StageStatus::Skipped) {
+    std::printf("[%s] %s%s%s\n", std::string(to_string(result.status)).c_str(),
+                result.name.c_str(), result.error.empty() ? "" : ": ",
+                result.error.c_str());
+    return;
+  }
+  std::printf("[%s] %s (%.1f ms)\n", std::string(to_string(result.status)).c_str(),
+              result.name.c_str(), result.wall_ms);
+}
+
+int run_campaign(pipeline::Campaign campaign, bool resume) {
+  const auto report = campaign.run(resume, print_stage);
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "error: %s\n", report.error.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu done, %zu cached, %zu failed, %zu skipped in %.1f ms "
+              "(peak RSS %ld KB)\nmanifest: %s\n",
+              report.ok ? "OK" : "FAILED", report.done_count, report.cached_count,
+              report.failed_count, report.skipped_count, report.total_wall_ms,
+              report.peak_rss_kb, report.manifest_path.c_str());
+  return report.ok ? 0 : 1;
+}
+
+int campaign_run(int argc, char** argv) {
+  pipeline::CampaignConfig config;
+  config.out_dir = argv[2];
+  config.synth.months = 6;
+  config.synth.organization_count = 300;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const long value = std::strtol(argv[i + 1], nullptr, 10);
+    if (flag == "--months") config.synth.months = static_cast<int>(value);
+    else if (flag == "--orgs") config.synth.organization_count = static_cast<int>(value);
+    else if (flag == "--seed") config.synth.seed = static_cast<std::uint64_t>(value);
+    else if (flag == "--threads") config.threads = static_cast<unsigned>(value);
+    else if (flag == "--v4") config.v4_threshold = static_cast<unsigned>(value);
+    else if (flag == "--v6") config.v6_threshold = static_cast<unsigned>(value);
+    else {
+      std::fprintf(stderr, "error: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  return run_campaign(pipeline::Campaign(std::move(config)), /*resume=*/false);
+}
+
+int campaign_resume(int argc, char** argv) {
+  const std::string out_dir = argv[2];
+  unsigned threads = 1;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    if (std::string(argv[i]) == "--threads") {
+      threads = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  std::string error;
+  const auto manifest =
+      pipeline::RunManifest::load(pipeline::Campaign::manifest_path(out_dir), &error);
+  if (!manifest) {
+    std::fprintf(stderr, "error: cannot load manifest: %s\n", error.c_str());
+    return 1;
+  }
+  auto config = pipeline::config_from_manifest(*manifest, out_dir, threads);
+  return run_campaign(pipeline::Campaign(std::move(config)), /*resume=*/true);
+}
+
+int campaign_status(const std::string& out_dir) {
+  std::string error;
+  const auto manifest =
+      pipeline::RunManifest::load(pipeline::Campaign::manifest_path(out_dir), &error);
+  if (!manifest) {
+    std::fprintf(stderr, "error: cannot load manifest: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", manifest->campaign.c_str());
+  std::size_t done = 0, cached = 0, failed = 0, skipped = 0;
+  for (const auto& stage : manifest->stages) {
+    std::printf("  %-8s %-28s %9.1f ms  %zu output%s%s%s\n", stage.status.c_str(),
+                stage.name.c_str(), stage.wall_ms, stage.outputs.size(),
+                stage.outputs.size() == 1 ? "" : "s", stage.error.empty() ? "" : "  ",
+                stage.error.c_str());
+    if (stage.status == "done") ++done;
+    else if (stage.status == "cached") ++cached;
+    else if (stage.status == "failed") ++failed;
+    else if (stage.status == "skipped") ++skipped;
+  }
+  std::printf("%zu stages: %zu done, %zu cached, %zu failed, %zu skipped\n",
+              manifest->stages.size(), done, cached, failed, skipped);
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 2 && std::string(argv[1]) == "--demo") return demo();
+  if (argc >= 3 && std::string(argv[1]) == "run") return campaign_run(argc, argv);
+  if (argc >= 3 && std::string(argv[1]) == "resume") return campaign_resume(argc, argv);
+  if (argc == 3 && std::string(argv[1]) == "status") return campaign_status(argv[2]);
   if (argc != 4 && argc != 6) {
     std::fprintf(stderr,
-                 "usage: %s <rib.mrt> <snapshot.csv|zonefile.zone> <out.csv> [v4_thresh v6_thresh]\n"
+                 "usage: %s run <out_dir> [--months N] [--orgs N] [--seed S] [--threads T]"
+                 " [--v4 N] [--v6 N]\n"
+                 "       %s resume <out_dir> [--threads T]\n"
+                 "       %s status <out_dir>\n"
+                 "       %s <rib.mrt> <snapshot.csv|zonefile.zone> <out.csv> [v4_thresh v6_thresh]\n"
                  "       %s --demo\n",
-                 argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   unsigned v4_threshold = 0;

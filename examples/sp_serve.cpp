@@ -9,6 +9,8 @@
 //   <address>            LPM lookup, either family ("20.1.2.3", "2620:100::1")
 //   <prefix>             LPM lookup for a whole prefix ("20.1.0.0/16")
 //   RELOAD <path>        hot-swap to a new snapshot; queries keep serving
+//   RELOAD               re-read the current snapshot's file (the
+//                        publisher — e.g. sp_pipeline — replaced it in place)
 //   STATS                print service counters
 //
 // Run: ./build/examples/sp_serve siblings.sibdb < queries.txt
@@ -92,6 +94,16 @@ int main(int argc, char** argv) {
     if (line.empty()) continue;
     if (line == "STATS") {
       print_stats(service.stats());
+      continue;
+    }
+    if (line == "RELOAD") {
+      if (service.reload(&error)) {
+        const auto snapshot = service.snapshot();
+        std::printf("RELOADED %s gen=%llu\n", snapshot->path.c_str(),
+                    static_cast<unsigned long long>(snapshot->generation));
+      } else {
+        std::printf("ERR reload: %s\n", error.c_str());
+      }
       continue;
     }
     if (line.rfind("RELOAD ", 0) == 0) {

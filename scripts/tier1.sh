@@ -14,8 +14,12 @@ cmake --build build -j "$JOBS"
 # Stage 2: race the threaded code paths under ThreadSanitizer. Only the
 # thread-bearing test binaries are built — the figure benches and examples
 # don't need instrumentation. The serve suite covers the RCU hot-reload
-# race and the pooled batch lookups.
+# race and the pooled batch lookups; the pipeline suite covers the DAG
+# scheduler (layered-graph stress on a multi-worker pool) and the worker
+# pool's task-queue mode it runs on.
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target core_detect_parallel_test \
-  core_sptuner_parallel_test serve_lookup_test serve_service_test
-(cd build-tsan && ctest --output-on-failure -j "$JOBS" -R 'DetectParallel|Parallel|Serve')
+  core_sptuner_parallel_test serve_lookup_test serve_service_test \
+  core_worker_pool_test pipeline_stage_graph_test
+(cd build-tsan && ctest --output-on-failure -j "$JOBS" \
+  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool')

@@ -58,6 +58,41 @@ void Rib::apply_updates(std::span<const mrt::MrtRecord> records) {
   }
 }
 
+std::vector<mrt::MrtRecord> Rib::to_mrt() const {
+  constexpr std::uint32_t kTimestamp = 1726000000;  // fixed export time
+  std::vector<mrt::MrtRecord> records;
+  records.reserve(trie_.size() + 1);
+
+  mrt::PeerIndexTable peers;
+  peers.collector_bgp_id = {192, 0, 2, 251};
+  peers.view_name = "sp-rib-export";
+  peers.peers.push_back({{192, 0, 2, 1}, IPAddress::must_parse("5.0.0.1"), 64500});
+  records.push_back({kTimestamp, peers});
+
+  std::uint32_t sequence = 0;
+  trie_.visit_all([&](const Prefix& prefix, const RouteVotes& votes) {
+    mrt::RibRecord rib;
+    rib.sequence = sequence++;
+    rib.prefix = prefix;
+    // One entry per vote preserves MOAS structure and majorities; the
+    // votes map is ordered by ASN, so the export is deterministic.
+    for (const auto& [origin, count] : votes.votes) {
+      mrt::RibEntry entry;
+      entry.peer_index = 0;
+      entry.originated_time = kTimestamp - 86400;
+      entry.attributes = mrt::PathAttributes::sequence({64500, origin});
+      if (prefix.family() == Family::v4) {
+        entry.attributes.next_hop_v4 = *IPv4Address::from_string("5.0.0.1");
+      } else {
+        entry.attributes.next_hop_v6 = *IPv6Address::from_string("2600:1::1");
+      }
+      for (std::uint32_t i = 0; i < count; ++i) rib.entries.push_back(entry);
+    }
+    records.push_back({kTimestamp, std::move(rib)});
+  });
+  return records;
+}
+
 std::size_t Rib::moas_count() const {
   std::size_t count = 0;
   trie_.visit_all([&count](const Prefix&, const RouteVotes& votes) {

@@ -79,6 +79,14 @@ class Rib {
   /// the update's AS_PATH origin. Non-update records are ignored.
   void apply_updates(std::span<const mrt::MrtRecord> records);
 
+  /// Exports the RIB as a TABLE_DUMP_V2 dump (PEER_INDEX_TABLE first, one
+  /// RIB record per stored prefix in prefix order, one entry per origin
+  /// vote) such that from_mrt(to_mrt()) reproduces this RIB exactly —
+  /// votes, MOAS structure and majority origins included. This is how the
+  /// campaign runner's evolve stages persist the month-m RIB after
+  /// replaying month-m updates onto the month-(m-1) artifact.
+  [[nodiscard]] std::vector<mrt::MrtRecord> to_mrt() const;
+
   /// Number of stored prefixes observed with multiple origin ASes.
   [[nodiscard]] std::size_t moas_count() const;
 

@@ -1,6 +1,7 @@
 #include "core/worker_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace sp::core {
 
@@ -21,24 +22,41 @@ WorkerPool::~WorkerPool() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // With no pool threads nothing ever drained the queue asynchronously —
+  // submit() ran everything inline — so tasks_ is empty here either way.
 }
 
 void WorkerPool::worker_loop(unsigned worker_id) {
   std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
   for (;;) {
-    const std::function<void(unsigned)>* job = nullptr;
-    {
-      std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
-      if (stopping_) return;
+    work_cv_.wait(lock, [&] {
+      return stopping_ || generation_ != seen || !tasks_.empty();
+    });
+    // Fork-join jobs first: a run() caller is blocked on every worker
+    // taking one turn, while queued tasks have no waiting caller.
+    if (generation_ != seen) {
       seen = generation_;
-      job = job_;
-    }
-    (*job)(worker_id);
-    {
-      std::lock_guard lock(mutex_);
+      const std::function<void(unsigned)>* job = job_;
+      lock.unlock();
+      (*job)(worker_id);
+      lock.lock();
       if (--running_ == 0) done_cv_.notify_all();
+      continue;
     }
+    if (!tasks_.empty()) {
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++active_tasks_;
+      lock.unlock();
+      task();
+      lock.lock();
+      if (--active_tasks_ == 0 && tasks_.empty()) idle_cv_.notify_all();
+      continue;
+    }
+    // Exit only once the queue has drained, so destruction never drops a
+    // submitted task.
+    if (stopping_) return;
   }
 }
 
@@ -57,6 +75,24 @@ void WorkerPool::run(const std::function<void(unsigned)>& job) {
   job(0);
   std::unique_lock lock(mutex_);
   done_cv_.wait(lock, [&] { return running_ == 0; });
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void WorkerPool::wait_idle() {
+  if (workers_.empty()) return;  // inline tasks finished inside submit()
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return tasks_.empty() && active_tasks_ == 0; });
 }
 
 }  // namespace sp::core

@@ -1,19 +1,43 @@
-// Reusable fork-join worker pool (extracted from ParallelDetector so the
-// serving path can share it).
+// Reusable worker pool shared by the parallel engines (extracted from
+// ParallelDetector so the serving path can share it) with two dispatch
+// modes over one set of persistent threads:
 //
-// The pool runs one job at a time across `thread_count` workers: run()
-// invokes `job(worker_id)` once per worker (ids 0..thread_count-1) and
-// returns when every invocation has finished. Worker 0 executes on the
-// calling thread, so thread_count == 1 spawns no threads at all; pool
-// threads persist across run() calls, so repeated dispatch (49 snapshot
-// detections, every query_many batch) pays thread start-up once.
+//  * Fork-join — run() invokes `job(worker_id)` once per worker (ids
+//    0..thread_count-1) and returns when every invocation has finished.
+//    Worker 0 executes on the calling thread, so thread_count == 1 spawns
+//    no threads at all. This is the parallel_for-style mode the detection
+//    and SP-Tuner engines use.
+//  * Task queue — submit() enqueues an independent task; pool threads
+//    drain the queue in FIFO order. This is the mode the sp::pipeline
+//    StageGraph scheduler dispatches DAG stages on, so campaign stages
+//    and parallel_for users share one pool. With no pool threads
+//    (thread_count == 1) a submitted task runs inline on the calling
+//    thread — submit() is then synchronous, which keeps single-threaded
+//    runs deterministic and dependency-ordered.
 //
-// run() is not reentrant and not thread-safe: callers that share a pool
-// across threads must serialize dispatch (SiblingService does so with a
-// mutex around its batch path).
+// Pool threads persist across dispatches, so repeated use (49 snapshot
+// detections, every query_many batch, hundreds of campaign stages) pays
+// thread start-up once.
+//
+// Sharing rules:
+//  * run() is not reentrant and not thread-safe: callers that share a
+//    pool across threads must serialize fork-join dispatch (SiblingService
+//    does so with a mutex around its batch path). A run() issued while
+//    queued tasks are executing waits for the busy workers to pick up the
+//    job after their current task.
+//  * submit() is thread-safe (tasks may submit further tasks).
+//  * A task must not issue a fork-join run() or a blocking wait_idle() on
+//    the pool executing it — every worker could end up waiting for the
+//    others and deadlock. Tasks needing inner parallelism use a different
+//    pool or run serial.
+//  * Tasks must not throw; an escaping exception terminates the process.
+//
+// Destruction drains the queue: every task submitted before ~WorkerPool
+// still runs.
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -35,6 +59,15 @@ class WorkerPool {
   /// the calling thread) and returns when all have finished.
   void run(const std::function<void(unsigned)>& job);
 
+  /// Enqueues one independent task for execution by a pool thread. When
+  /// the pool has no threads (thread_count == 1) the task runs inline
+  /// before submit() returns.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the task queue is empty and no submitted task is still
+  /// executing. Does not wait for fork-join jobs (run() already does).
+  void wait_idle();
+
   [[nodiscard]] unsigned thread_count() const noexcept { return thread_count_; }
 
  private:
@@ -45,9 +78,12 @@ class WorkerPool {
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
+  std::condition_variable idle_cv_;
   const std::function<void(unsigned)>* job_ = nullptr;
   std::uint64_t generation_ = 0;
   unsigned running_ = 0;
+  std::deque<std::function<void()>> tasks_;
+  unsigned active_tasks_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

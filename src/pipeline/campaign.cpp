@@ -1,0 +1,686 @@
+#include "pipeline/campaign.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "bgp/rib.h"
+#include "core/corpus.h"
+#include "core/detect.h"
+#include "core/sibling_diff.h"
+#include "core/sibling_list_io.h"
+#include "core/sptuner.h"
+#include "io/snapshot_csv.h"
+#include "mrt/file.h"
+#include "pipeline/checkpoint.h"
+#include "serve/sibdb.h"
+#include "synth/universe.h"
+
+namespace sp::pipeline {
+
+namespace {
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+bool mkdir_p(const std::string& dir, std::string* error) {
+  std::string partial;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') {
+      partial += dir[i];
+      continue;
+    }
+    if (i < dir.size()) partial += '/';
+    if (partial.empty() || partial == "/") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      if (error != nullptr) {
+        *error = "mkdir " + partial + ": " + std::strerror(errno);
+      }
+      return false;
+    }
+  }
+  struct stat info{};
+  if (::stat(dir.c_str(), &info) != 0 || !S_ISDIR(info.st_mode)) {
+    if (error != nullptr) *error = dir + " is not a directory";
+    return false;
+  }
+  return true;
+}
+
+[[nodiscard]] std::string manifest_status(StageStatus status) {
+  switch (status) {
+    case StageStatus::Done: return "done";
+    case StageStatus::Cached: return "cached";
+    case StageStatus::Failed: return "failed";
+    case StageStatus::Skipped: return "skipped";
+    case StageStatus::Pending:
+    case StageStatus::Running: break;
+  }
+  return "pending";  // not reachable for terminal results
+}
+
+/// One campaign execution: owns the universe, the graph, and the
+/// manifest bookkeeping. Stage bodies run on pool workers; every shared
+/// structure below is either sized before run() (states_, months_) with
+/// publication ordered by the graph's dependency edges, or guarded by
+/// its own mutex (pending_, manifest_, per-month corpus slots).
+class Runner {
+ public:
+  Runner(const CampaignConfig& config, bool resume,
+         std::function<void(const StageResult&)> observer)
+      : config_(config),
+        resume_(resume),
+        user_observer_(std::move(observer)),
+        universe_(config.synth) {}
+
+  CampaignReport run();
+
+ private:
+  using StageId = StageGraph::StageId;
+
+  struct StageState {
+    std::uint64_t outputs_hash = kFnvBasis;
+  };
+  struct MonthContext {
+    std::mutex mutex;
+    std::shared_ptr<const core::DualStackCorpus> corpus;
+  };
+
+  [[nodiscard]] std::string abs(const std::string& rel) const {
+    return config_.out_dir + "/" + rel;
+  }
+  [[nodiscard]] std::string ds(int month) const {
+    return universe_.date_of_month(month).to_string();
+  }
+  [[nodiscard]] std::string rib_name(int m) const { return "rib-" + ds(m) + ".mrt"; }
+  [[nodiscard]] std::string updates_name(int m) const { return "updates-" + ds(m) + ".mrt"; }
+  [[nodiscard]] std::string snapshot_name(int m) const { return "snapshot-" + ds(m) + ".csv"; }
+  [[nodiscard]] std::string corpus_name(int m) const { return "corpus-" + ds(m) + ".txt"; }
+  [[nodiscard]] std::string pairs_name(int m) const { return "pairs-" + ds(m) + ".csv"; }
+  [[nodiscard]] std::string tuned_name(int m) const { return "tuned-" + ds(m) + ".csv"; }
+  [[nodiscard]] std::string list_name(int m) const { return "siblings-" + ds(m) + ".csv"; }
+  [[nodiscard]] std::string sibdb_name(int m) const { return "siblings-" + ds(m) + ".sibdb"; }
+  [[nodiscard]] std::string diff_name(int m) const { return "diff-" + ds(m) + ".csv"; }
+
+  StageId add_stage(std::string name, std::vector<StageId> deps, std::uint64_t config_hash,
+                    std::vector<std::string> outputs, std::function<bool(std::string*)> body);
+  void build_graph();
+  void on_stage_result(const StageResult& result);
+
+  [[nodiscard]] bool write_mrt(const std::string& rel, std::span<const mrt::MrtRecord> records,
+                               std::string* error);
+  [[nodiscard]] bool write_pairs(const std::string& rel,
+                                 std::span<const core::SiblingPair> pairs, std::string* error);
+  [[nodiscard]] std::optional<std::vector<core::SiblingPair>> read_pairs(
+      const std::string& rel, std::string* error);
+  [[nodiscard]] std::shared_ptr<const core::DualStackCorpus> corpus_for(int month,
+                                                                        std::string* error);
+
+  CampaignConfig config_;
+  bool resume_;
+  std::function<void(const StageResult&)> user_observer_;
+  synth::SyntheticInternet universe_;
+
+  StageGraph graph_;
+  std::vector<StageState> states_;                  // by StageId, sized pre-run
+  std::vector<std::unique_ptr<MonthContext>> months_;
+
+  RunManifest old_;       // resume source (empty on fresh runs)
+  RunManifest manifest_;  // being written
+  std::string manifest_file_;
+  std::mutex manifest_mutex_;
+  std::string manifest_error_;  // first save failure, surfaced in the report
+
+  /// Stage bodies park their manifest record here; the graph observer —
+  /// which alone knows wall_ms/rss — completes and persists it.
+  std::mutex pending_mutex_;
+  std::unordered_map<std::string, StageRecord> pending_;
+};
+
+Runner::StageId Runner::add_stage(std::string name, std::vector<StageId> deps,
+                                  std::uint64_t config_hash, std::vector<std::string> outputs,
+                                  std::function<bool(std::string*)> body) {
+  const StageId id = graph_.size();
+  states_.push_back({});
+  auto fn = [this, id, name, deps, config_hash, outputs,
+             body = std::move(body)]() -> StageOutcome {
+    std::uint64_t inputs = fnv1a64(name);
+    inputs = fnv1a64_mix(config_hash, inputs);
+    // Parents published states_ before this stage became ready (ordered by
+    // the graph lock), so the chain below is race-free.
+    for (const StageId dep : deps) inputs = fnv1a64_mix(states_[dep].outputs_hash, inputs);
+
+    if (resume_) {
+      const StageRecord* checkpoint = old_.find(name);
+      if (checkpoint != nullptr &&
+          (checkpoint->status == "done" || checkpoint->status == "cached") &&
+          checkpoint->inputs_hash == inputs && checkpoint->outputs.size() == outputs.size()) {
+        bool valid = true;
+        std::uint64_t outputs_hash = kFnvBasis;
+        for (std::size_t i = 0; i < outputs.size(); ++i) {
+          const OutputRecord& recorded = checkpoint->outputs[i];
+          if (recorded.path != outputs[i]) {
+            valid = false;
+            break;
+          }
+          const auto on_disk = hash_file(abs(recorded.path));
+          if (!on_disk || *on_disk != recorded.hash) {
+            valid = false;  // missing/corrupted artifact ⇒ re-run
+            break;
+          }
+          outputs_hash = fnv1a64(recorded.path, outputs_hash);
+          outputs_hash = fnv1a64_mix(recorded.hash, outputs_hash);
+        }
+        if (valid) {
+          states_[id].outputs_hash = outputs_hash;
+          StageRecord record = *checkpoint;
+          record.status = "cached";
+          record.error.clear();
+          {
+            const std::lock_guard<std::mutex> lock(pending_mutex_);
+            pending_[name] = std::move(record);
+          }
+          return StageOutcome::hit();
+        }
+      }
+    }
+
+    std::string error;
+    if (!body(&error)) {
+      StageRecord record;
+      record.name = name;
+      record.status = "failed";
+      record.inputs_hash = inputs;
+      record.error = error;
+      {
+        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        pending_[name] = std::move(record);
+      }
+      return StageOutcome::failure(std::move(error));
+    }
+
+    StageRecord record;
+    record.name = name;
+    record.status = "done";
+    record.inputs_hash = inputs;
+    std::uint64_t outputs_hash = kFnvBasis;
+    for (const std::string& rel : outputs) {
+      const auto hash = hash_file(abs(rel));
+      if (!hash) {
+        std::string message = "stage completed without producing " + rel;
+        StageRecord failed;
+        failed.name = name;
+        failed.status = "failed";
+        failed.inputs_hash = inputs;
+        failed.error = message;
+        {
+          const std::lock_guard<std::mutex> lock(pending_mutex_);
+          pending_[name] = std::move(failed);
+        }
+        return StageOutcome::failure(std::move(message));
+      }
+      record.outputs.push_back({rel, *hash});
+      outputs_hash = fnv1a64(rel, outputs_hash);
+      outputs_hash = fnv1a64_mix(*hash, outputs_hash);
+    }
+    states_[id].outputs_hash = outputs_hash;
+    {
+      const std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_[name] = std::move(record);
+    }
+    return StageOutcome::success();
+  };
+  return graph_.add(std::move(name), std::move(deps), std::move(fn));
+}
+
+void Runner::on_stage_result(const StageResult& result) {
+  StageRecord record;
+  {
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    const auto it = pending_.find(result.name);
+    if (it != pending_.end()) {
+      record = std::move(it->second);
+      pending_.erase(it);
+    } else {
+      record.name = result.name;  // Skipped: the body never ran
+      record.error = result.error;
+    }
+  }
+  record.status = manifest_status(result.status);
+  record.wall_ms = result.wall_ms;
+  record.peak_rss_kb = result.peak_rss_kb;
+  {
+    const std::lock_guard<std::mutex> lock(manifest_mutex_);
+    manifest_.upsert(std::move(record));
+    std::string error;
+    if (!manifest_.save(manifest_file_, &error) && manifest_error_.empty()) {
+      manifest_error_ = "manifest save failed: " + error;
+    }
+  }
+  if (user_observer_) user_observer_(result);
+}
+
+bool Runner::write_mrt(const std::string& rel, std::span<const mrt::MrtRecord> records,
+                       std::string* error) {
+  const std::string path = abs(rel);
+  const std::string tmp = path + ".tmp";
+  if (!mrt::write_file(tmp, records)) {
+    *error = "cannot write " + tmp;
+    return false;
+  }
+  return finalize_output(tmp, path, error);
+}
+
+bool Runner::write_pairs(const std::string& rel, std::span<const core::SiblingPair> pairs,
+                         std::string* error) {
+  const std::string path = abs(rel);
+  const std::string tmp = path + ".tmp";
+  if (!core::write_sibling_list(tmp, pairs)) {
+    *error = "cannot write " + tmp;
+    return false;
+  }
+  return finalize_output(tmp, path, error);
+}
+
+std::optional<std::vector<core::SiblingPair>> Runner::read_pairs(const std::string& rel,
+                                                                 std::string* error) {
+  core::SiblingListError list_error;
+  auto pairs = core::read_sibling_list(abs(rel), &list_error);
+  if (!pairs) {
+    *error = "cannot read " + rel + ": " + list_error.message +
+             (list_error.line != 0 ? " (line " + std::to_string(list_error.line) + ")" : "");
+  }
+  return pairs;
+}
+
+std::shared_ptr<const core::DualStackCorpus> Runner::corpus_for(int month, std::string* error) {
+  MonthContext& context = *months_[static_cast<std::size_t>(month)];
+  const std::lock_guard<std::mutex> lock(context.mutex);
+  if (!context.corpus) {
+    std::string parse_error;
+    const auto records = mrt::read_file(abs(rib_name(month)), &parse_error);
+    if (!records) {
+      *error = "cannot read " + rib_name(month) + ": " + parse_error;
+      return nullptr;
+    }
+    const auto snapshot = io::read_snapshot_csv(abs(snapshot_name(month)));
+    if (!snapshot) {
+      *error = "cannot read " + snapshot_name(month);
+      return nullptr;
+    }
+    const bgp::Rib rib = bgp::Rib::from_mrt(*records);
+    context.corpus = std::make_shared<const core::DualStackCorpus>(
+        core::DualStackCorpus::build(*snapshot, rib));
+  }
+  return context.corpus;
+}
+
+void Runner::build_graph() {
+  const int months = universe_.month_count();
+  months_.clear();
+  for (int m = 0; m < months; ++m) months_.push_back(std::make_unique<MonthContext>());
+
+  // Per-stage config hash components: only the knobs that shape the
+  // stage's bytes, so a changed threshold leaves the detection cone
+  // cached (see campaign.h).
+  std::uint64_t synth_hash = kFnvBasis;
+  for (const auto& [key, value] : describe_config(config_)) {
+    if (key.rfind("synth.", 0) != 0) continue;
+    synth_hash = fnv1a64(key, synth_hash);
+    synth_hash = fnv1a64(value, synth_hash);
+  }
+  const std::uint64_t detect_hash = fnv1a64("jaccard");
+  std::uint64_t tuner_hash = fnv1a64_mix(config_.v4_threshold, kFnvBasis);
+  tuner_hash = fnv1a64_mix(config_.v6_threshold, tuner_hash);
+  const std::uint64_t sibdb_hash = fnv1a64_mix(serve::kSibDbVersion, kFnvBasis);
+
+  std::vector<StageId> evolve_ids(months), export_ids(months), corpus_ids(months),
+      detect_ids(months), tuner_ids(months), publish_ids(months), sibdb_ids(months);
+  std::vector<StageId> diff_ids;
+
+  for (int m = 0; m < months; ++m) {
+    const std::string d = ds(m);
+
+    std::vector<std::string> evolve_outputs =
+        m == 0 ? std::vector<std::string>{rib_name(0)}
+               : std::vector<std::string>{updates_name(m), rib_name(m)};
+    evolve_ids[m] = add_stage(
+        "evolve[" + d + "]",
+        m == 0 ? std::vector<StageId>{} : std::vector<StageId>{evolve_ids[m - 1]}, synth_hash,
+        std::move(evolve_outputs), [this, m](std::string* error) {
+          if (m == 0) return write_mrt(rib_name(0), universe_.mrt_dump_at(0), error);
+          std::string parse_error;
+          const auto previous = mrt::read_file(abs(rib_name(m - 1)), &parse_error);
+          if (!previous) {
+            *error = "cannot read " + rib_name(m - 1) + ": " + parse_error;
+            return false;
+          }
+          bgp::Rib rib = bgp::Rib::from_mrt(*previous);
+          const auto updates = universe_.bgp4mp_updates_at(m);
+          rib.apply_updates(updates);
+          return write_mrt(updates_name(m), updates, error) &&
+                 write_mrt(rib_name(m), rib.to_mrt(), error);
+        });
+
+    export_ids[m] = add_stage(
+        "export[" + d + "]", {evolve_ids[m]}, synth_hash, {snapshot_name(m)},
+        [this, m](std::string* error) {
+          const std::string path = abs(snapshot_name(m));
+          const std::string tmp = path + ".tmp";
+          if (!io::write_snapshot_csv(tmp, universe_.snapshot_at(m))) {
+            *error = "cannot write " + tmp;
+            return false;
+          }
+          return finalize_output(tmp, path, error);
+        });
+
+    corpus_ids[m] = add_stage(
+        "corpus[" + d + "]", {evolve_ids[m], export_ids[m]}, kFnvBasis, {corpus_name(m)},
+        [this, m](std::string* error) {
+          const auto corpus = corpus_for(m, error);
+          if (!corpus) return false;
+          const auto& stats = corpus->stats();
+          std::string text = "metric,value\n";
+          text += "snapshot_domains," + std::to_string(stats.snapshot_domains) + "\n";
+          text += "dual_stack_domains," + std::to_string(stats.dual_stack_domains) + "\n";
+          text += "v4_prefixes," + std::to_string(stats.v4_prefixes) + "\n";
+          text += "v6_prefixes," + std::to_string(stats.v6_prefixes) + "\n";
+          text += "discarded_reserved," + std::to_string(stats.discarded_reserved) + "\n";
+          text += "unmapped_addresses," + std::to_string(stats.unmapped_addresses) + "\n";
+          return atomic_write_file(abs(corpus_name(m)), text, error);
+        });
+
+    detect_ids[m] = add_stage(
+        "detect[" + d + "]", {corpus_ids[m]}, detect_hash, {pairs_name(m)},
+        [this, m](std::string* error) {
+          const auto corpus = corpus_for(m, error);
+          if (!corpus) return false;
+          // Serial inner engine: cross-month DAG concurrency is the
+          // parallelism; a nested fork-join on the executing pool would
+          // deadlock (worker_pool.h).
+          core::DetectOptions options;
+          options.threads = 1;
+          return write_pairs(pairs_name(m), core::detect_sibling_prefixes(*corpus, options),
+                             error);
+        });
+
+    tuner_ids[m] = add_stage(
+        "sptuner[" + d + "]", {detect_ids[m]}, tuner_hash, {tuned_name(m)},
+        [this, m](std::string* error) {
+          const auto corpus = corpus_for(m, error);
+          if (!corpus) return false;
+          const auto pairs = read_pairs(pairs_name(m), error);
+          if (!pairs) return false;
+          const core::SpTunerMs tuner(*corpus,
+                                      {config_.v4_threshold, config_.v6_threshold});
+          const bool ok = write_pairs(tuned_name(m), tuner.tune_all(*pairs).pairs, error);
+          // Last corpus consumer of the month: release the in-memory
+          // corpus so resident memory tracks months in flight.
+          const std::lock_guard<std::mutex> lock(
+              months_[static_cast<std::size_t>(m)]->mutex);
+          months_[static_cast<std::size_t>(m)]->corpus.reset();
+          return ok;
+        });
+
+    publish_ids[m] = add_stage(
+        "publish[" + d + "]", {tuner_ids[m]}, kFnvBasis, {list_name(m)},
+        [this, m](std::string* error) {
+          const auto pairs = read_pairs(tuned_name(m), error);
+          if (!pairs) return false;
+          return write_pairs(list_name(m), *pairs, error);
+        });
+
+    sibdb_ids[m] = add_stage(
+        "sibdb[" + d + "]", {publish_ids[m]}, sibdb_hash, {sibdb_name(m)},
+        [this, m](std::string* error) {
+          const auto pairs = read_pairs(list_name(m), error);
+          if (!pairs) return false;
+          const std::string path = abs(sibdb_name(m));
+          const std::string tmp = path + ".tmp";
+          // The relative CSV name as provenance label keeps .sibdb bytes
+          // independent of the run directory (the resume test's
+          // byte-identity contract).
+          if (!serve::write_sibdb(tmp, *pairs, list_name(m))) {
+            *error = "cannot write " + tmp;
+            return false;
+          }
+          return finalize_output(tmp, path, error);
+        });
+
+    if (m > 0) {
+      diff_ids.push_back(add_stage(
+          "diff[" + ds(m - 1) + ".." + d + "]", {publish_ids[m - 1], publish_ids[m]},
+          kFnvBasis, {diff_name(m)}, [this, m](std::string* error) {
+            const auto old_list = read_pairs(list_name(m - 1), error);
+            if (!old_list) return false;
+            const auto new_list = read_pairs(list_name(m), error);
+            if (!new_list) return false;
+            const auto diff = core::diff_sibling_lists(*old_list, *new_list);
+            std::string text = "metric,value\n";
+            text += "added," + std::to_string(diff.added.size()) + "\n";
+            text += "removed," + std::to_string(diff.removed.size()) + "\n";
+            text += "changed," + std::to_string(diff.changed.size()) + "\n";
+            text += "unchanged," + std::to_string(diff.unchanged.size()) + "\n";
+            return atomic_write_file(abs(diff_name(m)), text, error);
+          }));
+    }
+  }
+
+  std::vector<StageId> fan_in = publish_ids;
+  fan_in.insert(fan_in.end(), diff_ids.begin(), diff_ids.end());
+  add_stage("longitudinal", std::move(fan_in), kFnvBasis, {"longitudinal.csv"},
+            [this, months](std::string* error) {
+              std::string text =
+                  "date,pairs,mean_similarity,v4_prefixes,v6_prefixes,added,removed,"
+                  "changed,unchanged\n";
+              std::vector<core::SiblingPair> previous;
+              for (int m = 0; m < months; ++m) {
+                const auto pairs = read_pairs(list_name(m), error);
+                if (!pairs) return false;
+                double similarity_sum = 0.0;
+                for (const auto& pair : *pairs) similarity_sum += pair.similarity;
+                const double mean =
+                    pairs->empty() ? 0.0 : similarity_sum / static_cast<double>(pairs->size());
+                char mean_text[32];
+                std::snprintf(mean_text, sizeof mean_text, "%.6f", mean);
+                text += ds(m) + "," + std::to_string(pairs->size()) + "," + mean_text + "," +
+                        std::to_string(core::unique_prefix_count(*pairs, Family::v4)) + "," +
+                        std::to_string(core::unique_prefix_count(*pairs, Family::v6));
+                if (m == 0) {
+                  text += ",0,0,0,0\n";
+                } else {
+                  const auto diff = core::diff_sibling_lists(previous, *pairs);
+                  text += "," + std::to_string(diff.added.size()) + "," +
+                          std::to_string(diff.removed.size()) + "," +
+                          std::to_string(diff.changed.size()) + "," +
+                          std::to_string(diff.unchanged.size()) + "\n";
+                }
+                previous = std::move(*pairs);
+              }
+              return atomic_write_file(abs("longitudinal.csv"), text, error);
+            });
+}
+
+CampaignReport Runner::run() {
+  CampaignReport report;
+  if (!mkdir_p(config_.out_dir, &report.error)) return report;
+  manifest_file_ = Campaign::manifest_path(config_.out_dir);
+  report.manifest_path = manifest_file_;
+
+  if (resume_) {
+    // A missing or corrupt manifest simply means nothing can be skipped.
+    if (auto loaded = RunManifest::load(manifest_file_)) old_ = std::move(*loaded);
+  }
+  manifest_.campaign = "sibling-prefixes " + std::to_string(universe_.month_count()) +
+                       "-month campaign ending " + ds(universe_.month_count() - 1);
+  manifest_.config = describe_config(config_);
+
+  build_graph();
+  graph_.set_observer([this](const StageResult& result) { on_stage_result(result); });
+
+  core::WorkerPool pool(config_.threads);
+  const bool graph_ok = graph_.run(pool);
+
+  {
+    const std::lock_guard<std::mutex> lock(manifest_mutex_);
+    report.error = manifest_error_;
+  }
+  report.ok = graph_ok && report.error.empty();
+  report.stages = graph_.results();
+  for (const StageResult& stage : report.stages) {
+    switch (stage.status) {
+      case StageStatus::Done: ++report.done_count; break;
+      case StageStatus::Cached: ++report.cached_count; break;
+      case StageStatus::Failed: ++report.failed_count; break;
+      case StageStatus::Skipped: ++report.skipped_count; break;
+      case StageStatus::Pending:
+      case StageStatus::Running: break;
+    }
+    report.peak_rss_kb = std::max(report.peak_rss_kb, stage.peak_rss_kb);
+  }
+  return report;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> describe_config(const CampaignConfig& config) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  const synth::SynthConfig& s = config.synth;
+  const auto put = [&kvs](const char* key, std::string value) {
+    kvs.emplace_back(key, std::move(value));
+  };
+  put("synth.seed", std::to_string(s.seed));
+  put("synth.months", std::to_string(s.months));
+  put("synth.end_date", s.end_date.to_string());
+  put("synth.organization_count", std::to_string(s.organization_count));
+  put("synth.eyeball_share", format_double(s.eyeball_share));
+  put("synth.hg_prefix_scale", format_double(s.hg_prefix_scale));
+  put("synth.domains_per_org", format_double(s.domains_per_org));
+  put("synth.ds_share_start", format_double(s.ds_share_start));
+  put("synth.ds_share_end", format_double(s.ds_share_end));
+  put("synth.single_prefix_org_share", format_double(s.single_prefix_org_share));
+  put("synth.structured_org_share", format_double(s.structured_org_share));
+  put("synth.separate_v6_asn_share", format_double(s.separate_v6_asn_share));
+  put("synth.multi_org_domain_share", format_double(s.multi_org_domain_share));
+  put("synth.monitoring_org", s.monitoring_org ? "true" : "false");
+  put("synth.monitoring_v4_prefixes", std::to_string(s.monitoring_v4_prefixes));
+  put("synth.monitoring_v6_prefixes", std::to_string(s.monitoring_v6_prefixes));
+  put("synth.always_visible_share", format_double(s.always_visible_share));
+  put("synth.once_visible_share", format_double(s.once_visible_share));
+  put("synth.intermittent_visibility", format_double(s.intermittent_visibility));
+  put("synth.v4_prefix_change_share", format_double(s.v4_prefix_change_share));
+  put("synth.v6_prefix_change_share", format_double(s.v6_prefix_change_share));
+  put("synth.address_change_share", format_double(s.address_change_share));
+  put("synth.rpki_adopter_share", format_double(s.rpki_adopter_share));
+  put("synth.rpki_wrong_origin_share", format_double(s.rpki_wrong_origin_share));
+  put("synth.rpki_short_maxlen_share", format_double(s.rpki_short_maxlen_share));
+  put("synth.scan_silent_org_share", format_double(s.scan_silent_org_share));
+  put("synth.scan_port_flip_probability", format_double(s.scan_port_flip_probability));
+  put("synth.probe_count", std::to_string(s.probe_count));
+  put("synth.probe_full_coverage_share", format_double(s.probe_full_coverage_share));
+  put("synth.probe_partial_coverage_share", format_double(s.probe_partial_coverage_share));
+  put("synth.probe_same_group_share", format_double(s.probe_same_group_share));
+  put("v4_threshold", std::to_string(config.v4_threshold));
+  put("v6_threshold", std::to_string(config.v6_threshold));
+  return kvs;
+}
+
+CampaignConfig config_from_manifest(const RunManifest& manifest, std::string out_dir,
+                                    unsigned threads) {
+  CampaignConfig config;
+  config.out_dir = std::move(out_dir);
+  config.threads = threads;
+  synth::SynthConfig& s = config.synth;
+
+  const auto get = [&manifest](const char* key) { return manifest.config_value(key); };
+  const auto get_u64 = [&get](const char* key, std::uint64_t& out) {
+    const std::string value = get(key);
+    if (!value.empty()) out = std::strtoull(value.c_str(), nullptr, 10);
+  };
+  const auto get_int = [&get](const char* key, int& out) {
+    const std::string value = get(key);
+    if (!value.empty()) out = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+  };
+  const auto get_unsigned = [&get](const char* key, unsigned& out) {
+    const std::string value = get(key);
+    if (!value.empty()) out = static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+  };
+  const auto get_double = [&get](const char* key, double& out) {
+    const std::string value = get(key);
+    if (!value.empty()) out = std::strtod(value.c_str(), nullptr);
+  };
+  const auto get_bool = [&get](const char* key, bool& out) {
+    const std::string value = get(key);
+    if (!value.empty()) out = value == "true";
+  };
+
+  get_u64("synth.seed", s.seed);
+  get_int("synth.months", s.months);
+  const std::string end_date = get("synth.end_date");
+  int year = 0, month = 0, day = 0;
+  if (std::sscanf(end_date.c_str(), "%d-%d-%d", &year, &month, &day) == 3) {
+    s.end_date = Date{year, month, day};
+  }
+  get_int("synth.organization_count", s.organization_count);
+  get_double("synth.eyeball_share", s.eyeball_share);
+  get_double("synth.hg_prefix_scale", s.hg_prefix_scale);
+  get_double("synth.domains_per_org", s.domains_per_org);
+  get_double("synth.ds_share_start", s.ds_share_start);
+  get_double("synth.ds_share_end", s.ds_share_end);
+  get_double("synth.single_prefix_org_share", s.single_prefix_org_share);
+  get_double("synth.structured_org_share", s.structured_org_share);
+  get_double("synth.separate_v6_asn_share", s.separate_v6_asn_share);
+  get_double("synth.multi_org_domain_share", s.multi_org_domain_share);
+  get_bool("synth.monitoring_org", s.monitoring_org);
+  get_int("synth.monitoring_v4_prefixes", s.monitoring_v4_prefixes);
+  get_int("synth.monitoring_v6_prefixes", s.monitoring_v6_prefixes);
+  get_double("synth.always_visible_share", s.always_visible_share);
+  get_double("synth.once_visible_share", s.once_visible_share);
+  get_double("synth.intermittent_visibility", s.intermittent_visibility);
+  get_double("synth.v4_prefix_change_share", s.v4_prefix_change_share);
+  get_double("synth.v6_prefix_change_share", s.v6_prefix_change_share);
+  get_double("synth.address_change_share", s.address_change_share);
+  get_double("synth.rpki_adopter_share", s.rpki_adopter_share);
+  get_double("synth.rpki_wrong_origin_share", s.rpki_wrong_origin_share);
+  get_double("synth.rpki_short_maxlen_share", s.rpki_short_maxlen_share);
+  get_double("synth.scan_silent_org_share", s.scan_silent_org_share);
+  get_double("synth.scan_port_flip_probability", s.scan_port_flip_probability);
+  get_int("synth.probe_count", s.probe_count);
+  get_double("synth.probe_full_coverage_share", s.probe_full_coverage_share);
+  get_double("synth.probe_partial_coverage_share", s.probe_partial_coverage_share);
+  get_double("synth.probe_same_group_share", s.probe_same_group_share);
+  get_unsigned("v4_threshold", config.v4_threshold);
+  get_unsigned("v6_threshold", config.v6_threshold);
+  return config;
+}
+
+CampaignReport Campaign::run(bool resume, std::function<void(const StageResult&)> observer) {
+  const auto start = std::chrono::steady_clock::now();
+  CampaignReport report;
+  if (config_.out_dir.empty()) {
+    report.error = "out_dir must be set";
+    return report;
+  }
+  if (config_.synth.months <= 0) {
+    report.error = "campaign needs at least one month";
+    return report;
+  }
+  Runner runner(config_, resume, std::move(observer));
+  report = runner.run();
+  report.total_wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace sp::pipeline

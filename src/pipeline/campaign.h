@@ -1,0 +1,119 @@
+// Campaign — the paper's longitudinal workflow (49 monthly snapshots,
+// Sep 2020 → Sep 2024) as a checkpointed stage DAG.
+//
+// Per month m (dated d):
+//
+//   evolve[d]   month-0: full synthetic TABLE_DUMP_V2 dump; month-m:
+//               parse the month-(m-1) RIB artifact, replay that month's
+//               BGP4MP updates, export the evolved RIB (bgp::Rib::to_mrt)
+//               → rib-<d>.mrt (+ updates-<d>.mrt). Depends on
+//               evolve[m-1]: the cross-month chain of the DAG.
+//   export[d]   resolution snapshot CSV → snapshot-<d>.csv
+//   corpus[d]   rib + snapshot files → DualStackCorpus (kept in memory
+//               for the month's detect/sptuner stages) + corpus-<d>.txt
+//               stats marker
+//   detect[d]   sibling pair detection → pairs-<d>.csv
+//   sptuner[d]  SP-Tuner-MS refinement  → tuned-<d>.csv
+//   publish[d]  canonical published list → siblings-<d>.csv
+//   sibdb[d]    binary serving snapshot → siblings-<d>.sibdb (directly
+//               RELOAD-able by sp_serve)
+//   diff[d',d]  release diff of consecutive published lists → diff-<d>.csv
+//   longitudinal  fan-in over every published list + diff → longitudinal.csv
+//
+// Months are independent except for the evolve chain, so a multi-worker
+// pool pipelines them: month 3 can be detecting while month 5 exports and
+// month 2's checkpoints fsync.
+//
+// Checkpointing (see checkpoint.h): every stage's inputs hash chains the
+// stage name, its config component (synth config for evolve/export,
+// SP-Tuner thresholds for sptuner, the .sibdb format version for sibdb)
+// and its parents' output hashes; the manifest (manifest.h) records them
+// after each completion. Resume skips stages whose recorded inputs hash
+// matches and whose output files still hash to their recorded values, so
+// a changed threshold re-runs only the sptuner→…→longitudinal cone while
+// the detection cone stays cached.
+//
+// A skipped corpus stage does not rebuild its in-memory corpus; if a
+// downstream stage of that month does run, it lazily re-materializes the
+// corpus from the (checkpoint-verified) rib/snapshot artifacts. The
+// corpus is dropped once the month's sptuner stage — its last consumer —
+// completes, bounding resident memory to the months in flight.
+//
+// The synthetic universe is rebuilt at the start of every run (it is a
+// pure function of the synth config and is not serialized); checkpoints
+// cover the per-stage artifact work, which is where the wall-clock goes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipeline/manifest.h"
+#include "pipeline/stage_graph.h"
+#include "synth/config.h"
+
+namespace sp::pipeline {
+
+struct CampaignConfig {
+  /// The synthetic universe; `synth.months` is the campaign length.
+  synth::SynthConfig synth;
+  /// SP-Tuner thresholds (the paper's /28 and /96 defaults).
+  unsigned v4_threshold = 28;
+  unsigned v6_threshold = 96;
+  /// DAG worker pool size; 0 picks the hardware concurrency, 1 runs the
+  /// graph serially (the bench baseline).
+  unsigned threads = 1;
+  /// Run directory: artifacts + manifest.json (created if missing).
+  std::string out_dir;
+};
+
+/// Ordered key=value view of every config field that shapes artifact
+/// bytes (threads and out_dir change scheduling/placement, not content,
+/// and are excluded). Stored in the manifest so `resume` and `status`
+/// need no flags repeated.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> describe_config(
+    const CampaignConfig& config);
+
+/// Rebuilds a config from a manifest's stored kvs (unknown keys are
+/// ignored, absent keys keep their defaults). `out_dir` and `threads`
+/// come from the caller — they are not manifest content.
+[[nodiscard]] CampaignConfig config_from_manifest(const RunManifest& manifest,
+                                                  std::string out_dir, unsigned threads);
+
+struct CampaignReport {
+  bool ok = false;
+  std::string error;  // setup-level failure (bad out_dir, manifest I/O)
+  std::vector<StageResult> stages;
+  std::size_t done_count = 0;
+  std::size_t cached_count = 0;
+  std::size_t failed_count = 0;
+  std::size_t skipped_count = 0;
+  double total_wall_ms = 0.0;  // whole run() call, universe build included
+  long peak_rss_kb = 0;
+  std::string manifest_path;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config) : config_(std::move(config)) {}
+
+  /// Executes the campaign. With `resume` false every stage runs; with
+  /// `resume` true, stages whose checkpoints validate against
+  /// `out_dir`/manifest.json are skipped as Cached. `observer`, when set,
+  /// sees every terminal StageResult as it lands (the CLI progress line).
+  [[nodiscard]] CampaignReport run(bool resume,
+                                   std::function<void(const StageResult&)> observer = {});
+
+  [[nodiscard]] static std::string manifest_path(const std::string& out_dir) {
+    return out_dir + "/manifest.json";
+  }
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace sp::pipeline

@@ -1,0 +1,126 @@
+#include "pipeline/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace sp::pipeline {
+
+namespace {
+
+void fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+/// fsync the directory containing `path` so a completed rename is durable.
+bool sync_parent_dir(const std::string& path, std::string* error) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    fail(error, "open dir " + dir);
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  if (!ok) fail(error, "fsync dir " + dir);
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> hash_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::uint64_t hash = kFnvBasis;
+  std::vector<char> buffer(1 << 16);
+  std::size_t got = 0;
+  while ((got = std::fread(buffer.data(), 1, buffer.size(), file)) > 0) {
+    hash = fnv1a64(std::string_view(buffer.data(), got), hash);
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) return std::nullopt;
+  return hash;
+}
+
+std::string hash_hex(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx", static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::optional<std::uint64_t> parse_hash_hex(std::string_view text) {
+  if (text.size() != 16) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return value;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view bytes, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    fail(error, "open " + tmp);
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t got = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      fail(error, "write " + tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(got);
+  }
+  if (::fsync(fd) != 0) {
+    fail(error, "fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail(error, "rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return sync_parent_dir(path, error);
+}
+
+bool finalize_output(const std::string& tmp_path, const std::string& path, std::string* error) {
+  const int fd = ::open(tmp_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    fail(error, "open " + tmp_path);
+    return false;
+  }
+  if (::fsync(fd) != 0) {
+    fail(error, "fsync " + tmp_path);
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    fail(error, "rename " + tmp_path + " -> " + path);
+    return false;
+  }
+  return sync_parent_dir(path, error);
+}
+
+}  // namespace sp::pipeline

@@ -1,0 +1,89 @@
+// RunManifest — the campaign's durable, observable state.
+//
+// One JSON document per run directory (`manifest.json`), rewritten
+// atomically (temp file + fsync + rename, see checkpoint.h) after every
+// stage completion, so a kill at any instant leaves a manifest listing
+// exactly the stages that durably completed — the resume contract.
+//
+// Schema (version 1):
+//
+//   {
+//     "version": 1,
+//     "campaign": "<human-readable description>",
+//     "config": { "<key>": "<value>", ... },        // campaign config kvs
+//     "stages": [
+//       {
+//         "name": "detect[2024-09]",
+//         "status": "done" | "cached" | "failed" | "skipped",
+//         "inputs_hash": "<16 hex digits>",          // FNV-1a64, see checkpoint.h
+//         "outputs": [ { "path": "pairs-2024-09.csv",
+//                        "hash": "<16 hex digits>" }, ... ],
+//         "wall_ms": 12.25,
+//         "peak_rss_kb": 48212,                      // getrusage high-water
+//         "error": "..."                             // present when failed
+//       }, ...
+//     ]
+//   }
+//
+// Hashes are strings, not numbers: 64-bit values do not survive the
+// double-precision number type of generic JSON tooling. Stage order is
+// completion order — an interrupted run's manifest is always a prefix of
+// the completion order, which is exactly what the crash-resume test
+// truncates.
+//
+// The parser below reads only this schema (plus arbitrary whitespace);
+// it is not a general JSON library, but it rejects malformed documents
+// instead of misreading them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sp::pipeline {
+
+struct OutputRecord {
+  std::string path;          // relative to the run directory
+  std::uint64_t hash = 0;    // FNV-1a64 of the file bytes
+
+  friend bool operator==(const OutputRecord&, const OutputRecord&) = default;
+};
+
+struct StageRecord {
+  std::string name;
+  std::string status;                  // "done", "cached", "failed", "skipped"
+  std::uint64_t inputs_hash = 0;
+  std::vector<OutputRecord> outputs;
+  double wall_ms = 0.0;
+  long peak_rss_kb = 0;
+  std::string error;
+
+  friend bool operator==(const StageRecord&, const StageRecord&) = default;
+};
+
+struct RunManifest {
+  int version = 1;
+  std::string campaign;
+  std::vector<std::pair<std::string, std::string>> config;  // ordered kvs
+  std::vector<StageRecord> stages;                          // completion order
+
+  [[nodiscard]] const StageRecord* find(std::string_view name) const noexcept;
+  [[nodiscard]] std::string config_value(std::string_view key) const;
+
+  /// Replaces the record with the same name or appends a new one.
+  void upsert(StageRecord record);
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static std::optional<RunManifest> from_json(std::string_view text,
+                                                            std::string* error = nullptr);
+
+  /// Atomic durable save / load (see checkpoint.h for the write protocol).
+  [[nodiscard]] bool save(const std::string& path, std::string* error = nullptr) const;
+  [[nodiscard]] static std::optional<RunManifest> load(const std::string& path,
+                                                       std::string* error = nullptr);
+};
+
+}  // namespace sp::pipeline

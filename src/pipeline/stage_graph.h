@@ -1,0 +1,136 @@
+// StageGraph — a deterministic DAG scheduler over core::WorkerPool's
+// task-queue mode.
+//
+// Stages are added with explicit dependency edges; run() dispatches every
+// ready stage (all parents Done/Cached) onto the pool, so independent
+// stages — different months of a campaign, the two sides of a diamond —
+// execute concurrently while chains stay ordered. With a 1-thread pool
+// submit() runs inline and the whole graph executes serially in a valid
+// topological order: the serial baseline and the parallel schedule run
+// the exact same stage bodies.
+//
+// Failure containment: a stage returning !ok is Failed; every transitive
+// dependent is Skipped (never executed), while independent branches keep
+// running to completion — a detection bug in month 7 does not throw away
+// months 1-6 or 8-49, and their checkpoints make the eventual re-run
+// cheap.
+//
+// A dependency cycle is a programming error and throws std::logic_error
+// from run() before anything executes.
+//
+// Timing/observability: every executed stage records wall-clock duration
+// and the process peak RSS (getrusage ru_maxrss, in KB) sampled at stage
+// completion — ru_maxrss is a process-wide high-water mark, so per-stage
+// values are "peak so far", monotone along completion order; the maximum
+// across stages is the campaign's true peak.
+//
+// Stage bodies must not throw (the pool terminates on escaping
+// exceptions) and must not issue fork-join run() calls on the pool that
+// is executing them (deadlock; see worker_pool.h). Inner parallelism
+// belongs to a different pool or stays serial — campaign stages run the
+// serial detection engine and let cross-month concurrency come from the
+// DAG.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/worker_pool.h"
+
+namespace sp::pipeline {
+
+enum class StageStatus : std::uint8_t {
+  Pending,   // not yet scheduled
+  Running,   // dispatched to the pool
+  Done,      // body ran and succeeded
+  Cached,    // body found a valid checkpoint and did no work
+  Failed,    // body reported an error
+  Skipped,   // a transitive dependency failed; body never ran
+};
+
+[[nodiscard]] std::string_view to_string(StageStatus status) noexcept;
+
+/// What a stage body reports back.
+struct StageOutcome {
+  bool ok = true;
+  bool cached = false;   // valid checkpoint found; no work done
+  std::string error;     // populated when !ok
+
+  [[nodiscard]] static StageOutcome success() { return {}; }
+  [[nodiscard]] static StageOutcome hit() { return {.ok = true, .cached = true, .error = {}}; }
+  [[nodiscard]] static StageOutcome failure(std::string message) {
+    return {.ok = false, .cached = false, .error = std::move(message)};
+  }
+};
+
+struct StageResult {
+  std::string name;
+  StageStatus status = StageStatus::Pending;
+  std::string error;
+  double wall_ms = 0.0;       // body execution time (0 for Skipped)
+  long peak_rss_kb = 0;       // process ru_maxrss at completion (0 for Skipped)
+};
+
+class StageGraph {
+ public:
+  using StageId = std::size_t;
+  using StageFn = std::function<StageOutcome()>;
+
+  /// Adds a stage depending on previously added stages. `deps` ids must be
+  /// < the new stage's id in the common build-forward case, but any valid
+  /// id is accepted (cycles are rejected at run()).
+  StageId add(std::string name, std::vector<StageId> deps, StageFn fn);
+
+  [[nodiscard]] std::size_t size() const noexcept { return stages_.size(); }
+
+  /// Called (from the executing worker thread, serialized by the graph
+  /// lock) each time a stage reaches a terminal status — the CLI progress
+  /// line and the manifest incremental save hook.
+  void set_observer(std::function<void(const StageResult&)> observer);
+
+  /// Executes the whole graph on `pool`; returns true when every stage is
+  /// Done or Cached. Call at most once per graph.
+  bool run(core::WorkerPool& pool);
+
+  /// Terminal results, in stage-id order (valid after run()).
+  [[nodiscard]] const std::vector<StageResult>& results() const noexcept { return results_; }
+
+ private:
+  struct Stage {
+    std::string name;
+    StageFn fn;
+    std::vector<StageId> deps;
+    std::vector<StageId> dependents;
+    std::size_t waiting = 0;   // unfinished deps
+    bool doomed = false;       // some transitive dep failed
+    std::string doom_reason;   // which dependency doomed it
+  };
+
+  void verify_acyclic() const;
+  /// Marks stage `id` terminal, propagates readiness/doom to dependents.
+  /// Appends every stage finalized by this completion (the stage itself
+  /// plus Skipped descendants) to `finalized`. Caller holds `mutex_`.
+  void finish(StageId id, StageStatus status, std::string error, double wall_ms,
+              long rss_kb, std::vector<StageId>& newly_ready,
+              std::vector<StageId>& finalized);
+  void execute(StageId id);
+  void dispatch_ready(std::vector<StageId>& ready);
+
+  std::vector<Stage> stages_;
+  std::vector<StageResult> results_;
+  std::function<void(const StageResult&)> observer_;
+
+  core::WorkerPool* pool_ = nullptr;
+  std::mutex mutex_;
+  std::mutex observer_mutex_;  // observer calls serialized, off the graph lock
+  std::condition_variable done_cv_;
+  std::size_t finished_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace sp::pipeline

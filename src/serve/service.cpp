@@ -29,6 +29,15 @@ bool SiblingService::load(const std::string& path, std::string* error) {
   return true;
 }
 
+bool SiblingService::reload(std::string* error) {
+  const auto snap = snapshot();
+  if (!snap) {
+    if (error != nullptr) *error = "nothing loaded yet; use load(path) first";
+    return false;
+  }
+  return load(snap->path, error);
+}
+
 std::shared_ptr<const Snapshot> SiblingService::snapshot() const {
   std::lock_guard lock(current_mutex_);
   return current_;

@@ -88,6 +88,13 @@ class SiblingService {
   /// snapshot stays live and `error` (when non-null) gets the reason.
   [[nodiscard]] bool load(const std::string& path, std::string* error = nullptr);
 
+  /// Re-loads the file backing the current snapshot (the bare RELOAD of
+  /// the serve CLI: the publisher replaced the .sibdb in place — e.g. a
+  /// new campaign run — and the path is already known). Fails without
+  /// touching the current snapshot when nothing is loaded yet or the
+  /// file no longer validates.
+  [[nodiscard]] bool reload(std::string* error = nullptr);
+
   /// The currently served snapshot (nullptr before the first load).
   [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const;
 

@@ -56,6 +56,12 @@
 #include "serve/service.h"
 #include "serve/sibdb.h"
 
+// The longitudinal campaign runner.
+#include "pipeline/campaign.h"
+#include "pipeline/checkpoint.h"
+#include "pipeline/manifest.h"
+#include "pipeline/stage_graph.h"
+
 // Synthetic data, analysis and I/O.
 #include "analysis/stats.h"
 #include "analysis/table.h"

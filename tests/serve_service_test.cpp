@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
@@ -117,6 +118,37 @@ TEST(ServeService, ReloadBumpsGeneration) {
   ASSERT_TRUE(hit_b.has_value());
   EXPECT_EQ(hit_b->similarity, 0.75);
   EXPECT_EQ(service.stats().reloads, 2u);
+}
+
+// The bare-RELOAD path: the publisher (sp_pipeline) replaced the .sibdb
+// in place; reload() re-reads the current snapshot's own file.
+TEST(ServeService, ReloadRereadsTheCurrentSnapshotsFile) {
+  SiblingService service(1);
+  std::string error;
+  EXPECT_FALSE(service.reload(&error));  // nothing loaded yet
+  EXPECT_FALSE(error.empty());
+
+  const std::string path = write_tagged_db("sp_service_inplace.sibdb", 0.25);
+  ASSERT_TRUE(service.load(path));
+  const auto before = service.query(IPAddress(*IPv4Address::from_string("20.1.2.3")));
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->similarity, 0.25);
+
+  // Replace the file in place (same path, new content), then bare-reload.
+  EXPECT_EQ(write_tagged_db("sp_service_inplace.sibdb", 0.75), path);
+  ASSERT_TRUE(service.reload(&error)) << error;
+  EXPECT_EQ(service.snapshot()->path, path);
+  EXPECT_EQ(service.snapshot()->generation, 2u);
+  const auto after = service.query(IPAddress(*IPv4Address::from_string("20.1.2.3")));
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->similarity, 0.75);
+
+  // A failed reload (file gone) keeps the current snapshot serving.
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  EXPECT_FALSE(service.reload(&error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(service.snapshot()->generation, 2u);
+  EXPECT_TRUE(service.query(IPAddress(*IPv4Address::from_string("20.1.2.3"))).has_value());
 }
 
 // The hot-reload race the RCU design exists for: a reader thread issuing
