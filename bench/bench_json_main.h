@@ -2,26 +2,61 @@
 // `--json <path>` (or `--json=<path>`) flag and translates it into
 // google-benchmark's --benchmark_out / --benchmark_out_format pair, so CI
 // and scripts can request machine-readable output uniformly.
+//
+// After the run, the process-wide obs::MetricsRegistry scrape is spliced
+// into the JSON file as a top-level "sp_metrics" object, so one artifact
+// carries both the benchmark timings and the counters/histograms the
+// benchmarked code recorded while producing them.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace spbench {
 
+/// Rewrites the benchmark JSON at `path`, inserting
+/// `"sp_metrics": <registry scrape>` before the closing brace of the
+/// top-level object. Best-effort: a malformed/missing file is left alone.
+inline bool embed_metrics_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  in.close();
+
+  const std::size_t close = text.find_last_of('}');
+  if (close == std::string::npos) return false;
+  const std::string metrics = sp::obs::MetricsRegistry::global().scrape().to_json();
+  text.insert(close, ",\n  \"sp_metrics\": " + metrics + "\n");
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return out.good();
+}
+
 inline int benchmark_json_main(int argc, char** argv) {
+  std::string json_path;
   std::vector<std::string> storage;
   storage.reserve(static_cast<std::size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
-      storage.push_back("--benchmark_out=" + std::string(argv[++i]));
+      json_path = argv[++i];
+      storage.push_back("--benchmark_out=" + json_path);
       storage.push_back("--benchmark_out_format=json");
     } else if (arg.rfind("--json=", 0) == 0) {
-      storage.push_back("--benchmark_out=" + std::string(arg.substr(7)));
+      json_path = std::string(arg.substr(7));
+      storage.push_back("--benchmark_out=" + json_path);
       storage.push_back("--benchmark_out_format=json");
     } else {
       storage.emplace_back(arg);
@@ -35,6 +70,9 @@ inline int benchmark_json_main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_path.empty() && !embed_metrics_json(json_path)) {
+    std::fprintf(stderr, "warning: could not embed sp_metrics into %s\n", json_path.c_str());
+  }
   return 0;
 }
 

@@ -8,9 +8,13 @@
 // are directly RELOAD-able by sp_serve.
 //
 //   sp_pipeline run <out_dir> [--months N] [--orgs N] [--seed S]
-//                   [--threads T] [--v4 N] [--v6 N]
-//   sp_pipeline resume <out_dir> [--threads T]   # config from manifest.json
+//                   [--threads T] [--v4 N] [--v6 N] [--trace FILE]
+//   sp_pipeline resume <out_dir> [--threads T] [--trace FILE]
 //   sp_pipeline status <out_dir>                 # per-stage manifest table
+//
+// --trace writes a Chrome-trace-format JSON of every stage execution
+// (one span per stage, on the worker that ran it) — load it in Perfetto
+// or chrome://tracing to see the DAG schedule.
 //
 // One-shot mode consumes the two files a real deployment would feed it —
 // an MRT TABLE_DUMP_V2 RIB dump (Routeviews format) and a
@@ -168,6 +172,7 @@ int campaign_run(int argc, char** argv) {
     else if (flag == "--threads") config.threads = static_cast<unsigned>(value);
     else if (flag == "--v4") config.v4_threshold = static_cast<unsigned>(value);
     else if (flag == "--v6") config.v6_threshold = static_cast<unsigned>(value);
+    else if (flag == "--trace") config.trace_path = argv[i + 1];
     else {
       std::fprintf(stderr, "error: unknown flag %s\n", flag.c_str());
       return 2;
@@ -179,9 +184,13 @@ int campaign_run(int argc, char** argv) {
 int campaign_resume(int argc, char** argv) {
   const std::string out_dir = argv[2];
   unsigned threads = 1;
+  std::string trace_path;
   for (int i = 3; i + 1 < argc; i += 2) {
-    if (std::string(argv[i]) == "--threads") {
+    const std::string flag = argv[i];
+    if (flag == "--threads") {
       threads = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    } else if (flag == "--trace") {
+      trace_path = argv[i + 1];
     }
   }
   std::string error;
@@ -192,6 +201,7 @@ int campaign_resume(int argc, char** argv) {
     return 1;
   }
   auto config = pipeline::config_from_manifest(*manifest, out_dir, threads);
+  config.trace_path = std::move(trace_path);
   return run_campaign(pipeline::Campaign(std::move(config)), /*resume=*/true);
 }
 
@@ -230,8 +240,8 @@ int main(int argc, char** argv) {
   if (argc != 4 && argc != 6) {
     std::fprintf(stderr,
                  "usage: %s run <out_dir> [--months N] [--orgs N] [--seed S] [--threads T]"
-                 " [--v4 N] [--v6 N]\n"
-                 "       %s resume <out_dir> [--threads T]\n"
+                 " [--v4 N] [--v6 N] [--trace FILE]\n"
+                 "       %s resume <out_dir> [--threads T] [--trace FILE]\n"
                  "       %s status <out_dir>\n"
                  "       %s <rib.mrt> <snapshot.csv|zonefile.zone> <out.csv> [v4_thresh v6_thresh]\n"
                  "       %s --demo\n",

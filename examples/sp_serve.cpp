@@ -45,6 +45,23 @@ void print_stats(const serve::ServiceStats& stats) {
               static_cast<unsigned long long>(stats.batch_queries),
               static_cast<unsigned long long>(stats.reloads), stats.query_ms_total,
               stats.batch_ms_total);
+  // Distribution line: log₂-histogram quantile estimates (obs/metrics.h),
+  // exact max; all in microseconds.
+  std::printf("STATS latency query_p50_us=%.1f query_p90_us=%.1f query_p99_us=%.1f "
+              "query_max_us=%llu batch_p50_us=%.1f batch_p90_us=%.1f batch_p99_us=%.1f "
+              "batch_max_us=%llu\n",
+              stats.query_p50_us, stats.query_p90_us, stats.query_p99_us,
+              static_cast<unsigned long long>(stats.query_max_us), stats.batch_p50_us,
+              stats.batch_p90_us, stats.batch_p99_us,
+              static_cast<unsigned long long>(stats.batch_max_us));
+  // One line per snapshot generation this process has served (the last is
+  // the live one): how much traffic it answered and how well it covered it.
+  for (const serve::GenerationStats& gen : stats.generations) {
+    std::printf("STATS gen=%llu served=%llu hits=%llu hit_rate=%.4f\n",
+                static_cast<unsigned long long>(gen.generation),
+                static_cast<unsigned long long>(gen.queries),
+                static_cast<unsigned long long>(gen.hits), gen.hit_rate());
+  }
 }
 
 int usage() {

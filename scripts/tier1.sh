@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer
-# pass over the threaded engines (parallel detection, SP-Tuner).
+# pass over the threaded engines (parallel detection, SP-Tuner, obs
+# metrics/tracing) and an ASan/UBSan pass over the parser-heavy I/O
+# (CSV fuzz round-trip, Happy Eyeballs, manifest UTF-8).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,10 +18,22 @@ cmake --build build -j "$JOBS"
 # don't need instrumentation. The serve suite covers the RCU hot-reload
 # race and the pooled batch lookups; the pipeline suite covers the DAG
 # scheduler (layered-graph stress on a multi-worker pool) and the worker
-# pool's task-queue mode it runs on.
+# pool's task-queue mode it runs on; the obs suites race sharded metric
+# increments and trace spans against concurrent scrapes/serialization.
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target core_detect_parallel_test \
   core_sptuner_parallel_test serve_lookup_test serve_service_test \
-  core_worker_pool_test pipeline_stage_graph_test
+  core_worker_pool_test pipeline_stage_graph_test \
+  obs_metrics_test obs_trace_test
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool')
+  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool|Obs')
+
+# Stage 3: memory-safety pass over the byte-level parsers under
+# AddressSanitizer + UBSan. The CSV suite includes a seeded fuzz-style
+# round-trip property test (adversarial quote/CR/LF/comma fields), so
+# this stage doubles as a bounded fuzz run on both CSV parsers.
+cmake -B build-asan -S . -DSP_SANITIZE=address,undefined
+cmake --build build-asan -j "$JOBS" --target io_csv_test \
+  he_happy_eyeballs_test pipeline_manifest_test
+(cd build-asan && ctest --output-on-failure -j "$JOBS" \
+  -R 'Csv|HappyEyeballs|PipelineManifest')

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sp::core {
 
 namespace {
@@ -95,7 +98,12 @@ void scan_source(const DetectIndex::Side& from_side, const DetectIndex::Side& to
 
 }  // namespace
 
-ParallelDetector::ParallelDetector(unsigned thread_count) : pool_(thread_count) {}
+ParallelDetector::ParallelDetector(unsigned thread_count)
+    : pool_(thread_count),
+      runs_(obs::MetricsRegistry::global().counter("detect.runs")),
+      pairs_emitted_(obs::MetricsRegistry::global().counter("detect.pairs_emitted")),
+      candidates_(obs::MetricsRegistry::global().counter("detect.candidates_evaluated")),
+      detect_us_(obs::MetricsRegistry::global().histogram("detect.run_us")) {}
 
 void ParallelDetector::detect_direction(const DetectIndex& index, Family from, Metric metric,
                                         std::vector<SiblingPair>& out) {
@@ -110,7 +118,12 @@ void ParallelDetector::detect_direction(const DetectIndex& index, Family from, M
   std::vector<DetectStats> locals(thread_count);
   std::atomic<std::size_t> next{0};
 
+  const char* direction = from == Family::v4 ? "detect.v4" : "detect.v6";
   const std::function<void(unsigned)> job = [&](unsigned worker) {
+    // One trace span per shard per direction — worker granularity, so the
+    // trace shows shard skew without per-prefix overhead.
+    const obs::ScopedSpan span(std::string(direction) + ".shard" + std::to_string(worker),
+                               "detect");
     Scratch scratch(to_side.prefix_count());
     std::vector<SiblingPair>& buffer = buffers[worker];
     DetectStats& local = locals[worker];
@@ -137,6 +150,7 @@ void ParallelDetector::detect_direction(const DetectIndex& index, Family from, M
 
 std::vector<SiblingPair> ParallelDetector::detect(const DetectIndex& index,
                                                   const DetectOptions& options) {
+  const auto run_start = std::chrono::steady_clock::now();
   stats_ = DetectStats{};
   stats_.threads_used = pool_.thread_count();
 
@@ -150,6 +164,13 @@ std::vector<SiblingPair> ParallelDetector::detect(const DetectIndex& index,
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
   stats_.merge_ms = elapsed_ms(merge_start);
+
+  // Registry updates once per run, never per prefix: aggregate counts and
+  // one whole-run latency sample.
+  runs_.add();
+  pairs_emitted_.add(static_cast<std::int64_t>(pairs.size()));
+  candidates_.add(static_cast<std::int64_t>(stats_.candidates_evaluated));
+  detect_us_.record(static_cast<std::uint64_t>(elapsed_ms(run_start) * 1000.0));
   return pairs;
 }
 

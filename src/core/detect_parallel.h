@@ -30,6 +30,7 @@
 #include "core/detect.h"
 #include "core/detect_index.h"
 #include "core/worker_pool.h"
+#include "obs/metrics.h"
 
 namespace sp::core {
 
@@ -65,6 +66,13 @@ class ParallelDetector {
 
   WorkerPool pool_;
   DetectStats stats_;
+
+  // Global-registry aggregates, updated once per detect() run (see
+  // obs/metrics.h); per-shard trace spans come from obs::ScopedSpan.
+  obs::Counter runs_;
+  obs::Counter pairs_emitted_;
+  obs::Counter candidates_;
+  obs::Histogram detect_us_;
 };
 
 }  // namespace sp::core

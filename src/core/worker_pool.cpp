@@ -5,7 +5,10 @@
 
 namespace sp::core {
 
-WorkerPool::WorkerPool(unsigned thread_count) {
+WorkerPool::WorkerPool(unsigned thread_count)
+    : queue_depth_(obs::MetricsRegistry::global().gauge("worker_pool.queue_depth")),
+      task_wait_us_(obs::MetricsRegistry::global().histogram("worker_pool.task_wait_us")),
+      task_run_us_(obs::MetricsRegistry::global().histogram("worker_pool.task_run_us")) {
   if (thread_count == 0) thread_count = std::max(1u, std::thread::hardware_concurrency());
   thread_count_ = std::min(thread_count, 64u);
   // Worker 0 is the calling thread; only 1..thread_count-1 are pool threads.
@@ -45,11 +48,11 @@ void WorkerPool::worker_loop(unsigned worker_id) {
       continue;
     }
     if (!tasks_.empty()) {
-      std::function<void()> task = std::move(tasks_.front());
+      QueuedTask task = std::move(tasks_.front());
       tasks_.pop_front();
       ++active_tasks_;
       lock.unlock();
-      task();
+      run_task(task.fn, task.enqueued);
       lock.lock();
       if (--active_tasks_ == 0 && tasks_.empty()) idle_cv_.notify_all();
       continue;
@@ -77,14 +80,30 @@ void WorkerPool::run(const std::function<void(unsigned)>& job) {
   done_cv_.wait(lock, [&] { return running_ == 0; });
 }
 
+void WorkerPool::run_task(std::function<void()>& task,
+                          std::chrono::steady_clock::time_point enqueued) {
+  const auto dequeued = std::chrono::steady_clock::now();
+  queue_depth_.sub();
+  task_wait_us_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(dequeued - enqueued).count()));
+  task();
+  task_run_us_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - dequeued)
+          .count()));
+}
+
 void WorkerPool::submit(std::function<void()> task) {
+  queue_depth_.add();
   if (workers_.empty()) {
-    task();
+    // Inline execution: the task spends no time queued, but still shows
+    // up in the run-latency histogram like any pooled task.
+    run_task(task, std::chrono::steady_clock::now());
     return;
   }
   {
     std::lock_guard lock(mutex_);
-    tasks_.push_back(std::move(task));
+    tasks_.push_back({std::move(task), std::chrono::steady_clock::now()});
   }
   work_cv_.notify_one();
 }

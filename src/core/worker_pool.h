@@ -36,12 +36,15 @@
 // still runs.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace sp::core {
 
@@ -71,7 +74,16 @@ class WorkerPool {
   [[nodiscard]] unsigned thread_count() const noexcept { return thread_count_; }
 
  private:
+  /// A queued task plus its enqueue instant, so dequeue can report the
+  /// queue wait to the `worker_pool.task_wait_us` histogram.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop(unsigned worker_id);
+  void run_task(std::function<void()>& task,
+                std::chrono::steady_clock::time_point enqueued);
 
   unsigned thread_count_;
 
@@ -82,10 +94,16 @@ class WorkerPool {
   const std::function<void(unsigned)>* job_ = nullptr;
   std::uint64_t generation_ = 0;
   unsigned running_ = 0;
-  std::deque<std::function<void()>> tasks_;
+  std::deque<QueuedTask> tasks_;
   unsigned active_tasks_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // Process-wide observability (obs::MetricsRegistry::global()): every
+  // pool shares one set of metrics — the fleet view, not per-instance.
+  obs::Gauge queue_depth_;        // worker_pool.queue_depth
+  obs::Histogram task_wait_us_;   // enqueue → dequeue
+  obs::Histogram task_run_us_;    // dequeue → completion
 };
 
 }  // namespace sp::core

@@ -1,6 +1,7 @@
 #include "he/happy_eyeballs.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace sp::he {
 
@@ -20,7 +21,10 @@ std::vector<Endpoint> interleave(const std::vector<Endpoint>& v6,
 Outcome race_ordered(const std::vector<Endpoint>& candidates, const HeConfig& config) {
   Outcome outcome;
   double next_start = 0.0;
-  double best_success = config.overall_timeout_ms;
+  // Best completion so far, not the deadline: the deadline gate is
+  // attempt.success (`done <= overall_timeout_ms`, inclusive), so a
+  // connect landing exactly on the deadline wins like any other.
+  double best_success = std::numeric_limits<double>::infinity();
   std::optional<IPAddress> best_address;
 
   for (const Endpoint& endpoint : candidates) {
@@ -83,6 +87,25 @@ Outcome race(const std::vector<Endpoint>& v6, const std::vector<Endpoint>& v4,
       if (attempt.end_ms) *attempt.end_ms += config.resolution_delay_ms;
     }
     if (outcome.winner) outcome.connect_time_ms += config.resolution_delay_ms;
+
+    // race_ordered validated the deadline against unshifted times; the
+    // shift can push attempts past it. Re-enforce: attempts that would
+    // start at/after the deadline never happen, completions past it are
+    // not successes (finishing exactly at the deadline still counts), and
+    // a winner is revoked with them.
+    std::erase_if(outcome.attempts, [&](const Attempt& attempt) {
+      return attempt.start_ms >= config.overall_timeout_ms;
+    });
+    for (Attempt& attempt : outcome.attempts) {
+      if (attempt.end_ms && *attempt.end_ms > config.overall_timeout_ms) {
+        attempt.success = false;
+        attempt.end_ms.reset();
+      }
+    }
+    if (outcome.winner && outcome.connect_time_ms > config.overall_timeout_ms) {
+      outcome.winner.reset();
+      outcome.connect_time_ms = 0.0;
+    }
   }
   return outcome;
 }

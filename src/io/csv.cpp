@@ -71,7 +71,13 @@ std::optional<std::vector<CsvRow>> parse_csv(std::string_view text) {
     }
     switch (c) {
       case '"':
-        in_quotes = true;
+        // RFC 4180: a quote only opens a quoted field at the start of the
+        // field; after field content (`ab"cd`) it is a literal character.
+        if (field.empty()) {
+          in_quotes = true;
+        } else {
+          field.push_back('"');
+        }
         field_started = true;
         break;
       case ',':
@@ -79,7 +85,11 @@ std::optional<std::vector<CsvRow>> parse_csv(std::string_view text) {
         field_started = true;  // next field exists even if empty
         break;
       case '\r':
-        break;  // tolerate CRLF
+        // Row terminator: CRLF (consume the LF too) or bare CR
+        // (classic-Mac line ending). Quoted CRs never reach here.
+        end_row();
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        break;
       case '\n':
         end_row();
         break;
@@ -115,6 +125,7 @@ CsvStreamStatus read_csv_stream(std::istream& in,
   std::string field;
   bool in_quotes = false;
   bool quote_pending = false;  // saw '"' inside quotes; '""' escapes, else closes
+  bool pending_cr = false;     // unquoted '\r' ended a row; swallow a following '\n'
   bool field_started = false;
   bool stopped = false;
   std::size_t line = 1;       // physical line of the cursor
@@ -139,6 +150,14 @@ CsvStreamStatus read_csv_stream(std::istream& in,
     const auto got = static_cast<std::size_t>(in.gcount());
     for (std::size_t i = 0; i < got && !stopped; ++i) {
       const char c = buffer[i];
+      if (pending_cr) {
+        // The CR already terminated the row (and counted the line break);
+        // an immediately following LF is the second half of a CRLF. The
+        // flag lives outside the read loop so CRLF split across two
+        // buffer fills is still one terminator.
+        pending_cr = false;
+        if (c == '\n') continue;
+      }
       if (quote_pending) {
         quote_pending = false;
         if (c == '"') {
@@ -158,7 +177,13 @@ CsvStreamStatus read_csv_stream(std::istream& in,
       }
       switch (c) {
         case '"':
-          in_quotes = true;
+          // RFC 4180: a quote only opens a quoted field at the start of
+          // the field; after field content it is a literal character.
+          if (field.empty()) {
+            in_quotes = true;
+          } else {
+            field.push_back('"');
+          }
           field_started = true;
           break;
         case ',':
@@ -166,7 +191,13 @@ CsvStreamStatus read_csv_stream(std::istream& in,
           field_started = true;  // next field exists even if empty
           break;
         case '\r':
-          break;  // tolerate CRLF
+          // Row terminator: CRLF or bare CR (classic-Mac); pending_cr
+          // swallows the LF half of a CRLF at the top of the loop.
+          end_row();
+          ++line;
+          row_line = line;
+          pending_cr = true;
+          break;
         case '\n':
           end_row();
           ++line;

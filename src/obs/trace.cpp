@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace sp::obs {
+
+std::atomic<TraceRecorder*> TraceRecorder::active_{nullptr};
+
+std::uint32_t TraceRecorder::tid_of(std::thread::id id) {
+  // Caller holds mutex_.
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const auto tid = static_cast<std::uint32_t>(tids_.size());
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void TraceRecorder::span(std::string_view name, std::string_view category,
+                         std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ts_us = std::chrono::duration<double, std::micro>(start - epoch_).count();
+  event.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  event.tid = tid_of(std::this_thread::get_id());
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_us(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& event = events_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"name\":";
+    append_json_string(out, event.name);
+    out += ",\"cat\":";
+    append_json_string(out, event.category);
+    out += ",\"ph\":\"X\",\"ts\":";
+    append_us(out, event.ts_us);
+    out += ",\"dur\":";
+    append_us(out, event.dur_us);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(event.tid) + "}";
+  }
+  out += events_.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+bool TraceRecorder::write(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  out << to_json();
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "cannot write " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sp::obs

@@ -19,6 +19,7 @@
 #include "core/sptuner.h"
 #include "io/snapshot_csv.h"
 #include "mrt/file.h"
+#include "obs/trace.h"
 #include "pipeline/checkpoint.h"
 #include "serve/sibdb.h"
 #include "synth/universe.h"
@@ -675,8 +676,24 @@ CampaignReport Campaign::run(bool resume, std::function<void(const StageResult&)
     report.error = "campaign needs at least one month";
     return report;
   }
+  // With a trace path, every stage execution (and any detect/serve span
+  // beneath it) lands in one Chrome-trace file next to the manifest's
+  // records. The recorder is installed for the duration of the run only;
+  // a trace write failure is reported but does not fail the campaign.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!config_.trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    obs::TraceRecorder::set_active(recorder.get());
+  }
   Runner runner(config_, resume, std::move(observer));
   report = runner.run();
+  if (recorder) {
+    obs::TraceRecorder::set_active(nullptr);
+    std::string trace_error;
+    if (!recorder->write(config_.trace_path, &trace_error) && report.error.empty()) {
+      report.error = "trace write failed: " + trace_error;
+    }
+  }
   report.total_wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();

@@ -67,6 +67,11 @@ struct CampaignConfig {
   unsigned threads = 1;
   /// Run directory: artifacts + manifest.json (created if missing).
   std::string out_dir;
+  /// When non-empty, run() records one Chrome-trace span per stage
+  /// execution and writes the trace JSON here (obs/trace.h). Like
+  /// threads/out_dir this shapes observation, not artifact bytes, so it
+  /// is excluded from describe_config.
+  std::string trace_path;
 };
 
 /// Ordered key=value view of every config field that shapes artifact

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace sp::pipeline {
 
 namespace {
@@ -130,6 +132,10 @@ void StageGraph::finish(StageId id, StageStatus status, std::string error, doubl
 
 void StageGraph::execute(StageId id) {
   const auto start = std::chrono::steady_clock::now();
+  // One trace span per stage execution, on the worker thread that ran it —
+  // the Perfetto view of the DAG schedule (cached stages are near-zero
+  // slivers, the evolve chain is the critical path).
+  const obs::ScopedSpan span(stages_[id].name, "stage");
   const StageOutcome outcome = stages_[id].fn ? stages_[id].fn() : StageOutcome::success();
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <unordered_map>
+
+#include "obs/trace.h"
 
 namespace sp::serve {
 
@@ -14,7 +17,10 @@ constexpr std::size_t kBatchChunk = 256;
 
 }  // namespace
 
-LookupEngine::LookupEngine(const SiblingDB& db) : db_(&db) {
+LookupEngine::LookupEngine(const SiblingDB& db)
+    : db_(&db),
+      batch_us_(obs::MetricsRegistry::global().histogram("serve.batch_us")),
+      batch_queries_(obs::MetricsRegistry::global().counter("serve.batch_queries")) {
   // Pick one representative record per distinct stored prefix: the
   // highest-similarity record, first-in-file on ties. The maps are
   // transient; the engine keeps only the flat table and the trie.
@@ -74,20 +80,29 @@ std::optional<SiblingAnswer> LookupEngine::query(const Prefix& prefix) const {
 
 std::vector<std::optional<SiblingAnswer>> LookupEngine::query_many(
     std::span<const IPAddress> addresses, core::WorkerPool* pool) const {
+  const obs::ScopedSpan span("serve.query_many", "serve");
+  const auto start = std::chrono::steady_clock::now();
   std::vector<std::optional<SiblingAnswer>> answers(addresses.size());
   if (pool == nullptr || pool->thread_count() <= 1 || addresses.size() <= kBatchChunk) {
     for (std::size_t i = 0; i < addresses.size(); ++i) answers[i] = query(addresses[i]);
-    return answers;
+  } else {
+    std::atomic<std::size_t> next{0};
+    pool->run([&](unsigned worker) {
+      const obs::ScopedSpan shard_span("serve.batch.shard" + std::to_string(worker),
+                                       "serve");
+      for (;;) {
+        const std::size_t begin = next.fetch_add(kBatchChunk, std::memory_order_relaxed);
+        if (begin >= addresses.size()) return;
+        const std::size_t end = std::min(addresses.size(), begin + kBatchChunk);
+        for (std::size_t i = begin; i < end; ++i) answers[i] = query(addresses[i]);
+      }
+    });
   }
-  std::atomic<std::size_t> next{0};
-  pool->run([&](unsigned) {
-    for (;;) {
-      const std::size_t begin = next.fetch_add(kBatchChunk, std::memory_order_relaxed);
-      if (begin >= addresses.size()) return;
-      const std::size_t end = std::min(addresses.size(), begin + kBatchChunk);
-      for (std::size_t i = begin; i < end; ++i) answers[i] = query(addresses[i]);
-    }
-  });
+  batch_queries_.add(static_cast<std::int64_t>(addresses.size()));
+  batch_us_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
   return answers;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/worker_pool.h"
+#include "obs/metrics.h"
 #include "serve/sibdb.h"
 #include "trie/flat_lpm.h"
 #include "trie/prefix_trie.h"
@@ -80,6 +81,11 @@ class LookupEngine {
   PrefixTrie<std::uint32_t> trie_;      // both families -> representative record
   std::size_t v4_count_ = 0;
   std::size_t v6_count_ = 0;
+
+  // Global-registry batch metrics, one update per query_many call (the
+  // per-address cost stays a plain loop); a trace span covers each batch.
+  obs::Histogram batch_us_;      // serve.batch_us
+  obs::Counter batch_queries_;   // serve.batch_queries
 };
 
 }  // namespace sp::serve

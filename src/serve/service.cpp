@@ -12,7 +12,10 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-SiblingService::SiblingService(unsigned threads) : pool_(threads) {}
+SiblingService::SiblingService(unsigned threads)
+    : pool_(threads),
+      query_us_(obs::MetricsRegistry::global().histogram("serve.query_us")),
+      batch_us_(obs::MetricsRegistry::global().histogram("serve.batch_us")) {}
 
 bool SiblingService::load(const std::string& path, std::string* error) {
   auto db = SiblingDB::load(path, error);
@@ -23,6 +26,14 @@ bool SiblingService::load(const std::string& path, std::string* error) {
   auto snapshot = std::make_shared<const Snapshot>(std::move(*db), path, generation);
   {
     std::lock_guard lock(current_mutex_);
+    if (current_) {
+      // Retire the outgoing generation's tally. In-flight queries still
+      // pinning it may add a few more counts after this capture; the
+      // captured numbers are the generation's tally as of the swap.
+      retired_.push_back({current_->generation,
+                          current_->served_queries.load(std::memory_order_relaxed),
+                          current_->served_hits.load(std::memory_order_relaxed)});
+    }
     current_ = std::move(snapshot);
   }
   reloads_.fetch_add(1, std::memory_order_relaxed);
@@ -46,14 +57,19 @@ std::shared_ptr<const Snapshot> SiblingService::snapshot() const {
 void SiblingService::count_query(bool hit, std::chrono::steady_clock::time_point start) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
-  query_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
+  const std::uint64_t ns = elapsed_ns(start);
+  query_ns_.fetch_add(ns, std::memory_order_relaxed);
+  query_us_.record(ns / 1000);
 }
 
 std::optional<SiblingAnswer> SiblingService::query(const IPAddress& address) {
   const auto start = std::chrono::steady_clock::now();
   const auto snap = snapshot();
   std::optional<SiblingAnswer> answer;
-  if (snap) answer = snap->engine.query(address);
+  if (snap) {
+    answer = snap->engine.query(address);
+    snap->count(1, answer.has_value() ? 1 : 0);
+  }
   count_query(answer.has_value(), start);
   return answer;
 }
@@ -62,7 +78,10 @@ std::optional<SiblingAnswer> SiblingService::query(const Prefix& prefix) {
   const auto start = std::chrono::steady_clock::now();
   const auto snap = snapshot();
   std::optional<SiblingAnswer> answer;
-  if (snap) answer = snap->engine.query(prefix);
+  if (snap) {
+    answer = snap->engine.query(prefix);
+    snap->count(1, answer.has_value() ? 1 : 0);
+  }
   count_query(answer.has_value(), start);
   return answer;
 }
@@ -83,6 +102,7 @@ BatchResult SiblingService::query_many(std::span<const IPAddress> addresses) {
   for (const auto& answer : result.answers) hit_count += answer.has_value() ? 1 : 0;
   batch_hits_.fetch_add(hit_count, std::memory_order_relaxed);
   batch_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
+  if (result.snapshot) result.snapshot->count(addresses.size(), hit_count);
   return result;
 }
 
@@ -97,8 +117,30 @@ ServiceStats SiblingService::stats() const {
   out.reloads = reloads_.load(std::memory_order_relaxed);
   out.query_ms_total = static_cast<double>(query_ns_.load(std::memory_order_relaxed)) / 1e6;
   out.batch_ms_total = static_cast<double>(batch_ns_.load(std::memory_order_relaxed)) / 1e6;
-  const auto snap = snapshot();
+
+  const auto query_hist = obs::HistogramSnapshot::of(query_us_);
+  out.query_p50_us = query_hist.quantile(0.50);
+  out.query_p90_us = query_hist.quantile(0.90);
+  out.query_p99_us = query_hist.quantile(0.99);
+  out.query_max_us = query_hist.max;
+  const auto batch_hist = obs::HistogramSnapshot::of(batch_us_);
+  out.batch_p50_us = batch_hist.quantile(0.50);
+  out.batch_p90_us = batch_hist.quantile(0.90);
+  out.batch_p99_us = batch_hist.quantile(0.99);
+  out.batch_max_us = batch_hist.max;
+
+  std::shared_ptr<const Snapshot> snap;
+  {
+    std::lock_guard lock(current_mutex_);
+    snap = current_;
+    out.generations = retired_;
+  }
   out.generation = snap ? snap->generation : 0;
+  if (snap) {
+    out.generations.push_back({snap->generation,
+                               snap->served_queries.load(std::memory_order_relaxed),
+                               snap->served_hits.load(std::memory_order_relaxed)});
+  }
   return out;
 }
 

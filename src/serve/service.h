@@ -39,21 +39,43 @@
 #include <vector>
 
 #include "core/worker_pool.h"
+#include "obs/metrics.h"
 #include "serve/lookup.h"
 #include "serve/sibdb.h"
 
 namespace sp::serve {
 
 /// An immutable loaded database + its lookup indexes. The engine holds a
-/// pointer into `db`, so the two live and die together.
+/// pointer into `db`, so the two live and die together. The two counters
+/// are the snapshot's own serving tally (relaxed atomics, mutable so a
+/// pinned const snapshot can count) — the source of the per-generation
+/// hit rates in ServiceStats.
 struct Snapshot {
   Snapshot(SiblingDB loaded, std::string source_path, std::uint64_t gen)
       : db(std::move(loaded)), engine(db), path(std::move(source_path)), generation(gen) {}
+
+  void count(std::uint64_t queries, std::uint64_t hits) const noexcept {
+    served_queries.fetch_add(queries, std::memory_order_relaxed);
+    served_hits.fetch_add(hits, std::memory_order_relaxed);
+  }
 
   SiblingDB db;
   LookupEngine engine;
   std::string path;
   std::uint64_t generation;  // monotonically increasing per successful load
+  mutable std::atomic<std::uint64_t> served_queries{0};  // single + batch members
+  mutable std::atomic<std::uint64_t> served_hits{0};
+};
+
+/// Serving tally of one snapshot generation (current or retired).
+struct GenerationStats {
+  std::uint64_t generation = 0;
+  std::uint64_t queries = 0;  // single queries + batch members
+  std::uint64_t hits = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return queries == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(queries);
+  }
 };
 
 /// Point-in-time service counters.
@@ -68,6 +90,22 @@ struct ServiceStats {
   double query_ms_total = 0.0;
   double batch_ms_total = 0.0;
   std::uint64_t generation = 0;  // 0 = nothing loaded yet
+
+  // Latency distribution of single queries, estimated from the
+  // serve.query_us log₂ histogram (obs/metrics.h); max is exact.
+  double query_p50_us = 0.0;
+  double query_p90_us = 0.0;
+  double query_p99_us = 0.0;
+  std::uint64_t query_max_us = 0;
+  // Same for whole batches (serve.batch_us).
+  double batch_p50_us = 0.0;
+  double batch_p90_us = 0.0;
+  double batch_p99_us = 0.0;
+  std::uint64_t batch_max_us = 0;
+
+  /// Hit rate per snapshot generation this service has served, oldest
+  /// first; the last entry is the live generation.
+  std::vector<GenerationStats> generations;
 };
 
 /// A batch answered from exactly one pinned snapshot.
@@ -124,6 +162,16 @@ class SiblingService {
   std::atomic<std::uint64_t> batches_{0}, batch_queries_{0}, batch_hits_{0};
   std::atomic<std::uint64_t> reloads_{0};
   std::atomic<std::uint64_t> query_ns_{0}, batch_ns_{0};
+
+  // Tallies of generations this service replaced (under current_mutex_);
+  // the live generation's tally sits in the snapshot itself.
+  std::vector<GenerationStats> retired_;
+
+  // Latency histograms in the process-wide registry (shared across
+  // services by name — the registry is the fleet view; the per-service
+  // exact counters above stay per-instance).
+  obs::Histogram query_us_;  // serve.query_us, single queries
+  obs::Histogram batch_us_;  // serve.batch_us, whole batches (LookupEngine records)
 };
 
 }  // namespace sp::serve

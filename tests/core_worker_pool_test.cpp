@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace sp::core {
 namespace {
@@ -89,6 +92,39 @@ TEST(WorkerPoolTask, DestructionDrainsTheQueue) {
     }
   }
   EXPECT_EQ(counter.load(), 100);
+}
+
+// The pool's queue-depth gauge is process-wide (obs global registry) and
+// balanced: every submit() adds 1 and the matching execution subtracts 1,
+// from producer and worker threads concurrently. Once all pools are
+// quiesced the gauge must read its pre-test value. Raced under TSan
+// together with the scrape in obs_metrics_test.
+TEST(WorkerPoolTask, QueueDepthGaugeBalancesUnderConcurrency) {
+  const obs::Gauge depth = obs::MetricsRegistry::global().gauge("worker_pool.queue_depth");
+  const std::int64_t before = depth.value();
+  {
+    WorkerPool pooled(4);
+    WorkerPool inline_pool(1);  // no threads: submit() executes inline
+    std::vector<std::thread> producers;
+    producers.reserve(4);
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&pooled, &inline_pool] {
+        for (int i = 0; i < 200; ++i) {
+          pooled.submit([] {});
+          inline_pool.submit([] {});
+        }
+      });
+    }
+    for (auto& producer : producers) producer.join();
+    pooled.wait_idle();
+    inline_pool.wait_idle();
+  }
+  EXPECT_EQ(depth.value(), before);
+
+  // Wait/run latency histograms saw every pooled + inline task.
+  const auto waits =
+      obs::HistogramSnapshot::of(obs::MetricsRegistry::global().histogram("worker_pool.task_wait_us"));
+  EXPECT_GE(waits.count, 1600u);
 }
 
 // Many producers hammering submit() from outside the pool while the pool

@@ -125,5 +125,79 @@ TEST(HappyEyeballs, EmptyCandidatesDoNotConnect) {
   EXPECT_TRUE(outcome.attempts.empty());
 }
 
+// Regression tests for the resolution-delay/deadline interaction: race()
+// shifts all attempt times by resolution_delay_ms when the preferred
+// family resolved no addresses, but the deadline had been validated
+// against the unshifted times — a connect could be reported successful
+// past overall_timeout_ms.
+
+TEST(HappyEyeballs, ShiftedConnectExactlyAtDeadlineStillSucceeds) {
+  // 50ms resolution delay + 50ms RTT = connect at exactly the 100ms
+  // deadline: "by this time" is inclusive, matching the unshifted rule
+  // `done <= overall_timeout_ms`.
+  HeConfig config;
+  config.resolution_delay_ms = 50.0;
+  config.overall_timeout_ms = 100.0;
+  const auto outcome = race({}, {v4("20.1.0.1", 50)}, config);
+  ASSERT_TRUE(outcome.connected());
+  EXPECT_DOUBLE_EQ(outcome.connect_time_ms, 100.0);
+  ASSERT_EQ(outcome.attempts.size(), 1u);
+  EXPECT_TRUE(outcome.attempts[0].success);
+  EXPECT_DOUBLE_EQ(*outcome.attempts[0].end_ms, 100.0);
+}
+
+TEST(HappyEyeballs, ShiftedConnectPastDeadlineIsNotASuccess) {
+  // One ms past the deadline after the shift: 50 + 51 = 101 > 100. The
+  // unshifted race saw done = 51 <= 100 and called it connected — the bug.
+  HeConfig config;
+  config.resolution_delay_ms = 50.0;
+  config.overall_timeout_ms = 100.0;
+  const auto outcome = race({}, {v4("20.1.0.1", 51)}, config);
+  EXPECT_FALSE(outcome.connected());
+  EXPECT_DOUBLE_EQ(outcome.connect_time_ms, 0.0);
+  ASSERT_EQ(outcome.attempts.size(), 1u);
+  EXPECT_FALSE(outcome.attempts[0].success);
+  EXPECT_FALSE(outcome.attempts[0].end_ms.has_value());
+}
+
+TEST(HappyEyeballs, ShiftedStartAtDeadlineNeverHappens) {
+  // The shift pushes the second v4 start (unshifted 250ms CAD) to 300ms,
+  // exactly the deadline: an attempt cannot start at/after the deadline.
+  HeConfig config;
+  config.resolution_delay_ms = 50.0;
+  config.overall_timeout_ms = 300.0;
+  const auto outcome =
+      race({}, {v4("20.1.0.1", 500, false), v4("20.1.0.2", 10)}, config);
+  EXPECT_FALSE(outcome.connected());
+  ASSERT_EQ(outcome.attempts.size(), 1u);  // only the first ever started
+  EXPECT_DOUBLE_EQ(outcome.attempts[0].start_ms, 50.0);
+}
+
+TEST(HappyEyeballs, ShiftedRefusalObservationPastDeadlineIsDropped) {
+  // A Refused failure whose observation lands past the shifted deadline
+  // is never observed: the attempt stays, its end_ms does not.
+  HeConfig config;
+  config.resolution_delay_ms = 50.0;
+  config.overall_timeout_ms = 100.0;
+  const auto outcome =
+      race({}, {v4("20.1.0.1", 80, false, FailureMode::Refused)}, config);
+  EXPECT_FALSE(outcome.connected());
+  ASSERT_EQ(outcome.attempts.size(), 1u);
+  EXPECT_FALSE(outcome.attempts[0].end_ms.has_value());
+}
+
+TEST(HappyEyeballs, UnshiftedConnectExactlyAtDeadlineWins) {
+  // No shift (preferred family populated): the deadline is inclusive on
+  // this path too — previously a connect at exactly the deadline marked
+  // the attempt successful but never produced a winner.
+  HeConfig config;
+  config.overall_timeout_ms = 100.0;
+  const auto outcome = race({v6("2620:100::1", 100)}, {}, config);
+  ASSERT_TRUE(outcome.connected());
+  EXPECT_DOUBLE_EQ(outcome.connect_time_ms, 100.0);
+  ASSERT_EQ(outcome.attempts.size(), 1u);
+  EXPECT_TRUE(outcome.attempts[0].success);
+}
+
 }  // namespace
 }  // namespace sp::he

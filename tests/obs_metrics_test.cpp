@@ -1,0 +1,212 @@
+// Tests for the sp::obs metrics registry: counter/gauge semantics,
+// log₂ histogram bucketing and quantile estimation, scrape JSON, and —
+// the part TSan exists for — concurrent increments racing a scrape.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sp::obs {
+namespace {
+
+TEST(ObsMetrics, CounterSumsAcrossShardsAndHandles) {
+  MetricsRegistry registry;
+  const Counter a = registry.counter("test.count");
+  const Counter b = registry.counter("test.count");  // same cell by name
+  a.add();
+  a.add(41);
+  b.add(58);
+  EXPECT_EQ(a.value(), 100);
+  EXPECT_EQ(b.value(), 100);
+}
+
+TEST(ObsMetrics, DefaultConstructedHandlesAreInertNoOps) {
+  const Counter counter;
+  const Gauge gauge;
+  const Histogram histogram;
+  counter.add();
+  gauge.add(5);
+  histogram.record(7);
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(HistogramSnapshot::of(histogram).count, 0u);
+}
+
+TEST(ObsMetrics, GaugeMovesBothWaysAndIsSeparateFromCounters) {
+  MetricsRegistry registry;
+  const Gauge depth = registry.gauge("test.depth");
+  depth.add(3);
+  depth.sub();
+  depth.sub();
+  EXPECT_EQ(depth.value(), 1);
+
+  const auto snapshot = registry.scrape();
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].first, "test.depth");
+  EXPECT_EQ(snapshot.gauges[0].second, 1);
+  EXPECT_TRUE(snapshot.counters.empty());
+}
+
+TEST(ObsMetrics, HistogramBucketsByLog2) {
+  // bucket_of(v) == bit_width(v): 0→0, 1→1, [2,3]→2, [4,7]→3, ...
+  EXPECT_EQ(detail::HistogramCell::bucket_of(0), 0u);
+  EXPECT_EQ(detail::HistogramCell::bucket_of(1), 1u);
+  EXPECT_EQ(detail::HistogramCell::bucket_of(2), 2u);
+  EXPECT_EQ(detail::HistogramCell::bucket_of(3), 2u);
+  EXPECT_EQ(detail::HistogramCell::bucket_of(4), 3u);
+  EXPECT_EQ(detail::HistogramCell::bucket_of(7), 3u);
+  EXPECT_EQ(detail::HistogramCell::bucket_of(8), 4u);
+  // bit_width saturates into the last bucket instead of indexing past it.
+  EXPECT_EQ(detail::HistogramCell::bucket_of(~std::uint64_t{0}), kHistogramBuckets - 1);
+
+  MetricsRegistry registry;
+  const Histogram histogram = registry.histogram("test.us");
+  histogram.record(0);
+  histogram.record(1);
+  histogram.record(5);
+  histogram.record(5);
+  const auto snapshot = HistogramSnapshot::of(histogram);
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_EQ(snapshot.sum, 11u);
+  EXPECT_EQ(snapshot.max, 5u);
+  EXPECT_EQ(snapshot.buckets[0], 1u);
+  EXPECT_EQ(snapshot.buckets[1], 1u);
+  EXPECT_EQ(snapshot.buckets[3], 2u);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 11.0 / 4.0);
+}
+
+TEST(ObsMetrics, QuantilesInterpolateAndClampToMax) {
+  MetricsRegistry registry;
+  const Histogram histogram = registry.histogram("test.q");
+  // 100 samples of 10 (bucket [8,16)), 1 sample of 1000.
+  for (int i = 0; i < 100; ++i) histogram.record(10);
+  histogram.record(1000);
+  const auto snapshot = HistogramSnapshot::of(histogram);
+  const double p50 = snapshot.quantile(0.50);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LE(p50, 16.0);  // within the covering log₂ bucket
+  // p100 and anything landing in the top occupied bucket clamp to max.
+  EXPECT_DOUBLE_EQ(snapshot.quantile(1.0), 1000.0);
+  EXPECT_EQ(snapshot.max, 1000u);
+  // Empty histogram: all quantiles are 0.
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.quantile(0.99), 0.0);
+}
+
+TEST(ObsMetrics, QuantilesAreMonotoneInP) {
+  MetricsRegistry registry;
+  const Histogram histogram = registry.histogram("test.mono");
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.record(v);
+  const auto snapshot = HistogramSnapshot::of(histogram);
+  double previous = 0.0;
+  for (const double p : {0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double q = snapshot.quantile(p);
+    EXPECT_GE(q, previous) << "p=" << p;
+    previous = q;
+  }
+  EXPECT_LE(previous, 1000.0);
+}
+
+TEST(ObsMetrics, ScrapeJsonIsWellFormedAndSorted) {
+  MetricsRegistry registry;
+  registry.counter("b.count").add(2);
+  registry.counter("a.count").add(1);
+  registry.gauge("z.depth").add(7);
+  registry.histogram("lat.us").record(5);
+
+  const auto snapshot = registry.scrape();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.count");  // sorted by name
+  EXPECT_EQ(snapshot.counters[1].first, "b.count");
+
+  const std::string json = snapshot.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"z.depth\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"lat.us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ObsMetrics, GlobalRegistryIsProcessWide) {
+  const Counter a = MetricsRegistry::global().counter("obs_test.global");
+  const Counter b = MetricsRegistry::global().counter("obs_test.global");
+  const std::int64_t before = a.value();
+  b.add(3);
+  EXPECT_EQ(a.value(), before + 3);
+}
+
+// The TSan target: many threads hammer one counter, one gauge and one
+// histogram while another thread scrapes concurrently. Correctness
+// assertion is the final total once quiesced; TSan asserts the absence of
+// data races on the way there.
+TEST(ObsMetricsConcurrency, ParallelIncrementsRaceScrape) {
+  MetricsRegistry registry;
+  const Counter counter = registry.counter("race.count");
+  const Gauge gauge = registry.gauge("race.depth");
+  const Histogram histogram = registry.histogram("race.us");
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+  std::atomic<bool> done{false};
+
+  std::thread scraper([&] {
+    std::int64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snapshot = registry.scrape();
+      for (const auto& [name, value] : snapshot.counters) {
+        if (name == "race.count") {
+          EXPECT_GE(value, last);  // counter totals never move backwards
+          last = value;
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        counter.add();
+        gauge.add(1);
+        histogram.record(static_cast<std::uint64_t>((t * kIterations + i) % 1024));
+        gauge.sub(1);
+      }
+    });
+  }
+  for (auto& thread : writers) thread.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(counter.value(), static_cast<std::int64_t>(kThreads) * kIterations);
+  EXPECT_EQ(gauge.value(), 0);  // every add paired with a sub
+  const auto snapshot = HistogramSnapshot::of(histogram);
+  EXPECT_EQ(snapshot.count, static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+TEST(ObsMetricsConcurrency, RegistrationRacesLookup) {
+  // find-or-create from many threads: same name must yield the same cell.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        registry.counter("shared." + std::to_string(i % 10)).add();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::int64_t total = 0;
+  for (const auto& [name, value] : registry.scrape().counters) total += value;
+  EXPECT_EQ(total, kThreads * 200);
+}
+
+}  // namespace
+}  // namespace sp::obs

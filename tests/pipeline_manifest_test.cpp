@@ -1,0 +1,88 @@
+// RunManifest JSON round-trip over non-ASCII content. The writer emits
+// raw UTF-8 bytes (escaping only quotes, backslashes and control
+// characters); the strict parser accepts those raw bytes but rejects
+// \uXXXX escapes above 0x7F — it has no UTF-8 encoder, so accepting them
+// would silently mangle the string. A manifest naming stages or paths in
+// any language must survive save → load byte-for-byte.
+#include "pipeline/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace sp::pipeline {
+namespace {
+
+RunManifest non_ascii_manifest() {
+  RunManifest manifest;
+  manifest.campaign = "längsschnitt — 縦断 キャンペーン";
+  manifest.config.emplace_back("répertoire", "./données/mañana");
+  manifest.config.emplace_back("seed", "42");
+  StageRecord stage;
+  stage.name = "detect[2024-09] (früh)";
+  stage.status = "done";
+  stage.inputs_hash = 0x0123456789abcdefULL;
+  stage.outputs.push_back({"pärchen-2024-09.csv", 0xfedcba9876543210ULL});
+  stage.outputs.push_back({"シブリング.sibdb", 7});
+  stage.wall_ms = 12.5;
+  stage.peak_rss_kb = 1024;
+  manifest.stages.push_back(stage);
+  StageRecord failed;
+  failed.name = "export[2024-10]";
+  failed.status = "failed";
+  failed.error = "датотека не постоји: snapshot-2024-10.csv";
+  manifest.stages.push_back(failed);
+  return manifest;
+}
+
+TEST(PipelineManifestUtf8, InMemoryJsonRoundTrip) {
+  const RunManifest manifest = non_ascii_manifest();
+  const std::string json = manifest.to_json();
+  // Raw UTF-8 bytes in the document, not \u escapes.
+  EXPECT_NE(json.find("縦断"), std::string::npos);
+  EXPECT_NE(json.find("pärchen"), std::string::npos);
+  EXPECT_EQ(json.find("\\u7e26"), std::string::npos);
+
+  std::string error;
+  const auto parsed = RunManifest::from_json(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->campaign, manifest.campaign);
+  EXPECT_EQ(parsed->config, manifest.config);
+  EXPECT_EQ(parsed->stages, manifest.stages);
+}
+
+TEST(PipelineManifestUtf8, FileRoundTrip) {
+  const RunManifest manifest = non_ascii_manifest();
+  const std::string path = ::testing::TempDir() + "manifest_utf8_test.json";
+  std::string error;
+  ASSERT_TRUE(manifest.save(path, &error)) << error;
+  const auto loaded = RunManifest::load(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->campaign, manifest.campaign);
+  EXPECT_EQ(loaded->stages, manifest.stages);
+  std::remove(path.c_str());
+}
+
+TEST(PipelineManifestUtf8, AsciiUnicodeEscapesStillParse) {
+  // \u up to 0x7F is plain ASCII and accepted.
+  const std::string json =
+      "{\"version\":1,\"campaign\":\"a\\u0041b\",\"config\":{},\"stages\":[]}";
+  const auto parsed = RunManifest::from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->campaign, "aAb");
+}
+
+TEST(PipelineManifestUtf8, NonAsciiUnicodeEscapeRejected) {
+  // The \\u00e9 escape (for 'é') would need a UTF-8 encoder the strict
+  // parser does not have; it must reject, not mis-decode.
+  const std::string json =
+      "{\"version\":1,\"campaign\":\"caf\\u00e9\",\"config\":{},\"stages\":[]}";
+  std::string error;
+  const auto parsed = RunManifest::from_json(json, &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace sp::pipeline

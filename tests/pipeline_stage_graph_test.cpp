@@ -11,9 +11,28 @@
 #include <vector>
 
 #include "core/worker_pool.h"
+#include "obs/trace.h"
 
 namespace sp::pipeline {
 namespace {
+
+TEST(PipelineStageGraph, ExecutionsLandAsTraceSpans) {
+  obs::TraceRecorder recorder;
+  obs::TraceRecorder::set_active(&recorder);
+  StageGraph graph;
+  const auto a = graph.add("evolve[2024-09]", {}, [] { return StageOutcome::success(); });
+  graph.add("detect[2024-09]", {a}, [] { return StageOutcome::success(); });
+  core::WorkerPool pool(2);
+  EXPECT_TRUE(graph.run(pool));
+  obs::TraceRecorder::set_active(nullptr);
+
+  std::set<std::string> names;
+  for (const auto& event : recorder.events()) {
+    EXPECT_EQ(event.category, "stage");
+    names.insert(event.name);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"evolve[2024-09]", "detect[2024-09]"}));
+}
 
 TEST(PipelineStageGraph, DiamondRunsInTopologicalOrderOnSerialPool) {
   StageGraph graph;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -99,6 +101,67 @@ TEST(ServeService, CountersTrackQueriesAndBatches) {
   EXPECT_EQ(stats.batches, 1u);
   EXPECT_EQ(stats.batch_queries, 3u);
   EXPECT_EQ(stats.batch_hits, 2u);
+}
+
+TEST(ServeService, StatsReportLatencyQuantilesFromHistograms) {
+  SiblingService service(1);
+  ASSERT_TRUE(service.load(write_tagged_db("sp_service_quantiles.sibdb", 0.5)));
+  for (int i = 0; i < 50; ++i) {
+    (void)service.query(IPAddress(*IPv4Address::from_string("20.1.2.3")));
+  }
+  const std::vector<IPAddress> batch(16, IPAddress(*IPv4Address::from_string("20.1.2.3")));
+  for (int i = 0; i < 10; ++i) (void)service.query_many(batch);
+
+  // The quantiles come from the process-wide serve.query_us /
+  // serve.batch_us log₂ histograms (shared across service instances in
+  // this binary), so assertions stay on invariants: samples exist and
+  // p50 <= p90 <= p99 <= max.
+  const auto stats = service.stats();
+  EXPECT_GT(stats.query_max_us + 1, 0u);  // max recorded (possibly 0 on a fast box)
+  EXPECT_LE(stats.query_p50_us, stats.query_p90_us);
+  EXPECT_LE(stats.query_p90_us, stats.query_p99_us);
+  EXPECT_LE(stats.query_p99_us, static_cast<double>(stats.query_max_us));
+  EXPECT_LE(stats.batch_p50_us, stats.batch_p90_us);
+  EXPECT_LE(stats.batch_p90_us, stats.batch_p99_us);
+  EXPECT_LE(stats.batch_p99_us, static_cast<double>(stats.batch_max_us));
+  const auto snapshot =
+      obs::HistogramSnapshot::of(obs::MetricsRegistry::global().histogram("serve.query_us"));
+  EXPECT_GE(snapshot.count, 50u);
+}
+
+TEST(ServeService, StatsReportPerGenerationHitRates) {
+  SiblingService service(1);
+  const std::string a = write_tagged_db("sp_service_genstats_a.sibdb", 0.25);
+  const std::string b = write_tagged_db("sp_service_genstats_b.sibdb", 0.75);
+
+  ASSERT_TRUE(service.load(a));
+  // Generation 1: 2 hits, 1 miss (single) + a batch of 1 hit, 1 miss.
+  (void)service.query(IPAddress(*IPv4Address::from_string("20.1.2.3")));
+  (void)service.query(IPAddress(*IPv4Address::from_string("20.1.0.9")));
+  (void)service.query(IPAddress(*IPv4Address::from_string("21.0.0.1")));
+  (void)service.query_many(std::vector<IPAddress>{
+      IPAddress(*IPv4Address::from_string("20.1.2.3")),
+      IPAddress(*IPv4Address::from_string("21.0.0.1"))});
+
+  ASSERT_TRUE(service.load(b));
+  // Generation 2: 1 hit.
+  (void)service.query(IPAddress(*IPv4Address::from_string("20.1.2.3")));
+
+  const auto stats = service.stats();
+  ASSERT_EQ(stats.generations.size(), 2u);  // retired gen 1, live gen 2
+  const GenerationStats& gen1 = stats.generations[0];
+  EXPECT_EQ(gen1.generation, 1u);
+  EXPECT_EQ(gen1.queries, 5u);  // 3 singles + 2 batch members
+  EXPECT_EQ(gen1.hits, 3u);
+  EXPECT_DOUBLE_EQ(gen1.hit_rate(), 3.0 / 5.0);
+  const GenerationStats& gen2 = stats.generations[1];
+  EXPECT_EQ(gen2.generation, 2u);
+  EXPECT_EQ(gen2.queries, 1u);
+  EXPECT_EQ(gen2.hits, 1u);
+  EXPECT_DOUBLE_EQ(gen2.hit_rate(), 1.0);
+
+  // Before any load there are no generations to report.
+  EXPECT_TRUE(SiblingService(1).stats().generations.empty());
 }
 
 TEST(ServeService, ReloadBumpsGeneration) {
