@@ -54,6 +54,15 @@ void print_stats(const serve::ServiceStats& stats) {
               static_cast<unsigned long long>(stats.query_max_us), stats.batch_p50_us,
               stats.batch_p90_us, stats.batch_p99_us,
               static_cast<unsigned long long>(stats.batch_max_us));
+  // Generations older than the retained window, folded into one bucket
+  // so reload churn cannot grow this report (or service memory) forever.
+  if (stats.compacted_generations > 0) {
+    std::printf("STATS gen=compacted(%llu) served=%llu hits=%llu hit_rate=%.4f\n",
+                static_cast<unsigned long long>(stats.compacted_generations),
+                static_cast<unsigned long long>(stats.compacted.queries),
+                static_cast<unsigned long long>(stats.compacted.hits),
+                stats.compacted.hit_rate());
+  }
   // One line per snapshot generation this process has served (the last is
   // the live one): how much traffic it answered and how well it covered it.
   for (const serve::GenerationStats& gen : stats.generations) {

@@ -1,0 +1,27 @@
+// Fuzz target: the streaming CSV parser is differentially checked
+// against the in-memory one — same dialect, so same accept/reject
+// decision and, on accept, identical rows in identical order.
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/csv.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  std::istringstream in{std::string(text)};
+  std::vector<sp::io::CsvRow> streamed;
+  const sp::io::CsvStreamStatus status =
+      sp::io::read_csv_stream(in, [&](sp::io::CsvRow&& row, std::size_t) {
+        streamed.push_back(std::move(row));
+        return true;
+      });
+
+  const auto parsed = sp::io::parse_csv(text);
+  if (status.ok != parsed.has_value()) __builtin_trap();
+  if (parsed && *parsed != streamed) __builtin_trap();
+  return 0;
+}

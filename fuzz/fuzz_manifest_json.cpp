@@ -1,0 +1,20 @@
+// Fuzz target: RunManifest::from_json must reject arbitrary bytes with
+// nullopt — never crash — and any document it accepts must be stable
+// under to_json → from_json → to_json (the resume contract: a manifest
+// rewritten by a later run parses back to the same state).
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pipeline/manifest.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const auto manifest = sp::pipeline::RunManifest::from_json(text);
+  if (!manifest) return 0;
+
+  const std::string serialized = manifest->to_json();
+  const auto again = sp::pipeline::RunManifest::from_json(serialized);
+  if (!again || again->to_json() != serialized) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fuzz target: sp::io::parse_csv must reject malformed input with
+// nullopt — never crash — and whatever it accepts must survive a
+// format → parse round trip unchanged (the published-artifact
+// invariant: re-exporting a parsed list is lossless).
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "io/csv.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const auto rows = sp::io::parse_csv(text);
+  if (!rows) return 0;
+
+  std::string formatted;
+  for (const sp::io::CsvRow& row : *rows) {
+    formatted += sp::io::format_csv_row(row);
+    formatted += '\n';
+  }
+  const auto again = sp::io::parse_csv(formatted);
+  if (!again || *again != *rows) __builtin_trap();
+  return 0;
+}

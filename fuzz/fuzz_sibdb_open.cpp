@@ -1,0 +1,44 @@
+// Fuzz target: SiblingDB::load over arbitrary file bytes must either
+// reject (validation failure) or yield a snapshot whose accessors stay
+// in bounds — truncated, bit-flipped or adversarial .sibdb files must
+// never crash a serving process. The input arrives as bytes and is
+// staged through a temp file because the loader's contract is mmap.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "serve/sibdb.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  char path[] = "/tmp/sp_fuzz_sibdb_XXXXXX";
+  const int fd = mkstemp(path);
+  if (fd < 0) return 0;
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n <= 0) break;
+    written += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+
+  if (written == size) {
+    std::string error;
+    auto db = sp::serve::SiblingDB::load(path, &error);
+    if (db) {
+      // Validation passed: every accessor over every record must be safe.
+      (void)db->source_label();
+      for (std::size_t i = 0; i < db->size(); ++i) {
+        (void)db->v4_prefix(i);
+        (void)db->v6_prefix(i);
+        (void)db->similarity(i);
+        (void)db->shared_domains(i);
+        (void)db->v4_domain_count(i);
+        (void)db->v6_domain_count(i);
+      }
+    }
+  }
+  ::unlink(path);
+  return 0;
+}

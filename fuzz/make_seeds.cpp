@@ -1,0 +1,149 @@
+// Generates the checked-in seed corpora under fuzz/corpus/<target>/.
+// Seeds come from the project's own writers (format_csv_row,
+// encode_dump, RunManifest::to_json, write_sibdb) plus a few handwritten
+// edge cases, so every corpus starts on the accept path and mutation
+// explores the reject boundary from valid inputs outward. Deterministic:
+// re-running over an existing corpus rewrites identical bytes.
+//
+// Usage: sp_make_fuzz_seeds <corpus root>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/detect.h"
+#include "io/csv.h"
+#include "mrt/codec.h"
+#include "netbase/prefix.h"
+#include "pipeline/manifest.h"
+#include "serve/sibdb.h"
+#include "synth/universe.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool write_seed(const fs::path& dir, const std::string& name, const void* data,
+                std::size_t size) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "make_seeds: cannot write %s\n", (dir / name).c_str());
+    return false;
+  }
+  return true;
+}
+
+bool write_seed(const fs::path& dir, const std::string& name, const std::string& text) {
+  return write_seed(dir, name, text.data(), text.size());
+}
+
+bool write_seed(const fs::path& dir, const std::string& name,
+                const std::vector<std::uint8_t>& bytes) {
+  return write_seed(dir, name, bytes.data(), bytes.size());
+}
+
+std::string csv_document() {
+  std::string text;
+  const std::vector<sp::io::CsvRow> rows = {
+      {"v4_prefix", "v6_prefix", "similarity"},
+      {"192.0.2.0/24", "2001:db8::/32", "0.9375"},
+      {"plain", "has,comma", "has \"quote\""},
+      {"multi\nline", "", "trailing"},
+  };
+  for (const sp::io::CsvRow& row : rows) {
+    text += sp::io::format_csv_row(row);
+    text += '\n';
+  }
+  return text;
+}
+
+bool make_csv_seeds(const fs::path& root) {
+  const std::string document = csv_document();
+  for (const char* target : {"parse_csv", "csv_stream"}) {
+    if (!write_seed(root / target, "list.csv", document)) return false;
+    if (!write_seed(root / target, "empty_field.csv", std::string("a,,c\n"))) return false;
+    if (!write_seed(root / target, "crlf.csv", std::string("a,b\r\nc,d\r\n"))) return false;
+    if (!write_seed(root / target, "unbalanced.csv", std::string("a,\"open\n"))) return false;
+  }
+  return true;
+}
+
+bool make_mrt_seeds(const fs::path& root) {
+  const sp::synth::SyntheticInternet internet;
+  if (!write_seed(root / "mrt_codec", "rib.mrt", sp::mrt::encode_dump(internet.mrt_dump()))) {
+    return false;
+  }
+  if (!write_seed(root / "mrt_codec", "updates.mrt",
+                  sp::mrt::encode_dump(internet.bgp4mp_updates_at(1)))) {
+    return false;
+  }
+  const std::uint8_t truncated[] = {0x00, 0x00, 0x00, 0x00, 0x00, 0x0d};
+  return write_seed(root / "mrt_codec", "truncated.mrt", truncated, sizeof(truncated));
+}
+
+bool make_manifest_seeds(const fs::path& root) {
+  sp::pipeline::RunManifest manifest;
+  manifest.campaign = "fuzz-seed";
+  manifest.config = {{"months", "12"}, {"threshold", "0.5"}};
+  sp::pipeline::StageRecord stage;
+  stage.name = "detect";
+  stage.status = "done";
+  stage.inputs_hash = 0x1234abcd5678ef00ULL;
+  stage.outputs.push_back({"siblings.csv", 0xfeedface0badf00dULL});
+  stage.wall_ms = 12.5;
+  manifest.stages.push_back(stage);
+  if (!write_seed(root / "manifest_json", "run.json", manifest.to_json())) return false;
+
+  const sp::pipeline::RunManifest empty;
+  if (!write_seed(root / "manifest_json", "empty.json", empty.to_json())) return false;
+  return write_seed(root / "manifest_json", "not_json.json", std::string("{\"version\":"));
+}
+
+bool make_sibdb_seeds(const fs::path& root) {
+  std::error_code ec;
+  fs::create_directories(root / "sibdb_open", ec);
+
+  const std::vector<sp::core::SiblingPair> pairs = {
+      {sp::Prefix::must_parse("192.0.2.0/24"), sp::Prefix::must_parse("2001:db8:1::/48"), 0.875,
+       7, 8, 9},
+      {sp::Prefix::must_parse("198.51.100.0/24"), sp::Prefix::must_parse("2001:db8:2::/48"), 0.5,
+       3, 6, 6},
+  };
+  const std::string valid = (root / "sibdb_open" / "valid.sibdb").string();
+  if (!sp::serve::write_sibdb(valid, pairs, "fuzz seed corpus")) {
+    std::fprintf(stderr, "make_seeds: write_sibdb failed\n");
+    return false;
+  }
+  const std::string empty = (root / "sibdb_open" / "empty.sibdb").string();
+  if (!sp::serve::write_sibdb(empty, {}, "")) return false;
+
+  // A header-sized prefix of the valid file: parses the magic, fails the
+  // declared-size check.
+  std::ifstream in(valid, std::ios::binary);
+  std::vector<char> head(128);
+  in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  return write_seed(root / "sibdb_open", "truncated.sibdb", head.data(),
+                    static_cast<std::size_t>(in.gcount()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root = argv[1];
+  if (!make_csv_seeds(root) || !make_mrt_seeds(root) || !make_manifest_seeds(root) ||
+      !make_sibdb_seeds(root)) {
+    return 1;
+  }
+  std::printf("seed corpora written under %s\n", root.c_str());
+  return 0;
+}

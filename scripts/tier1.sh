@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer
 # pass over the threaded engines (parallel detection, SP-Tuner, obs
-# metrics/tracing) and an ASan/UBSan pass over the parser-heavy I/O
-# (CSV fuzz round-trip, Happy Eyeballs, manifest UTF-8).
+# metrics/tracing), an ASan/UBSan pass over the parser-heavy I/O
+# (CSV fuzz round-trip, Happy Eyeballs, manifest UTF-8), and the
+# project linter (sp_lint) over the whole tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,13 +21,16 @@ cmake --build build -j "$JOBS"
 # scheduler (layered-graph stress on a multi-worker pool) and the worker
 # pool's task-queue mode it runs on; the obs suites race sharded metric
 # increments and trace spans against concurrent scrapes/serialization.
+# ReloadChurn is excluded: it is single-threaded (1000 sequential
+# loads proving retired-stats boundedness) and TSan only slows it.
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target core_detect_parallel_test \
   core_sptuner_parallel_test serve_lookup_test serve_service_test \
   core_worker_pool_test pipeline_stage_graph_test \
   obs_metrics_test obs_trace_test
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool|Obs')
+  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool|Obs' \
+  -E 'ReloadChurn')
 
 # Stage 3: memory-safety pass over the byte-level parsers under
 # AddressSanitizer + UBSan. The CSV suite includes a seeded fuzz-style
@@ -37,3 +41,21 @@ cmake --build build-asan -j "$JOBS" --target io_csv_test \
   he_happy_eyeballs_test pipeline_manifest_test
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
   -R 'Csv|HappyEyeballs|PipelineManifest')
+
+# Stage 4: the project linter. Every finding in the tree must either be
+# fixed or carry an explicit sp-lint suppression with a reason; zero
+# unsuppressed findings is the bar (see DESIGN.md §3.5).
+cmake --build build -j "$JOBS" --target sp_lint
+./build/tools/sp_lint --json > build/sp_lint_report.json
+python3 - <<'EOF'
+import json
+report = json.load(open("build/sp_lint_report.json"))
+print(f"sp_lint: {report['files_scanned']} files, "
+      f"{report['unsuppressed']} unsuppressed, {report['suppressed']} suppressed")
+if report["unsuppressed"] != 0:
+    for finding in report["findings"]:
+        if not finding["suppressed"]:
+            print(f"  {finding['file']}:{finding['line']}: "
+                  f"[{finding['rule']}] {finding['message']}")
+    raise SystemExit(1)
+EOF

@@ -128,6 +128,8 @@ void ParallelDetector::detect_direction(const DetectIndex& index, Family from, M
     std::vector<SiblingPair>& buffer = buffers[worker];
     DetectStats& local = locals[worker];
     for (;;) {
+      // sp-lint: atomics-ok(work-stealing chunk cursor; claims need no
+      // ordering, only uniqueness — the pool join publishes results)
       const std::size_t begin = next.fetch_add(kChunk, std::memory_order_relaxed);
       if (begin >= source_count) return;
       const std::size_t end = std::min(source_count, begin + kChunk);

@@ -194,6 +194,8 @@ SpTunerResult SpTunerMs::tune_all_parallel(std::span<const SiblingPair> pairs,
     for (unsigned t = 0; t < thread_count; ++t) {
       workers.emplace_back([this, pairs, &outputs, &next] {
         for (;;) {
+          // sp-lint: atomics-ok(work-stealing index cursor; claims need
+          // no ordering, only uniqueness — the pool join publishes results)
           const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
           if (index >= pairs.size()) return;
           outputs[index] = tune_pair(pairs[index]);

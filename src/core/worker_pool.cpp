@@ -1,9 +1,16 @@
 #include "core/worker_pool.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
+#include "lint/lock_order.h"
+
 namespace sp::core {
+
+namespace {
+constexpr const char* kMutexName = "core.worker_pool.mutex";
+}  // namespace
 
 WorkerPool::WorkerPool(unsigned thread_count)
     : queue_depth_(obs::MetricsRegistry::global().gauge("worker_pool.queue_depth")),
@@ -21,6 +28,7 @@ WorkerPool::WorkerPool(unsigned thread_count)
 WorkerPool::~WorkerPool() {
   {
     std::lock_guard lock(mutex_);
+    [[maybe_unused]] const lint::LockOrderScope held(kMutexName);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -32,6 +40,11 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::worker_loop(unsigned worker_id) {
   std::uint64_t seen = 0;
   std::unique_lock lock(mutex_);
+  // The lock-order scope must mirror the manual unlock/relock around job
+  // and task bodies exactly, or locks the bodies take would appear to
+  // nest under the pool mutex.
+  std::optional<lint::LockOrderScope> held;
+  held.emplace(kMutexName);
   for (;;) {
     work_cv_.wait(lock, [&] {
       return stopping_ || generation_ != seen || !tasks_.empty();
@@ -41,9 +54,11 @@ void WorkerPool::worker_loop(unsigned worker_id) {
     if (generation_ != seen) {
       seen = generation_;
       const std::function<void(unsigned)>* job = job_;
+      held.reset();
       lock.unlock();
       (*job)(worker_id);
       lock.lock();
+      held.emplace(kMutexName);
       if (--running_ == 0) done_cv_.notify_all();
       continue;
     }
@@ -51,9 +66,11 @@ void WorkerPool::worker_loop(unsigned worker_id) {
       QueuedTask task = std::move(tasks_.front());
       tasks_.pop_front();
       ++active_tasks_;
+      held.reset();
       lock.unlock();
       run_task(task.fn, task.enqueued);
       lock.lock();
+      held.emplace(kMutexName);
       if (--active_tasks_ == 0 && tasks_.empty()) idle_cv_.notify_all();
       continue;
     }
@@ -70,6 +87,7 @@ void WorkerPool::run(const std::function<void(unsigned)>& job) {
   }
   {
     std::lock_guard lock(mutex_);
+    [[maybe_unused]] const lint::LockOrderScope held(kMutexName);
     job_ = &job;
     ++generation_;
     running_ = static_cast<unsigned>(workers_.size());
@@ -77,6 +95,7 @@ void WorkerPool::run(const std::function<void(unsigned)>& job) {
   work_cv_.notify_all();
   job(0);
   std::unique_lock lock(mutex_);
+  [[maybe_unused]] const lint::LockOrderScope held(kMutexName);
   done_cv_.wait(lock, [&] { return running_ == 0; });
 }
 
@@ -103,6 +122,7 @@ void WorkerPool::submit(std::function<void()> task) {
   }
   {
     std::lock_guard lock(mutex_);
+    [[maybe_unused]] const lint::LockOrderScope held(kMutexName);
     tasks_.push_back({std::move(task), std::chrono::steady_clock::now()});
   }
   work_cv_.notify_one();
@@ -111,6 +131,7 @@ void WorkerPool::submit(std::function<void()> task) {
 void WorkerPool::wait_idle() {
   if (workers_.empty()) return;  // inline tasks finished inside submit()
   std::unique_lock lock(mutex_);
+  [[maybe_unused]] const lint::LockOrderScope held(kMutexName);
   idle_cv_.wait(lock, [&] { return tasks_.empty() && active_tasks_ == 0; });
 }
 

@@ -87,6 +87,9 @@ class WorkerPool {
 
   unsigned thread_count_;
 
+  // lock-order: 40 core.worker_pool.mutex (innermost engine lock:
+  // nests inside serve.service.pool_mutex via query_many → run(); never
+  // held while a job or task body executes)
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

@@ -1,0 +1,127 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sp::lint {
+
+namespace {
+
+void json_escape(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+[[nodiscard]] bool has_suffix(std::string_view path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string LintReport::to_json() const {
+  std::string out = "{\"files_scanned\":" + std::to_string(files_scanned) +
+                    ",\"unsuppressed\":" + std::to_string(unsuppressed_count()) +
+                    ",\"suppressed\":" + std::to_string(suppressed_count()) + ",\"findings\":[";
+  bool first = true;
+  for (const Finding& finding : findings) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"file\":\"";
+    json_escape(out, finding.file);
+    out += "\",\"line\":" + std::to_string(finding.line) + ",\"rule\":\"";
+    json_escape(out, finding.rule);
+    out += "\",\"message\":\"";
+    json_escape(out, finding.message);
+    out += finding.suppressed ? "\",\"suppressed\":true,\"reason\":\""
+                              : "\",\"suppressed\":false,\"reason\":\"";
+    json_escape(out, finding.suppress_reason);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+const std::vector<std::string>& default_roots() {
+  static const std::vector<std::string> roots = {"src", "examples", "tests", "tools", "fuzz"};
+  return roots;
+}
+
+bool lintable_path(const std::string& path) {
+  if (!has_suffix(path, ".h") && !has_suffix(path, ".hpp") && !has_suffix(path, ".cpp") &&
+      !has_suffix(path, ".cc")) {
+    return false;
+  }
+  // Build trees carry generated compiler-id sources; lint_fixtures are
+  // the linter's own seeded violations (lint_selftest lints them
+  // explicitly, the tree walk must not).
+  if (path.find("lint_fixtures") != std::string::npos) return false;
+  std::string_view rest = path;
+  while (!rest.empty()) {
+    const std::size_t slash = rest.find('/');
+    const std::string_view component = rest.substr(0, slash);
+    if (component.substr(0, 5) == "build" || component == "CMakeFiles") return false;
+    if (slash == std::string_view::npos) break;
+    rest.remove_prefix(slash + 1);
+  }
+  return true;
+}
+
+std::vector<Finding> lint_file(const std::string& path, const std::string& label) {
+  const std::string& name = label.empty() ? path : label;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{name, 0, "io", "cannot read file", false, {}}};
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return lint_source(name, content.str());
+}
+
+LintReport lint_paths(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  LintReport report;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && lintable_path(it->path().generic_string())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  for (const std::string& file : files) {
+    std::vector<Finding> found = lint_file(file);
+    report.findings.insert(report.findings.end(), std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+    ++report.files_scanned;
+  }
+  return report;
+}
+
+}  // namespace sp::lint

@@ -1,0 +1,50 @@
+// sp::lint driver — walks the tree, runs the rule catalog (rules.h) on
+// every C++ source file, and aggregates a report for tools/sp_lint,
+// scripts/tier1.sh stage 4, and the CI lint job.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace sp::lint {
+
+struct LintReport {
+  std::vector<Finding> findings;  // suppressed ones included, flagged
+  std::size_t files_scanned = 0;
+
+  [[nodiscard]] std::size_t unsuppressed_count() const noexcept {
+    std::size_t n = 0;
+    for (const Finding& finding : findings) n += finding.suppressed ? 0 : 1;
+    return n;
+  }
+  [[nodiscard]] std::size_t suppressed_count() const noexcept {
+    return findings.size() - unsuppressed_count();
+  }
+
+  /// Machine-readable report: {"files_scanned":N,"unsuppressed":N,
+  /// "suppressed":N,"findings":[{file,line,rule,message,suppressed,
+  /// reason}...]} — what tier1.sh and ci.yml assert on.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The directories sp_lint walks by default, relative to the repo root.
+[[nodiscard]] const std::vector<std::string>& default_roots();
+
+/// True for files the walker lints (.h/.hpp/.cpp/.cc outside build
+/// trees and the linter's own violation fixtures).
+[[nodiscard]] bool lintable_path(const std::string& path);
+
+/// Lints one on-disk file; `label` is the path recorded in findings
+/// (defaults to `path`). Missing files produce an `io` finding.
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& path,
+                                             const std::string& label = {});
+
+/// Walks `roots` (files or directories, recursively) and lints every
+/// lintable file. Paths in findings are as discovered. Deterministic:
+/// directory entries are visited in sorted order.
+[[nodiscard]] LintReport lint_paths(const std::vector<std::string>& roots);
+
+}  // namespace sp::lint

@@ -1,0 +1,136 @@
+#include "lint/lock_order.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace sp::lint {
+
+namespace {
+
+/// Lock names held by the calling thread, acquisition order.
+thread_local std::vector<const char*> t_held;
+
+}  // namespace
+
+struct LockOrderRegistry::State {
+  // lock-order: 90 lint.lock_order.registry_mutex (leaf: guards the edge
+  // graph only; never held while user locks are taken)
+  mutable std::mutex mutex_;
+  // edge A→B (A held when B acquired) → witness: the full held stack at
+  // the moment the edge was first recorded, B included.
+  std::map<std::string, std::map<std::string, std::vector<std::string>>> edges;
+  FailHandler on_fail;
+};
+
+LockOrderRegistry::State& LockOrderRegistry::state() const {
+  static State* s = new State;  // leaked: scopes may fire in static dtors
+  return *s;
+}
+
+LockOrderRegistry& LockOrderRegistry::instance() {
+  static LockOrderRegistry registry;
+  return registry;
+}
+
+void LockOrderRegistry::set_fail_handler(FailHandler handler) {
+  State& s = state();
+  const std::lock_guard lock(s.mutex_);
+  s.on_fail = std::move(handler);
+}
+
+void LockOrderRegistry::reset() {
+  State& s = state();
+  const std::lock_guard lock(s.mutex_);
+  s.edges.clear();
+  t_held.clear();
+}
+
+std::vector<std::string> LockOrderRegistry::edges() const {
+  State& s = state();
+  const std::lock_guard lock(s.mutex_);
+  std::vector<std::string> out;
+  for (const auto& [from, to_map] : s.edges) {
+    for (const auto& [to, witness] : to_map) out.push_back(from + " -> " + to);
+  }
+  return out;  // map iteration order is already sorted
+}
+
+void LockOrderRegistry::on_acquire(const char* name) {
+  State& s = state();
+  std::string report;
+  {
+    const std::lock_guard lock(s.mutex_);
+    for (const char* held : t_held) {
+      if (std::string_view(held) == name) continue;  // same-class nesting: no edge
+      // A path name →* held means the recorded order puts `name` before
+      // `held`; acquiring `name` while holding `held` closes a cycle.
+      std::vector<std::string> path{name};
+      std::vector<std::string> stack{name};
+      const auto dfs = [&](const auto& self, const std::string& node) -> bool {
+        if (node == held) return true;
+        const auto it = s.edges.find(node);
+        if (it == s.edges.end()) return false;
+        for (const auto& [next, witness] : it->second) {
+          if (std::find(path.begin(), path.end(), next) != path.end()) continue;
+          path.push_back(next);
+          if (self(self, next)) return true;
+          path.pop_back();
+        }
+        return false;
+      };
+      if (dfs(dfs, name)) {
+        report = "lock-order cycle detected\n  this thread holds [";
+        for (std::size_t i = 0; i < t_held.size(); ++i) {
+          report += (i ? ", " : "") + std::string(t_held[i]);
+        }
+        report += "] and is acquiring '" + std::string(name) + "'\n  recorded order: ";
+        for (std::size_t i = 0; i < path.size(); ++i) {
+          report += (i ? " -> " : "") + path[i];
+        }
+        report += "\n  witness stacks (held locks when each edge was recorded):";
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          report += "\n    " + path[i] + " -> " + path[i + 1] + ": [";
+          const auto& witness = s.edges[path[i]][path[i + 1]];
+          for (std::size_t j = 0; j < witness.size(); ++j) {
+            report += (j ? ", " : "") + witness[j];
+          }
+          report += "]";
+        }
+        break;
+      }
+      auto& witness = s.edges[held][name];
+      if (witness.empty()) {
+        for (const char* h : t_held) witness.emplace_back(h);
+        witness.emplace_back(name);
+      }
+    }
+    if (report.empty()) {
+      t_held.push_back(name);
+      return;
+    }
+  }
+  FailHandler handler;
+  {
+    const std::lock_guard lock(s.mutex_);
+    handler = s.on_fail;
+  }
+  if (handler) {
+    handler(report);
+    t_held.push_back(name);  // keep the stack consistent for the paired release
+    return;
+  }
+  std::fprintf(stderr, "%s\n", report.c_str());
+  std::abort();
+}
+
+void LockOrderRegistry::on_release(const char* name) {
+  const auto it = std::find_if(t_held.rbegin(), t_held.rend(), [&](const char* held) {
+    return std::string_view(held) == name;
+  });
+  if (it != t_held.rend()) t_held.erase(std::next(it).base());
+}
+
+}  // namespace sp::lint

@@ -1,0 +1,91 @@
+// sp::lint::LockOrderRegistry — the runtime half of the lock-order
+// discipline (the static half is the `// lock-order:` annotation the
+// lint rule requires on every mutex member; see DESIGN.md §3.5).
+//
+// The registry records the cross-thread acquisition-order graph by lock
+// *name* (one node per annotated lock class, not per instance): when a
+// thread acquires lock B while holding lock A it adds the edge A→B,
+// remembering the full held stack as the edge's witness. If a later
+// acquisition would close a cycle — thread 2 takes A while holding B
+// after thread 1 established A→B — the registry reports both sides'
+// lock-name stacks (the current thread's held stack and the witness
+// stack of every edge on the reverse path) and aborts: the program has
+// a latent deadlock even if this interleaving happened not to wedge.
+//
+// Instrumentation is a no-op unless the build defines
+// SP_DEBUG_LOCKORDER (cmake -DSP_DEBUG_LOCKORDER=ON): LockOrderScope
+// compiles to an empty object, so WorkerPool, SiblingService and
+// StageGraph pay nothing in production builds. The registry itself is
+// always compiled (sp_lintrt), so tests can drive on_acquire/on_release
+// directly in any configuration.
+//
+// Same-name nesting (two instances of the same lock class held at once)
+// is permitted and recorded as no edge: ordering is tracked per class,
+// and instance-level self-deadlock is TSan's department.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sp::lint {
+
+class LockOrderRegistry {
+ public:
+  using FailHandler = std::function<void(const std::string& report)>;
+
+  /// The process-wide registry the LockOrderScope instrumentation feeds.
+  [[nodiscard]] static LockOrderRegistry& instance();
+
+  /// Records that the calling thread acquired `name` (names must be
+  /// string literals or otherwise outlive the registry). Adds ordering
+  /// edges from every lock the thread already holds and fails on a
+  /// cycle.
+  void on_acquire(const char* name);
+
+  /// Records the release of the most recent acquisition of `name` by
+  /// the calling thread.
+  void on_release(const char* name);
+
+  /// Edges as "A -> B" strings, sorted — the recorded acquisition-order
+  /// graph, for tests and debugging dumps.
+  [[nodiscard]] std::vector<std::string> edges() const;
+
+  /// Replaces the abort-on-cycle handler (tests install a capturing
+  /// handler). The default prints the report to stderr and aborts.
+  void set_fail_handler(FailHandler handler);
+
+  /// Clears recorded edges and this thread's held stack (tests only;
+  /// other threads' held stacks are untouched).
+  void reset();
+
+ private:
+  LockOrderRegistry() = default;
+  struct State;
+  [[nodiscard]] State& state() const;
+};
+
+#ifdef SP_DEBUG_LOCKORDER
+/// RAII acquisition record: construct immediately after taking the
+/// lock, destroy where the guard releases it (scope exit). The debug
+/// build's view of `std::lock_guard lock(m); LockOrderScope scope("x");`.
+class LockOrderScope {
+ public:
+  explicit LockOrderScope(const char* name) : name_(name) {
+    LockOrderRegistry::instance().on_acquire(name_);
+  }
+  ~LockOrderScope() { LockOrderRegistry::instance().on_release(name_); }
+  LockOrderScope(const LockOrderScope&) = delete;
+  LockOrderScope& operator=(const LockOrderScope&) = delete;
+
+ private:
+  const char* name_;
+};
+#else
+class LockOrderScope {
+ public:
+  constexpr explicit LockOrderScope(const char*) noexcept {}
+};
+#endif
+
+}  // namespace sp::lint

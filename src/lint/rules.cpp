@@ -1,0 +1,483 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <unordered_map>
+
+namespace sp::lint {
+
+namespace {
+
+Finding make(std::string file, std::size_t line, std::string rule, std::string message) {
+  Finding finding;
+  finding.file = std::move(file);
+  finding.line = line;
+  finding.rule = std::move(rule);
+  finding.message = std::move(message);
+  return finding;
+}
+
+// ---------------------------------------------------------------------------
+// Path classification
+
+[[nodiscard]] bool has_suffix(std::string_view path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+[[nodiscard]] bool is_header(std::string_view path) {
+  return has_suffix(path, ".h") || has_suffix(path, ".hpp");
+}
+
+/// True when `path` has `dir` as one of its directory components.
+[[nodiscard]] bool in_dir(std::string_view path, std::string_view dir) {
+  const std::string needle = "/" + std::string(dir) + "/";
+  if (path.find(needle) != std::string_view::npos) return true;
+  const std::string prefix = std::string(dir) + "/";
+  return path.substr(0, prefix.size()) == prefix;
+}
+
+[[nodiscard]] bool contains_ci(std::string_view haystack, std::string_view needle) {
+  const auto it = std::search(haystack.begin(), haystack.end(), needle.begin(), needle.end(),
+                              [](char a, char b) {
+                                return std::tolower(static_cast<unsigned char>(a)) ==
+                                       std::tolower(static_cast<unsigned char>(b));
+                              });
+  return it != haystack.end();
+}
+
+// ---------------------------------------------------------------------------
+// Comment blocks
+
+/// A run of comments on consecutive lines, merged into one text. Authors
+/// wrap long suppression reasons and lock-order annotations over several
+/// `//` lines; rules must see the whole block, not one physical line.
+struct CommentBlock {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::string text;  // the lines' comment text, joined with single spaces
+};
+
+/// One comment line's text with the `// `/`/* ` marker and surrounding
+/// whitespace removed, so merged blocks read as continuous prose.
+[[nodiscard]] std::string strip_comment_markers(std::string_view text) {
+  std::size_t begin = text.find_first_not_of(" \t");
+  if (begin == std::string_view::npos) return {};
+  if (text.substr(begin, 2) == "//" || text.substr(begin, 2) == "/*") {
+    begin = text.find_first_not_of(" \t/*", begin);
+    if (begin == std::string_view::npos) return {};
+  }
+  const std::size_t end = text.find_last_not_of(" \t");
+  return std::string(text.substr(begin, end - begin + 1));
+}
+
+[[nodiscard]] std::vector<CommentBlock> comment_blocks(const SourceFile& source) {
+  const std::map<std::size_t, std::string> ordered(source.comments.begin(),
+                                                   source.comments.end());
+  std::vector<CommentBlock> blocks;
+  for (const auto& [line, text] : ordered) {
+    if (!blocks.empty() && blocks.back().last + 1 == line) {
+      blocks.back().last = line;
+      blocks.back().text += ' ';
+      blocks.back().text += strip_comment_markers(text);
+    } else {
+      blocks.push_back({line, line, strip_comment_markers(text)});
+    }
+  }
+  return blocks;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+struct Suppressions {
+  // line → rule → reason ("" = malformed, already reported)
+  std::map<std::size_t, std::unordered_map<std::string, std::string>> by_line;
+  std::unordered_map<std::string, std::string> by_file;
+};
+
+/// Parses `<rule>-ok(<reason>)` entries out of one comment's text after
+/// an `sp-lint:`/`sp-lint-file:` marker. Malformed entries (no parens,
+/// empty reason) produce `suppression` findings — an escape hatch that
+/// does not say why is a finding itself.
+void parse_entries(std::string_view text, std::size_t line, bool file_scope,
+                   std::string_view path, Suppressions& out, std::vector<Finding>& findings) {
+  std::size_t at = 0;
+  while ((at = text.find("-ok", at)) != std::string_view::npos) {
+    // Rule name: the [A-Za-z0-9-] run ending right before "-ok".
+    std::size_t start = at;
+    while (start > 0 && (std::isalnum(static_cast<unsigned char>(text[start - 1])) != 0 ||
+                         text[start - 1] == '-')) {
+      --start;
+    }
+    const std::string rule(text.substr(start, at - start));
+    const std::size_t after = at + 3;
+    at = after;
+    if (rule.empty()) continue;
+    if (after >= text.size() || text[after] != '(') {
+      findings.push_back(make(std::string(path), line, "suppression",
+                          "suppression '" + rule + "-ok' has no (<reason>)"));
+      continue;
+    }
+    const std::size_t close = text.find(')', after + 1);
+    const std::string reason(text.substr(
+        after + 1, close == std::string_view::npos ? std::string_view::npos : close - after - 1));
+    if (reason.find_first_not_of(" \t") == std::string::npos ||
+        close == std::string_view::npos) {
+      findings.push_back(make(std::string(path), line, "suppression",
+                          "suppression '" + rule + "-ok' has an empty reason"));
+      continue;
+    }
+    if (file_scope) {
+      out.by_file.emplace(rule, reason);
+    } else {
+      out.by_line[line].emplace(rule, reason);
+    }
+    at = close + 1;
+  }
+}
+
+[[nodiscard]] Suppressions collect_suppressions(std::string_view path,
+                                                const std::vector<CommentBlock>& blocks,
+                                                std::vector<Finding>& findings) {
+  Suppressions out;
+  for (const CommentBlock& block : blocks) {
+    std::size_t at = block.text.find("sp-lint-file:");
+    if (at != std::string::npos) {
+      parse_entries(std::string_view(block.text).substr(at + 13), block.first,
+                    /*file_scope=*/true, path, out, findings);
+    }
+    at = block.text.find("sp-lint:");
+    if (at != std::string::npos) {
+      Suppressions parsed;
+      parse_entries(std::string_view(block.text).substr(at + 8), block.first,
+                    /*file_scope=*/false, path, parsed, findings);
+      // A block-level suppression covers every line the block spans, so
+      // `apply_suppressions`'s line/line-1 check reaches code directly
+      // after a wrapped comment just as it does a single-line one.
+      for (const auto& [_, entries] : parsed.by_line) {
+        for (std::size_t line = block.first; line <= block.last; ++line) {
+          out.by_line[line].insert(entries.begin(), entries.end());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Marks `finding` suppressed when a matching line- or file-scoped
+/// suppression exists; a line suppression covers the finding's line and
+/// the line directly above it.
+void apply_suppressions(const Suppressions& suppressions, Finding& finding) {
+  for (const std::size_t line : {finding.line, finding.line - 1}) {
+    const auto row = suppressions.by_line.find(line);
+    if (row == suppressions.by_line.end()) continue;
+    const auto entry = row->second.find(finding.rule);
+    if (entry != row->second.end()) {
+      finding.suppressed = true;
+      finding.suppress_reason = entry->second;
+      return;
+    }
+  }
+  const auto entry = suppressions.by_file.find(finding.rule);
+  if (entry != suppressions.by_file.end()) {
+    finding.suppressed = true;
+    finding.suppress_reason = entry->second;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+
+[[nodiscard]] bool is_ident(const Token& token, std::string_view text) {
+  return token.kind == TokenKind::Identifier && token.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& token, char c) {
+  return token.kind == TokenKind::Punct && token.text.size() == 1 && token.text[0] == c;
+}
+
+/// Index of the matching closer for the opener at `open`, or the stream
+/// end. `opener`/`closer` are single punctuation characters.
+[[nodiscard]] std::size_t matching(const std::vector<Token>& tokens, std::size_t open,
+                                   char opener, char closer) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], opener)) ++depth;
+    if (is_punct(tokens[i], closer) && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+/// Index of the matching opener for the closer at `close`, scanning
+/// backwards. Returns 0 when unbalanced.
+[[nodiscard]] std::size_t matching_back(const std::vector<Token>& tokens, std::size_t close,
+                                        char opener, char closer) {
+  std::size_t depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (is_punct(tokens[i], closer)) ++depth;
+    if (is_punct(tokens[i], opener) && --depth == 0) return i;
+  }
+  return 0;
+}
+
+/// True when the ')' at `close` ends a control-flow condition —
+/// `if (...)`, `while (...)` and friends — rather than a parameter list.
+[[nodiscard]] bool closes_control_condition(const std::vector<Token>& tokens,
+                                            std::size_t close) {
+  const std::size_t open = matching_back(tokens, close, '(', ')');
+  if (open == 0) return false;
+  const Token& before = tokens[open - 1];
+  return before.kind == TokenKind::Identifier &&
+         (before.text == "if" || before.text == "for" || before.text == "while" ||
+          before.text == "switch" || before.text == "catch");
+}
+
+/// Start index of the function body enclosing token `at`: walks outward
+/// over unmatched '{'s and accepts the first one that directly follows a
+/// parameter-list ')' (allowing const/noexcept/override/trailing-return
+/// tokens in between) — a function or lambda body, as opposed to a
+/// class, namespace or control-flow brace. Returns 0 when no enclosing
+/// function is found.
+[[nodiscard]] std::size_t enclosing_function_start(const std::vector<Token>& tokens,
+                                                   std::size_t at) {
+  std::size_t depth = 0;
+  for (std::size_t i = at; i-- > 0;) {
+    if (is_punct(tokens[i], '}')) ++depth;
+    if (!is_punct(tokens[i], '{')) continue;
+    if (depth > 0) {
+      --depth;
+      continue;
+    }
+    // Unmatched '{': look back a few tokens for the parameter-list ')'.
+    std::size_t back = i;
+    for (int hops = 0; back-- > 0 && hops < 8; ++hops) {
+      const Token& token = tokens[back];
+      if (is_punct(token, ')')) {
+        if (closes_control_condition(tokens, back)) break;  // if/for/while body
+        return i;
+      }
+      const bool qualifier = token.kind == TokenKind::Identifier &&
+                             (token.text == "const" || token.text == "noexcept" ||
+                              token.text == "override" || token.text == "final" ||
+                              token.text == "mutable");
+      const bool arrow_type = token.kind == TokenKind::Identifier ||
+                              is_punct(token, '>') || is_punct(token, '-') ||
+                              is_punct(token, ':') || is_punct(token, '*');
+      if (!qualifier && !arrow_type) break;
+    }
+    // Class/namespace/initializer/control brace: keep walking outward.
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+
+void rule_determinism(std::string_view path, const SourceFile& source,
+                      std::vector<Finding>& findings) {
+  if (in_dir(path, "synth")) return;  // the sanctioned seeding site
+  const auto& tokens = source.tokens;
+  const auto flag = [&](std::size_t i, std::string message) {
+    findings.push_back(make(std::string(path), tokens[i].line, "determinism", std::move(message)));
+  };
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.kind != TokenKind::Identifier) continue;
+    const bool called = i + 1 < tokens.size() && is_punct(tokens[i + 1], '(');
+    if ((token.text == "rand" || token.text == "srand") && called) {
+      flag(i, token.text + "() draws from hidden global state; derive values from "
+                           "sp::synth::mix* seeding instead");
+    } else if (token.text == "random_device") {
+      flag(i, "std::random_device is nondeterministic; seed from configuration so runs "
+              "stay byte-reproducible");
+    } else if (token.text == "system_clock") {
+      flag(i, "system_clock reads the wall clock; use steady_clock for intervals or pass "
+              "timestamps in as data");
+    } else if (token.text == "random_shuffle") {
+      flag(i, "random_shuffle uses unspecified global randomness; use std::shuffle with a "
+              "seeded engine");
+    } else if (token.text == "time" && called && i + 2 < tokens.size()) {
+      const Token& arg = tokens[i + 2];
+      const bool argless = is_punct(arg, ')') || is_ident(arg, "nullptr") ||
+                           is_ident(arg, "NULL") ||
+                           (arg.kind == TokenKind::Number && arg.text == "0");
+      if (argless) {
+        flag(i, "time(nullptr) reads the wall clock; pass timestamps in as data");
+      }
+    }
+  }
+}
+
+void rule_atomics(std::string_view path, const SourceFile& source,
+                  std::vector<Finding>& findings) {
+  const bool obs = in_dir(path, "obs");
+  for (const Token& token : source.tokens) {
+    if (token.kind != TokenKind::Identifier) continue;
+    if (token.text == "memory_order_relaxed" && !obs) {
+      findings.push_back(make(std::string(path), token.line, "atomics",
+                          "memory_order_relaxed outside src/obs/ — relaxed is reserved for "
+                          "the sharded metric cells; justify other sites with a suppression"));
+    } else if (token.text == "volatile") {
+      findings.push_back(make(std::string(path), token.line, "atomics",
+                          "volatile is not a synchronization primitive; use std::atomic or a "
+                          "mutex"));
+    }
+  }
+}
+
+void rule_mmap_safety(std::string_view path, const SourceFile& source,
+                      std::vector<Finding>& findings) {
+  if (!in_dir(path, "serve")) return;
+  const auto& tokens = source.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.kind != TokenKind::Identifier) continue;
+    if (token.text == "const_cast") {
+      findings.push_back(make(std::string(path), token.line, "mmap-safety",
+                          "const_cast in serve/ mints a writable pointer; the sibdb mapping "
+                          "is PROT_READ and must never be written through"));
+      continue;
+    }
+    if (token.text != "reinterpret_cast") continue;
+    // Template argument: reinterpret_cast< ...type... >
+    if (i + 1 >= tokens.size() || !is_punct(tokens[i + 1], '<')) continue;
+    const std::size_t type_end = matching(tokens, i + 1, '<', '>');
+    bool has_pointer = false;
+    bool has_const = false;
+    for (std::size_t j = i + 2; j < type_end; ++j) {
+      has_pointer = has_pointer || is_punct(tokens[j], '*');
+      has_const = has_const || is_ident(tokens[j], "const");
+    }
+    if (has_pointer && !has_const) {
+      findings.push_back(make(std::string(path), token.line, "mmap-safety",
+                          "reinterpret_cast to a non-const pointer in serve/; mapped bytes "
+                          "are read-only — cast to a pointer-to-const"));
+    }
+    // Operand derived from the mapped base must be bounds-checked in the
+    // same function before the cast reads through it.
+    if (type_end + 1 >= tokens.size() || !is_punct(tokens[type_end + 1], '(')) continue;
+    const std::size_t operand_end = matching(tokens, type_end + 1, '(', ')');
+    bool from_mapping = false;
+    for (std::size_t j = type_end + 2; j < operand_end; ++j) {
+      from_mapping = from_mapping || is_ident(tokens[j], "data_") ||
+                     is_ident(tokens[j], "mapping");
+    }
+    if (!from_mapping) continue;
+    const std::size_t body_start = enclosing_function_start(tokens, i);
+    bool checked = false;
+    for (std::size_t j = body_start; j < i && !checked; ++j) {
+      if (tokens[j].kind != TokenKind::Identifier) continue;
+      checked = tokens[j].text == "if" || contains_ci(tokens[j].text, "check") ||
+                contains_ci(tokens[j].text, "valid") || has_suffix(tokens[j].text, "_ok") ||
+                tokens[j].text == "ok" || contains_ci(tokens[j].text, "fits");
+    }
+    if (!checked) {
+      findings.push_back(make(std::string(path), token.line, "mmap-safety",
+                          "reinterpret_cast on mapping-derived bytes with no bounds check "
+                          "earlier in this function; validate offsets/sizes first"));
+    }
+  }
+}
+
+void rule_header_hygiene(std::string_view path, const SourceFile& source,
+                         std::vector<Finding>& findings) {
+  if (!is_header(path)) return;
+  const auto& tokens = source.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.kind == TokenKind::Preprocessor &&
+        token.text.find("include") != std::string::npos &&
+        token.text.find("<iostream>") != std::string::npos) {
+      findings.push_back(make(std::string(path), token.line, "header-hygiene",
+                          "<iostream> in a header drags iostream statics into every consumer; "
+                          "include <iosfwd> or move the I/O to a .cpp"));
+    }
+    if (is_ident(token, "using") && i + 1 < tokens.size() &&
+        is_ident(tokens[i + 1], "namespace")) {
+      findings.push_back(make(std::string(path), token.line, "header-hygiene",
+                          "using-directive in a header leaks the namespace into every "
+                          "includer"));
+    }
+  }
+}
+
+void rule_lock_order(std::string_view path, const SourceFile& source,
+                     const std::vector<CommentBlock>& blocks,
+                     std::vector<Finding>& findings) {
+  const bool header = is_header(path);
+  const auto& tokens = source.tokens;
+  // The annotation may sit on the declaration line or in the comment
+  // block directly above it — wrapped annotations span several lines, so
+  // match against whole blocks, not physical lines.
+  const auto annotated = [&](std::size_t line) {
+    for (const CommentBlock& block : blocks) {
+      if (block.first > line) break;
+      const bool on_line = block.first <= line && line <= block.last;
+      if ((on_line || block.last + 1 == line) &&
+          block.text.find("lock-order:") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i + 4 < tokens.size(); ++i) {
+    if (!is_ident(tokens[i], "std") || !is_punct(tokens[i + 1], ':') ||
+        !is_punct(tokens[i + 2], ':')) {
+      continue;
+    }
+    const Token& type = tokens[i + 3];
+    if (type.kind != TokenKind::Identifier ||
+        (type.text != "mutex" && type.text != "recursive_mutex" &&
+         type.text != "shared_mutex" && type.text != "timed_mutex" &&
+         type.text != "recursive_timed_mutex" && type.text != "shared_timed_mutex")) {
+      continue;
+    }
+    // A declaration, not a template argument or parameter: the type is
+    // followed by a name and a terminating ';'.
+    const Token& name = tokens[i + 4];
+    if (name.kind != TokenKind::Identifier || i + 5 >= tokens.size() ||
+        !is_punct(tokens[i + 5], ';')) {
+      continue;
+    }
+    // Headers hold the library's member mutexes; in .cpp files only the
+    // member naming convention (trailing underscore) is checked, so test
+    // locals stay unannotated.
+    if (!header && name.text.back() != '_') continue;
+    const std::size_t line = tokens[i].line;
+    if (!annotated(line)) {
+      findings.push_back(make(std::string(path), line, "lock-order",
+                          "std::" + type.text + " member '" + name.text +
+                              "' has no `// lock-order: <rank> <name>` annotation (see "
+                              "DESIGN.md §3.5 for the hierarchy)"));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_rules(std::string_view path, const SourceFile& source) {
+  std::vector<Finding> findings;
+  const std::vector<CommentBlock> blocks = comment_blocks(source);
+  Suppressions suppressions = collect_suppressions(path, blocks, findings);
+  rule_determinism(path, source, findings);
+  rule_atomics(path, source, findings);
+  rule_mmap_safety(path, source, findings);
+  rule_header_hygiene(path, source, findings);
+  rule_lock_order(path, source, blocks, findings);
+  for (Finding& finding : findings) {
+    if (finding.rule != "suppression") apply_suppressions(suppressions, finding);
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return findings;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view content) {
+  const SourceFile source = tokenize(content);
+  return run_rules(path, source);
+}
+
+}  // namespace sp::lint

@@ -1,0 +1,71 @@
+// sp::lint rule catalog — the project invariants enforced as token
+// patterns over lint::SourceFile streams (see DESIGN.md §3.5).
+//
+// Shipped rules, each grounded in a subsystem contract:
+//
+//   determinism     No wall-clock or nondeterministic randomness in any
+//                   detect/serve/pipeline path: `rand`/`srand`,
+//                   `std::random_device`, `system_clock`, and argless
+//                   `time(nullptr/NULL/0)` are banned outside src/synth/
+//                   (whose hash-based seeding is the one sanctioned
+//                   entropy source). Protects the serial/parallel
+//                   byte-identity (PR 1) and crash-resume byte-identity
+//                   (PR 3) guarantees.
+//   atomics         `memory_order_relaxed` is allowed only inside
+//                   src/obs/ (the sharded metric cells it was designed
+//                   for); every other site must carry a suppression
+//                   naming why relaxed is sound there. `volatile` is
+//                   never a synchronization primitive and is flagged
+//                   everywhere.
+//   mmap-safety     In serve/: no non-const pointer may be minted from
+//                   the sibdb mapping (`reinterpret_cast<T*>` with a
+//                   non-const T, or any `const_cast`), and a
+//                   `reinterpret_cast` whose operand derives from the
+//                   mapped base (`data_`/`mapping`) must be preceded by
+//                   a bounds check in the same function body.
+//   header-hygiene  Library headers must not include <iostream> (static
+//                   initialization + code bloat in every consumer) and
+//                   must not contain `using namespace` at any scope.
+//   lock-order      Every std::mutex-family member declaration carries a
+//                   `// lock-order: <rank> <name>` annotation naming its
+//                   place in the project lock hierarchy — the static
+//                   half of lint::LockOrderRegistry (lock_order.h).
+//
+// Suppressions: `// sp-lint: <rule>-ok(<reason>)` on the finding's line
+// or the line above suppresses one rule there; a file-scoped
+// `// sp-lint-file: <rule>-ok(<reason>)` anywhere in the file suppresses
+// the rule for the whole file (used where a file-level design comment
+// already argues the invariant, e.g. the relaxed counters of
+// serve/service.cpp). A suppression with an empty reason is itself a
+// finding (rule `suppression`): every escape hatch must say why.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace sp::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;  // set when suppressed
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Runs every rule over one lexed file. `path` is the path as walked
+/// (rule applicability is path-based: src/obs/, serve/, src/synth/,
+/// header extensions) and is copied into each finding.
+[[nodiscard]] std::vector<Finding> run_rules(std::string_view path, const SourceFile& source);
+
+/// Convenience: tokenize + run_rules.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path, std::string_view content);
+
+}  // namespace sp::lint

@@ -1,0 +1,69 @@
+// sp::lint tokenizer — a lightweight C++ lexer for the project-invariant
+// static analyzer (tools/sp_lint). No libclang, no preprocessor
+// expansion: the rules in rules.h need token streams with line numbers
+// and the comment text per line (for `// sp-lint: <rule>-ok(<reason>)`
+// suppressions and `// lock-order:` annotations), not a full AST.
+//
+// The lexer understands exactly as much C++ as the rules require:
+//
+//   * line and block comments (collected per covered line, off the
+//     token stream);
+//   * string literals, including encoding prefixes and raw strings
+//     (R"delim(...)delim"), and character literals — their contents
+//     never produce identifier tokens, so `"rand()"` in a log message
+//     cannot trip the determinism rule;
+//   * preprocessor directives, folded (with line continuations) into a
+//     single Preprocessor token holding the directive text;
+//   * identifiers/keywords, numbers, and single-character punctuators
+//     (`::` is matched by the rules as two adjacent `:` tokens).
+//
+// Everything else (templates, overload resolution, macros) is out of
+// scope by design — the rules are written as token patterns that are
+// robust to it, and the `sp-lint` suppression escape hatch covers the
+// residue.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sp::lint {
+
+enum class TokenKind : unsigned char {
+  Identifier,    // keywords included; the rules match on spelling
+  Number,
+  String,        // any string literal, raw or not, prefix included
+  CharLiteral,
+  Punct,         // one character of punctuation
+  Preprocessor,  // a whole directive, continuations folded
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line;  // 1-based line the token starts on
+};
+
+/// One lexed translation unit: the token stream plus the comment text
+/// seen on each physical line (a block comment spanning lines
+/// contributes to every line it covers; multiple comments on one line
+/// are concatenated).
+struct SourceFile {
+  std::vector<Token> tokens;
+  std::unordered_map<std::size_t, std::string> comments;
+
+  /// Comment text on `line`, or an empty view when the line has none.
+  [[nodiscard]] std::string_view comment_on(std::size_t line) const {
+    const auto it = comments.find(line);
+    return it == comments.end() ? std::string_view{} : std::string_view{it->second};
+  }
+};
+
+/// Lexes `content`. Never fails: unterminated constructs are closed at
+/// end of input (the rules run on best-effort streams; the compilers,
+/// not the linter, reject malformed C++).
+[[nodiscard]] SourceFile tokenize(std::string_view content);
+
+}  // namespace sp::lint

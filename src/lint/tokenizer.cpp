@@ -1,0 +1,220 @@
+#include "lint/token.h"
+
+#include <cctype>
+
+namespace sp::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `text` is a valid string-literal encoding prefix, with or
+/// without the raw-string R (u8R, LR, R, ...).
+[[nodiscard]] bool is_string_prefix(std::string_view text, bool* raw) {
+  *raw = !text.empty() && text.back() == 'R';
+  const std::string_view encoding = *raw ? text.substr(0, text.size() - 1) : text;
+  return encoding.empty() || encoding == "u8" || encoding == "u" || encoding == "U" ||
+         encoding == "L";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view content) : text_(content) {}
+
+  SourceFile lex() {
+    while (pos_ < text_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (text_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void note_comment(std::size_t line, std::string_view piece) {
+    std::string& slot = out_.comments[line];
+    if (!slot.empty()) slot.push_back(' ');
+    slot.append(piece);
+  }
+
+  void line_comment() {
+    const std::size_t start_line = line_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+    note_comment(start_line, text_.substr(start, pos_ - start));
+  }
+
+  void block_comment() {
+    std::size_t piece_start = pos_;
+    std::size_t piece_line = line_;
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (text_[pos_] == '\n') {
+        note_comment(piece_line, text_.substr(piece_start, pos_ - piece_start));
+        advance();
+        piece_start = pos_;
+        piece_line = line_;
+        continue;
+      }
+      ++pos_;
+    }
+    note_comment(piece_line, text_.substr(piece_start, pos_ - piece_start));
+  }
+
+  /// Consumes a (non-raw) string or character literal body; the opening
+  /// delimiter is at pos_.
+  void quoted(char delimiter) {
+    advance();  // opening delimiter
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      advance();
+      if (c == delimiter) return;
+      // A literal never spans a physical line; an unterminated one stops
+      // at the newline so the rest of the file still lexes sanely.
+      if (c == '\n') return;
+    }
+  }
+
+  /// Consumes R"delim( ... )delim"; the opening quote is at pos_.
+  void raw_string() {
+    advance();  // opening quote
+    std::string delimiter;
+    while (pos_ < text_.size() && text_[pos_] != '(') {
+      delimiter.push_back(text_[pos_]);
+      advance();
+    }
+    if (pos_ < text_.size()) advance();  // '('
+    const std::string closer = ")" + delimiter + "\"";
+    const std::size_t at = text_.find(closer, pos_);
+    const std::size_t stop = at == std::string_view::npos ? text_.size() : at + closer.size();
+    while (pos_ < stop) advance();
+  }
+
+  void preprocessor() {
+    const std::size_t start_line = line_;
+    std::string directive;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        if (!directive.empty() && directive.back() == '\\') {
+          directive.pop_back();  // logical-line continuation
+          advance();
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        pos_ += 2;
+        block_comment();
+        directive.push_back(' ');
+        continue;
+      }
+      directive.push_back(c);
+      advance();
+    }
+    out_.tokens.push_back({TokenKind::Preprocessor, std::move(directive), start_line});
+  }
+
+  void step() {
+    const char c = text_[pos_];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (c == '\n') at_line_start_ = true;
+      advance();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      pos_ += 2;
+      block_comment();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      preprocessor();
+      return;
+    }
+    at_line_start_ = false;
+    if (is_ident_start(c)) {
+      const std::size_t start = pos_;
+      const std::size_t start_line = line_;
+      while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+      const std::string_view word = text_.substr(start, pos_ - start);
+      bool raw = false;
+      if ((peek() == '"' || peek() == '\'') && is_string_prefix(word, &raw)) {
+        // Encoding-prefixed literal: u8"...", L'...', R"(...)" — the
+        // prefix belongs to the literal, not the identifier stream.
+        if (peek() == '"' && raw) {
+          raw_string();
+        } else {
+          quoted(peek());
+        }
+        out_.tokens.push_back({TokenKind::String, std::string(word) + "\"...\"", start_line});
+        return;
+      }
+      out_.tokens.push_back({TokenKind::Identifier, std::string(word), start_line});
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const std::size_t start = pos_;
+      const std::size_t start_line = line_;
+      while (pos_ < text_.size() &&
+             (is_ident_char(text_[pos_]) || text_[pos_] == '.' || text_[pos_] == '\'')) {
+        ++pos_;
+      }
+      out_.tokens.push_back(
+          {TokenKind::Number, std::string(text_.substr(start, pos_ - start)), start_line});
+      return;
+    }
+    if (c == '"') {
+      const std::size_t start_line = line_;
+      quoted('"');
+      out_.tokens.push_back({TokenKind::String, "\"...\"", start_line});
+      return;
+    }
+    if (c == '\'') {
+      const std::size_t start_line = line_;
+      quoted('\'');
+      out_.tokens.push_back({TokenKind::CharLiteral, "'...'", start_line});
+      return;
+    }
+    out_.tokens.push_back({TokenKind::Punct, std::string(1, c), line_});
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  bool at_line_start_ = true;
+  SourceFile out_;
+};
+
+}  // namespace
+
+SourceFile tokenize(std::string_view content) { return Lexer(content).lex(); }
+
+}  // namespace sp::lint

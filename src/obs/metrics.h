@@ -231,6 +231,8 @@ class MetricsRegistry {
  private:
   detail::CounterCell* cell(std::string_view name, bool is_gauge);
 
+  // lock-order: 50 obs.metrics.registry_mutex (registration and scrape
+  // only, never on a record path; leaf)
   mutable std::mutex mutex_;
   std::deque<detail::CounterCell> counter_cells_;     // stable addresses
   std::deque<detail::HistogramCell> histogram_cells_;

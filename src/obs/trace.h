@@ -82,6 +82,8 @@ class TraceRecorder {
   [[nodiscard]] std::uint32_t tid_of(std::thread::id id);
 
   std::chrono::steady_clock::time_point epoch_;
+  // lock-order: 51 obs.trace.recorder_mutex (event append and scrape
+  // only; leaf)
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::unordered_map<std::thread::id, std::uint32_t> tids_;

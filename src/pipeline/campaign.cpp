@@ -139,11 +139,17 @@ class Runner {
   RunManifest old_;       // resume source (empty on fresh runs)
   RunManifest manifest_;  // being written
   std::string manifest_file_;
+  // lock-order: 36 pipeline.campaign.manifest_mutex (taken from the graph
+  // observer, after pipeline.stage_graph.observer_mutex; never nested
+  // with pending_mutex_)
   std::mutex manifest_mutex_;
   std::string manifest_error_;  // first save failure, surfaced in the report
 
   /// Stage bodies park their manifest record here; the graph observer —
   /// which alone knows wall_ms/rss — completes and persists it.
+  // lock-order: 35 pipeline.campaign.pending_mutex (taken from stage
+  // bodies and the graph observer, after
+  // pipeline.stage_graph.observer_mutex)
   std::mutex pending_mutex_;
   std::unordered_map<std::string, StageRecord> pending_;
 };

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "lint/lock_order.h"
 #include "obs/trace.h"
 
 namespace sp::pipeline {
@@ -150,12 +151,14 @@ void StageGraph::execute(StageId id) {
   std::vector<StageResult> observed;
   {
     std::lock_guard lock(mutex_);
+    [[maybe_unused]] const lint::LockOrderScope held("pipeline.stage_graph.mutex");
     finish(id, status, outcome.error, wall_ms, rss_kb, ready, finalized);
     observed.reserve(finalized.size());
     for (const StageId finished_id : finalized) observed.push_back(results_[finished_id]);
   }
   if (observer_) {
     std::lock_guard lock(observer_mutex_);
+    [[maybe_unused]] const lint::LockOrderScope held("pipeline.stage_graph.observer_mutex");
     for (const StageResult& result : observed) observer_(result);
   }
   dispatch_ready(ready);
@@ -165,6 +168,7 @@ void StageGraph::dispatch_ready(std::vector<StageId>& ready) {
   for (const StageId id : ready) {
     {
       std::lock_guard lock(mutex_);
+      [[maybe_unused]] const lint::LockOrderScope held("pipeline.stage_graph.mutex");
       results_[id].status = StageStatus::Running;
     }
     // With a 1-thread pool submit() executes inline: the whole graph runs
@@ -185,6 +189,7 @@ bool StageGraph::run(core::WorkerPool& pool) {
   std::vector<StageId> ready;
   {
     std::lock_guard lock(mutex_);
+    [[maybe_unused]] const lint::LockOrderScope held("pipeline.stage_graph.mutex");
     for (StageId id = 0; id < stages_.size(); ++id) {
       Stage& stage = stages_[id];
       stage.waiting = stage.deps.size();
@@ -198,6 +203,7 @@ bool StageGraph::run(core::WorkerPool& pool) {
 
   {
     std::unique_lock lock(mutex_);
+    [[maybe_unused]] const lint::LockOrderScope held("pipeline.stage_graph.mutex");
     done_cv_.wait(lock, [&] { return finished_ == stages_.size(); });
   }
   // The worker that finalized the last stage may still be inside its

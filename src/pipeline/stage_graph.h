@@ -126,8 +126,12 @@ class StageGraph {
   std::function<void(const StageResult&)> observer_;
 
   core::WorkerPool* pool_ = nullptr;
+  // lock-order: 30 pipeline.stage_graph.mutex (graph state; released
+  // before observer callbacks and before dispatching onto the pool)
   std::mutex mutex_;
-  std::mutex observer_mutex_;  // observer calls serialized, off the graph lock
+  // lock-order: 31 pipeline.stage_graph.observer_mutex (observer calls
+  // serialized, off the graph lock; leaf)
+  std::mutex observer_mutex_;
   std::condition_variable done_cv_;
   std::size_t finished_ = 0;
   bool ran_ = false;

@@ -91,6 +91,8 @@ std::vector<std::optional<SiblingAnswer>> LookupEngine::query_many(
       const obs::ScopedSpan shard_span("serve.batch.shard" + std::to_string(worker),
                                        "serve");
       for (;;) {
+        // sp-lint: atomics-ok(work-stealing chunk cursor; claims need no
+        // ordering, only uniqueness — the pool join publishes results)
         const std::size_t begin = next.fetch_add(kBatchChunk, std::memory_order_relaxed);
         if (begin >= addresses.size()) return;
         const std::size_t end = std::min(addresses.size(), begin + kBatchChunk);

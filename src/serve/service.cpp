@@ -1,5 +1,10 @@
 #include "serve/service.h"
 
+#include "lint/lock_order.h"
+
+// sp-lint-file: atomics-ok(statistics counters; see the rationale in
+// service.h — relaxed is exact when quiesced and nothing orders on them)
+
 namespace sp::serve {
 
 namespace {
@@ -26,6 +31,7 @@ bool SiblingService::load(const std::string& path, std::string* error) {
   auto snapshot = std::make_shared<const Snapshot>(std::move(*db), path, generation);
   {
     std::lock_guard lock(current_mutex_);
+    [[maybe_unused]] const lint::LockOrderScope held("serve.service.current_mutex");
     if (current_) {
       // Retire the outgoing generation's tally. In-flight queries still
       // pinning it may add a few more counts after this capture; the
@@ -33,6 +39,14 @@ bool SiblingService::load(const std::string& path, std::string* error) {
       retired_.push_back({current_->generation,
                           current_->served_queries.load(std::memory_order_relaxed),
                           current_->served_hits.load(std::memory_order_relaxed)});
+      // Keep the retired window bounded under reload churn: fold the
+      // oldest tallies into the cumulative bucket once the cap is hit.
+      while (retired_.size() > kRetiredGenerationCap) {
+        compacted_.queries += retired_.front().queries;
+        compacted_.hits += retired_.front().hits;
+        ++compacted_count_;
+        retired_.erase(retired_.begin());
+      }
     }
     current_ = std::move(snapshot);
   }
@@ -51,6 +65,7 @@ bool SiblingService::reload(std::string* error) {
 
 std::shared_ptr<const Snapshot> SiblingService::snapshot() const {
   std::lock_guard lock(current_mutex_);
+  [[maybe_unused]] const lint::LockOrderScope held("serve.service.current_mutex");
   return current_;
 }
 
@@ -92,6 +107,7 @@ BatchResult SiblingService::query_many(std::span<const IPAddress> addresses) {
   result.snapshot = snapshot();  // pin: the whole batch answers from here
   if (result.snapshot) {
     std::lock_guard lock(pool_mutex_);
+    [[maybe_unused]] const lint::LockOrderScope held("serve.service.pool_mutex");
     result.answers = result.snapshot->engine.query_many(addresses, &pool_);
   } else {
     result.answers.assign(addresses.size(), std::nullopt);
@@ -132,8 +148,11 @@ ServiceStats SiblingService::stats() const {
   std::shared_ptr<const Snapshot> snap;
   {
     std::lock_guard lock(current_mutex_);
+    [[maybe_unused]] const lint::LockOrderScope held("serve.service.current_mutex");
     snap = current_;
     out.generations = retired_;
+    out.compacted = compacted_;
+    out.compacted_generations = compacted_count_;
   }
   out.generation = snap ? snap->generation : 0;
   if (snap) {

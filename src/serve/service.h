@@ -26,6 +26,10 @@
 //
 // Counters (queries, hits, misses, batches, reloads, latency sums) are
 // relaxed atomics: cheap on the hot path, exact totals when quiesced.
+//
+// sp-lint-file: atomics-ok(independent statistics counters; relaxed is
+// sound because nothing orders against them and exact totals are only
+// read quiesced — see the file header above)
 #pragma once
 
 #include <atomic>
@@ -78,6 +82,12 @@ struct GenerationStats {
   }
 };
 
+/// Retired generations kept individually before compaction folds the
+/// oldest into the cumulative bucket (ServiceStats::compacted). 64 spans
+/// two months of hourly reloads; beyond that only the aggregate is
+/// interesting, and an unbounded vector would leak under reload churn.
+inline constexpr std::size_t kRetiredGenerationCap = 64;
+
 /// Point-in-time service counters.
 struct ServiceStats {
   std::uint64_t queries = 0;  // single queries (batch members not included)
@@ -104,8 +114,16 @@ struct ServiceStats {
   std::uint64_t batch_max_us = 0;
 
   /// Hit rate per snapshot generation this service has served, oldest
-  /// first; the last entry is the live generation.
+  /// first; the last entry is the live generation. At most
+  /// kRetiredGenerationCap retired entries plus the live one — older
+  /// retirees are folded into `compacted`.
   std::vector<GenerationStats> generations;
+
+  /// Cumulative tally of every retired generation older than the
+  /// `generations` window (generation field is 0 — it is an aggregate).
+  /// Invariant: compacted + generations sums to everything ever served.
+  GenerationStats compacted;
+  std::uint64_t compacted_generations = 0;  // how many were folded in
 };
 
 /// A batch answered from exactly one pinned snapshot.
@@ -153,9 +171,15 @@ class SiblingService {
   void count_query(bool hit, std::chrono::steady_clock::time_point start);
 
   core::WorkerPool pool_;
-  std::mutex pool_mutex_;  // WorkerPool::run is not reentrant
+  // lock-order: 10 serve.service.pool_mutex (WorkerPool::run is not
+  // reentrant; held across the batch, so core.worker_pool.mutex nests
+  // inside it)
+  std::mutex pool_mutex_;
   std::atomic<std::uint64_t> next_generation_{1};
-  mutable std::mutex current_mutex_;  // guards the pointer copy/swap only
+  // lock-order: 20 serve.service.current_mutex (guards the pointer
+  // copy/swap and the retired tallies only; leaf — nothing is acquired
+  // under it)
+  mutable std::mutex current_mutex_;
   std::shared_ptr<const Snapshot> current_;
 
   std::atomic<std::uint64_t> queries_{0}, hits_{0}, misses_{0};
@@ -164,8 +188,12 @@ class SiblingService {
   std::atomic<std::uint64_t> query_ns_{0}, batch_ns_{0};
 
   // Tallies of generations this service replaced (under current_mutex_);
-  // the live generation's tally sits in the snapshot itself.
+  // the live generation's tally sits in the snapshot itself. Bounded:
+  // the newest kRetiredGenerationCap individually, everything older
+  // folded into compacted_ so reload churn cannot grow memory.
   std::vector<GenerationStats> retired_;
+  GenerationStats compacted_;             // aggregate of folded retirees
+  std::uint64_t compacted_count_ = 0;     // generations folded so far
 
   // Latency histograms in the process-wide registry (shared across
   // services by name — the registry is the fleet view; the per-service

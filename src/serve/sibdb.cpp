@@ -269,6 +269,8 @@ SiblingDB::~SiblingDB() { reset(); }
 
 void SiblingDB::reset() noexcept {
   if (data_ != nullptr) {
+    // sp-lint: mmap-safety-ok(munmap takes void* by signature; the
+    // mapping is released here, never written)
     ::munmap(const_cast<std::uint8_t*>(data_), mapped_bytes_);
     data_ = nullptr;
     mapped_bytes_ = 0;

@@ -2,6 +2,9 @@
 // contract and the task-queue submit() mode the sp::pipeline StageGraph
 // scheduler runs on. The mixed-mode and stress cases are raced under TSan
 // by scripts/tier1.sh stage 2.
+//
+// sp-lint-file: atomics-ok(test counters are only read after the pool
+// joins; the join publishes, so relaxed increments suffice)
 #include "core/worker_pool.h"
 
 #include <gtest/gtest.h>

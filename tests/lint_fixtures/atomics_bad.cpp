@@ -1,0 +1,10 @@
+// Violation fixture: relaxed ordering outside src/obs/ and a volatile
+// pressed into service as a synchronization flag.
+
+#include <atomic>
+
+int load_relaxed(const std::atomic<int>& value) {
+  return value.load(std::memory_order_relaxed);
+}
+
+volatile int g_flag = 0;

@@ -1,0 +1,8 @@
+// Suppression fixture: a justified relaxed load.
+
+#include <atomic>
+
+int load_relaxed(const std::atomic<int>& value) {
+  // sp-lint: atomics-ok(fixture: counter read after the pool joins)
+  return value.load(std::memory_order_relaxed);
+}

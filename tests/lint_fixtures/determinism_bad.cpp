@@ -1,0 +1,15 @@
+// Violation fixture: one hit per determinism pattern. Linted only by
+// lint_selftest; lintable_path() excludes this tree from the default walk.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int seeded_rand() { return rand(); }
+void seeded_srand() { srand(42); }
+unsigned from_device() { return std::random_device{}(); }
+long wall_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+long wall_time() { return time(nullptr); }

@@ -1,0 +1,6 @@
+// Suppression fixture: the same pattern, justified in place.
+
+#include <cstdlib>
+
+// sp-lint: determinism-ok(fixture: documents the suppression syntax)
+int seeded_rand() { return rand(); }

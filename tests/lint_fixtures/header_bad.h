@@ -1,0 +1,7 @@
+// Violation fixture: iostream include and a using-directive, both at
+// header scope.
+#pragma once
+
+#include <iostream>
+
+using namespace std;

@@ -1,0 +1,5 @@
+// Suppression fixture: the same include, justified.
+#pragma once
+
+// sp-lint: header-hygiene-ok(fixture: demonstration header, never included)
+#include <iostream>

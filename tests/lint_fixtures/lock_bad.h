@@ -1,0 +1,8 @@
+// Violation fixture: a mutex member with no lock-order annotation.
+#pragma once
+
+#include <mutex>
+
+class Unranked {
+  std::mutex mutex_;
+};

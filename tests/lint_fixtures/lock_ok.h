@@ -1,0 +1,14 @@
+// Clean fixture: an annotated member plus a suppressed exception.
+#pragma once
+
+#include <mutex>
+
+class Ranked {
+  // lock-order: 99 fixtures.ranked.mutex (leaf; never nested)
+  std::mutex mutex_;
+};
+
+class Exempt {
+  // sp-lint: lock-order-ok(fixture: guards one call site, never nested)
+  std::mutex guard;
+};

@@ -1,0 +1,19 @@
+// Violation fixture for the serve/ mmap rules: a const_cast minting a
+// writable pointer, a cast on mapping bytes with no bounds check, and a
+// reinterpret_cast to a non-const pointer.
+
+#include <cstdint>
+
+struct Db {
+  const std::uint8_t* data_ = nullptr;
+
+  std::uint8_t* writable() { return const_cast<std::uint8_t*>(data_); }
+
+  const std::uint32_t* unchecked() {
+    return reinterpret_cast<const std::uint32_t*>(data_ + 16);
+  }
+
+  const std::uint16_t* non_const(std::uint8_t* scratch) {
+    return reinterpret_cast<std::uint16_t*>(scratch);
+  }
+};

@@ -1,0 +1,20 @@
+// Clean fixture for the serve/ mmap rules: a bounds-checked cast passes
+// as-is; the release const_cast carries a suppression.
+
+#include <cstdint>
+
+struct Db {
+  const std::uint8_t* data_ = nullptr;
+  std::uint64_t size_ = 0;
+
+  const std::uint32_t* checked(std::uint64_t offset) {
+    if (offset + 4 > size_) return nullptr;
+    return reinterpret_cast<const std::uint32_t*>(data_ + offset);
+  }
+
+  static void unmap(std::uint8_t*) {}
+  void release() {
+    // sp-lint: mmap-safety-ok(fixture: munmap-style release, not a write)
+    unmap(const_cast<std::uint8_t*>(data_));
+  }
+};

@@ -1,0 +1,9 @@
+// Violation fixture: a suppression with no reason is itself a finding,
+// and does not silence the underlying one.
+
+#include <atomic>
+
+int load_relaxed(const std::atomic<int>& value) {
+  // sp-lint: atomics-ok()
+  return value.load(std::memory_order_relaxed);
+}

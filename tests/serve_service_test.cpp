@@ -1,6 +1,10 @@
 // Tests for SiblingService: counters, reload semantics, and the RCU
 // hot-reload race — one thread batching queries while another swaps
 // snapshots. Run under TSan by scripts/tier1.sh stage 2.
+//
+// sp-lint-file: atomics-ok(test flags and counters only gate loop exits
+// or are read after joins; no cross-thread data is published through
+// them)
 #include "serve/service.h"
 
 #include <gtest/gtest.h>
@@ -162,6 +166,49 @@ TEST(ServeService, StatsReportPerGenerationHitRates) {
 
   // Before any load there are no generations to report.
   EXPECT_TRUE(SiblingService(1).stats().generations.empty());
+}
+
+// Reload churn must not grow memory: at most kRetiredGenerationCap
+// retired generations are kept individually, older tallies fold into
+// the cumulative `compacted` bucket, and nothing served ever drops out
+// of the totals.
+TEST(ServeService, ReloadChurnBoundsRetiredGenerations) {
+  SiblingService service(1);
+  const std::string path = write_tagged_db("sp_service_churn.sibdb", 0.5);
+  const IPAddress covered(*IPv4Address::from_string("20.1.2.3"));
+
+  constexpr std::uint64_t kReloads = 1000;
+  for (std::uint64_t i = 0; i < kReloads; ++i) {
+    ASSERT_TRUE(service.load(path));
+    EXPECT_TRUE(service.query(covered).has_value());  // one hit per generation
+  }
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.reloads, kReloads);
+  EXPECT_EQ(stats.generation, kReloads);
+
+  // Bounded: the cap's worth of individual retirees plus the live one.
+  ASSERT_EQ(stats.generations.size(), kRetiredGenerationCap + 1);
+  // The window holds the newest generations, contiguous up to the live one.
+  for (std::size_t i = 0; i < stats.generations.size(); ++i) {
+    EXPECT_EQ(stats.generations[i].generation,
+              kReloads - stats.generations.size() + 1 + i);
+  }
+
+  // Everything older was folded into the aggregate bucket...
+  EXPECT_EQ(stats.compacted_generations, kReloads - 1 - kRetiredGenerationCap);
+  EXPECT_EQ(stats.compacted.generation, 0u);  // an aggregate, not a generation
+
+  // ...and the invariant holds: compacted + generations covers every
+  // query this service ever served.
+  std::uint64_t queries = stats.compacted.queries;
+  std::uint64_t hits = stats.compacted.hits;
+  for (const GenerationStats& gen : stats.generations) {
+    queries += gen.queries;
+    hits += gen.hits;
+  }
+  EXPECT_EQ(queries, kReloads);
+  EXPECT_EQ(hits, kReloads);
 }
 
 TEST(ServeService, ReloadBumpsGeneration) {

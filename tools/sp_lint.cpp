@@ -1,0 +1,74 @@
+// sp_lint — the project-invariant static analyzer CLI.
+//
+//   sp_lint [--json] [--root <dir>] [path...]
+//
+// With no paths, walks the default roots (src examples tests tools
+// fuzz) under --root (default: current directory). Prints file:line
+// diagnostics (or a JSON report with --json) and exits 1 when any
+// unsuppressed finding remains — the contract tier1.sh stage 4 and the
+// CI lint job enforce. Suppressed findings are listed with their
+// reasons so the escape hatches stay auditable.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--root <dir>] [path...]\n"
+               "  --json        machine-readable report on stdout\n"
+               "  --root <dir>  directory the default roots are relative to\n"
+               "  path...       files or directories to lint instead of the defaults\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::current_path(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "sp_lint: cannot chdir to %s\n", root.c_str());
+    return 2;
+  }
+  if (paths.empty()) paths = sp::lint::default_roots();
+
+  const sp::lint::LintReport report = sp::lint::lint_paths(paths);
+  if (json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    for (const sp::lint::Finding& finding : report.findings) {
+      if (finding.suppressed) {
+        std::printf("%s:%zu: suppressed [%s] (%s)\n", finding.file.c_str(), finding.line,
+                    finding.rule.c_str(), finding.suppress_reason.c_str());
+      } else {
+        std::printf("%s:%zu: [%s] %s\n", finding.file.c_str(), finding.line,
+                    finding.rule.c_str(), finding.message.c_str());
+      }
+    }
+    std::printf("sp_lint: %zu files, %zu findings (%zu suppressed)\n", report.files_scanned,
+                report.unsuppressed_count(), report.suppressed_count());
+  }
+  return report.unsuppressed_count() == 0 ? 0 : 1;
+}
