@@ -4,6 +4,12 @@
 //
 //   sp_serve <db.sibdb>                    serve queries from stdin
 //   sp_serve --convert <in.csv> <out.sibdb>  CSV release -> binary snapshot
+//   sp_serve --listen <host:port> <db.sibdb> [--workers N]
+//                                          serve the binary TCP protocol
+//                                          (net/protocol.h) until SIGINT;
+//                                          prints "LISTENING host:port"
+//                                          once bound (port 0 = ephemeral,
+//                                          the line reports the real one)
 //
 // Query protocol (one per line):
 //   <address>            LPM lookup, either family ("20.1.2.3", "2620:100::1")
@@ -14,10 +20,13 @@
 //   STATS                print service counters
 //
 // Run: ./build/examples/sp_serve siblings.sibdb < queries.txt
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "net/server.h"
 #include "serve/service.h"
 
 using namespace sp;
@@ -76,8 +85,75 @@ void print_stats(const serve::ServiceStats& stats) {
 int usage() {
   std::fprintf(stderr,
                "usage: sp_serve <db.sibdb>\n"
-               "       sp_serve --convert <in.csv> <out.sibdb>\n");
+               "       sp_serve --convert <in.csv> <out.sibdb>\n"
+               "       sp_serve --listen <host:port> <db.sibdb> [--workers N]\n");
   return 2;
+}
+
+// sp-lint: atomics-ok(volatile sig_atomic_t is the one type the C++
+// standard guarantees safe to write from a signal handler; no
+// cross-thread ordering rides on it — the main loop only polls it)
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+/// `sp_serve --listen host:port db [--workers N]`: TCP front-end until
+/// SIGINT/SIGTERM. The LISTENING line is the machine-readable contract
+/// tier1.sh and the CI smoke parse for the bound (possibly ephemeral)
+/// port, so it goes to stdout and is flushed before blocking.
+int run_listen(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string endpoint = argv[2];
+  const std::string db_path = argv[3];
+  net::ServerConfig config;
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--listen expects host:port, got '%s'\n", endpoint.c_str());
+    return 2;
+  }
+  config.host = endpoint.substr(0, colon);
+  config.port = static_cast<std::uint16_t>(std::strtoul(endpoint.c_str() + colon + 1, nullptr, 10));
+  for (int i = 4; i < argc; ++i) {
+    if (std::string(argv[i]) == "--workers" && i + 1 < argc) {
+      config.workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+
+  serve::SiblingService service;
+  std::string error;
+  if (!service.load(db_path, &error)) {
+    std::fprintf(stderr, "cannot load %s: %s\n", db_path.c_str(), error.c_str());
+    return 1;
+  }
+  net::Server server(service, config);
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "cannot listen on %s: %s\n", endpoint.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("LISTENING %s:%u\n", config.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  while (g_stop == 0) {
+    const timespec nap{0, 100 * 1000 * 1000};
+    ::nanosleep(&nap, nullptr);
+  }
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "served %llu connections, %llu frames, %llu queries (%llu hits), "
+               "%llu protocol errors\n",
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.frames_in),
+               static_cast<unsigned long long>(stats.queries),
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
 }
 
 }  // namespace
@@ -100,6 +176,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %s: %zu pairs, %zu bytes\n", argv[3], db->size(), db->mapped_bytes());
     return 0;
   }
+  if (argc >= 2 && std::string(argv[1]) == "--listen") return run_listen(argc, argv);
   if (argc != 2) return usage();
 
   serve::SiblingService service;

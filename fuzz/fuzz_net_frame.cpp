@@ -1,0 +1,105 @@
+// Fuzz target: the incremental net::FrameDecoder must be
+// chunking-invariant — feeding a byte stream whole or in arbitrary
+// slices yields the identical frame sequence, the identical poison
+// state and the identical error text (the property the epoll server
+// leans on: TCP segmentation must never change what a client said).
+// Each decoded frame body is then pushed through the matching
+// body parser, which must reject or accept without crashing.
+//
+// Input layout: byte 0 selects the chunking pattern for the second
+// decoder (1-byte trickle, prime-sized slices, split-in-halves, …);
+// the rest is the wire stream.
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace {
+
+using sp::net::Frame;
+using sp::net::FrameDecoder;
+using sp::net::FrameType;
+
+std::vector<Frame> drain(FrameDecoder& decoder) {
+  std::vector<Frame> frames;
+  while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+  return frames;
+}
+
+void exercise_parsers(const Frame& frame) {
+  std::string error;
+  const std::span<const std::uint8_t> body(frame.body);
+  switch (static_cast<FrameType>(frame.type)) {
+    case FrameType::kQuery:
+      (void)sp::net::parse_query_request(body, &error);
+      break;
+    case FrameType::kReload:
+      (void)sp::net::parse_reload_request(body, &error);
+      break;
+    case FrameType::kQueryResponse:
+      (void)sp::net::parse_query_response(body, &error);
+      break;
+    case FrameType::kReloadResponse:
+      (void)sp::net::parse_reload_response(body, &error);
+      break;
+    case FrameType::kStatsResponse:
+      (void)sp::net::parse_stats_response(body, &error);
+      break;
+    case FrameType::kError:
+      (void)sp::net::parse_error_frame(body, &error);
+      break;
+    default:
+      break;  // STATS/METRICS requests and unknown types carry raw bodies
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const unsigned pattern = data[0];
+  const std::span<const std::uint8_t> stream(data + 1, size - 1);
+
+  // Reference: the whole stream in one feed.
+  FrameDecoder whole;
+  whole.feed(stream);
+  const std::vector<Frame> expected = drain(whole);
+
+  // Same stream, sliced per the selector byte.
+  FrameDecoder chunked;
+  std::vector<Frame> actual;
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    std::size_t step;
+    switch (pattern % 4) {
+      case 0:  step = 1; break;                       // 1-byte trickle
+      case 1:  step = 7; break;                       // prime slices
+      case 2:  step = (offset % 2 == 0) ? 2 : 13; break;  // alternating
+      default: step = std::max<std::size_t>(1, (stream.size() - offset) / 2); break;
+    }
+    step = std::min(step, stream.size() - offset);
+    chunked.feed(stream.subspan(offset, step));
+    offset += step;
+    // Interleave draining with feeding — the server does the same.
+    auto frames = drain(chunked);
+    actual.insert(actual.end(), std::make_move_iterator(frames.begin()),
+                  std::make_move_iterator(frames.end()));
+  }
+  auto tail = drain(chunked);
+  actual.insert(actual.end(), std::make_move_iterator(tail.begin()),
+                std::make_move_iterator(tail.end()));
+
+  if (actual != expected) __builtin_trap();
+  if (chunked.error() != whole.error()) __builtin_trap();
+  if (chunked.error_message() != whole.error_message()) __builtin_trap();
+  // A healthy decoder never buffers more than one partial frame.
+  if (!whole.error() && whole.buffered() > sp::net::kHeaderSize + sp::net::kMaxBody) {
+    __builtin_trap();
+  }
+
+  for (const Frame& frame : expected) exercise_parsers(frame);
+  return 0;
+}

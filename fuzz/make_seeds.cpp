@@ -16,6 +16,7 @@
 #include "core/detect.h"
 #include "io/csv.h"
 #include "mrt/codec.h"
+#include "net/protocol.h"
 #include "netbase/prefix.h"
 #include "pipeline/manifest.h"
 #include "serve/sibdb.h"
@@ -132,6 +133,50 @@ bool make_sibdb_seeds(const fs::path& root) {
                     static_cast<std::size_t>(in.gcount()));
 }
 
+bool make_net_frame_seeds(const fs::path& root) {
+  // Seeds lead with the chunk-pattern selector byte the harness strips;
+  // the wire bytes come from the project's own encoders so mutation
+  // starts from every verb's accept path.
+  const auto seed = [&](const std::string& name, std::uint8_t pattern,
+                        const std::vector<std::uint8_t>& wire) {
+    std::vector<std::uint8_t> input;
+    input.push_back(pattern);
+    input.insert(input.end(), wire.begin(), wire.end());
+    return write_seed(root / "net_frame", name, input);
+  };
+
+  std::vector<std::uint8_t> pipelined;
+  sp::net::QueryRequest query;
+  query.request_id = 7;
+  query.keys = {sp::Prefix::must_parse("192.0.2.1/32"), sp::Prefix::must_parse("2001:db8::/32")};
+  sp::net::encode_query_request(pipelined, query);
+  sp::net::encode_reload_request(pipelined, {});
+  sp::net::encode_stats_request(pipelined);
+  sp::net::encode_metrics_request(pipelined);
+  if (!seed("pipeline.bin", 0, pipelined)) return false;
+
+  std::vector<std::uint8_t> responses;
+  sp::net::QueryResponse answer;
+  answer.request_id = 7;
+  answer.generation = 3;
+  answer.answers.push_back(std::nullopt);
+  sp::net::encode_query_response(responses, answer);
+  sp::net::encode_reload_response(responses, {true, 4, ""});
+  sp::net::encode_stats_response(responses, sp::net::StatsPayload{});
+  sp::net::encode_error(responses, "bad");
+  if (!seed("responses.bin", 1, responses)) return false;
+
+  // The reject boundary: an oversized declared length must poison both
+  // decoders identically.
+  std::vector<std::uint8_t> oversized;
+  oversized.push_back(0x01);
+  sp::net::put_u32(oversized, 0x7fffffff);
+  if (!seed("oversized.bin", 2, oversized)) return false;
+
+  // A split header: the whole stream is a partial frame, zero yields.
+  return seed("partial.bin", 3, {0x01, 0x03});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,7 +186,7 @@ int main(int argc, char** argv) {
   }
   const fs::path root = argv[1];
   if (!make_csv_seeds(root) || !make_mrt_seeds(root) || !make_manifest_seeds(root) ||
-      !make_sibdb_seeds(root)) {
+      !make_sibdb_seeds(root) || !make_net_frame_seeds(root)) {
     return 1;
   }
   std::printf("seed corpora written under %s\n", root.c_str());

@@ -2,8 +2,9 @@
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer
 # pass over the threaded engines (parallel detection, SP-Tuner, obs
 # metrics/tracing), an ASan/UBSan pass over the parser-heavy I/O
-# (CSV fuzz round-trip, Happy Eyeballs, manifest UTF-8), and the
-# project linter (sp_lint) over the whole tree.
+# (CSV fuzz round-trip, Happy Eyeballs, manifest UTF-8), a loopback
+# end-to-end smoke of the sp_serve TCP front-end, and the project
+# linter (sp_lint) over the whole tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,13 +24,16 @@ cmake --build build -j "$JOBS"
 # increments and trace spans against concurrent scrapes/serialization.
 # ReloadChurn is excluded: it is single-threaded (1000 sequential
 # loads proving retired-stats boundedness) and TSan only slows it.
+# The net suites race the epoll workers: pipelined QUERY traffic over
+# several connections against RELOAD hot-swaps, slow-reader
+# backpressure, and the acceptor's inbox handoff.
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target core_detect_parallel_test \
   core_sptuner_parallel_test serve_lookup_test serve_service_test \
   core_worker_pool_test pipeline_stage_graph_test \
-  obs_metrics_test obs_trace_test
+  obs_metrics_test obs_trace_test net_server_test net_protocol_test
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool|Obs' \
+  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool|Obs|NetServer|NetProtocol' \
   -E 'ReloadChurn')
 
 # Stage 3: memory-safety pass over the byte-level parsers under
@@ -42,7 +46,43 @@ cmake --build build-asan -j "$JOBS" --target io_csv_test \
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
   -R 'Csv|HappyEyeballs|PipelineManifest')
 
-# Stage 4: the project linter. Every finding in the tree must either be
+# Stage 4: loopback end-to-end smoke of the TCP front-end — the real
+# binaries, a real socket. Convert a tiny fixture, start sp_serve
+# --listen on an ephemeral port (the LISTENING line is the contract),
+# drive it with sp_loadgen for 5 s, and scrape /metrics over plain HTTP.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cat > "$SMOKE_DIR/pairs.csv" <<'CSV'
+v4_prefix,v6_prefix,similarity,shared_domains,v4_domains,v6_domains
+20.0.0.0/8,2620::/16,0.9,3,4,5
+CSV
+./build/examples/sp_serve --convert "$SMOKE_DIR/pairs.csv" "$SMOKE_DIR/pairs.sibdb"
+./build/examples/sp_serve --listen 127.0.0.1:0 "$SMOKE_DIR/pairs.sibdb" --workers 2 \
+  > "$SMOKE_DIR/serve.out" 2> "$SMOKE_DIR/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 100); do
+  grep -q '^LISTENING ' "$SMOKE_DIR/serve.out" && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/^LISTENING .*:\([0-9]*\)$/\1/p' "$SMOKE_DIR/serve.out")"
+[ -n "$PORT" ] || { echo "tier1: sp_serve --listen never bound" >&2; exit 1; }
+./build/tools/sp_loadgen --host 127.0.0.1 --port "$PORT" \
+  --connections 2 --pipeline 4 --batch 64 --duration 5000 --v4-space 16.0.0.0/4 --json \
+  | tee "$SMOKE_DIR/loadgen.json"
+python3 - "$SMOKE_DIR/loadgen.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["ok"], report.get("error")
+assert report["keys_answered"] > 0 and report["hits"] > 0, report
+print(f"net smoke: {report['qps']:.0f} keys/s, {report['hits']} hits")
+EOF
+if command -v curl > /dev/null; then
+  curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q '"net.queries"' \
+    || { echo "tier1: /metrics scrape failed" >&2; exit 1; }
+fi
+kill -INT "$SERVE_PID" && wait "$SERVE_PID"
+
+# Stage 5: the project linter. Every finding in the tree must either be
 # fixed or carry an explicit sp-lint suppression with a reason; zero
 # unsuppressed findings is the bar (see DESIGN.md §3.5).
 cmake --build build -j "$JOBS" --target sp_lint

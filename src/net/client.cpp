@@ -1,0 +1,172 @@
+#include "net/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sp::net {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+/// Milliseconds left before `deadline`, clamped at zero.
+int remaining_ms(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)), eof_(other.eof_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    eof_ = other.eof_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Client> Client::connect(const std::string& host, std::uint16_t port,
+                                      std::string* error,
+                                      std::chrono::milliseconds timeout) {
+  const auto address = IPAddress::from_string(host);
+  if (!address) {
+    set_error(error, "cannot parse host '" + host + "'");
+    return std::nullopt;
+  }
+  const int family = address->is_v4() ? AF_INET : AF_INET6;
+  const int fd = ::socket(family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    set_error(error, std::string("socket: ") + std::strerror(errno));
+    return std::nullopt;
+  }
+  sockaddr_storage storage{};
+  socklen_t length = 0;
+  if (address->is_v4()) {
+    auto* v4 = reinterpret_cast<sockaddr_in*>(&storage);
+    v4->sin_family = AF_INET;
+    v4->sin_port = htons(port);
+    v4->sin_addr.s_addr = htonl(address->v4().value());
+    length = sizeof(sockaddr_in);
+  } else {
+    auto* v6 = reinterpret_cast<sockaddr_in6*>(&storage);
+    v6->sin6_family = AF_INET6;
+    v6->sin6_port = htons(port);
+    std::memcpy(v6->sin6_addr.s6_addr, address->v6().bytes().data(), 16);
+    length = sizeof(sockaddr_in6);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&storage), length) != 0 &&
+      errno != EINPROGRESS) {
+    set_error(error, std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return std::nullopt;
+  }
+  pollfd waiter{fd, POLLOUT, 0};
+  const int ready = ::poll(&waiter, 1, static_cast<int>(timeout.count()));
+  if (ready <= 0) {
+    set_error(error, "connect timed out");
+    ::close(fd);
+    return std::nullopt;
+  }
+  int status = 0;
+  socklen_t status_len = sizeof(status);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &status, &status_len) != 0 || status != 0) {
+    set_error(error, std::string("connect: ") + std::strerror(status != 0 ? status : errno));
+    ::close(fd);
+    return std::nullopt;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+bool Client::send_bytes(std::span<const std::uint8_t> bytes, std::string* error) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t wrote = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd waiter{fd_, POLLOUT, 0};
+      if (::poll(&waiter, 1, 5000) <= 0) {
+        set_error(error, "send stalled");
+        return false;
+      }
+      continue;
+    }
+    set_error(error, std::string("send: ") + std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+std::optional<Frame> Client::read_frame(std::string* error,
+                                        std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    if (auto frame = decoder_.next()) return frame;
+    if (decoder_.error()) {
+      set_error(error, decoder_.error_message());
+      return std::nullopt;
+    }
+    if (eof_) {
+      set_error(error, "");
+      return std::nullopt;
+    }
+    pollfd waiter{fd_, POLLIN, 0};
+    const int ready = ::poll(&waiter, 1, remaining_ms(deadline));
+    if (ready == 0) {
+      set_error(error, "read timed out");
+      return std::nullopt;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, std::string("poll: ") + std::strerror(errno));
+      return std::nullopt;
+    }
+    std::uint8_t chunk[64 * 1024];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got == 0) {
+      eof_ = true;
+      continue;  // drain whatever the decoder still holds
+    }
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      set_error(error, std::string("recv: ") + std::strerror(errno));
+      return std::nullopt;
+    }
+    decoder_.feed({chunk, static_cast<std::size_t>(got)});
+  }
+}
+
+}  // namespace sp::net

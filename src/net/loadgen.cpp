@@ -1,0 +1,296 @@
+#include "net/loadgen.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "synth/determinism.h"
+
+namespace sp::net {
+
+namespace {
+
+// Purpose tags keep the family choice and the two halves of the address
+// on independent hash streams of the same (seed, conn, frame, slot) key.
+constexpr std::uint64_t kPurposeFamily = 0xFA;
+constexpr std::uint64_t kPurposeAddrLo = 0xAD;
+constexpr std::uint64_t kPurposeAddrHi = 0xAE;
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_mix(std::uint64_t& hash, std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= kFnvPrime;
+  }
+}
+
+/// The deterministic key for (conn, frame, slot): a uniform host address
+/// inside the configured v4 or v6 space.
+Prefix key_for(const LoadGenConfig& config, unsigned conn, std::uint64_t frame, unsigned slot) {
+  const std::uint64_t seed = config.seed;
+  const std::uint64_t entity = synth::mix(conn, frame, slot);
+  const bool v6 = synth::unit(seed ^ kPurposeFamily, entity) < config.v6_share;
+  if (!v6) {
+    const unsigned length = config.v4_space.length();
+    const std::uint32_t mask =
+        length >= 32 ? 0u : static_cast<std::uint32_t>(0xFFFFFFFFull >> length);
+    const auto low = static_cast<std::uint32_t>(synth::mix(seed ^ kPurposeAddrLo, entity));
+    const std::uint32_t value = config.v4_space.address().v4().value() | (low & mask);
+    return Prefix::host(IPAddress(IPv4Address(value)));
+  }
+  const std::uint64_t lo = synth::mix(seed ^ kPurposeAddrLo, entity);
+  const std::uint64_t hi = synth::mix(seed ^ kPurposeAddrHi, entity);
+  IPv6Address::Bytes bytes{};
+  for (unsigned i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+    bytes[8 + i] = static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+  }
+  // Overlay the space's network bits on top of the random host bits.
+  const auto& space = config.v6_space.address().storage();
+  const unsigned length = config.v6_space.length();
+  for (unsigned i = 0; i < length / 8; ++i) bytes[i] = space[i];
+  if (length % 8 != 0) {
+    const auto keep = static_cast<std::uint8_t>(0xFF << (8 - length % 8));
+    bytes[length / 8] =
+        static_cast<std::uint8_t>((space[length / 8] & keep) | (bytes[length / 8] & ~keep));
+  }
+  return Prefix::host(IPAddress(IPv6Address(bytes)));
+}
+
+struct ConnOutcome {
+  bool ok = false;
+  std::string error;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t keys_sent = 0;
+  std::uint64_t keys_answered = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t hash = kFnvOffset;
+};
+
+/// One connection's closed loop: keep `pipeline` frames in flight, read
+/// responses in order, stop per `requests` or the shared deadline.
+void run_connection(const LoadGenConfig& config, unsigned conn,
+                    std::chrono::steady_clock::time_point deadline, obs::Histogram latency,
+                    ConnOutcome& outcome) {
+  std::string error;
+  auto client = Client::connect(config.host, config.port, &error);
+  if (!client) {
+    outcome.error = "connection " + std::to_string(conn) + ": " + error;
+    return;
+  }
+
+  std::uint64_t next_frame = 0;
+  std::deque<std::pair<std::uint32_t, std::chrono::steady_clock::time_point>> in_flight;
+  std::vector<std::uint8_t> wire;
+  QueryRequest request;
+
+  const auto can_send = [&] {
+    if (config.requests > 0) return next_frame < config.requests;
+    return std::chrono::steady_clock::now() < deadline;
+  };
+  const auto send_one = [&]() -> bool {
+    request.request_id = static_cast<std::uint32_t>(next_frame);
+    request.keys.clear();
+    for (unsigned slot = 0; slot < config.batch; ++slot) {
+      request.keys.push_back(key_for(config, conn, next_frame, slot));
+    }
+    wire.clear();
+    encode_query_request(wire, request);
+    fnv_mix(outcome.hash, wire);
+    if (!client->send_bytes(wire, &error)) {
+      outcome.error = "connection " + std::to_string(conn) + ": " + error;
+      return false;
+    }
+    outcome.frames_sent += 1;
+    outcome.keys_sent += request.keys.size();
+    outcome.bytes_sent += wire.size();
+    in_flight.emplace_back(request.request_id, std::chrono::steady_clock::now());
+    next_frame += 1;
+    return true;
+  };
+
+  while (true) {
+    while (in_flight.size() < config.pipeline && can_send()) {
+      if (!send_one()) return;
+    }
+    if (in_flight.empty()) break;  // nothing left to send or await
+    auto frame = client->read_frame(&error, std::chrono::milliseconds(10000));
+    if (!frame) {
+      outcome.error = "connection " + std::to_string(conn) + ": " +
+                      (error.empty() ? "server closed mid-run" : error);
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    outcome.frames_received += 1;
+    outcome.bytes_received += kHeaderSize + frame->body.size();
+    if (frame->type != static_cast<std::uint8_t>(FrameType::kQueryResponse)) {
+      outcome.error = "connection " + std::to_string(conn) + ": unexpected frame type";
+      return;
+    }
+    auto response = parse_query_response(frame->body, &error);
+    if (!response) {
+      outcome.error = "connection " + std::to_string(conn) + ": " + error;
+      return;
+    }
+    if (in_flight.empty() || response->request_id != in_flight.front().first) {
+      outcome.error = "connection " + std::to_string(conn) + ": responses out of order";
+      return;
+    }
+    const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+        now - in_flight.front().second);
+    latency.record(static_cast<std::uint64_t>(waited.count()));
+    in_flight.pop_front();
+    outcome.keys_answered += response->answers.size();
+    for (const auto& answer : response->answers) {
+      if (answer.has_value()) outcome.hits += 1;
+    }
+  }
+  outcome.ok = true;
+}
+
+void append_number(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  out += buffer;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  out += buffer;
+}
+
+}  // namespace
+
+LoadGenReport run_loadgen(const LoadGenConfig& config) {
+  LoadGenReport report;
+  if (config.batch == 0 || config.batch > kMaxBatch || config.pipeline == 0 ||
+      config.connections == 0) {
+    report.error = "invalid config: connections, pipeline and batch must be positive, batch <= " +
+                   std::to_string(kMaxBatch);
+    return report;
+  }
+
+  // A private registry so quantiles cover exactly this run.
+  obs::MetricsRegistry registry;
+  const obs::Histogram latency = registry.histogram("loadgen.frame_us");
+
+  std::vector<ConnOutcome> outcomes(config.connections);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + config.duration;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(config.connections);
+    for (unsigned conn = 0; conn < config.connections; ++conn) {
+      threads.emplace_back(run_connection, std::cref(config), conn, deadline, latency,
+                           std::ref(outcomes[conn]));
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::duration<double>>(std::chrono::steady_clock::now() -
+                                                                start);
+
+  report.ok = true;
+  for (const auto& outcome : outcomes) {
+    if (!outcome.ok && report.ok) {
+      report.ok = false;
+      report.error = outcome.error;
+    }
+    report.frames_sent += outcome.frames_sent;
+    report.frames_received += outcome.frames_received;
+    report.keys_sent += outcome.keys_sent;
+    report.keys_answered += outcome.keys_answered;
+    report.hits += outcome.hits;
+    report.bytes_sent += outcome.bytes_sent;
+    report.bytes_received += outcome.bytes_received;
+    report.request_stream_hash.push_back(outcome.hash);
+  }
+  report.elapsed_s = elapsed.count();
+  report.qps = report.elapsed_s > 0.0
+                   ? static_cast<double>(report.keys_answered) / report.elapsed_s
+                   : 0.0;
+  const auto snapshot = obs::HistogramSnapshot::of(latency);
+  report.p50_us = snapshot.quantile(0.50);
+  report.p90_us = snapshot.quantile(0.90);
+  report.p99_us = snapshot.quantile(0.99);
+  report.max_us = snapshot.max;
+  return report;
+}
+
+std::string LoadGenReport::to_json(const LoadGenConfig& config) const {
+  std::string out = "{\"bench\":\"net_loadgen\",\"ok\":";
+  out += ok ? "true" : "false";
+  if (!ok) {
+    out += ",\"error\":\"";
+    for (const char c : error) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+  out += ",\"config\":{\"connections\":";
+  append_u64(out, config.connections);
+  out += ",\"pipeline\":";
+  append_u64(out, config.pipeline);
+  out += ",\"batch\":";
+  append_u64(out, config.batch);
+  out += ",\"seed\":";
+  append_u64(out, config.seed);
+  out += ",\"v6_share\":";
+  append_number(out, config.v6_share);
+  out += ",\"v4_space\":\"" + config.v4_space.to_string() + "\"";
+  out += ",\"v6_space\":\"" + config.v6_space.to_string() + "\"";
+  out += ",\"requests\":";
+  append_u64(out, config.requests);
+  out += ",\"duration_ms\":";
+  append_u64(out, static_cast<std::uint64_t>(config.duration.count()));
+  out += "},\"frames_sent\":";
+  append_u64(out, frames_sent);
+  out += ",\"frames_received\":";
+  append_u64(out, frames_received);
+  out += ",\"keys_sent\":";
+  append_u64(out, keys_sent);
+  out += ",\"keys_answered\":";
+  append_u64(out, keys_answered);
+  out += ",\"hits\":";
+  append_u64(out, hits);
+  out += ",\"bytes_sent\":";
+  append_u64(out, bytes_sent);
+  out += ",\"bytes_received\":";
+  append_u64(out, bytes_received);
+  out += ",\"elapsed_s\":";
+  append_number(out, elapsed_s);
+  out += ",\"qps\":";
+  append_number(out, qps);
+  out += ",\"p50_us\":";
+  append_number(out, p50_us);
+  out += ",\"p90_us\":";
+  append_number(out, p90_us);
+  out += ",\"p99_us\":";
+  append_number(out, p99_us);
+  out += ",\"max_us\":";
+  append_u64(out, max_us);
+  out += ",\"request_stream_hash\":[";
+  for (std::size_t i = 0; i < request_stream_hash.size(); ++i) {
+    if (i != 0) out += ',';
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "\"%016" PRIx64 "\"", request_stream_hash[i]);
+    out += buffer;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace sp::net

@@ -1,0 +1,452 @@
+#include "net/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace sp::net {
+
+bool is_request_type(std::uint8_t type) noexcept {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kQuery:
+    case FrameType::kReload:
+    case FrameType::kStats:
+    case FrameType::kMetrics:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FrameDecoder
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_) return;  // the connection is dead; do not grow the buffer
+  // Compact once the consumed prefix dominates, so a long-lived pipelined
+  // connection never grows its buffer past one frame plus one chunk.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_) return std::nullopt;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderSize) return std::nullopt;
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  const std::uint32_t body_len = static_cast<std::uint32_t>(head[1]) |
+                                 (static_cast<std::uint32_t>(head[2]) << 8) |
+                                 (static_cast<std::uint32_t>(head[3]) << 16) |
+                                 (static_cast<std::uint32_t>(head[4]) << 24);
+  if (body_len > max_body_) {
+    poisoned_ = true;
+    error_ = "frame body length " + std::to_string(body_len) + " exceeds limit " +
+             std::to_string(max_body_);
+    return std::nullopt;
+  }
+  if (available < kHeaderSize + body_len) return std::nullopt;
+  Frame frame;
+  frame.type = head[0];
+  frame.body.assign(head + kHeaderSize, head + kHeaderSize + body_len);
+  consumed_ += kHeaderSize + body_len;
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (unsigned shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (unsigned shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!ok || pos + 1 > data.size()) {
+    ok = false;
+    return 0;
+  }
+  return data[pos++];
+}
+
+std::uint16_t ByteReader::u16() {
+  if (!ok || pos + 2 > data.size()) {
+    ok = false;
+    return 0;
+  }
+  const std::uint16_t v =
+      static_cast<std::uint16_t>(data[pos] | (static_cast<std::uint16_t>(data[pos + 1]) << 8));
+  pos += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!ok || pos + 4 > data.size()) {
+    ok = false;
+    return 0;
+  }
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+  pos += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (!ok || pos + 8 > data.size()) {
+    ok = false;
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+  pos += 8;
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
+  if (!ok || pos + n > data.size()) {
+    ok = false;
+    return {};
+  }
+  const auto view = data.subspan(pos, n);
+  pos += n;
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Frame assembly
+
+namespace {
+
+/// Appends the 5-byte header for `type` with a placeholder length and
+/// returns the index of the length field, to be patched by seal().
+std::size_t open_frame(std::vector<std::uint8_t>& out, FrameType type) {
+  out.push_back(static_cast<std::uint8_t>(type));
+  const std::size_t length_at = out.size();
+  put_u32(out, 0);
+  return length_at;
+}
+
+void seal_frame(std::vector<std::uint8_t>& out, std::size_t length_at) {
+  const std::size_t body_len = out.size() - length_at - 4;
+  for (unsigned i = 0; i < 4; ++i) {
+    out[length_at + i] = static_cast<std::uint8_t>(body_len >> (8 * i));
+  }
+}
+
+void fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+void put_key(std::vector<std::uint8_t>& out, const Prefix& key) {
+  out.push_back(key.family() == Family::v4 ? 4 : 6);
+  out.push_back(static_cast<std::uint8_t>(key.length()));
+  const auto& storage = key.address().storage();
+  const std::size_t width = key.family() == Family::v4 ? 4 : 16;
+  out.insert(out.end(), storage.begin(), storage.begin() + static_cast<std::ptrdiff_t>(width));
+}
+
+std::optional<Prefix> read_key(ByteReader& reader, std::string* error) {
+  const std::uint8_t family = reader.u8();
+  const std::uint8_t length = reader.u8();
+  if (!reader.ok) {
+    fail(error, "truncated key");
+    return std::nullopt;
+  }
+  if (family != 4 && family != 6) {
+    fail(error, "key family must be 4 or 6, got " + std::to_string(family));
+    return std::nullopt;
+  }
+  const std::size_t width = family == 4 ? 4 : 16;
+  const auto raw = reader.bytes(width);
+  if (!reader.ok) {
+    fail(error, "truncated key");
+    return std::nullopt;
+  }
+  const unsigned max_length = family == 4 ? 32 : 128;
+  if (length > max_length) {
+    fail(error, "key prefix length " + std::to_string(length) + " exceeds /" +
+                    std::to_string(max_length));
+    return std::nullopt;
+  }
+  IPAddress address;
+  if (family == 4) {
+    address = IPv4Address::from_octets(raw[0], raw[1], raw[2], raw[3]);
+  } else {
+    IPv6Address::Bytes bytes;
+    std::memcpy(bytes.data(), raw.data(), bytes.size());
+    address = IPv6Address(bytes);
+  }
+  return Prefix::of(address, length);  // canonicalises stray host bits
+}
+
+void encode_query_request(std::vector<std::uint8_t>& out, const QueryRequest& request) {
+  const std::size_t at = open_frame(out, FrameType::kQuery);
+  put_u32(out, request.request_id);
+  put_u16(out, static_cast<std::uint16_t>(request.keys.size()));
+  for (const Prefix& key : request.keys) put_key(out, key);
+  seal_frame(out, at);
+}
+
+std::optional<QueryRequest> parse_query_request(std::span<const std::uint8_t> body,
+                                                std::string* error) {
+  ByteReader reader{body};
+  QueryRequest request;
+  request.request_id = reader.u32();
+  const std::uint16_t count = reader.u16();
+  if (!reader.ok) {
+    fail(error, "truncated QUERY header");
+    return std::nullopt;
+  }
+  if (count > kMaxBatch) {
+    fail(error, "QUERY batch of " + std::to_string(count) + " keys exceeds max " +
+                    std::to_string(kMaxBatch));
+    return std::nullopt;
+  }
+  request.keys.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    auto key = read_key(reader, error);
+    if (!key) return std::nullopt;
+    request.keys.push_back(*key);
+  }
+  if (!reader.done()) {
+    fail(error, "QUERY body has trailing bytes");
+    return std::nullopt;
+  }
+  return request;
+}
+
+void encode_query_response(std::vector<std::uint8_t>& out, const QueryResponse& response) {
+  const std::size_t at = open_frame(out, FrameType::kQueryResponse);
+  put_u32(out, response.request_id);
+  put_u64(out, response.generation);
+  put_u16(out, static_cast<std::uint16_t>(response.answers.size()));
+  for (const auto& answer : response.answers) {
+    out.push_back(answer.has_value() ? 1 : 0);
+    if (!answer) continue;
+    put_key(out, answer->matched);
+    put_key(out, answer->sibling);
+    put_f64(out, answer->similarity);
+    put_u32(out, answer->shared_domains);
+    put_u32(out, answer->v4_domain_count);
+    put_u32(out, answer->v6_domain_count);
+  }
+  seal_frame(out, at);
+}
+
+std::optional<QueryResponse> parse_query_response(std::span<const std::uint8_t> body,
+                                                  std::string* error) {
+  ByteReader reader{body};
+  QueryResponse response;
+  response.request_id = reader.u32();
+  response.generation = reader.u64();
+  const std::uint16_t count = reader.u16();
+  if (!reader.ok) {
+    fail(error, "truncated QUERY response header");
+    return std::nullopt;
+  }
+  if (count > kMaxBatch) {
+    fail(error, "QUERY response of " + std::to_string(count) + " answers exceeds max " +
+                    std::to_string(kMaxBatch));
+    return std::nullopt;
+  }
+  response.answers.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::uint8_t hit = reader.u8();
+    if (!reader.ok || hit > 1) {
+      fail(error, "bad answer hit flag");
+      return std::nullopt;
+    }
+    if (hit == 0) {
+      response.answers.emplace_back(std::nullopt);
+      continue;
+    }
+    serve::SiblingAnswer answer;
+    auto matched = read_key(reader, error);
+    if (!matched) return std::nullopt;
+    auto sibling = read_key(reader, error);
+    if (!sibling) return std::nullopt;
+    answer.matched = *matched;
+    answer.sibling = *sibling;
+    answer.similarity = reader.f64();
+    answer.shared_domains = reader.u32();
+    answer.v4_domain_count = reader.u32();
+    answer.v6_domain_count = reader.u32();
+    if (!reader.ok) {
+      fail(error, "truncated answer");
+      return std::nullopt;
+    }
+    response.answers.emplace_back(answer);
+  }
+  if (!reader.done()) {
+    fail(error, "QUERY response has trailing bytes");
+    return std::nullopt;
+  }
+  return response;
+}
+
+void encode_reload_request(std::vector<std::uint8_t>& out, const ReloadRequest& request) {
+  const std::size_t at = open_frame(out, FrameType::kReload);
+  put_u16(out, static_cast<std::uint16_t>(request.path.size()));
+  out.insert(out.end(), request.path.begin(), request.path.end());
+  seal_frame(out, at);
+}
+
+std::optional<ReloadRequest> parse_reload_request(std::span<const std::uint8_t> body,
+                                                  std::string* error) {
+  ByteReader reader{body};
+  const std::uint16_t length = reader.u16();
+  const auto raw = reader.bytes(length);
+  if (!reader.ok || !reader.done()) {
+    fail(error, "malformed RELOAD body");
+    return std::nullopt;
+  }
+  ReloadRequest request;
+  request.path.assign(raw.begin(), raw.end());
+  return request;
+}
+
+void encode_reload_response(std::vector<std::uint8_t>& out, const ReloadResponse& response) {
+  const std::size_t at = open_frame(out, FrameType::kReloadResponse);
+  out.push_back(response.ok ? 1 : 0);
+  if (response.ok) {
+    put_u64(out, response.generation);
+  } else {
+    put_u16(out, static_cast<std::uint16_t>(response.error.size()));
+    out.insert(out.end(), response.error.begin(), response.error.end());
+  }
+  seal_frame(out, at);
+}
+
+std::optional<ReloadResponse> parse_reload_response(std::span<const std::uint8_t> body,
+                                                    std::string* error) {
+  ByteReader reader{body};
+  const std::uint8_t ok = reader.u8();
+  if (!reader.ok || ok > 1) {
+    fail(error, "malformed RELOAD response");
+    return std::nullopt;
+  }
+  ReloadResponse response;
+  response.ok = ok == 1;
+  if (response.ok) {
+    response.generation = reader.u64();
+  } else {
+    const std::uint16_t length = reader.u16();
+    const auto raw = reader.bytes(length);
+    response.error.assign(raw.begin(), raw.end());
+  }
+  if (!reader.ok || !reader.done()) {
+    fail(error, "malformed RELOAD response");
+    return std::nullopt;
+  }
+  return response;
+}
+
+void encode_stats_request(std::vector<std::uint8_t>& out) {
+  seal_frame(out, open_frame(out, FrameType::kStats));
+}
+
+void encode_stats_response(std::vector<std::uint8_t>& out, const StatsPayload& stats) {
+  const std::size_t at = open_frame(out, FrameType::kStatsResponse);
+  put_u64(out, stats.generation);
+  put_u64(out, stats.reloads);
+  put_u64(out, stats.connections_accepted);
+  put_u64(out, stats.connections_active);
+  put_u64(out, stats.frames_in);
+  put_u64(out, stats.frames_out);
+  put_u64(out, stats.bytes_in);
+  put_u64(out, stats.bytes_out);
+  put_u64(out, stats.queries);
+  put_u64(out, stats.hits);
+  put_u64(out, stats.batches);
+  put_u64(out, stats.protocol_errors);
+  put_u64(out, stats.reads_paused);
+  put_u64(out, stats.idle_evictions);
+  put_u64(out, stats.http_requests);
+  put_f64(out, stats.frame_p50_us);
+  put_f64(out, stats.frame_p90_us);
+  put_f64(out, stats.frame_p99_us);
+  put_u64(out, stats.frame_max_us);
+  seal_frame(out, at);
+}
+
+std::optional<StatsPayload> parse_stats_response(std::span<const std::uint8_t> body,
+                                                 std::string* error) {
+  ByteReader reader{body};
+  StatsPayload stats;
+  stats.generation = reader.u64();
+  stats.reloads = reader.u64();
+  stats.connections_accepted = reader.u64();
+  stats.connections_active = reader.u64();
+  stats.frames_in = reader.u64();
+  stats.frames_out = reader.u64();
+  stats.bytes_in = reader.u64();
+  stats.bytes_out = reader.u64();
+  stats.queries = reader.u64();
+  stats.hits = reader.u64();
+  stats.batches = reader.u64();
+  stats.protocol_errors = reader.u64();
+  stats.reads_paused = reader.u64();
+  stats.idle_evictions = reader.u64();
+  stats.http_requests = reader.u64();
+  stats.frame_p50_us = reader.f64();
+  stats.frame_p90_us = reader.f64();
+  stats.frame_p99_us = reader.f64();
+  stats.frame_max_us = reader.u64();
+  if (!reader.ok || !reader.done()) {
+    fail(error, "malformed STATS response");
+    return std::nullopt;
+  }
+  return stats;
+}
+
+void encode_metrics_request(std::vector<std::uint8_t>& out) {
+  seal_frame(out, open_frame(out, FrameType::kMetrics));
+}
+
+void encode_metrics_response(std::vector<std::uint8_t>& out, std::string_view json) {
+  const std::size_t at = open_frame(out, FrameType::kMetricsResponse);
+  out.insert(out.end(), json.begin(), json.end());
+  seal_frame(out, at);
+}
+
+void encode_error(std::vector<std::uint8_t>& out, std::string_view message) {
+  const std::size_t at = open_frame(out, FrameType::kError);
+  put_u16(out, static_cast<std::uint16_t>(message.size()));
+  out.insert(out.end(), message.begin(), message.end());
+  seal_frame(out, at);
+}
+
+std::optional<std::string> parse_error_frame(std::span<const std::uint8_t> body,
+                                             std::string* error) {
+  ByteReader reader{body};
+  const std::uint16_t length = reader.u16();
+  const auto raw = reader.bytes(length);
+  if (!reader.ok || !reader.done()) {
+    fail(error, "malformed ERROR frame");
+    return std::nullopt;
+  }
+  return std::string(raw.begin(), raw.end());
+}
+
+}  // namespace sp::net

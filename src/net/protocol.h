@@ -1,0 +1,240 @@
+// sp::net wire protocol — the length-prefixed pipelined binary frames the
+// epoll front-end (net/server.h) speaks over TCP.
+//
+// Framing. Every message is one frame:
+//
+//   offset  size  field
+//   0       1     type       (verb / response discriminator, see below)
+//   1       4     body_len   (u32, little-endian, <= kMaxBody)
+//   5       n     body       (body_len bytes, layout per type)
+//
+// The type byte leads so the very first octet of a connection
+// distinguishes the binary protocol from a curl-style HTTP request: no
+// frame type is ever 'G' (0x47), so a leading 'G' routes the connection
+// to the minimal `GET /metrics` HTTP handler instead (server.cpp).
+//
+// All integers are little-endian. Doubles travel as the little-endian
+// bytes of their IEEE-754 bit pattern. Prefixes and addresses share one
+// Key encoding:
+//
+//   u8 family (4 or 6) | u8 prefix_len | 4 (v4) or 16 (v6) address bytes
+//
+// A full-length key (/32, /128) means an address lookup; anything
+// shorter is a whole-prefix LPM lookup. Host bits need not be zero on
+// the wire — the server canonicalises via Prefix::of.
+//
+// Verbs (client -> server):
+//   0x01 QUERY    u32 request_id | u16 count | count x Key   (count <= kMaxBatch)
+//   0x02 RELOAD   u16 path_len | path bytes   (path_len == 0: bare reload)
+//   0x03 STATS    empty body
+//   0x04 METRICS  empty body
+//
+// Responses (server -> client):
+//   0x81 QUERY    u32 request_id | u64 generation | u16 count | count x Answer
+//                 Answer = u8 hit | if hit: Key matched, Key sibling,
+//                          f64 similarity, u32 shared, u32 v4dc, u32 v6dc
+//   0x82 RELOAD   u8 ok | if ok: u64 generation, else u16 len | error text
+//   0x83 STATS    StatsPayload (fixed 152-byte struct, see below)
+//   0x84 METRICS  UTF-8 JSON body (obs MetricsRegistry scrape)
+//   0x7f ERROR    u16 len | message — sent once on a protocol violation,
+//                 then the connection is closed
+//
+// Pipelining: a client may send any number of request frames without
+// waiting; the server answers them in order on the same connection.
+// The decoder below is incremental — it accepts bytes as they arrive
+// (1-byte trickles, coalesced pipelines) and yields complete frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netbase/prefix.h"
+#include "serve/lookup.h"
+
+namespace sp::net {
+
+/// Frame type bytes. Requests have the high bit clear, responses set;
+/// kError is the one response a request of any type can provoke.
+enum class FrameType : std::uint8_t {
+  kQuery = 0x01,
+  kReload = 0x02,
+  kStats = 0x03,
+  kMetrics = 0x04,
+  kQueryResponse = 0x81,
+  kReloadResponse = 0x82,
+  kStatsResponse = 0x83,
+  kMetricsResponse = 0x84,
+  kError = 0x7f,
+};
+
+/// Hard cap on a frame body; a declared length above this poisons the
+/// connection (error frame + close) before any allocation happens.
+inline constexpr std::size_t kMaxBody = 1u << 20;
+
+/// Largest key count in one QUERY frame.
+inline constexpr std::size_t kMaxBatch = 4096;
+
+/// Frame header bytes on the wire (type + body length).
+inline constexpr std::size_t kHeaderSize = 5;
+
+/// True for bytes that name a valid request verb.
+[[nodiscard]] bool is_request_type(std::uint8_t type) noexcept;
+
+/// One decoded frame: the type byte and its raw body.
+struct Frame {
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> body;
+
+  [[nodiscard]] friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Incremental frame decoder. feed() accepts arbitrary byte chunks;
+/// next() yields complete frames in arrival order. A malformed length
+/// (body_len > max_body) poisons the decoder: error() turns true,
+/// next() never yields again — the server answers with an ERROR frame
+/// and closes. Identical byte streams yield identical frame sequences
+/// regardless of how they were chunked (fuzz_net_frame's invariant).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_body = kMaxBody) : max_body_(max_body) {}
+
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// The next complete frame, or nullopt when more bytes are needed (or
+  /// the decoder is poisoned).
+  [[nodiscard]] std::optional<Frame> next();
+
+  [[nodiscard]] bool error() const noexcept { return poisoned_; }
+  [[nodiscard]] const std::string& error_message() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet consumed as frames (bounded by
+  /// kHeaderSize + max_body between next() calls).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_body_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already returned
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives (shared by the encoders, tests and fuzz).
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void put_f64(std::vector<std::uint8_t>& out, double v);
+
+/// Bounds-checked sequential reader over a frame body. After a failed
+/// read `ok` is false and every later read returns zero values.
+struct ByteReader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n);
+  [[nodiscard]] bool done() const noexcept { return ok && pos == data.size(); }
+};
+
+// ---------------------------------------------------------------------------
+// Message structs and their encode/parse pairs. Encoders append a whole
+// frame (header + body) to `out`; parsers take the frame *body* and
+// return nullopt on any structural violation, storing a deterministic
+// reason in `error` (the text the server echoes in its ERROR frame).
+
+/// The Key wire unit (see header comment). Full-length keys are address
+/// lookups; shorter ones are whole-prefix LPM lookups.
+void put_key(std::vector<std::uint8_t>& out, const Prefix& key);
+[[nodiscard]] std::optional<Prefix> read_key(ByteReader& reader, std::string* error);
+
+struct QueryRequest {
+  std::uint32_t request_id = 0;
+  std::vector<Prefix> keys;  // full-length = address query
+
+  [[nodiscard]] friend bool operator==(const QueryRequest&, const QueryRequest&) = default;
+};
+
+struct QueryResponse {
+  std::uint32_t request_id = 0;
+  std::uint64_t generation = 0;  // 0 = no snapshot was loaded
+  std::vector<std::optional<serve::SiblingAnswer>> answers;
+
+  [[nodiscard]] friend bool operator==(const QueryResponse&, const QueryResponse&) = default;
+};
+
+struct ReloadRequest {
+  std::string path;  // empty = bare reload of the current snapshot
+
+  [[nodiscard]] friend bool operator==(const ReloadRequest&, const ReloadRequest&) = default;
+};
+
+struct ReloadResponse {
+  bool ok = false;
+  std::uint64_t generation = 0;  // when ok
+  std::string error;             // when !ok
+
+  [[nodiscard]] friend bool operator==(const ReloadResponse&, const ReloadResponse&) = default;
+};
+
+/// The fixed-layout STATS body: 15 u64 counters, 3 f64 quantiles and one
+/// u64 max, in declaration order — 152 bytes. Every field is exact and
+/// deterministic for a given traffic history, so conformance vectors can
+/// pin the bytes of a fresh server's answer.
+struct StatsPayload {
+  std::uint64_t generation = 0;
+  std::uint64_t reloads = 0;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t queries = 0;  // keys answered across all QUERY frames
+  std::uint64_t hits = 0;
+  std::uint64_t batches = 0;  // QUERY frames answered
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t reads_paused = 0;  // backpressure pause events
+  std::uint64_t idle_evictions = 0;
+  std::uint64_t http_requests = 0;
+  double frame_p50_us = 0.0;  // per-QUERY-frame service time quantiles
+  double frame_p90_us = 0.0;
+  double frame_p99_us = 0.0;
+  std::uint64_t frame_max_us = 0;
+
+  [[nodiscard]] friend bool operator==(const StatsPayload&, const StatsPayload&) = default;
+};
+
+void encode_query_request(std::vector<std::uint8_t>& out, const QueryRequest& request);
+void encode_query_response(std::vector<std::uint8_t>& out, const QueryResponse& response);
+void encode_reload_request(std::vector<std::uint8_t>& out, const ReloadRequest& request);
+void encode_reload_response(std::vector<std::uint8_t>& out, const ReloadResponse& response);
+void encode_stats_request(std::vector<std::uint8_t>& out);
+void encode_stats_response(std::vector<std::uint8_t>& out, const StatsPayload& stats);
+void encode_metrics_request(std::vector<std::uint8_t>& out);
+void encode_metrics_response(std::vector<std::uint8_t>& out, std::string_view json);
+void encode_error(std::vector<std::uint8_t>& out, std::string_view message);
+
+[[nodiscard]] std::optional<QueryRequest> parse_query_request(
+    std::span<const std::uint8_t> body, std::string* error);
+[[nodiscard]] std::optional<QueryResponse> parse_query_response(
+    std::span<const std::uint8_t> body, std::string* error);
+[[nodiscard]] std::optional<ReloadRequest> parse_reload_request(
+    std::span<const std::uint8_t> body, std::string* error);
+[[nodiscard]] std::optional<ReloadResponse> parse_reload_response(
+    std::span<const std::uint8_t> body, std::string* error);
+[[nodiscard]] std::optional<StatsPayload> parse_stats_response(
+    std::span<const std::uint8_t> body, std::string* error);
+[[nodiscard]] std::optional<std::string> parse_error_frame(std::span<const std::uint8_t> body,
+                                                           std::string* error);
+
+}  // namespace sp::net

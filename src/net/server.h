@@ -1,0 +1,169 @@
+// sp::net::Server — the epoll TCP front-end for the sibling lookup
+// service (the ROADMAP's "network front-end for sp::serve" item).
+//
+// Architecture:
+//
+//   * One listening socket, accepted by worker 0 only (the single
+//     acceptor), with accepted connections handed round-robin to the N
+//     worker event loops through per-worker inboxes (mutex + eventfd
+//     wakeup).
+//   * The N event loops are pinned to core::WorkerPool threads: start()
+//     spawns one driver thread whose pool_.run(worker_loop) fork-join
+//     dispatch hosts every loop for the server's lifetime (worker 0 on
+//     the driver thread itself), and stop() joins them all through the
+//     same barrier.
+//   * Each loop is a level-triggered epoll: EPOLLIN while the connection
+//     is reading, EPOLLOUT only while output is buffered. Connections
+//     never migrate between workers, so connection state needs no lock.
+//
+// Per connection:
+//
+//   * an incremental FrameDecoder absorbs whatever the kernel delivers —
+//     1-byte trickles and coalesced pipelines decode identically;
+//   * responses append to an output buffer flushed opportunistically;
+//     when more than `high_water` bytes are buffered (a slow or stalled
+//     reader) the worker *pauses reads* (drops EPOLLIN) until the buffer
+//     drains below half the mark, so one slow client caps its own memory
+//     instead of growing the server's — the reads_paused counter and the
+//     net_server_test slow-reader case pin this;
+//   * an idle timeout (no bytes read) and a write timeout (buffered
+//     output making no progress) evict dead peers on a periodic sweep.
+//
+// Queries pin the RCU snapshot per frame exactly as SiblingService does:
+// the worker copies the shared_ptr once, answers every key in the batch
+// from that snapshot inline (net workers are already the parallel unit;
+// no inner fork-join), counts into the snapshot's per-generation tally,
+// and drops the pin — RELOAD stays race-free under live traffic.
+//
+// Protocol errors (bad length, unknown type, malformed body) answer with
+// one ERROR frame and close after it flushes. A connection whose first
+// byte is 'G' is served as minimal HTTP/1.1 instead: `GET /metrics`
+// returns the obs MetricsRegistry scrape as JSON (curl-able), anything
+// else 404; either way the connection closes after the response.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/worker_pool.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "serve/service.h"
+
+namespace sp::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; Server::port() reports the bound one
+  unsigned workers = 0;    // event loops; 0 = hardware concurrency, capped at 8
+  std::size_t max_body = kMaxBody;
+  /// Pause reading a connection once this many response bytes are
+  /// buffered; resume below half of it.
+  std::size_t high_water = 1u << 20;
+  std::chrono::milliseconds idle_timeout{30000};
+  std::chrono::milliseconds write_timeout{10000};
+  /// Registry for the net.* metrics and the METRICS/`/metrics` scrape.
+  /// Null = the process-global registry (the CLI default); tests pass a
+  /// private registry so scrapes and quantiles start from zero.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// Point-in-time server counters (exact; plain atomics, not obs shards).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t queries = 0;  // keys answered
+  std::uint64_t hits = 0;
+  std::uint64_t batches = 0;  // QUERY frames answered
+  std::uint64_t reloads_ok = 0;
+  std::uint64_t reloads_failed = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t reads_paused = 0;
+  std::uint64_t idle_evictions = 0;
+  std::uint64_t write_timeouts = 0;
+  std::uint64_t http_requests = 0;
+};
+
+class Server {
+ public:
+  /// The service must outlive the server. Does not listen yet.
+  explicit Server(serve::SiblingService& service, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the event loops in the background.
+  /// Returns false (with a reason) on bind/listen failure.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Signals every loop, closes all connections and joins. Idempotent.
+  void stop();
+
+  /// The bound port (meaningful after start(); resolves port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// The STATS verb's payload as the worker builds it (exposed so the
+  /// conformance suite asserts the exact bytes a fresh server answers).
+  [[nodiscard]] StatsPayload stats_payload() const;
+
+ private:
+  struct Connection;
+  struct Worker;
+
+  void worker_loop(unsigned worker_id);
+  void accept_ready(Worker& worker);
+  void adopt_inbox(Worker& worker);
+  void connection_readable(Worker& worker, Connection& connection);
+  void connection_writable(Worker& worker, Connection& connection);
+  void dispatch_frame(Connection& connection, const Frame& frame);
+  void handle_http(Connection& connection);
+  void flush_output(Worker& worker, Connection& connection);
+  void update_interest(Worker& worker, Connection& connection);
+  void close_connection(Worker& worker, Connection& connection);
+  void sweep_timeouts(Worker& worker);
+  void fail_connection(Connection& connection, const std::string& message);
+
+  serve::SiblingService& service_;
+  ServerConfig config_;
+  unsigned worker_count_;
+  std::uint16_t bound_port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> next_worker_{0};  // round-robin accept target
+  std::unique_ptr<core::WorkerPool> pool_;     // hosts the event loops
+  std::thread driver_;                         // runs pool_->run(worker_loop)
+
+  // Exact counters; seq_cst fetch_add is one locked add on x86 and these
+  // are off the per-key hot path (one update per frame/connection).
+  std::atomic<std::uint64_t> accepted_{0}, active_{0};
+  std::atomic<std::uint64_t> frames_in_{0}, frames_out_{0};
+  std::atomic<std::uint64_t> bytes_in_{0}, bytes_out_{0};
+  std::atomic<std::uint64_t> queries_{0}, hits_{0}, batches_{0};
+  std::atomic<std::uint64_t> reloads_ok_{0}, reloads_failed_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0}, reads_paused_{0};
+  std::atomic<std::uint64_t> idle_evictions_{0}, write_timeouts_{0}, http_requests_{0};
+
+  obs::Histogram frame_us_;   // net.frame_us: QUERY frame service time
+  obs::Counter obs_queries_;  // net.queries: keys answered (METRICS scrape)
+  obs::Counter obs_query_frames_;    // net.frames.query
+  obs::Counter obs_reload_frames_;   // net.frames.reload
+  obs::Counter obs_stats_frames_;    // net.frames.stats
+  obs::Counter obs_metrics_frames_;  // net.frames.metrics
+};
+
+}  // namespace sp::net

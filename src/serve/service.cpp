@@ -33,19 +33,27 @@ bool SiblingService::load(const std::string& path, std::string* error) {
     std::lock_guard lock(current_mutex_);
     [[maybe_unused]] const lint::LockOrderScope held("serve.service.current_mutex");
     if (current_) {
-      // Retire the outgoing generation's tally. In-flight queries still
-      // pinning it may add a few more counts after this capture; the
-      // captured numbers are the generation's tally as of the swap.
-      retired_.push_back({current_->generation,
-                          current_->served_queries.load(std::memory_order_relaxed),
-                          current_->served_hits.load(std::memory_order_relaxed)});
-      // Keep the retired window bounded under reload churn: fold the
-      // oldest tallies into the cumulative bucket once the cap is hit.
-      while (retired_.size() > kRetiredGenerationCap) {
-        compacted_.queries += retired_.front().queries;
-        compacted_.hits += retired_.front().hits;
+      // Retire the outgoing snapshot itself, not a captured tally:
+      // batches that pinned it before the swap keep counting into its
+      // atomics, so capturing numbers here would lose their counts.
+      retired_.push_back(current_);
+    }
+    // Keep the retired window bounded under reload churn: fold the
+    // oldest tallies into the cumulative bucket once the cap is hit —
+    // but only entries nobody pins anymore (use_count()==1 is stable
+    // under current_mutex_: new pins can only come from current_),
+    // because a pinned tally may still grow. A still-pinned entry is
+    // skipped and folded on a later reload, so memory stays bounded by
+    // the cap plus the handful of transiently pinned snapshots.
+    for (auto it = retired_.begin();
+         retired_.size() > kRetiredGenerationCap && it != retired_.end();) {
+      if (it->use_count() == 1) {
+        compacted_.queries += (*it)->served_queries.load(std::memory_order_relaxed);
+        compacted_.hits += (*it)->served_hits.load(std::memory_order_relaxed);
         ++compacted_count_;
-        retired_.erase(retired_.begin());
+        it = retired_.erase(it);
+      } else {
+        ++it;
       }
     }
     current_ = std::move(snapshot);
@@ -150,7 +158,12 @@ ServiceStats SiblingService::stats() const {
     std::lock_guard lock(current_mutex_);
     [[maybe_unused]] const lint::LockOrderScope held("serve.service.current_mutex");
     snap = current_;
-    out.generations = retired_;
+    out.generations.reserve(retired_.size() + 1);
+    for (const auto& retired : retired_) {
+      out.generations.push_back({retired->generation,
+                                 retired->served_queries.load(std::memory_order_relaxed),
+                                 retired->served_hits.load(std::memory_order_relaxed)});
+    }
     out.compacted = compacted_;
     out.compacted_generations = compacted_count_;
   }

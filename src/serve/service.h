@@ -187,11 +187,16 @@ class SiblingService {
   std::atomic<std::uint64_t> reloads_{0};
   std::atomic<std::uint64_t> query_ns_{0}, batch_ns_{0};
 
-  // Tallies of generations this service replaced (under current_mutex_);
-  // the live generation's tally sits in the snapshot itself. Bounded:
-  // the newest kRetiredGenerationCap individually, everything older
-  // folded into compacted_ so reload churn cannot grow memory.
-  std::vector<GenerationStats> retired_;
+  // Generations this service replaced (under current_mutex_), retired
+  // *as snapshots* rather than captured tallies: a batch that pinned the
+  // outgoing snapshot before the swap keeps counting into its atomics
+  // after the swap, so the tally is only final once the service holds
+  // the last reference. Folding into compacted_ waits for exactly that
+  // (use_count()==1), which makes the per-generation counts conserved
+  // under reload-during-traffic — the invariant the net server's TSan
+  // reload test asserts. Bounded: the newest kRetiredGenerationCap
+  // entries plus however many are still transiently pinned.
+  std::vector<std::shared_ptr<const Snapshot>> retired_;
   GenerationStats compacted_;             // aggregate of folded retirees
   std::uint64_t compacted_count_ = 0;     // generations folded so far
 

@@ -1,0 +1,663 @@
+// Protocol conformance battery for the sp::net wire format: checked-in
+// byte-exact golden request/response vectors for every verb, incremental
+// decoder edge cases (1-byte trickles, coalesced pipelines, zero-length
+// and max-size batches, oversized/garbage frames), each exercised twice
+// — once against the codec directly and once through a loopback socket
+// against the real epoll event loop, so the vectors pin what actually
+// travels on the wire, not just what the encoder emits.
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/sibdb.h"
+#include "serve/service.h"
+
+namespace sp::net {
+namespace {
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  const auto nibble = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    return static_cast<std::uint8_t>(c - 'a' + 10);
+  };
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  for (const std::uint8_t b : bytes) {
+    out += digits[b >> 4];
+    out += digits[b & 0xf];
+  }
+  return out;
+}
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+/// Drains a (non-blocking) socket until the peer closes; for the raw
+/// HTTP reply, which ends with the server's close.
+std::string read_until_eof(int fd) {
+  std::string reply;
+  while (true) {
+    pollfd waiter{fd, POLLIN, 0};
+    if (::poll(&waiter, 1, 5000) <= 0) break;
+    char chunk[4096];
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got == 0) break;
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
+    reply.append(chunk, static_cast<std::size_t>(got));
+  }
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Golden vectors. These hex strings are the wire contract: a change that
+// breaks any of them breaks every deployed client.
+
+// QUERY id=7 with an address key, a prefix key and a v6 address key.
+constexpr const char* kGoldenQueryRequest =
+    "0124000000"  // type=QUERY, body_len=36
+    "07000000"    // request_id=7
+    "0300"        // count=3
+    "042014010203"                              // 20.1.2.3/32 (address)
+    "041014010000"                              // 20.1.0.0/16 (prefix LPM)
+    "068026200100000000000000000000000001";     // 2620:100::1/128
+
+// The answer the fixture snapshot gives that QUERY (gen=1): all three
+// keys hit the 20.1.0.0/16 <-> 2620:100::/32 pair. The matched key is
+// always on the query's family — the v6 key answers with the record's
+// two prefixes swapped relative to the v4 keys.
+constexpr const char* kGoldenQueryResponse =
+    "8195000000"          // type=QUERY|0x80, body_len=149
+    "07000000"            // request_id=7
+    "0100000000000000"    // generation=1
+    "0300"                // count=3
+    "01"                  // answers[0]: hit
+    "041014010000"                            //   matched 20.1.0.0/16
+    "062026200100000000000000000000000000"    //   sibling 2620:100::/32
+    "666666666666ee3f"                        //   similarity 0.95
+    "03000000" "04000000" "05000000"          //   shared=3 v4=4 v6=5
+    "01"                  // answers[1]: hit (same record)
+    "041014010000"
+    "062026200100000000000000000000000000"
+    "666666666666ee3f"
+    "03000000" "04000000" "05000000"
+    "01"                  // answers[2]: hit from the v6 side
+    "062026200100000000000000000000000000"    //   matched 2620:100::/32
+    "041014010000"                            //   sibling 20.1.0.0/16
+    "666666666666ee3f"
+    "03000000" "04000000" "05000000";
+
+constexpr const char* kGoldenBareReload = "02020000000000";
+constexpr const char* kGoldenPathReload = "02090000000700612e7369626462";  // "a.sibdb"
+constexpr const char* kGoldenStatsRequest = "0300000000";
+constexpr const char* kGoldenMetricsRequest = "0400000000";
+constexpr const char* kGoldenError = "7f050000000300626164";  // "bad"
+// ok, generation=2
+constexpr const char* kGoldenReloadOk = "8209000000" "01" "0200000000000000";
+// failed, reason "nope"
+constexpr const char* kGoldenReloadFail = "8207000000" "00" "0400" "6e6f7065";
+// QUERY response id=9, gen=1, one miss.
+constexpr const char* kGoldenMissResponse =
+    "810f000000" "09000000" "0100000000000000" "0100" "00";
+
+QueryRequest golden_query_request() {
+  QueryRequest request;
+  request.request_id = 7;
+  request.keys = {p("20.1.2.3/32"), p("20.1.0.0/16"), p("2620:100::1/128")};
+  return request;
+}
+
+TEST(NetProtocolGolden, QueryRequestBytes) {
+  std::vector<std::uint8_t> wire;
+  encode_query_request(wire, golden_query_request());
+  EXPECT_EQ(to_hex(wire), kGoldenQueryRequest);
+
+  std::string error;
+  const auto body = from_hex(std::string(kGoldenQueryRequest).substr(2 * kHeaderSize));
+  const auto parsed = parse_query_request(body, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, golden_query_request());
+}
+
+TEST(NetProtocolGolden, ReloadRequestBytes) {
+  std::vector<std::uint8_t> bare;
+  encode_reload_request(bare, ReloadRequest{});
+  EXPECT_EQ(to_hex(bare), kGoldenBareReload);
+
+  std::vector<std::uint8_t> with_path;
+  encode_reload_request(with_path, ReloadRequest{"a.sibdb"});
+  EXPECT_EQ(to_hex(with_path), kGoldenPathReload);
+
+  std::string error;
+  const auto body = from_hex(std::string(kGoldenPathReload).substr(2 * kHeaderSize));
+  const auto parsed = parse_reload_request(body, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->path, "a.sibdb");
+}
+
+TEST(NetProtocolGolden, StatsAndMetricsRequestBytes) {
+  std::vector<std::uint8_t> stats;
+  encode_stats_request(stats);
+  EXPECT_EQ(to_hex(stats), kGoldenStatsRequest);
+  std::vector<std::uint8_t> metrics;
+  encode_metrics_request(metrics);
+  EXPECT_EQ(to_hex(metrics), kGoldenMetricsRequest);
+}
+
+TEST(NetProtocolGolden, ErrorFrameBytes) {
+  std::vector<std::uint8_t> wire;
+  encode_error(wire, "bad");
+  EXPECT_EQ(to_hex(wire), kGoldenError);
+  std::string error;
+  const auto body = from_hex(std::string(kGoldenError).substr(2 * kHeaderSize));
+  const auto message = parse_error_frame(body, &error);
+  ASSERT_TRUE(message.has_value()) << error;
+  EXPECT_EQ(*message, "bad");
+}
+
+TEST(NetProtocolGolden, ReloadResponseBytes) {
+  std::vector<std::uint8_t> ok_wire;
+  encode_reload_response(ok_wire, ReloadResponse{true, 2, ""});
+  EXPECT_EQ(to_hex(ok_wire), kGoldenReloadOk);
+  std::vector<std::uint8_t> fail_wire;
+  encode_reload_response(fail_wire, ReloadResponse{false, 0, "nope"});
+  EXPECT_EQ(to_hex(fail_wire), kGoldenReloadFail);
+
+  std::string error;
+  const auto parsed = parse_reload_response(
+      from_hex(std::string(kGoldenReloadFail).substr(2 * kHeaderSize)), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_FALSE(parsed->ok);
+  EXPECT_EQ(parsed->error, "nope");
+}
+
+TEST(NetProtocolGolden, QueryMissResponseBytes) {
+  QueryResponse response;
+  response.request_id = 9;
+  response.generation = 1;
+  response.answers.resize(1);
+  std::vector<std::uint8_t> wire;
+  encode_query_response(wire, response);
+  EXPECT_EQ(to_hex(wire), kGoldenMissResponse);
+
+  std::string error;
+  const auto parsed = parse_query_response(
+      from_hex(std::string(kGoldenMissResponse).substr(2 * kHeaderSize)), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, response);
+}
+
+TEST(NetProtocolGolden, QueryResponseRoundTripWithHit) {
+  serve::SiblingAnswer answer;
+  answer.matched = p("20.1.0.0/16");
+  answer.sibling = p("2620:100::/32");
+  answer.similarity = 0.95;
+  answer.shared_domains = 3;
+  answer.v4_domain_count = 4;
+  answer.v6_domain_count = 5;
+  serve::SiblingAnswer v6_answer = answer;
+  v6_answer.matched = answer.sibling;
+  v6_answer.sibling = answer.matched;
+  QueryResponse response;
+  response.request_id = 7;
+  response.generation = 1;
+  response.answers = {answer, answer, v6_answer};
+  std::vector<std::uint8_t> wire;
+  encode_query_response(wire, response);
+  EXPECT_EQ(to_hex(wire), kGoldenQueryResponse);
+
+  std::string error;
+  const auto parsed =
+      parse_query_response(from_hex(std::string(kGoldenQueryResponse).substr(2 * kHeaderSize)),
+                           &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, response);
+}
+
+TEST(NetProtocolGolden, StatsPayloadRoundTripIs152Bytes) {
+  StatsPayload stats;
+  stats.generation = 3;
+  stats.queries = 1000;
+  stats.hits = 900;
+  stats.frame_p50_us = 12.5;
+  stats.frame_max_us = 99;
+  std::vector<std::uint8_t> wire;
+  encode_stats_response(wire, stats);
+  EXPECT_EQ(wire.size(), kHeaderSize + 152);
+  std::string error;
+  const auto parsed =
+      parse_stats_response(std::span(wire).subspan(kHeaderSize), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, stats);
+}
+
+// ---------------------------------------------------------------------------
+// Decoder edge cases, direct.
+
+TEST(NetFrameDecoder, OneByteTrickleMatchesWholeFeed) {
+  const auto wire = from_hex(kGoldenQueryRequest);
+  FrameDecoder whole;
+  whole.feed(wire);
+  const auto expected = whole.next();
+  ASSERT_TRUE(expected.has_value());
+
+  FrameDecoder trickle;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_FALSE(trickle.next().has_value()) << "frame complete too early at byte " << i;
+    trickle.feed({&wire[i], 1});
+  }
+  const auto got = trickle.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, *expected);
+  EXPECT_FALSE(trickle.next().has_value());
+  EXPECT_EQ(trickle.buffered(), 0u);
+}
+
+TEST(NetFrameDecoder, CoalescedPipelineYieldsFramesInOrder) {
+  std::vector<std::uint8_t> wire = from_hex(kGoldenQueryRequest);
+  const auto stats = from_hex(kGoldenStatsRequest);
+  const auto reload = from_hex(kGoldenBareReload);
+  wire.insert(wire.end(), stats.begin(), stats.end());
+  wire.insert(wire.end(), reload.begin(), reload.end());
+
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  const auto first = decoder.next();
+  const auto second = decoder.next();
+  const auto third = decoder.next();
+  ASSERT_TRUE(first && second && third);
+  EXPECT_EQ(first->type, static_cast<std::uint8_t>(FrameType::kQuery));
+  EXPECT_EQ(second->type, static_cast<std::uint8_t>(FrameType::kStats));
+  EXPECT_TRUE(second->body.empty());
+  EXPECT_EQ(third->type, static_cast<std::uint8_t>(FrameType::kReload));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.error());
+}
+
+TEST(NetFrameDecoder, OversizedDeclaredLengthPoisons) {
+  FrameDecoder decoder;  // default max_body = kMaxBody
+  decoder.feed(from_hex("01ffffff7f"));  // body_len = 0x7fffffff
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.error());
+  EXPECT_EQ(decoder.error_message(),
+            "frame body length 2147483647 exceeds limit 1048576");
+  // Poisoned decoders never yield again, even fed a valid frame.
+  decoder.feed(from_hex(kGoldenStatsRequest));
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(NetFrameDecoder, TruncatedFrameJustWaits) {
+  FrameDecoder decoder;
+  const auto wire = from_hex(kGoldenQueryRequest);
+  decoder.feed({wire.data(), wire.size() - 1});
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.error());
+  EXPECT_EQ(decoder.buffered(), wire.size() - 1);
+}
+
+TEST(NetProtocolParse, ZeroLengthBatchIsValid) {
+  QueryRequest request;
+  request.request_id = 5;
+  std::vector<std::uint8_t> wire;
+  encode_query_request(wire, request);
+  std::string error;
+  const auto parsed = parse_query_request(std::span(wire).subspan(kHeaderSize), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->keys.empty());
+}
+
+TEST(NetProtocolParse, MaxBatchRoundTripsAndOverMaxRejects) {
+  QueryRequest request;
+  request.request_id = 1;
+  request.keys.assign(kMaxBatch, p("20.1.2.3/32"));
+  std::vector<std::uint8_t> wire;
+  encode_query_request(wire, request);
+  std::string error;
+  auto parsed = parse_query_request(std::span(wire).subspan(kHeaderSize), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->keys.size(), kMaxBatch);
+
+  // Same body with the count forged one past the cap.
+  std::vector<std::uint8_t> forged(wire.begin() + kHeaderSize, wire.end());
+  const std::uint16_t count = kMaxBatch + 1;
+  forged[4] = static_cast<std::uint8_t>(count & 0xff);
+  forged[5] = static_cast<std::uint8_t>(count >> 8);
+  parsed = parse_query_request(forged, &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_EQ(error, "QUERY batch of 4097 keys exceeds max 4096");
+}
+
+TEST(NetProtocolParse, MalformedBodiesNameTheReason) {
+  std::string error;
+  EXPECT_FALSE(parse_query_request(from_hex("070000"), &error).has_value());
+  EXPECT_EQ(error, "truncated QUERY header");
+  EXPECT_FALSE(parse_query_request(from_hex("0700000001000520"), &error).has_value());
+  EXPECT_EQ(error, "key family must be 4 or 6, got 5");
+  EXPECT_FALSE(
+      parse_query_request(from_hex("070000000100042114010203"), &error).has_value());
+  EXPECT_EQ(error, "key prefix length 33 exceeds /32");
+  EXPECT_FALSE(parse_query_request(from_hex("070000000100042014"), &error).has_value());
+  EXPECT_EQ(error, "truncated key");
+  // Valid single-key body plus one trailing byte.
+  EXPECT_FALSE(
+      parse_query_request(from_hex("070000000100042014010203ff"), &error).has_value());
+  EXPECT_EQ(error, "QUERY body has trailing bytes");
+}
+
+// ---------------------------------------------------------------------------
+// The same vectors through a loopback socket against the real event loop.
+
+class NetProtocolLoopback : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<core::SiblingPair> pairs(1);
+    pairs[0].v4 = p("20.1.0.0/16");
+    pairs[0].v6 = p("2620:100::/32");
+    pairs[0].similarity = 0.95;
+    pairs[0].shared_domains = 3;
+    pairs[0].v4_domain_count = 4;
+    pairs[0].v6_domain_count = 5;
+    // Unique per process: ctest runs each test case as its own process
+    // and a shared path would let one process truncate-rewrite the file
+    // while another still has it mmapped (SIGBUS).
+    db_path_ = ::testing::TempDir() + "/net_protocol_test." + std::to_string(::getpid()) +
+               ".sibdb";
+    ASSERT_TRUE(serve::write_sibdb(db_path_, pairs));
+
+    service_ = std::make_unique<serve::SiblingService>(1u);
+    std::string error;
+    ASSERT_TRUE(service_->load(db_path_, &error)) << error;
+
+    ServerConfig config;
+    config.workers = 2;
+    config.registry = &registry_;  // scrapes/quantiles start from zero
+    server_ = std::make_unique<Server>(*service_, config);
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  Client connect_ok() {
+    std::string error;
+    auto client = Client::connect("127.0.0.1", server_->port(), &error);
+    EXPECT_TRUE(client.has_value()) << error;
+    return std::move(*client);
+  }
+
+  std::string db_path_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<serve::SiblingService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(NetProtocolLoopback, GoldenQueryAnswersGoldenResponse) {
+  auto client = connect_ok();
+  std::string error;
+  ASSERT_TRUE(client.send_bytes(from_hex(kGoldenQueryRequest), &error)) << error;
+  const auto frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  std::vector<std::uint8_t> wire;
+  wire.push_back(frame->type);
+  put_u32(wire, static_cast<std::uint32_t>(frame->body.size()));
+  wire.insert(wire.end(), frame->body.begin(), frame->body.end());
+  EXPECT_EQ(to_hex(wire), kGoldenQueryResponse);
+}
+
+TEST_F(NetProtocolLoopback, OneByteTrickleOverSocket) {
+  auto client = connect_ok();
+  std::string error;
+  const auto wire = from_hex(kGoldenQueryRequest);
+  for (const std::uint8_t byte : wire) {
+    ASSERT_TRUE(client.send_bytes({&byte, 1}, &error)) << error;
+  }
+  const auto frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  const auto response = parse_query_response(frame->body, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->request_id, 7u);
+  ASSERT_EQ(response->answers.size(), 3u);
+  EXPECT_TRUE(response->answers[0].has_value());
+  EXPECT_TRUE(response->answers[2].has_value());
+  EXPECT_EQ(response->answers[2]->matched, p("2620:100::/32"));
+}
+
+TEST_F(NetProtocolLoopback, CoalescedPipelineOverSocket) {
+  auto client = connect_ok();
+  std::string error;
+  // Three pipelined QUERYs with distinct ids in a single send.
+  std::vector<std::uint8_t> wire;
+  for (std::uint32_t id = 10; id < 13; ++id) {
+    QueryRequest request;
+    request.request_id = id;
+    request.keys = {p("20.1.2.3/32")};
+    encode_query_request(wire, request);
+  }
+  ASSERT_TRUE(client.send_bytes(wire, &error)) << error;
+  for (std::uint32_t id = 10; id < 13; ++id) {
+    const auto frame = client.read_frame(&error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    const auto response = parse_query_response(frame->body, &error);
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_EQ(response->request_id, id);  // in-order answering
+  }
+}
+
+TEST_F(NetProtocolLoopback, ZeroLengthBatchOverSocket) {
+  auto client = connect_ok();
+  std::string error;
+  QueryRequest request;
+  request.request_id = 5;
+  std::vector<std::uint8_t> wire;
+  encode_query_request(wire, request);
+  ASSERT_TRUE(client.send_bytes(wire, &error)) << error;
+  const auto frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  const auto response = parse_query_response(frame->body, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->request_id, 5u);
+  EXPECT_EQ(response->generation, 1u);
+  EXPECT_TRUE(response->answers.empty());
+}
+
+TEST_F(NetProtocolLoopback, MaxBatchOverSocket) {
+  auto client = connect_ok();
+  std::string error;
+  QueryRequest request;
+  request.request_id = 6;
+  request.keys.assign(kMaxBatch, p("20.1.2.3/32"));
+  std::vector<std::uint8_t> wire;
+  encode_query_request(wire, request);
+  ASSERT_TRUE(client.send_bytes(wire, &error)) << error;
+  const auto frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  const auto response = parse_query_response(frame->body, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  ASSERT_EQ(response->answers.size(), kMaxBatch);
+  for (const auto& answer : response->answers) EXPECT_TRUE(answer.has_value());
+}
+
+TEST_F(NetProtocolLoopback, StatsFirstFrameIsDeterministic) {
+  auto client = connect_ok();
+  std::string error;
+  ASSERT_TRUE(client.send_bytes(from_hex(kGoldenStatsRequest), &error)) << error;
+  const auto frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  ASSERT_EQ(frame->type, static_cast<std::uint8_t>(FrameType::kStatsResponse));
+
+  // A fresh server whose first-ever frame is this STATS answers exactly
+  // this payload — every counter is forced, including the 5 bytes of the
+  // request itself.
+  StatsPayload expected;
+  expected.generation = 1;
+  expected.reloads = 1;  // the initial load
+  expected.connections_accepted = 1;
+  expected.connections_active = 1;
+  expected.frames_in = 1;
+  expected.bytes_in = 5;
+  const auto parsed = parse_stats_response(frame->body, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, expected);
+
+  std::vector<std::uint8_t> golden;
+  encode_stats_response(golden, expected);
+  std::vector<std::uint8_t> wire;
+  wire.push_back(frame->type);
+  put_u32(wire, static_cast<std::uint32_t>(frame->body.size()));
+  wire.insert(wire.end(), frame->body.begin(), frame->body.end());
+  EXPECT_EQ(to_hex(wire), to_hex(golden));
+}
+
+TEST_F(NetProtocolLoopback, ReloadOverSocketBumpsGeneration) {
+  auto client = connect_ok();
+  std::string error;
+  // Explicit-path RELOAD (same file): generation 1 -> 2.
+  std::vector<std::uint8_t> wire;
+  encode_reload_request(wire, ReloadRequest{db_path_});
+  ASSERT_TRUE(client.send_bytes(wire, &error)) << error;
+  auto frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  auto reload = parse_reload_response(frame->body, &error);
+  ASSERT_TRUE(reload.has_value()) << error;
+  EXPECT_TRUE(reload->ok);
+  EXPECT_EQ(reload->generation, 2u);
+
+  // Bare RELOAD: re-reads the current path, generation 2 -> 3.
+  wire.clear();
+  encode_reload_request(wire, ReloadRequest{});
+  ASSERT_TRUE(client.send_bytes(wire, &error)) << error;
+  frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  reload = parse_reload_response(frame->body, &error);
+  ASSERT_TRUE(reload.has_value()) << error;
+  EXPECT_TRUE(reload->ok);
+  EXPECT_EQ(reload->generation, 3u);
+
+  // A failed RELOAD reports the reason and keeps serving generation 3.
+  wire.clear();
+  encode_reload_request(wire, ReloadRequest{"/nonexistent/x.sibdb"});
+  ASSERT_TRUE(client.send_bytes(wire, &error)) << error;
+  frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  reload = parse_reload_response(frame->body, &error);
+  ASSERT_TRUE(reload.has_value()) << error;
+  EXPECT_FALSE(reload->ok);
+  EXPECT_FALSE(reload->error.empty());
+
+  wire.clear();
+  QueryRequest request;
+  request.request_id = 1;
+  request.keys = {p("20.1.2.3/32")};
+  encode_query_request(wire, request);
+  ASSERT_TRUE(client.send_bytes(wire, &error)) << error;
+  frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  const auto response = parse_query_response(frame->body, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->generation, 3u);
+}
+
+TEST_F(NetProtocolLoopback, MetricsVerbReturnsScrapeJson) {
+  auto client = connect_ok();
+  std::string error;
+  // One QUERY first so the scrape has non-zero net.* counters.
+  std::vector<std::uint8_t> wire = from_hex(kGoldenQueryRequest);
+  ASSERT_TRUE(client.send_bytes(wire, &error)) << error;
+  ASSERT_TRUE(client.read_frame(&error).has_value()) << error;
+
+  ASSERT_TRUE(client.send_bytes(from_hex(kGoldenMetricsRequest), &error)) << error;
+  const auto frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  ASSERT_EQ(frame->type, static_cast<std::uint8_t>(FrameType::kMetricsResponse));
+  const std::string json(frame->body.begin(), frame->body.end());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"net.frames.query\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"net.queries\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("net.frame_us"), std::string::npos) << json;
+}
+
+TEST_F(NetProtocolLoopback, HttpGetMetricsOnSamePort) {
+  auto client = connect_ok();
+  std::string error;
+  const std::string request = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(client.send_bytes(
+      {reinterpret_cast<const std::uint8_t*>(request.data()), request.size()}, &error))
+      << error;
+  // Read until EOF (Connection: close semantics).
+  const std::string reply = read_until_eof(client.fd());
+  EXPECT_EQ(reply.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << reply;
+  EXPECT_NE(reply.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(reply.find("\"counters\""), std::string::npos);
+
+  auto other = connect_ok();
+  const std::string bad = "GET /nope HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(other.send_bytes(
+      {reinterpret_cast<const std::uint8_t*>(bad.data()), bad.size()}, &error))
+      << error;
+  const std::string not_found = read_until_eof(other.fd());
+  EXPECT_EQ(not_found.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u) << not_found;
+}
+
+TEST_F(NetProtocolLoopback, UnknownTypeAnswersErrorAndCloses) {
+  auto client = connect_ok();
+  std::string error;
+  ASSERT_TRUE(client.send_bytes(from_hex("5500000000"), &error)) << error;
+  const auto frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  ASSERT_EQ(frame->type, static_cast<std::uint8_t>(FrameType::kError));
+  const auto message = parse_error_frame(frame->body, &error);
+  ASSERT_TRUE(message.has_value()) << error;
+  EXPECT_EQ(*message, "unknown frame type 0x55");
+  EXPECT_FALSE(client.read_frame(&error).has_value());
+  EXPECT_TRUE(client.eof());  // server closed after the error frame
+}
+
+TEST_F(NetProtocolLoopback, OversizedFrameAnswersErrorAndCloses) {
+  auto client = connect_ok();
+  std::string error;
+  ASSERT_TRUE(client.send_bytes(from_hex("01ffffff7f"), &error)) << error;
+  const auto frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  ASSERT_EQ(frame->type, static_cast<std::uint8_t>(FrameType::kError));
+  const auto message = parse_error_frame(frame->body, &error);
+  ASSERT_TRUE(message.has_value()) << error;
+  EXPECT_EQ(*message, "frame body length 2147483647 exceeds limit 1048576");
+  EXPECT_FALSE(client.read_frame(&error).has_value());
+  EXPECT_TRUE(client.eof());
+}
+
+TEST_F(NetProtocolLoopback, GarbageBodyAnswersDeterministicError) {
+  auto client = connect_ok();
+  std::string error;
+  // QUERY whose body declares family 9.
+  ASSERT_TRUE(client.send_bytes(from_hex("01080000000700000001000920"), &error)) << error;
+  const auto frame = client.read_frame(&error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  ASSERT_EQ(frame->type, static_cast<std::uint8_t>(FrameType::kError));
+  const auto message = parse_error_frame(frame->body, &error);
+  ASSERT_TRUE(message.has_value()) << error;
+  EXPECT_EQ(*message, "key family must be 4 or 6, got 9");
+  EXPECT_FALSE(client.read_frame(&error).has_value());
+  EXPECT_TRUE(client.eof());
+}
+
+}  // namespace
+}  // namespace sp::net

@@ -1,0 +1,332 @@
+// Behavioral tests for the sp::net epoll server: slow-reader
+// backpressure (reads pause at the high-water mark and the server's
+// buffered output stays bounded), mid-frame disconnects, idle-timeout
+// eviction, and — run under TSan by scripts/tier1.sh stage 2 — RELOAD
+// racing concurrent QUERY pipelines over several connections while the
+// per-generation hit tallies stay conserved (no count is lost when a
+// snapshot retires mid-batch).
+//
+// sp-lint-file: atomics-ok(test counters aggregated after thread joins;
+// nothing orders through them)
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "serve/sibdb.h"
+#include "serve/service.h"
+
+namespace sp::net {
+namespace {
+
+Prefix p(const char* text) { return Prefix::must_parse(text); }
+
+std::string write_fixture_db(const std::string& name) {
+  std::vector<core::SiblingPair> pairs(1);
+  pairs[0].v4 = p("20.1.0.0/16");
+  pairs[0].v6 = p("2620:100::/32");
+  pairs[0].similarity = 0.9;
+  pairs[0].shared_domains = 2;
+  pairs[0].v4_domain_count = 3;
+  pairs[0].v6_domain_count = 4;
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(serve::write_sibdb(path, pairs));
+  return path;
+}
+
+/// Polls `condition` every millisecond for up to `budget`.
+template <typename Condition>
+bool eventually(Condition condition,
+                std::chrono::milliseconds budget = std::chrono::milliseconds(5000)) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return condition();
+}
+
+TEST(NetServer, SlowReaderHitsHighWaterAndRecovers) {
+  const std::string db = write_fixture_db("net_server_slow.sibdb");
+  serve::SiblingService service(1);
+  std::string error;
+  ASSERT_TRUE(service.load(db, &error)) << error;
+
+  obs::MetricsRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.high_water = 4096;  // tiny, so a handful of batches crosses it
+  config.registry = &registry;
+  Server server(service, config);
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto client = Client::connect("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+
+  // Pipeline QUERY frames whose responses expand ~15x and total far past
+  // anything the kernel's socket buffers can absorb (~28 MB), and read
+  // nothing: the server must pause reads instead of buffering the
+  // pipeline's worth of responses in userspace. A writer thread pumps
+  // the requests — by design the send cannot complete while the server
+  // is wedged behind this slow reader.
+  constexpr unsigned kFrames = 300;
+  constexpr unsigned kBatch = 2048;
+  std::vector<std::uint8_t> wire;
+  for (unsigned id = 0; id < kFrames; ++id) {
+    QueryRequest request;
+    request.request_id = id;
+    request.keys.assign(kBatch, p("20.1.2.3/32"));
+    encode_query_request(wire, request);
+  }
+  std::atomic<bool> send_failed{false};
+  std::thread writer([&] {
+    std::string send_error;
+    if (!client->send_bytes(wire, &send_error)) send_failed.store(true);
+  });
+
+  // Wait for the wedge: reads paused and the ingest counter flat across
+  // a 50 ms window while most of the request stream is still unread.
+  std::uint64_t ingested = 0;
+  bool stalled = false;
+  for (int round = 0; round < 200 && !stalled; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const ServerStats now = server.stats();
+    stalled = now.reads_paused >= 1 && now.bytes_in == ingested && ingested > 0;
+    ingested = now.bytes_in;
+  }
+  ASSERT_TRUE(stalled) << "server never paused reads";
+  EXPECT_LT(ingested, wire.size());  // memory bounded: ingest stopped mid-stream
+
+  // Now drain: reads must resume and every response arrive in order.
+  for (unsigned id = 0; id < kFrames; ++id) {
+    const auto frame = client->read_frame(&error, std::chrono::milliseconds(20000));
+    ASSERT_TRUE(frame.has_value()) << "frame " << id << ": " << error;
+    const auto response = parse_query_response(frame->body, &error);
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_EQ(response->request_id, id);
+    EXPECT_EQ(response->answers.size(), kBatch);
+  }
+  writer.join();
+  EXPECT_FALSE(send_failed.load());
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.reads_paused, 1u);
+  EXPECT_EQ(stats.queries, std::uint64_t{kFrames} * kBatch);
+  server.stop();
+}
+
+TEST(NetServer, MidFrameDisconnectCleansUp) {
+  const std::string db = write_fixture_db("net_server_disconnect.sibdb");
+  serve::SiblingService service(1);
+  std::string error;
+  ASSERT_TRUE(service.load(db, &error)) << error;
+
+  ServerConfig config;
+  config.workers = 2;
+  obs::MetricsRegistry registry;
+  config.registry = &registry;
+  Server server(service, config);
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  {
+    auto client = Client::connect("127.0.0.1", server.port(), &error);
+    ASSERT_TRUE(client.has_value()) << error;
+    // A complete header promising 100 body bytes, then only 3 of them.
+    QueryRequest request;
+    request.request_id = 1;
+    request.keys.assign(16, p("20.1.2.3/32"));
+    std::vector<std::uint8_t> wire;
+    encode_query_request(wire, request);
+    ASSERT_TRUE(client->send_bytes({wire.data(), kHeaderSize + 3}, &error)) << error;
+    ASSERT_TRUE(eventually([&] { return server.stats().connections_active == 1; }));
+    client->close();  // disconnect mid-frame
+  }
+  ASSERT_TRUE(eventually([&] { return server.stats().connections_active == 0; }))
+      << "connection was not reaped";
+  const ServerStats stats = server.stats();
+  // A truncated frame on a dead peer is not a protocol error, and no
+  // response was ever owed.
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.frames_in, 0u);
+
+  // The server keeps serving new connections afterwards.
+  auto again = Client::connect("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  std::vector<std::uint8_t> stats_request;
+  encode_stats_request(stats_request);
+  ASSERT_TRUE(again->send_bytes(stats_request, &error)) << error;
+  EXPECT_TRUE(again->read_frame(&error).has_value()) << error;
+  server.stop();
+}
+
+TEST(NetServer, IdleConnectionsAreEvicted) {
+  const std::string db = write_fixture_db("net_server_idle.sibdb");
+  serve::SiblingService service(1);
+  std::string error;
+  ASSERT_TRUE(service.load(db, &error)) << error;
+
+  ServerConfig config;
+  config.workers = 1;
+  config.idle_timeout = std::chrono::milliseconds(100);
+  obs::MetricsRegistry registry;
+  config.registry = &registry;
+  Server server(service, config);
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto client = Client::connect("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  ASSERT_TRUE(eventually([&] { return server.stats().connections_active == 1; }));
+
+  // Say nothing; the sweep must evict us and the socket report EOF.
+  const auto frame = client->read_frame(&error, std::chrono::milliseconds(5000));
+  EXPECT_FALSE(frame.has_value());
+  EXPECT_TRUE(client->eof());
+  ASSERT_TRUE(eventually([&] { return server.stats().idle_evictions >= 1; }));
+  EXPECT_EQ(server.stats().connections_active, 0u);
+  server.stop();
+}
+
+// The race the whole RCU design exists for: four connections pipelining
+// QUERY batches while RELOADs swap snapshots underneath them. Asserts
+// (under TSan in tier1 stage 2) that no answer is torn and that the
+// per-generation tallies are conserved: everything the clients were
+// answered is accounted to exactly one generation — in-flight batches
+// that pinned a snapshot across its retirement keep counting into it,
+// not into the void.
+TEST(NetServer, ReloadUnderLoadConservesGenerationTallies) {
+  const std::string db = write_fixture_db("net_server_race.sibdb");
+  serve::SiblingService service(2);
+  std::string error;
+  ASSERT_TRUE(service.load(db, &error)) << error;
+
+  ServerConfig config;
+  config.workers = 4;
+  obs::MetricsRegistry registry;
+  config.registry = &registry;
+  Server server(service, config);
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  constexpr unsigned kClients = 4;
+  constexpr unsigned kFramesPerClient = 40;
+  constexpr unsigned kPipeline = 4;
+  constexpr unsigned kBatch = 32;
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (unsigned who = 0; who < kClients; ++who) {
+    clients.emplace_back([&, who] {
+      std::string client_error;
+      auto client = Client::connect("127.0.0.1", server.port(), &client_error);
+      if (!client) {
+        failed.store(true);
+        return;
+      }
+      unsigned sent = 0;
+      unsigned received = 0;
+      while (received < kFramesPerClient) {
+        while (sent < kFramesPerClient && sent - received < kPipeline) {
+          QueryRequest request;
+          request.request_id = who * 1000 + sent;
+          request.keys.assign(kBatch, p("20.1.2.3/32"));
+          std::vector<std::uint8_t> wire;
+          encode_query_request(wire, request);
+          if (!client->send_bytes(wire, &client_error)) {
+            failed.store(true);
+            return;
+          }
+          ++sent;
+        }
+        const auto frame = client->read_frame(&client_error, std::chrono::milliseconds(10000));
+        if (!frame) {
+          failed.store(true);
+          return;
+        }
+        const auto response = parse_query_response(frame->body, &client_error);
+        if (!response || response->generation == 0 ||
+            response->answers.size() != kBatch) {
+          failed.store(true);
+          return;
+        }
+        for (const auto& answer : response->answers) {
+          // Never torn: every answer comes whole from some snapshot.
+          if (!answer || answer->matched != p("20.1.0.0/16")) {
+            failed.store(true);
+            return;
+          }
+          hits.fetch_add(1);
+        }
+        answered.fetch_add(response->answers.size());
+        ++received;
+      }
+    });
+  }
+
+  // Churn generations while the clients hammer: bare RELOADs on a fifth
+  // connection, racing the snapshot swap against pinned batches.
+  std::thread reloader([&] {
+    std::string reload_error;
+    auto client = Client::connect("127.0.0.1", server.port(), &reload_error);
+    if (!client) {
+      failed.store(true);
+      return;
+    }
+    for (unsigned round = 0; round < 25; ++round) {
+      std::vector<std::uint8_t> wire;
+      encode_reload_request(wire, ReloadRequest{});
+      if (!client->send_bytes(wire, &reload_error)) {
+        failed.store(true);
+        return;
+      }
+      const auto frame = client->read_frame(&reload_error, std::chrono::milliseconds(10000));
+      if (!frame) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  for (auto& thread : clients) thread.join();
+  reloader.join();
+  ASSERT_FALSE(failed.load());
+
+  const std::uint64_t expected = kClients * kFramesPerClient * kBatch;
+  EXPECT_EQ(answered.load(), expected);
+  EXPECT_EQ(hits.load(), expected);
+
+  // Conservation: every answered key is tallied in exactly one
+  // generation (live, retired, or compacted) — the lazy retirement in
+  // SiblingService::load() means a batch that crossed a swap still
+  // lands in the generation it was answered from.
+  const serve::ServiceStats stats = service.stats();
+  std::uint64_t tallied = stats.compacted.queries;
+  std::uint64_t tallied_hits = stats.compacted.hits;
+  for (const serve::GenerationStats& generation : stats.generations) {
+    tallied += generation.queries;
+    tallied_hits += generation.hits;
+  }
+  EXPECT_EQ(tallied, expected);
+  EXPECT_EQ(tallied_hits, expected);
+  EXPECT_GE(stats.generations.size(), 2u);  // the churn actually happened
+  server.stop();
+
+  const ServerStats server_stats = server.stats();
+  EXPECT_EQ(server_stats.queries, expected);
+  EXPECT_EQ(server_stats.hits, expected);
+  EXPECT_EQ(server_stats.reloads_ok, 25u);
+}
+
+}  // namespace
+}  // namespace sp::net
