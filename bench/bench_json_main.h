@@ -22,9 +22,26 @@
 
 namespace spbench {
 
+/// Peak resident set size of this process in kilobytes (VmHWM from
+/// /proc/self/status), or 0 where procfs is unavailable. Recorded into the
+/// JSON artifact so scale benchmarks expose memory alongside latency.
+inline long peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      long kb = 0;
+      std::sscanf(line.c_str(), "VmHWM: %ld", &kb);
+      return kb;
+    }
+  }
+  return 0;
+}
+
 /// Rewrites the benchmark JSON at `path`, inserting
-/// `"sp_metrics": <registry scrape>` before the closing brace of the
-/// top-level object. Best-effort: a malformed/missing file is left alone.
+/// `"sp_metrics": <registry scrape>` and `"sp_peak_rss_kb"` before the
+/// closing brace of the top-level object. Best-effort: a malformed/missing
+/// file is left alone.
 inline bool embed_metrics_json(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
@@ -36,7 +53,8 @@ inline bool embed_metrics_json(const std::string& path) {
   const std::size_t close = text.find_last_of('}');
   if (close == std::string::npos) return false;
   const std::string metrics = sp::obs::MetricsRegistry::global().scrape().to_json();
-  text.insert(close, ",\n  \"sp_metrics\": " + metrics + "\n");
+  text.insert(close, ",\n  \"sp_metrics\": " + metrics +
+                         ",\n  \"sp_peak_rss_kb\": " + std::to_string(peak_rss_kb()) + "\n");
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;

@@ -1,0 +1,44 @@
+// Fuzz target: SignatureSet::deserialize over arbitrary bytes must either
+// reject (returning nullopt with a reason) or yield a signature set that
+// is safe to use — every view in bounds, the LSH index buildable, and the
+// round-trip canonical (serialize(deserialize(b)) == b for accepted b).
+// Truncated, bit-flipped or adversarial blobs must never crash or
+// over-allocate before validation fails.
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sketch/lsh.h"
+#include "sketch/signature.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view blob(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const auto parsed = sp::sketch::SignatureSet::deserialize(blob, &error);
+  if (!parsed.has_value()) {
+    // Reject path must always explain itself.
+    if (error.empty()) __builtin_trap();
+    return 0;
+  }
+
+  // Accepted: the format is canonical, so re-serializing must reproduce
+  // the input bytes exactly.
+  if (parsed->serialize() != blob) __builtin_trap();
+
+  // Every signature view must stay in bounds and feed the LSH index.
+  for (std::uint32_t dense = 0; dense < parsed->prefix_count(); ++dense) {
+    const sp::sketch::SignatureView view = parsed->of(dense);
+    if (view.hashes.size() > parsed->k()) __builtin_trap();
+    (void)view.complete(parsed->k());
+  }
+  const sp::sketch::LshIndex lsh = sp::sketch::LshIndex::build(*parsed);
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t dense = 0; dense < parsed->prefix_count(); ++dense) {
+    lsh.candidates_of(parsed->of(dense), candidates);
+    for (const std::uint32_t candidate : candidates) {
+      if (candidate >= parsed->prefix_count()) __builtin_trap();
+    }
+  }
+  return 0;
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer
-# pass over the threaded engines (parallel detection, SP-Tuner, obs
-# metrics/tracing), an ASan/UBSan pass over the parser-heavy I/O
-# (CSV fuzz round-trip, Happy Eyeballs, manifest UTF-8), a loopback
-# end-to-end smoke of the sp_serve TCP front-end, and the project
+# pass over the threaded engines (parallel detection, SP-Tuner, sketch
+# detection, obs metrics/tracing), an ASan/UBSan pass over the
+# parser-heavy I/O (CSV fuzz round-trip, Happy Eyeballs, manifest
+# UTF-8), a loopback end-to-end smoke of the sp_serve TCP front-end, a
+# sketch-vs-exact identity smoke on a scaled universe, and the project
 # linter (sp_lint) over the whole tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,14 +27,18 @@ cmake --build build -j "$JOBS"
 # loads proving retired-stats boundedness) and TSan only slows it.
 # The net suites race the epoll workers: pipelined QUERY traffic over
 # several connections against RELOAD hot-swaps, slow-reader
-# backpressure, and the acceptor's inbox handoff.
+# backpressure, and the acceptor's inbox handoff. The sketch suites
+# race the shard-parallel signature build and the sketch detection
+# workers against each other (every test asserts byte-identity with
+# the exact engine, so a race would also surface as a wrong answer).
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target core_detect_parallel_test \
   core_sptuner_parallel_test serve_lookup_test serve_service_test \
   core_worker_pool_test pipeline_stage_graph_test \
-  obs_metrics_test obs_trace_test net_server_test net_protocol_test
+  obs_metrics_test obs_trace_test net_server_test net_protocol_test \
+  sketch_detect_test sketch_signature_test
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool|Obs|NetServer|NetProtocol' \
+  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool|Obs|NetServer|NetProtocol|Sketch|Signature|Lsh|SynthScale' \
   -E 'ReloadChurn')
 
 # Stage 3: memory-safety pass over the byte-level parsers under
@@ -82,7 +87,15 @@ if command -v curl > /dev/null; then
 fi
 kill -INT "$SERVE_PID" && wait "$SERVE_PID"
 
-# Stage 5: the project linter. Every finding in the tree must either be
+# Stage 5: sketch-at-scale smoke — both detection engines on a scaled
+# universe (replicated hypergiant edge clusters, the regime the sketch
+# filter exists for); sp_sketch_scale exits non-zero on any byte
+# difference between the sketch and exact outputs. Small org/month
+# counts keep the universe build to a few seconds; the checked-in
+# BENCH_sketch.json carries the full scale-10 numbers.
+./build/examples/sp_sketch_scale --scale 2 --orgs 8 --months 3 --threads 2
+
+# Stage 6: the project linter. Every finding in the tree must either be
 # fixed or carry an explicit sp-lint suppression with a reason; zero
 # unsuppressed findings is the bar (see DESIGN.md §3.5).
 cmake --build build -j "$JOBS" --target sp_lint

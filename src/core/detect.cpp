@@ -60,7 +60,19 @@ const DomainSet* SetCorpus::domains_of(const Prefix& prefix) const noexcept {
 
 namespace {
 
+// The sketch engine lives a layer above (sp_sketch depends on sp_core);
+// reaching it through a core entry point would invert the dependency, so
+// the strategy is rejected here with a pointer at the right call.
+void reject_sketch_strategy(const DetectOptions& options) {
+  if (options.strategy == DetectStrategy::Sketch) {
+    throw std::logic_error(
+        "DetectStrategy::Sketch requires the sp::sketch engine — call "
+        "sketch::detect_sibling_prefixes (src/sketch/detect_sketch.h)");
+  }
+}
+
 std::vector<SiblingPair> detect_indexed(const DetectIndex& index, const DetectOptions& options) {
+  reject_sketch_strategy(options);
   ParallelDetector detector(options.threads);
   auto pairs = detector.detect(index, options);
   if (options.stats != nullptr) *options.stats = detector.stats();
@@ -81,11 +93,13 @@ std::vector<SiblingPair> detect_sibling_prefixes(const SetCorpus& corpus,
 
 std::vector<SiblingPair> detect_sibling_prefixes_serial(const DualStackCorpus& corpus,
                                                         const DetectOptions& options) {
+  reject_sketch_strategy(options);
   return detail::detect_over(corpus, options);
 }
 
 std::vector<SiblingPair> detect_sibling_prefixes_serial(const SetCorpus& corpus,
                                                         const DetectOptions& options) {
+  reject_sketch_strategy(options);
   return detail::detect_over(corpus, options);
 }
 

@@ -57,6 +57,19 @@ struct DetectStats {
   unsigned threads_used = 0;
 };
 
+/// Which candidate-generation engine detection runs on.
+///
+///   Exact  — the inverted-index scan: every counterpart sharing at least
+///            one element is evaluated (ParallelDetector; the default).
+///   Sketch — bottom-k/MinHash candidate filtering with exact similarity
+///            recomputed on survivors (sp::sketch). The sketch engine
+///            lives in the sp_sketch library, which depends on sp_core —
+///            core entry points reject this value; call
+///            sketch::detect_sibling_prefixes instead, which dispatches
+///            on the strategy and falls back to the exact engine for
+///            DetectStrategy::Exact.
+enum class DetectStrategy : std::uint8_t { Exact, Sketch };
+
 struct DetectOptions {
   Metric metric = Metric::Jaccard;
   /// Worker threads for the sharded detection engine; 0 picks the hardware
@@ -64,6 +77,8 @@ struct DetectOptions {
   unsigned threads = 0;
   /// When non-null, receives the run's counters.
   DetectStats* stats = nullptr;
+  /// Candidate-generation engine (see DetectStrategy).
+  DetectStrategy strategy = DetectStrategy::Exact;
 };
 
 /// The corpus interface detection runs on.

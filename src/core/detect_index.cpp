@@ -1,7 +1,9 @@
 #include "core/detect_index.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 #include <utility>
 
 namespace sp::core {
@@ -29,6 +31,13 @@ DetectIndex::Side build_side(const std::unordered_map<Prefix, DomainSet>& sets) 
       any_element = true;
       max_element = std::max(max_element, set->back());  // sets are sorted
     }
+  }
+
+  // The CSR stores offsets as uint32; past that the offsets silently wrap
+  // and postings scatter into the wrong lists, so refuse loudly instead.
+  // Checked here (not per insert) because every reserve below is exact.
+  if (total_elements > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("DetectIndex: side exceeds 2^32 set elements");
   }
 
   side.prefixes.reserve(entries.size());

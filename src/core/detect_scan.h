@@ -1,0 +1,96 @@
+// The exact per-source-prefix scan shared by the detection engines.
+//
+// ParallelDetector shards this scan over a worker pool; the sp::sketch
+// engine reuses it verbatim as its fallback path (sources with no LSH
+// candidates or a best estimate below the conservative floor), which is
+// what makes the sketch output byte-identical to the exact engine on
+// those sources. Keeping one definition guarantees the two engines can
+// never drift in tie handling or similarity arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detect.h"
+#include "core/detect_index.h"
+
+namespace sp::core::detail {
+
+/// Per-worker reusable state: candidate counts indexed by the target
+/// side's dense prefix id, a touched list so resets cost O(candidates),
+/// and the surviving tie list of the current source prefix.
+struct ScanScratch {
+  explicit ScanScratch(std::size_t target_prefixes) : counts(target_prefixes, 0) {}
+
+  struct Tie {
+    std::uint32_t dense = 0;
+    std::uint32_t shared = 0;
+    double value = 0.0;
+  };
+
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint32_t> touched;
+  std::vector<Tie> ties;
+};
+
+/// Appends the best-match pairs of `source` (with ties) to `out`.
+/// Semantically identical to one iteration of detail::detect_direction: a
+/// candidate is emitted iff its value + kTieEpsilon >= the maximum value
+/// over all candidates, and the similarity doubles are produced by the
+/// same similarity_from_sizes calls, so emission is byte-identical.
+inline void scan_source(const DetectIndex::Side& from_side, const DetectIndex::Side& to_side,
+                        Family from, Metric metric, std::uint32_t source,
+                        ScanScratch& scratch, std::vector<SiblingPair>& out,
+                        DetectStats& stats) {
+  ++stats.prefixes_scanned;
+  const auto elements = from_side.elements_of(source);
+  for (const DomainId element : elements) {
+    for (const std::uint32_t candidate : to_side.postings_of(element)) {
+      if (scratch.counts[candidate]++ == 0) scratch.touched.push_back(candidate);
+    }
+  }
+  if (scratch.touched.empty()) return;
+
+  // Single pass: the running best only grows, so any tie pruned against an
+  // intermediate best would also be pruned against the final one; the
+  // emission filter below re-checks survivors against the final best.
+  double best = 0.0;
+  scratch.ties.clear();
+  stats.candidates_evaluated += scratch.touched.size();
+  for (const std::uint32_t candidate : scratch.touched) {
+    const std::uint32_t shared = scratch.counts[candidate];
+    scratch.counts[candidate] = 0;
+    const double value =
+        similarity_from_sizes(metric, shared, elements.size(), to_side.set_size(candidate));
+    if (value + detail::kTieEpsilon < best) continue;
+    if (value > best) {
+      best = value;
+      std::erase_if(scratch.ties, [best](const ScanScratch::Tie& tie) {
+        return tie.value + detail::kTieEpsilon < best;
+      });
+    }
+    scratch.ties.push_back({candidate, shared, value});
+  }
+  scratch.touched.clear();
+  if (best <= 0.0) return;
+
+  const bool from_v4 = from == Family::v4;
+  const Prefix& source_prefix = from_side.prefixes[source];
+  const auto source_size = static_cast<std::uint32_t>(elements.size());
+  for (const ScanScratch::Tie& tie : scratch.ties) {
+    if (tie.value + detail::kTieEpsilon < best) continue;
+    const Prefix& candidate_prefix = to_side.prefixes[tie.dense];
+    const std::uint32_t candidate_size = to_side.set_size(tie.dense);
+    SiblingPair pair;
+    pair.v4 = from_v4 ? source_prefix : candidate_prefix;
+    pair.v6 = from_v4 ? candidate_prefix : source_prefix;
+    pair.similarity = tie.value;
+    pair.shared_domains = tie.shared;
+    pair.v4_domain_count = from_v4 ? source_size : candidate_size;
+    pair.v6_domain_count = from_v4 ? candidate_size : source_size;
+    out.push_back(pair);
+    ++stats.pairs_emitted;
+  }
+}
+
+}  // namespace sp::core::detail

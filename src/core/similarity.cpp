@@ -1,6 +1,7 @@
 #include "core/similarity.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace sp::core {
 
@@ -15,13 +16,30 @@ std::string_view metric_name(Metric metric) noexcept {
 
 double similarity_from_sizes(Metric metric, std::size_t intersection, std::size_t size_a,
                              std::size_t size_b) noexcept {
+  // Jaccard's union and Dice's denominator both start from size_a +
+  // size_b, which wraps for adversarial or paper-scale inputs (the
+  // 32-bit-size_t builds wrap already at ~4B elements). The guarded path
+  // evaluates the same expression in double — exact for every sum below
+  // 2^53, and the correctly-rounded quotient far beyond — and is taken
+  // only when the integer sum would wrap, so in-range inputs keep their
+  // bit-exact results.
+  const bool sum_wraps = size_a > std::numeric_limits<std::size_t>::max() - size_b;
   switch (metric) {
     case Metric::Jaccard: {
+      if (sum_wraps) {
+        const double union_size = static_cast<double>(size_a) + static_cast<double>(size_b) -
+                                  static_cast<double>(intersection);
+        return union_size <= 0.0 ? 0.0 : static_cast<double>(intersection) / union_size;
+      }
       const std::size_t union_size = size_a + size_b - intersection;
       return union_size == 0 ? 0.0
                              : static_cast<double>(intersection) / static_cast<double>(union_size);
     }
     case Metric::Dice: {
+      if (sum_wraps) {
+        const double denom = static_cast<double>(size_a) + static_cast<double>(size_b);
+        return 2.0 * static_cast<double>(intersection) / denom;
+      }
       const std::size_t denom = size_a + size_b;
       return denom == 0 ? 0.0
                         : 2.0 * static_cast<double>(intersection) / static_cast<double>(denom);

@@ -37,6 +37,13 @@ DomainSet SpTunerMs::domains_of(std::span<const Item> items) {
   return out;
 }
 
+std::vector<const DomainSet*> SpTunerMs::domain_pointers(std::span<const Item> items) {
+  std::vector<const DomainSet*> ptrs;
+  ptrs.reserve(items.size());
+  for (const Item& item : items) ptrs.push_back(item.domains);
+  return ptrs;
+}
+
 bool SpTunerMs::can_descend(const Side& side, unsigned threshold) const {
   return side.prefix.length() < std::min(threshold, side.prefix.max_length());
 }
@@ -92,15 +99,42 @@ std::vector<SiblingPair> SpTunerMs::tune_pair(const SiblingPair& pair) const {
         for (auto& child : children_of(task.v6)) options6.push_back(std::move(child));
       }
 
+      // The v6 option unions are loop-invariant in c4, so materialize them
+      // once per refinement step instead of once per (c4, c6) combination.
+      std::vector<DomainSet> unions6;
+      unions6.reserve(options6.size());
+      for (const Side& c6 : options6) unions6.push_back(domains_of(c6.items));
+      std::vector<std::vector<const DomainSet*>> ptrs6;
+      if (config_.estimator != nullptr) {
+        ptrs6.reserve(options6.size());
+        for (const Side& c6 : options6) ptrs6.push_back(domain_pointers(c6.items));
+      }
+
       const Side* best4 = nullptr;
       const Side* best6 = nullptr;
       double best_value = 0.0;
       unsigned best_depth = 0;
       for (const Side& c4 : options4) {
         const DomainSet cd4 = domains_of(c4.items);
-        for (const Side& c6 : options6) {
+        const std::vector<const DomainSet*> ptrs4 =
+            config_.estimator != nullptr ? domain_pointers(c4.items)
+                                         : std::vector<const DomainSet*>{};
+        for (std::size_t j = 0; j < options6.size(); ++j) {
+          const Side& c6 = options6[j];
           if (c4.prefix == task.v4.prefix && c6.prefix == task.v6.prefix) continue;
-          const DomainSet cd6 = domains_of(c6.items);
+          // Conservative estimator filter: a combination can only be
+          // skipped when even estimate + margin cannot reach the running
+          // best, so an estimator honoring the margin never changes which
+          // combination wins (the filter never fires while best_value is
+          // still below the margin, so the first combinations always get
+          // the exact evaluation).
+          if (config_.estimator != nullptr &&
+              config_.estimator->estimate_union_jaccard(ptrs4, ptrs6[j]) +
+                      config_.estimator_margin <
+                  best_value) {
+            continue;
+          }
+          const DomainSet& cd6 = unions6[j];
           const double value = similarity_from_sizes(
               Metric::Jaccard, intersection_size(cd4, cd6), cd4.size(), cd6.size());
           const unsigned depth = c4.prefix.length() + c6.prefix.length();
@@ -248,11 +282,30 @@ SiblingPair SpTunerLs::tune_pair(const SiblingPair& pair) const {
   };
 
   SiblingPair best = pair;
+  // The v6 covering unions are loop-invariant in p4: materialize them once
+  // instead of once per (p4, p6) combination.
+  const std::vector<Prefix> options6 = candidates(pair.v6, config_.v6_levels_up, origin6);
+  std::vector<DomainSet> unions6;
+  unions6.reserve(options6.size());
+  for (const Prefix& p6 : options6) unions6.push_back(corpus_->domains_within(p6));
+
   for (const Prefix& p4 : candidates(pair.v4, config_.v4_levels_up, origin4)) {
     const DomainSet d4 = corpus_->domains_within(p4);
-    for (const Prefix& p6 : candidates(pair.v6, config_.v6_levels_up, origin6)) {
+    const DomainSet* d4_ptr[] = {&d4};
+    for (std::size_t j = 0; j < options6.size(); ++j) {
+      const Prefix& p6 = options6[j];
       if (p4 == pair.v4 && p6 == pair.v6) continue;
-      const DomainSet d6 = corpus_->domains_within(p6);
+      const DomainSet& d6 = unions6[j];
+      // Same conservative filter as SP-Tuner-MS: skip the exact pass only
+      // when even estimate + margin cannot beat the incumbent.
+      if (config_.estimator != nullptr) {
+        const DomainSet* d6_ptr[] = {&d6};
+        if (config_.estimator->estimate_union_jaccard(d4_ptr, d6_ptr) +
+                config_.estimator_margin <
+            best.similarity) {
+          continue;
+        }
+      }
       const SiblingPair candidate = make_pair(p4, p6, d4, d6);
       if (candidate.similarity > best.similarity + kEpsilon) best = candidate;
     }

@@ -22,6 +22,7 @@
 
 #include "bgp/rib.h"
 #include "core/detect.h"
+#include "core/similarity_estimator.h"
 
 namespace sp::core {
 
@@ -31,6 +32,14 @@ struct SpTunerConfig {
   /// pairs; using the input lengths disables tuning.
   unsigned v4_threshold = 28;
   unsigned v6_threshold = 96;
+  /// Optional candidate filter: combinations whose estimated Jaccard plus
+  /// `estimator_margin` stays below the running best skip the exact
+  /// evaluation. Results are unchanged as long as the estimator's error
+  /// stays within the margin (see sketch::SketchEstimator). The estimator
+  /// must outlive the tuner and is shared across tuning threads, so its
+  /// implementation must be thread-safe.
+  const SimilarityEstimator* estimator = nullptr;
+  double estimator_margin = 0.3;
 };
 
 struct SpTunerResult {
@@ -72,6 +81,10 @@ class SpTunerMs {
   };
 
   [[nodiscard]] static DomainSet domains_of(std::span<const Item> items);
+  /// The items' set pointers, in item order — the estimator input (the
+  /// pointers are corpus-owned host sets, so estimator caches stay valid).
+  [[nodiscard]] static std::vector<const DomainSet*> domain_pointers(
+      std::span<const Item> items);
   [[nodiscard]] bool can_descend(const Side& side, unsigned threshold) const;
   /// Child sides with non-empty item partitions (0, 1 or 2 entries).
   [[nodiscard]] static std::vector<Side> children_of(const Side& side);
@@ -85,6 +98,10 @@ struct SpTunerLsConfig {
   /// 4 for IPv6).
   unsigned v4_levels_up = 1;
   unsigned v6_levels_up = 4;
+  /// Same contract as SpTunerConfig::estimator — covering pairs whose
+  /// estimate plus margin cannot beat the incumbent skip the exact pass.
+  const SimilarityEstimator* estimator = nullptr;
+  double estimator_margin = 0.3;
 };
 
 class SpTunerLs {

@@ -1,0 +1,334 @@
+#include "sketch/detect_sketch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+
+#include "core/detect_parallel.h"
+#include "core/detect_scan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sp::sketch {
+
+namespace {
+
+using core::detail::scan_source;
+
+constexpr std::size_t kChunk = 32;  // mirrors ParallelDetector's sharding
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Exact shared-element count of two sorted spans (linear merge; same
+/// arithmetic the posting-list scan accumulates per candidate).
+std::uint32_t intersection_count(std::span<const core::DomainId> a,
+                                 std::span<const core::DomainId> b) noexcept {
+  std::uint32_t shared = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++shared;
+      ++i;
+      ++j;
+    }
+  }
+  return shared;
+}
+
+/// Worker-local accumulators, merged after the pool join.
+struct Local {
+  SketchStats stats;
+  std::vector<core::SiblingPair> pairs;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> candidates;  // (dense, hits)
+  std::vector<std::uint32_t> lsh_counts;  // dense hit-count scratch
+  std::vector<double> estimates;
+  core::detail::ScanScratch scratch;
+
+  explicit Local(std::size_t target_prefixes) : scratch(target_prefixes) {}
+};
+
+struct Survivor {
+  std::uint32_t dense = 0;
+  std::uint32_t shared = 0;
+  double value = 0.0;
+};
+
+}  // namespace
+
+SketchIndex SketchIndex::build(const core::DetectIndex& index, const SketchParams& params,
+                               core::WorkerPool* pool) {
+  SketchIndex sketch;
+  sketch.params_ = params;
+  sketch.v4_signatures_ = SignatureSet::build(index.v4, params, pool);
+  sketch.v6_signatures_ = SignatureSet::build(index.v6, params, pool);
+  sketch.v4_lsh_ = LshIndex::build(sketch.v4_signatures_);
+  sketch.v6_lsh_ = LshIndex::build(sketch.v6_signatures_);
+  return sketch;
+}
+
+SketchDetector::SketchDetector(SketchParams params, unsigned thread_count)
+    : params_(params), pool_(thread_count) {}
+
+void SketchDetector::detect_direction(const core::DetectIndex& index,
+                                      const SketchIndex& sketch, Family from, core::Metric metric,
+                                      std::vector<core::SiblingPair>& out) {
+  const Family to = from == Family::v4 ? Family::v6 : Family::v4;
+  const core::DetectIndex::Side& from_side = index.side(from);
+  const core::DetectIndex::Side& to_side = index.side(to);
+  const SignatureSet& from_signatures = sketch.signatures(from);
+  const SignatureSet& to_signatures = sketch.signatures(to);
+  const LshIndex& to_lsh = sketch.lsh(to);
+  const std::uint32_t k = params_.k;
+  // Non-Jaccard metrics cannot be ordered by a Jaccard estimate, so every
+  // source takes the exact path (correct, but no filtering win).
+  const bool use_sketch = metric == core::Metric::Jaccard;
+
+  const std::size_t source_count = from_side.prefix_count();
+  const unsigned thread_count = pool_.thread_count();
+  std::vector<Local> locals;
+  locals.reserve(thread_count);
+  for (unsigned worker = 0; worker < thread_count; ++worker) {
+    locals.emplace_back(to_side.prefix_count());
+  }
+  std::atomic<std::size_t> next{0};
+
+  const char* direction = from == Family::v4 ? "sketch.v4" : "sketch.v6";
+  const std::function<void(unsigned)> job = [&](unsigned worker) {
+    const obs::ScopedSpan span(std::string(direction) + ".shard" + std::to_string(worker),
+                               "sketch");
+    Local& local = locals[worker];
+    std::vector<Survivor> survivors;
+    for (;;) {
+      // sp-lint: atomics-ok(work-stealing chunk cursor; claims need no
+      // ordering, only uniqueness — the pool join publishes results)
+      const std::size_t begin = next.fetch_add(kChunk, std::memory_order_relaxed);
+      if (begin >= source_count) return;
+      const std::size_t end = std::min(source_count, begin + kChunk);
+      for (std::size_t s = begin; s < end; ++s) {
+        const auto source = static_cast<std::uint32_t>(s);
+        ++local.stats.sources_total;
+
+        const auto exact_fallback = [&] {
+          ++local.stats.sources_fallback;
+          scan_source(from_side, to_side, from, metric, source, local.scratch, local.pairs,
+                      local.stats.scan);
+        };
+
+        if (!use_sketch) {
+          exact_fallback();
+          continue;
+        }
+        const SignatureView signature = from_signatures.of(source);
+        if (signature.hashes.empty()) {
+          // Empty set: the exact scan would touch no candidate either.
+          ++local.stats.scan.prefixes_scanned;
+          continue;
+        }
+
+        to_lsh.candidates_of(signature, local.candidates, local.lsh_counts);
+        local.stats.lsh_candidates += local.candidates.size();
+        if (local.candidates.empty()) {
+          ++local.stats.fallback_no_candidates;
+          exact_fallback();
+          continue;
+        }
+
+        // Process candidates in descending bucket-hit order: the best
+        // estimate surfaces early, and every later merge whose hit bound
+        // cannot reach the margin is skipped. The skip is conservative —
+        // estimate_jaccard counts at most `hits` shared slots over at
+        // least min(k, max(|sig_a|, |sig_b|)) union slots, so
+        // hits / that floor upper-bounds the estimate. A skipped
+        // candidate therefore can neither raise best_estimate nor
+        // survive the margin cut, and the survivor set (and the output)
+        // is exactly what the unpruned pass would produce.
+        std::sort(local.candidates.begin(), local.candidates.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.second != b.second ? a.second > b.second : a.first < b.first;
+                  });
+        const auto source_stored = static_cast<std::uint32_t>(signature.hashes.size());
+        local.estimates.clear();
+        double best_estimate = 0.0;
+        for (const auto& [candidate, hits] : local.candidates) {
+          const SignatureView candidate_signature = to_signatures.of(candidate);
+          const std::uint32_t floor_slots = std::min(
+              k, std::max(source_stored,
+                          static_cast<std::uint32_t>(candidate_signature.hashes.size())));
+          const double upper = static_cast<double>(hits) / floor_slots;
+          if (upper + params_.margin < best_estimate) {
+            ++local.stats.estimates_skipped;
+            local.estimates.push_back(-1.0);  // provably below the margin
+            continue;
+          }
+          const double estimate = estimate_jaccard(signature, candidate_signature, k);
+          local.estimates.push_back(estimate);
+          best_estimate = std::max(best_estimate, estimate);
+        }
+        if (best_estimate < params_.fallback_floor) {
+          ++local.stats.fallback_low_estimate;
+          exact_fallback();
+          continue;
+        }
+
+        // Exact-verify every candidate within the margin of the best
+        // estimate, with the same arithmetic the exact scan uses.
+        ++local.stats.scan.prefixes_scanned;
+        const auto elements = from_side.elements_of(source);
+        survivors.clear();
+        double best = 0.0;
+        for (std::size_t c = 0; c < local.candidates.size(); ++c) {
+          if (local.estimates[c] + params_.margin < best_estimate) continue;
+          const std::uint32_t candidate = local.candidates[c].first;
+          const std::uint32_t shared =
+              intersection_count(elements, to_side.elements_of(candidate));
+          const double value = core::similarity_from_sizes(metric, shared, elements.size(),
+                                                           to_side.set_size(candidate));
+          ++local.stats.survivors_verified;
+          ++local.stats.scan.candidates_evaluated;
+          local.stats.max_estimate_error =
+              std::max(local.stats.max_estimate_error, std::abs(local.estimates[c] - value));
+          best = std::max(best, value);
+          survivors.push_back({candidate, shared, value});
+        }
+        if (best < params_.fallback_floor) {
+          // The verified best is inside the regime where an LSH miss or an
+          // estimate inversion is conceivable — rerun exactly.
+          ++local.stats.fallback_low_exact;
+          exact_fallback();
+          continue;
+        }
+
+        const bool from_v4 = from == Family::v4;
+        const Prefix& source_prefix = from_side.prefixes[source];
+        const auto source_size = static_cast<std::uint32_t>(elements.size());
+        for (const Survivor& survivor : survivors) {
+          if (survivor.value + core::detail::kTieEpsilon < best) continue;
+          const Prefix& candidate_prefix = to_side.prefixes[survivor.dense];
+          const std::uint32_t candidate_size = to_side.set_size(survivor.dense);
+          core::SiblingPair pair;
+          pair.v4 = from_v4 ? source_prefix : candidate_prefix;
+          pair.v6 = from_v4 ? candidate_prefix : source_prefix;
+          pair.similarity = survivor.value;
+          pair.shared_domains = survivor.shared;
+          pair.v4_domain_count = from_v4 ? source_size : candidate_size;
+          pair.v6_domain_count = from_v4 ? candidate_size : source_size;
+          local.pairs.push_back(pair);
+          ++local.stats.scan.pairs_emitted;
+        }
+      }
+    }
+  };
+  pool_.run(job);
+
+  for (Local& local : locals) {
+    out.insert(out.end(), local.pairs.begin(), local.pairs.end());
+    stats_.scan.prefixes_scanned += local.stats.scan.prefixes_scanned;
+    stats_.scan.candidates_evaluated += local.stats.scan.candidates_evaluated;
+    stats_.scan.pairs_emitted += local.stats.scan.pairs_emitted;
+    stats_.sources_total += local.stats.sources_total;
+    stats_.sources_fallback += local.stats.sources_fallback;
+    stats_.fallback_no_candidates += local.stats.fallback_no_candidates;
+    stats_.fallback_low_estimate += local.stats.fallback_low_estimate;
+    stats_.fallback_low_exact += local.stats.fallback_low_exact;
+    stats_.lsh_candidates += local.stats.lsh_candidates;
+    stats_.estimates_skipped += local.stats.estimates_skipped;
+    stats_.survivors_verified += local.stats.survivors_verified;
+    stats_.max_estimate_error =
+        std::max(stats_.max_estimate_error, local.stats.max_estimate_error);
+  }
+}
+
+std::vector<core::SiblingPair> SketchDetector::detect(const core::DetectIndex& index,
+                                                      const core::DetectOptions& options) {
+  auto& registry = obs::MetricsRegistry::global();
+  const auto run_start = std::chrono::steady_clock::now();
+  stats_ = SketchStats{};
+  stats_.scan.threads_used = pool_.thread_count();
+
+  const auto signature_start = std::chrono::steady_clock::now();
+  const SketchIndex sketch = SketchIndex::build(index, params_, &pool_);
+  stats_.signature_build_ms = elapsed_ms(signature_start);
+
+  std::vector<core::SiblingPair> pairs;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    detect_direction(index, sketch, Family::v4, options.metric, pairs);
+    stats_.scan.v4_direction_ms = elapsed_ms(start);
+  }
+  {
+    const auto start = std::chrono::steady_clock::now();
+    detect_direction(index, sketch, Family::v6, options.metric, pairs);
+    stats_.scan.v6_direction_ms = elapsed_ms(start);
+  }
+
+  // Same global merge as the exact engine: order and dedup match exactly.
+  const auto merge_start = std::chrono::steady_clock::now();
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  stats_.scan.merge_ms = elapsed_ms(merge_start);
+
+  // Registry updates once per run: candidate-filter selectivity, estimate
+  // error and exact-verify rate, per the observability contract.
+  registry.counter("sketch.runs").add();
+  registry.counter("sketch.sources").add(static_cast<std::int64_t>(stats_.sources_total));
+  registry.counter("sketch.sources_fallback")
+      .add(static_cast<std::int64_t>(stats_.sources_fallback));
+  registry.counter("sketch.lsh_candidates")
+      .add(static_cast<std::int64_t>(stats_.lsh_candidates));
+  registry.counter("sketch.estimates_skipped")
+      .add(static_cast<std::int64_t>(stats_.estimates_skipped));
+  registry.counter("sketch.survivors_verified")
+      .add(static_cast<std::int64_t>(stats_.survivors_verified));
+  registry.counter("sketch.pairs_emitted").add(static_cast<std::int64_t>(pairs.size()));
+  registry.histogram("sketch.estimate_error_ppm")
+      .record(static_cast<std::uint64_t>(stats_.max_estimate_error * 1e6));
+  registry.histogram("sketch.run_us")
+      .record(static_cast<std::uint64_t>(elapsed_ms(run_start) * 1000.0));
+  return pairs;
+}
+
+namespace {
+
+std::vector<core::SiblingPair> detect_dispatch(const core::DetectIndex& index,
+                                               const core::DetectOptions& options,
+                                               const SketchParams& params,
+                                               SketchStats* stats_out) {
+  if (options.strategy == core::DetectStrategy::Exact) {
+    core::ParallelDetector detector(options.threads);
+    auto pairs = detector.detect(index, options);
+    if (options.stats != nullptr) *options.stats = detector.stats();
+    return pairs;
+  }
+  SketchDetector detector(params, options.threads);
+  auto pairs = detector.detect(index, options);
+  if (stats_out != nullptr) *stats_out = detector.stats();
+  if (options.stats != nullptr) *options.stats = detector.stats().scan;
+  return pairs;
+}
+
+}  // namespace
+
+std::vector<core::SiblingPair> detect_sibling_prefixes(const core::DualStackCorpus& corpus,
+                                                       const core::DetectOptions& options,
+                                                       const SketchParams& params,
+                                                       SketchStats* stats_out) {
+  return detect_dispatch(corpus.detect_index(), options, params, stats_out);
+}
+
+std::vector<core::SiblingPair> detect_sibling_prefixes(const core::SetCorpus& corpus,
+                                                       const core::DetectOptions& options,
+                                                       const SketchParams& params,
+                                                       SketchStats* stats_out) {
+  return detect_dispatch(corpus.detect_index(), options, params, stats_out);
+}
+
+}  // namespace sp::sketch

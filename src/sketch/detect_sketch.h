@@ -1,0 +1,117 @@
+// Sketch-based sibling-prefix detection (DetectStrategy::Sketch).
+//
+// The engine answers the same question as the exact scan — for every
+// source prefix, its best-Jaccard counterpart(s) — but generates
+// candidates from an LSH banding index over bottom-k signatures and runs
+// the exact set intersection only on the few survivors near the best
+// estimate. Output is byte-identical to the exact engine by construction
+// on every path that matters:
+//
+//   no LSH candidates            → exact scan_source fallback
+//   best estimate < floor        → exact scan_source fallback
+//   best verified value < floor  → exact scan_source fallback (paranoia)
+//   otherwise                    → survivors within `margin` of the best
+//                                  estimate are verified with the *same*
+//                                  similarity arithmetic and tie rules as
+//                                  the exact engine (core/detect_scan.h)
+//
+// The zero-false-negative argument (DESIGN.md §3.7): a pair can only be
+// missed if its source takes the survivor path AND either (a) the true
+// best match shares none of the source's k bottom hashes — probability
+// (1-J)^k with J ≥ floor, < 10^-14 at k = 64 — or (b) the combined
+// estimate error of the best match and the estimate leader exceeds
+// `margin` (≈ 4.8 combined standard deviations at k = 64, margin = 0.3).
+// The identity property tests exercise both engines across seeds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/corpus.h"
+#include "core/detect.h"
+#include "core/worker_pool.h"
+#include "sketch/lsh.h"
+#include "sketch/signature.h"
+
+namespace sp::sketch {
+
+/// Counters describing one sketch detection run (both directions).
+struct SketchStats {
+  /// Counters of the exact fallback scans (scan_source fills these) plus
+  /// the verified-survivor evaluations.
+  core::DetectStats scan;
+  std::size_t sources_total = 0;          // source prefixes processed
+  std::size_t sources_fallback = 0;       // routed to the exact scan
+  std::size_t fallback_no_candidates = 0;
+  std::size_t fallback_low_estimate = 0;
+  std::size_t fallback_low_exact = 0;     // paranoia: best survivor < floor
+  std::size_t lsh_candidates = 0;         // candidates the LSH produced
+  std::size_t estimates_skipped = 0;      // merges pruned by the hit bound
+  std::size_t survivors_verified = 0;     // exact intersections computed
+  double max_estimate_error = 0.0;        // max |estimate - exact| observed
+  double signature_build_ms = 0.0;
+};
+
+/// Signatures + LSH indexes for both families of a DetectIndex. Immutable
+/// after build; shared read-only by all detection workers.
+class SketchIndex {
+ public:
+  /// Builds signatures (shard-parallel over `pool` when given) and the
+  /// per-family LSH indexes.
+  [[nodiscard]] static SketchIndex build(const core::DetectIndex& index,
+                                         const SketchParams& params,
+                                         core::WorkerPool* pool = nullptr);
+
+  [[nodiscard]] const SketchParams& params() const noexcept { return params_; }
+  [[nodiscard]] const SignatureSet& signatures(Family family) const noexcept {
+    return family == Family::v4 ? v4_signatures_ : v6_signatures_;
+  }
+  [[nodiscard]] const LshIndex& lsh(Family family) const noexcept {
+    return family == Family::v4 ? v4_lsh_ : v6_lsh_;
+  }
+
+ private:
+  SketchParams params_;
+  SignatureSet v4_signatures_;
+  SignatureSet v6_signatures_;
+  LshIndex v4_lsh_;
+  LshIndex v6_lsh_;
+};
+
+/// The sketch engine. Owns a worker pool; reusable across runs like
+/// core::ParallelDetector (not reentrant).
+class SketchDetector {
+ public:
+  explicit SketchDetector(SketchParams params = {}, unsigned thread_count = 0);
+
+  /// Runs detection over a prebuilt DetectIndex. `options.metric` other
+  /// than Jaccard routes every source through the exact scan (estimates
+  /// are Jaccard estimates, so only Jaccard ordering can be trusted);
+  /// `options.strategy` is ignored — calling this IS choosing Sketch.
+  [[nodiscard]] std::vector<core::SiblingPair> detect(const core::DetectIndex& index,
+                                                      const core::DetectOptions& options);
+
+  [[nodiscard]] const SketchStats& stats() const noexcept { return stats_; }
+
+ private:
+  void detect_direction(const core::DetectIndex& index, const SketchIndex& sketch,
+                        Family from, core::Metric metric, std::vector<core::SiblingPair>& out);
+
+  SketchParams params_;
+  core::WorkerPool pool_;
+  SketchStats stats_;
+};
+
+/// Strategy-dispatching entry points: DetectStrategy::Exact delegates to
+/// the core engine, DetectStrategy::Sketch runs the sketch engine with
+/// `params`. Output is identical either way (the identity property).
+/// `stats_out`, when given, is filled only on the sketch path.
+[[nodiscard]] std::vector<core::SiblingPair> detect_sibling_prefixes(
+    const core::DualStackCorpus& corpus, const core::DetectOptions& options = {},
+    const SketchParams& params = {}, SketchStats* stats_out = nullptr);
+
+[[nodiscard]] std::vector<core::SiblingPair> detect_sibling_prefixes(
+    const core::SetCorpus& corpus, const core::DetectOptions& options = {},
+    const SketchParams& params = {}, SketchStats* stats_out = nullptr);
+
+}  // namespace sp::sketch

@@ -1,0 +1,37 @@
+// The sketch hash family.
+//
+// Signatures hash 32-bit domain ids through a SplitMix64-style finalizer
+// keyed by a caller-chosen 64-bit seed: h(x) = mix64(seed ^ golden·(x+1)).
+// The finalizer is a bijection on 64-bit words, so for one seed two
+// distinct ids never collide in the intermediate word; collisions can only
+// come from the seed xor folding, making them ~2^-64 events. The family is
+// fully determined by (seed, id) — no process state, no randomness — which
+// keeps every signature, and everything derived from one, reproducible
+// across runs, platforms and thread counts.
+//
+// The constants intentionally match the repo-wide SplitMix64 finalizer
+// (synth/determinism.h); the definition is duplicated here because
+// sp_sketch layers on sp_core only and must not depend on the synthetic
+// data generator.
+#pragma once
+
+#include <cstdint>
+
+namespace sp::sketch {
+
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hash of one set element (a dense domain id) under `seed`.
+[[nodiscard]] constexpr std::uint64_t element_hash(std::uint32_t element,
+                                                  std::uint64_t seed) noexcept {
+  return mix64(seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(element) + 1)));
+}
+
+}  // namespace sp::sketch

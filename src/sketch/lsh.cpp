@@ -1,0 +1,75 @@
+#include "sketch/lsh.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sp::sketch {
+
+LshIndex LshIndex::build(const SignatureSet& signatures) {
+  LshIndex index;
+  index.owner_limit_ = signatures.prefix_count();
+  std::size_t total = 0;
+  for (std::uint32_t dense = 0; dense < signatures.prefix_count(); ++dense) {
+    total += signatures.of(dense).hashes.size();
+  }
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+  entries.reserve(total);
+  for (std::uint32_t dense = 0; dense < signatures.prefix_count(); ++dense) {
+    for (const std::uint64_t hash : signatures.of(dense).hashes) {
+      entries.emplace_back(hash, dense);
+    }
+  }
+  // Sort by (hash, owner): lookups produce owners in a deterministic order
+  // regardless of insertion order.
+  std::sort(entries.begin(), entries.end());
+  index.hashes_.reserve(entries.size());
+  index.owners_.reserve(entries.size());
+  for (const auto& [hash, owner] : entries) {
+    index.hashes_.push_back(hash);
+    index.owners_.push_back(owner);
+  }
+  return index;
+}
+
+void LshIndex::candidates_of(const SignatureView& query,
+                             std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for (const std::uint64_t hash : query.hashes) {
+    const auto begin = std::lower_bound(hashes_.begin(), hashes_.end(), hash);
+    for (auto it = begin; it != hashes_.end() && *it == hash; ++it) {
+      out.push_back(owners_[static_cast<std::size_t>(it - hashes_.begin())]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+void LshIndex::candidates_of(const SignatureView& query,
+                             std::vector<std::pair<std::uint32_t, std::uint32_t>>& out) const {
+  std::vector<std::uint32_t> counts;
+  candidates_of(query, out, counts);
+}
+
+void LshIndex::candidates_of(const SignatureView& query,
+                             std::vector<std::pair<std::uint32_t, std::uint32_t>>& out,
+                             std::vector<std::uint32_t>& counts) const {
+  out.clear();
+  if (counts.size() < owner_limit_) counts.resize(owner_limit_, 0);
+  // The same owner appears once per shared hash (stored hash arrays are
+  // strictly ascending, so one query hash hits an owner at most once):
+  // a dense counter per owner tallies hits in O(occurrences).
+  for (const std::uint64_t hash : query.hashes) {
+    const auto begin = std::lower_bound(hashes_.begin(), hashes_.end(), hash);
+    for (auto it = begin; it != hashes_.end() && *it == hash; ++it) {
+      const std::uint32_t owner = owners_[static_cast<std::size_t>(it - hashes_.begin())];
+      if (counts[owner]++ == 0) out.emplace_back(owner, 0u);
+    }
+  }
+  for (auto& [owner, hits] : out) {
+    hits = counts[owner];
+    counts[owner] = 0;
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace sp::sketch

@@ -1,0 +1,57 @@
+// LSH banding index over bottom-k signatures (one-row bands).
+//
+// With bottom-k signatures, two sets with Jaccard J share any given
+// signature slot with probability ≈ J, so indexing every stored hash value
+// as its own band (r = 1, b = k) makes the probability that a true sibling
+// pair shares *no* bucket ≈ (1 - J)^k — below 10^-14 for J ≥ 0.4, k = 64
+// (DESIGN.md §3.7). Sources whose buckets are all empty fall back to the
+// exact scan, so even that residual cannot lose a pair.
+//
+// The index is two parallel sorted arrays (hash value, owner dense id):
+// candidate lookup is one binary search per query hash. Immutable after
+// build; shared read-only by all detection workers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/signature.h"
+
+namespace sp::sketch {
+
+class LshIndex {
+ public:
+  /// Indexes every stored hash of every signature in `signatures`.
+  [[nodiscard]] static LshIndex build(const SignatureSet& signatures);
+
+  /// Appends to `out` the dense ids of indexed signatures sharing at least
+  /// one hash with `query`; sorted ascending, duplicate-free. `out` is
+  /// cleared first.
+  void candidates_of(const SignatureView& query, std::vector<std::uint32_t>& out) const;
+
+  /// Like candidates_of, but each candidate carries the number of stored
+  /// hashes it shares with `query` (its bucket-hit count). Sorted by dense
+  /// id ascending. The hit count upper-bounds the pair's Jaccard estimate
+  /// — estimate_jaccard can count at most `hits` shared slots — which is
+  /// what lets the detector skip hopeless estimate merges (DESIGN.md
+  /// §3.7).
+  void candidates_of(const SignatureView& query,
+                     std::vector<std::pair<std::uint32_t, std::uint32_t>>& out) const;
+
+  /// Allocation-free variant for the per-source hot loop: `counts` is a
+  /// caller-owned scratch array (auto-grown to the owner range, all zeros
+  /// between calls; this function leaves it zeroed again), so hit counting
+  /// is O(occurrences) instead of sorting the occurrence list.
+  void candidates_of(const SignatureView& query,
+                     std::vector<std::pair<std::uint32_t, std::uint32_t>>& out,
+                     std::vector<std::uint32_t>& counts) const;
+
+  [[nodiscard]] std::size_t bucket_entries() const noexcept { return hashes_.size(); }
+
+ private:
+  std::vector<std::uint64_t> hashes_;   // sorted; ties grouped
+  std::vector<std::uint32_t> owners_;   // parallel to hashes_
+  std::uint32_t owner_limit_ = 0;       // owners_ values are < owner_limit_
+};
+
+}  // namespace sp::sketch

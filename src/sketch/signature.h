@@ -1,0 +1,105 @@
+// Bottom-k signatures over prefix domain sets.
+//
+// A signature keeps the k smallest distinct element hashes of a set plus
+// the exact set size. Key properties (DESIGN.md §3.7):
+//   - A set with ≤ k elements is sketched *exactly*: its signature holds
+//     every element hash, and the estimator below degenerates to the true
+//     Jaccard of the hash sets (equal to the true set Jaccard short of a
+//     ~2^-64 hash collision).
+//   - For larger sets, the k smallest union hashes are a uniform sample of
+//     the union, giving the classic bottom-k estimate with standard error
+//     sqrt(J(1-J)/k).
+// Signatures are deterministic functions of (seed, set contents): build
+// order, thread count and platform never change a single byte, which is
+// what allows the serialized blobs to be diffed and checked in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detect_index.h"
+#include "core/worker_pool.h"
+#include "netbase/prefix.h"
+
+namespace sp::sketch {
+
+struct SketchParams {
+  /// Signature size. 64 gives σ ≈ 0.06 at J = 0.5; see DESIGN.md §3.7 for
+  /// the margin math that depends on it.
+  std::uint32_t k = 64;
+  /// Hash-family seed; part of the signature identity (signatures built
+  /// under different seeds are incomparable and refuse to merge).
+  std::uint64_t seed = 0x53504B31;  // "SPK1"
+  /// Detection falls back to the exact scan for a source prefix whose best
+  /// candidate estimate is below this floor: low-similarity regions are
+  /// where estimate ordering is least reliable, and they are cheap to scan
+  /// exactly.
+  double fallback_floor = 0.40;
+  /// Survivor margin: every candidate within `margin` of the best estimate
+  /// is exact-verified, so an estimator error within the margin can never
+  /// drop the true best match.
+  double margin = 0.30;
+};
+
+/// One set's signature: sorted distinct bottom hashes + the exact size.
+struct SignatureView {
+  std::span<const std::uint64_t> hashes;
+  std::uint32_t set_size = 0;
+
+  /// True when the signature holds every element's hash (set fits in k).
+  [[nodiscard]] bool complete(std::uint32_t k) const noexcept { return set_size <= k; }
+};
+
+/// Bottom-k Jaccard estimate for two signatures built under the same
+/// (k, seed). Exact when both signatures are complete.
+[[nodiscard]] double estimate_jaccard(const SignatureView& a, const SignatureView& b,
+                                      std::uint32_t k) noexcept;
+
+/// Signatures of every prefix of one DetectIndex side, indexed by the
+/// side's dense prefix ids. Storage is one flat k-strided array, so a
+/// shard-parallel build writes disjoint slots and the result is identical
+/// for any thread count.
+class SignatureSet {
+ public:
+  /// Builds signatures for `side`. With a pool, prefixes are sharded over
+  /// its workers (the pool must be idle: build runs a fork-join job).
+  [[nodiscard]] static SignatureSet build(const core::DetectIndex::Side& side,
+                                          const SketchParams& params,
+                                          core::WorkerPool* pool = nullptr);
+
+  [[nodiscard]] std::uint32_t prefix_count() const noexcept {
+    return static_cast<std::uint32_t>(prefixes_.size());
+  }
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const std::vector<Prefix>& prefixes() const noexcept { return prefixes_; }
+
+  [[nodiscard]] SignatureView of(std::uint32_t dense) const noexcept {
+    const std::size_t begin = static_cast<std::size_t>(dense) * k_;
+    return {std::span<const std::uint64_t>(hashes_.data() + begin, counts_[dense]),
+            set_sizes_[dense]};
+  }
+
+  /// Serializes to the versioned "SPSK" blob (DESIGN.md §3.7). The format
+  /// is canonical: serialize(deserialize(b)) == b for every accepted b.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses a blob, validating magic, version, bounds, hash ordering and
+  /// prefix canonicality. Returns nullopt (with a reason in `error` when
+  /// given) for any truncated or corrupt input.
+  [[nodiscard]] static std::optional<SignatureSet> deserialize(std::string_view blob,
+                                                               std::string* error = nullptr);
+
+ private:
+  std::uint32_t k_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<Prefix> prefixes_;            // dense id → prefix
+  std::vector<std::uint64_t> hashes_;       // k-strided slots
+  std::vector<std::uint32_t> counts_;       // hashes stored per prefix (≤ k)
+  std::vector<std::uint32_t> set_sizes_;    // exact set sizes
+};
+
+}  // namespace sp::sketch

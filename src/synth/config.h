@@ -22,6 +22,13 @@ namespace sp::synth {
 struct SynthConfig {
   std::uint64_t seed = 42;
 
+  /// Universe scale multiplier toward paper-scale corpora. Multiplies
+  /// per-org domain counts and monitoring-site counts, and (above 1)
+  /// switches hypergiant CDNs to replicated edge deployments, where each
+  /// domain is served from several prefixes per family. scale = 1 is
+  /// bit-identical to the pre-knob generator on every seed.
+  int scale = 1;
+
   /// Snapshot range: `months` monthly snapshots ending at `end_date`
   /// (the paper: 49 snapshots, Sep 2020 - Sep 2024).
   int months = 49;

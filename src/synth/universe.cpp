@@ -69,6 +69,7 @@ enum Tag : std::uint64_t {
   kTagAligned = 0x37,
   kTagEarlyChange = 0x35,
   kTagV6Single = 0x36,
+  kTagReplica = 0x38,
 };
 
 /// Sequential IPv4 block allocator over globally-routable space. Each
@@ -289,8 +290,15 @@ void SyntheticInternet::build_orgs() {
                                  ? 1u
                                  : 0u);
     next_asn += 2;
-    const int n4 = std::max(
+    int n4 = std::max(
         2, static_cast<int>(std::lround(profile->pair_weight * config_.hg_prefix_scale)));
+    if (org.aligned) {
+      // Structured CDNs grow by adding edge prefixes (regional PoPs), not
+      // by packing more domains per prefix — the scale knob multiplies
+      // their footprint here, and place() replicates each domain across a
+      // cluster of those edges.
+      n4 *= std::max(1, config_.scale);
+    }
     const int n6 = org.aligned ? n4 : std::max(1, static_cast<int>(std::lround(n4 * 0.85)));
     add_prefixes(org, n4, n6);
     org.scan_silent = unit(seed, org.id, kTagScanSilent) < config_.scan_silent_org_share;
@@ -400,6 +408,14 @@ void SyntheticInternet::build_domains() {
       } else {
         domain_count = 101 + static_cast<int>(pick(500, seed, org.id, kTagDomainCount, 5));
       }
+    }
+    // The scale knob multiplies the domain universe; the per-domain draws
+    // below consume fresh ids, so scale = 1 reproduces the unscaled model.
+    // Structured hypergiants already scaled through their prefix count
+    // (domain_count = prefixes * per_prefix above), so multiplying again
+    // would grow them quadratically.
+    if (!(org.hg_cdn && org.aligned)) {
+      domain_count *= std::max(1, config_.scale);
     }
 
     for (int k = 0; k < domain_count; ++k) {
@@ -563,7 +579,15 @@ void SyntheticInternet::build_monitoring_sites() {
     return 1 + static_cast<int>(pick(static_cast<std::uint64_t>(config_.months - 1), seed,
                                      kTagSiteBirth, salt, 1));
   };
-  for (int i = 0; i < config_.monitoring_v4_prefixes; ++i) {
+  // The monitoring pair grid is the full v4-site x v6-site bipartite
+  // clique (one domain identity answers from every site), so to keep it a
+  // fixed *share* of all pairs — the universe grows linearly in scale —
+  // only the probe-side v4 fleet scales; the v6 anchor deployment stays
+  // the org's fixed footprint. Scaling both sides would grow the grid
+  // quadratically and drown every other pair population. The site-salt
+  // ranges below stay disjoint for any scale <= 15.
+  const int scale = std::max(1, config_.scale);
+  for (int i = 0; i < config_.monitoring_v4_prefixes * scale; ++i) {
     const std::uint32_t org_id = pick_host_org(1000 + i);
     OrgSpec& org = orgs_[org_id];
     const unsigned v4_lengths[] = {22, 23, 24, 24};
@@ -667,13 +691,63 @@ SyntheticInternet::DomainPlacement SyntheticInternet::place(const DomainSpec& do
   if (domain.second_v4_address && org4.structured) {
     placement.v4.push_back(v4_host_address(placement.v4_prefix, group4, salt4 + 77));
   }
-  if (month >= domain.ds_month) {
+
+  // CDN edge replication, active only above scale 1 and only for the
+  // structured (aligned) hypergiants: the org's prefix array is cut into
+  // clusters of ~64*scale consecutive edge prefixes, a domain picks one
+  // cluster and is served from a random half-subset of it. Both families
+  // draw the same index sequence (the picks are keyed by domain id only
+  // and an aligned org has m4 == m6), so prefix a's domain set is nearly
+  // identical to its paired a6 — the unique high-Jaccard counterpart
+  // detection must find — while two *different* prefixes of the same
+  // cluster share only ~0.25 Jaccard (independent half-subsets) and
+  // different clusters share nothing. That J-gap is what lets the sketch
+  // engine discard all but the true counterpart, where the exact engine
+  // must walk every element's full posting list.
+  const int scale = std::max(1, config_.scale);
+  const std::uint64_t stride_h = mix(seed, domain.id, kTagReplica);
+  const bool replicated = scale > 1 && org4.hg_cdn && org4.aligned;
+  std::size_t cluster_base = 0;
+  std::size_t cluster_size = 0;
+  std::size_t member_count = 0;
+  if (replicated) {
+    const std::size_t m4 = org4.v4_prefixes.size();
+    const std::size_t cluster_span = std::min<std::size_t>(
+        static_cast<std::size_t>(64) * static_cast<std::size_t>(scale), m4);
+    const std::size_t clusters = std::max<std::size_t>(1, m4 / cluster_span);
+    const std::size_t c = static_cast<std::size_t>(pick(clusters, stride_h, 1));
+    cluster_base = c * cluster_span;
+    cluster_size = (c + 1 == clusters) ? m4 - cluster_base : cluster_span;
+    member_count = std::max<std::size_t>(1, cluster_size / 2);
+    for (std::size_t j = 0; j < member_count; ++j) {
+      const std::size_t index =
+          cluster_base + static_cast<std::size_t>(pick(cluster_size, stride_h, 2, j));
+      placement.v4.push_back(v4_host_address(org4.v4_prefixes[index], group4,
+                                             mix(salt4, kTagReplica, j)));
+    }
+  }
+
+  // Replicated CDN edges are dual-stack from birth: at scale the v6 side
+  // must mirror the v4 cluster or the aligned counterpart would sit below
+  // the detection floor.
+  if (month >= domain.ds_month || replicated) {
     const std::uint64_t salt6 =
         org6.structured
             ? mix(seed, domain.id, kTagSalt6, address_epoch + agile_epoch)
             : mix(seed, org6.id, kTagSalt6 + 100,
                   (static_cast<std::uint64_t>(i6) << 8) | slot6);
     placement.v6.push_back(v6_host_address(placement.v6_prefix, group6, salt6));
+    if (replicated) {
+      // Same cluster and the same member picks as the v4 block above:
+      // aligned orgs have m6 == m4, so the indices land on the paired
+      // prefixes and the two families carry matching edge sets.
+      for (std::size_t j = 0; j < member_count; ++j) {
+        const std::size_t index =
+            cluster_base + static_cast<std::size_t>(pick(cluster_size, stride_h, 2, j));
+        placement.v6.push_back(v6_host_address(org6.v6_prefixes[index], group6,
+                                               mix(salt6, kTagReplica, j)));
+      }
+    }
   }
   std::sort(placement.v4.begin(), placement.v4.end());
   placement.v4.erase(std::unique(placement.v4.begin(), placement.v4.end()),

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <limits>
 #include <random>
 
 namespace sp::core {
@@ -136,6 +138,51 @@ TEST_P(SimilarityProperty, InvariantsOnRandomSets) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityProperty, ::testing::Values(31u, 32u, 33u, 34u));
+
+TEST(SimilarityFromSizes, SurvivesSizeSumOverflow) {
+  // size_a + size_b wraps size_t here; the guarded double path must kick
+  // in and return the mathematically correct (in-range) quotient instead
+  // of dividing by a wrapped union.
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+
+  // Jaccard with both sets at max and full overlap: |∩| = max,
+  // |∪| = max + max - max = max → exactly 1.
+  EXPECT_DOUBLE_EQ(similarity_from_sizes(Metric::Jaccard, kMax, kMax, kMax), 1.0);
+  // Disjoint sets at max: 0 / 2·max = 0.
+  EXPECT_DOUBLE_EQ(similarity_from_sizes(Metric::Jaccard, 0, kMax, kMax), 0.0);
+  // Half overlap: |∩| = max/2, |∪| = 1.5·max → 1/3 (double rounding slack).
+  EXPECT_NEAR(similarity_from_sizes(Metric::Jaccard, kMax / 2, kMax, kMax), 1.0 / 3.0, 1e-9);
+
+  // Dice denominator 2·max wraps to ~0 without the guard. Full overlap →
+  // 2·max / 2·max = 1; disjoint → 0; half → 0.5.
+  EXPECT_DOUBLE_EQ(similarity_from_sizes(Metric::Dice, kMax, kMax, kMax), 1.0);
+  EXPECT_DOUBLE_EQ(similarity_from_sizes(Metric::Dice, 0, kMax, kMax), 0.0);
+  EXPECT_NEAR(similarity_from_sizes(Metric::Dice, kMax / 2, kMax, kMax), 0.5, 1e-9);
+
+  // Overlap never sums sizes — max inputs are fine as-is.
+  EXPECT_DOUBLE_EQ(similarity_from_sizes(Metric::Overlap, kMax, kMax, kMax), 1.0);
+
+  // Values stay within [0, 1] across the wrap boundary.
+  for (const std::size_t b : {kMax, kMax - 1, kMax / 2 + 1}) {
+    for (const Metric metric : {Metric::Jaccard, Metric::Dice, Metric::Overlap}) {
+      const double value = similarity_from_sizes(metric, kMax / 4, kMax, b);
+      EXPECT_GE(value, 0.0) << metric_name(metric);
+      EXPECT_LE(value, 1.0) << metric_name(metric);
+    }
+  }
+}
+
+TEST(SimilarityFromSizes, InRangeSumsKeepBitExactIntegerPath) {
+  // Just below the wrap boundary the original integer arithmetic must be
+  // used: result identical to the directly computed quotient.
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  const std::size_t a = kMax / 2;
+  const std::size_t b = kMax - a;  // a + b == kMax exactly: no wrap
+  const std::size_t shared = 1000;
+  const double expected = static_cast<double>(shared) / static_cast<double>(a + b - shared);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(similarity_from_sizes(Metric::Jaccard, shared, a, b)),
+            std::bit_cast<std::uint64_t>(expected));
+}
 
 }  // namespace
 }  // namespace sp::core
