@@ -19,23 +19,20 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/rss.h"
 
 namespace spbench {
 
-/// Peak resident set size of this process in kilobytes (VmHWM from
-/// /proc/self/status), or 0 where procfs is unavailable. Recorded into the
+/// Peak resident set size of this process in kilobytes. Recorded into the
 /// JSON artifact so scale benchmarks expose memory alongside latency.
-inline long peak_rss_kb() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) == 0) {
-      long kb = 0;
-      std::sscanf(line.c_str(), "VmHWM: %ld", &kb);
-      return kb;
-    }
-  }
-  return 0;
+inline long peak_rss_kb() { return sp::obs::peak_rss_kb(); }
+
+/// The shared per-benchmark memory counter: call once per benchmark body
+/// instead of scraping RSS ad hoc, so every binary reports the same
+/// "peak_rss_kb" counter (the top-level "sp_peak_rss_kb" in the JSON
+/// artifact is added unconditionally by embed_metrics_json).
+inline void record_peak_rss(benchmark::State& state) {
+  state.counters["peak_rss_kb"] = static_cast<double>(peak_rss_kb());
 }
 
 /// Rewrites the benchmark JSON at `path`, inserting

@@ -36,7 +36,7 @@ void report_counters(benchmark::State& state, const pipeline::CampaignReport& re
   state.counters["stages"] =
       static_cast<double>(report.done_count + report.cached_count);
   state.counters["cached"] = static_cast<double>(report.cached_count);
-  state.counters["peak_rss_kb"] = static_cast<double>(report.peak_rss_kb);
+  spbench::record_peak_rss(state);
 }
 
 void run_cold(benchmark::State& state, unsigned threads) {

@@ -66,7 +66,7 @@ void BM_DetectExact(benchmark::State& state) {
   }
   state.counters["pairs"] = static_cast<double>(pairs);
   state.counters["candidates_evaluated"] = static_cast<double>(stats.candidates_evaluated);
-  state.counters["peak_rss_kb"] = static_cast<double>(spbench::peak_rss_kb());
+  spbench::record_peak_rss(state);
 }
 BENCHMARK(BM_DetectExact)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DetectExact)->Arg(10)->Iterations(1)->Unit(benchmark::kMillisecond);
@@ -89,7 +89,7 @@ void BM_DetectSketch(benchmark::State& state) {
   state.counters["estimates_skipped"] = static_cast<double>(stats.estimates_skipped);
   state.counters["survivors_verified"] = static_cast<double>(stats.survivors_verified);
   state.counters["max_estimate_error"] = stats.max_estimate_error;
-  state.counters["peak_rss_kb"] = static_cast<double>(spbench::peak_rss_kb());
+  spbench::record_peak_rss(state);
 }
 BENCHMARK(BM_DetectSketch)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DetectSketch)->Arg(10)->Iterations(1)->Unit(benchmark::kMillisecond);

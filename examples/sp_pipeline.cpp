@@ -9,8 +9,18 @@
 //
 //   sp_pipeline run <out_dir> [--months N] [--orgs N] [--seed S]
 //                   [--threads T] [--v4 N] [--v6 N] [--trace FILE]
+//                   [--detect stream|full]
 //   sp_pipeline resume <out_dir> [--threads T] [--trace FILE]
-//   sp_pipeline status <out_dir>                 # per-stage manifest table
+//   sp_pipeline status <out_dir>                 # per-stage manifest table;
+//                                                # re-hashes artifacts and
+//                                                # reports deleted/corrupted
+//                                                # outputs as "stale"
+//
+// --detect stream (the default) runs detection incrementally: each month
+// applies a corpus delta to the previous month's warm detector state and
+// re-scores only the affected prefixes; the pairs CSVs are byte-identical
+// to --detect full. Consecutive .sibdb snapshots are additionally diffed
+// into delta-<date>.spdl patch files sp_serve can RELOAD directly.
 //
 // --trace writes a Chrome-trace-format JSON of every stage execution
 // (one span per stage, on the worker that ran it) — load it in Perfetto
@@ -36,6 +46,7 @@
 #include "pipeline/campaign.h"
 #include "synth/universe.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace sp;
@@ -173,6 +184,14 @@ int campaign_run(int argc, char** argv) {
     else if (flag == "--v4") config.v4_threshold = static_cast<unsigned>(value);
     else if (flag == "--v6") config.v6_threshold = static_cast<unsigned>(value);
     else if (flag == "--trace") config.trace_path = argv[i + 1];
+    else if (flag == "--detect") {
+      const std::string mode = argv[i + 1];
+      if (mode != "stream" && mode != "full") {
+        std::fprintf(stderr, "error: --detect must be 'stream' or 'full'\n");
+        return 2;
+      }
+      config.stream_detect = mode == "stream";
+    }
     else {
       std::fprintf(stderr, "error: unknown flag %s\n", flag.c_str());
       return 2;
@@ -214,20 +233,35 @@ int campaign_status(const std::string& out_dir) {
     return 1;
   }
   std::printf("%s\n", manifest->campaign.c_str());
-  std::size_t done = 0, cached = 0, failed = 0, skipped = 0;
+
+  // A "done" record whose artifact was deleted or corrupted since the
+  // run is stale, not done — resume would re-run it, and a serving
+  // deployment must not RELOAD it. Revalidate every recorded output.
+  std::unordered_map<std::string, std::string> stale_reason;
+  for (const auto& entry : pipeline::stale_stages(*manifest, out_dir)) {
+    auto& reason = stale_reason[entry.name];
+    if (!reason.empty()) reason += "; ";
+    reason += entry.path + " " + entry.reason;
+  }
+
+  std::size_t done = 0, cached = 0, failed = 0, skipped = 0, stale = 0;
   for (const auto& stage : manifest->stages) {
-    std::printf("  %-8s %-28s %9.1f ms  %zu output%s%s%s\n", stage.status.c_str(),
+    const auto stale_it = stale_reason.find(stage.name);
+    const bool is_stale = stale_it != stale_reason.end();
+    const std::string& status = is_stale ? "stale" : stage.status;
+    const std::string& note = is_stale ? stale_it->second : stage.error;
+    std::printf("  %-8s %-28s %9.1f ms  %zu output%s%s%s\n", status.c_str(),
                 stage.name.c_str(), stage.wall_ms, stage.outputs.size(),
-                stage.outputs.size() == 1 ? "" : "s", stage.error.empty() ? "" : "  ",
-                stage.error.c_str());
-    if (stage.status == "done") ++done;
+                stage.outputs.size() == 1 ? "" : "s", note.empty() ? "" : "  ", note.c_str());
+    if (is_stale) ++stale;
+    else if (stage.status == "done") ++done;
     else if (stage.status == "cached") ++cached;
     else if (stage.status == "failed") ++failed;
     else if (stage.status == "skipped") ++skipped;
   }
-  std::printf("%zu stages: %zu done, %zu cached, %zu failed, %zu skipped\n",
-              manifest->stages.size(), done, cached, failed, skipped);
-  return failed == 0 ? 0 : 1;
+  std::printf("%zu stages: %zu done, %zu cached, %zu failed, %zu skipped, %zu stale\n",
+              manifest->stages.size(), done, cached, failed, skipped, stale);
+  return failed == 0 && stale == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -240,7 +274,7 @@ int main(int argc, char** argv) {
   if (argc != 4 && argc != 6) {
     std::fprintf(stderr,
                  "usage: %s run <out_dir> [--months N] [--orgs N] [--seed S] [--threads T]"
-                 " [--v4 N] [--v6 N] [--trace FILE]\n"
+                 " [--v4 N] [--v6 N] [--trace FILE] [--detect stream|full]\n"
                  "       %s resume <out_dir> [--threads T] [--trace FILE]\n"
                  "       %s status <out_dir>\n"
                  "       %s <rib.mrt> <snapshot.csv|zonefile.zone> <out.csv> [v4_thresh v6_thresh]\n"

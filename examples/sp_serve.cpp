@@ -14,7 +14,10 @@
 // Query protocol (one per line):
 //   <address>            LPM lookup, either family ("20.1.2.3", "2620:100::1")
 //   <prefix>             LPM lookup for a whole prefix ("20.1.0.0/16")
-//   RELOAD <path>        hot-swap to a new snapshot; queries keep serving
+//   RELOAD <path>        hot-swap to a new snapshot; queries keep serving.
+//                        A ".spdl" path is a delta log: it is applied to
+//                        the served snapshot (stream/reload.h) and the
+//                        patched .sibdb written next to it is swapped in
 //   RELOAD               re-read the current snapshot's file (the
 //                        publisher — e.g. sp_pipeline — replaced it in place)
 //   STATS                print service counters
@@ -28,6 +31,7 @@
 
 #include "net/server.h"
 #include "serve/service.h"
+#include "stream/reload.h"
 
 using namespace sp;
 
@@ -211,7 +215,10 @@ int main(int argc, char** argv) {
     }
     if (line.rfind("RELOAD ", 0) == 0) {
       const std::string path = line.substr(7);
-      if (service.load(path, &error)) {
+      const bool ok = sp::stream::is_spdl_path(path)
+                          ? sp::stream::apply_delta_and_reload(service, path, &error)
+                          : service.load(path, &error);
+      if (ok) {
         std::printf("RELOADED %s gen=%llu\n", path.c_str(),
                     static_cast<unsigned long long>(service.stats().generation));
       } else {

@@ -1,0 +1,28 @@
+// Fuzz target: decode_spdl over arbitrary bytes must either reject with
+// a reason or accept an image that round-trips exactly —
+// encode_spdl(*decode_spdl(bytes)) == bytes. The canonical sequential
+// layout admits exactly one encoding per delta, so any accepted input
+// that fails to round-trip means the validator let a non-canonical (or
+// silently mangled) delta through: a rolling campaign would patch a
+// snapshot with bytes the producer never wrote.
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "stream/spdl.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string error;
+  const auto delta = sp::stream::decode_spdl({data, size}, &error);
+  if (!delta) {
+    // Rejections must carry a reason — a silent nullopt is a bug too.
+    if (error.empty()) __builtin_trap();
+    return 0;
+  }
+  const std::vector<std::uint8_t> encoded = sp::stream::encode_spdl(*delta);
+  if (encoded.size() != size || std::memcmp(encoded.data(), data, size) != 0) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include "pipeline/manifest.h"
 #include "serve/sibdb.h"
 #include "sketch/signature.h"
+#include "stream/spdl.h"
 #include "synth/universe.h"
 
 namespace {
@@ -215,6 +216,64 @@ bool make_sketch_sig_seeds(const fs::path& root) {
   return write_seed(root / "sketch_sig", "corrupt.spsk", corrupt);
 }
 
+bool make_stream_delta_seeds(const fs::path& root) {
+  // A real delta from the project's own differ: two snapshots with a
+  // removal, a changed record, and an insertion between them.
+  std::error_code ec;
+  fs::create_directories(root / "stream_delta", ec);
+  const std::vector<sp::core::SiblingPair> base_pairs = {
+      {sp::Prefix::must_parse("192.0.2.0/24"), sp::Prefix::must_parse("2001:db8:1::/48"), 0.875,
+       7, 8, 9},
+      {sp::Prefix::must_parse("198.51.100.0/24"), sp::Prefix::must_parse("2001:db8:2::/48"), 0.5,
+       3, 6, 6},
+  };
+  const std::vector<sp::core::SiblingPair> target_pairs = {
+      {sp::Prefix::must_parse("192.0.2.0/24"), sp::Prefix::must_parse("2001:db8:1::/48"), 0.75,
+       6, 8, 9},
+      {sp::Prefix::must_parse("203.0.113.0/24"), sp::Prefix::must_parse("2001:db8:3::/48"), 1.0,
+       4, 4, 4},
+  };
+  const std::string base_path = (root / "stream_delta" / "base.sibdb.tmp").string();
+  const std::string target_path = (root / "stream_delta" / "target.sibdb.tmp").string();
+  if (!sp::serve::write_sibdb(base_path, base_pairs, "fuzz seed base") ||
+      !sp::serve::write_sibdb(target_path, target_pairs, "fuzz seed target")) {
+    std::fprintf(stderr, "make_seeds: write_sibdb failed\n");
+    return false;
+  }
+  const auto base = sp::serve::SiblingDB::load(base_path);
+  const auto target = sp::serve::SiblingDB::load(target_path);
+  fs::remove(base_path, ec);
+  fs::remove(target_path, ec);
+  if (!base || !target) return false;
+  const auto delta = sp::stream::diff_sibdb(*base, *target);
+  if (!delta) return false;
+  if (!write_seed(root / "stream_delta", "month.spdl", sp::stream::encode_spdl(*delta))) {
+    return false;
+  }
+
+  // The identity delta: header-only image (both sections empty).
+  sp::stream::SibdbDelta identity;
+  identity.label = "fuzz seed target";
+  identity.base_hash = delta->base_hash;
+  identity.base_pair_count = delta->base_pair_count;
+  identity.result_hash = delta->base_hash;
+  if (!write_seed(root / "stream_delta", "identity.spdl",
+                  sp::stream::encode_spdl(identity))) {
+    return false;
+  }
+
+  // The reject boundary: a truncated image (checksum can't verify) and a
+  // version from the future.
+  const std::vector<std::uint8_t> image = sp::stream::encode_spdl(*delta);
+  if (!write_seed(root / "stream_delta", "truncated.spdl",
+                  std::vector<std::uint8_t>(image.begin(), image.begin() + 64))) {
+    return false;
+  }
+  std::vector<std::uint8_t> future = image;
+  future[8] = 0xff;  // version field, little-endian u32 at offset 8
+  return write_seed(root / "stream_delta", "future_version.spdl", future);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,7 +283,8 @@ int main(int argc, char** argv) {
   }
   const fs::path root = argv[1];
   if (!make_csv_seeds(root) || !make_mrt_seeds(root) || !make_manifest_seeds(root) ||
-      !make_sibdb_seeds(root) || !make_net_frame_seeds(root) || !make_sketch_sig_seeds(root)) {
+      !make_sibdb_seeds(root) || !make_net_frame_seeds(root) || !make_sketch_sig_seeds(root) ||
+      !make_stream_delta_seeds(root)) {
     return 1;
   }
   std::printf("seed corpora written under %s\n", root.c_str());

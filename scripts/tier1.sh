@@ -4,8 +4,9 @@
 # detection, obs metrics/tracing), an ASan/UBSan pass over the
 # parser-heavy I/O (CSV fuzz round-trip, Happy Eyeballs, manifest
 # UTF-8), a loopback end-to-end smoke of the sp_serve TCP front-end, a
-# sketch-vs-exact identity smoke on a scaled universe, and the project
-# linter (sp_lint) over the whole tree.
+# sketch-vs-exact identity smoke on a scaled universe, an
+# incremental-vs-scratch stream identity smoke, and the project linter
+# (sp_lint) over the whole tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,14 +32,18 @@ cmake --build build -j "$JOBS"
 # race the shard-parallel signature build and the sketch detection
 # workers against each other (every test asserts byte-identity with
 # the exact engine, so a race would also surface as a wrong answer).
+# The stream suites race the delta re-scan workers (byte-identity with
+# the exact engine across thread counts) and delta hot-reloads against
+# concurrent sp_serve queries.
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target core_detect_parallel_test \
   core_sptuner_parallel_test serve_lookup_test serve_service_test \
   core_worker_pool_test pipeline_stage_graph_test \
   obs_metrics_test obs_trace_test net_server_test net_protocol_test \
-  sketch_detect_test sketch_signature_test
+  sketch_detect_test sketch_signature_test \
+  stream_detector_test stream_spdl_test stream_serve_delta_test
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool|Obs|NetServer|NetProtocol|Sketch|Signature|Lsh|SynthScale' \
+  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool|Obs|NetServer|NetProtocol|Sketch|Signature|Lsh|SynthScale|Stream' \
   -E 'ReloadChurn')
 
 # Stage 3: memory-safety pass over the byte-level parsers under
@@ -95,7 +100,13 @@ kill -INT "$SERVE_PID" && wait "$SERVE_PID"
 # BENCH_sketch.json carries the full scale-10 numbers.
 ./build/examples/sp_sketch_scale --scale 2 --orgs 8 --months 3 --threads 2
 
-# Stage 6: the project linter. Every finding in the tree must either be
+# Stage 6: incremental-vs-scratch smoke — the stream engine chained
+# across three synthetic months, memcmp-compared against a from-scratch
+# exact run after every month (sp_stream_smoke exits non-zero on the
+# first byte difference; see DESIGN.md §3.8 for the dirty-set argument).
+./build/examples/sp_stream_smoke --months 3 --threads 2
+
+# Stage 7: the project linter. Every finding in the tree must either be
 # fixed or carry an explicit sp-lint suppression with a reason; zero
 # unsuppressed findings is the bar (see DESIGN.md §3.5).
 cmake --build build -j "$JOBS" --target sp_lint

@@ -1,0 +1,70 @@
+#include "core/corpus_delta.h"
+
+#include <algorithm>
+#include <iterator>
+#include <span>
+
+namespace sp::core {
+
+namespace {
+
+/// Sorted-span difference a ∖ b into a DomainSet.
+DomainSet span_difference(std::span<const DomainId> a, std::span<const DomainId> b) {
+  DomainSet out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+/// Merge-walks the two sides' prefix lists (both ascending) and emits one
+/// PrefixDelta per prefix whose element set differs.
+std::vector<PrefixDelta> diff_side(const DetectIndex::Side& base, const DetectIndex::Side& next) {
+  std::vector<PrefixDelta> deltas;
+  std::uint32_t b = 0;
+  std::uint32_t n = 0;
+  const auto base_count = static_cast<std::uint32_t>(base.prefix_count());
+  const auto next_count = static_cast<std::uint32_t>(next.prefix_count());
+  while (b < base_count || n < next_count) {
+    if (n >= next_count || (b < base_count && base.prefixes[b] < next.prefixes[n])) {
+      // Prefix death: every base element is a removed edge.
+      const auto elements = base.elements_of(b);
+      deltas.push_back({base.prefixes[b], {}, DomainSet(elements.begin(), elements.end())});
+      ++b;
+      continue;
+    }
+    if (b >= base_count || next.prefixes[n] < base.prefixes[b]) {
+      // Prefix birth: every next element is an added edge.
+      const auto elements = next.elements_of(n);
+      deltas.push_back({next.prefixes[n], DomainSet(elements.begin(), elements.end()), {}});
+      ++n;
+      continue;
+    }
+    const auto old_set = base.elements_of(b);
+    const auto new_set = next.elements_of(n);
+    DomainSet added = span_difference(new_set, old_set);
+    DomainSet removed = span_difference(old_set, new_set);
+    if (!added.empty() || !removed.empty()) {
+      deltas.push_back({base.prefixes[b], std::move(added), std::move(removed)});
+    }
+    ++b;
+    ++n;
+  }
+  return deltas;
+}
+
+}  // namespace
+
+std::size_t CorpusDelta::edge_count() const noexcept {
+  std::size_t edges = 0;
+  for (const PrefixDelta& delta : v4) edges += delta.added.size() + delta.removed.size();
+  for (const PrefixDelta& delta : v6) edges += delta.added.size() + delta.removed.size();
+  return edges;
+}
+
+CorpusDelta CorpusDelta::between(const DetectIndex& base, const DetectIndex& next) {
+  CorpusDelta delta;
+  delta.v4 = diff_side(base.v4, next.v4);
+  delta.v6 = diff_side(base.v6, next.v6);
+  return delta;
+}
+
+}  // namespace sp::core

@@ -1,0 +1,62 @@
+// Edge-level corpus deltas: what changed between two detection indexes.
+//
+// The longitudinal campaign expresses month N→N+1 as MRT update replay
+// plus dataset events, but detection consumed only the month's final
+// corpus — every month paid a from-scratch run. A CorpusDelta captures
+// the month boundary as data: per family, the prefixes whose domain sets
+// changed, each with the exact element ids gained and lost. Prefix birth
+// is a delta entry whose removed set is empty against an absent base row;
+// prefix death is a delta entry whose removals empty the set. The stream
+// engine (src/stream/) applies deltas to a DetectIndexOverlay and
+// re-scores only the sources the delta can have affected.
+//
+// Deltas are canonical: per side sorted ascending by prefix, one entry
+// per prefix, added/removed sorted, disjoint, and never both empty —
+// which makes delta equality a vector comparison and keeps downstream
+// dirty-set iteration deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/detect_index.h"
+#include "core/domain_set.h"
+#include "netbase/prefix.h"
+
+namespace sp::core {
+
+/// One prefix's domain-set change. `added` are element ids absent from
+/// the base set, `removed` are ids present in it; both sorted, at least
+/// one non-empty.
+struct PrefixDelta {
+  Prefix prefix;
+  DomainSet added;
+  DomainSet removed;
+
+  friend bool operator==(const PrefixDelta&, const PrefixDelta&) = default;
+};
+
+/// The changes between two corpus snapshots (typically consecutive
+/// months), per address family.
+struct CorpusDelta {
+  std::vector<PrefixDelta> v4;  // sorted ascending by prefix
+  std::vector<PrefixDelta> v6;
+
+  [[nodiscard]] const std::vector<PrefixDelta>& side(Family family) const noexcept {
+    return family == Family::v4 ? v4 : v6;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return v4.empty() && v6.empty(); }
+
+  /// Changed prefixes across both sides.
+  [[nodiscard]] std::size_t prefix_count() const noexcept { return v4.size() + v6.size(); }
+
+  /// Total domain→prefix edges added plus removed across both sides.
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+
+  /// Diffs two detection indexes: applying the result to `base` (see
+  /// DetectIndexOverlay) reproduces `next` exactly.
+  [[nodiscard]] static CorpusDelta between(const DetectIndex& base, const DetectIndex& next);
+};
+
+}  // namespace sp::core

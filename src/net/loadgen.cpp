@@ -1,5 +1,6 @@
 #include "net/loadgen.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -10,6 +11,7 @@
 #include "net/client.h"
 #include "net/protocol.h"
 #include "obs/metrics.h"
+#include "obs/rss.h"
 #include "synth/determinism.h"
 
 namespace sp::net {
@@ -282,6 +284,10 @@ std::string LoadGenReport::to_json(const LoadGenConfig& config) const {
   append_number(out, p99_us);
   out += ",\"max_us\":";
   append_u64(out, max_us);
+  // The same memory field every bench JSON artifact carries (obs/rss.h),
+  // so one parser covers the google-benchmark and loadgen reports alike.
+  out += ",\"sp_peak_rss_kb\":";
+  append_u64(out, static_cast<std::uint64_t>(std::max(0L, obs::peak_rss_kb())));
   out += ",\"request_stream_hash\":[";
   for (std::size_t i = 0; i < request_stream_hash.size(); ++i) {
     if (i != 0) out += ',';

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "lint/lock_order.h"
+#include "stream/reload.h"
 
 namespace sp::net {
 
@@ -414,8 +415,15 @@ void Server::dispatch_frame(Connection& connection, const Frame& frame) {
       obs_reload_frames_.add();
       ReloadResponse response;
       std::string error;
-      response.ok = request->path.empty() ? service_.reload(&error)
-                                          : service_.load(request->path, &error);
+      if (request->path.empty()) {
+        response.ok = service_.reload(&error);
+      } else if (stream::is_spdl_path(request->path)) {
+        // A delta log: patch the currently served snapshot and swap the
+        // result in, instead of loading a full snapshot from the path.
+        response.ok = stream::apply_delta_and_reload(service_, request->path, &error);
+      } else {
+        response.ok = service_.load(request->path, &error);
+      }
       if (response.ok) {
         const auto snapshot = service_.snapshot();
         response.generation = snapshot ? snapshot->generation : 0;

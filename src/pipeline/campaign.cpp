@@ -13,15 +13,19 @@
 
 #include "bgp/rib.h"
 #include "core/corpus.h"
+#include "core/corpus_delta.h"
 #include "core/detect.h"
 #include "core/sibling_diff.h"
 #include "core/sibling_list_io.h"
 #include "core/sptuner.h"
 #include "io/snapshot_csv.h"
+#include "lint/lock_order.h"
 #include "mrt/file.h"
 #include "obs/trace.h"
 #include "pipeline/checkpoint.h"
 #include "serve/sibdb.h"
+#include "stream/spdl.h"
+#include "stream/stream_detector.h"
 #include "synth/universe.h"
 
 namespace sp::pipeline {
@@ -112,6 +116,7 @@ class Runner {
   [[nodiscard]] std::string list_name(int m) const { return "siblings-" + ds(m) + ".csv"; }
   [[nodiscard]] std::string sibdb_name(int m) const { return "siblings-" + ds(m) + ".sibdb"; }
   [[nodiscard]] std::string diff_name(int m) const { return "diff-" + ds(m) + ".csv"; }
+  [[nodiscard]] std::string delta_name(int m) const { return "delta-" + ds(m) + ".spdl"; }
 
   StageId add_stage(std::string name, std::vector<StageId> deps, std::uint64_t config_hash,
                     std::vector<std::string> outputs, std::function<bool(std::string*)> body);
@@ -152,6 +157,20 @@ class Runner {
   // pipeline.stage_graph.observer_mutex)
   std::mutex pending_mutex_;
   std::unordered_map<std::string, StageRecord> pending_;
+
+  /// Warm detection state for stream mode: the detector retains month
+  /// `stream_month_`'s index and per-source emissions; month m applies a
+  /// delta when it directly follows (stream_month_ == m - 1) and falls
+  /// back to a full init otherwise (e.g. a resume gap — byte-identical
+  /// either way). Stream-mode detect stages are chained in the DAG, so
+  /// contention is nil; the mutex makes the hand-off explicit and keeps
+  /// the invariant checkable.
+  // lock-order: 37 pipeline.campaign.stream_mutex (taken from detect
+  // stage bodies only, after the month corpus mutex is released; leaf —
+  // nothing is acquired under it)
+  std::mutex stream_mutex_;
+  int stream_month_ = -1;
+  stream::StreamDetector stream_;
 };
 
 Runner::StageId Runner::add_stage(std::string name, std::vector<StageId> deps,
@@ -350,6 +369,8 @@ void Runner::build_graph() {
   std::uint64_t tuner_hash = fnv1a64_mix(config_.v4_threshold, kFnvBasis);
   tuner_hash = fnv1a64_mix(config_.v6_threshold, tuner_hash);
   const std::uint64_t sibdb_hash = fnv1a64_mix(serve::kSibDbVersion, kFnvBasis);
+  const std::uint64_t spdl_hash =
+      fnv1a64_mix(stream::kSpdlVersion, fnv1a64_mix(serve::kSibDbVersion, kFnvBasis));
 
   std::vector<StageId> evolve_ids(months), export_ids(months), corpus_ids(months),
       detect_ids(months), tuner_ids(months), publish_ids(months), sibdb_ids(months);
@@ -407,18 +428,45 @@ void Runner::build_graph() {
           return atomic_write_file(abs(corpus_name(m)), text, error);
         });
 
+    // Stream mode chains detect[m] on detect[m-1]: the dependency hands
+    // month m-1's warm detector state to month m, turning the campaign
+    // into a rolling delta pipeline. Full mode keeps the months
+    // independent (the original fan-out).
+    std::vector<StageId> detect_deps{corpus_ids[m]};
+    if (config_.stream_detect && m > 0) detect_deps.push_back(detect_ids[m - 1]);
     detect_ids[m] = add_stage(
-        "detect[" + d + "]", {corpus_ids[m]}, detect_hash, {pairs_name(m)},
+        "detect[" + d + "]", std::move(detect_deps), detect_hash, {pairs_name(m)},
         [this, m](std::string* error) {
           const auto corpus = corpus_for(m, error);
           if (!corpus) return false;
-          // Serial inner engine: cross-month DAG concurrency is the
-          // parallelism; a nested fork-join on the executing pool would
-          // deadlock (worker_pool.h).
-          core::DetectOptions options;
-          options.threads = 1;
-          return write_pairs(pairs_name(m), core::detect_sibling_prefixes(*corpus, options),
-                             error);
+          if (!config_.stream_detect) {
+            // Serial inner engine: cross-month DAG concurrency is the
+            // parallelism; a nested fork-join on the executing pool would
+            // deadlock (worker_pool.h).
+            core::DetectOptions options;
+            options.threads = 1;
+            return write_pairs(pairs_name(m), core::detect_sibling_prefixes(*corpus, options),
+                               error);
+          }
+          const std::lock_guard<std::mutex> lock(stream_mutex_);
+          // Held across the detector's pool submits (rank 40 > 37): the
+          // runtime checker sees the ordered pair on every stream month.
+          [[maybe_unused]] const lint::LockOrderScope held("pipeline.campaign.stream_mutex");
+          try {
+            if (stream_month_ == m - 1 && stream_.initialized()) {
+              stream_.apply(
+                  core::CorpusDelta::between(stream_.index(), corpus->detect_index()));
+            } else {
+              // Cold start or resume gap (the previous month was cached):
+              // scan from scratch — still byte-identical.
+              stream_.init(corpus->detect_index());
+            }
+          } catch (const std::exception& e) {
+            *error = std::string("stream detect: ") + e.what();
+            return false;
+          }
+          stream_month_ = m;
+          return write_pairs(pairs_name(m), stream_.pairs(), error);
         });
 
     tuner_ids[m] = add_stage(
@@ -465,6 +513,34 @@ void Runner::build_graph() {
         });
 
     if (m > 0) {
+      // The month's publishable delta log: consecutive .sibdb snapshots
+      // diffed into a small .spdl patch (stream/spdl.h). sp_serve applies
+      // it to a live service via RELOAD <delta>.spdl, so a rolling
+      // campaign ships deltas instead of full snapshots.
+      add_stage("sibdelta[" + ds(m - 1) + ".." + d + "]", {sibdb_ids[m - 1], sibdb_ids[m]},
+                spdl_hash, {delta_name(m)}, [this, m](std::string* error) {
+                  std::string load_error;
+                  const auto base = serve::SiblingDB::load(abs(sibdb_name(m - 1)), &load_error);
+                  if (!base) {
+                    *error = "cannot load " + sibdb_name(m - 1) + ": " + load_error;
+                    return false;
+                  }
+                  const auto target = serve::SiblingDB::load(abs(sibdb_name(m)), &load_error);
+                  if (!target) {
+                    *error = "cannot load " + sibdb_name(m) + ": " + load_error;
+                    return false;
+                  }
+                  const auto delta = stream::diff_sibdb(*base, *target, error);
+                  if (!delta) return false;
+                  const std::string path = abs(delta_name(m));
+                  const std::string tmp = path + ".tmp";
+                  if (!stream::write_spdl(tmp, *delta)) {
+                    *error = "cannot write " + tmp;
+                    return false;
+                  }
+                  return finalize_output(tmp, path, error);
+                });
+
       diff_ids.push_back(add_stage(
           "diff[" + ds(m - 1) + ".." + d + "]", {publish_ids[m - 1], publish_ids[m]},
           kFnvBasis, {diff_name(m)}, [this, m](std::string* error) {
@@ -599,6 +675,10 @@ std::vector<std::pair<std::string, std::string>> describe_config(const CampaignC
   put("synth.probe_same_group_share", format_double(s.probe_same_group_share));
   put("v4_threshold", std::to_string(config.v4_threshold));
   put("v6_threshold", std::to_string(config.v6_threshold));
+  // detect_mode does not change artifact bytes (the stream engine is
+  // byte-identical to the full engine), but it changes the DAG shape a
+  // resume must rebuild, so it is manifest content.
+  put("detect_mode", config.stream_detect ? "stream" : "full");
   return kvs;
 }
 
@@ -668,7 +748,25 @@ CampaignConfig config_from_manifest(const RunManifest& manifest, std::string out
   get_double("synth.probe_same_group_share", s.probe_same_group_share);
   get_unsigned("v4_threshold", config.v4_threshold);
   get_unsigned("v6_threshold", config.v6_threshold);
+  const std::string detect_mode = get("detect_mode");
+  if (!detect_mode.empty()) config.stream_detect = detect_mode != "full";
   return config;
+}
+
+std::vector<StaleStage> stale_stages(const RunManifest& manifest, const std::string& out_dir) {
+  std::vector<StaleStage> stale;
+  for (const StageRecord& stage : manifest.stages) {
+    if (stage.status != "done" && stage.status != "cached") continue;
+    for (const OutputRecord& output : stage.outputs) {
+      const auto on_disk = hash_file(out_dir + "/" + output.path);
+      if (!on_disk) {
+        stale.push_back({stage.name, output.path, "missing"});
+      } else if (*on_disk != output.hash) {
+        stale.push_back({stage.name, output.path, "hash mismatch"});
+      }
+    }
+  }
+  return stale;
 }
 
 CampaignReport Campaign::run(bool resume, std::function<void(const StageResult&)> observer) {

@@ -65,6 +65,16 @@ struct CampaignConfig {
   /// DAG worker pool size; 0 picks the hardware concurrency, 1 runs the
   /// graph serially (the bench baseline).
   unsigned threads = 1;
+  /// Detection mode. `true` (the default) chains the months through one
+  /// sp::stream::StreamDetector: month m's detect stage applies the
+  /// corpus delta against month m-1's retained state and re-scores only
+  /// the dirty sources — the warm rolling pipeline. `false` re-runs the
+  /// exact engine from scratch every month. The pairs CSV bytes are
+  /// identical either way (the stream engine's byte-identity contract);
+  /// only the DAG shape differs (stream mode serializes the detect
+  /// chain), so the manifest records "detect_mode" and a cross-mode
+  /// resume re-runs just the detect stages.
+  bool stream_detect = true;
   /// Run directory: artifacts + manifest.json (created if missing).
   std::string out_dir;
   /// When non-empty, run() records one Chrome-trace span per stage
@@ -86,6 +96,22 @@ struct CampaignConfig {
 /// come from the caller — they are not manifest content.
 [[nodiscard]] CampaignConfig config_from_manifest(const RunManifest& manifest,
                                                   std::string out_dir, unsigned threads);
+
+/// A manifest record whose checkpoint looks healthy ("done"/"cached")
+/// but whose on-disk artifact no longer matches it.
+struct StaleStage {
+  std::string name;    // stage name, e.g. "sibdb[2020-09-11]"
+  std::string path;    // out_dir-relative artifact path
+  std::string reason;  // "missing" or "hash mismatch"
+};
+
+/// Revalidates every done/cached stage's recorded outputs against the
+/// files in `out_dir` (the same hash_file check resume performs).
+/// `sp_pipeline status` uses this to flag stages whose checkpoint hash
+/// is valid but whose artifact was deleted or corrupted since — "stale"
+/// rather than "done".
+[[nodiscard]] std::vector<StaleStage> stale_stages(const RunManifest& manifest,
+                                                   const std::string& out_dir);
 
 struct CampaignReport {
   bool ok = false;

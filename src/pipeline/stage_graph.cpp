@@ -1,24 +1,19 @@
 #include "pipeline/stage_graph.h"
 
-#include <sys/resource.h>
-
 #include <chrono>
 #include <deque>
 #include <stdexcept>
 #include <utility>
 
 #include "lint/lock_order.h"
+#include "obs/rss.h"
 #include "obs/trace.h"
 
 namespace sp::pipeline {
 
 namespace {
 
-long current_peak_rss_kb() {
-  struct rusage usage{};
-  ::getrusage(RUSAGE_SELF, &usage);
-  return usage.ru_maxrss;  // KB on Linux
-}
+long current_peak_rss_kb() { return obs::peak_rss_kb(); }
 
 }  // namespace
 

@@ -94,6 +94,14 @@ class SiblingDB {
   /// Total bytes mapped.
   [[nodiscard]] std::size_t mapped_bytes() const noexcept { return mapped_bytes_; }
 
+  /// The whole validated file image (header included). Lets consumers
+  /// hash or re-serialize the exact on-disk bytes — e.g. the SPDL delta
+  /// log binds its base_hash to these bytes rather than to a path that
+  /// may be replaced underneath the mapping.
+  [[nodiscard]] std::span<const std::uint8_t> raw_bytes() const noexcept {
+    return {data_, mapped_bytes_};
+  }
+
  private:
   SiblingDB() = default;
   void reset() noexcept;

@@ -3,18 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cmath>
 
 #include "core/detect_parallel.h"
-#include "core/detect_scan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sp::sketch {
 
 namespace {
-
-using core::detail::scan_source;
 
 constexpr std::size_t kChunk = 32;  // mirrors ParallelDetector's sharding
 
@@ -23,43 +19,14 @@ double elapsed_ms(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Exact shared-element count of two sorted spans (linear merge; same
-/// arithmetic the posting-list scan accumulates per candidate).
-std::uint32_t intersection_count(std::span<const core::DomainId> a,
-                                 std::span<const core::DomainId> b) noexcept {
-  std::uint32_t shared = 0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      ++shared;
-      ++i;
-      ++j;
-    }
-  }
-  return shared;
-}
-
-/// Worker-local accumulators, merged after the pool join.
+/// Worker-local accumulators, merged after the pool join. The per-source
+/// scan itself lives in sketch/scan_sketch.h, shared with sp::stream.
 struct Local {
   SketchStats stats;
   std::vector<core::SiblingPair> pairs;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> candidates;  // (dense, hits)
-  std::vector<std::uint32_t> lsh_counts;  // dense hit-count scratch
-  std::vector<double> estimates;
-  core::detail::ScanScratch scratch;
+  SketchScanScratch scan;
 
-  explicit Local(std::size_t target_prefixes) : scratch(target_prefixes) {}
-};
-
-struct Survivor {
-  std::uint32_t dense = 0;
-  std::uint32_t shared = 0;
-  double value = 0.0;
+  explicit Local(std::size_t target_prefixes) : scan(target_prefixes) {}
 };
 
 }  // namespace
@@ -87,10 +54,6 @@ void SketchDetector::detect_direction(const core::DetectIndex& index,
   const SignatureSet& from_signatures = sketch.signatures(from);
   const SignatureSet& to_signatures = sketch.signatures(to);
   const LshIndex& to_lsh = sketch.lsh(to);
-  const std::uint32_t k = params_.k;
-  // Non-Jaccard metrics cannot be ordered by a Jaccard estimate, so every
-  // source takes the exact path (correct, but no filtering win).
-  const bool use_sketch = metric == core::Metric::Jaccard;
 
   const std::size_t source_count = from_side.prefix_count();
   const unsigned thread_count = pool_.thread_count();
@@ -106,7 +69,6 @@ void SketchDetector::detect_direction(const core::DetectIndex& index,
     const obs::ScopedSpan span(std::string(direction) + ".shard" + std::to_string(worker),
                                "sketch");
     Local& local = locals[worker];
-    std::vector<Survivor> survivors;
     for (;;) {
       // sp-lint: atomics-ok(work-stealing chunk cursor; claims need no
       // ordering, only uniqueness — the pool join publishes results)
@@ -114,116 +76,9 @@ void SketchDetector::detect_direction(const core::DetectIndex& index,
       if (begin >= source_count) return;
       const std::size_t end = std::min(source_count, begin + kChunk);
       for (std::size_t s = begin; s < end; ++s) {
-        const auto source = static_cast<std::uint32_t>(s);
-        ++local.stats.sources_total;
-
-        const auto exact_fallback = [&] {
-          ++local.stats.sources_fallback;
-          scan_source(from_side, to_side, from, metric, source, local.scratch, local.pairs,
-                      local.stats.scan);
-        };
-
-        if (!use_sketch) {
-          exact_fallback();
-          continue;
-        }
-        const SignatureView signature = from_signatures.of(source);
-        if (signature.hashes.empty()) {
-          // Empty set: the exact scan would touch no candidate either.
-          ++local.stats.scan.prefixes_scanned;
-          continue;
-        }
-
-        to_lsh.candidates_of(signature, local.candidates, local.lsh_counts);
-        local.stats.lsh_candidates += local.candidates.size();
-        if (local.candidates.empty()) {
-          ++local.stats.fallback_no_candidates;
-          exact_fallback();
-          continue;
-        }
-
-        // Process candidates in descending bucket-hit order: the best
-        // estimate surfaces early, and every later merge whose hit bound
-        // cannot reach the margin is skipped. The skip is conservative —
-        // estimate_jaccard counts at most `hits` shared slots over at
-        // least min(k, max(|sig_a|, |sig_b|)) union slots, so
-        // hits / that floor upper-bounds the estimate. A skipped
-        // candidate therefore can neither raise best_estimate nor
-        // survive the margin cut, and the survivor set (and the output)
-        // is exactly what the unpruned pass would produce.
-        std::sort(local.candidates.begin(), local.candidates.end(),
-                  [](const auto& a, const auto& b) {
-                    return a.second != b.second ? a.second > b.second : a.first < b.first;
-                  });
-        const auto source_stored = static_cast<std::uint32_t>(signature.hashes.size());
-        local.estimates.clear();
-        double best_estimate = 0.0;
-        for (const auto& [candidate, hits] : local.candidates) {
-          const SignatureView candidate_signature = to_signatures.of(candidate);
-          const std::uint32_t floor_slots = std::min(
-              k, std::max(source_stored,
-                          static_cast<std::uint32_t>(candidate_signature.hashes.size())));
-          const double upper = static_cast<double>(hits) / floor_slots;
-          if (upper + params_.margin < best_estimate) {
-            ++local.stats.estimates_skipped;
-            local.estimates.push_back(-1.0);  // provably below the margin
-            continue;
-          }
-          const double estimate = estimate_jaccard(signature, candidate_signature, k);
-          local.estimates.push_back(estimate);
-          best_estimate = std::max(best_estimate, estimate);
-        }
-        if (best_estimate < params_.fallback_floor) {
-          ++local.stats.fallback_low_estimate;
-          exact_fallback();
-          continue;
-        }
-
-        // Exact-verify every candidate within the margin of the best
-        // estimate, with the same arithmetic the exact scan uses.
-        ++local.stats.scan.prefixes_scanned;
-        const auto elements = from_side.elements_of(source);
-        survivors.clear();
-        double best = 0.0;
-        for (std::size_t c = 0; c < local.candidates.size(); ++c) {
-          if (local.estimates[c] + params_.margin < best_estimate) continue;
-          const std::uint32_t candidate = local.candidates[c].first;
-          const std::uint32_t shared =
-              intersection_count(elements, to_side.elements_of(candidate));
-          const double value = core::similarity_from_sizes(metric, shared, elements.size(),
-                                                           to_side.set_size(candidate));
-          ++local.stats.survivors_verified;
-          ++local.stats.scan.candidates_evaluated;
-          local.stats.max_estimate_error =
-              std::max(local.stats.max_estimate_error, std::abs(local.estimates[c] - value));
-          best = std::max(best, value);
-          survivors.push_back({candidate, shared, value});
-        }
-        if (best < params_.fallback_floor) {
-          // The verified best is inside the regime where an LSH miss or an
-          // estimate inversion is conceivable — rerun exactly.
-          ++local.stats.fallback_low_exact;
-          exact_fallback();
-          continue;
-        }
-
-        const bool from_v4 = from == Family::v4;
-        const Prefix& source_prefix = from_side.prefixes[source];
-        const auto source_size = static_cast<std::uint32_t>(elements.size());
-        for (const Survivor& survivor : survivors) {
-          if (survivor.value + core::detail::kTieEpsilon < best) continue;
-          const Prefix& candidate_prefix = to_side.prefixes[survivor.dense];
-          const std::uint32_t candidate_size = to_side.set_size(survivor.dense);
-          core::SiblingPair pair;
-          pair.v4 = from_v4 ? source_prefix : candidate_prefix;
-          pair.v6 = from_v4 ? candidate_prefix : source_prefix;
-          pair.similarity = survivor.value;
-          pair.shared_domains = survivor.shared;
-          pair.v4_domain_count = from_v4 ? source_size : candidate_size;
-          pair.v6_domain_count = from_v4 ? candidate_size : source_size;
-          local.pairs.push_back(pair);
-          ++local.stats.scan.pairs_emitted;
-        }
+        scan_source_sketch(from_side, to_side, from_signatures, to_signatures, to_lsh, params_,
+                           from, metric, static_cast<std::uint32_t>(s), local.scan, local.pairs,
+                           local.stats);
       }
     }
   };

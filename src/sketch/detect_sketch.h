@@ -31,26 +31,10 @@
 #include "core/detect.h"
 #include "core/worker_pool.h"
 #include "sketch/lsh.h"
+#include "sketch/scan_sketch.h"
 #include "sketch/signature.h"
 
 namespace sp::sketch {
-
-/// Counters describing one sketch detection run (both directions).
-struct SketchStats {
-  /// Counters of the exact fallback scans (scan_source fills these) plus
-  /// the verified-survivor evaluations.
-  core::DetectStats scan;
-  std::size_t sources_total = 0;          // source prefixes processed
-  std::size_t sources_fallback = 0;       // routed to the exact scan
-  std::size_t fallback_no_candidates = 0;
-  std::size_t fallback_low_estimate = 0;
-  std::size_t fallback_low_exact = 0;     // paranoia: best survivor < floor
-  std::size_t lsh_candidates = 0;         // candidates the LSH produced
-  std::size_t estimates_skipped = 0;      // merges pruned by the hit bound
-  std::size_t survivors_verified = 0;     // exact intersections computed
-  double max_estimate_error = 0.0;        // max |estimate - exact| observed
-  double signature_build_ms = 0.0;
-};
 
 /// Signatures + LSH indexes for both families of a DetectIndex. Immutable
 /// after build; shared read-only by all detection workers.

@@ -1,0 +1,38 @@
+#include "stream/reload.h"
+
+#include <string_view>
+
+#include "stream/spdl.h"
+
+namespace sp::stream {
+
+bool is_spdl_path(const std::string& path) {
+  constexpr std::string_view kSuffix = ".spdl";
+  return path.size() >= kSuffix.size() &&
+         path.compare(path.size() - kSuffix.size(), kSuffix.size(), kSuffix) == 0;
+}
+
+std::string spdl_result_path(const std::string& spdl_path) {
+  const std::size_t slash = spdl_path.find_last_of('/');
+  const std::size_t dot = spdl_path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return spdl_path + ".sibdb";
+  }
+  return spdl_path.substr(0, dot) + ".sibdb";
+}
+
+bool apply_delta_and_reload(serve::SiblingService& service, const std::string& spdl_path,
+                            std::string* error) {
+  const std::shared_ptr<const serve::Snapshot> snapshot = service.snapshot();
+  if (snapshot == nullptr) {
+    if (error != nullptr) *error = "no snapshot loaded; a delta needs a base to patch";
+    return false;
+  }
+  const std::optional<SibdbDelta> delta = read_spdl(spdl_path, error);
+  if (!delta) return false;
+  const std::string result_path = spdl_result_path(spdl_path);
+  if (!apply_spdl(snapshot->db, *delta, result_path, error)) return false;
+  return service.load(result_path, error);
+}
+
+}  // namespace sp::stream

@@ -1,0 +1,38 @@
+// Delta hot-reload: applying an .spdl patch to a live SiblingService.
+//
+// The RELOAD control verbs of sp_serve and the net front-end accept a
+// path; when it ends in ".spdl" they route here instead of loading a
+// full snapshot. The currently served snapshot is the patch base — its
+// mapped bytes are hashed against the delta's base_hash, so a delta can
+// never be applied to a generation it was not diffed from, even when
+// the file behind the snapshot was replaced on disk after loading. The
+// patched snapshot is written next to the delta (extension swapped to
+// ".sibdb", tmp + rename) and swapped in through the ordinary
+// SiblingService::load RCU path: in-flight queries drain on the old
+// generation, new ones see the patched one.
+#pragma once
+
+#include <string>
+
+#include "serve/service.h"
+
+namespace sp::stream {
+
+/// True when `path` names a delta log by extension (".spdl") — the
+/// RELOAD verbs use this to pick the patch path over a full load.
+[[nodiscard]] bool is_spdl_path(const std::string& path);
+
+/// The snapshot path an applied delta is written to: `spdl_path` with
+/// its extension replaced by ".sibdb" (appended when there is none).
+[[nodiscard]] std::string spdl_result_path(const std::string& spdl_path);
+
+/// Reads the delta at `spdl_path`, patches the service's current
+/// snapshot, writes the result to spdl_result_path(spdl_path), and hot-
+/// swaps it in. On any failure — no snapshot loaded yet, invalid delta,
+/// base-hash mismatch, result-hash mismatch, I/O — returns false with a
+/// reason in `error` and the service keeps serving its current snapshot.
+[[nodiscard]] bool apply_delta_and_reload(serve::SiblingService& service,
+                                          const std::string& spdl_path,
+                                          std::string* error = nullptr);
+
+}  // namespace sp::stream

@@ -1,0 +1,107 @@
+// SPDL — the versioned, checksummed .spdl delta-log format between two
+// .sibdb snapshots.
+//
+// A rolling campaign publishes month N+1 as a small patch against month
+// N instead of shipping the full snapshot again: `diff_sibdb` compares
+// two loaded SiblingDBs into a SibdbDelta (removed keys + upserted
+// records), `write_spdl` serializes it, and `apply_spdl` patches a base
+// snapshot into the next one — verifying an FNV-1a64 hash of the base
+// file image before patching and of the produced image after, so a
+// delta can never be applied to the wrong base or produce a snapshot
+// that differs from the one the producer diffed against.
+//
+// File layout (little-endian, sections packed sequentially — the
+// canonical layout admits exactly one encoding per delta, which is what
+// makes the fuzz property "decode then encode reproduces the input
+// byte-for-byte" meaningful):
+//
+//   header   (112 bytes)
+//   removed  removed_count × 24B   {v4_addr u32, v4_len u8, v6_len u8,
+//                                   pad u8[2], v6_addr u8[16]}
+//   upserted upserted_count × 48B  {the same 24-byte key, similarity f64,
+//                                   shared u32, v4_count u32, v6_count
+//                                   u32, pad u8[4]}
+//   label    NUL-terminated source label of the target snapshot
+//
+// Decoding validates magic/version/endianness, the exact sequential
+// layout, the whole-file checksum (checksum field zeroed), zero pad
+// bytes, prefix canonicality, strictly ascending keys per section, and
+// that no key appears in both sections. Anything else is rejected with
+// a reason — never a crash, never a silently-mangled delta.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/detect.h"
+#include "netbase/prefix.h"
+#include "serve/sibdb.h"
+
+namespace sp::stream {
+
+/// Current .spdl format version; bumped on any layout change.
+inline constexpr std::uint32_t kSpdlVersion = 1;
+
+/// A (v4, v6) record key; .sibdb and .spdl lists are ordered by it.
+using SiblingKey = std::pair<Prefix, Prefix>;
+
+[[nodiscard]] inline SiblingKey sibling_key(const core::SiblingPair& pair) {
+  return {pair.v4, pair.v6};
+}
+
+/// The difference between two .sibdb snapshots: keys present only in the
+/// base, and full records that are new or changed in the target
+/// ("upsert wins" — apply replaces or inserts them).
+struct SibdbDelta {
+  std::vector<SiblingKey> removed;           // ascending; in base, not target
+  std::vector<core::SiblingPair> upserted;   // ascending by key
+  std::string label;                         // target snapshot's source label
+  std::uint64_t base_hash = 0;               // FNV-1a64 of the base file image
+  std::uint64_t base_pair_count = 0;
+  std::uint64_t result_hash = 0;             // FNV-1a64 of the target file image
+
+  [[nodiscard]] bool empty() const noexcept { return removed.empty() && upserted.empty(); }
+};
+
+/// FNV-1a64 over a whole file image (no field zeroing). This is the hash
+/// the delta binds its base and result snapshots with.
+[[nodiscard]] std::uint64_t sibdb_file_hash(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Diffs two loaded snapshots. Both must be sorted strictly ascending by
+/// (v4, v6) key — every snapshot the detection pipeline writes is — and
+/// `result_hash` assumes the target was produced by write_sibdb (the
+/// delta reproduces it via write_sibdb at apply time). Returns nullopt
+/// with a reason on unsorted input.
+[[nodiscard]] std::optional<SibdbDelta> diff_sibdb(const serve::SiblingDB& base,
+                                                   const serve::SiblingDB& target,
+                                                   std::string* error = nullptr);
+
+/// Serializes `delta` into the canonical .spdl image. The delta's lists
+/// must satisfy the invariants decode enforces (diff_sibdb's output
+/// always does); otherwise the image will be rejected by decode_spdl.
+[[nodiscard]] std::vector<std::uint8_t> encode_spdl(const SibdbDelta& delta);
+
+/// Parses and fully validates an .spdl image. Accepted images round-trip:
+/// encode_spdl(*decode_spdl(bytes)) == bytes.
+[[nodiscard]] std::optional<SibdbDelta> decode_spdl(std::span<const std::uint8_t> bytes,
+                                                    std::string* error = nullptr);
+
+[[nodiscard]] bool write_spdl(const std::string& path, const SibdbDelta& delta);
+
+[[nodiscard]] std::optional<SibdbDelta> read_spdl(const std::string& path,
+                                                  std::string* error = nullptr);
+
+/// Patches `base` with `delta` and writes the resulting snapshot to
+/// `out_path` (tmp file + rename, like the pipeline's atomic outputs).
+/// Fails without touching `out_path` when the base hash or pair count
+/// does not match the delta, a removed key is absent from the base, or
+/// the produced image's hash differs from the delta's result_hash.
+[[nodiscard]] bool apply_spdl(const serve::SiblingDB& base, const SibdbDelta& delta,
+                              const std::string& out_path, std::string* error = nullptr);
+
+}  // namespace sp::stream

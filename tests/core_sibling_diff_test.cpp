@@ -76,6 +76,72 @@ TEST(SiblingDiff, UnsortedInputsAreHandled) {
   EXPECT_EQ(diff.unchanged.size(), 2u);
 }
 
+// A pair that appears and disappears within one release window: the diff
+// against the surrounding releases nets out — neither added nor removed —
+// while each single-month diff sees the transient.
+TEST(SiblingDiff, PairAppearingAndDisappearingInOneMonthNetsOut) {
+  const std::vector<SiblingPair> month0 = {make("20.1.0.0/16", "2620:100::/48")};
+  const std::vector<SiblingPair> month1 = {
+      make("20.1.0.0/16", "2620:100::/48"),
+      make("20.7.0.0/16", "2620:700::/48"),  // the transient pair
+  };
+  const std::vector<SiblingPair> month2 = month0;
+
+  const auto up = diff_sibling_lists(month0, month1);
+  ASSERT_EQ(up.added.size(), 1u);
+  EXPECT_EQ(up.added[0].v4, Prefix::must_parse("20.7.0.0/16"));
+
+  const auto down = diff_sibling_lists(month1, month2);
+  ASSERT_EQ(down.removed.size(), 1u);
+  EXPECT_EQ(down.removed[0].v4, Prefix::must_parse("20.7.0.0/16"));
+
+  // Skipping the transient month sees no change at all.
+  EXPECT_TRUE(diff_sibling_lists(month0, month2).empty());
+}
+
+// The diff's value comparison tolerates sub-epsilon float drift (the
+// detection engines guarantee bit-identical doubles, but CSV round-trips
+// may not): a similarity nudge inside the tolerance is "unchanged", one
+// just past it is "changed".
+TEST(SiblingDiff, SimilarityDriftAroundEpsilonBoundary) {
+  const auto before = make("20.1.0.0/16", "2620:100::/48", 0.5);
+
+  auto within = before;
+  within.similarity = 0.5 + 1e-10;  // inside the 1e-9 tolerance
+  const auto same = diff_sibling_lists(std::vector{before}, std::vector{within});
+  EXPECT_TRUE(same.changed.empty());
+  ASSERT_EQ(same.unchanged.size(), 1u);
+
+  auto past = before;
+  past.similarity = 0.5 + 2e-9;  // just past it
+  const auto moved = diff_sibling_lists(std::vector{before}, std::vector{past});
+  ASSERT_EQ(moved.changed.size(), 1u);
+  EXPECT_TRUE(moved.unchanged.empty());
+  EXPECT_DOUBLE_EQ(moved.changed[0].after.similarity, past.similarity);
+}
+
+// A v6 prefix dies but its v4 partner keeps a sibling set: only the dead
+// pairing is removed; the surviving pairing of the same v4 prefix must
+// not be dragged along (pairs are keyed by the full (v4, v6) key).
+TEST(SiblingDiff, PrefixDeathWithSurvivingSiblingSet) {
+  const std::vector<SiblingPair> old_list = {
+      make("20.1.0.0/16", "2620:100::/48", 0.9),
+      make("20.1.0.0/16", "2620:101::/48", 0.9),  // tie pair, dies with its v6
+      make("20.2.0.0/16", "2620:200::/48", 0.7),
+  };
+  const std::vector<SiblingPair> new_list = {
+      make("20.1.0.0/16", "2620:100::/48", 0.9),  // survives unchanged
+      make("20.2.0.0/16", "2620:200::/48", 0.7),
+  };
+
+  const auto diff = diff_sibling_lists(old_list, new_list);
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0].v6, Prefix::must_parse("2620:101::/48"));
+  EXPECT_TRUE(diff.added.empty());
+  EXPECT_TRUE(diff.changed.empty());
+  EXPECT_EQ(diff.unchanged.size(), 2u);
+}
+
 TEST(SiblingDiff, EmptyInputs) {
   const std::vector<SiblingPair> list = {make("20.1.0.0/16", "2620:100::/48")};
   EXPECT_EQ(diff_sibling_lists({}, list).added.size(), 1u);

@@ -1,0 +1,168 @@
+// The rolling-campaign contract: stream mode (the default — one
+// StreamDetector chained across the months) produces artifacts
+// byte-identical to full mode (from-scratch detection per month); the
+// per-month .spdl delta logs chain each sibdb snapshot to the next; and
+// stale_stages catches checkpoints whose on-disk artifact was deleted or
+// corrupted after the run ("stale", not "done").
+#include "pipeline/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/sibdb.h"
+#include "stream/spdl.h"
+
+namespace sp::pipeline {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+CampaignConfig small_config(std::string out_dir, bool stream_detect) {
+  CampaignConfig config;
+  config.synth.months = 3;
+  config.synth.organization_count = 50;
+  config.synth.probe_count = 50;
+  config.threads = 2;
+  config.stream_detect = stream_detect;
+  config.out_dir = std::move(out_dir);
+  return config;
+}
+
+RunManifest load_manifest(const std::string& out_dir) {
+  std::string error;
+  const auto manifest = RunManifest::load(Campaign::manifest_path(out_dir), &error);
+  EXPECT_TRUE(manifest.has_value()) << error;
+  return manifest.value_or(RunManifest{});
+}
+
+/// Sorted out_dir-relative paths matching `prefix`…`suffix` (dates sort
+/// lexicographically, so this is month order).
+std::vector<std::string> artifacts_matching(const std::string& out_dir,
+                                            const std::string& prefix,
+                                            const std::string& suffix) {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(out_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() >= prefix.size() + suffix.size() && name.starts_with(prefix) &&
+        name.ends_with(suffix)) {
+      paths.push_back(name);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(PipelineStream, StreamAndFullModesProduceIdenticalArtifacts) {
+  const std::string dir_stream = fresh_dir("sp_campaign_stream");
+  const std::string dir_full = fresh_dir("sp_campaign_fullmode");
+
+  const auto stream_report = Campaign(small_config(dir_stream, true)).run(/*resume=*/false);
+  ASSERT_TRUE(stream_report.ok) << stream_report.error;
+  const auto full_report = Campaign(small_config(dir_full, false)).run(/*resume=*/false);
+  ASSERT_TRUE(full_report.ok) << full_report.error;
+
+  // The schedule is the same either way (sibdelta stages diff the sibdb
+  // artifacts, so they run in both modes); only the detect DAG shape and
+  // engine differ.
+  EXPECT_EQ(stream_report.done_count, full_report.done_count);
+
+  // Every artifact of the full run must exist byte-identically in the
+  // stream run — the pairs CSVs are the detect stages' outputs, so this
+  // is the incremental-vs-scratch identity check at campaign scope.
+  const RunManifest full_manifest = load_manifest(dir_full);
+  std::size_t compared = 0;
+  for (const StageRecord& stage : full_manifest.stages) {
+    for (const OutputRecord& output : stage.outputs) {
+      EXPECT_EQ(read_file(dir_stream + "/" + output.path),
+                read_file(dir_full + "/" + output.path))
+          << output.path;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 10u);
+
+  // The manifests disagree only about detect_mode and the extra stages.
+  const RunManifest stream_manifest = load_manifest(dir_stream);
+  EXPECT_EQ(stream_manifest.config_value("detect_mode"), "stream");
+  EXPECT_EQ(full_manifest.config_value("detect_mode"), "full");
+}
+
+TEST(PipelineStream, DeltaLogsChainSnapshotsAcrossMonths) {
+  const std::string dir = fresh_dir("sp_campaign_deltachain");
+  const auto report = Campaign(small_config(dir, true)).run(/*resume=*/false);
+  ASSERT_TRUE(report.ok) << report.error;
+
+  const auto sibdbs = artifacts_matching(dir, "siblings-", ".sibdb");
+  const auto deltas = artifacts_matching(dir, "delta-", ".spdl");
+  ASSERT_EQ(sibdbs.size(), 3u);
+  ASSERT_EQ(deltas.size(), 2u);  // months 1..2, each against its predecessor
+
+  for (std::size_t m = 0; m < deltas.size(); ++m) {
+    std::string error;
+    const auto base = serve::SiblingDB::load(dir + "/" + sibdbs[m], &error);
+    ASSERT_TRUE(base.has_value()) << error;
+    const auto delta = stream::read_spdl(dir + "/" + deltas[m], &error);
+    ASSERT_TRUE(delta.has_value()) << error;
+    const std::string patched = dir + "/patched-" + std::to_string(m) + ".sibdb";
+    ASSERT_TRUE(stream::apply_spdl(*base, *delta, patched, &error)) << error;
+    EXPECT_EQ(read_file(patched), read_file(dir + "/" + sibdbs[m + 1]))
+        << deltas[m] << " applied to " << sibdbs[m];
+  }
+}
+
+TEST(PipelineStream, StaleStagesFlagsMissingAndCorruptedArtifacts) {
+  const std::string dir = fresh_dir("sp_campaign_stale");
+  const auto report = Campaign(small_config(dir, true)).run(/*resume=*/false);
+  ASSERT_TRUE(report.ok) << report.error;
+  const RunManifest manifest = load_manifest(dir);
+
+  // A healthy run has nothing stale.
+  EXPECT_TRUE(stale_stages(manifest, dir).empty());
+
+  // Delete one artifact and corrupt another.
+  const auto sibdbs = artifacts_matching(dir, "siblings-", ".sibdb");
+  ASSERT_GE(sibdbs.size(), 2u);
+  std::filesystem::remove(dir + "/" + sibdbs[0]);
+  {
+    std::fstream file(dir + "/" + sibdbs[1],
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(0);
+    file.put('X');  // clobber the magic
+  }
+
+  const auto stale = stale_stages(manifest, dir);
+  ASSERT_EQ(stale.size(), 2u);
+  const auto find_reason = [&](const std::string& path) {
+    for (const StaleStage& entry : stale) {
+      if (entry.path == path) return entry.reason;
+    }
+    return std::string("not reported");
+  };
+  EXPECT_EQ(find_reason(sibdbs[0]), "missing");
+  EXPECT_EQ(find_reason(sibdbs[1]), "hash mismatch");
+  for (const StaleStage& entry : stale) {
+    EXPECT_TRUE(entry.name.starts_with("sibdb[")) << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace sp::pipeline
