@@ -33,6 +33,13 @@
 //
 //   sp_pipeline <rib.mrt> <snapshot.csv> <out.csv> [v4_threshold v6_threshold]
 //   sp_pipeline --demo                # generate inputs, then run on them
+//
+// Campaign runs stop gracefully on SIGINT/SIGTERM: the in-flight stage
+// finishes, everything not yet started is recorded as skipped, and the
+// manifest stays resumable — `sp_pipeline resume <out_dir>` converges to
+// the byte-identical artifacts of an uninterrupted run.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -143,6 +150,20 @@ int demo() {
 
 // --- Campaign mode -------------------------------------------------------
 
+// SIGINT/SIGTERM graceful stop. A lock-free std::atomic<bool> store is
+// async-signal-safe; the stage graph polls it between stage dispatches.
+std::atomic<bool> g_campaign_stop{false};
+static_assert(std::atomic<bool>::is_always_lock_free);
+
+void handle_campaign_stop(int) { g_campaign_stop.store(true); }
+
+void install_campaign_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_campaign_stop;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
 void print_stage(const pipeline::StageResult& result) {
   if (result.status == pipeline::StageStatus::Failed ||
       result.status == pipeline::StageStatus::Skipped) {
@@ -161,11 +182,20 @@ int run_campaign(pipeline::Campaign campaign, bool resume) {
     std::fprintf(stderr, "error: %s\n", report.error.c_str());
     return 1;
   }
+  const bool interrupted = g_campaign_stop.load();
   std::printf("%s: %zu done, %zu cached, %zu failed, %zu skipped in %.1f ms "
               "(peak RSS %ld KB)\nmanifest: %s\n",
-              report.ok ? "OK" : "FAILED", report.done_count, report.cached_count,
-              report.failed_count, report.skipped_count, report.total_wall_ms,
-              report.peak_rss_kb, report.manifest_path.c_str());
+              report.ok ? "OK" : (interrupted ? "INTERRUPTED" : "FAILED"), report.done_count,
+              report.cached_count, report.failed_count, report.skipped_count,
+              report.total_wall_ms, report.peak_rss_kb, report.manifest_path.c_str());
+  if (interrupted) {
+    std::printf("interrupted by signal; `sp_pipeline resume %s` picks up the "
+                "skipped stages\n",
+                campaign.config().out_dir.c_str());
+    // The conventional "killed by signal" exit status, so supervisors and
+    // the signal-resume smoke can tell a graceful stop from a failure.
+    return 130;
+  }
   return report.ok ? 0 : 1;
 }
 
@@ -197,6 +227,8 @@ int campaign_run(int argc, char** argv) {
       return 2;
     }
   }
+  install_campaign_signal_handlers();
+  config.stop_flag = &g_campaign_stop;
   return run_campaign(pipeline::Campaign(std::move(config)), /*resume=*/false);
 }
 
@@ -221,6 +253,8 @@ int campaign_resume(int argc, char** argv) {
   }
   auto config = pipeline::config_from_manifest(*manifest, out_dir, threads);
   config.trace_path = std::move(trace_path);
+  install_campaign_signal_handlers();
+  config.stop_flag = &g_campaign_stop;
   return run_campaign(pipeline::Campaign(std::move(config)), /*resume=*/true);
 }
 

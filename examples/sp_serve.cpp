@@ -148,6 +148,12 @@ int run_listen(int argc, char** argv) {
     ::nanosleep(&nap, nullptr);
   }
   server.stop();
+  // Machine-readable shutdown marker, mirroring LISTENING. A supervisor
+  // tailing stdout may be gone by now (`| head -1`), making this write
+  // hit a dead pipe — exactly the case the SIG_IGN(SIGPIPE) in main()
+  // exists for; scripts/tier1.sh asserts we exit 0 here, not die on 141.
+  std::printf("STOPPED %s:%u\n", config.host.c_str(), server.port());
+  std::fflush(stdout);
   const net::ServerStats stats = server.stats();
   std::fprintf(stderr,
                "served %llu connections, %llu frames, %llu queries (%llu hits), "
@@ -163,6 +169,11 @@ int run_listen(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A dead peer must never kill the service: the TCP path already sends
+  // with MSG_NOSIGNAL, but stdout/stderr may be pipes (a supervisor, a
+  // `| head`) whose reader can exit first — without SIG_IGN the next
+  // printf would terminate the process mid-serve with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc >= 2 && std::string(argv[1]) == "--convert") {
     if (argc != 4) return usage();
     std::string error;

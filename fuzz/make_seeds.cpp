@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/corrupt.h"
 #include "core/detect.h"
 #include "io/csv.h"
 #include "mrt/codec.h"
@@ -131,8 +132,25 @@ bool make_sibdb_seeds(const fs::path& root) {
   std::ifstream in(valid, std::ios::binary);
   std::vector<char> head(128);
   in.read(head.data(), static_cast<std::streamsize>(head.size()));
-  return write_seed(root / "sibdb_open", "truncated.sibdb", head.data(),
-                    static_cast<std::size_t>(in.gcount()));
+  if (!write_seed(root / "sibdb_open", "truncated.sibdb", head.data(),
+                  static_cast<std::size_t>(in.gcount()))) {
+    return false;
+  }
+
+  // The soak harness's corrupt-swap variants (sp::chaos): the corpus
+  // covers exactly the damage the chaos RELOAD churn throws at a live
+  // server, so fuzzing and soaking exercise the same reject boundary.
+  const auto loaded = sp::serve::SiblingDB::load(valid);
+  if (!loaded) return false;
+  for (const sp::chaos::CorruptKind kind : sp::chaos::kAllCorruptKinds) {
+    const std::string name =
+        std::string("chaos_") + std::string(sp::chaos::to_string(kind)) + ".sibdb";
+    if (!write_seed(root / "sibdb_open", name,
+                    sp::chaos::corrupt_image(loaded->raw_bytes(), kind, /*seed=*/1))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool make_net_frame_seeds(const fs::path& root) {
@@ -271,7 +289,19 @@ bool make_stream_delta_seeds(const fs::path& root) {
   }
   std::vector<std::uint8_t> future = image;
   future[8] = 0xff;  // version field, little-endian u32 at offset 8
-  return write_seed(root / "stream_delta", "future_version.spdl", future);
+  if (!write_seed(root / "stream_delta", "future_version.spdl", future)) return false;
+
+  // The soak harness's corrupt-swap variants (sp::chaos), mirroring the
+  // sibdb_open corpus: same seeded damage, applied to the delta format.
+  for (const sp::chaos::CorruptKind kind : sp::chaos::kAllCorruptKinds) {
+    const std::string name =
+        std::string("chaos_") + std::string(sp::chaos::to_string(kind)) + ".spdl";
+    if (!write_seed(root / "stream_delta", name,
+                    sp::chaos::corrupt_image(image, kind, /*seed=*/1))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace

@@ -5,8 +5,11 @@
 # parser-heavy I/O (CSV fuzz round-trip, Happy Eyeballs, manifest
 # UTF-8), a loopback end-to-end smoke of the sp_serve TCP front-end, a
 # sketch-vs-exact identity smoke on a scaled universe, an
-# incremental-vs-scratch stream identity smoke, and the project linter
-# (sp_lint) over the whole tree.
+# incremental-vs-scratch stream identity smoke, a chaos soak smoke
+# (seeded fault injection against the serve path — plain with RSS/p99
+# bounds, under ASan, and in external mode against a real sp_serve —
+# plus a SIGINT-and-resume smoke on sp_pipeline), and the project
+# linter (sp_lint) over the whole tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,16 +37,20 @@ cmake --build build -j "$JOBS"
 # the exact engine, so a race would also surface as a wrong answer).
 # The stream suites race the delta re-scan workers (byte-identity with
 # the exact engine across thread counts) and delta hot-reloads against
-# concurrent sp_serve queries.
+# concurrent sp_serve queries. The chaos soak suite races the entire
+# serving stack at once — probe threads, fault injection, RELOAD churn —
+# and the signal suite races the graceful-stop flag against the DAG
+# scheduler's in-flight stages.
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target core_detect_parallel_test \
   core_sptuner_parallel_test serve_lookup_test serve_service_test \
   core_worker_pool_test pipeline_stage_graph_test \
   obs_metrics_test obs_trace_test net_server_test net_protocol_test \
   sketch_detect_test sketch_signature_test \
-  stream_detector_test stream_spdl_test stream_serve_delta_test
+  stream_detector_test stream_spdl_test stream_serve_delta_test \
+  chaos_scenario_test chaos_soak_test pipeline_signal_test
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|WorkerPool|Obs|NetServer|NetProtocol|Sketch|Signature|Lsh|SynthScale|Stream' \
+  -R 'DetectParallel|Parallel|Serve|PipelineStageGraph|PipelineSignal|WorkerPool|Obs|NetServer|NetProtocol|Sketch|Signature|Lsh|SynthScale|Stream|Chaos' \
   -E 'ReloadChurn')
 
 # Stage 3: memory-safety pass over the byte-level parsers under
@@ -92,6 +99,26 @@ if command -v curl > /dev/null; then
 fi
 kill -INT "$SERVE_PID" && wait "$SERVE_PID"
 
+# SIGPIPE regression: a supervisor tailing our stdout can exit first
+# (`| head -1` reads the LISTENING line and quits), so the STOPPED line
+# written at shutdown hits a dead pipe. Without the SIG_IGN(SIGPIPE) in
+# sp_serve's main() the write kills the process (exit 141 / SIGPIPE);
+# with it the write fails harmlessly and shutdown completes with 0.
+./build/examples/sp_serve --listen 127.0.0.1:0 "$SMOKE_DIR/pairs.sibdb" --workers 1 \
+  > >(head -1 > "$SMOKE_DIR/sigpipe.out") 2> /dev/null &
+SIGPIPE_PID=$!
+for _ in $(seq 100); do
+  grep -q '^LISTENING ' "$SMOKE_DIR/sigpipe.out" 2> /dev/null && break
+  sleep 0.1
+done
+sleep 0.3  # let the head reader exit so the stdout pipe is truly dead
+kill -INT "$SIGPIPE_PID"
+wait "$SIGPIPE_PID" && SIGPIPE_STATUS=0 || SIGPIPE_STATUS=$?
+if [ "$SIGPIPE_STATUS" -ne 0 ]; then
+  echo "tier1: sp_serve died writing to a dead stdout pipe (status $SIGPIPE_STATUS)" >&2
+  exit 1
+fi
+
 # Stage 5: sketch-at-scale smoke — both detection engines on a scaled
 # universe (replicated hypergiant edge clusters, the regime the sketch
 # filter exists for); sp_sketch_scale exits non-zero on any byte
@@ -106,7 +133,64 @@ kill -INT "$SERVE_PID" && wait "$SERVE_PID"
 # first byte difference; see DESIGN.md §3.8 for the dirty-set argument).
 ./build/examples/sp_stream_smoke --months 3 --threads 2
 
-# Stage 7: the project linter. Every finding in the tree must either be
+# Stage 7: chaos soak smoke — sp_soak runs a seeded fault schedule
+# (query bursts, slow and mid-frame-disconnecting readers, connection
+# floods, RELOAD churn with valid, delta and corrupt images) against the
+# serve path and audits every invariant: liveness, corrupt-swap
+# rejection, per-generation query conservation, a byte-correct final
+# sweep against a fresh oracle. Three flavors:
+#
+# (a) plain build with hard resource bounds. The RSS ceiling is the
+#     regression net for the retired-snapshot engine retention bug: the
+#     service used to keep up to 64 retired snapshots (≈80 MB of
+#     DIR-24-8 tables each) alive just for their tally counters, so
+#     reload churn pushed peak RSS past 3 GB. Post-fix the same run
+#     stays under ~300 MB; 900 MB trips only on a regression.
+./build/tools/sp_soak --dir "$SMOKE_DIR/soak" --seconds 12 --seed 7 \
+  --max-rss-kb 900000 --max-p99-us 50000
+#
+# (b) the same driver under ASan/UBSan: memory-safety over the whole
+#     serving stack while faults fly (no RSS/p99 bounds — ASan inflates
+#     both).
+cmake --build build-asan -j "$JOBS" --target sp_soak
+./build-asan/tools/sp_soak --dir "$SMOKE_DIR/soak-asan" --seconds 12 --seed 8
+#
+# (c) external mode against a real sp_serve --listen process — the
+#     actual shipped binary, its signal handling and stdout contract
+#     included. In-process-only audits (conservation, RSS) don't apply;
+#     liveness, rejection and the final sweep do.
+./build/examples/sp_serve --listen 127.0.0.1:0 "$SMOKE_DIR/pairs.sibdb" --workers 2 \
+  > "$SMOKE_DIR/soak-serve.out" 2> "$SMOKE_DIR/soak-serve.err" &
+SOAK_SERVE_PID=$!
+for _ in $(seq 100); do
+  grep -q '^LISTENING ' "$SMOKE_DIR/soak-serve.out" && break
+  sleep 0.1
+done
+SOAK_PORT="$(sed -n 's/^LISTENING .*:\([0-9]*\)$/\1/p' "$SMOKE_DIR/soak-serve.out")"
+[ -n "$SOAK_PORT" ] || { echo "tier1: soak sp_serve never bound" >&2; exit 1; }
+./build/tools/sp_soak --dir "$SMOKE_DIR/soak-ext" --seconds 10 --seed 9 \
+  --connect "127.0.0.1:$SOAK_PORT"
+kill -INT "$SOAK_SERVE_PID" && wait "$SOAK_SERVE_PID"
+
+# Signal-and-resume smoke: a real SIGINT to a real sp_pipeline process
+# mid-campaign. Graceful stop exits 130 (or 0 if the campaign won the
+# race and finished); resume must then converge to a complete manifest.
+# The library-level byte-identity proof lives in pipeline_signal_test;
+# this checks the process-level signal plumbing.
+./build/examples/sp_pipeline run "$SMOKE_DIR/camp" --months 12 --orgs 1500 --threads 2 \
+  > "$SMOKE_DIR/camp.out" 2>&1 &
+CAMP_PID=$!
+sleep 1
+kill -INT "$CAMP_PID" 2> /dev/null || true
+wait "$CAMP_PID" && CAMP_STATUS=0 || CAMP_STATUS=$?
+if [ "$CAMP_STATUS" -ne 130 ] && [ "$CAMP_STATUS" -ne 0 ]; then
+  echo "tier1: sp_pipeline SIGINT exited $CAMP_STATUS (want 130 or 0)" >&2
+  cat "$SMOKE_DIR/camp.out" >&2
+  exit 1
+fi
+./build/examples/sp_pipeline resume "$SMOKE_DIR/camp" --threads 2
+
+# Stage 8: the project linter. Every finding in the tree must either be
 # fixed or carry an explicit sp-lint suppression with a reason; zero
 # unsuppressed findings is the bar (see DESIGN.md §3.5).
 cmake --build build -j "$JOBS" --target sp_lint

@@ -1,0 +1,62 @@
+#include "chaos/corrupt.h"
+
+#include "synth/determinism.h"
+
+namespace sp::chaos {
+
+std::string_view to_string(CorruptKind kind) noexcept {
+  switch (kind) {
+    case CorruptKind::TruncatedHeader: return "truncated_header";
+    case CorruptKind::TruncatedBody: return "truncated_body";
+    case CorruptKind::FlippedBit: return "flipped_bit";
+    case CorruptKind::BadMagic: return "bad_magic";
+    case CorruptKind::FutureVersion: return "future_version";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> corrupt_image(std::span<const std::uint8_t> image, CorruptKind kind,
+                                        std::uint64_t seed) {
+  std::vector<std::uint8_t> out(image.begin(), image.end());
+  const std::uint64_t tag = static_cast<std::uint64_t>(kind);
+  switch (kind) {
+    case CorruptKind::TruncatedHeader: {
+      // Keep 8..15 bytes: enough for the magic, never a whole header.
+      const std::size_t keep = 8 + synth::pick(8, seed, tag, 0xC0);
+      if (out.size() > keep) out.resize(keep);
+      return out;
+    }
+    case CorruptKind::TruncatedBody: {
+      // Cut somewhere in the second half so the declared sizes and the
+      // trailing checksum can no longer both hold.
+      if (out.size() < 2) return out;
+      const std::size_t cut =
+          out.size() / 2 + synth::pick(out.size() - out.size() / 2 - 1, seed, tag, 0xC1);
+      out.resize(cut);
+      return out;
+    }
+    case CorruptKind::FlippedBit: {
+      if (out.empty()) return out;
+      // Flip one bit in the middle third: squarely inside checksummed
+      // payload, away from fields a reader might ignore.
+      const std::size_t lo = out.size() / 3;
+      const std::size_t span = out.size() - 2 * lo;
+      const std::size_t at = lo + synth::pick(span == 0 ? 1 : span, seed, tag, 0xC2);
+      out[at] ^= static_cast<std::uint8_t>(1u << synth::pick(8, seed, tag, 0xC3));
+      return out;
+    }
+    case CorruptKind::BadMagic: {
+      if (!out.empty()) out[0] = 0;
+      return out;
+    }
+    case CorruptKind::FutureVersion: {
+      // Both .sibdb and .spdl carry a little-endian u32 version at
+      // offset 8, right after the 8-byte magic.
+      for (std::size_t i = 8; i < out.size() && i < 12; ++i) out[i] = 0xff;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace sp::chaos

@@ -1,0 +1,43 @@
+// Deterministic corruption of serving-path artifacts (.sibdb snapshots,
+// .spdl delta logs) for the chaos/soak harness and the fuzz seed corpora.
+//
+// Every variant is a pure function of (image, kind, seed) — the same
+// valid file and seed always produce the same corrupt bytes, so a soak
+// failure replays exactly and interesting inputs can be promoted into
+// fuzz/corpus/ verbatim (fuzz/make_seeds.cpp does exactly that).
+//
+// The contract: a compliant reader (serve::SiblingDB::load,
+// stream::decode_spdl) must REJECT every variant. The soak driver
+// re-verifies this at fixture-build time so a format change that
+// accidentally moves a variant onto the accept path fails loudly instead
+// of silently weakening the corrupt-swap invariant.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace sp::chaos {
+
+enum class CorruptKind : std::uint8_t {
+  TruncatedHeader,  // only the first few bytes survive: magic parses, sizes don't
+  TruncatedBody,    // cut at a seeded offset past the header: checksum can't verify
+  FlippedBit,       // one seeded payload bit flipped: checksum mismatch
+  BadMagic,         // first byte zeroed: not this format at all
+  FutureVersion,    // version field (u32 at offset 8 in both formats) maxed out
+};
+
+inline constexpr std::array<CorruptKind, 5> kAllCorruptKinds = {
+    CorruptKind::TruncatedHeader, CorruptKind::TruncatedBody, CorruptKind::FlippedBit,
+    CorruptKind::BadMagic, CorruptKind::FutureVersion,
+};
+
+[[nodiscard]] std::string_view to_string(CorruptKind kind) noexcept;
+
+/// Produces a corrupt variant of a valid image. Pure and deterministic.
+[[nodiscard]] std::vector<std::uint8_t> corrupt_image(std::span<const std::uint8_t> image,
+                                                      CorruptKind kind, std::uint64_t seed);
+
+}  // namespace sp::chaos

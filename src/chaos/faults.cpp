@@ -1,0 +1,219 @@
+#include "chaos/faults.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "synth/determinism.h"
+
+namespace sp::chaos {
+namespace {
+
+FaultOutcome fail(FaultOutcome outcome, std::string error) {
+  outcome.ok = false;
+  outcome.error = std::move(error);
+  return outcome;
+}
+
+std::optional<net::Client> connect_target(const FaultTarget& target, FaultOutcome& outcome) {
+  std::string error;
+  auto client = net::Client::connect(target.host, target.port, &error);
+  if (!client) ++outcome.connect_failures;
+  return client;
+}
+
+/// `count` keys drawn deterministically from the soak key universe.
+std::vector<Prefix> pick_keys(std::span<const Prefix> keys, std::size_t count,
+                              std::uint64_t seed, std::uint64_t salt) {
+  std::vector<Prefix> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(keys[synth::pick(keys.size(), seed, salt, i)]);
+  return out;
+}
+
+/// Closes `client` with SO_LINGER {on, 0s}: the kernel sends RST instead
+/// of FIN, discarding anything the server still has queued toward us.
+void abort_with_rst(net::Client& client) {
+  const linger hard{1, 0};
+  ::setsockopt(client.fd(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  client.close();
+}
+
+/// Reads QUERY responses and checks the structural contract: ids echo in
+/// pipeline order, answer counts match the request, generation non-zero.
+bool drain_responses(net::Client& client, const std::vector<net::QueryRequest>& requests,
+                     FaultOutcome& outcome) {
+  for (const auto& request : requests) {
+    std::string error;
+    auto frame = client.read_frame(&error);
+    if (!frame) {
+      outcome = fail(std::move(outcome), "no response for request " +
+                                             std::to_string(request.request_id) + ": " + error);
+      return false;
+    }
+    if (frame->type != static_cast<std::uint8_t>(net::FrameType::kQueryResponse)) {
+      outcome = fail(std::move(outcome),
+                     "unexpected frame type " + std::to_string(frame->type));
+      return false;
+    }
+    auto response = net::parse_query_response(frame->body, &error);
+    if (!response) {
+      outcome = fail(std::move(outcome), "bad query response: " + error);
+      return false;
+    }
+    if (response->request_id != request.request_id) {
+      outcome = fail(std::move(outcome),
+                     "out-of-order response: want id " + std::to_string(request.request_id) +
+                         ", got " + std::to_string(response->request_id));
+      return false;
+    }
+    if (response->answers.size() != request.keys.size()) {
+      outcome = fail(std::move(outcome),
+                     "answer count mismatch: sent " + std::to_string(request.keys.size()) +
+                         " keys, got " + std::to_string(response->answers.size()));
+      return false;
+    }
+    if (response->generation == 0) {
+      outcome = fail(std::move(outcome), "response carries generation 0 (no snapshot?)");
+      return false;
+    }
+    ++outcome.responses_read;
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultOutcome query_burst(const FaultTarget& target, const ChaosEvent& event,
+                         std::span<const Prefix> keys) {
+  FaultOutcome outcome;
+  if (keys.empty()) return fail(std::move(outcome), "query_burst: empty key universe");
+  auto client = connect_target(target, outcome);
+  if (!client) return outcome;  // exhaustion window; the soak's probe thread judges liveness
+
+  const std::size_t frames = event.intensity;
+  std::vector<net::QueryRequest> requests;
+  std::vector<std::uint8_t> wire;
+  for (std::size_t f = 0; f < frames; ++f) {
+    net::QueryRequest request;
+    request.request_id = static_cast<std::uint32_t>(synth::mix(event.seed, 0xB0, f));
+    request.keys = pick_keys(keys, 1 + synth::pick(31, event.seed, 0xB1, f), event.seed, f);
+    net::encode_query_request(wire, request);
+    outcome.queries_sent += request.keys.size();
+    requests.push_back(std::move(request));
+  }
+  std::string error;
+  if (!client->send_bytes(wire, &error))
+    return fail(std::move(outcome), "burst send failed: " + error);
+  drain_responses(*client, requests, outcome);
+  return outcome;
+}
+
+FaultOutcome slow_reader(const FaultTarget& target, const ChaosEvent& event,
+                         std::span<const Prefix> keys) {
+  FaultOutcome outcome;
+  if (keys.empty()) return fail(std::move(outcome), "slow_reader: empty key universe");
+  auto client = connect_target(target, outcome);
+  if (!client) return outcome;
+
+  // Big batches: enough response bytes to cross a small soak high_water
+  // and trigger a backpressure pause while we refuse to read.
+  const std::size_t frames = 2 + event.intensity;
+  std::vector<net::QueryRequest> requests;
+  std::vector<std::uint8_t> wire;
+  for (std::size_t f = 0; f < frames; ++f) {
+    net::QueryRequest request;
+    request.request_id = static_cast<std::uint32_t>(synth::mix(event.seed, 0xB2, f));
+    request.keys = pick_keys(keys, 256, event.seed, f ^ 0x51);
+    net::encode_query_request(wire, request);
+    outcome.queries_sent += request.keys.size();
+    requests.push_back(std::move(request));
+  }
+  std::string error;
+  if (!client->send_bytes(wire, &error))
+    return fail(std::move(outcome), "slow_reader send failed: " + error);
+
+  // The stall: responses pile up server-side. Duration is seeded, short
+  // enough for smoke mode, long enough for the pause sweep to see it.
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(20 + synth::pick(60, event.seed, 0xB3)));
+
+  if (synth::pick(2, event.seed, 0xB4) == 0) {
+    drain_responses(*client, requests, outcome);  // pause must resume and flush
+  } else {
+    abort_with_rst(*client);  // server sheds the wedged connection
+  }
+  return outcome;
+}
+
+FaultOutcome mid_frame_disconnect(const FaultTarget& target, const ChaosEvent& event) {
+  FaultOutcome outcome;
+  auto client = connect_target(target, outcome);
+  if (!client) return outcome;
+
+  // A QUERY header promising more body than we will ever send; the
+  // decoder buffers it and the disconnect arrives mid-frame.
+  const std::uint32_t promised = 64 + static_cast<std::uint32_t>(
+                                          synth::pick(512, event.seed, 0xB5));
+  std::vector<std::uint8_t> wire;
+  wire.push_back(static_cast<std::uint8_t>(net::FrameType::kQuery));
+  net::put_u32(wire, promised);
+  const std::size_t partial = synth::pick(promised, event.seed, 0xB6);
+  for (std::size_t i = 0; i < partial; ++i)
+    wire.push_back(static_cast<std::uint8_t>(synth::pick(256, event.seed, 0xB7, i)));
+  std::string error;
+  if (!client->send_bytes(wire, &error))
+    return fail(std::move(outcome), "mid_frame send failed: " + error);
+  if (synth::pick(2, event.seed, 0xB8) == 0) {
+    abort_with_rst(*client);
+  } else {
+    client->close();  // clean FIN with a half-frame buffered
+  }
+  return outcome;
+}
+
+FaultOutcome connection_flood(const FaultTarget& target, const ChaosEvent& event,
+                              std::size_t max_connections) {
+  FaultOutcome outcome;
+  std::size_t want = static_cast<std::size_t>(8) * event.intensity;
+  if (want > max_connections) want = max_connections;
+  std::vector<net::Client> held;
+  held.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    std::string error;
+    auto client = net::Client::connect(target.host, target.port, &error,
+                                       std::chrono::milliseconds(1000));
+    if (!client) {
+      ++outcome.connect_failures;  // EMFILE territory — exactly the point
+      continue;
+    }
+    held.push_back(std::move(*client));
+  }
+  // One held connection proves the server still answers while saturated
+  // (when the flood itself didn't eat every fd).
+  if (!held.empty()) {
+    net::QueryRequest request;
+    request.request_id = static_cast<std::uint32_t>(synth::mix(event.seed, 0xB9));
+    request.keys.push_back(Prefix());  // 0.0.0.0/0 LPM miss is a fine liveness probe
+    std::vector<std::uint8_t> wire;
+    net::encode_query_request(wire, request);
+    outcome.queries_sent += 1;
+    std::string error;
+    if (held.front().send_bytes(wire, &error)) {
+      std::vector<net::QueryRequest> one{request};
+      drain_responses(held.front(), one, outcome);
+    }
+  }
+  for (auto& client : held) client.close();
+  return outcome;
+}
+
+}  // namespace sp::chaos

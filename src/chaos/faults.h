@@ -1,0 +1,64 @@
+// Chaos fault actors — misbehaving clients for the serve path.
+//
+// Each actor plays one ChaosEvent against a live sp::net::Server over
+// real TCP: well-formed pipelined bursts, readers that stall against
+// backpressure, connections dropped mid-frame, RST aborts with queued
+// responses, and connection floods toward fd exhaustion. Actors verify
+// only *structural* invariants (in-order request ids, per-frame answer
+// counts, non-zero generation) — byte-level answer correctness is the
+// soak driver's quiesced final sweep, where no reload can race the
+// oracle.
+//
+// All parameter choices derive from ChaosEvent::seed via synth::mix, so
+// a replay with the same scenario seed reproduces the same wire traffic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "chaos/scenario.h"
+#include "netbase/prefix.h"
+
+namespace sp::chaos {
+
+struct FaultTarget {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct FaultOutcome {
+  bool ok = true;     // structural invariants held (or fault completed as scripted)
+  std::string error;  // first violation, when !ok
+  std::uint64_t queries_sent = 0;     // keys the server was asked (and will tally)
+  std::uint64_t responses_read = 0;   // QUERY responses actually drained
+  std::uint64_t connect_failures = 0; // expected under fd exhaustion, not a violation
+};
+
+/// Pipelined QUERY burst: `intensity` frames written back-to-back, then
+/// responses read and checked for in-order request ids, matching answer
+/// counts and a non-zero generation.
+[[nodiscard]] FaultOutcome query_burst(const FaultTarget& target, const ChaosEvent& event,
+                                       std::span<const Prefix> keys);
+
+/// Sends large pipelined batches, then stalls without reading — driving
+/// the server's output buffer past high_water so backpressure pauses the
+/// connection. Half the seeds then drain everything (pause must resume);
+/// the other half abort with an RST while responses are still queued
+/// (the server must shed the connection without dying).
+[[nodiscard]] FaultOutcome slow_reader(const FaultTarget& target, const ChaosEvent& event,
+                                       std::span<const Prefix> keys);
+
+/// Writes a frame header promising more body bytes than it sends, then
+/// disconnects (clean FIN or RST by seed) mid-frame.
+[[nodiscard]] FaultOutcome mid_frame_disconnect(const FaultTarget& target,
+                                                const ChaosEvent& event);
+
+/// Opens up to min(8 × intensity, max_connections) connections, holds
+/// them all live at once, then closes them. Under a lowered
+/// RLIMIT_NOFILE this is what drives the server to EMFILE; connect
+/// failures are counted, not fatal.
+[[nodiscard]] FaultOutcome connection_flood(const FaultTarget& target, const ChaosEvent& event,
+                                            std::size_t max_connections);
+
+}  // namespace sp::chaos

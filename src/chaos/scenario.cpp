@@ -1,0 +1,57 @@
+#include "chaos/scenario.h"
+
+#include "synth/determinism.h"
+
+namespace sp::chaos {
+namespace {
+
+// Weighted mix, out of 100. Queries dominate (they are the invariant
+// probes); reload churn and client misbehavior share the rest. Corrupt
+// reloads are frequent enough that every kind appears within a short
+// smoke window.
+constexpr std::uint64_t kScheduleSalt = 0x5eed5'0a4;  // "seeds + soak"
+
+EventKind kind_for(std::uint64_t roll) noexcept {
+  if (roll < 40) return EventKind::QueryBurst;
+  if (roll < 52) return EventKind::ValidReload;
+  if (roll < 60) return EventKind::DeltaReload;
+  if (roll < 75) return EventKind::CorruptReload;
+  if (roll < 85) return EventKind::SlowReader;
+  if (roll < 95) return EventKind::MidFrameDisconnect;
+  return EventKind::ConnectionFlood;
+}
+
+}  // namespace
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::QueryBurst: return "query_burst";
+    case EventKind::ValidReload: return "valid_reload";
+    case EventKind::DeltaReload: return "delta_reload";
+    case EventKind::CorruptReload: return "corrupt_reload";
+    case EventKind::SlowReader: return "slow_reader";
+    case EventKind::MidFrameDisconnect: return "mid_frame_disconnect";
+    case EventKind::ConnectionFlood: return "connection_flood";
+  }
+  return "unknown";
+}
+
+ChaosEvent event_at(std::uint64_t seed, std::uint64_t index) noexcept {
+  ChaosEvent event;
+  event.kind = kind_for(synth::pick(100, seed, kScheduleSalt, index, 0));
+  event.seed = synth::mix(seed, kScheduleSalt, index, 1);
+  event.intensity = static_cast<std::uint32_t>(1 + synth::pick(8, seed, kScheduleSalt, index, 2));
+  event.corrupt =
+      kAllCorruptKinds[synth::pick(kAllCorruptKinds.size(), seed, kScheduleSalt, index, 3)];
+  event.corrupt_spdl = synth::pick(3, seed, kScheduleSalt, index, 4) == 0;
+  return event;
+}
+
+std::vector<ChaosEvent> make_schedule(std::uint64_t seed, std::size_t count) {
+  std::vector<ChaosEvent> schedule;
+  schedule.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) schedule.push_back(event_at(seed, i));
+  return schedule;
+}
+
+}  // namespace sp::chaos

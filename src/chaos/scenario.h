@@ -1,0 +1,50 @@
+// Seeded chaos scenario schedule for the serving path.
+//
+// A scenario is an infinite sequence of events, and `event_at(seed, i)`
+// is a pure function — no generator state, no wall-clock randomness, so
+// two soak runs with the same seed execute the identical fault sequence
+// regardless of timing, thread interleaving, or how far each run got.
+// The soak driver just walks indices 0, 1, 2, … until its deadline.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "chaos/corrupt.h"
+
+namespace sp::chaos {
+
+enum class EventKind : std::uint8_t {
+  QueryBurst,         // pipelined query batch, responses checked in order
+  ValidReload,        // RELOAD to the other valid .sibdb snapshot
+  DeltaReload,        // RELOAD via the .spdl delta log (when base matches)
+  CorruptReload,      // RELOAD pointing at a corrupt artifact — must be rejected
+  SlowReader,         // client sends a big burst then stalls without reading
+  MidFrameDisconnect, // close mid-frame: header sent, body cut short
+  ConnectionFlood,    // open-and-hold a batch of raw connections
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+
+struct ChaosEvent {
+  EventKind kind = EventKind::QueryBurst;
+  /// Per-event derived seed: parameterizes the actor (query keys, stall
+  /// slots, flood size, …) independently of the schedule position.
+  std::uint64_t seed = 0;
+  /// Kind-specific size knob in [1, 8]: queries per burst ×16,
+  /// connections per flood ×8, etc. — the actor scales it.
+  std::uint32_t intensity = 1;
+  /// For CorruptReload: which corruption to serve.
+  CorruptKind corrupt = CorruptKind::TruncatedHeader;
+  /// For CorruptReload: corrupt the .spdl delta instead of the .sibdb.
+  bool corrupt_spdl = false;
+};
+
+/// The event at schedule position `index` for this scenario seed.
+[[nodiscard]] ChaosEvent event_at(std::uint64_t seed, std::uint64_t index) noexcept;
+
+/// First `count` events, for tests and dry-run listings.
+[[nodiscard]] std::vector<ChaosEvent> make_schedule(std::uint64_t seed, std::size_t count);
+
+}  // namespace sp::chaos

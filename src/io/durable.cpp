@@ -1,0 +1,53 @@
+#include "io/durable.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace sp::io {
+
+namespace {
+
+void fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool sync_parent_dir(const std::string& path, std::string* error) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    fail(error, "open dir " + dir);
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  if (!ok) fail(error, "fsync dir " + dir);
+  ::close(fd);
+  return ok;
+}
+
+bool durable_rename(const std::string& tmp_path, const std::string& path, std::string* error) {
+  const int fd = ::open(tmp_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    fail(error, "open " + tmp_path);
+    return false;
+  }
+  if (::fsync(fd) != 0) {
+    fail(error, "fsync " + tmp_path);
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    fail(error, "rename " + tmp_path + " -> " + path);
+    return false;
+  }
+  return sync_parent_dir(path, error);
+}
+
+}  // namespace sp::io

@@ -79,7 +79,8 @@ Server::Server(serve::SiblingService& service, ServerConfig config)
       obs_query_frames_(pick_registry(config_.registry).counter("net.frames.query")),
       obs_reload_frames_(pick_registry(config_.registry).counter("net.frames.reload")),
       obs_stats_frames_(pick_registry(config_.registry).counter("net.frames.stats")),
-      obs_metrics_frames_(pick_registry(config_.registry).counter("net.frames.metrics")) {}
+      obs_metrics_frames_(pick_registry(config_.registry).counter("net.frames.metrics")),
+      obs_accept_errors_(pick_registry(config_.registry).counter("net.accept_errors")) {}
 
 Server::~Server() { stop(); }
 
@@ -163,6 +164,7 @@ bool Server::start(std::string* error) {
     workers_.push_back(std::move(worker));
   }
 
+  accept_paused_ = false;
   stopping_.store(false);
   running_.store(true);
   // The event loops are pinned to WorkerPool threads: one fork-join run()
@@ -204,6 +206,19 @@ void Server::worker_loop(unsigned worker_id) {
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
+    }
+    if (worker.id == 0 && accept_paused_ &&
+        std::chrono::steady_clock::now() >= accept_resume_at_) {
+      // Backoff elapsed: re-register the listen fd and drain whatever
+      // queued while the acceptor was parked. Level-triggered epoll
+      // would re-fire anyway; accepting now just shaves the latency.
+      epoll_event accept_event{};
+      accept_event.events = EPOLLIN;
+      accept_event.data.fd = listen_fd_;
+      if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, listen_fd_, &accept_event) == 0) {
+        accept_paused_ = false;
+        accept_ready(worker);
+      }
     }
     for (int i = 0; i < ready; ++i) {
       const epoll_event& event = events[static_cast<std::size_t>(i)];
@@ -272,11 +287,30 @@ void Server::adopt_inbox(Worker& worker) {
 }
 
 void Server::accept_ready(Worker& worker) {
-  while (true) {
+  while (!accept_paused_) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // EAGAIN or a transient accept error: wait for the next event
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // backlog drained
+      if (errno == ECONNABORTED || errno == EPROTO) {
+        // The peer vanished between SYN and accept — count it and keep
+        // draining; the rest of the backlog is still acceptable.
+        accept_errors_.fetch_add(1);
+        obs_accept_errors_.add();
+        continue;
+      }
+      // Resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) or another
+      // persistent failure. Under level-triggered epoll the listen fd
+      // re-arms on every epoll_wait, so `break` alone becomes a 100% CPU
+      // hot loop until a descriptor frees up. Park the acceptor instead:
+      // unregister the listen fd and let worker 0's loop re-add it after
+      // `accept_backoff`. Pending SYNs wait in the kernel backlog.
+      accept_errors_.fetch_add(1);
+      obs_accept_errors_.add();
+      ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      accept_paused_ = true;
+      accept_resume_at_ = std::chrono::steady_clock::now() + config_.accept_backoff;
+      break;
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -502,8 +536,13 @@ void Server::handle_http(Connection& connection) {
 
 void Server::flush_output(Worker& worker, Connection& connection) {
   while (connection.out_pos < connection.out.size()) {
-    const ssize_t sent = ::write(connection.fd, connection.out.data() + connection.out_pos,
-                                 connection.out.size() - connection.out_pos);
+    // MSG_NOSIGNAL: a peer that reset the connection must surface as
+    // EPIPE/ECONNRESET from send, never as a process-killing SIGPIPE —
+    // the server's liveness cannot depend on the CLI having installed
+    // SIG_IGN or on which errno the kernel reports first.
+    const ssize_t sent =
+        ::send(connection.fd, connection.out.data() + connection.out_pos,
+               connection.out.size() - connection.out_pos, MSG_NOSIGNAL);
     if (sent > 0) {
       bytes_out_.fetch_add(static_cast<std::uint64_t>(sent));
       connection.out_pos += static_cast<std::size_t>(sent);
@@ -578,17 +617,20 @@ void Server::sweep_timeouts(Worker& worker) {
       expired_idle.push_back(fd);
     }
   }
+  // Count each eviction only after close_connection has dropped the
+  // active count: a stats() poller that observes the eviction counter
+  // must never still see the evicted connection as active.
   for (const int fd : expired_idle) {
     const auto it = worker.connections.find(fd);
     if (it == worker.connections.end()) continue;
-    idle_evictions_.fetch_add(1);
     close_connection(worker, *it->second);
+    idle_evictions_.fetch_add(1);
   }
   for (const int fd : expired_write) {
     const auto it = worker.connections.find(fd);
     if (it == worker.connections.end()) continue;
-    write_timeouts_.fetch_add(1);
     close_connection(worker, *it->second);
+    write_timeouts_.fetch_add(1);
   }
 }
 
@@ -610,6 +652,7 @@ ServerStats Server::stats() const {
   out.idle_evictions = idle_evictions_.load();
   out.write_timeouts = write_timeouts_.load();
   out.http_requests = http_requests_.load();
+  out.accept_errors = accept_errors_.load();
   return out;
 }
 

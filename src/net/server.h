@@ -68,6 +68,11 @@ struct ServerConfig {
   std::size_t high_water = 1u << 20;
   std::chrono::milliseconds idle_timeout{30000};
   std::chrono::milliseconds write_timeout{10000};
+  /// How long the acceptor stays unregistered after fd exhaustion
+  /// (EMFILE/ENFILE) before retrying. Level-triggered epoll would
+  /// otherwise re-deliver the listen event immediately and spin the
+  /// acceptor at 100% CPU while the process is out of descriptors.
+  std::chrono::milliseconds accept_backoff{250};
   /// Registry for the net.* metrics and the METRICS/`/metrics` scrape.
   /// Null = the process-global registry (the CLI default); tests pass a
   /// private registry so scrapes and quantiles start from zero.
@@ -92,6 +97,7 @@ struct ServerStats {
   std::uint64_t idle_evictions = 0;
   std::uint64_t write_timeouts = 0;
   std::uint64_t http_requests = 0;
+  std::uint64_t accept_errors = 0;  // accept4 failures (EMFILE backoffs included)
 };
 
 class Server {
@@ -141,6 +147,10 @@ class Server {
   unsigned worker_count_;
   std::uint16_t bound_port_ = 0;
   int listen_fd_ = -1;
+  // Acceptor backoff state: worker 0 is the only acceptor, so these are
+  // only ever touched from its event loop — no lock needed.
+  bool accept_paused_ = false;
+  std::chrono::steady_clock::time_point accept_resume_at_{};
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -157,6 +167,7 @@ class Server {
   std::atomic<std::uint64_t> reloads_ok_{0}, reloads_failed_{0};
   std::atomic<std::uint64_t> protocol_errors_{0}, reads_paused_{0};
   std::atomic<std::uint64_t> idle_evictions_{0}, write_timeouts_{0}, http_requests_{0};
+  std::atomic<std::uint64_t> accept_errors_{0};
 
   obs::Histogram frame_us_;   // net.frame_us: QUERY frame service time
   obs::Counter obs_queries_;  // net.queries: keys answered (METRICS scrape)
@@ -164,6 +175,7 @@ class Server {
   obs::Counter obs_reload_frames_;   // net.frames.reload
   obs::Counter obs_stats_frames_;    // net.frames.stats
   obs::Counter obs_metrics_frames_;  // net.frames.metrics
+  obs::Counter obs_accept_errors_;   // net.accept_errors
 };
 
 }  // namespace sp::net

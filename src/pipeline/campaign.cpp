@@ -610,6 +610,7 @@ CampaignReport Runner::run() {
 
   build_graph();
   graph_.set_observer([this](const StageResult& result) { on_stage_result(result); });
+  graph_.set_stop_flag(config_.stop_flag);
 
   core::WorkerPool pool(config_.threads);
   const bool graph_ok = graph_.run(pool);

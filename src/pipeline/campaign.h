@@ -44,6 +44,7 @@
 // cover the per-stage artifact work, which is where the wall-clock goes.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -82,6 +83,14 @@ struct CampaignConfig {
   /// threads/out_dir this shapes observation, not artifact bytes, so it
   /// is excluded from describe_config.
   std::string trace_path;
+  /// Graceful-stop hook (SIGINT/SIGTERM in sp_pipeline): when non-null
+  /// and the pointee flips true, the in-flight stage finishes, every
+  /// not-yet-started stage is finalized as Skipped (still recorded in
+  /// the manifest), and run() reports !ok — a later resume re-runs
+  /// exactly the skipped cone to byte-identical artifacts. Shapes
+  /// scheduling, not content, so excluded from describe_config. Must
+  /// outlive run().
+  const std::atomic<bool>* stop_flag = nullptr;
 };
 
 /// Ordered key=value view of every config field that shapes artifact

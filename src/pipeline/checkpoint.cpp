@@ -8,27 +8,14 @@
 #include <cstring>
 #include <vector>
 
+#include "io/durable.h"
+
 namespace sp::pipeline {
 
 namespace {
 
 void fail(std::string* error, const std::string& what) {
   if (error != nullptr) *error = what + ": " + std::strerror(errno);
-}
-
-/// fsync the directory containing `path` so a completed rename is durable.
-bool sync_parent_dir(const std::string& path, std::string* error) {
-  const auto slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) {
-    fail(error, "open dir " + dir);
-    return false;
-  }
-  const bool ok = ::fsync(fd) == 0;
-  if (!ok) fail(error, "fsync dir " + dir);
-  ::close(fd);
-  return ok;
 }
 
 }  // namespace
@@ -101,26 +88,11 @@ bool atomic_write_file(const std::string& path, std::string_view bytes, std::str
     ::unlink(tmp.c_str());
     return false;
   }
-  return sync_parent_dir(path, error);
+  return io::sync_parent_dir(path, error);
 }
 
 bool finalize_output(const std::string& tmp_path, const std::string& path, std::string* error) {
-  const int fd = ::open(tmp_path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    fail(error, "open " + tmp_path);
-    return false;
-  }
-  if (::fsync(fd) != 0) {
-    fail(error, "fsync " + tmp_path);
-    ::close(fd);
-    return false;
-  }
-  ::close(fd);
-  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    fail(error, "rename " + tmp_path + " -> " + path);
-    return false;
-  }
-  return sync_parent_dir(path, error);
+  return io::durable_rename(tmp_path, path, error);
 }
 
 }  // namespace sp::pipeline

@@ -127,6 +127,13 @@ void StageGraph::finish(StageId id, StageStatus status, std::string error, doubl
 }
 
 void StageGraph::execute(StageId id) {
+  // Graceful stop: a stage may reach the pool queue before the stop flag
+  // flips and execute after — skip its body here so "stop" means "no new
+  // stage work starts", regardless of queue depth.
+  if (stop_requested()) {
+    finalize(id, StageStatus::Skipped, "stop requested", 0.0, 0);
+    return;
+  }
   const auto start = std::chrono::steady_clock::now();
   // One trace span per stage execution, on the worker thread that ran it —
   // the Perfetto view of the DAG schedule (cached stages are near-zero
@@ -141,13 +148,18 @@ void StageGraph::execute(StageId id) {
   const StageStatus status = !outcome.ok          ? StageStatus::Failed
                              : outcome.cached     ? StageStatus::Cached
                                                   : StageStatus::Done;
+  finalize(id, status, outcome.error, wall_ms, rss_kb);
+}
+
+void StageGraph::finalize(StageId id, StageStatus status, std::string error, double wall_ms,
+                          long rss_kb) {
   std::vector<StageId> ready;
   std::vector<StageId> finalized;
   std::vector<StageResult> observed;
   {
     std::lock_guard lock(mutex_);
     [[maybe_unused]] const lint::LockOrderScope held("pipeline.stage_graph.mutex");
-    finish(id, status, outcome.error, wall_ms, rss_kb, ready, finalized);
+    finish(id, status, std::move(error), wall_ms, rss_kb, ready, finalized);
     observed.reserve(finalized.size());
     for (const StageId finished_id : finalized) observed.push_back(results_[finished_id]);
   }
@@ -161,6 +173,14 @@ void StageGraph::execute(StageId id) {
 
 void StageGraph::dispatch_ready(std::vector<StageId>& ready) {
   for (const StageId id : ready) {
+    if (stop_requested()) {
+      // Finalize as Skipped without dispatching. finish() dooms the
+      // stage's descendants itself, so the recursion through finalize →
+      // dispatch_ready stays shallow: skipped stages surface no new
+      // ready work.
+      finalize(id, StageStatus::Skipped, "stop requested", 0.0, 0);
+      continue;
+    }
     {
       std::lock_guard lock(mutex_);
       [[maybe_unused]] const lint::LockOrderScope held("pipeline.stage_graph.mutex");

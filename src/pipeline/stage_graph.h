@@ -32,6 +32,7 @@
 // DAG.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -93,6 +94,15 @@ class StageGraph {
   /// line and the manifest incremental save hook.
   void set_observer(std::function<void(const StageResult&)> observer);
 
+  /// Cooperative stop (the SIGINT/SIGTERM graceful-stop hook): once
+  /// `*stop` reads true, stages that have not started are finalized as
+  /// Skipped instead of executing — the in-flight stage finishes
+  /// normally, observers still fire for every finalized stage (so the
+  /// manifest records the partial run), and run() returns false. Skipped
+  /// is exactly what resume re-runs, so an interrupted manifest resumes
+  /// to the identical artifacts. The pointee must outlive run().
+  void set_stop_flag(const std::atomic<bool>* stop) noexcept { stop_ = stop; }
+
   /// Executes the whole graph on `pool`; returns true when every stage is
   /// Done or Cached. Call at most once per graph.
   bool run(core::WorkerPool& pool);
@@ -120,12 +130,20 @@ class StageGraph {
               std::vector<StageId>& finalized);
   void execute(StageId id);
   void dispatch_ready(std::vector<StageId>& ready);
+  /// finish() + observer callbacks + dispatch of newly ready stages — the
+  /// shared tail of execute() and the stop-flag short-circuit paths.
+  void finalize(StageId id, StageStatus status, std::string error, double wall_ms,
+                long rss_kb);
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_ != nullptr && stop_->load();
+  }
 
   std::vector<Stage> stages_;
   std::vector<StageResult> results_;
   std::function<void(const StageResult&)> observer_;
 
   core::WorkerPool* pool_ = nullptr;
+  const std::atomic<bool>* stop_ = nullptr;
   // lock-order: 30 pipeline.stage_graph.mutex (graph state; released
   // before observer callbacks and before dispatching onto the pool)
   std::mutex mutex_;

@@ -1,5 +1,7 @@
 #include "serve/service.h"
 
+#include <algorithm>
+
 #include "lint/lock_order.h"
 
 // sp-lint-file: atomics-ok(statistics counters; see the rationale in
@@ -38,23 +40,36 @@ bool SiblingService::load(const std::string& path, std::string* error) {
       // atomics, so capturing numbers here would lose their counts.
       retired_.push_back(current_);
     }
-    // Keep the retired window bounded under reload churn: fold the
-    // oldest tallies into the cumulative bucket once the cap is hit —
-    // but only entries nobody pins anymore (use_count()==1 is stable
-    // under current_mutex_: new pins can only come from current_),
-    // because a pinned tally may still grow. A still-pinned entry is
-    // skipped and folded on a later reload, so memory stays bounded by
-    // the cap plus the handful of transiently pinned snapshots.
-    for (auto it = retired_.begin();
-         retired_.size() > kRetiredGenerationCap && it != retired_.end();) {
+    // A retired snapshot is only needed for its tally; its mmap and
+    // lookup tables are not. Capture every no-longer-pinned retiree
+    // (use_count()==1 is stable under current_mutex_: new pins can only
+    // come from current_) into a light stats record and free the heavy
+    // snapshot right away. A still-pinned entry's tally may still grow,
+    // so it stays as a snapshot until a later reload finds it unpinned.
+    for (auto it = retired_.begin(); it != retired_.end();) {
       if (it->use_count() == 1) {
-        compacted_.queries += (*it)->served_queries.load(std::memory_order_relaxed);
-        compacted_.hits += (*it)->served_hits.load(std::memory_order_relaxed);
-        ++compacted_count_;
+        retired_stats_.push_back({(*it)->generation,
+                                  (*it)->served_queries.load(std::memory_order_relaxed),
+                                  (*it)->served_hits.load(std::memory_order_relaxed)});
         it = retired_.erase(it);
       } else {
         ++it;
       }
+    }
+    // A long-pinned snapshot can outlive younger retirees and capture
+    // late; keep the window sorted so compaction folds oldest-first.
+    std::sort(retired_stats_.begin(), retired_stats_.end(),
+              [](const GenerationStats& a, const GenerationStats& b) {
+                return a.generation < b.generation;
+              });
+    // Keep the stats window bounded under reload churn: fold the oldest
+    // captured tallies into the cumulative bucket once the cap is hit.
+    while (retired_stats_.size() + retired_.size() > kRetiredGenerationCap &&
+           !retired_stats_.empty()) {
+      compacted_.queries += retired_stats_.front().queries;
+      compacted_.hits += retired_stats_.front().hits;
+      ++compacted_count_;
+      retired_stats_.erase(retired_stats_.begin());
     }
     current_ = std::move(snapshot);
   }
@@ -158,12 +173,19 @@ ServiceStats SiblingService::stats() const {
     std::lock_guard lock(current_mutex_);
     [[maybe_unused]] const lint::LockOrderScope held("serve.service.current_mutex");
     snap = current_;
-    out.generations.reserve(retired_.size() + 1);
+    out.generations.reserve(retired_stats_.size() + retired_.size() + 1);
+    out.generations.insert(out.generations.end(), retired_stats_.begin(),
+                           retired_stats_.end());
     for (const auto& retired : retired_) {
       out.generations.push_back({retired->generation,
                                  retired->served_queries.load(std::memory_order_relaxed),
                                  retired->served_hits.load(std::memory_order_relaxed)});
     }
+    // Still-pinned retirees can be older than captured records.
+    std::sort(out.generations.begin(), out.generations.end(),
+              [](const GenerationStats& a, const GenerationStats& b) {
+                return a.generation < b.generation;
+              });
     out.compacted = compacted_;
     out.compacted_generations = compacted_count_;
   }

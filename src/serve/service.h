@@ -187,16 +187,25 @@ class SiblingService {
   std::atomic<std::uint64_t> reloads_{0};
   std::atomic<std::uint64_t> query_ns_{0}, batch_ns_{0};
 
-  // Generations this service replaced (under current_mutex_), retired
-  // *as snapshots* rather than captured tallies: a batch that pinned the
-  // outgoing snapshot before the swap keeps counting into its atomics
-  // after the swap, so the tally is only final once the service holds
-  // the last reference. Folding into compacted_ waits for exactly that
-  // (use_count()==1), which makes the per-generation counts conserved
+  // Generations this service replaced (under current_mutex_) whose
+  // tallies are not final yet: a batch that pinned the outgoing snapshot
+  // before the swap keeps counting into its atomics after the swap, so a
+  // retiree stays here *as a snapshot* only while something still pins
+  // it (use_count()>1 — stable under current_mutex_: new pins can only
+  // come from current_). The moment it is unpinned, its tally is
+  // captured into retired_stats_ and the snapshot itself is freed:
+  // holding whole snapshots for the stats window kept each one's mmap
+  // and DIR-24-8 lookup tables (~80 MB) alive, and under reload churn
+  // peak RSS grew by kRetiredGenerationCap × that (the soak harness's
+  // RSS bound caught it). Which makes per-generation counts conserved
   // under reload-during-traffic — the invariant the net server's TSan
-  // reload test asserts. Bounded: the newest kRetiredGenerationCap
-  // entries plus however many are still transiently pinned.
+  // reload test asserts — while memory stays bounded by the transiently
+  // pinned snapshots only.
   std::vector<std::shared_ptr<const Snapshot>> retired_;
+  // Final tallies of unpinned retirees, sorted by generation; together
+  // with retired_ at most kRetiredGenerationCap entries — overflow folds
+  // oldest-first into compacted_.
+  std::vector<GenerationStats> retired_stats_;
   GenerationStats compacted_;             // aggregate of folded retirees
   std::uint64_t compacted_count_ = 0;     // generations folded so far
 

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "io/durable.h"
+
 namespace sp::stream {
 
 namespace {
@@ -400,9 +402,13 @@ bool apply_spdl(const serve::SiblingDB& base, const SibdbDelta& delta,
     fail(error, "patched snapshot hash does not match the delta's result_hash");
     return false;
   }
-  if (std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+  // Durable publication (fsync file, rename, fsync dir): sp_serve RELOADs
+  // this path immediately after, so a crash must never leave the directory
+  // entry pointing at a half-published (or vanished) snapshot.
+  std::string rename_error;
+  if (!io::durable_rename(tmp_path, out_path, &rename_error)) {
     std::remove(tmp_path.c_str());
-    fail(error, "renaming " + tmp_path + " to " + out_path + " failed");
+    if (error != nullptr) *error = "publishing " + out_path + " failed: " + rename_error;
     return false;
   }
   return true;

@@ -1,0 +1,137 @@
+// The chaos layer's determinism and corruption contracts: schedules are
+// pure functions of the seed (replayable soak runs), every event kind
+// and corruption kind shows up within a smoke-sized window, and every
+// corrupt variant of a valid .sibdb / .spdl is rejected by its loader —
+// the property that makes the soak's "corrupt swap is refused while the
+// old snapshot keeps answering" invariant meaningful.
+#include "chaos/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/corrupt.h"
+#include "core/detect.h"
+#include "serve/sibdb.h"
+#include "stream/spdl.h"
+
+namespace sp::chaos {
+namespace {
+
+std::vector<core::SiblingPair> fixture_pairs() {
+  std::vector<core::SiblingPair> pairs(3);
+  pairs[0].v4 = Prefix::must_parse("10.0.0.0/24");
+  pairs[0].v6 = Prefix::must_parse("2001:db8::/48");
+  pairs[0].similarity = 0.5;
+  pairs[1].v4 = Prefix::must_parse("10.0.1.0/24");
+  pairs[1].v6 = Prefix::must_parse("2001:db8:1::/48");
+  pairs[1].similarity = 0.75;
+  pairs[2].v4 = Prefix::must_parse("10.0.2.0/24");
+  pairs[2].v6 = Prefix::must_parse("2001:db8:2::/48");
+  pairs[2].similarity = 1.0;
+  return pairs;
+}
+
+TEST(ChaosScenario, ScheduleIsAPureFunctionOfTheSeed) {
+  const auto first = make_schedule(1234, 500);
+  const auto second = make_schedule(1234, 500);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].kind, second[i].kind) << i;
+    EXPECT_EQ(first[i].seed, second[i].seed) << i;
+    EXPECT_EQ(first[i].intensity, second[i].intensity) << i;
+    EXPECT_EQ(first[i].corrupt, second[i].corrupt) << i;
+    EXPECT_EQ(first[i].corrupt_spdl, second[i].corrupt_spdl) << i;
+    // Random access agrees with enumeration — the soak walks indices.
+    const ChaosEvent at = event_at(1234, i);
+    EXPECT_EQ(at.kind, first[i].kind) << i;
+    EXPECT_EQ(at.seed, first[i].seed) << i;
+  }
+}
+
+TEST(ChaosScenario, DifferentSeedsProduceDifferentSchedules) {
+  const auto a = make_schedule(1, 64);
+  const auto b = make_schedule(2, 64);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].kind != b[i].kind || a[i].seed != b[i].seed) ++differing;
+  EXPECT_GT(differing, 16u);
+}
+
+TEST(ChaosScenario, SmokeWindowCoversEveryEventAndCorruptionKind) {
+  std::set<EventKind> kinds;
+  std::set<CorruptKind> corruptions;
+  std::set<bool> formats;
+  for (const ChaosEvent& event : make_schedule(77, 400)) {
+    kinds.insert(event.kind);
+    if (event.kind == EventKind::CorruptReload) {
+      corruptions.insert(event.corrupt);
+      formats.insert(event.corrupt_spdl);
+    }
+    EXPECT_GE(event.intensity, 1u);
+    EXPECT_LE(event.intensity, 8u);
+  }
+  EXPECT_EQ(kinds.size(), 7u);  // every EventKind appears
+  EXPECT_EQ(corruptions.size(), kAllCorruptKinds.size());
+  EXPECT_EQ(formats.size(), 2u);  // both .sibdb and .spdl targets
+}
+
+TEST(ChaosCorrupt, VariantsAreDeterministicAndDamaging) {
+  const std::vector<std::uint8_t> image(600, 0xAB);
+  for (const CorruptKind kind : kAllCorruptKinds) {
+    const auto once = corrupt_image(image, kind, 9);
+    const auto twice = corrupt_image(image, kind, 9);
+    EXPECT_EQ(once, twice) << to_string(kind);
+    EXPECT_NE(once, image) << to_string(kind);
+  }
+  // Truncations shrink; the bit flip preserves size and changes exactly
+  // one byte.
+  EXPECT_LT(corrupt_image(image, CorruptKind::TruncatedHeader, 9).size(), 16u);
+  EXPECT_LT(corrupt_image(image, CorruptKind::TruncatedBody, 9).size(), image.size());
+  const auto flipped = corrupt_image(image, CorruptKind::FlippedBit, 9);
+  ASSERT_EQ(flipped.size(), image.size());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < image.size(); ++i)
+    if (flipped[i] != image[i]) ++changed;
+  EXPECT_EQ(changed, 1u);
+}
+
+TEST(ChaosCorrupt, EveryVariantIsRejectedByTheLoaders) {
+  const std::string sibdb_path = ::testing::TempDir() + "/chaos_corrupt_base.sibdb";
+  ASSERT_TRUE(serve::write_sibdb(sibdb_path, fixture_pairs(), "chaos corrupt fixture"));
+  std::string error;
+  auto db = serve::SiblingDB::load(sibdb_path, &error);
+  ASSERT_TRUE(db.has_value()) << error;
+  const auto delta = stream::diff_sibdb(*db, *db, &error);
+  ASSERT_TRUE(delta.has_value()) << error;
+  const auto spdl_bytes = stream::encode_spdl(*delta);
+  ASSERT_TRUE(stream::decode_spdl(spdl_bytes).has_value());  // valid before damage
+
+  for (const CorruptKind kind : kAllCorruptKinds) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      const auto bad_sibdb = corrupt_image(db->raw_bytes(), kind, seed);
+      const std::string bad_path = ::testing::TempDir() + "/chaos_corrupt_" +
+                                   std::string(to_string(kind)) + ".sibdb";
+      {
+        std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(bad_sibdb.data()),
+                  static_cast<std::streamsize>(bad_sibdb.size()));
+        ASSERT_TRUE(out.good());
+      }
+      std::string reject;
+      EXPECT_FALSE(serve::SiblingDB::load(bad_path, &reject).has_value())
+          << to_string(kind) << " seed " << seed << " was accepted";
+      EXPECT_FALSE(reject.empty());
+
+      const auto bad_spdl = corrupt_image(spdl_bytes, kind, seed);
+      EXPECT_FALSE(stream::decode_spdl(bad_spdl, &reject).has_value())
+          << to_string(kind) << " seed " << seed << " was accepted";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sp::chaos

@@ -1,0 +1,68 @@
+// sp::io durable-publication primitives: durable_rename must move the
+// tmp file into place with the content intact (fsync of file and parent
+// directory are crash-durability properties a unit test cannot observe,
+// but the failure paths and the rename itself are checkable), and both
+// helpers must report failures instead of silently succeeding. These
+// back the pipeline checkpoints and — since the soak harness's RELOAD
+// churn leaned on it — the .spdl apply path in stream/spdl.cpp.
+#include "io/durable.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace sp::io {
+namespace {
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string read_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(IoDurable, DurableRenamePublishesTmpContent) {
+  const std::string tmp = temp_path("durable_pub.tmp");
+  const std::string target = temp_path("durable_pub.out");
+  std::filesystem::remove(target);
+  write_text(tmp, "payload v1");
+  std::string error;
+  ASSERT_TRUE(durable_rename(tmp, target, &error)) << error;
+  EXPECT_EQ(read_text(target), "payload v1");
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+
+  // Replacing an existing file is the reload-churn case: the new bytes
+  // atomically take the path over.
+  write_text(tmp, "payload v2");
+  ASSERT_TRUE(durable_rename(tmp, target, &error)) << error;
+  EXPECT_EQ(read_text(target), "payload v2");
+}
+
+TEST(IoDurable, DurableRenameFailsWithoutTmpFile) {
+  const std::string missing = temp_path("durable_missing.tmp");
+  std::filesystem::remove(missing);
+  std::string error;
+  EXPECT_FALSE(durable_rename(missing, temp_path("durable_missing.out"), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(IoDurable, SyncParentDirReportsMissingParent) {
+  std::string error;
+  EXPECT_TRUE(sync_parent_dir(temp_path("some_file.bin"), &error)) << error;
+  EXPECT_FALSE(sync_parent_dir("/nonexistent_sp_dir/some_file.bin", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace sp::io

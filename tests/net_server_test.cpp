@@ -11,20 +11,27 @@
 #include "net/server.h"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "chaos/corrupt.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "serve/sibdb.h"
 #include "serve/service.h"
+#include "stream/spdl.h"
 
 namespace sp::net {
 namespace {
@@ -326,6 +333,233 @@ TEST(NetServer, ReloadUnderLoadConservesGenerationTallies) {
   EXPECT_EQ(server_stats.queries, expected);
   EXPECT_EQ(server_stats.hits, expected);
   EXPECT_EQ(server_stats.reloads_ok, 25u);
+}
+
+// A peer that wedges the server's output buffer and then vanishes with
+// an RST must not take the process down: flush_output sends with
+// MSG_NOSIGNAL, so a write into the reset connection yields
+// EPIPE/ECONNRESET (connection shed) instead of a fatal SIGPIPE. The
+// server must keep answering on the next connection. (The stdio side of
+// the same hazard — sp_serve's stdout dying mid-pipe — is covered by
+// the dead-pipe check in scripts/tier1.sh, where the default SIGPIPE
+// disposition genuinely kills an unhardened binary.)
+TEST(NetServer, PeerResetWithWedgedOutputServerKeepsServing) {
+  const std::string db = write_fixture_db("net_server_rst.sibdb");
+  serve::SiblingService service(1);
+  std::string error;
+  ASSERT_TRUE(service.load(db, &error)) << error;
+
+  obs::MetricsRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.high_water = 4096;
+  config.registry = &registry;
+  Server server(service, config);
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  for (int round = 0; round < 3; ++round) {
+    auto wedger = Client::connect("127.0.0.1", server.port(), &error);
+    ASSERT_TRUE(wedger.has_value()) << error;
+    // Pipeline enough batched queries that the responses overflow both
+    // the kernel socket buffers and the high-water mark, then never
+    // read a byte: the server parks output for this connection.
+    std::vector<std::uint8_t> wire;
+    for (unsigned frame = 0; frame < 64; ++frame) {
+      QueryRequest request;
+      request.request_id = frame;
+      request.keys.assign(512, p("20.1.2.3/32"));
+      encode_query_request(wire, request);
+    }
+    ASSERT_TRUE(wedger->send_bytes(wire, &error)) << error;
+    ASSERT_TRUE(eventually([&] { return server.stats().reads_paused > 0; }));
+
+    // RST the wedged connection: SO_LINGER with zero timeout discards
+    // the queued data and resets instead of FIN-ing.
+    const linger hard{1, 0};
+    ASSERT_EQ(::setsockopt(wedger->fd(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard)), 0);
+    wedger->close();
+
+    // The process survived the write-into-reset; a fresh connection
+    // still gets correct answers.
+    auto probe = Client::connect("127.0.0.1", server.port(), &error);
+    ASSERT_TRUE(probe.has_value()) << error;
+    QueryRequest request;
+    request.request_id = 9000 + round;
+    request.keys.push_back(p("20.1.2.3/32"));
+    std::vector<std::uint8_t> probe_wire;
+    encode_query_request(probe_wire, request);
+    ASSERT_TRUE(probe->send_bytes(probe_wire, &error)) << error;
+    const auto frame = probe->read_frame(&error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    const auto response = parse_query_response(frame->body, &error);
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_EQ(response->request_id, request.request_id);
+    ASSERT_EQ(response->answers.size(), 1u);
+    ASSERT_TRUE(response->answers[0].has_value());
+    EXPECT_EQ(response->answers[0]->matched, p("20.1.0.0/16"));
+  }
+  server.stop();
+}
+
+// Drives accept4 into EMFILE by exhausting the process fd limit, then
+// verifies the acceptor backs off instead of spinning (bounded
+// net.accept_errors growth while exhausted — a hot level-triggered loop
+// racks up thousands per second), and that accepting resumes once
+// descriptors free up.
+TEST(NetServer, EmfileAcceptBackoffAndRecovery) {
+  const std::string db = write_fixture_db("net_server_emfile.sibdb");
+  serve::SiblingService service(1);
+  std::string error;
+  ASSERT_TRUE(service.load(db, &error)) << error;
+
+  obs::MetricsRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.accept_backoff = std::chrono::milliseconds(50);
+  config.registry = &registry;
+  Server server(service, config);
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  rlimit lowered = saved;
+  lowered.rlim_cur = 128;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &lowered), 0);
+
+  // Open client sockets until the process (server included — same fd
+  // table) runs dry. Completed handshakes the server cannot accept sit
+  // in the listen backlog and poke the level-triggered epoll.
+  std::vector<int> hogs;
+  for (int i = 0; i < 256; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    hogs.push_back(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    (void)::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+  ASSERT_TRUE(eventually([&] { return server.stats().accept_errors > 0; }));
+
+  // Bounded, not spinning: with a 50ms backoff an exhausted 300ms
+  // window admits ~6 retries; allow a generous margin. A hot accept
+  // loop would add tens of thousands here.
+  const std::uint64_t before = server.stats().accept_errors;
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const std::uint64_t during = server.stats().accept_errors - before;
+  EXPECT_LE(during, 30u);
+
+  for (const int fd : hogs) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+
+  // Descriptors are back; within a backoff period the acceptor re-arms
+  // and fresh connections are served again.
+  ASSERT_TRUE(eventually([&] {
+    std::string probe_error;
+    auto probe = Client::connect("127.0.0.1", server.port(), &probe_error,
+                                 std::chrono::milliseconds(500));
+    if (!probe) return false;
+    QueryRequest request;
+    request.request_id = 77;
+    request.keys.push_back(p("20.1.2.3/32"));
+    std::vector<std::uint8_t> wire;
+    encode_query_request(wire, request);
+    if (!probe->send_bytes(wire, &probe_error)) return false;
+    const auto frame = probe->read_frame(&probe_error, std::chrono::milliseconds(2000));
+    return frame.has_value();
+  }));
+  server.stop();
+  EXPECT_GE(server.stats().accept_errors, 1u);
+}
+
+// RELOAD pointing at corrupt artifacts — a torn .sibdb and a damaged
+// .spdl delta, the soak harness's corrupt fixtures — must be rejected
+// over TCP while the prior generation keeps answering on the very same
+// pipelined connection.
+TEST(NetServer, CorruptReloadOverTcpKeepsPriorGenerationServing) {
+  const std::string db = write_fixture_db("net_server_corrupt_base.sibdb");
+  serve::SiblingService service(1);
+  std::string error;
+  ASSERT_TRUE(service.load(db, &error)) << error;
+
+  obs::MetricsRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.registry = &registry;
+  Server server(service, config);
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto client = Client::connect("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+
+  const auto query_generation = [&]() -> std::uint64_t {
+    QueryRequest request;
+    request.request_id = 1;
+    request.keys.push_back(p("20.1.2.3/32"));
+    std::vector<std::uint8_t> wire;
+    encode_query_request(wire, request);
+    EXPECT_TRUE(client->send_bytes(wire, &error)) << error;
+    const auto frame = client->read_frame(&error);
+    EXPECT_TRUE(frame.has_value()) << error;
+    if (!frame) return 0;
+    const auto response = parse_query_response(frame->body, &error);
+    EXPECT_TRUE(response.has_value()) << error;
+    if (!response) return 0;
+    EXPECT_TRUE(response->answers.at(0).has_value());
+    return response->generation;
+  };
+  const std::uint64_t baseline = query_generation();
+  ASSERT_GT(baseline, 0u);
+
+  // Corrupt variants of the snapshot we are serving and of a valid
+  // delta log against it, produced by the chaos corruption kinds the
+  // fuzz corpora are seeded from.
+  const auto base_bytes = [&] {
+    auto loaded = serve::SiblingDB::load(db, &error);
+    EXPECT_TRUE(loaded.has_value()) << error;
+    return std::vector<std::uint8_t>(loaded->raw_bytes().begin(), loaded->raw_bytes().end());
+  }();
+  auto base_db = serve::SiblingDB::load(db, &error);
+  ASSERT_TRUE(base_db.has_value()) << error;
+  const auto delta = stream::diff_sibdb(*base_db, *base_db, &error);
+  ASSERT_TRUE(delta.has_value()) << error;
+  const auto delta_bytes = stream::encode_spdl(*delta);
+
+  unsigned rejected = 0;
+  for (const chaos::CorruptKind kind : chaos::kAllCorruptKinds) {
+    const std::string tag(chaos::to_string(kind));
+    for (const bool spdl : {false, true}) {
+      const auto bad = chaos::corrupt_image(spdl ? delta_bytes : base_bytes, kind, 42);
+      const std::string path = ::testing::TempDir() + "/net_corrupt_" + tag +
+                               (spdl ? ".spdl" : ".sibdb");
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(bad.data()),
+                static_cast<std::streamsize>(bad.size()));
+      ASSERT_TRUE(out.good());
+      out.close();
+
+      std::vector<std::uint8_t> wire;
+      encode_reload_request(wire, ReloadRequest{path});
+      ASSERT_TRUE(client->send_bytes(wire, &error)) << error;
+      const auto frame = client->read_frame(&error);
+      ASSERT_TRUE(frame.has_value()) << error;
+      const auto response = parse_reload_response(frame->body, &error);
+      ASSERT_TRUE(response.has_value()) << error;
+      EXPECT_FALSE(response->ok) << "corrupt " << tag << (spdl ? " .spdl" : " .sibdb")
+                                 << " was accepted";
+      ++rejected;
+
+      // Same connection, next frame: the old snapshot still answers at
+      // the unchanged generation.
+      EXPECT_EQ(query_generation(), baseline);
+    }
+  }
+  EXPECT_EQ(rejected, 2 * chaos::kAllCorruptKinds.size());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.reloads_failed, rejected);
+  EXPECT_EQ(stats.reloads_ok, 0u);
+  server.stop();
 }
 
 }  // namespace

@@ -1,0 +1,130 @@
+// Graceful-stop contract of the campaign runner (the sp_pipeline
+// SIGINT/SIGTERM path): flipping CampaignConfig::stop_flag mid-run lets
+// the in-flight stage finish, finalizes every not-yet-started stage as
+// Skipped (recorded in the manifest — exactly what resume re-runs), and
+// a subsequent resume converges to artifacts byte-identical to an
+// uninterrupted run. This is the library-level half of the kill-and-
+// resume smoke in scripts/tier1.sh, which delivers a real SIGINT to a
+// real sp_pipeline process.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "pipeline/campaign.h"
+#include "pipeline/manifest.h"
+
+namespace sp::pipeline {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+CampaignConfig small_config(std::string out_dir) {
+  CampaignConfig config;
+  config.synth.months = 3;
+  config.synth.organization_count = 50;
+  config.synth.probe_count = 50;
+  config.threads = 2;
+  config.out_dir = std::move(out_dir);
+  return config;
+}
+
+RunManifest load_manifest(const std::string& out_dir) {
+  std::string error;
+  const auto manifest = RunManifest::load(Campaign::manifest_path(out_dir), &error);
+  EXPECT_TRUE(manifest.has_value()) << error;
+  return manifest.value_or(RunManifest{});
+}
+
+TEST(PipelineSignal, StopMidRunSkipsRestThenResumeMatchesUninterrupted) {
+  const std::string dir_reference = fresh_dir("sp_signal_reference");
+  const std::string dir_stopped = fresh_dir("sp_signal_stopped");
+
+  const auto reference_report = Campaign(small_config(dir_reference)).run(/*resume=*/false);
+  ASSERT_TRUE(reference_report.ok) << reference_report.error;
+
+  // Interrupted run: request the stop from the observer after a few
+  // stages complete — the exact point a signal handler would flip the
+  // flag while the DAG is mid-flight.
+  std::atomic<bool> stop{false};
+  std::atomic<int> completed{0};
+  auto stopped_config = small_config(dir_stopped);
+  stopped_config.stop_flag = &stop;
+  const auto stopped_report =
+      Campaign(stopped_config).run(/*resume=*/false, [&](const StageResult& result) {
+        if (result.status == StageStatus::Done && completed.fetch_add(1) + 1 == 4)
+          stop.store(true);
+      });
+
+  EXPECT_FALSE(stopped_report.ok);  // interrupted, not complete
+  EXPECT_EQ(stopped_report.failed_count, 0u);  // ...but nothing *failed*
+  EXPECT_GT(stopped_report.skipped_count, 0u);
+  EXPECT_GE(stopped_report.done_count, 4u);
+  EXPECT_LT(stopped_report.done_count, reference_report.done_count);
+
+  // The manifest records the skip set — the stop was durable, not lost.
+  const RunManifest interrupted = load_manifest(dir_stopped);
+  std::size_t recorded_skips = 0;
+  for (const StageRecord& stage : interrupted.stages)
+    if (stage.status == "skipped") ++recorded_skips;
+  EXPECT_EQ(recorded_skips, stopped_report.skipped_count);
+
+  // Resume without the flag: only the skipped cone re-runs, and every
+  // artifact lands byte-identical to the uninterrupted reference.
+  auto resume_config = small_config(dir_stopped);
+  const auto resume_report = Campaign(resume_config).run(/*resume=*/true);
+  ASSERT_TRUE(resume_report.ok) << resume_report.error;
+  EXPECT_EQ(resume_report.cached_count, stopped_report.done_count);
+  EXPECT_EQ(resume_report.done_count,
+            reference_report.done_count - stopped_report.done_count);
+
+  const RunManifest reference = load_manifest(dir_reference);
+  const RunManifest resumed = load_manifest(dir_stopped);
+  ASSERT_EQ(reference.stages.size(), resumed.stages.size());
+  for (const StageRecord& stage : reference.stages) {
+    const StageRecord* other = resumed.find(stage.name);
+    ASSERT_NE(other, nullptr) << stage.name;
+    EXPECT_EQ(stage.inputs_hash, other->inputs_hash) << stage.name;
+    EXPECT_EQ(stage.outputs, other->outputs) << stage.name;
+    for (const OutputRecord& output : stage.outputs) {
+      EXPECT_EQ(read_file(dir_reference + "/" + output.path),
+                read_file(dir_stopped + "/" + output.path))
+          << output.path;
+    }
+  }
+}
+
+TEST(PipelineSignal, StopBeforeRunSkipsEverythingWithoutFailures) {
+  const std::string dir = fresh_dir("sp_signal_preset");
+  std::atomic<bool> stop{true};  // signal arrived before the first stage
+  auto config = small_config(dir);
+  config.stop_flag = &stop;
+  const auto report = Campaign(config).run(/*resume=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.failed_count, 0u);
+  EXPECT_EQ(report.done_count, 0u);
+  EXPECT_EQ(report.skipped_count, report.stages.size());
+
+  // A later resume from the all-skipped manifest completes normally.
+  const auto resume_report = Campaign(small_config(dir)).run(/*resume=*/true);
+  EXPECT_TRUE(resume_report.ok) << resume_report.error;
+  EXPECT_EQ(resume_report.done_count, report.skipped_count);
+}
+
+}  // namespace
+}  // namespace sp::pipeline
