@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# corpus_merge.sh — deterministic, content-addressed merge of fuzz
+# inputs into a checked-in corpus directory.
+#
+#   scripts/corpus_merge.sh <target> <src_dir>...
+#   scripts/corpus_merge.sh --selftest
+#
+# Copies every regular file found under the source directories into
+# fuzz/corpus/<target>/, deduplicating by content: an input whose
+# sha256 already exists anywhere in the destination (under any name) is
+# skipped. New files are named <sha256-prefix>.<ext> so the merged
+# corpus is independent of source naming, source ordering, and of how
+# many times the merge runs — merging the same inputs twice is a no-op,
+# which is exactly what lets CI fold a fuzz run's findings back into
+# the tree without churning the checked-in corpus.
+#
+# <target> must be an existing fuzz/corpus/ subdirectory (one per fuzz
+# harness); a typo'd target is an error, not a new directory.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+hash_of() {
+  sha256sum "$1" | cut -d' ' -f1
+}
+
+# merge <dest_dir> <src_dir>... — prints "merged skipped" counts.
+merge() {
+  local dest="$1"
+  shift
+  declare -A have=()
+  local f
+  while IFS= read -r -d '' f; do
+    have["$(hash_of "$f")"]=1
+  done < <(find "$dest" -maxdepth 1 -type f -print0)
+
+  local merged=0 skipped=0
+  # Sort for a deterministic scan order; dedup is content-based so the
+  # result set is order-independent anyway, but the log should be too.
+  while IFS= read -r -d '' f; do
+    local h base ext name
+    h="$(hash_of "$f")"
+    if [[ -n "${have[$h]:-}" ]]; then
+      skipped=$((skipped + 1))
+      continue
+    fi
+    have["$h"]=1
+    base="$(basename "$f")"
+    ext="${base##*.}"
+    if [[ "$ext" == "$base" || "$base" == .* ]]; then ext="bin"; fi
+    name="${h:0:16}.${ext}"
+    cp "$f" "$dest/$name"
+    echo "  + $name  (from ${f})"
+    merged=$((merged + 1))
+  done < <(find "$@" -maxdepth 1 -type f -print0 | sort -z)
+  echo "merged $merged, skipped $skipped duplicates"
+}
+
+selftest() {
+  local dest src1 src2 before after again
+  sandbox="$(mktemp -d)"  # global: the EXIT trap outlives this function
+  trap 'rm -rf "$sandbox"' EXIT
+  dest="$sandbox/corpus"
+  src1="$sandbox/run1"
+  src2="$sandbox/run2"
+  mkdir -p "$dest" "$src1" "$src2"
+  printf 'alpha' > "$dest/seed.csv"
+  printf 'alpha' > "$src1/dup_of_seed.csv"       # content dup under a new name
+  printf 'beta'  > "$src1/fresh.csv"
+  printf 'beta'  > "$src2/fresh_again.csv"       # dup across source dirs
+  printf 'gamma' > "$src2/noext"                 # extension fallback
+
+  merge "$dest" "$src1" "$src2" > /dev/null
+  before="$(ls "$dest" | sort)"
+  [[ "$(ls "$dest" | wc -l)" -eq 3 ]] || { echo "FAIL: expected 3 files, got: $before"; exit 1; }
+  ls "$dest" | grep -q '\.bin$' || { echo "FAIL: extension fallback missing"; exit 1; }
+
+  # Idempotency: the same merge again changes nothing — names or bytes.
+  after="$(find "$dest" -type f -exec sha256sum {} + | sort)"
+  merge "$dest" "$src1" "$src2" > /dev/null
+  again="$(find "$dest" -type f -exec sha256sum {} + | sort)"
+  [[ "$after" == "$again" ]] || { echo "FAIL: re-merge was not a no-op"; exit 1; }
+
+  # Determinism: a fresh destination fed the same inputs converges to the
+  # same content-addressed names.
+  local dest2
+  dest2="$sandbox/corpus2"
+  mkdir -p "$dest2"
+  printf 'alpha' > "$dest2/seed.csv"
+  merge "$dest2" "$src2" "$src1" > /dev/null   # reversed source order
+  [[ "$(ls "$dest2" | sort)" == "$before" ]] || { echo "FAIL: merge not deterministic"; exit 1; }
+
+  echo "corpus_merge selftest OK"
+}
+
+if [[ "${1:-}" == "--selftest" ]]; then
+  selftest
+  exit 0
+fi
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <target> <src_dir>...   (or --selftest)" >&2
+  exit 2
+fi
+
+target="$1"
+shift
+dest="$repo_root/fuzz/corpus/$target"
+if [[ ! -d "$dest" ]]; then
+  echo "error: unknown fuzz target '$target' — no $dest" >&2
+  echo "known targets: $(ls "$repo_root/fuzz/corpus" | tr '\n' ' ')" >&2
+  exit 2
+fi
+for src in "$@"; do
+  [[ -d "$src" ]] || { echo "error: source '$src' is not a directory" >&2; exit 2; }
+done
+
+merge "$dest" "$@"

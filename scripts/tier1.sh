@@ -190,16 +190,22 @@ if [ "$CAMP_STATUS" -ne 130 ] && [ "$CAMP_STATUS" -ne 0 ]; then
 fi
 ./build/examples/sp_pipeline resume "$SMOKE_DIR/camp" --threads 2
 
-# Stage 8: the project linter. Every finding in the tree must either be
-# fixed or carry an explicit sp-lint suppression with a reason; zero
-# unsuppressed findings is the bar (see DESIGN.md §3.5).
-cmake --build build -j "$JOBS" --target sp_lint
+# Stage 8: the project linter — the per-file rule catalog plus the
+# cross-file semantic passes (DESIGN.md §3.10): lock-rank against the
+# §3.5 table, the layering DAG against src/lint/layers.def, the
+# snapshot-escape rule, and the stale-suppression audit (both auto-
+# detected from the repo root). Every finding in the tree must either
+# be fixed or carry an explicit sp-lint suppression with a reason; zero
+# unsuppressed findings is the bar.
+cmake --build build -j "$JOBS" --target sp_lint_cli
 ./build/tools/sp_lint --json > build/sp_lint_report.json
 python3 - <<'EOF'
 import json
 report = json.load(open("build/sp_lint_report.json"))
 print(f"sp_lint: {report['files_scanned']} files, "
       f"{report['unsuppressed']} unsuppressed, {report['suppressed']} suppressed")
+if report["files_scanned"] < 100:
+    raise SystemExit("sp_lint walked suspiciously few files — wrong cwd?")
 if report["unsuppressed"] != 0:
     for finding in report["findings"]:
         if not finding["suppressed"]:

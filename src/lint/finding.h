@@ -1,0 +1,22 @@
+// sp::lint::Finding — one diagnostic, shared by the per-file rule
+// catalog (rules.h), the suppression machinery (suppress.h), and the
+// cross-file semantic passes (semantic.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sp::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;  // set when suppressed
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+}  // namespace sp::lint

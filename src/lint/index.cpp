@@ -1,0 +1,337 @@
+#include "lint/index.h"
+
+#include <cctype>
+
+namespace sp::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident(const Token& token, std::string_view text) {
+  return token.kind == TokenKind::Identifier && token.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& token, char c) {
+  return token.kind == TokenKind::Punct && token.text.size() == 1 && token.text[0] == c;
+}
+
+[[nodiscard]] std::size_t matching(const std::vector<Token>& tokens, std::size_t open,
+                                   char opener, char closer) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], opener)) ++depth;
+    if (is_punct(tokens[i], closer) && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+[[nodiscard]] std::size_t matching_back(const std::vector<Token>& tokens, std::size_t close,
+                                        char opener, char closer) {
+  std::size_t depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (is_punct(tokens[i], closer)) ++depth;
+    if (is_punct(tokens[i], opener) && --depth == 0) return i;
+  }
+  return 0;
+}
+
+[[nodiscard]] bool is_control_keyword(std::string_view text) {
+  return text == "if" || text == "for" || text == "while" || text == "switch" ||
+         text == "catch";
+}
+
+[[nodiscard]] bool is_guard_type(std::string_view text) {
+  return text == "scoped_lock" || text == "lock_guard" || text == "unique_lock" ||
+         text == "shared_lock";
+}
+
+/// Keywords and cast forms that read as `name (` but are not calls the
+/// lock-rank pass could ever inline through.
+[[nodiscard]] bool is_uncallable(std::string_view text) {
+  return is_control_keyword(text) || text == "return" || text == "sizeof" ||
+         text == "alignof" || text == "decltype" || text == "noexcept" ||
+         text == "static_cast" || text == "dynamic_cast" || text == "reinterpret_cast" ||
+         text == "const_cast" || text == "new" || text == "delete" || text == "throw" ||
+         text == "static_assert" || is_guard_type(text);
+}
+
+/// True when the '{' at `open` starts a function (or lambda) body:
+/// walks back a few tokens over qualifiers/trailing-return spellings to
+/// a ')' that does not close an if/for/while/switch/catch condition.
+/// On success `*params_close` is that ')' token.
+[[nodiscard]] bool is_function_body(const std::vector<Token>& tokens, std::size_t open,
+                                    std::size_t* params_close) {
+  std::size_t back = open;
+  for (int hops = 0; back-- > 0 && hops < 8; ++hops) {
+    const Token& token = tokens[back];
+    if (is_punct(token, ')')) {
+      const std::size_t param_open = matching_back(tokens, back, '(', ')');
+      if (param_open > 0 && tokens[param_open - 1].kind == TokenKind::Identifier &&
+          is_control_keyword(tokens[param_open - 1].text)) {
+        return false;  // if/for/while body
+      }
+      *params_close = back;
+      return true;
+    }
+    const bool qualifier = token.kind == TokenKind::Identifier &&
+                           (token.text == "const" || token.text == "noexcept" ||
+                            token.text == "override" || token.text == "final" ||
+                            token.text == "mutable" || token.text == "try");
+    const bool arrow_type = token.kind == TokenKind::Identifier || is_punct(token, '>') ||
+                            is_punct(token, '-') || is_punct(token, ':') ||
+                            is_punct(token, '*');
+    if (!qualifier && !arrow_type) return false;
+  }
+  return false;
+}
+
+/// Name and qualifier of the function whose parameter list closes at
+/// `params_close`. Empty name when the spelling before '(' is not an
+/// identifier (lambdas, operators, function-style initializers).
+void function_name(const std::vector<Token>& tokens, std::size_t params_close,
+                   std::string* name, std::string* qualifier) {
+  const std::size_t open = matching_back(tokens, params_close, '(', ')');
+  if (open == 0 || tokens[open - 1].kind != TokenKind::Identifier) return;
+  *name = tokens[open - 1].text;
+  if (open >= 4 && is_punct(tokens[open - 2], ':') && is_punct(tokens[open - 3], ':') &&
+      tokens[open - 4].kind == TokenKind::Identifier) {
+    *qualifier = tokens[open - 4].text;
+  }
+}
+
+/// Token index closing the innermost block that encloses token `at`
+/// (bounded by `limit`): the lifetime of a guard declared at `at`.
+[[nodiscard]] std::size_t enclosing_block_end(const std::vector<Token>& tokens, std::size_t at,
+                                              std::size_t limit) {
+  std::size_t depth = 0;
+  for (std::size_t i = at; i <= limit && i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], '{')) ++depth;
+    if (is_punct(tokens[i], '}')) {
+      if (depth == 0) return i;
+      --depth;
+    }
+  }
+  return limit;
+}
+
+/// Extracts the guard acquisition starting at guard-type token `i`
+/// (already matched by is_guard_type). Appends one LockSite per mutex
+/// argument; returns the index to resume scanning at.
+std::size_t extract_lock(const std::vector<Token>& tokens, std::size_t i, std::size_t body_end,
+                         std::vector<LockSite>& out) {
+  std::size_t j = i + 1;
+  if (j < tokens.size() && is_punct(tokens[j], '<')) j = matching(tokens, j, '<', '>') + 1;
+  if (j < tokens.size() && tokens[j].kind == TokenKind::Identifier) ++j;  // guard variable
+  if (j >= tokens.size() || !is_punct(tokens[j], '(')) return i + 1;
+  const std::size_t args_end = matching(tokens, j, '(', ')');
+  const std::size_t scope_end = enclosing_block_end(tokens, i, body_end);
+  std::size_t arg_begin = j + 1;
+  std::size_t depth = 0;
+  for (std::size_t k = j + 1; k <= args_end && k < tokens.size(); ++k) {
+    const bool splitter = k == args_end || (depth == 0 && is_punct(tokens[k], ','));
+    if (is_punct(tokens[k], '(') || is_punct(tokens[k], '[') || is_punct(tokens[k], '<')) {
+      ++depth;
+    } else if (is_punct(tokens[k], ')') || is_punct(tokens[k], ']') ||
+               is_punct(tokens[k], '>')) {
+      if (depth > 0) --depth;
+    }
+    if (!splitter) continue;
+    // The mutex expression's last identifier names the member —
+    // `months_[m]->mutex`, `worker.inbox_mutex_` and plain `mutex_` all
+    // resolve through their final path component.
+    std::string member;
+    bool tag_arg = false;
+    for (std::size_t t = arg_begin; t < k; ++t) {
+      if (tokens[t].kind != TokenKind::Identifier) continue;
+      if (tokens[t].text == "adopt_lock" || tokens[t].text == "defer_lock" ||
+          tokens[t].text == "try_to_lock") {
+        tag_arg = true;
+      }
+      member = tokens[t].text;
+    }
+    if (!member.empty() && !tag_arg) {
+      out.push_back({member, i, tokens[i].line, scope_end});
+    }
+    arg_begin = k + 1;
+  }
+  return args_end + 1;
+}
+
+void extract_body_facts(const std::vector<Token>& tokens, FunctionDef& fn) {
+  for (std::size_t i = fn.body_begin + 1; i < fn.body_end && i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.kind != TokenKind::Identifier) continue;
+    if (is_guard_type(token.text)) {
+      i = extract_lock(tokens, i, fn.body_end, fn.locks) - 1;
+      continue;
+    }
+    if (i + 1 < tokens.size() && is_punct(tokens[i + 1], '(') && !is_uncallable(token.text)) {
+      fn.calls.push_back({token.text, i, token.line});
+    }
+  }
+}
+
+[[nodiscard]] std::vector<IncludeRef> extract_includes(const SourceFile& source) {
+  std::vector<IncludeRef> includes;
+  for (const Token& token : source.tokens) {
+    if (token.kind != TokenKind::Preprocessor) continue;
+    const std::size_t at = token.text.find("include");
+    if (at == std::string::npos) continue;
+    const std::size_t open = token.text.find('"', at);
+    if (open == std::string::npos) continue;  // <system> include
+    const std::size_t close = token.text.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    includes.push_back({token.text.substr(open + 1, close - open - 1), token.line});
+  }
+  return includes;
+}
+
+/// Parses "lock-order: <rank> <name>" out of a comment block's text.
+[[nodiscard]] bool parse_annotation(std::string_view text, int* rank, std::string* name) {
+  const std::size_t at = text.find("lock-order:");
+  if (at == std::string_view::npos) return false;
+  std::size_t i = at + 11;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  const std::size_t digits = i;
+  int value = 0;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+    value = value * 10 + (text[i] - '0');
+    ++i;
+  }
+  if (i == digits) return false;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  const std::size_t name_begin = i;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) == 0 &&
+         text[i] != '(') {
+    ++i;
+  }
+  if (i == name_begin) return false;
+  *rank = value;
+  *name = std::string(text.substr(name_begin, i - name_begin));
+  return true;
+}
+
+/// Annotated std::mutex-family member declarations: the same detection
+/// the per-file lock-order rule uses, except here the annotation's rank
+/// and global name are resolved to the member spelling for the
+/// lock-rank pass.
+[[nodiscard]] std::vector<LockAnnotation> extract_annotations(
+    const SourceFile& source, const std::vector<CommentBlock>& blocks) {
+  std::vector<LockAnnotation> annotations;
+  const auto& tokens = source.tokens;
+  for (std::size_t i = 0; i + 4 < tokens.size(); ++i) {
+    if (!is_ident(tokens[i], "std") || !is_punct(tokens[i + 1], ':') ||
+        !is_punct(tokens[i + 2], ':')) {
+      continue;
+    }
+    const Token& type = tokens[i + 3];
+    if (type.kind != TokenKind::Identifier ||
+        (type.text != "mutex" && type.text != "recursive_mutex" &&
+         type.text != "shared_mutex" && type.text != "timed_mutex" &&
+         type.text != "recursive_timed_mutex" && type.text != "shared_timed_mutex")) {
+      continue;
+    }
+    const Token& name = tokens[i + 4];
+    if (name.kind != TokenKind::Identifier || i + 5 >= tokens.size() ||
+        !is_punct(tokens[i + 5], ';')) {
+      continue;
+    }
+    const std::size_t line = tokens[i].line;
+    for (const CommentBlock& block : blocks) {
+      if (block.first > line) break;
+      const bool covers = (block.first <= line && line <= block.last) || block.last + 1 == line;
+      if (!covers) continue;
+      int rank = 0;
+      std::string global;
+      if (parse_annotation(block.text, &rank, &global)) {
+        annotations.push_back({rank, global, name.text, line});
+        break;
+      }
+    }
+  }
+  return annotations;
+}
+
+}  // namespace
+
+std::string file_key(std::string_view path) {
+  const std::size_t at = path.rfind("/src/");
+  if (at != std::string_view::npos) return std::string(path.substr(at + 5));
+  if (path.substr(0, 4) == "src/") return std::string(path.substr(4));
+  return std::string(path);
+}
+
+std::string key_stem(std::string_view key) {
+  const std::size_t dot = key.rfind('.');
+  return std::string(dot == std::string_view::npos ? key : key.substr(0, dot));
+}
+
+void ProjectIndex::add_file(std::string path, SourceFile source) {
+  FileIndex file;
+  file.path = std::move(path);
+  file.key = file_key(file.path);
+  file.blocks = comment_blocks(source);
+  file.includes = extract_includes(source);
+  file.annotations = extract_annotations(source, file.blocks);
+
+  const auto& tokens = source.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!is_punct(tokens[i], '{')) continue;
+    std::size_t params_close = 0;
+    if (!is_function_body(tokens, i, &params_close)) continue;
+    FunctionDef fn;
+    function_name(tokens, params_close, &fn.name, &fn.qualifier);
+    fn.line = tokens[i].line;
+    fn.body_begin = i;
+    fn.body_end = matching(tokens, i, '{', '}');
+    extract_body_facts(tokens, fn);
+    if (!fn.name.empty()) {
+      defs_by_name_[fn.name].push_back({files_.size(), file.functions.size()});
+    }
+    file.functions.push_back(std::move(fn));
+    i = file.functions.back().body_end;  // nested blocks belong to this body
+  }
+
+  file.source = std::move(source);
+  by_key_.emplace(file.key, files_.size());
+  files_.push_back(std::move(file));
+}
+
+const FileIndex* ProjectIndex::by_key(std::string_view key) const {
+  const auto it = by_key_.find(std::string(key));
+  return it == by_key_.end() ? nullptr : &files_[it->second];
+}
+
+std::unordered_set<std::string> ProjectIndex::include_closure(const FileIndex& file) const {
+  std::unordered_set<std::string> closure{file.key};
+  std::vector<const FileIndex*> frontier{&file};
+  while (!frontier.empty()) {
+    const FileIndex* current = frontier.back();
+    frontier.pop_back();
+    for (const IncludeRef& include : current->includes) {
+      if (!closure.insert(include.target).second) continue;
+      if (const FileIndex* next = by_key(include.target)) frontier.push_back(next);
+    }
+  }
+  return closure;
+}
+
+bool ProjectIndex::closure_reaches(const std::unordered_set<std::string>& closure,
+                                   std::string_view key) const {
+  if (closure.count(std::string(key)) != 0) return true;
+  // Definitions live in "x.cpp"; consumers include "x.h"/"x.hpp".
+  const std::string stem = key_stem(key);
+  return closure.count(stem + ".h") != 0 || closure.count(stem + ".hpp") != 0;
+}
+
+std::vector<std::pair<const FileIndex*, const FunctionDef*>> ProjectIndex::definitions_of(
+    std::string_view name) const {
+  std::vector<std::pair<const FileIndex*, const FunctionDef*>> out;
+  const auto it = defs_by_name_.find(std::string(name));
+  if (it == defs_by_name_.end()) return out;
+  for (const auto& [file_idx, fn_idx] : it->second) {
+    out.push_back({&files_[file_idx], &files_[file_idx].functions[fn_idx]});
+  }
+  return out;
+}
+
+}  // namespace sp::lint

@@ -1,0 +1,128 @@
+// sp::lint::ProjectIndex — the lightweight whole-tree index the
+// cross-file semantic passes (semantic.h) share. Built on the same
+// tokenizer as the per-file rules (token.h): no libclang, no
+// preprocessor expansion — per file it records exactly the facts the
+// passes need and nothing more:
+//
+//   * project-relative `#include "sub/file.h"` references (the layering
+//     DAG's edges, and the closure that scopes name resolution);
+//   * function definitions with their body token spans (free functions,
+//     methods, constructors; lambdas belong to the enclosing named
+//     function, which is the right owner for lock scopes and call
+//     sites);
+//   * call sites inside each function body (callee spelling only — the
+//     lock-rank pass inlines one level through calls whose name
+//     resolves inside the caller's include closure);
+//   * guard-object lock acquisitions (`scoped_lock`/`lock_guard`/
+//     `unique_lock`/`shared_lock`) with the acquired member's spelling
+//     and the token span the guard is held for (its enclosing block);
+//   * `// lock-order: <rank> <name>` annotations resolved to the mutex
+//     member they document.
+//
+// File keys: every indexed file is addressed by its path with the
+// leading `.../src/` stripped (`serve/service.h`), matching the
+// spelling of project includes, so the include closure and the
+// `foo.cpp` ↔ `foo.h` stem pairing are plain string lookups.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/suppress.h"
+#include "lint/token.h"
+
+namespace sp::lint {
+
+struct IncludeRef {
+  std::string target;  // include spelling, e.g. "core/worker_pool.h"
+  std::size_t line = 0;
+};
+
+struct CallSite {
+  std::string callee;     // spelling of the called identifier
+  std::size_t token = 0;  // index of the callee identifier token
+  std::size_t line = 0;
+};
+
+struct LockSite {
+  std::string member;         // last identifier of the mutex expression
+  std::size_t token = 0;      // index of the guard-type identifier token
+  std::size_t line = 0;
+  std::size_t scope_end = 0;  // token index closing the guard's block
+};
+
+struct FunctionDef {
+  std::string name;        // unqualified spelling ("run", "query_many")
+  std::string qualifier;   // "WorkerPool" from WorkerPool::run, or ""
+  std::size_t line = 0;
+  std::size_t body_begin = 0;  // token index of the body '{'
+  std::size_t body_end = 0;    // token index of the matching '}'
+  std::vector<CallSite> calls;
+  std::vector<LockSite> locks;
+};
+
+struct LockAnnotation {
+  int rank = 0;
+  std::string name;    // global lock name, e.g. "serve.service.pool_mutex"
+  std::string member;  // the annotated member's spelling, e.g. "mutex_"
+  std::size_t line = 0;
+};
+
+struct FileIndex {
+  std::string path;  // as walked (findings use this spelling)
+  std::string key;   // path with the leading ".../src/" stripped
+  SourceFile source;
+  std::vector<CommentBlock> blocks;
+  std::vector<IncludeRef> includes;
+  std::vector<FunctionDef> functions;
+  std::vector<LockAnnotation> annotations;
+};
+
+class ProjectIndex {
+ public:
+  /// Indexes one already-tokenized file and takes ownership of the
+  /// token stream. Call once per file, then resolve lookups.
+  void add_file(std::string path, SourceFile source);
+
+  [[nodiscard]] const std::vector<FileIndex>& files() const { return files_; }
+
+  /// The file indexed under `key`, or nullptr.
+  [[nodiscard]] const FileIndex* by_key(std::string_view key) const;
+
+  /// Transitive include closure of `file` as a set of file keys,
+  /// `file.key` included. Only includes that resolve to indexed files
+  /// are followed (system headers and out-of-tree includes are not in
+  /// the index).
+  [[nodiscard]] std::unordered_set<std::string> include_closure(const FileIndex& file) const;
+
+  /// True when `file`'s closure reaches `key` directly, or reaches the
+  /// header paired with `key` by stem (`core/worker_pool.h` stands in
+  /// for `core/worker_pool.cpp` — definitions live in the .cpp, but
+  /// consumers include the header).
+  [[nodiscard]] bool closure_reaches(const std::unordered_set<std::string>& closure,
+                                     std::string_view key) const;
+
+  /// Every indexed function definition with spelling `name`.
+  [[nodiscard]] std::vector<std::pair<const FileIndex*, const FunctionDef*>> definitions_of(
+      std::string_view name) const;
+
+ private:
+  std::vector<FileIndex> files_;
+  std::unordered_map<std::string, std::size_t> by_key_;
+  std::unordered_map<std::string, std::vector<std::pair<std::size_t, std::size_t>>>
+      defs_by_name_;  // name → (file idx, function idx)
+};
+
+/// The file key for `path`: everything after the last "/src/" component
+/// (or after a leading "src/"), else the path unchanged. "a/b" keys are
+/// what project includes spell.
+[[nodiscard]] std::string file_key(std::string_view path);
+
+/// Stem of a key with its extension dropped: "core/worker_pool".
+[[nodiscard]] std::string key_stem(std::string_view key);
+
+}  // namespace sp::lint

@@ -4,6 +4,11 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
+
+#include "lint/index.h"
+#include "lint/semantic.h"
+#include "lint/suppress.h"
 
 namespace sp::lint {
 
@@ -34,7 +39,56 @@ void json_escape(std::string& out, std::string_view text) {
          path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+[[nodiscard]] std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+/// The shared back half of the pipeline: per-file rules over every
+/// indexed file, semantic passes over the whole index, suppression
+/// application, and the stale audit. Findings come back unsorted.
+[[nodiscard]] std::vector<Finding> run_pipeline(const ProjectIndex& index,
+                                                const SemanticOptions& semantic_options) {
+  std::vector<Finding> findings;
+  std::unordered_map<std::string, Suppressions> suppressions;
+  for (const FileIndex& file : index.files()) {
+    suppressions.emplace(file.path, collect_suppressions(file.path, file.blocks, findings));
+    run_file_rules(file.path, file.source, file.blocks, findings);
+  }
+  for (Finding& finding : run_semantic_passes(index, semantic_options)) {
+    findings.push_back(std::move(finding));
+  }
+  for (Finding& finding : findings) {
+    if (finding.rule == "suppression") continue;
+    const auto it = suppressions.find(finding.file);
+    if (it != suppressions.end()) apply_suppressions(it->second, finding);
+  }
+  // Staleness is decided only now, after every rule and pass has had
+  // its chance to consume each entry.
+  for (const FileIndex& file : index.files()) {
+    for (Finding& finding : stale_suppressions(file.path, suppressions.at(file.path))) {
+      findings.push_back(std::move(finding));
+    }
+  }
+  return findings;
+}
+
 }  // namespace
+
+LintOptions LintOptions::detect(const std::string& root) {
+  namespace fs = std::filesystem;
+  LintOptions options;
+  std::error_code ec;
+  const std::string design = root.empty() ? "DESIGN.md" : root + "/DESIGN.md";
+  const std::string layers =
+      root.empty() ? "src/lint/layers.def" : root + "/src/lint/layers.def";
+  if (fs::is_regular_file(design, ec)) options.design_md_path = design;
+  if (fs::is_regular_file(layers, ec)) options.layers_def_path = layers;
+  return options;
+}
 
 std::string LintReport::to_json() const {
   std::string out = "{\"files_scanned\":" + std::to_string(files_scanned) +
@@ -92,10 +146,16 @@ std::vector<Finding> lint_file(const std::string& path, const std::string& label
   }
   std::ostringstream content;
   content << in.rdbuf();
-  return lint_source(name, content.str());
+  ProjectIndex index;
+  index.add_file(name, tokenize(content.str()));
+  std::vector<Finding> findings = run_pipeline(index, SemanticOptions{});
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return findings;
 }
 
-LintReport lint_paths(const std::vector<std::string>& roots) {
+LintReport lint_paths(const std::vector<std::string>& roots, const LintOptions& options) {
   namespace fs = std::filesystem;
   LintReport report;
   std::vector<std::string> files;
@@ -115,12 +175,37 @@ LintReport lint_paths(const std::vector<std::string>& roots) {
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  ProjectIndex index;
   for (const std::string& file : files) {
-    std::vector<Finding> found = lint_file(file);
-    report.findings.insert(report.findings.end(), std::make_move_iterator(found.begin()),
-                           std::make_move_iterator(found.end()));
+    index.add_file(file, tokenize(slurp(file)));
     ++report.files_scanned;
   }
+
+  SemanticOptions semantic_options;
+  if (!options.design_md_path.empty()) {
+    semantic_options.design_md_text = slurp(options.design_md_path);
+  }
+  if (!options.layers_def_path.empty()) {
+    semantic_options.layers_def_text = slurp(options.layers_def_path);
+    semantic_options.layers_def_path = options.layers_def_path;
+  }
+
+  report.findings = run_pipeline(index, semantic_options);
+  if (!options.rule_filter.empty()) {
+    report.findings.erase(std::remove_if(report.findings.begin(), report.findings.end(),
+                                         [&](const Finding& finding) {
+                                           return finding.rule != options.rule_filter;
+                                         }),
+                          report.findings.end());
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
   return report;
 }
 

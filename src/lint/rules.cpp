@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cctype>
-#include <map>
-#include <unordered_map>
 
 namespace sp::lint {
 
@@ -45,146 +43,6 @@ Finding make(std::string file, std::size_t line, std::string rule, std::string m
                                        std::tolower(static_cast<unsigned char>(b));
                               });
   return it != haystack.end();
-}
-
-// ---------------------------------------------------------------------------
-// Comment blocks
-
-/// A run of comments on consecutive lines, merged into one text. Authors
-/// wrap long suppression reasons and lock-order annotations over several
-/// `//` lines; rules must see the whole block, not one physical line.
-struct CommentBlock {
-  std::size_t first = 0;
-  std::size_t last = 0;
-  std::string text;  // the lines' comment text, joined with single spaces
-};
-
-/// One comment line's text with the `// `/`/* ` marker and surrounding
-/// whitespace removed, so merged blocks read as continuous prose.
-[[nodiscard]] std::string strip_comment_markers(std::string_view text) {
-  std::size_t begin = text.find_first_not_of(" \t");
-  if (begin == std::string_view::npos) return {};
-  if (text.substr(begin, 2) == "//" || text.substr(begin, 2) == "/*") {
-    begin = text.find_first_not_of(" \t/*", begin);
-    if (begin == std::string_view::npos) return {};
-  }
-  const std::size_t end = text.find_last_not_of(" \t");
-  return std::string(text.substr(begin, end - begin + 1));
-}
-
-[[nodiscard]] std::vector<CommentBlock> comment_blocks(const SourceFile& source) {
-  const std::map<std::size_t, std::string> ordered(source.comments.begin(),
-                                                   source.comments.end());
-  std::vector<CommentBlock> blocks;
-  for (const auto& [line, text] : ordered) {
-    if (!blocks.empty() && blocks.back().last + 1 == line) {
-      blocks.back().last = line;
-      blocks.back().text += ' ';
-      blocks.back().text += strip_comment_markers(text);
-    } else {
-      blocks.push_back({line, line, strip_comment_markers(text)});
-    }
-  }
-  return blocks;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions
-
-struct Suppressions {
-  // line → rule → reason ("" = malformed, already reported)
-  std::map<std::size_t, std::unordered_map<std::string, std::string>> by_line;
-  std::unordered_map<std::string, std::string> by_file;
-};
-
-/// Parses `<rule>-ok(<reason>)` entries out of one comment's text after
-/// an `sp-lint:`/`sp-lint-file:` marker. Malformed entries (no parens,
-/// empty reason) produce `suppression` findings — an escape hatch that
-/// does not say why is a finding itself.
-void parse_entries(std::string_view text, std::size_t line, bool file_scope,
-                   std::string_view path, Suppressions& out, std::vector<Finding>& findings) {
-  std::size_t at = 0;
-  while ((at = text.find("-ok", at)) != std::string_view::npos) {
-    // Rule name: the [A-Za-z0-9-] run ending right before "-ok".
-    std::size_t start = at;
-    while (start > 0 && (std::isalnum(static_cast<unsigned char>(text[start - 1])) != 0 ||
-                         text[start - 1] == '-')) {
-      --start;
-    }
-    const std::string rule(text.substr(start, at - start));
-    const std::size_t after = at + 3;
-    at = after;
-    if (rule.empty()) continue;
-    if (after >= text.size() || text[after] != '(') {
-      findings.push_back(make(std::string(path), line, "suppression",
-                          "suppression '" + rule + "-ok' has no (<reason>)"));
-      continue;
-    }
-    const std::size_t close = text.find(')', after + 1);
-    const std::string reason(text.substr(
-        after + 1, close == std::string_view::npos ? std::string_view::npos : close - after - 1));
-    if (reason.find_first_not_of(" \t") == std::string::npos ||
-        close == std::string_view::npos) {
-      findings.push_back(make(std::string(path), line, "suppression",
-                          "suppression '" + rule + "-ok' has an empty reason"));
-      continue;
-    }
-    if (file_scope) {
-      out.by_file.emplace(rule, reason);
-    } else {
-      out.by_line[line].emplace(rule, reason);
-    }
-    at = close + 1;
-  }
-}
-
-[[nodiscard]] Suppressions collect_suppressions(std::string_view path,
-                                                const std::vector<CommentBlock>& blocks,
-                                                std::vector<Finding>& findings) {
-  Suppressions out;
-  for (const CommentBlock& block : blocks) {
-    std::size_t at = block.text.find("sp-lint-file:");
-    if (at != std::string::npos) {
-      parse_entries(std::string_view(block.text).substr(at + 13), block.first,
-                    /*file_scope=*/true, path, out, findings);
-    }
-    at = block.text.find("sp-lint:");
-    if (at != std::string::npos) {
-      Suppressions parsed;
-      parse_entries(std::string_view(block.text).substr(at + 8), block.first,
-                    /*file_scope=*/false, path, parsed, findings);
-      // A block-level suppression covers every line the block spans, so
-      // `apply_suppressions`'s line/line-1 check reaches code directly
-      // after a wrapped comment just as it does a single-line one.
-      for (const auto& [_, entries] : parsed.by_line) {
-        for (std::size_t line = block.first; line <= block.last; ++line) {
-          out.by_line[line].insert(entries.begin(), entries.end());
-        }
-      }
-    }
-  }
-  return out;
-}
-
-/// Marks `finding` suppressed when a matching line- or file-scoped
-/// suppression exists; a line suppression covers the finding's line and
-/// the line directly above it.
-void apply_suppressions(const Suppressions& suppressions, Finding& finding) {
-  for (const std::size_t line : {finding.line, finding.line - 1}) {
-    const auto row = suppressions.by_line.find(line);
-    if (row == suppressions.by_line.end()) continue;
-    const auto entry = row->second.find(finding.rule);
-    if (entry != row->second.end()) {
-      finding.suppressed = true;
-      finding.suppress_reason = entry->second;
-      return;
-    }
-  }
-  const auto entry = suppressions.by_file.find(finding.rule);
-  if (entry != suppressions.by_file.end()) {
-    finding.suppressed = true;
-    finding.suppress_reason = entry->second;
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -457,27 +315,13 @@ void rule_lock_order(std::string_view path, const SourceFile& source,
 
 }  // namespace
 
-std::vector<Finding> run_rules(std::string_view path, const SourceFile& source) {
-  std::vector<Finding> findings;
-  const std::vector<CommentBlock> blocks = comment_blocks(source);
-  Suppressions suppressions = collect_suppressions(path, blocks, findings);
+void run_file_rules(std::string_view path, const SourceFile& source,
+                    const std::vector<CommentBlock>& blocks, std::vector<Finding>& findings) {
   rule_determinism(path, source, findings);
   rule_atomics(path, source, findings);
   rule_mmap_safety(path, source, findings);
   rule_header_hygiene(path, source, findings);
   rule_lock_order(path, source, blocks, findings);
-  for (Finding& finding : findings) {
-    if (finding.rule != "suppression") apply_suppressions(suppressions, finding);
-  }
-  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
-    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
-  });
-  return findings;
-}
-
-std::vector<Finding> lint_source(std::string_view path, std::string_view content) {
-  const SourceFile source = tokenize(content);
-  return run_rules(path, source);
 }
 
 }  // namespace sp::lint

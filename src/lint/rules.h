@@ -1,7 +1,10 @@
-// sp::lint rule catalog — the project invariants enforced as token
-// patterns over lint::SourceFile streams (see DESIGN.md §3.5).
+// sp::lint per-file rule catalog — the project invariants enforced as
+// token patterns over one lint::SourceFile stream at a time (see
+// DESIGN.md §3.5). The cross-file analyses live in semantic.h; the
+// driver (lint.h) runs both over the same index and owns suppression
+// application.
 //
-// Shipped rules, each grounded in a subsystem contract:
+// Shipped per-file rules, each grounded in a subsystem contract:
 //
 //   determinism     No wall-clock or nondeterministic randomness in any
 //                   detect/serve/pipeline path: `rand`/`srand`,
@@ -29,7 +32,9 @@
 //   lock-order      Every std::mutex-family member declaration carries a
 //                   `// lock-order: <rank> <name>` annotation naming its
 //                   place in the project lock hierarchy — the static
-//                   half of lint::LockOrderRegistry (lock_order.h).
+//                   half of lint::LockOrderRegistry (lock_order.h). The
+//                   ranks themselves are verified by the cross-file
+//                   `lock-rank` pass (semantic.h).
 //
 // Suppressions: `// sp-lint: <rule>-ok(<reason>)` on the finding's line
 // or the line above suppresses one rule there; a file-scoped
@@ -37,35 +42,28 @@
 // the rule for the whole file (used where a file-level design comment
 // already argues the invariant, e.g. the relaxed counters of
 // serve/service.cpp). A suppression with an empty reason is itself a
-// finding (rule `suppression`): every escape hatch must say why.
+// finding (rule `suppression`), and one that silences nothing is a
+// `stale-suppression` finding: every escape hatch must say why, and
+// must still be earning its keep (suppress.h).
 #pragma once
 
-#include <cstddef>
-#include <string>
 #include <string_view>
 #include <vector>
 
+#include "lint/finding.h"
+#include "lint/suppress.h"
 #include "lint/token.h"
 
 namespace sp::lint {
 
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-  bool suppressed = false;
-  std::string suppress_reason;  // set when suppressed
-
-  friend bool operator==(const Finding&, const Finding&) = default;
-};
-
-/// Runs every rule over one lexed file. `path` is the path as walked
+/// Runs the per-file rule catalog over one lexed file, appending raw
+/// (unsuppressed, unsorted) findings. `path` is the path as walked
 /// (rule applicability is path-based: src/obs/, serve/, src/synth/,
-/// header extensions) and is copied into each finding.
-[[nodiscard]] std::vector<Finding> run_rules(std::string_view path, const SourceFile& source);
-
-/// Convenience: tokenize + run_rules.
-[[nodiscard]] std::vector<Finding> lint_source(std::string_view path, std::string_view content);
+/// header extensions) and is copied into each finding; `blocks` are the
+/// file's merged comment blocks (comment_blocks()). The driver applies
+/// suppressions afterwards, so their use-tracking also spans the
+/// semantic passes.
+void run_file_rules(std::string_view path, const SourceFile& source,
+                    const std::vector<CommentBlock>& blocks, std::vector<Finding>& findings);
 
 }  // namespace sp::lint

@@ -1,0 +1,725 @@
+#include "lint/semantic.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sp::lint {
+
+namespace {
+
+Finding make(std::string file, std::size_t line, std::string rule, std::string message) {
+  Finding finding;
+  finding.file = std::move(file);
+  finding.line = line;
+  finding.rule = std::move(rule);
+  finding.message = std::move(message);
+  return finding;
+}
+
+[[nodiscard]] bool is_punct(const Token& token, char c) {
+  return token.kind == TokenKind::Punct && token.text.size() == 1 && token.text[0] == c;
+}
+
+/// True when `path` has `dir` as one of its directory components.
+[[nodiscard]] bool in_dir(std::string_view path, std::string_view dir) {
+  const std::string needle = "/" + std::string(dir) + "/";
+  if (path.find(needle) != std::string_view::npos) return true;
+  const std::string prefix = std::string(dir) + "/";
+  return path.substr(0, prefix.size()) == prefix;
+}
+
+[[nodiscard]] std::string trim(std::string_view text) {
+  const std::size_t begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string_view::npos) return {};
+  const std::size_t end = text.find_last_not_of(" \t\r");
+  return std::string(text.substr(begin, end - begin + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: lock-rank
+
+/// An annotated lock resolved at an acquisition or annotation site.
+struct ResolvedLock {
+  const LockAnnotation* annotation = nullptr;
+  const FileIndex* declared_in = nullptr;
+};
+
+/// A derived acquired-after edge with the witness site that produced it.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;      // witness: where `to` is acquired (or called)
+  std::size_t line = 0;
+  std::string via;       // callee name when derived by one-level inlining
+};
+
+class LockRankPass {
+ public:
+  explicit LockRankPass(const ProjectIndex& index) : index_(index) {
+    for (const FileIndex& file : index.files()) {
+      for (const LockAnnotation& annotation : file.annotations) {
+        by_member_[annotation.member].push_back({&annotation, &file});
+      }
+    }
+  }
+
+  /// Resolves the mutex member spelling acquired in `site_file` to its
+  /// annotation: candidates must be declared in the acquiring file's
+  /// include closure; ties break to the same file, then the same stem
+  /// (foo.cpp ↔ foo.h), then the same directory. Ambiguity resolves to
+  /// nothing — the pass stays silent rather than guess a rank.
+  [[nodiscard]] std::optional<ResolvedLock> resolve(
+      const std::string& member, const FileIndex& site_file,
+      const std::unordered_set<std::string>& closure) const {
+    const auto it = by_member_.find(member);
+    if (it == by_member_.end()) return std::nullopt;
+    std::vector<ResolvedLock> viable;
+    for (const ResolvedLock& candidate : it->second) {
+      if (index_.closure_reaches(closure, candidate.declared_in->key)) {
+        viable.push_back(candidate);
+      }
+    }
+    if (viable.empty()) return std::nullopt;
+    if (viable.size() == 1) return viable[0];
+    const auto prefer = [&](auto&& predicate) -> std::optional<ResolvedLock> {
+      std::vector<ResolvedLock> kept;
+      for (const ResolvedLock& candidate : viable) {
+        if (predicate(*candidate.declared_in)) kept.push_back(candidate);
+      }
+      if (kept.size() == 1) return kept[0];
+      return std::nullopt;
+    };
+    if (auto hit = prefer([&](const FileIndex& f) { return &f == &site_file; })) return hit;
+    const std::string stem = key_stem(site_file.key);
+    if (auto hit = prefer([&](const FileIndex& f) { return key_stem(f.key) == stem; })) {
+      return hit;
+    }
+    const std::string dir = site_file.key.substr(0, site_file.key.rfind('/') + 1);
+    if (auto hit = prefer([&](const FileIndex& f) {
+          return f.key.substr(0, f.key.rfind('/') + 1) == dir;
+        })) {
+      return hit;
+    }
+    return std::nullopt;
+  }
+
+  /// Every acquired-after edge in the tree: guard scopes nested within
+  /// one function, plus one level of inlining — a call made while a
+  /// guard is held contributes the callee's own acquisitions.
+  [[nodiscard]] std::vector<LockEdge> derive_edges() const {
+    std::vector<LockEdge> edges;
+    for (const FileIndex& file : index_.files()) {
+      const auto closure = index_.include_closure(file);
+      for (const FunctionDef& fn : file.functions) {
+        for (const LockSite& held : fn.locks) {
+          const auto from = resolve(held.member, file, closure);
+          if (!from) continue;
+          // Direct nesting: a second guard constructed inside the span
+          // the first is held for.
+          for (const LockSite& inner : fn.locks) {
+            if (inner.token <= held.token || inner.token > held.scope_end) continue;
+            const auto to = resolve(inner.member, file, closure);
+            if (!to || to->annotation->name == from->annotation->name) continue;
+            edges.push_back({from->annotation->name, to->annotation->name, file.path,
+                             inner.line, ""});
+          }
+          // One-level inlining: calls made under the guard pull in the
+          // callee's acquisitions. The callee must resolve by name to a
+          // definition whose file (or stem-paired header) is in the
+          // caller's include closure — cross-TU, but never cross-tree.
+          for (const CallSite& call : fn.calls) {
+            if (call.token <= held.token || call.token > held.scope_end) continue;
+            for (const auto& [callee_file, callee] : index_.definitions_of(call.callee)) {
+              if (!index_.closure_reaches(closure, callee_file->key)) continue;
+              const auto callee_closure = index_.include_closure(*callee_file);
+              for (const LockSite& inner : callee->locks) {
+                const auto to = resolve(inner.member, *callee_file, callee_closure);
+                if (!to || to->annotation->name == from->annotation->name) continue;
+                edges.push_back({from->annotation->name, to->annotation->name, file.path,
+                                 call.line, call.callee});
+              }
+            }
+          }
+        }
+      }
+    }
+    return edges;
+  }
+
+  void run(const SemanticOptions& options, std::vector<Finding>& findings) const {
+    // Annotation-vs-annotation: a global lock name must carry one rank,
+    // and a rank must name one lock.
+    std::map<std::string, int> ranks;
+    std::map<int, std::string> by_rank;
+    for (const FileIndex& file : index_.files()) {
+      for (const LockAnnotation& annotation : file.annotations) {
+        const auto [it, inserted] = ranks.emplace(annotation.name, annotation.rank);
+        if (!inserted && it->second != annotation.rank) {
+          findings.push_back(make(file.path, annotation.line, "lock-rank",
+                              "lock '" + annotation.name + "' annotated rank " +
+                                  std::to_string(annotation.rank) + " here but rank " +
+                                  std::to_string(it->second) + " elsewhere"));
+          continue;
+        }
+        const auto [rank_it, rank_new] = by_rank.emplace(annotation.rank, annotation.name);
+        if (!rank_new && rank_it->second != annotation.name) {
+          findings.push_back(make(file.path, annotation.line, "lock-rank",
+                              "rank " + std::to_string(annotation.rank) + " is claimed by both '" +
+                                  rank_it->second + "' and '" + annotation.name +
+                                  "' — ranks must totally order the hierarchy"));
+        }
+      }
+    }
+
+    // The derived graph must be strictly rank-upward.
+    for (const LockEdge& edge : derive_edges()) {
+      const int from_rank = ranks.at(edge.from);
+      const int to_rank = ranks.at(edge.to);
+      if (from_rank < to_rank) continue;
+      std::string message = "acquiring '" + edge.to + "' (rank " + std::to_string(to_rank) +
+                            ") while holding '" + edge.from + "' (rank " +
+                            std::to_string(from_rank) + ") inverts the documented order";
+      if (!edge.via.empty()) message += " (one level in, via call to '" + edge.via + "')";
+      findings.push_back(make(edge.file, edge.line, "lock-rank", std::move(message)));
+    }
+
+    // Cross-check against the DESIGN.md §3.5 table, both directions.
+    if (options.design_md_text.empty()) return;
+    const auto table = parse_rank_table(options.design_md_text);
+    std::unordered_set<std::string> documented;
+    for (const auto& [name, row] : table) documented.insert(name);
+    for (const FileIndex& file : index_.files()) {
+      for (const LockAnnotation& annotation : file.annotations) {
+        const auto it = table.find(annotation.name);
+        if (it == table.end()) {
+          findings.push_back(make(file.path, annotation.line, "lock-rank",
+                              "lock '" + annotation.name +
+                                  "' is not in the DESIGN.md §3.5 rank table — document it "
+                                  "before shipping a new lock"));
+        } else if (it->second.rank != annotation.rank) {
+          findings.push_back(make(file.path, annotation.line, "lock-rank",
+                              "lock '" + annotation.name + "' annotated rank " +
+                                  std::to_string(annotation.rank) + " but DESIGN.md §3.5 says " +
+                                  std::to_string(it->second.rank)));
+        }
+        documented.erase(annotation.name);
+      }
+    }
+    for (const std::string& name : documented) {
+      findings.push_back(make("DESIGN.md", table.at(name).line, "lock-rank",
+                          "documented lock '" + name +
+                              "' has no `// lock-order:` annotation anywhere in the tree"));
+    }
+  }
+
+  struct TableRow {
+    int rank = 0;
+    std::size_t line = 0;
+  };
+
+  [[nodiscard]] static std::map<std::string, TableRow> parse_rank_table(
+      std::string_view markdown) {
+    std::map<std::string, TableRow> rows;
+    std::istringstream in{std::string(markdown)};
+    std::string line;
+    bool armed = false;
+    for (std::size_t number = 1; std::getline(in, line); ++number) {
+      if (line.find("Lock-order ranks") != std::string::npos) {
+        armed = true;
+        continue;
+      }
+      if (!armed) continue;
+      if (line.rfind("###", 0) == 0 || line.rfind("**", 0) == 0) break;
+      const std::string text = trim(line);
+      if (text.empty() || text.front() != '|') continue;
+      // | <rank> | `<name>` | — split on '|', expect two payload cells.
+      std::vector<std::string> cells;
+      std::size_t at = 1;
+      while (at <= text.size()) {
+        const std::size_t next = text.find('|', at);
+        if (next == std::string::npos) break;
+        cells.push_back(trim(text.substr(at, next - at)));
+        at = next + 1;
+      }
+      if (cells.size() != 2) continue;
+      const std::string& rank_cell = cells[0];
+      std::string name_cell = cells[1];
+      if (rank_cell.empty() ||
+          rank_cell.find_first_not_of("0123456789") != std::string::npos) {
+        continue;  // header or divider row
+      }
+      if (name_cell.size() >= 2 && name_cell.front() == '`' && name_cell.back() == '`') {
+        name_cell = name_cell.substr(1, name_cell.size() - 2);
+      }
+      if (name_cell.empty()) continue;
+      rows.emplace(name_cell, TableRow{std::stoi(rank_cell), number});
+    }
+    return rows;
+  }
+
+ private:
+  const ProjectIndex& index_;
+  std::unordered_map<std::string, std::vector<ResolvedLock>> by_member_;
+};
+
+// ---------------------------------------------------------------------------
+// Pass 2: layering
+
+struct LayerDef {
+  std::map<std::string, std::size_t> layer_of;         // subsystem → layer index
+  std::vector<std::string> layer_names;                // by index
+  std::set<std::pair<std::string, std::string>> allowed;  // explicit exceptions
+  std::vector<Finding> parse_findings;
+};
+
+[[nodiscard]] LayerDef parse_layers(std::string_view text, const std::string& path) {
+  LayerDef def;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  for (std::size_t number = 1; std::getline(in, line); ++number) {
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::istringstream fields(trimmed);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "layer") {
+      std::string name;
+      fields >> name;
+      if (name.empty()) {
+        def.parse_findings.push_back(make(path, number, "layering", "layer line has no name"));
+        continue;
+      }
+      def.layer_names.push_back(name);
+      std::string subsystem;
+      std::size_t members = 0;
+      while (fields >> subsystem) {
+        ++members;
+        if (!def.layer_of.emplace(subsystem, def.layer_names.size() - 1).second) {
+          def.parse_findings.push_back(make(path, number, "layering",
+                                        "subsystem '" + subsystem +
+                                            "' is declared in more than one layer"));
+        }
+      }
+      if (members == 0) {
+        def.parse_findings.push_back(make(path, number, "layering",
+                                      "layer '" + name + "' declares no subsystems"));
+      }
+    } else if (keyword == "allow") {
+      std::string from, to;
+      fields >> from >> to;
+      if (from.empty() || to.empty()) {
+        def.parse_findings.push_back(make(path, number, "layering",
+                                      "allow line needs `allow <from> <to>`"));
+        continue;
+      }
+      def.allowed.emplace(from, to);
+    } else {
+      def.parse_findings.push_back(make(path, number, "layering",
+                                    "unknown directive '" + keyword +
+                                        "' (expected `layer` or `allow`)"));
+    }
+  }
+  return def;
+}
+
+void run_layering(const ProjectIndex& index, const SemanticOptions& options,
+                  std::vector<Finding>& findings) {
+  if (options.layers_def_text.empty()) return;
+  LayerDef def = parse_layers(options.layers_def_text, options.layers_def_path);
+  for (Finding& finding : def.parse_findings) findings.push_back(std::move(finding));
+
+  for (const FileIndex& file : index.files()) {
+    // Only files under a src/ subsystem participate: file_key stripped
+    // a ".../src/" prefix iff path != key, and the key's first
+    // component is the subsystem. Top-level files (src/sp.h) and
+    // non-src roots (tests/, examples/) are consumers, not layers.
+    if (file.path == file.key) continue;
+    const std::size_t slash = file.key.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string subsystem = file.key.substr(0, slash);
+    const auto source_layer = def.layer_of.find(subsystem);
+    if (source_layer == def.layer_of.end()) {
+      findings.push_back(make(file.path, 1, "layering",
+                          "subsystem '" + subsystem +
+                              "' is not declared in layers.def — add it to a layer"));
+      continue;
+    }
+    for (const IncludeRef& include : file.includes) {
+      const std::size_t include_slash = include.target.find('/');
+      if (include_slash == std::string::npos) continue;  // "sp.h" umbrella style
+      const std::string target = include.target.substr(0, include_slash);
+      if (target == subsystem) continue;
+      const auto target_layer = def.layer_of.find(target);
+      if (target_layer == def.layer_of.end()) {
+        findings.push_back(make(file.path, include.line, "layering",
+                            "#include \"" + include.target + "\": subsystem '" + target +
+                                "' is not declared in layers.def"));
+        continue;
+      }
+      if (def.allowed.count({subsystem, target}) != 0) continue;
+      if (target_layer->second > source_layer->second) {
+        findings.push_back(make(file.path, include.line, "layering",
+                            "#include \"" + include.target + "\": upward dependency — '" +
+                                subsystem + "' (layer " + def.layer_names[source_layer->second] +
+                                ") may not include '" + target + "' (layer " +
+                                def.layer_names[target_layer->second] + ")"));
+      } else if (target_layer->second == source_layer->second) {
+        findings.push_back(make(file.path, include.line, "layering",
+                            "#include \"" + include.target + "\": same-layer dependency '" +
+                                subsystem + "' → '" + target +
+                                "' is not declared; add an `allow " + subsystem + " " + target +
+                                "` line or move one subsystem"));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: snapshot-escape
+
+/// Name sets tracked per function body: pins (shared_ptr<Snapshot>
+/// owners) and raws (pointers/references derived through a pin).
+struct EscapeState {
+  std::unordered_set<std::string> pins;
+  std::unordered_set<std::string> raws;
+};
+
+[[nodiscard]] bool is_assign_token(const std::vector<Token>& tokens, std::size_t i) {
+  if (!is_punct(tokens[i], '=')) return false;
+  if (i + 1 < tokens.size() && is_punct(tokens[i + 1], '=')) return false;  // ==
+  if (i == 0) return false;
+  const Token& before = tokens[i - 1];
+  if (before.kind != TokenKind::Punct) return true;
+  const char c = before.text[0];
+  return c != '=' && c != '!' && c != '<' && c != '>' && c != '+' && c != '-' && c != '*' &&
+         c != '/' && c != '%' && c != '&' && c != '|' && c != '^';
+}
+
+/// True when the token range [begin, end) yields a raw pointer or
+/// reference into pinned snapshot data: `pin.get()`, address-of an
+/// expression rooted at a pin, or any reference to an already-derived
+/// raw local. Value reads through the pin (`pin->field` copied into a
+/// plain variable) are not raw.
+[[nodiscard]] bool raw_expr(const std::vector<Token>& tokens, std::size_t begin,
+                            std::size_t end, const EscapeState& state) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& token = tokens[i];
+    if (token.kind != TokenKind::Identifier) continue;
+    if (state.raws.count(token.text) != 0) return true;
+    if (state.pins.count(token.text) == 0) continue;
+    if (i > begin && is_punct(tokens[i - 1], '&')) return true;             // &pin...
+    if (i > begin + 1 && is_punct(tokens[i - 2], '&') && is_punct(tokens[i - 1], '*')) {
+      return true;                                                          // &*pin
+    }
+    if (i + 3 < end && is_punct(tokens[i + 1], '.') &&
+        tokens[i + 2].kind == TokenKind::Identifier && tokens[i + 2].text == "get" &&
+        is_punct(tokens[i + 3], '(')) {
+      return true;                                                          // pin.get()
+    }
+  }
+  return false;
+}
+
+/// True when [begin, end) mentions a pin at all (any access form).
+[[nodiscard]] bool mentions_pin(const std::vector<Token>& tokens, std::size_t begin,
+                                std::size_t end, const EscapeState& state) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (tokens[i].kind == TokenKind::Identifier && state.pins.count(tokens[i].text) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Raw out-parameters (pointer or reference) of the function whose
+/// parameter list spans (params_open, params_close).
+[[nodiscard]] std::unordered_set<std::string> out_params(const std::vector<Token>& tokens,
+                                                         std::size_t params_open,
+                                                         std::size_t params_close) {
+  std::unordered_set<std::string> names;
+  std::size_t depth = 0;
+  bool raw = false;
+  std::string last_ident;
+  for (std::size_t i = params_open + 1; i <= params_close && i < tokens.size(); ++i) {
+    const bool splitter =
+        i == params_close || (depth == 0 && is_punct(tokens[i], ','));
+    if (is_punct(tokens[i], '(') || is_punct(tokens[i], '<') || is_punct(tokens[i], '[')) {
+      ++depth;
+    } else if (is_punct(tokens[i], ')') || is_punct(tokens[i], '>') ||
+               is_punct(tokens[i], ']')) {
+      if (depth > 0) --depth;
+    } else if (depth == 0 && (is_punct(tokens[i], '*') || is_punct(tokens[i], '&'))) {
+      raw = true;
+    } else if (depth == 0 && tokens[i].kind == TokenKind::Identifier) {
+      last_ident = tokens[i].text;
+    }
+    if (splitter) {
+      if (raw && !last_ident.empty()) names.insert(last_ident);
+      raw = false;
+      last_ident.clear();
+    }
+  }
+  return names;
+}
+
+class SnapshotEscapePass {
+ public:
+  void run(const ProjectIndex& index, std::vector<Finding>& findings) const {
+    for (const FileIndex& file : index.files()) {
+      if (!in_dir(file.path, "serve") && !in_dir(file.path, "net")) continue;
+      for (const FunctionDef& fn : file.functions) {
+        analyze_function(file, fn, findings);
+      }
+    }
+  }
+
+ private:
+  static void analyze_function(const FileIndex& file, const FunctionDef& fn,
+                               std::vector<Finding>& findings) {
+    const auto& tokens = file.source.tokens;
+    std::unordered_set<std::string> outs;
+    if (fn.body_begin > 0) {
+      // Walk back from the body to the parameter list's ')'.
+      std::size_t close = fn.body_begin;
+      while (close-- > 0) {
+        if (is_punct(tokens[close], ')')) break;
+        if (is_punct(tokens[close], '{') || is_punct(tokens[close], ';')) {
+          close = 0;
+          break;
+        }
+      }
+      if (close > 0) {
+        std::size_t depth = 0;
+        std::size_t open = close + 1;
+        while (open-- > 0) {
+          if (is_punct(tokens[open], ')')) ++depth;
+          if (is_punct(tokens[open], '(') && --depth == 0) break;
+        }
+        outs = out_params(tokens, open, close);
+      }
+    }
+
+    EscapeState state;
+    // Statement-at-a-time scan: statements are token runs ending at ';'
+    // at brace depth relative to the body (braces reset nothing — the
+    // name sets are function-scoped, a deliberate over-approximation:
+    // a pin's derived raws stay suspect past the pin's block).
+    std::size_t statement_begin = fn.body_begin + 1;
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end && i < tokens.size(); ++i) {
+      if (is_punct(tokens[i], '{') || is_punct(tokens[i], '}')) {
+        statement_begin = i + 1;
+        continue;
+      }
+      if (!is_punct(tokens[i], ';')) continue;
+      analyze_statement(file, tokens, statement_begin, i, outs, state, findings);
+      statement_begin = i + 1;
+    }
+  }
+
+  static void analyze_statement(const FileIndex& file, const std::vector<Token>& tokens,
+                                std::size_t begin, std::size_t end,
+                                const std::unordered_set<std::string>& outs,
+                                EscapeState& state, std::vector<Finding>& findings) {
+    if (begin >= end) return;
+    // Locate the top-level assignment, if any.
+    std::size_t assign = end;
+    std::size_t depth = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (is_punct(tokens[i], '(') || is_punct(tokens[i], '[')) ++depth;
+      if (is_punct(tokens[i], ')') || is_punct(tokens[i], ']')) {
+        if (depth > 0) --depth;
+      }
+      if (depth == 0 && is_assign_token(tokens, i)) {
+        assign = i;
+        break;
+      }
+    }
+
+    const bool is_static = tokens[begin].kind == TokenKind::Identifier &&
+                           tokens[begin].text == "static";
+
+    if (assign != end) {
+      // Declaration heuristic: the statement starts with an identifier
+      // (a type name, const, auto, static) and the token right before
+      // the variable name is type-ish (identifier, '*', '&', '>'), so
+      // `auto p = ...` and `const T* p = ...` register while `p = ...`,
+      // `x.m = ...` and `*out = ...` do not.
+      const std::size_t name_at = assign - 1;
+      const bool named = tokens[name_at].kind == TokenKind::Identifier;
+      const bool declaration =
+          named && name_at > begin && tokens[begin].kind == TokenKind::Identifier &&
+          (tokens[name_at - 1].kind == TokenKind::Identifier ||
+           is_punct(tokens[name_at - 1], '*') || is_punct(tokens[name_at - 1], '&') ||
+           is_punct(tokens[name_at - 1], '>'));
+      if (declaration) {
+        track_declaration(file, tokens, begin, name_at, assign + 1, end, is_static, state,
+                          findings);
+        return;
+      }
+      check_store(file, tokens, begin, assign, end, outs, state, findings);
+      return;
+    }
+
+    // No '=': constructor-style declarations `T* p(expr);` / `T& r{...}`
+    // are rare in this tree; what matters here is member-container
+    // stores: `member_.push_back(raw)`.
+    check_container_store(file, tokens, begin, end, state, findings);
+  }
+
+  static void track_declaration(const FileIndex& file, const std::vector<Token>& tokens,
+                                std::size_t begin, std::size_t name_at, std::size_t init_begin,
+                                std::size_t init_end, bool is_static, EscapeState& state,
+                                std::vector<Finding>& findings) {
+    const std::string& name = tokens[name_at].text;
+    // Pin: the declared type spells shared_ptr<...Snapshot...>, or the
+    // initializer calls a snapshot() accessor or make_shared<Snapshot>.
+    bool type_shared = false;
+    bool type_snapshot = false;
+    bool type_raw = false;
+    for (std::size_t i = begin; i < name_at; ++i) {
+      if (tokens[i].kind == TokenKind::Identifier) {
+        if (tokens[i].text == "shared_ptr") type_shared = true;
+        if (tokens[i].text == "Snapshot") type_snapshot = true;
+      }
+      if (is_punct(tokens[i], '*') || is_punct(tokens[i], '&')) type_raw = true;
+    }
+    bool init_pins = false;
+    bool init_mentions_snapshot_type = false;
+    for (std::size_t i = init_begin; i < init_end; ++i) {
+      if (tokens[i].kind != TokenKind::Identifier) continue;
+      if (tokens[i].text == "Snapshot") init_mentions_snapshot_type = true;
+      const bool called = i + 1 < init_end && is_punct(tokens[i + 1], '(');
+      if (called && (tokens[i].text == "snapshot" || tokens[i].text == "make_shared")) {
+        init_pins = tokens[i].text == "snapshot" ||
+                    init_mentions_snapshot_type;  // make_shared<Snapshot>(...)
+      }
+    }
+    if (!type_raw && ((type_shared && type_snapshot) || init_pins)) {
+      state.pins.insert(name);
+      return;
+    }
+    // Raw derivation: a raw-yielding initializer, or a pointer/reference
+    // declarator bound through a pin.
+    const bool raw_init = raw_expr(tokens, init_begin, init_end, state);
+    const bool ref_through_pin =
+        type_raw && mentions_pin(tokens, init_begin, init_end, state);
+    if (raw_init || ref_through_pin) {
+      if (is_static) {
+        findings.push_back(make(file.path, tokens[name_at].line, "snapshot-escape",
+                            "static local '" + name +
+                                "' captures a raw pointer/reference derived from a pinned "
+                                "snapshot; it outlives every pin — keep the shared_ptr "
+                                "instead"));
+        return;
+      }
+      state.raws.insert(name);
+    }
+  }
+
+  static void check_store(const FileIndex& file, const std::vector<Token>& tokens,
+                          std::size_t begin, std::size_t assign, std::size_t end,
+                          const std::unordered_set<std::string>& outs, EscapeState& state,
+                          std::vector<Finding>& findings) {
+    if (!raw_expr(tokens, assign + 1, end, state)) return;
+    // Members: a bare `member_ = ...` or `this->member_ = ...` (trailing
+    // underscore is the project's member spelling, enforced by style).
+    const Token& lhs_last = tokens[assign - 1];
+    if (lhs_last.kind == TokenKind::Identifier && !lhs_last.text.empty() &&
+        lhs_last.text.back() == '_') {
+      const bool bare = assign - 1 == begin;
+      const bool via_this = assign >= begin + 4 && is_punct(tokens[assign - 2], '>') &&
+                            is_punct(tokens[assign - 3], '-') &&
+                            tokens[assign - 4].kind == TokenKind::Identifier &&
+                            tokens[assign - 4].text == "this";
+      if (bare || via_this) {
+        findings.push_back(make(file.path, lhs_last.line, "snapshot-escape",
+                            "storing a raw pointer/reference derived from a pinned snapshot "
+                            "into member '" + lhs_last.text +
+                                "' — the member outlives the pin; store the shared_ptr or "
+                                "copy the value"));
+        return;
+      }
+    }
+    // Out-parameters: `*out = ...`, `out->field = ...`, `out.field = ...`.
+    for (std::size_t i = begin; i < assign; ++i) {
+      if (tokens[i].kind == TokenKind::Identifier && outs.count(tokens[i].text) != 0) {
+        findings.push_back(make(file.path, tokens[i].line, "snapshot-escape",
+                            "storing a raw pointer/reference derived from a pinned snapshot "
+                            "through out-parameter '" + tokens[i].text +
+                                "' — the caller's storage outlives the pin"));
+        return;
+      }
+    }
+  }
+
+  static void check_container_store(const FileIndex& file, const std::vector<Token>& tokens,
+                                    std::size_t begin, std::size_t end, EscapeState& state,
+                                    std::vector<Finding>& findings) {
+    for (std::size_t i = begin; i + 3 < end; ++i) {
+      const Token& object = tokens[i];
+      if (object.kind != TokenKind::Identifier || object.text.empty() ||
+          object.text.back() != '_') {
+        continue;
+      }
+      if (!is_punct(tokens[i + 1], '.')) continue;
+      const Token& method = tokens[i + 2];
+      if (method.kind != TokenKind::Identifier ||
+          (method.text != "push_back" && method.text != "emplace_back" &&
+           method.text != "insert" && method.text != "emplace" && method.text != "push" &&
+           method.text != "assign")) {
+        continue;
+      }
+      if (!is_punct(tokens[i + 3], '(')) continue;
+      std::size_t close = i + 3;
+      std::size_t depth = 0;
+      for (; close < end; ++close) {
+        if (is_punct(tokens[close], '(')) ++depth;
+        if (is_punct(tokens[close], ')') && --depth == 0) break;
+      }
+      if (raw_expr(tokens, i + 4, close, state)) {
+        findings.push_back(make(file.path, object.line, "snapshot-escape",
+                            "storing a raw pointer/reference derived from a pinned snapshot "
+                            "into member container '" + object.text +
+                                "' — it outlives the pin; store the shared_ptr or copy the "
+                                "value"));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+LockRankGraph derive_lock_graph(const ProjectIndex& index) {
+  const LockRankPass pass(index);
+  LockRankGraph graph;
+  for (const FileIndex& file : index.files()) {
+    for (const LockAnnotation& annotation : file.annotations) {
+      graph.ranks.emplace(annotation.name, annotation.rank);
+    }
+  }
+  for (const LockEdge& edge : pass.derive_edges()) graph.edges.emplace(edge.from, edge.to);
+  return graph;
+}
+
+std::map<std::string, int> parse_design_ranks(std::string_view markdown) {
+  std::map<std::string, int> ranks;
+  for (const auto& [name, row] : LockRankPass::parse_rank_table(markdown)) {
+    ranks.emplace(name, row.rank);
+  }
+  return ranks;
+}
+
+std::vector<Finding> run_semantic_passes(const ProjectIndex& index,
+                                         const SemanticOptions& options) {
+  std::vector<Finding> findings;
+  LockRankPass(index).run(options, findings);
+  run_layering(index, options, findings);
+  SnapshotEscapePass().run(index, findings);
+  return findings;
+}
+
+}  // namespace sp::lint

@@ -1,0 +1,81 @@
+// sp::lint cross-file semantic passes — the whole-tree analyses that
+// consume the ProjectIndex (index.h) instead of one token stream at a
+// time (see DESIGN.md §3.10):
+//
+//   lock-rank        Re-derives the acquired-after graph statically:
+//                    every guard acquisition of an annotated mutex
+//                    member, nested guard scopes within one function,
+//                    and one level of inlining through intra-project
+//                    calls (the callee must resolve by name inside the
+//                    caller's include closure). Each derived edge must
+//                    go strictly rank-upward per the `// lock-order:`
+//                    annotations; the annotation set itself must agree
+//                    with the DESIGN.md §3.5 rank table in both
+//                    directions. A rank inversion, a duplicated rank,
+//                    an undocumented lock, or a table row with no
+//                    annotation in the tree is a finding.
+//   layering         The src/ subsystem dependency DAG: layers.def
+//                    (src/lint/layers.def) declares the allowed order,
+//                    lowest layer first; the actual `#include` graph is
+//                    derived from the index, and any upward include,
+//                    undeclared subsystem, or unsanctioned same-layer
+//                    include is flagged at the offending #include.
+//   snapshot-escape  In serve/ and net/: a raw pointer or reference
+//                    derived from a pinned shared_ptr<Snapshot> (via
+//                    .get(), address-of, or a raw-declared local bound
+//                    through the pin) must not be stored into a class
+//                    member, a static local, or an out-parameter — all
+//                    of which outlive the pinning scope. Copying the
+//                    shared_ptr itself, or values read through the
+//                    pin, is fine. This is exactly the bug class of the
+//                    PR 6 handle_http use-after-free and the PR 9
+//                    generation-tally loss.
+//
+// All passes emit ordinary Findings; the driver (lint.cpp) applies each
+// file's sp-lint suppressions and the stale-suppression audit after
+// every pass has run.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lint/index.h"
+#include "lint/rules.h"
+
+namespace sp::lint {
+
+struct SemanticOptions {
+  /// DESIGN.md contents for the §3.5 rank-table cross-check; empty
+  /// skips the cross-check (annotation-vs-annotation checks still run).
+  std::string design_md_text;
+  /// layers.def contents; empty skips the layering pass entirely.
+  std::string layers_def_text;
+  /// Path recorded in findings about layers.def itself.
+  std::string layers_def_path = "src/lint/layers.def";
+};
+
+/// The statically derived lock-order graph, for the selftest that pins
+/// "the tree re-derives DESIGN.md §3.5": annotation ranks plus every
+/// acquired-after edge found by scope nesting and one-level inlining.
+struct LockRankGraph {
+  std::map<std::string, int> ranks;
+  std::set<std::pair<std::string, std::string>> edges;
+};
+
+[[nodiscard]] LockRankGraph derive_lock_graph(const ProjectIndex& index);
+
+/// The `| rank | lock |` rows of the DESIGN.md §3.5 "Lock-order ranks"
+/// table (name → rank). Parsing starts at the table's marker line and
+/// stops at the next heading.
+[[nodiscard]] std::map<std::string, int> parse_design_ranks(std::string_view markdown);
+
+/// Runs all three passes over the index. Findings are unsuppressed and
+/// unsorted; the driver merges them into per-file reports.
+[[nodiscard]] std::vector<Finding> run_semantic_passes(const ProjectIndex& index,
+                                                       const SemanticOptions& options);
+
+}  // namespace sp::lint

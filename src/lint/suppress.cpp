@@ -1,0 +1,155 @@
+#include "lint/suppress.h"
+
+#include <cctype>
+
+namespace sp::lint {
+
+namespace {
+
+Finding make(std::string file, std::size_t line, std::string rule, std::string message) {
+  Finding finding;
+  finding.file = std::move(file);
+  finding.line = line;
+  finding.rule = std::move(rule);
+  finding.message = std::move(message);
+  return finding;
+}
+
+/// One comment line's text with the `// `/`/* ` marker and surrounding
+/// whitespace removed, so merged blocks read as continuous prose.
+[[nodiscard]] std::string strip_comment_markers(std::string_view text) {
+  std::size_t begin = text.find_first_not_of(" \t");
+  if (begin == std::string_view::npos) return {};
+  if (text.substr(begin, 2) == "//" || text.substr(begin, 2) == "/*") {
+    begin = text.find_first_not_of(" \t/*", begin);
+    if (begin == std::string_view::npos) return {};
+  }
+  const std::size_t end = text.find_last_not_of(" \t");
+  return std::string(text.substr(begin, end - begin + 1));
+}
+
+/// Parses `<rule>-ok(<reason>)` entries out of one comment's text after
+/// an `sp-lint:`/`sp-lint-file:` marker. Malformed entries (no parens,
+/// empty reason) produce `suppression` findings — an escape hatch that
+/// does not say why is a finding itself. Well-formed entries land in
+/// `out.entries`; the caller maps them to lines.
+void parse_entries(std::string_view text, std::size_t line, bool file_scope,
+                   std::string_view path, Suppressions& out, std::vector<Finding>& findings) {
+  std::size_t at = 0;
+  while ((at = text.find("-ok", at)) != std::string_view::npos) {
+    // Rule name: the [A-Za-z0-9-] run ending right before "-ok".
+    std::size_t start = at;
+    while (start > 0 && (std::isalnum(static_cast<unsigned char>(text[start - 1])) != 0 ||
+                         text[start - 1] == '-')) {
+      --start;
+    }
+    const std::string rule(text.substr(start, at - start));
+    const std::size_t after = at + 3;
+    at = after;
+    if (rule.empty()) continue;
+    if (after >= text.size() || text[after] != '(') {
+      findings.push_back(make(std::string(path), line, "suppression",
+                          "suppression '" + rule + "-ok' has no (<reason>)"));
+      continue;
+    }
+    const std::size_t close = text.find(')', after + 1);
+    const std::string reason(text.substr(
+        after + 1, close == std::string_view::npos ? std::string_view::npos : close - after - 1));
+    if (reason.find_first_not_of(" \t") == std::string::npos ||
+        close == std::string_view::npos) {
+      findings.push_back(make(std::string(path), line, "suppression",
+                          "suppression '" + rule + "-ok' has an empty reason"));
+      continue;
+    }
+    out.entries.push_back({rule, reason, line, file_scope, false});
+    at = close + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<CommentBlock> comment_blocks(const SourceFile& source) {
+  const std::map<std::size_t, std::string> ordered(source.comments.begin(),
+                                                   source.comments.end());
+  std::vector<CommentBlock> blocks;
+  for (const auto& [line, text] : ordered) {
+    if (!blocks.empty() && blocks.back().last + 1 == line) {
+      blocks.back().last = line;
+      blocks.back().text += ' ';
+      blocks.back().text += strip_comment_markers(text);
+    } else {
+      blocks.push_back({line, line, strip_comment_markers(text)});
+    }
+  }
+  return blocks;
+}
+
+Suppressions collect_suppressions(std::string_view path,
+                                  const std::vector<CommentBlock>& blocks,
+                                  std::vector<Finding>& findings) {
+  Suppressions out;
+  for (const CommentBlock& block : blocks) {
+    std::size_t at = block.text.find("sp-lint-file:");
+    if (at != std::string::npos) {
+      const std::size_t first = out.entries.size();
+      parse_entries(std::string_view(block.text).substr(at + 13), block.first,
+                    /*file_scope=*/true, path, out, findings);
+      for (std::size_t i = first; i < out.entries.size(); ++i) {
+        out.by_file.emplace(out.entries[i].rule, i);
+      }
+    }
+    at = block.text.find("sp-lint:");
+    if (at != std::string::npos) {
+      const std::size_t first = out.entries.size();
+      parse_entries(std::string_view(block.text).substr(at + 8), block.first,
+                    /*file_scope=*/false, path, out, findings);
+      // A block-level suppression covers every line the block spans, so
+      // `apply_suppressions`'s line/line-1 check reaches code directly
+      // after a wrapped comment just as it does a single-line one.
+      for (std::size_t i = first; i < out.entries.size(); ++i) {
+        for (std::size_t line = block.first; line <= block.last; ++line) {
+          out.by_line[line].emplace(out.entries[i].rule, i);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void apply_suppressions(Suppressions& suppressions, Finding& finding) {
+  for (const std::size_t line : {finding.line, finding.line - 1}) {
+    const auto row = suppressions.by_line.find(line);
+    if (row == suppressions.by_line.end()) continue;
+    const auto entry = row->second.find(finding.rule);
+    if (entry != row->second.end()) {
+      SuppressionEntry& hit = suppressions.entries[entry->second];
+      hit.used = true;
+      finding.suppressed = true;
+      finding.suppress_reason = hit.reason;
+      return;
+    }
+  }
+  const auto entry = suppressions.by_file.find(finding.rule);
+  if (entry != suppressions.by_file.end()) {
+    SuppressionEntry& hit = suppressions.entries[entry->second];
+    hit.used = true;
+    finding.suppressed = true;
+    finding.suppress_reason = hit.reason;
+  }
+}
+
+std::vector<Finding> stale_suppressions(std::string_view path,
+                                        const Suppressions& suppressions) {
+  std::vector<Finding> findings;
+  for (const SuppressionEntry& entry : suppressions.entries) {
+    if (entry.used) continue;
+    findings.push_back(make(std::string(path), entry.line, "stale-suppression",
+                        std::string(entry.file_scope ? "file-scoped " : "") + "suppression '" +
+                            entry.rule + "-ok(" + entry.reason +
+                            ")' silences nothing — the rule no longer fires here; remove it "
+                            "or re-justify it at the new site"));
+  }
+  return findings;
+}
+
+}  // namespace sp::lint

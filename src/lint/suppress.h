@@ -1,0 +1,74 @@
+// sp::lint comment machinery — merged comment blocks and `sp-lint`
+// suppressions, shared by the per-file rule catalog (rules.cpp), the
+// project index (index.cpp) and the cross-file semantic passes
+// (semantic.cpp).
+//
+// Suppressions track *use*: every entry remembers whether it silenced at
+// least one finding. An entry that silenced nothing is stale — the code
+// it argued about has moved or been fixed — and stale entries are
+// findings themselves (rule `stale-suppression`), so the escape-hatch
+// inventory cannot rot. Because semantic findings are produced after
+// the per-file rules, staleness is only decided once every pass has had
+// its chance to consume the entry (lint.cpp orchestrates this).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "lint/finding.h"
+#include "lint/token.h"
+
+namespace sp::lint {
+
+/// A run of comments on consecutive lines, merged into one text. Authors
+/// wrap long suppression reasons and lock-order annotations over several
+/// `//` lines; rules must see the whole block, not one physical line.
+struct CommentBlock {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::string text;  // the lines' comment text, joined with single spaces
+};
+
+/// Merges `source.comments` into consecutive-line blocks, sorted by line.
+[[nodiscard]] std::vector<CommentBlock> comment_blocks(const SourceFile& source);
+
+/// One parsed `<rule>-ok(<reason>)` entry with its use tracked.
+struct SuppressionEntry {
+  std::string rule;
+  std::string reason;
+  std::size_t line = 0;  // first line of the declaring comment block
+  bool file_scope = false;
+  bool used = false;  // set when the entry silences a finding
+};
+
+struct Suppressions {
+  std::vector<SuppressionEntry> entries;
+  // line → rule → index into entries; block-scoped entries are mapped
+  // from every line the block spans (so line/line-1 matching reaches
+  // code directly below a wrapped comment).
+  std::map<std::size_t, std::unordered_map<std::string, std::size_t>> by_line;
+  std::unordered_map<std::string, std::size_t> by_file;
+};
+
+/// Parses every `sp-lint:` / `sp-lint-file:` marker out of `blocks`.
+/// Malformed entries (no parens, empty reason) become `suppression`
+/// findings in `findings` and are not registered.
+[[nodiscard]] Suppressions collect_suppressions(std::string_view path,
+                                                const std::vector<CommentBlock>& blocks,
+                                                std::vector<Finding>& findings);
+
+/// Marks `finding` suppressed when a matching line- or file-scoped
+/// entry exists (a line entry covers the finding's line and the line
+/// directly above it) and records the entry as used.
+void apply_suppressions(Suppressions& suppressions, Finding& finding);
+
+/// One `stale-suppression` finding per entry that never silenced
+/// anything — call only after every rule and pass has run.
+[[nodiscard]] std::vector<Finding> stale_suppressions(std::string_view path,
+                                                      const Suppressions& suppressions);
+
+}  // namespace sp::lint

@@ -388,14 +388,22 @@ void Runner::build_graph() {
         std::move(evolve_outputs), [this, m](std::string* error) {
           if (m == 0) return write_mrt(rib_name(0), universe_.mrt_dump_at(0), error);
           std::string parse_error;
-          const auto previous = mrt::read_file(abs(rib_name(m - 1)), &parse_error);
+          const auto previous = [&] {
+            const obs::ScopedSpan span("evolve.read_rib", "phase");
+            return mrt::read_file(abs(rib_name(m - 1)), &parse_error);
+          }();
           if (!previous) {
             *error = "cannot read " + rib_name(m - 1) + ": " + parse_error;
             return false;
           }
-          bgp::Rib rib = bgp::Rib::from_mrt(*previous);
           const auto updates = universe_.bgp4mp_updates_at(m);
-          rib.apply_updates(updates);
+          const bgp::Rib rib = [&] {
+            const obs::ScopedSpan span("evolve.replay", "phase");
+            bgp::Rib replayed = bgp::Rib::from_mrt(*previous);
+            replayed.apply_updates(updates);
+            return replayed;
+          }();
+          const obs::ScopedSpan span("evolve.write", "phase");
           return write_mrt(updates_name(m), updates, error) &&
                  write_mrt(rib_name(m), rib.to_mrt(), error);
         });
@@ -405,9 +413,16 @@ void Runner::build_graph() {
         [this, m](std::string* error) {
           const std::string path = abs(snapshot_name(m));
           const std::string tmp = path + ".tmp";
-          if (!io::write_snapshot_csv(tmp, universe_.snapshot_at(m))) {
-            *error = "cannot write " + tmp;
-            return false;
+          const auto snapshot = [&] {
+            const obs::ScopedSpan span("export.render", "phase");
+            return universe_.snapshot_at(m);
+          }();
+          {
+            const obs::ScopedSpan span("export.write_csv", "phase");
+            if (!io::write_snapshot_csv(tmp, snapshot)) {
+              *error = "cannot write " + tmp;
+              return false;
+            }
           }
           return finalize_output(tmp, path, error);
         });
@@ -520,23 +535,35 @@ void Runner::build_graph() {
       add_stage("sibdelta[" + ds(m - 1) + ".." + d + "]", {sibdb_ids[m - 1], sibdb_ids[m]},
                 spdl_hash, {delta_name(m)}, [this, m](std::string* error) {
                   std::string load_error;
-                  const auto base = serve::SiblingDB::load(abs(sibdb_name(m - 1)), &load_error);
+                  const auto base = [&] {
+                    const obs::ScopedSpan span("sibdelta.load", "phase");
+                    return serve::SiblingDB::load(abs(sibdb_name(m - 1)), &load_error);
+                  }();
                   if (!base) {
                     *error = "cannot load " + sibdb_name(m - 1) + ": " + load_error;
                     return false;
                   }
-                  const auto target = serve::SiblingDB::load(abs(sibdb_name(m)), &load_error);
+                  const auto target = [&] {
+                    const obs::ScopedSpan span("sibdelta.load", "phase");
+                    return serve::SiblingDB::load(abs(sibdb_name(m)), &load_error);
+                  }();
                   if (!target) {
                     *error = "cannot load " + sibdb_name(m) + ": " + load_error;
                     return false;
                   }
-                  const auto delta = stream::diff_sibdb(*base, *target, error);
+                  const auto delta = [&] {
+                    const obs::ScopedSpan span("sibdelta.diff", "phase");
+                    return stream::diff_sibdb(*base, *target, error);
+                  }();
                   if (!delta) return false;
                   const std::string path = abs(delta_name(m));
                   const std::string tmp = path + ".tmp";
-                  if (!stream::write_spdl(tmp, *delta)) {
-                    *error = "cannot write " + tmp;
-                    return false;
+                  {
+                    const obs::ScopedSpan span("sibdelta.write", "phase");
+                    if (!stream::write_spdl(tmp, *delta)) {
+                      *error = "cannot write " + tmp;
+                      return false;
+                    }
                   }
                   return finalize_output(tmp, path, error);
                 });

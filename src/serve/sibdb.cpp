@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/sibling_list_io.h"
+#include "obs/trace.h"
 
 namespace sp::serve {
 
@@ -81,6 +82,7 @@ bool v6_host_bits_zero(const std::uint8_t* bytes, unsigned length) {
 
 bool write_sibdb(const std::string& path, std::span<const core::SiblingPair> pairs,
                  std::string_view source_label) {
+  const obs::ScopedSpan span("sibdb.write", "serve");
   const std::uint64_t n = pairs.size();
   Header header{};
   std::memcpy(header.magic, kMagic, sizeof kMagic);
@@ -139,6 +141,7 @@ bool write_sibdb(const std::string& path, std::span<const core::SiblingPair> pai
 
 bool convert_sibling_list(const std::string& csv_path, const std::string& sibdb_path,
                           std::string* error) {
+  const obs::ScopedSpan span("sibdb.convert", "serve");
   core::SiblingListError csv_error;
   const auto pairs = core::read_sibling_list(csv_path, &csv_error);
   if (!pairs) {

@@ -1,0 +1,6 @@
+// Layering fixture: the base layer includes nothing — no findings.
+#pragma once
+
+namespace fixture_aaa {
+struct Base {};
+}  // namespace fixture_aaa

@@ -1,0 +1,10 @@
+// Layering fixture: a base-layer file reaching into the layer above it
+// — the include below is an upward dependency and must be flagged.
+#pragma once
+#include "bbb/widget.h"
+
+namespace fixture_aaa {
+struct Upward {
+  fixture_bbb::Widget widget;
+};
+}  // namespace fixture_aaa

@@ -1,0 +1,7 @@
+// Layering fixture: includes a subsystem that layers.def never
+// declares — flagged at the include.
+#include "ddd/rogue.h"
+
+namespace fixture_bbb {
+int touch_rogue() { return fixture_ddd::kRogue; }
+}  // namespace fixture_bbb

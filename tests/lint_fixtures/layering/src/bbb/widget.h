@@ -1,0 +1,12 @@
+// Layering fixture: downward include of the base layer and a
+// same-layer include sanctioned by the `allow bbb ccc` line — clean.
+#pragma once
+#include "aaa/base.h"
+#include "ccc/peer.h"
+
+namespace fixture_bbb {
+struct Widget {
+  fixture_aaa::Base base;
+  fixture_ccc::Peer peer;
+};
+}  // namespace fixture_bbb

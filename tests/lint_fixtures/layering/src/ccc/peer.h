@@ -1,0 +1,10 @@
+// Layering fixture: the reverse same-layer edge — layers.def sanctions
+// bbb → ccc, not ccc → bbb, so this include must be flagged.
+#pragma once
+#include "bbb/widget.h"
+
+namespace fixture_ccc {
+struct Peer {
+  int weight = 1;
+};
+}  // namespace fixture_ccc

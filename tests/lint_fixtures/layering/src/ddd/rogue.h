@@ -1,0 +1,7 @@
+// Layering fixture: this whole subsystem is absent from layers.def —
+// flagged once at the top of the file.
+#pragma once
+
+namespace fixture_ddd {
+inline constexpr int kRogue = 7;
+}  // namespace fixture_ddd

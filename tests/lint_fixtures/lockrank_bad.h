@@ -1,0 +1,23 @@
+// lock-rank fixture: the ranks invert — holding the rank-20 lock while
+// taking the rank-10 lock must be flagged, as must two locks claiming
+// the same rank.
+#pragma once
+#include <mutex>
+
+struct RankInverted {
+  void both() {
+    std::lock_guard lock_a(outer_mutex_);
+    std::lock_guard lock_b(inner_mutex_);
+  }
+  // lock-order: 20 fixtures.rank.outer
+  std::mutex outer_mutex_;
+  // lock-order: 10 fixtures.rank.inner
+  std::mutex inner_mutex_;
+};
+
+struct RankDuplicated {
+  // lock-order: 30 fixtures.rank.dup_a
+  std::mutex dup_a_mutex_;
+  // lock-order: 30 fixtures.rank.dup_b
+  std::mutex dup_b_mutex_;
+};

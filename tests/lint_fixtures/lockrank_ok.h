@@ -1,0 +1,20 @@
+// lock-rank fixture: correctly ordered — the rank-10 lock is held
+// while the rank-20 lock is taken, both by direct nesting and through
+// a call; edges are derived but none is a finding.
+#pragma once
+#include <mutex>
+
+struct RankOrdered {
+  void inner() {
+    std::lock_guard lock(high_mutex_);
+  }
+  void outer() {
+    std::lock_guard lock(low_mutex_);
+    std::lock_guard nested(high_mutex_);
+    inner();
+  }
+  // lock-order: 10 fixtures.ordered.low
+  std::mutex low_mutex_;
+  // lock-order: 20 fixtures.ordered.high
+  std::mutex high_mutex_;
+};

@@ -1,0 +1,19 @@
+// lock-rank fixture: the inversion spans a call — helper() takes the
+// rank-10 lock, and locked_entry() calls it while holding the rank-20
+// lock, so the edge only exists through one-level inlining.
+#pragma once
+#include <mutex>
+
+struct RankTransitive {
+  void helper() {
+    std::lock_guard lock(low_mutex_);
+  }
+  void locked_entry() {
+    std::lock_guard lock(high_mutex_);
+    helper();
+  }
+  // lock-order: 10 fixtures.transitive.low
+  std::mutex low_mutex_;
+  // lock-order: 20 fixtures.transitive.high
+  std::mutex high_mutex_;
+};

@@ -1,0 +1,37 @@
+// snapshot-escape fixture: raw pointers derived from a pinned snapshot
+// escape the pinning scope four ways — into a member, into a member
+// container, through an out-parameter, and into a static local. Every
+// one outlives the pin and must be flagged.
+#include <memory>
+#include <vector>
+
+struct Snapshot {
+  int generation = 0;
+};
+
+struct Service {
+  std::shared_ptr<const Snapshot> snapshot() const;
+};
+
+struct Cache {
+  void remember() {
+    auto snap = service_.snapshot();
+    latest_ = snap.get();
+    history_.push_back(snap.get());
+  }
+  void hand_out(const Snapshot** out) {
+    auto snap = service_.snapshot();
+    const Snapshot* raw = snap.get();
+    *out = raw;
+  }
+  void memoize() {
+    auto snap = service_.snapshot();
+    static const Snapshot* cached = snap.get();
+    use(cached);
+  }
+  void use(const Snapshot* snapshot);
+
+  Service service_;
+  const Snapshot* latest_ = nullptr;
+  std::vector<const Snapshot*> history_;
+};

@@ -1,0 +1,28 @@
+// snapshot-escape fixture: every safe shape — copying the shared_ptr
+// into a member (the pin itself travels), reading values through the
+// pin, and a raw pointer that never leaves the pinning scope. No
+// findings.
+#include <memory>
+
+struct Snapshot {
+  int generation = 0;
+};
+
+struct Service {
+  std::shared_ptr<const Snapshot> snapshot() const;
+};
+
+struct Reader {
+  void refresh() {
+    auto snap = service_.snapshot();
+    pinned_ = snap;
+    generation_ = snap->generation;
+    const Snapshot* raw = snap.get();
+    consume(raw);
+  }
+  void consume(const Snapshot* snapshot);
+
+  Service service_;
+  std::shared_ptr<const Snapshot> pinned_;
+  int generation_ = 0;
+};

@@ -1,0 +1,26 @@
+// snapshot-escape fixture: the member store is real but argued — the
+// suppression names the invariant that makes it sound, and the finding
+// must surface as suppressed with that reason.
+#include <memory>
+
+struct Snapshot {
+  int generation = 0;
+};
+
+struct Service {
+  std::shared_ptr<const Snapshot> snapshot() const;
+};
+
+struct Debugger {
+  void capture() {
+    auto snap = service_.snapshot();
+    // sp-lint: snapshot-escape-ok(fixture: the member pin_ below keeps
+    // the snapshot alive for exactly as long as probe_ is readable)
+    probe_ = snap.get();
+    pin_ = snap;
+  }
+
+  Service service_;
+  const Snapshot* probe_ = nullptr;
+  std::shared_ptr<const Snapshot> pin_;
+};

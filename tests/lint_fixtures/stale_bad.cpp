@@ -1,0 +1,10 @@
+// stale-suppression fixture: both entries silence nothing — the code
+// they argued about is gone, so each is itself a finding.
+
+// sp-lint-file: atomics-ok(fixture: claims relaxed is fine but no
+// relaxed access remains)
+
+int answer() {
+  // sp-lint: determinism-ok(fixture: the wall-clock read was removed)
+  return 42;
+}

@@ -1,0 +1,9 @@
+// stale-suppression fixture: two entries in one comment block — the
+// determinism one still earns its keep, the atomics one is stale.
+#include <ctime>
+
+int mixed() {
+  // sp-lint: determinism-ok(fixture: still fires) atomics-ok(fixture:
+  // the volatile is long gone)
+  return static_cast<int>(time(0));
+}

@@ -1,0 +1,8 @@
+// stale-suppression fixture: the entry is consumed by the wall-clock
+// finding right under it, so the audit stays quiet.
+#include <ctime>
+
+int ticks() {
+  // sp-lint: determinism-ok(fixture: exercising use-tracking)
+  return static_cast<int>(time(nullptr));
+}

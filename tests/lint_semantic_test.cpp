@@ -1,0 +1,246 @@
+// sp_lint cross-file selftest (DESIGN.md §3.10): every semantic pass
+// fires on its seeded fixtures with exact (line, rule) diagnostics, the
+// stale-suppression audit distinguishes used from dead entries, and —
+// the load-bearing assertion — the real tree's statically derived
+// lock-rank graph matches the DESIGN.md §3.5 table exactly, with every
+// derived acquired-after edge strictly rank-increasing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/index.h"
+#include "lint/lint.h"
+#include "lint/semantic.h"
+
+namespace {
+
+using sp::lint::Finding;
+
+const std::string kSourceDir = std::string(SP_SOURCE_DIR);
+const std::string kFixtureDir = kSourceDir + "/tests/lint_fixtures/";
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+/// Lints one fixture through the full single-file pipeline; the label
+/// keeps fixture paths stable in findings (and, for serve/, inside the
+/// path-scoped passes).
+std::vector<Finding> lint_fixture(const std::string& name) {
+  return sp::lint::lint_file(kFixtureDir + name, name);
+}
+
+struct Expected {
+  std::size_t line;
+  const char* rule;
+};
+
+void expect_findings(const std::vector<Finding>& found, const std::vector<Expected>& expected) {
+  ASSERT_EQ(found.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(found[i].line, expected[i].line) << found[i].message;
+    EXPECT_EQ(found[i].rule, expected[i].rule);
+    EXPECT_FALSE(found[i].suppressed) << found[i].file << ":" << found[i].line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-rank fixtures
+
+TEST(LintSemantic, LockRankInversionAndDuplicateRankFire) {
+  const auto found = lint_fixture("lockrank_bad.h");
+  expect_findings(found, {{10, "lock-rank"}, {22, "lock-rank"}});
+  EXPECT_NE(found[0].message.find("inverts the documented order"), std::string::npos);
+  EXPECT_NE(found[1].message.find("rank 30 is claimed by both"), std::string::npos);
+}
+
+TEST(LintSemantic, LockRankTransitiveInversionThroughOneCallFires) {
+  const auto found = lint_fixture("lockrank_transitive.h");
+  expect_findings(found, {{13, "lock-rank"}});
+  EXPECT_NE(found[0].message.find("via call to 'helper'"), std::string::npos);
+}
+
+TEST(LintSemantic, LockRankOrderedNestingIsClean) {
+  EXPECT_TRUE(lint_fixture("lockrank_ok.h").empty());
+}
+
+// ---------------------------------------------------------------------------
+// layering fixtures (a mini-tree with its own layers.def, linted as
+// explicit file roots — the walker excludes lint_fixtures directories)
+
+TEST(LintSemantic, LayeringFixtureTreeFlagsEveryViolationShape) {
+  const std::string root = kFixtureDir + "layering/src/";
+  sp::lint::LintOptions options;
+  options.layers_def_path = kFixtureDir + "layering/layers.def";
+  const auto report = sp::lint::lint_paths({root + "aaa/base.h", root + "aaa/upward.h",
+                                            root + "bbb/uses_rogue.cpp", root + "bbb/widget.h",
+                                            root + "ccc/peer.h", root + "ddd/rogue.h"},
+                                           options);
+  ASSERT_EQ(report.findings.size(), 4u) << report.to_json();
+  const auto& f = report.findings;
+  EXPECT_TRUE(f[0].file.ends_with("aaa/upward.h"));
+  EXPECT_EQ(f[0].line, 4u);
+  EXPECT_EQ(f[0].rule, "layering");
+  EXPECT_NE(f[0].message.find("upward dependency"), std::string::npos);
+  EXPECT_TRUE(f[1].file.ends_with("bbb/uses_rogue.cpp"));
+  EXPECT_EQ(f[1].line, 3u);
+  EXPECT_NE(f[1].message.find("'ddd' is not declared"), std::string::npos);
+  EXPECT_TRUE(f[2].file.ends_with("ccc/peer.h"));
+  EXPECT_EQ(f[2].line, 4u);
+  EXPECT_NE(f[2].message.find("same-layer dependency"), std::string::npos);
+  EXPECT_TRUE(f[3].file.ends_with("ddd/rogue.h"));
+  EXPECT_EQ(f[3].line, 1u);
+  EXPECT_NE(f[3].message.find("not declared in layers.def"), std::string::npos);
+}
+
+TEST(LintSemantic, LayeringSanctionedAndDownwardEdgesAreClean) {
+  const std::string root = kFixtureDir + "layering/src/";
+  sp::lint::LintOptions options;
+  options.layers_def_path = kFixtureDir + "layering/layers.def";
+  // bbb/widget.h alone: includes aaa (downward) and ccc (allow-listed).
+  const auto report = sp::lint::lint_paths({root + "bbb/widget.h"}, options);
+  EXPECT_TRUE(report.findings.empty()) << report.to_json();
+}
+
+TEST(LintSemantic, LayeringMalformedDefIsItselfAFinding) {
+  sp::lint::LintOptions options;
+  options.layers_def_path = kFixtureDir + "layering/layers.def";
+  // A bogus directive surfaces at the def's own file:line.
+  sp::lint::SemanticOptions semantic;
+  semantic.layers_def_text = "layer low aaa\nallot aaa bbb\n";
+  semantic.layers_def_path = "layers.def";
+  sp::lint::ProjectIndex empty;
+  const auto findings = sp::lint::run_semantic_passes(empty, semantic);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "layers.def");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_NE(findings[0].message.find("unknown directive 'allot'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// snapshot-escape fixtures
+
+TEST(LintSemantic, SnapshotEscapeFixtureFiresOnAllFourStores) {
+  const auto found = lint_fixture("serve/snapshot_bad.cpp");
+  expect_findings(found, {{19, "snapshot-escape"},
+                          {20, "snapshot-escape"},
+                          {25, "snapshot-escape"},
+                          {29, "snapshot-escape"}});
+  EXPECT_NE(found[0].message.find("member 'latest_'"), std::string::npos);
+  EXPECT_NE(found[1].message.find("member container 'history_'"), std::string::npos);
+  EXPECT_NE(found[2].message.find("out-parameter 'out'"), std::string::npos);
+  EXPECT_NE(found[3].message.find("static local 'cached'"), std::string::npos);
+}
+
+TEST(LintSemantic, SnapshotEscapeSafeShapesAreClean) {
+  EXPECT_TRUE(lint_fixture("serve/snapshot_ok.cpp").empty());
+}
+
+TEST(LintSemantic, SnapshotEscapeSuppressionSilencesWithReason) {
+  const auto found = lint_fixture("serve/snapshot_suppressed.cpp");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].line, 19u);
+  EXPECT_EQ(found[0].rule, "snapshot-escape");
+  EXPECT_TRUE(found[0].suppressed);
+  EXPECT_NE(found[0].suppress_reason.find("keeps the snapshot alive"), std::string::npos);
+}
+
+TEST(LintSemantic, SnapshotEscapeIsScopedToServeAndNet) {
+  // The same stores outside serve/ and net/ are someone else's
+  // ownership model, not this rule's.
+  const auto found = sp::lint::lint_file(kFixtureDir + "serve/snapshot_bad.cpp",
+                                         "core/snapshot_bad.cpp");
+  EXPECT_TRUE(found.empty());
+}
+
+// ---------------------------------------------------------------------------
+// stale-suppression fixtures
+
+TEST(LintSemantic, StaleSuppressionsAreFindings) {
+  const auto found = lint_fixture("stale_bad.cpp");
+  expect_findings(found, {{4, "stale-suppression"}, {8, "stale-suppression"}});
+  EXPECT_NE(found[0].message.find("file-scoped"), std::string::npos);
+  EXPECT_NE(found[0].message.find("silences nothing"), std::string::npos);
+}
+
+TEST(LintSemantic, UsedSuppressionIsNotStale) {
+  const auto found = lint_fixture("stale_ok.cpp");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].rule, "determinism");
+  EXPECT_TRUE(found[0].suppressed);
+}
+
+TEST(LintSemantic, StalenessIsPerEntryWithinOneBlock) {
+  const auto found = lint_fixture("stale_mixed.cpp");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].line, 6u);
+  EXPECT_EQ(found[0].rule, "stale-suppression");
+  EXPECT_FALSE(found[0].suppressed);
+  EXPECT_EQ(found[1].line, 8u);
+  EXPECT_EQ(found[1].rule, "determinism");
+  EXPECT_TRUE(found[1].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// the real tree re-derives DESIGN.md §3.5
+
+/// Indexes every lintable file under the repo's src/ (the subsystems;
+/// annotations and guard acquisitions all live there).
+sp::lint::ProjectIndex index_real_tree() {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (fs::recursive_directory_iterator it(kSourceDir + "/src"), end; it != end; ++it) {
+    if (it->is_regular_file() && sp::lint::lintable_path(it->path().generic_string())) {
+      files.push_back(it->path().generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  sp::lint::ProjectIndex index;
+  for (const std::string& file : files) {
+    index.add_file(file, sp::lint::tokenize(slurp(file)));
+  }
+  return index;
+}
+
+TEST(LintSemantic, RealTreeRankGraphMatchesDesignTable) {
+  const auto index = index_real_tree();
+  const auto graph = sp::lint::derive_lock_graph(index);
+  const auto documented = sp::lint::parse_design_ranks(slurp(kSourceDir + "/DESIGN.md"));
+  ASSERT_FALSE(documented.empty());
+  EXPECT_EQ(graph.ranks, documented);  // zero disagreements, both directions
+  // Every statically derived acquired-after edge goes strictly rank-up.
+  ASSERT_FALSE(graph.edges.empty());
+  for (const auto& [from, to] : graph.edges) {
+    ASSERT_TRUE(graph.ranks.count(from) == 1 && graph.ranks.count(to) == 1) << from << "→" << to;
+    EXPECT_LT(graph.ranks.at(from), graph.ranks.at(to)) << from << "→" << to;
+  }
+  // The derivation is not vacuous: holding the worker-pool mutex, the
+  // runtime lock-order registry's own mutex is acquired one call in.
+  EXPECT_TRUE(graph.edges.count({"core.worker_pool.mutex", "lint.lock_order.registry_mutex"}));
+}
+
+TEST(LintSemantic, RealTreeSemanticPassesAndStaleAuditAreClean) {
+  sp::lint::LintOptions options;
+  options.design_md_path = kSourceDir + "/DESIGN.md";
+  options.layers_def_path = kSourceDir + "/src/lint/layers.def";
+  std::vector<std::string> roots;
+  for (const std::string& root : sp::lint::default_roots()) {
+    roots.push_back(kSourceDir + "/" + root);
+  }
+  const auto report = sp::lint::lint_paths(roots, options);
+  for (const Finding& finding : report.findings) {
+    EXPECT_TRUE(finding.suppressed) << finding.file << ":" << finding.line << " ["
+                                    << finding.rule << "] " << finding.message;
+  }
+}
+
+}  // namespace

@@ -5,9 +5,6 @@
 // racing concurrent QUERY pipelines over several connections while the
 // per-generation hit tallies stay conserved (no count is lost when a
 // snapshot retires mid-batch).
-//
-// sp-lint-file: atomics-ok(test counters aggregated after thread joins;
-// nothing orders through them)
 #include "net/server.h"
 
 #include <gtest/gtest.h>
